@@ -1,0 +1,79 @@
+"""Ablation: the cost structure of the dual approximation (§4.2).
+
+Measures (a) that the under-approximation phase costs nothing when the
+over-approximation already settles the query — the common case the
+paper's design banks on (only 0.13% of operator queries ever reach the
+third verdict) — and (b) what the full dual pipeline costs on gadget
+instances engineered to fall through to the under-approximation, where
+the (k+1)-fold budget-threaded state space is actually built.
+"""
+
+import pytest
+
+from benchmarks.common import nordunet_network
+from repro.datasets.queries import table1_queries
+from repro.verification.engine import dual_engine
+from tests.verification.test_inconclusive import budget_network, conflict_network
+
+
+@pytest.fixture(scope="module")
+def network():
+    return nordunet_network()
+
+
+@pytest.mark.parametrize("query_name", ["t1_smpls_reach", "t3_ip_reach"])
+def test_over_approximation_settles_alone(benchmark, network, query_name):
+    """Conclusive queries never build the under-approximation PDA."""
+    queries = {q.name: q for q in table1_queries(network)}
+    engine = dual_engine(network)
+
+    def run():
+        return engine.verify(queries[query_name].text, timeout_seconds=300)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert not result.stats.used_under_approximation
+    assert result.stats.under_rules == 0
+
+
+@pytest.mark.parametrize(
+    "gadget_name, gadget, query",
+    [
+        (
+            "conflict",
+            conflict_network,
+            "<s1 ip> [.#A] [A#C] [C#A] [A#B] [B#.] <. ip> 1",
+        ),
+        (
+            "budget",
+            budget_network,
+            "<s1 ip> [.#A] [A.b1#B.b1] [B.b2#C.b2] [C#.] <. ip> 1",
+        ),
+    ],
+)
+def test_full_dual_pipeline_on_gadget(benchmark, gadget_name, gadget, query):
+    """Instances that fall through to the under-approximation pay for
+    both compilations and both saturations."""
+    network = gadget()
+    engine = dual_engine(network)
+
+    def run():
+        return engine.verify(query)
+
+    result = benchmark.pedantic(run, rounds=5, iterations=1)
+    assert result.stats.used_under_approximation
+    assert result.stats.under_rules > 0
+
+
+def test_under_approximation_state_blowup_is_bounded(network):
+    """The under-approximation threads a budget through the control
+    state; its size must stay within (k+1)× the over-approximation."""
+    from repro.query.parser import parse_query
+    from repro.verification.compiler import QueryCompiler
+
+    compiler = QueryCompiler(network)
+    query = parse_query("<smpls ip> [.#cph1] .* [.#sto1] <smpls ip> 2")
+    over = compiler.compile(query, mode="over")
+    under = compiler.compile(query, mode="under")
+    assert under.pds.rule_count() <= (query.max_failures + 1) * max(
+        1, over.pds.rule_count()
+    )

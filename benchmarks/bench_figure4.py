@@ -1,0 +1,54 @@
+"""pytest-benchmark entry points for Figure 4 (Topology-Zoo sweep).
+
+Each benchmark runs one engine over the query suite of one zoo network
+(a slice of the full cactus sweep). Full-scale runner: ``python -m
+benchmarks.figure4``.
+"""
+
+import pytest
+
+from benchmarks.common import run_one, standard_engines, zoo_networks
+from repro.datasets.queries import generate_query_suite
+
+#: Scaled-down slice: the three embedded real-world topologies.
+_SLICE_SIZES = ()
+
+
+@pytest.fixture(scope="module")
+def networks():
+    return zoo_networks(sizes=(16,), seeds=(1,))
+
+
+@pytest.mark.parametrize("engine_name", ["moped", "dual", "failures"])
+def test_figure4_slice(benchmark, networks, engine_name):
+    suites = [
+        (network, generate_query_suite(network, count=6, seed=5))
+        for network in networks
+    ]
+
+    def sweep():
+        records = []
+        for network, suite in suites:
+            engine = dict(standard_engines(network))[engine_name]
+            for query in suite:
+                records.append(
+                    run_one(engine, query, network.name, engine_name, timeout=60)
+                )
+        return records
+
+    records = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    # Every instance in the slice must complete within the timeout.
+    assert all(record.completed for record in records)
+
+
+@pytest.mark.parametrize("engine_name", ["moped", "dual"])
+def test_figure4_hard_instance(benchmark, networks, engine_name):
+    """The unconstrained-path query — the far right of the cactus plot."""
+    network = networks[-1]
+    engine = dict(standard_engines(network))[engine_name]
+
+    def run():
+        return engine.verify("<smpls? ip> .* <. smpls ip> 0", timeout_seconds=300)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.conclusive

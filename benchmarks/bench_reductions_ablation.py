@@ -1,0 +1,51 @@
+"""Ablation: the static PDA reductions of §4.2.
+
+The paper attributes part of the speedup to "a series of reductions
+(based on static analysis that overapproximates the possible
+top-of-stack symbols …) removing redundant rules". This bench runs the
+dual engine with and without the reduction pass on the NORDUnet
+substitute's queries, so the delta is directly attributable to the
+reductions.
+"""
+
+import pytest
+
+from benchmarks.common import nordunet_network
+from repro.datasets.queries import table1_queries
+from repro.verification.engine import VerificationEngine
+
+QUERY_NAMES = ["t1_smpls_reach", "t5_service_waypoint_k1", "t6_unconstrained"]
+
+
+@pytest.fixture(scope="module")
+def network():
+    return nordunet_network()
+
+
+@pytest.fixture(scope="module")
+def queries(network):
+    return {query.name: query for query in table1_queries(network)}
+
+
+@pytest.mark.parametrize("reductions", ["with-reductions", "without-reductions"])
+@pytest.mark.parametrize("query_name", QUERY_NAMES)
+def test_reductions_ablation(benchmark, network, queries, query_name, reductions):
+    engine = VerificationEngine(
+        network, use_reductions=(reductions == "with-reductions")
+    )
+    query = queries[query_name]
+
+    def run():
+        return engine.verify(query.text, timeout_seconds=300)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.conclusive
+
+
+def test_reductions_shrink_the_pushdown(network, queries):
+    """Sanity: the reduction report must show a real size decrease."""
+    engine = VerificationEngine(network, use_reductions=True)
+    result = engine.verify(queries["t1_smpls_reach"].text)
+    report = result.stats.over_solver.reduction
+    assert report is not None
+    assert report.rules_after < report.rules_before

@@ -1,0 +1,50 @@
+"""pytest-benchmark entry points for Table 1 (NORDUnet substitute).
+
+One benchmark per (operator query × engine); the paper's columns are
+Moped / Dual / Failures. Full-scale runner: ``python -m
+benchmarks.table1``.
+"""
+
+import pytest
+
+from benchmarks.common import nordunet_network
+from repro.datasets.queries import table1_queries
+from repro.verification.engine import dual_engine, moped_engine, weighted_engine
+
+QUERY_NAMES = [
+    "t1_smpls_reach",
+    "t2_group_reach",
+    "t3_ip_reach",
+    "t4_service_waypoint_k0",
+    "t5_service_waypoint_k1",
+    "t6_unconstrained",
+]
+
+ENGINES = {
+    "moped": moped_engine,
+    "dual": dual_engine,
+    "failures": lambda network: weighted_engine(network, weight="failures"),
+}
+
+
+@pytest.fixture(scope="module")
+def network():
+    return nordunet_network()
+
+
+@pytest.fixture(scope="module")
+def queries(network):
+    return {query.name: query for query in table1_queries(network)}
+
+
+@pytest.mark.parametrize("engine_name", sorted(ENGINES))
+@pytest.mark.parametrize("query_name", QUERY_NAMES)
+def test_table1(benchmark, network, queries, query_name, engine_name):
+    engine = ENGINES[engine_name](network)
+    query = queries[query_name]
+
+    def run():
+        return engine.verify(query.text, timeout_seconds=300)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.conclusive

@@ -1,0 +1,61 @@
+"""Ablation: cost of each atomic quantity (§5).
+
+The paper notes: "we also run the experiment for the other quantitative
+measures and the verification times did not differ significantly". This
+bench times the weighted engine with each atomic quantity — and the §3
+composite vector — on the NORDUnet substitute, so that claim can be
+checked directly.
+"""
+
+import pytest
+
+from benchmarks.common import nordunet_network
+from repro.datasets.queries import table1_queries
+from repro.verification.engine import dual_engine, weighted_engine
+
+VECTORS = {
+    "links": "links",
+    "hops": "hops",
+    "distance": "distance",
+    "failures": "failures",
+    "tunnels": "tunnels",
+    "composite": "hops, failures + 3*tunnels",
+}
+
+QUERY_NAMES = ["t1_smpls_reach", "t6_unconstrained"]
+
+
+@pytest.fixture(scope="module")
+def network():
+    return nordunet_network()
+
+
+@pytest.fixture(scope="module")
+def queries(network):
+    return {query.name: query for query in table1_queries(network)}
+
+
+@pytest.mark.parametrize("vector_name", sorted(VECTORS))
+@pytest.mark.parametrize("query_name", QUERY_NAMES)
+def test_quantity_overhead(benchmark, network, queries, query_name, vector_name):
+    engine = weighted_engine(network, weight=VECTORS[vector_name])
+    query = queries[query_name]
+
+    def run():
+        return engine.verify(query.text, timeout_seconds=300)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.conclusive
+
+
+@pytest.mark.parametrize("query_name", QUERY_NAMES)
+def test_unweighted_baseline(benchmark, network, queries, query_name):
+    """The Dual engine on the same queries — the overhead reference."""
+    engine = dual_engine(network)
+    query = queries[query_name]
+
+    def run():
+        return engine.verify(query.text, timeout_seconds=300)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.conclusive

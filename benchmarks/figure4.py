@@ -1,0 +1,133 @@
+"""Figure 4 — cactus comparison on Topology-Zoo networks.
+
+The paper runs >5600 experiments (queries × Zoo networks × 3 engines)
+with a 10-minute timeout and plots, per engine, the sorted verification
+times (log scale). Expected shape: the Dual curve sits well below the
+Moped curve (paper: "almost an order of magnitude"); the weighted
+(Failures) engine tracks Moped on easy instances but solves *more* of
+the hard instances than the unweighted Dual thanks to its guided
+search, and its inconclusive rate is lower (paper: 0.04% vs 0.57%).
+
+Run ``python -m benchmarks.figure4 [--sizes 16 24 36] [--queries N]
+[--timeout S]`` for the full sweep; ``bench_figure4.py`` exposes a
+scaled-down slice to pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Dict, List, Optional, Sequence
+
+from repro.datasets.queries import generate_query_suite
+from benchmarks.common import (
+    RunRecord,
+    cactus_series,
+    format_cactus,
+    run_one,
+    save_results,
+    standard_engines,
+    zoo_networks,
+)
+
+
+def run_sweep(
+    sizes: Sequence[int] = (16, 24, 36),
+    seeds: Sequence[int] = (1, 2),
+    queries_per_network: int = 12,
+    timeout: Optional[float] = 30.0,
+    verbose: bool = False,
+) -> List[RunRecord]:
+    """The Figure 4 sweep: all networks × generated suite × 3 engines."""
+    records: List[RunRecord] = []
+    for network in zoo_networks(sizes=sizes, seeds=seeds):
+        suite = generate_query_suite(network, count=queries_per_network, seed=5)
+        engines = standard_engines(network)
+        for query in suite:
+            for engine_name, engine in engines:
+                record = run_one(engine, query, network.name, engine_name, timeout)
+                records.append(record)
+                if verbose:
+                    print(
+                        f"  {network.name:<16} {query.name:<26} {engine_name:<9}"
+                        f" {record.status:<13} {record.seconds:8.3f}s",
+                        flush=True,
+                    )
+    return records
+
+
+def summarize(records: List[RunRecord]) -> Dict[str, Dict[str, object]]:
+    """Per-engine summary: solved counts, total/median time, verdicts."""
+    summary: Dict[str, Dict[str, object]] = {}
+    for record in records:
+        entry = summary.setdefault(
+            record.engine,
+            {
+                "experiments": 0,
+                "solved": 0,
+                "inconclusive": 0,
+                "timeouts": 0,
+                "total_seconds": 0.0,
+            },
+        )
+        entry["experiments"] += 1
+        if record.completed:
+            entry["solved"] += 1
+            entry["total_seconds"] += record.seconds
+            if record.status == "inconclusive":
+                entry["inconclusive"] += 1
+        elif record.status == "timeout":
+            entry["timeouts"] += 1
+    return summary
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sizes", type=int, nargs="+", default=[16, 24, 36])
+    parser.add_argument("--seeds", type=int, nargs="+", default=[1, 2])
+    parser.add_argument("--queries", type=int, default=12)
+    parser.add_argument("--timeout", type=float, default=30.0)
+    parser.add_argument("--verbose", action="store_true")
+    args = parser.parse_args(argv)
+
+    records = run_sweep(
+        sizes=args.sizes,
+        seeds=args.seeds,
+        queries_per_network=args.queries,
+        timeout=args.timeout,
+        verbose=args.verbose,
+    )
+    series = cactus_series(records)
+    print("Figure 4 — sorted verification times per engine (cactus data)")
+    print(format_cactus(series))
+    print()
+    summary = summarize(records)
+    print(f"{'engine':<10} {'runs':>5} {'solved':>7} {'inconcl.':>9} "
+          f"{'timeouts':>9} {'total time':>11}")
+    for engine in ("moped", "dual", "failures"):
+        entry = summary.get(engine)
+        if entry is None:
+            continue
+        print(
+            f"{engine:<10} {entry['experiments']:>5} {entry['solved']:>7} "
+            f"{entry['inconclusive']:>9} {entry['timeouts']:>9} "
+            f"{entry['total_seconds']:>10.2f}s"
+        )
+    dual_total = summary.get("dual", {}).get("total_seconds", 0.0)
+    moped_total = summary.get("moped", {}).get("total_seconds", 0.0)
+    if dual_total:
+        print(f"\nMoped/Dual total-time ratio: {moped_total / dual_total:.1f}x "
+              "(paper: ~an order of magnitude on the hard instances)")
+    path = save_results(
+        "figure4",
+        {
+            "records": [record.__dict__ for record in records],
+            "series": series,
+            "summary": summary,
+        },
+    )
+    print(f"results written to {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,131 @@
+"""Table 1 — query verification time (in seconds) on the NORDUnet
+substitute, per engine.
+
+Paper columns: Moped | Dual | Failures (the weighted engine minimizing
+the number of failed links). Expected shape: Dual is the fastest
+overall, the weighted engine stays within a small factor of Dual, and
+the unconstrained-path query (last row) is the hardest for every
+engine.
+
+The module also reproduces §4.2's inconclusiveness statistic ("8 out of
+6,000 queries, 0.13%") by running a larger generated suite through the
+dual engine and reporting the measured rate.
+
+Run ``python -m benchmarks.table1 [--density N] [--timeout S]`` for the
+full experiment; the pytest-benchmark entry points in
+``bench_table1.py`` time a scaled-down slice of the same code.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Dict, List, Optional
+
+from repro.datasets.queries import generate_query_suite, table1_queries
+from benchmarks.common import (
+    RunRecord,
+    nordunet_network,
+    run_one,
+    save_results,
+    standard_engines,
+)
+
+ENGINE_ORDER = ("moped", "dual", "failures")
+
+
+def run_table1(
+    density: int = 1, timeout: Optional[float] = 300.0
+) -> List[RunRecord]:
+    """Run the six operator queries on all three engines."""
+    network = nordunet_network(density)
+    records: List[RunRecord] = []
+    for query in table1_queries(network):
+        for engine_name, engine in standard_engines(network):
+            records.append(
+                run_one(engine, query, network.name, engine_name, timeout)
+            )
+    return records
+
+
+def run_inconclusiveness(
+    density: int = 1,
+    count: int = 60,
+    timeout: Optional[float] = 60.0,
+) -> Dict[str, int]:
+    """§4.2's statistic: how often is the dual engine inconclusive?"""
+    network = nordunet_network(density)
+    suite = generate_query_suite(network, count=count, seed=17)
+    counts = {"satisfied": 0, "unsatisfied": 0, "inconclusive": 0, "timeout": 0}
+    for query in suite:
+        record = run_one(
+            standard_engines(network)[1][1], query, network.name, "dual", timeout
+        )
+        counts[record.status] = counts.get(record.status, 0) + 1
+    return counts
+
+
+def format_table(records: List[RunRecord]) -> str:
+    """Render the table the way the paper prints it."""
+    by_query: Dict[str, Dict[str, RunRecord]] = {}
+    for record in records:
+        by_query.setdefault(record.query, {})[record.engine] = record
+    lines = [
+        f"{'Query':<28} {'Moped':>10} {'Dual':>10} {'Failures':>10}  verdict",
+        "-" * 72,
+    ]
+    for query_name, by_engine in by_query.items():
+        cells = []
+        verdict = "?"
+        for engine in ENGINE_ORDER:
+            record = by_engine.get(engine)
+            if record is None:
+                cells.append(f"{'—':>10}")
+                continue
+            if record.completed:
+                cells.append(f"{record.seconds:>10.2f}")
+                verdict = record.status
+            else:
+                cells.append(f"{'t/o':>10}")
+        lines.append(f"{query_name:<28} {' '.join(cells)}  {verdict}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--density", type=int, default=1)
+    parser.add_argument("--timeout", type=float, default=300.0)
+    parser.add_argument(
+        "--inconclusive-count",
+        type=int,
+        default=60,
+        help="size of the query sample for the inconclusiveness statistic",
+    )
+    args = parser.parse_args(argv)
+
+    records = run_table1(density=args.density, timeout=args.timeout)
+    print("Table 1 — query verification time (seconds)")
+    print(format_table(records))
+
+    counts = run_inconclusiveness(
+        density=args.density, count=args.inconclusive_count, timeout=args.timeout
+    )
+    total = sum(counts.values())
+    rate = 100.0 * counts.get("inconclusive", 0) / max(1, total)
+    print()
+    print(
+        f"Inconclusive answers (dual engine): {counts.get('inconclusive', 0)} "
+        f"of {total} queries ({rate:.2f}%) — paper reports 8/6000 (0.13%)"
+    )
+    path = save_results(
+        "table1",
+        {
+            "records": [record.__dict__ for record in records],
+            "inconclusiveness": counts,
+        },
+    )
+    print(f"results written to {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

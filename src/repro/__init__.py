@@ -1,0 +1,84 @@
+"""AalWiNes reproduction: fast and quantitative what-if analysis for
+MPLS networks via weighted pushdown automata.
+
+Quickstart::
+
+    from repro import NetworkBuilder, dual_engine
+
+    builder = NetworkBuilder("tiny")
+    builder.link("e0", "A", "B")
+    builder.link("e1", "B", "C")
+    builder.rule("e0", "ip1", "e1")
+    network = builder.build()
+
+    result = dual_engine(network).verify("<ip> [.#B] . <ip> 0")
+    print(result.summary())
+
+Layers (bottom-up): :mod:`repro.model` (MPLS networks, §2),
+:mod:`repro.query` (query language + NFAs, §2.5), :mod:`repro.pda`
+(weighted pushdown automata, §4.1), :mod:`repro.verification` (the
+dual over/under-approximation engines, §4.2), :mod:`repro.io`
+(Appendix A formats), :mod:`repro.datasets` (evaluation workloads,
+§5), :mod:`repro.cli`.
+"""
+
+from repro.model import (
+    Header,
+    SharedRiskGroups,
+    Label,
+    MplsNetwork,
+    NetworkBuilder,
+    Quantity,
+    Topology,
+    Trace,
+    ip,
+    mpls,
+    smpls,
+)
+from repro.query import (
+    Query,
+    WeightVector,
+    parse_query,
+    parse_weight_vector,
+)
+from repro.verification import (
+    BatchVerifier,
+    ExplicitEngine,
+    SrlgEngine,
+    Status,
+    VerificationEngine,
+    VerificationResult,
+    dual_engine,
+    moped_engine,
+    weighted_engine,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BatchVerifier",
+    "ExplicitEngine",
+    "SharedRiskGroups",
+    "SrlgEngine",
+    "Header",
+    "Label",
+    "MplsNetwork",
+    "NetworkBuilder",
+    "Quantity",
+    "Query",
+    "Status",
+    "Topology",
+    "Trace",
+    "VerificationEngine",
+    "VerificationResult",
+    "WeightVector",
+    "__version__",
+    "dual_engine",
+    "ip",
+    "moped_engine",
+    "mpls",
+    "parse_query",
+    "parse_weight_vector",
+    "smpls",
+    "weighted_engine",
+]

@@ -1,0 +1,273 @@
+"""Command-line interface — the library's equivalent of the AalWiNes
+binary (and of every function of the web GUI described in §4).
+
+Typical usage::
+
+    # Verify a query on the built-in running example.
+    aalwines --builtin example --query "<ip> [.#v0] .* [v3#.] <ip> 0"
+
+    # Quantitative verification with a minimization vector (§3).
+    aalwines --builtin example \
+        --query "<smpls? ip> [.#v0] . . . .* [v3#.] <smpls? ip> 1" \
+        --weight "hops, failures + 3*tunnels"
+
+    # Verify against XML input files (Appendix A).
+    aalwines --topology topo.xml --routing route.xml \
+        --coordinates loc.json --query "..." --engine moped
+
+    # Convert an IS-IS extract to the vendor-agnostic format
+    # (Appendix A.1's --write-topology / --write-routing flow).
+    aalwines --isis mapping.txt --isis-dir extracts/ \
+        --write-topology topo.xml --write-routing route.xml
+
+Exit codes: 0 = query satisfied, 1 = not satisfied, 2 = inconclusive,
+3 = usage or input error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, Optional
+
+from repro.errors import ReproError, VerificationTimeout
+from repro.io.coords import read_coordinates
+from repro.io.isis import network_from_isis
+from repro.io.json_format import network_to_json, read_network_json, trace_to_json
+from repro.io.xml_format import read_network, routing_to_xml, topology_to_xml
+from repro.model.network import MplsNetwork
+from repro.verification.engine import VerificationEngine
+from repro.verification.results import Status, VerificationResult
+
+_BUILTINS = ("example", "nordunet", "abilene", "nsfnet", "geant")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The aalwines argument parser (exposed for doc generation)."""
+    parser = argparse.ArgumentParser(
+        prog="aalwines",
+        description="Fast quantitative what-if analysis for MPLS networks",
+    )
+    source = parser.add_argument_group("network input")
+    source.add_argument("--topology", help="topo.xml file (Appendix A)")
+    source.add_argument("--routing", help="route.xml file (Appendix A)")
+    source.add_argument("--network", help="single-file JSON network")
+    source.add_argument(
+        "--builtin",
+        choices=_BUILTINS,
+        help="use a built-in network (running example / substitutes)",
+    )
+    source.add_argument(
+        "--coordinates", help="router location JSON (Appendix A.2)"
+    )
+    source.add_argument("--isis", help="IS-IS mapping file (Appendix A.1)")
+    source.add_argument(
+        "--isis-dir", help="directory containing the per-router IS-IS extracts"
+    )
+
+    query = parser.add_argument_group("verification")
+    query.add_argument("--query", help="query <a> b <c> k (Definition 5)")
+    query.add_argument(
+        "--queries-file",
+        help="verify every query in a file (one per line, optional 'name:' prefix)",
+    )
+    query.add_argument(
+        "--engine",
+        choices=("dual", "moped", "poststar", "prestar"),
+        default="dual",
+        help="backend engine (default: dual — the AalWiNes engine)",
+    )
+    query.add_argument(
+        "--weight",
+        help='minimization vector, e.g. "hops, failures + 3*tunnels" (§3)',
+    )
+    query.add_argument(
+        "--no-reductions",
+        action="store_true",
+        help="disable the static PDA reductions (§4.2)",
+    )
+    query.add_argument(
+        "--timeout", type=float, default=None, help="time budget in seconds"
+    )
+    query.add_argument(
+        "--trace-json", action="store_true", help="print the witness trace as JSON"
+    )
+    query.add_argument("--stats", action="store_true", help="print engine statistics")
+
+    convert = parser.add_argument_group("conversion")
+    convert.add_argument(
+        "--write-topology", help="write the loaded network's topo.xml here"
+    )
+    convert.add_argument(
+        "--write-routing", help="write the loaded network's route.xml here"
+    )
+    convert.add_argument(
+        "--write-json", help="write the loaded network as single-file JSON here"
+    )
+    return parser
+
+
+def _load_builtin(name: str) -> MplsNetwork:
+    if name == "example":
+        from repro.datasets.example import build_example_network
+
+        return build_example_network()
+    if name == "nordunet":
+        from repro.datasets.nordunet import build_nordunet
+
+        return build_nordunet()[0]
+    from repro.datasets.synthesis import synthesize_network
+    from repro.datasets import zoo
+
+    graph = {"abilene": zoo.abilene, "nsfnet": zoo.nsfnet, "geant": zoo.geant}[name]()
+    return synthesize_network(graph)[0]
+
+
+def _load_network(args: argparse.Namespace) -> MplsNetwork:
+    sources = [
+        bool(args.builtin),
+        bool(args.network),
+        bool(args.topology or args.routing),
+        bool(args.isis),
+    ]
+    if sum(sources) != 1:
+        raise ReproError(
+            "specify exactly one network source: --builtin, --network, "
+            "--topology/--routing, or --isis"
+        )
+    if args.builtin:
+        return _load_builtin(args.builtin)
+    if args.network:
+        return read_network_json(args.network)
+    if args.isis:
+        directory = args.isis_dir or os.path.dirname(args.isis) or "."
+        with open(args.isis, "r", encoding="utf-8") as handle:
+            mapping_text = handle.read()
+        documents: Dict[str, str] = {}
+        for file_name in os.listdir(directory):
+            if file_name.endswith(".xml"):
+                with open(
+                    os.path.join(directory, file_name), "r", encoding="utf-8"
+                ) as handle:
+                    documents[file_name] = handle.read()
+        return network_from_isis(mapping_text, documents)
+    if not (args.topology and args.routing):
+        raise ReproError("--topology and --routing must be given together")
+    coordinates = read_coordinates(args.coordinates) if args.coordinates else None
+    return read_network(args.topology, args.routing, coordinates=coordinates)
+
+
+def _make_engine(network: MplsNetwork, args: argparse.Namespace) -> VerificationEngine:
+    if args.engine == "dual":
+        backend = "poststar"
+    elif args.engine in ("poststar", "prestar", "moped"):
+        backend = args.engine
+    return VerificationEngine(
+        network,
+        backend=backend,
+        use_reductions=not args.no_reductions,
+        weight=args.weight,
+    )
+
+
+def _print_result(result: VerificationResult, args: argparse.Namespace) -> None:
+    print(result.summary())
+    if result.trace is not None:
+        print("witness trace:")
+        print(result.trace.pretty())
+        if args.trace_json:
+            print(trace_to_json(result.trace), end="")
+    if args.stats:
+        stats = result.stats
+        print(f"compile(over):  {stats.compile_over_seconds:.3f}s "
+              f"({stats.over_rules} rules)")
+        if stats.used_under_approximation:
+            print(
+                f"compile(under): {stats.compile_under_seconds:.3f}s "
+                f"({stats.under_rules} rules)"
+            )
+        for phase, solver in (("over", stats.over_solver), ("under", stats.under_solver)):
+            if solver is None:
+                continue
+            print(
+                f"solve({phase}):    {solver.elapsed_seconds:.3f}s  "
+                f"method={solver.method}  rules={solver.rules_after}  "
+                f"iterations={solver.saturation_iterations}  "
+                f"early-exit={solver.early_terminated}"
+            )
+
+
+def _run_batch(network: MplsNetwork, args: argparse.Namespace) -> int:
+    """Verify a whole query file; exit 0 when everything was answered."""
+    from repro.verification.batch import BatchVerifier, parse_query_file
+
+    with open(args.queries_file, "r", encoding="utf-8") as handle:
+        queries = parse_query_file(handle.read())
+    engine = _make_engine(network, args)
+    verifier = BatchVerifier(engine, timeout_per_query=args.timeout)
+
+    def progress(_index: int, _total: int, item) -> None:
+        print(f"{item.name:<16} {item.outcome:<13} {item.seconds:8.3f}s  {item.query}")
+
+    _items, summary = verifier.run(queries, progress=progress)
+    print()
+    print(summary.format())
+    return 0 if summary.timeouts == 0 and summary.errors == 0 else 3
+
+
+def main(argv: Optional[list] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        network = _load_network(args)
+        wrote_something = False
+        if args.write_topology:
+            with open(args.write_topology, "w", encoding="utf-8") as handle:
+                handle.write(topology_to_xml(network.topology))
+            wrote_something = True
+        if args.write_routing:
+            with open(args.write_routing, "w", encoding="utf-8") as handle:
+                handle.write(routing_to_xml(network))
+            wrote_something = True
+        if args.write_json:
+            with open(args.write_json, "w", encoding="utf-8") as handle:
+                handle.write(network_to_json(network))
+            wrote_something = True
+        if args.queries_file:
+            return _run_batch(network, args)
+        if args.query is None:
+            if wrote_something:
+                return 0
+            print(
+                f"loaded {network!r}; give --query to verify "
+                "or --write-* to convert",
+                file=sys.stderr,
+            )
+            return 3
+        engine = _make_engine(network, args)
+        result = engine.verify(args.query, timeout_seconds=args.timeout)
+    except VerificationTimeout:
+        print("TIMEOUT", file=sys.stderr)
+        return 3
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 3
+    try:
+        _print_result(result, args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; exit quietly with the
+        # verdict code, like a well-behaved Unix tool.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+    if result.status is Status.SATISFIED:
+        return 0
+    if result.status is Status.UNSATISFIED:
+        return 1
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,58 @@
+"""Dataset generators: the running example, Topology-Zoo substitute,
+NORDUnet substitute, MPLS synthesis pipeline and query suites."""
+
+from repro.datasets.example import (
+    EXAMPLE_QUERIES,
+    build_example_network,
+    example_traces,
+)
+from repro.datasets.graphs import EdgeSpec, GraphSpec, NodeSpec, shortest_path
+from repro.datasets.nordunet import build_nordunet, nordunet_graph
+from repro.datasets.queries import (
+    GeneratedQuery,
+    generate_query_suite,
+    table1_queries,
+)
+from repro.datasets.synthesis import (
+    MplsSynthesizer,
+    SynthesisOptions,
+    SynthesisReport,
+    destination_ip,
+    entry_link_name,
+    exit_link_name,
+    synthesize_network,
+)
+from repro.datasets.zoo import (
+    abilene,
+    geant,
+    nsfnet,
+    synthetic_graph,
+    zoo_collection,
+)
+
+__all__ = [
+    "EXAMPLE_QUERIES",
+    "EdgeSpec",
+    "GeneratedQuery",
+    "GraphSpec",
+    "MplsSynthesizer",
+    "NodeSpec",
+    "SynthesisOptions",
+    "SynthesisReport",
+    "abilene",
+    "build_example_network",
+    "build_nordunet",
+    "destination_ip",
+    "entry_link_name",
+    "example_traces",
+    "exit_link_name",
+    "geant",
+    "generate_query_suite",
+    "nordunet_graph",
+    "nsfnet",
+    "shortest_path",
+    "synthesize_network",
+    "synthetic_graph",
+    "table1_queries",
+    "zoo_collection",
+]

@@ -1,0 +1,111 @@
+"""The running example of the paper (Figure 1).
+
+Five routers ``v0 … v4``, links ``e0 … e7``, and the routing table of
+Figure 1b, including the priority-2 fast-failover rule protecting link
+``e4`` at router ``v2``.
+
+The module also reconstructs the example traces σ0–σ3 of Figure 1c and
+the query texts φ0–φ4 of Figure 1d, which the integration tests verify
+end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.model.builder import NetworkBuilder
+from repro.model.header import Header
+from repro.model.network import MplsNetwork
+from repro.model.trace import Trace, TraceStep
+
+
+def build_example_network() -> MplsNetwork:
+    """The network of Figure 1 (topology 1a + routing table 1b)."""
+    builder = NetworkBuilder("running-example")
+    for name in ("vIn", "v0", "v1", "v2", "v3", "v4", "vOut"):
+        builder.router(name)
+    # Figure 1a: e0 enters v0 from outside; e7 leaves v3 to the outside.
+    builder.link("e0", "vIn", "v0")
+    builder.link("e1", "v0", "v2")
+    builder.link("e2", "v0", "v1")
+    builder.link("e3", "v1", "v3")
+    builder.link("e4", "v2", "v3")
+    builder.link("e5", "v2", "v4")
+    builder.link("e6", "v4", "v3")
+    builder.link("e7", "v3", "vOut")
+
+    # Figure 1b, row by row.
+    builder.rule("e0", "ip1", "e1", "push(s20)")
+    builder.rule("e0", "ip1", "e2", "push(s10)")
+    builder.rule("e0", "s40", "e1", "swap(s41)")
+    builder.rule("e2", "s10", "e3", "swap(s11)")
+    builder.rule("e1", "s20", "e4", "swap(s21)")
+    builder.rule("e1", "s41", "e5", "swap(s42)")
+    builder.rule("e1", "s20", "e5", "swap(s21) ∘ push(30)", priority=2)
+    builder.rule("e3", "s11", "e7", "pop")
+    builder.rule("e4", "s21", "e7", "pop")
+    builder.rule("e6", "s43", "e7", "swap(s44)")
+    builder.rule("e6", "s21", "e7", "pop")
+    builder.rule("e5", "30", "e6", "pop")
+    builder.rule("e5", "s42", "e6", "swap(s43)")
+    return builder.build()
+
+
+def example_traces(network: MplsNetwork) -> Dict[str, Trace]:
+    """The four traces σ0–σ3 of Figure 1c."""
+    topo = network.topology
+    labels = network.labels
+
+    def header(*texts: str) -> Header:
+        return Header(labels.require(text) for text in texts)
+
+    def step(link_name: str, *header_texts: str) -> TraceStep:
+        return TraceStep(topo.link(link_name), header(*header_texts))
+
+    sigma0 = Trace(
+        [
+            step("e0", "ip1"),
+            step("e1", "s20", "ip1"),
+            step("e4", "s21", "ip1"),
+            step("e7", "ip1"),
+        ]
+    )
+    sigma1 = Trace(
+        [
+            step("e0", "ip1"),
+            step("e2", "s10", "ip1"),
+            step("e3", "s11", "ip1"),
+            step("e7", "ip1"),
+        ]
+    )
+    sigma2 = Trace(
+        [
+            step("e0", "ip1"),
+            step("e1", "s20", "ip1"),
+            step("e5", "30", "s21", "ip1"),
+            step("e6", "s21", "ip1"),
+            step("e7", "ip1"),
+        ]
+    )
+    sigma3 = Trace(
+        [
+            step("e0", "s40", "ip1"),
+            step("e1", "s41", "ip1"),
+            step("e5", "s42", "ip1"),
+            step("e6", "s43", "ip1"),
+            step("e7", "s44", "ip1"),
+        ]
+    )
+    return {"sigma0": sigma0, "sigma1": sigma1, "sigma2": sigma2, "sigma3": sigma3}
+
+
+#: The query texts φ0–φ4 of Figure 1d, in this library's concrete syntax.
+EXAMPLE_QUERIES: Tuple[Tuple[str, str], ...] = (
+    ("phi0", "<ip> [.#v0] .* [v3#.] <ip> 0"),
+    ("phi1", "<ip> [.#v0] [^v2#v3]* [v3#.] <ip> 2"),
+    ("phi2", "<s40 ip> [.#v0] .* [v3#.] <smpls ip> 0"),
+    ("phi3", "<s40 ip> [.#v0] .* [v3#.] <mpls+ smpls ip> 1"),
+    # φ4 requires three or more hops *between* the incoming and outgoing
+    # links, hence the three inner wildcard links before the Kleene star.
+    ("phi4", "<smpls? ip> [.#v0] . . . .* [v3#.] <smpls? ip> 1"),
+)

@@ -1,0 +1,146 @@
+"""Lightweight topology specifications and graph algorithms.
+
+A :class:`GraphSpec` is the neutral interchange form between the
+topology sources (embedded real-world graphs, synthetic generators) and
+the MPLS synthesis pipeline: named nodes with coordinates plus weighted
+undirected edges (each becoming a duplex link pair).
+
+The module also provides the Dijkstra shortest-path routine the
+synthesis pipeline uses (kept dependency-free; the rest of the library
+never needs a graph package).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import ModelError
+from repro.model.topology import Link, Topology
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One router-to-be: name plus optional coordinates."""
+
+    name: str
+    latitude: Optional[float] = None
+    longitude: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class EdgeSpec:
+    """One undirected edge (becomes two directed links)."""
+
+    source: str
+    target: str
+    weight: int = 1
+
+
+@dataclass
+class GraphSpec:
+    """A named undirected graph with node coordinates."""
+
+    name: str
+    nodes: Tuple[NodeSpec, ...]
+    edges: Tuple[EdgeSpec, ...]
+
+    def __post_init__(self) -> None:
+        names = [node.name for node in self.nodes]
+        if len(set(names)) != len(names):
+            raise ModelError(f"duplicate node names in graph {self.name!r}")
+        known = set(names)
+        for edge in self.edges:
+            if edge.source not in known or edge.target not in known:
+                raise ModelError(
+                    f"edge {edge.source}-{edge.target} references unknown node"
+                )
+            if edge.source == edge.target:
+                raise ModelError(f"self-loop on {edge.source} not supported")
+
+    @property
+    def node_count(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def edge_count(self) -> int:
+        return len(self.edges)
+
+    def degrees(self) -> Dict[str, int]:
+        """Node-degree map of the undirected graph."""
+        degree = {node.name: 0 for node in self.nodes}
+        for edge in self.edges:
+            degree[edge.source] += 1
+            degree[edge.target] += 1
+        return degree
+
+    def neighbors(self) -> Dict[str, List[Tuple[str, int]]]:
+        """Adjacency map: node -> [(neighbor, weight)]."""
+        adjacency: Dict[str, List[Tuple[str, int]]] = {
+            node.name: [] for node in self.nodes
+        }
+        for edge in self.edges:
+            adjacency[edge.source].append((edge.target, edge.weight))
+            adjacency[edge.target].append((edge.source, edge.weight))
+        return adjacency
+
+    def is_connected(self) -> bool:
+        """True when every node is reachable from every other."""
+        if not self.nodes:
+            return True
+        adjacency = self.neighbors()
+        seen = {self.nodes[0].name}
+        frontier = [self.nodes[0].name]
+        while frontier:
+            node = frontier.pop()
+            for neighbor, _weight in adjacency[node]:
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    frontier.append(neighbor)
+        return len(seen) == len(self.nodes)
+
+
+def shortest_path(
+    topology: Topology,
+    source: str,
+    target: str,
+    forbidden: FrozenSet[str] = frozenset(),
+) -> Optional[List[Link]]:
+    """Dijkstra over directed links; returns the link sequence or None.
+
+    ``forbidden`` is a set of link *names* that must not be used (the
+    failover synthesis excludes both directions of a protected link).
+    """
+    if source == target:
+        return []
+    best: Dict[str, int] = {source: 0}
+    back: Dict[str, Link] = {}
+    heap: List[Tuple[int, int, str]] = [(0, 0, source)]
+    counter = 0
+    done: Set[str] = set()
+    while heap:
+        cost, _, router = heapq.heappop(heap)
+        if router in done:
+            continue
+        done.add(router)
+        if router == target:
+            path: List[Link] = []
+            current = target
+            while current != source:
+                link = back[current]
+                path.append(link)
+                current = link.source.name
+            path.reverse()
+            return path
+        for link in topology.out_links(router):
+            if link.name in forbidden or link.is_self_loop:
+                continue
+            neighbor = link.target.name
+            candidate = cost + max(1, link.weight)
+            if neighbor not in best or candidate < best[neighbor]:
+                best[neighbor] = candidate
+                back[neighbor] = link
+                counter += 1
+                heapq.heappush(heap, (candidate, counter, neighbor))
+    return None

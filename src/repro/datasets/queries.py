@@ -1,0 +1,340 @@
+"""Query-suite generation for the benchmark sweeps.
+
+Generates the kinds of queries the paper evaluates (Table 1 and the
+Figure 4 sweep): reachability of IP traffic, ``smpls``-header
+reachability, service-label waypointing, transparency (label-leak)
+checks and the unconstrained-path query, each at several failure
+bounds. Sampling is deterministic in the seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.model.network import MplsNetwork
+
+
+@dataclass(frozen=True)
+class GeneratedQuery:
+    """One benchmark query plus its provenance."""
+
+    name: str
+    text: str
+    kind: str
+    max_failures: int
+
+
+def _core_routers(network: MplsNetwork) -> List[str]:
+    return [
+        router.name
+        for router in network.topology.routers
+        if not router.name.startswith("ext_")
+    ]
+
+
+def _edge_routers(network: MplsNetwork) -> List[str]:
+    """Routers with an external stub attached by the synthesis pipeline."""
+    return [
+        router.name[len("ext_") :]
+        for router in network.topology.routers
+        if router.name.startswith("ext_")
+    ]
+
+
+def _service_labels(network: MplsNetwork) -> List[str]:
+    """Externally used service labels (entry-link smpls labels)."""
+    labels = []
+    for label in network.labels.bottom_mpls_labels:
+        name = label.name
+        if name.startswith("svc") and "h" not in name:
+            labels.append(str(label))
+    return sorted(labels)
+
+
+def service_tunnel_route(network: MplsNetwork, service_label: str):
+    """Follow a service tunnel through the network, returning its links.
+
+    Starts at the external entry link carrying ``service_label`` and
+    greedily follows the primary (no-failure) forwarding alternatives
+    until the packet leaves on a stub link. Returns the link sequence,
+    or None when the label has no entry rule.
+    """
+    from repro.model.header import Header
+
+    label = network.labels.get(service_label)
+    if label is None:
+        return None
+    ip_labels = sorted(network.labels.ip_labels, key=str)
+    if not ip_labels:
+        return None
+    entry = None
+    for link, matched, _groups in network.routing.items():
+        if matched == label and link.source.name.startswith("ext_"):
+            entry = link
+            break
+    if entry is None:
+        return None
+    header = Header([label, ip_labels[0]])
+    route = [entry]
+    current = entry
+    for _hop in range(4 * len(network.topology.links)):
+        alternatives = network.forwarding_alternatives(current, header, frozenset())
+        if not alternatives:
+            return route
+        entry_rule, header = alternatives[0]
+        current = entry_rule.out_link
+        route.append(current)
+        if current.target.name.startswith("ext_"):
+            return route
+    return route
+
+
+def lsp_pairs(network: MplsNetwork) -> List[Tuple[str, str]]:
+    """The (ingress, egress) pairs for which the synthesis built an LSP.
+
+    Recovered from the dataplane itself: an entry-link rule matching the
+    destination IP label ``ip_<egress>`` marks an LSP from that stub's
+    router.
+    """
+    pairs = []
+    for link, label, _groups in network.routing.items():
+        if not link.source.name.startswith("ext_"):
+            continue
+        if label.is_ip and label.name.startswith("ip_"):
+            pairs.append((link.target.name, label.name[len("ip_") :]))
+    pairs.sort()
+    return pairs
+
+
+def lsp_route(network: MplsNetwork, ingress: str, egress: str):
+    """Follow the primary LSP from ingress to egress; the link sequence.
+
+    Returns None when no such LSP exists. The first link is the external
+    entry link, the last the external exit link.
+    """
+    from repro.model.header import Header
+
+    destination = network.labels.get(f"ip_{egress}")
+    if destination is None:
+        return None
+    entry_name = f"ext_{ingress}_in"
+    if not network.topology.has_link(entry_name):
+        return None
+    entry = network.topology.link(entry_name)
+    if not network.routing.has_rule(entry, destination):
+        return None
+    header = Header([destination])
+    route = [entry]
+    current = entry
+    for _hop in range(4 * len(network.topology.links)):
+        alternatives = network.forwarding_alternatives(current, header, frozenset())
+        if not alternatives:
+            return route
+        entry_rule, header = alternatives[0]
+        current = entry_rule.out_link
+        route.append(current)
+        if current.target.name.startswith("ext_"):
+            return route
+    return route
+
+
+def generate_query_suite(
+    network: MplsNetwork,
+    count: int = 20,
+    seed: int = 0,
+    failure_bounds: Sequence[int] = (0, 1, 2),
+    include_unconstrained: bool = True,
+) -> List[GeneratedQuery]:
+    """A deterministic mixed suite of ``count`` queries for one network.
+
+    The mix cycles through the paper's query shapes. Like the operator's
+    queries, most shapes are aimed along routes the dataplane actually
+    provides (sampled from the synthesized LSP mesh), so the suite mixes
+    satisfiable instances, genuinely unsatisfiable ones (transparency)
+    and near-miss pairs.
+    """
+    rng = random.Random(seed)
+    routers = _core_routers(network)
+    edges = _edge_routers(network) or routers
+    services = _service_labels(network)
+    pairs = lsp_pairs(network)
+    queries: List[GeneratedQuery] = []
+
+    def pick_lsp_pair() -> Tuple[str, str]:
+        if pairs:
+            return rng.choice(pairs)
+        first = rng.choice(edges)
+        second = rng.choice([router for router in edges if router != first] or edges)
+        return first, second
+
+    def labelled_segment() -> Tuple[str, str]:
+        """Two routers between which some LSP still carries its label.
+
+        The label is pushed after the ingress and popped at the
+        penultimate hop, so it is visible on arrivals at the routers of
+        links 1 .. m-1 of an (m+2)-link route.
+        """
+        for _attempt in range(8):
+            source, target = pick_lsp_pair()
+            route = lsp_route(network, source, target)
+            if route is None or len(route) < 4:
+                continue
+            labelled = route[1:-2]  # links whose arrival still carries it
+            if not labelled:
+                continue
+            first = labelled[0].target.name
+            last = labelled[-1].target.name
+            return first, last
+        return pick_lsp_pair()
+
+    shapes = ["ip", "smpls", "group", "waypoint", "transparency"]
+    index = 0
+    while len(queries) < count:
+        shape = shapes[index % len(shapes)]
+        k = failure_bounds[index % len(failure_bounds)]
+        index += 1
+        if shape == "ip":
+            source, target = pick_lsp_pair()
+            text = f"<ip> [.#{source}] .* [.#{target}] <ip> {k}"
+        elif shape == "smpls":
+            source, target = labelled_segment()
+            text = f"<smpls ip> [.#{source}] .* [.#{target}] <smpls ip> {k}"
+        elif shape == "group":
+            source, target = labelled_segment()
+            text = (
+                f"<smpls ip> [.#{source}] .* [.#{target}] "
+                f"<(mpls* smpls)? ip> {k}"
+            )
+        elif shape == "waypoint":
+            header = "<ip>"
+            source = middle = target = None
+            if services:
+                # Aim along an actual service-tunnel route, like the
+                # operator's Table 1 waypoint queries.
+                service = rng.choice(services)
+                route = service_tunnel_route(network, service)
+                if route is not None and len(route) >= 3:
+                    core = [
+                        link.target.name
+                        for link in route
+                        if not link.target.name.startswith("ext_")
+                    ]
+                    if len(core) >= 3:
+                        header = f"<[{service}] ip>"
+                        source = core[0]
+                        middle = core[len(core) // 2]
+                        target = core[-1]
+            if source is None:
+                source, target = pick_lsp_pair()
+                route = lsp_route(network, source, target)
+                if route is not None and len(route) >= 3:
+                    middle = route[len(route) // 2].target.name
+                else:
+                    middle = rng.choice(
+                        [
+                            router
+                            for router in routers
+                            if router not in (source, target)
+                        ]
+                        or routers
+                    )
+            text = (
+                f"{header} [.#{source}] .* [.#{middle}] .* [.#{target}] <smpls? ip> {k}"
+            )
+        else:  # transparency: does an internal label leak at the egress?
+            source, target = pick_lsp_pair()
+            text = (
+                f"<smpls? ip> [.#{source}] .* [{target}#.] <mpls+ smpls ip> {k}"
+            )
+        queries.append(
+            GeneratedQuery(
+                name=f"q{len(queries):03d}_{shape}_k{k}",
+                text=text,
+                kind=shape,
+                max_failures=k,
+            )
+        )
+    if include_unconstrained and queries:
+        # The paper's hardest query: completely unconstrained path.
+        k = failure_bounds[0]
+        queries[-1] = GeneratedQuery(
+            name=f"q{len(queries) - 1:03d}_unconstrained_k{k}",
+            text=f"<smpls? ip> .* <. smpls ip> {k}",
+            kind="unconstrained",
+            max_failures=k,
+        )
+    return queries
+
+
+def table1_queries(network: MplsNetwork, seed: int = 3) -> List[GeneratedQuery]:
+    """The six Table-1-style operator queries for the NORDUnet substitute.
+
+    Mirrors the paper's table row-for-row: two smpls reachability
+    queries at k=1, one plain IP reachability at k=0, a service-label
+    waypoint query at k=0 and k=1, and the unconstrained-path query.
+    """
+    rng = random.Random(seed)
+    edges = _edge_routers(network) or _core_routers(network)
+    routers = _core_routers(network)
+    services = _service_labels(network)
+
+    r6, r4 = rng.sample(edges, 2)
+    r2, r18 = rng.sample(edges, 2)
+    r0, r1 = rng.sample(edges, 2)
+    r5 = rng.choice([router for router in routers if router not in (r0, r1)])
+    service = services[0] if services else None
+    service_header = f"<[{service}] ip>" if service else "<ip>"
+    if service is not None:
+        # Aim the waypoint query along the actual service-tunnel route,
+        # like the operator's Table 1 queries do.
+        route = service_tunnel_route(network, service)
+        if route is not None and len(route) >= 3:
+            core = [
+                link.target.name
+                for link in route
+                if not link.target.name.startswith("ext_")
+            ]
+            if len(core) >= 3:
+                r0, r5, r1 = core[0], core[len(core) // 2], core[-1]
+
+    queries = [
+        GeneratedQuery(
+            "t1_smpls_reach",
+            f"<smpls ip> [.#{r6}] .* [.#{r4}] <smpls ip> 1",
+            "smpls",
+            1,
+        ),
+        GeneratedQuery(
+            "t2_group_reach",
+            f"<smpls ip> [.#{r2}] .* [.#{r18}] <(mpls* smpls)? ip> 1",
+            "group",
+            1,
+        ),
+        GeneratedQuery(
+            "t3_ip_reach",
+            f"<ip> [.#{r0}] .* [.#{r4}] <ip> 0",
+            "ip",
+            0,
+        ),
+        GeneratedQuery(
+            "t4_service_waypoint_k0",
+            f"{service_header} [.#{r0}] .* [.#{r5}] .* [.#{r1}] <smpls? ip> 0",
+            "waypoint",
+            0,
+        ),
+        GeneratedQuery(
+            "t5_service_waypoint_k1",
+            f"{service_header} [.#{r0}] .* [.#{r5}] .* [.#{r1}] <smpls? ip> 1",
+            "waypoint",
+            1,
+        ),
+        GeneratedQuery(
+            "t6_unconstrained",
+            "<smpls? ip> .* <. smpls ip> 0",
+            "unconstrained",
+            0,
+        ),
+    ]
+    return queries

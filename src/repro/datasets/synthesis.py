@@ -1,0 +1,479 @@
+"""MPLS synthesis: from a plain topology to a fully configured network.
+
+Reproduces the workload-construction recipe of the paper's evaluation
+(§5): given a Topology-Zoo-style graph, "create … label switching paths
+between any two edge routers and … local fast failover protection by
+introducing tunnels based on shortest paths".
+
+Concretely, the pipeline:
+
+1. turns every undirected edge into a duplex pair of directed links;
+2. designates the lowest-degree routers as *edge routers* and attaches
+   an external stub to each (traffic enters/leaves on stub links, as in
+   the running example's ``e0``/``e7``);
+3. builds one label-switched path (LSP) per ordered edge-router pair
+   along the shortest path: the ingress pushes a bottom-of-stack LSP
+   label onto the IP packet, transit routers swap per-hop labels, and —
+   as in production MPLS deployments — the *penultimate* router pops
+   (PHP), so the egress receives plain IP;
+4. optionally adds *service tunnels* — externally visible ``smpls``
+   labels swapped at the ingress and egress (the ``s40 … s44`` pattern
+   of Figure 1) and carried across the core inside a pushed *transport*
+   tunnel, giving the two-deep label stacks characteristic of the
+   NORDUnet snapshot;
+5. adds RSVP-TE-style *facility backup*: for every directed link used
+   by any rule, a bypass tunnel along the shortest path avoiding the
+   protected link (both directions); every rule crossing the link gains
+   a priority-2 variant that additionally pushes the bypass label, the
+   penultimate bypass router pops it, and the merge router learns
+   continuation rules — exactly the ``push(30)/pop`` pattern protecting
+   ``e4`` in Figure 1.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import ModelError
+from repro.model.builder import NetworkBuilder
+from repro.model.labels import Label, ip, mpls, smpls
+from repro.model.network import MplsNetwork
+from repro.model.operations import Operation, Pop, Push, Swap
+from repro.model.topology import Link
+from repro.datasets.graphs import GraphSpec, shortest_path
+
+
+@dataclass
+class SynthesisOptions:
+    """Tuning knobs for the synthesis pipeline.
+
+    ``edge_fraction`` selects the share of lowest-degree routers acting
+    as edge routers; ``max_lsp_pairs`` caps the LSP mesh (pairs are
+    sampled deterministically from ``seed``); ``service_tunnels`` adds
+    that many externally visible label-switched service paths;
+    ``protect`` toggles the fast-failover synthesis.
+    """
+
+    edge_fraction: float = 0.35
+    min_edge_routers: int = 2
+    max_lsp_pairs: Optional[int] = None
+    service_tunnels: int = 0
+    protect: bool = True
+    seed: int = 1
+
+
+@dataclass(frozen=True)
+class _RuleDraft:
+    """A forwarding rule before it is committed to the builder.
+
+    ``below_kind`` hints at the label kind directly below the matched
+    label ("ip" / "smpls" / "mpls"); the failover synthesis needs it to
+    pick a validity-preserving bypass-label kind for pop rules.
+    """
+
+    in_link: str
+    label: Label
+    out_link: str
+    operations: Tuple[Operation, ...]
+    priority: int = 1
+    below_kind: Optional[str] = None
+
+
+@dataclass
+class SynthesisReport:
+    """What the synthesis produced (used by benchmarks and docs)."""
+
+    edge_routers: Tuple[str, ...]
+    lsp_count: int
+    service_tunnel_count: int
+    protected_links: int
+    rule_count: int
+
+
+def entry_link_name(router: str) -> str:
+    """Name of the external entry link of an edge router's stub."""
+    return f"ext_{router}_in"
+
+
+def exit_link_name(router: str) -> str:
+    """Name of the external exit link of an edge router's stub."""
+    return f"ext_{router}_out"
+
+
+def destination_ip(router: str) -> Label:
+    """The IP label addressing an edge router."""
+    return ip(f"ip_{router}")
+
+
+class MplsSynthesizer:
+    """Runs the synthesis pipeline for one graph."""
+
+    def __init__(self, graph: GraphSpec, options: Optional[SynthesisOptions] = None):
+        self.graph = graph
+        self.options = options if options is not None else SynthesisOptions()
+        self.rng = random.Random(self.options.seed)
+        self.builder = NetworkBuilder(graph.name)
+        self.drafts: List[_RuleDraft] = []
+        self.edge_routers: List[str] = []
+        self._lsp_counter = 0
+        self._service_counter = 0
+        self._bypass_counter = 0
+
+    # ------------------------------------------------------------------
+    def synthesize(self) -> Tuple[MplsNetwork, SynthesisReport]:
+        """Run all pipeline stages and return the network plus a report."""
+        self._build_topology()
+        self._select_edge_routers()
+        self._attach_stubs()
+        lsp_count = self._build_lsp_mesh()
+        service_count = self._build_service_tunnels()
+        protected = self._protect_links() if self.options.protect else 0
+        network = self._commit()
+        report = SynthesisReport(
+            edge_routers=tuple(self.edge_routers),
+            lsp_count=lsp_count,
+            service_tunnel_count=service_count,
+            protected_links=protected,
+            rule_count=network.rule_count(),
+        )
+        return network, report
+
+    # ------------------------------------------------------------------
+    def _build_topology(self) -> None:
+        if not self.graph.is_connected():
+            raise ModelError(f"graph {self.graph.name!r} is not connected")
+        for node in self.graph.nodes:
+            self.builder.router(node.name, node.latitude, node.longitude)
+        for edge in self.graph.edges:
+            self.builder.duplex_link(edge.source, edge.target, weight=edge.weight)
+
+    def _select_edge_routers(self) -> None:
+        degrees = self.graph.degrees()
+        ordered = sorted(degrees, key=lambda name: (degrees[name], name))
+        count = max(
+            self.options.min_edge_routers,
+            int(round(len(ordered) * self.options.edge_fraction)),
+        )
+        self.edge_routers = ordered[: min(count, len(ordered))]
+
+    def _attach_stubs(self) -> None:
+        for router in self.edge_routers:
+            stub = f"ext_{router}"
+            self.builder.router(stub)
+            self.builder.link(entry_link_name(router), stub, router)
+            self.builder.link(exit_link_name(router), router, stub)
+
+    # ------------------------------------------------------------------
+    def _lsp_pairs(self) -> List[Tuple[str, str]]:
+        pairs = [
+            (a, b)
+            for a in self.edge_routers
+            for b in self.edge_routers
+            if a != b
+        ]
+        limit = self.options.max_lsp_pairs
+        if limit is not None and len(pairs) > limit:
+            pairs = self.rng.sample(pairs, limit)
+            pairs.sort()
+        return pairs
+
+    def _build_lsp_mesh(self) -> int:
+        """One LSP per ordered edge-router pair: push / swap-chain, with
+        penultimate-hop popping (the egress receives plain IP)."""
+        topology = self.builder.topology
+        count = 0
+        for ingress, egress in self._lsp_pairs():
+            path = shortest_path(topology, ingress, egress)
+            if not path:
+                continue
+            lsp_id = self._lsp_counter
+            self._lsp_counter += 1
+            destination = destination_ip(egress)
+            hops = len(path)
+            if hops == 1:
+                # Direct neighbour: plain IP forwarding, no label needed.
+                self.drafts.append(
+                    _RuleDraft(
+                        entry_link_name(ingress), destination, path[0].name, ()
+                    )
+                )
+            else:
+                # Labels carried on links 0 .. hops-2; PHP pops before the
+                # last link.
+                labels = [smpls(f"l{lsp_id}h{hop}") for hop in range(hops - 1)]
+                self.drafts.append(
+                    _RuleDraft(
+                        entry_link_name(ingress),
+                        destination,
+                        path[0].name,
+                        (Push(labels[0]),),
+                    )
+                )
+                for hop in range(1, hops - 1):
+                    self.drafts.append(
+                        _RuleDraft(
+                            path[hop - 1].name,
+                            labels[hop - 1],
+                            path[hop].name,
+                            (Swap(labels[hop]),),
+                        )
+                    )
+                self.drafts.append(
+                    _RuleDraft(
+                        path[-2].name,
+                        labels[-1],
+                        path[-1].name,
+                        (Pop(),),
+                        below_kind="ip",
+                    )
+                )
+            # Egress delivery of plain IP to the external neighbour.
+            self.drafts.append(
+                _RuleDraft(path[-1].name, destination, exit_link_name(egress), ())
+            )
+            count += 1
+        return count
+
+    def _build_service_tunnels(self) -> int:
+        """Service labels (the s40…s44 pattern of Figure 1) carried across
+        the core inside a pushed transport tunnel.
+
+        The ingress swaps the external service label and pushes the first
+        transport label on top; transit routers swap the transport label;
+        the penultimate router pops it (PHP); the egress swaps the service
+        label once more and hands the packet to the neighbour operator —
+        so the service label never leaks internals, while two-deep label
+        stacks occur on every core link.
+        """
+        topology = self.builder.topology
+        wanted = self.options.service_tunnels
+        if wanted <= 0 or len(self.edge_routers) < 2:
+            return 0
+        pairs = self._lsp_pairs()
+        if not pairs:
+            return 0
+        count = 0
+        for index in range(wanted):
+            ingress, egress = pairs[index % len(pairs)]
+            path = shortest_path(topology, ingress, egress)
+            if not path:
+                continue
+            service_id = self._service_counter
+            self._service_counter += 1
+            entry_label = smpls(f"svc{service_id}")
+            inner = smpls(f"svc{service_id}i")
+            out_label = smpls(f"svc{service_id}o")
+            hops = len(path)
+            if hops == 1:
+                self.drafts.append(
+                    _RuleDraft(
+                        entry_link_name(ingress),
+                        entry_label,
+                        path[0].name,
+                        (Swap(inner),),
+                    )
+                )
+            else:
+                transport = [mpls(f"t{service_id}h{hop}") for hop in range(hops - 1)]
+                self.drafts.append(
+                    _RuleDraft(
+                        entry_link_name(ingress),
+                        entry_label,
+                        path[0].name,
+                        (Swap(inner), Push(transport[0])),
+                    )
+                )
+                for hop in range(1, hops - 1):
+                    self.drafts.append(
+                        _RuleDraft(
+                            path[hop - 1].name,
+                            transport[hop - 1],
+                            path[hop].name,
+                            (Swap(transport[hop]),),
+                        )
+                    )
+                self.drafts.append(
+                    _RuleDraft(
+                        path[-2].name,
+                        transport[-1],
+                        path[-1].name,
+                        (Pop(),),
+                        below_kind="smpls",
+                    )
+                )
+            # Egress hand-over: the service label stays on the packet.
+            self.drafts.append(
+                _RuleDraft(
+                    path[-1].name,
+                    inner,
+                    exit_link_name(egress),
+                    (Swap(out_label),),
+                )
+            )
+            count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _after_ops_kind(draft: _RuleDraft) -> Optional[str]:
+        """Kind of the top-of-stack label after the draft's operations.
+
+        Returns "ip" / "smpls" / "mpls", or None when a pop uncovers
+        content the draft carries no hint for.
+        """
+        kind_map = {"ip": "ip", "smpls": "smpls", "mpls": "mpls"}
+        if draft.label.is_ip:
+            kind: Optional[str] = "ip"
+        elif draft.label.is_bottom_mpls:
+            kind = "smpls"
+        else:
+            kind = "mpls"
+        for op in draft.operations:
+            if isinstance(op, Swap) or isinstance(op, Push):
+                if op.label.is_ip:
+                    kind = "ip"
+                elif op.label.is_bottom_mpls:
+                    kind = "smpls"
+                else:
+                    kind = "mpls"
+            else:  # Pop
+                kind = kind_map.get(draft.below_kind or "", None)
+        return kind
+
+    def _protect_links(self) -> int:
+        """Facility-backup fast failover for every link crossed by a rule.
+
+        The bypass label pushed on top must keep the header valid, so its
+        kind depends on what the protected step leaves on top: plain MPLS
+        over MPLS content, a bottom-of-stack label over bare IP. Each
+        protected link therefore allocates (lazily) one bypass label
+        chain per needed kind.
+        """
+        topology = self.builder.topology
+        crossing: Dict[str, List[_RuleDraft]] = {}
+        for draft in self.drafts:
+            link = topology.link(draft.out_link)
+            if link.target.name.startswith("ext_") or link.source.name.startswith(
+                "ext_"
+            ):
+                continue  # stub links are not protected
+            crossing.setdefault(draft.out_link, []).append(draft)
+
+        merge_clones: List[_RuleDraft] = []
+        backups: List[_RuleDraft] = []
+        protected = 0
+        for link_name, drafts in sorted(crossing.items()):
+            protected_link = topology.link(link_name)
+            reverse = topology.reverse_link(protected_link)
+            forbidden = {link_name}
+            if reverse is not None:
+                forbidden.add(reverse.name)
+            bypass = shortest_path(
+                topology,
+                protected_link.source.name,
+                protected_link.target.name,
+                frozenset(forbidden),
+            )
+            if not bypass:
+                continue
+            protected += 1
+            bypass_id = self._bypass_counter
+            self._bypass_counter += 1
+            tunnel_hops = len(bypass) - 1  # labelled hops (0 for parallel link)
+
+            def bypass_labels(variant: str) -> List[Label]:
+                if variant == "mpls":
+                    return [mpls(f"b{bypass_id}h{hop}") for hop in range(tunnel_hops)]
+                return [smpls(f"bb{bypass_id}h{hop}") for hop in range(tunnel_hops)]
+
+            used_variants: Set[str] = set()
+            for draft in drafts:
+                after = self._after_ops_kind(draft)
+                if after is None:
+                    continue  # cannot determine a valid bypass label kind
+                variant = "smpls" if after == "ip" else "mpls"
+                operations = draft.operations
+                if tunnel_hops > 0:
+                    operations = operations + (Push(bypass_labels(variant)[0]),)
+                    used_variants.add(variant)
+                backups.append(
+                    _RuleDraft(
+                        draft.in_link,
+                        draft.label,
+                        bypass[0].name,
+                        operations,
+                        priority=draft.priority + 1,
+                    )
+                )
+            # Bypass transit chains: swap per hop, pop at the penultimate
+            # router (the merge link carries the uncovered original label).
+            for variant in sorted(used_variants):
+                labels = bypass_labels(variant)
+                below = "ip" if variant == "smpls" else None
+                for hop in range(1, len(bypass)):
+                    if hop < len(bypass) - 1:
+                        operations: Tuple[Operation, ...] = (Swap(labels[hop]),)
+                        hint = None
+                    else:
+                        operations = (Pop(),)
+                        hint = below
+                    backups.append(
+                        _RuleDraft(
+                            bypass[hop - 1].name,
+                            labels[hop - 1],
+                            bypass[hop].name,
+                            operations,
+                            below_kind=hint,
+                        )
+                    )
+            # Merge-point continuation: rules keyed on the protected link
+            # must also accept arrivals via the bypass's final link.
+            merge_link = bypass[-1].name
+            if merge_link != link_name:
+                for draft in self.drafts:
+                    if draft.in_link == link_name:
+                        merge_clones.append(
+                            _RuleDraft(
+                                merge_link,
+                                draft.label,
+                                draft.out_link,
+                                draft.operations,
+                                draft.priority,
+                                draft.below_kind,
+                            )
+                        )
+        self.drafts.extend(backups)
+        self.drafts.extend(merge_clones)
+        return protected
+
+    # ------------------------------------------------------------------
+    def _commit(self) -> MplsNetwork:
+        seen: Set[Tuple] = set()
+        for draft in self.drafts:
+            key = (
+                draft.in_link,
+                str(draft.label),
+                draft.out_link,
+                tuple(str(op) for op in draft.operations),
+                draft.priority,
+            )
+            if key in seen:
+                continue
+            seen.add(key)
+            self.builder.rule(
+                draft.in_link,
+                draft.label,
+                draft.out_link,
+                draft.operations,
+                draft.priority,
+            )
+        return self.builder.build()
+
+
+def synthesize_network(
+    graph: GraphSpec, options: Optional[SynthesisOptions] = None
+) -> Tuple[MplsNetwork, SynthesisReport]:
+    """Convenience wrapper: run the full synthesis pipeline on a graph."""
+    return MplsSynthesizer(graph, options).synthesize()

@@ -1,0 +1,265 @@
+"""Internet-Topology-Zoo substitute: embedded and synthetic topologies.
+
+The paper's Figure 4 sweep runs over "several variants of networks from
+Internet Topology Zoo … (having on average 84 routers and 240 routers
+at the largest instance)". The Zoo files themselves are only used as
+*graphs*; the MPLS layer is synthesized (see
+:mod:`repro.datasets.synthesis`). This module therefore provides:
+
+* a handful of embedded real-world research-network topologies
+  (Abilene, NSFNET, and a GEANT-like European backbone) with real
+  coordinates, and
+* a seeded synthetic generator producing connected Waxman-style graphs
+  at arbitrary sizes, used to reach the Zoo's larger instance sizes.
+
+``zoo_collection`` assembles the benchmark suite used by the Figure 4
+harness.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.datasets.graphs import EdgeSpec, GraphSpec, NodeSpec
+
+# ----------------------------------------------------------------------
+# embedded real-world topologies
+# ----------------------------------------------------------------------
+
+_ABILENE_NODES = [
+    ("Seattle", 47.61, -122.33),
+    ("Sunnyvale", 37.37, -122.04),
+    ("LosAngeles", 34.05, -118.24),
+    ("Denver", 39.74, -104.99),
+    ("KansasCity", 39.10, -94.58),
+    ("Houston", 29.76, -95.37),
+    ("Atlanta", 33.75, -84.39),
+    ("Indianapolis", 39.77, -86.16),
+    ("Chicago", 41.88, -87.63),
+    ("Washington", 38.91, -77.04),
+    ("NewYork", 40.71, -74.01),
+]
+
+_ABILENE_EDGES = [
+    ("Seattle", "Sunnyvale"),
+    ("Seattle", "Denver"),
+    ("Sunnyvale", "LosAngeles"),
+    ("Sunnyvale", "Denver"),
+    ("LosAngeles", "Houston"),
+    ("Denver", "KansasCity"),
+    ("KansasCity", "Houston"),
+    ("KansasCity", "Indianapolis"),
+    ("Houston", "Atlanta"),
+    ("Atlanta", "Indianapolis"),
+    ("Atlanta", "Washington"),
+    ("Indianapolis", "Chicago"),
+    ("Chicago", "NewYork"),
+    ("Washington", "NewYork"),
+]
+
+_NSFNET_NODES = [
+    ("WA", 47.6, -122.3),
+    ("CA1", 37.4, -122.0),
+    ("CA2", 34.1, -118.2),
+    ("UT", 40.8, -111.9),
+    ("CO", 39.7, -105.0),
+    ("TX", 29.8, -95.4),
+    ("NE", 41.3, -96.0),
+    ("IL", 41.9, -87.6),
+    ("PA", 40.4, -80.0),
+    ("GA", 33.7, -84.4),
+    ("MI", 42.3, -83.0),
+    ("NY", 40.7, -74.0),
+    ("NJ", 40.7, -74.2),
+    ("DC", 38.9, -77.0),
+]
+
+_NSFNET_EDGES = [
+    ("WA", "CA1"),
+    ("WA", "CA2"),
+    ("WA", "IL"),
+    ("CA1", "CA2"),
+    ("CA1", "UT"),
+    ("CA2", "TX"),
+    ("UT", "CO"),
+    ("UT", "MI"),
+    ("CO", "NE"),
+    ("CO", "TX"),
+    ("TX", "GA"),
+    ("TX", "DC"),
+    ("NE", "IL"),
+    ("IL", "PA"),
+    ("PA", "GA"),
+    ("PA", "NY"),
+    ("GA", "NY"),
+    ("MI", "NJ"),
+    ("NY", "NJ"),
+    ("NJ", "DC"),
+    ("MI", "NY"),
+]
+
+_GEANT_NODES = [
+    ("London", 51.51, -0.13),
+    ("Paris", 48.86, 2.35),
+    ("Brussels", 50.85, 4.35),
+    ("Amsterdam", 52.37, 4.90),
+    ("Frankfurt", 50.11, 8.68),
+    ("Geneva", 46.20, 6.14),
+    ("Milan", 45.46, 9.19),
+    ("Vienna", 48.21, 16.37),
+    ("Prague", 50.08, 14.44),
+    ("Berlin", 52.52, 13.40),
+    ("Copenhagen", 55.68, 12.57),
+    ("Stockholm", 59.33, 18.06),
+    ("Warsaw", 52.23, 21.01),
+    ("Budapest", 47.50, 19.04),
+    ("Zagreb", 45.81, 15.98),
+    ("Madrid", 40.42, -3.70),
+    ("Lisbon", 38.72, -9.14),
+    ("Rome", 41.90, 12.50),
+    ("Athens", 37.98, 23.73),
+    ("Dublin", 53.35, -6.26),
+    ("Bratislava", 48.15, 17.11),
+    ("Ljubljana", 46.06, 14.51),
+]
+
+_GEANT_EDGES = [
+    ("London", "Paris"),
+    ("London", "Amsterdam"),
+    ("London", "Dublin"),
+    ("London", "Madrid"),
+    ("Paris", "Geneva"),
+    ("Paris", "Madrid"),
+    ("Paris", "Brussels"),
+    ("Brussels", "Amsterdam"),
+    ("Amsterdam", "Frankfurt"),
+    ("Amsterdam", "Copenhagen"),
+    ("Frankfurt", "Geneva"),
+    ("Frankfurt", "Berlin"),
+    ("Frankfurt", "Prague"),
+    ("Frankfurt", "Vienna"),
+    ("Geneva", "Milan"),
+    ("Milan", "Rome"),
+    ("Milan", "Vienna"),
+    ("Vienna", "Prague"),
+    ("Vienna", "Budapest"),
+    ("Vienna", "Bratislava"),
+    ("Vienna", "Ljubljana"),
+    ("Prague", "Berlin"),
+    ("Berlin", "Copenhagen"),
+    ("Berlin", "Warsaw"),
+    ("Copenhagen", "Stockholm"),
+    ("Stockholm", "Warsaw"),
+    ("Warsaw", "Budapest"),
+    ("Budapest", "Zagreb"),
+    ("Zagreb", "Ljubljana"),
+    ("Zagreb", "Rome"),
+    ("Rome", "Athens"),
+    ("Madrid", "Lisbon"),
+    ("Lisbon", "London"),
+    ("Athens", "Milan"),
+    ("Dublin", "Amsterdam"),
+]
+
+
+def _embedded(name: str, nodes, edges) -> GraphSpec:
+    return GraphSpec(
+        name,
+        tuple(NodeSpec(n, lat, lng) for n, lat, lng in nodes),
+        tuple(EdgeSpec(a, b) for a, b in edges),
+    )
+
+
+def abilene() -> GraphSpec:
+    """The Abilene research backbone (11 nodes)."""
+    return _embedded("Abilene", _ABILENE_NODES, _ABILENE_EDGES)
+
+
+def nsfnet() -> GraphSpec:
+    """The NSFNET T1 backbone (14 nodes)."""
+    return _embedded("Nsfnet", _NSFNET_NODES, _NSFNET_EDGES)
+
+
+def geant() -> GraphSpec:
+    """A GEANT-like European research backbone (22 nodes)."""
+    return _embedded("Geant", _GEANT_NODES, _GEANT_EDGES)
+
+
+# ----------------------------------------------------------------------
+# synthetic Waxman-style generator
+# ----------------------------------------------------------------------
+
+
+def synthetic_graph(
+    size: int,
+    seed: int = 0,
+    name: Optional[str] = None,
+    alpha: float = 0.55,
+    beta: float = 0.18,
+) -> GraphSpec:
+    """A connected Waxman-style random graph with geographic positions.
+
+    Nodes are placed uniformly in a Europe-sized lat/lng box; edges are
+    sampled with the Waxman probability ``α·exp(−d / (β·D))`` and a
+    random spanning tree guarantees connectivity, mimicking the sparse
+    mesh structure of Topology Zoo networks.
+    """
+    if size < 2:
+        raise ValueError("synthetic graphs need at least 2 nodes")
+    rng = random.Random(seed)
+    nodes = [
+        NodeSpec(f"R{i}", 36.0 + rng.random() * 24.0, -10.0 + rng.random() * 40.0)
+        for i in range(size)
+    ]
+
+    def distance(a: NodeSpec, b: NodeSpec) -> float:
+        return math.hypot(a.latitude - b.latitude, a.longitude - b.longitude)
+
+    diameter = max(
+        distance(a, b) for a in nodes for b in nodes if a is not b
+    )
+    edges: set = set()
+    # Random spanning tree for connectivity.
+    order = list(range(size))
+    rng.shuffle(order)
+    for position in range(1, size):
+        previous = order[rng.randrange(position)]
+        current = order[position]
+        edges.add((min(previous, current), max(previous, current)))
+    # Waxman extra edges.
+    for i in range(size):
+        for j in range(i + 1, size):
+            if (i, j) in edges:
+                continue
+            probability = alpha * math.exp(
+                -distance(nodes[i], nodes[j]) / (beta * diameter)
+            )
+            if rng.random() < probability:
+                edges.add((i, j))
+    return GraphSpec(
+        name if name is not None else f"Synthetic{size}s{seed}",
+        tuple(nodes),
+        tuple(EdgeSpec(nodes[i].name, nodes[j].name) for i, j in sorted(edges)),
+    )
+
+
+def zoo_collection(
+    sizes: Sequence[int] = (16, 24, 36, 48),
+    seeds: Sequence[int] = (1, 2),
+    include_embedded: bool = True,
+) -> List[GraphSpec]:
+    """The benchmark topology suite (embedded graphs + synthetic sizes).
+
+    Defaults are sized for a laptop-scale Python run; pass larger
+    ``sizes`` (the paper's Zoo slice averages 84 and tops out at 240
+    routers) to reproduce the full-scale sweep.
+    """
+    graphs: List[GraphSpec] = []
+    if include_embedded:
+        graphs.extend([abilene(), nsfnet(), geant()])
+    for size in sizes:
+        for seed in seeds:
+            graphs.append(synthetic_graph(size, seed))
+    return graphs

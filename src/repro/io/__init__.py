@@ -1,0 +1,52 @@
+"""Input/output formats (Appendix A): vendor-agnostic XML, JSON,
+IS-IS extracts and router location data."""
+
+from repro.io.coords import (
+    coordinates_from_json,
+    coordinates_to_json,
+    read_coordinates,
+    write_coordinates,
+)
+from repro.io.isis import (
+    MappingEntry,
+    RouterExtract,
+    network_from_isis,
+    network_to_isis,
+    parse_mapping_file,
+)
+from repro.io.json_format import (
+    network_from_json,
+    network_to_json,
+    read_network_json,
+    trace_to_json,
+    write_network_json,
+)
+from repro.io.xml_format import (
+    network_from_xml,
+    read_network,
+    routing_to_xml,
+    topology_to_xml,
+    write_network,
+)
+
+__all__ = [
+    "MappingEntry",
+    "RouterExtract",
+    "coordinates_from_json",
+    "coordinates_to_json",
+    "network_from_isis",
+    "network_from_json",
+    "network_from_xml",
+    "network_to_isis",
+    "network_to_json",
+    "parse_mapping_file",
+    "read_coordinates",
+    "read_network",
+    "read_network_json",
+    "routing_to_xml",
+    "topology_to_xml",
+    "trace_to_json",
+    "write_coordinates",
+    "write_network",
+    "write_network_json",
+]

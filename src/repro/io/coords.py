@@ -1,0 +1,60 @@
+"""Router location data (Appendix A.2).
+
+The GUI and the *Distance* atomic quantity use a JSON mapping from
+router names to latitude/longitude::
+
+    { "R0": { "lat": 46.5, "lng": 7.3 }, ... }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict
+
+from repro.errors import FormatError
+from repro.model.topology import Coordinates, Topology
+
+
+def coordinates_to_json(topology: Topology) -> str:
+    """Serialize the router coordinates of a topology (routers without
+    coordinates are omitted)."""
+    payload = {
+        router.name: {
+            "lat": router.coordinates.latitude,
+            "lng": router.coordinates.longitude,
+        }
+        for router in topology.routers
+        if router.coordinates is not None
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def coordinates_from_json(text: str) -> Dict[str, Coordinates]:
+    """Parse a location file into a name → coordinates mapping."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise FormatError(f"malformed location JSON: {error}") from error
+    if not isinstance(payload, dict):
+        raise FormatError("location file must be a JSON object")
+    result: Dict[str, Coordinates] = {}
+    for name, entry in payload.items():
+        if not isinstance(entry, dict) or "lat" not in entry or "lng" not in entry:
+            raise FormatError(f"location entry for {name!r} needs lat and lng")
+        try:
+            result[name] = Coordinates(float(entry["lat"]), float(entry["lng"]))
+        except (TypeError, ValueError) as error:
+            raise FormatError(f"bad coordinates for {name!r}: {error}") from error
+    return result
+
+
+def write_coordinates(topology: Topology, path: str) -> None:
+    """Write a topology's router locations to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(coordinates_to_json(topology))
+
+
+def read_coordinates(path: str) -> Dict[str, Coordinates]:
+    """Read a location file into a name → coordinates mapping."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return coordinates_from_json(handle.read())

@@ -1,0 +1,314 @@
+"""IS-IS dataplane-extract ingestion (Appendix A.1).
+
+The paper collects each router's state with three Juniper commands::
+
+    show isis adjacency detail | display xml
+    show route forwarding-table family mpls extensive | display xml
+    show pfe next-hop | display xml
+
+plus a *mapping file* whose lines have the form
+``<aliases>:<adj.xml>:<route-ft.xml>:<pfe.xml>`` (edge routers omit the
+file parts and act as sink nodes).
+
+The operator's raw extracts are confidential, so this module defines a
+faithful simplified schema for the three per-router documents, an
+*exporter* that renders any model network into that schema (used to
+generate test fixtures — and giving a complete round-trip), and the
+*importer* that reconstructs an :class:`MplsNetwork` from a set of
+extracts plus a mapping file, mirroring the tool's ``--write-topology``
+/ ``--write-routing`` conversion path.
+
+Schema (one document set per router ``R``):
+
+``adj.xml``   — adjacencies: local interface, neighbour system id and
+                neighbour interface::
+
+    <isis-adjacency-information>
+      <isis-adjacency>
+        <interface-name>e1</interface-name>
+        <system-name>192.0.0.3</system-name>
+        <neighbor-interface>e1</neighbor-interface>
+      </isis-adjacency> …
+
+``route.xml`` — the MPLS forwarding table: incoming interface + label,
+                next hops with operation stacks and weights (Juniper
+                encodes backup next hops with higher weight values)::
+
+    <forwarding-table-information>
+      <route-table>
+        <rt-entry>
+          <incoming-interface>e1</incoming-interface>
+          <label>s20</label>
+          <nh weight="1"><via>e4</via><ops>swap(s21)</ops></nh>
+          <nh weight="2"><via>e5</via><ops>swap(s21) ∘ push(30)</ops></nh>
+        </rt-entry> …
+
+``pfe.xml``   — next-hop to interface binding (identity in this
+                simplified schema; kept for fidelity of the flow).
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import FormatError
+from repro.model.builder import NetworkBuilder
+from repro.model.labels import parse_label
+from repro.model.network import MplsNetwork
+from repro.model.operations import format_operations, parse_operation_sequence
+
+
+@dataclass
+class RouterExtract:
+    """The three documents collected from one router."""
+
+    adjacency_xml: str
+    route_xml: str
+    pfe_xml: str
+
+
+@dataclass
+class MappingEntry:
+    """One line of the mapping file."""
+
+    aliases: Tuple[str, ...]
+    #: None for edge routers (sink nodes with no extracts).
+    extract: Optional[RouterExtract] = None
+
+    @property
+    def name(self) -> str:
+        """The last alias is the human-readable router name."""
+        return self.aliases[-1]
+
+
+def parse_mapping_file(
+    text: str, documents: Dict[str, str]
+) -> List[MappingEntry]:
+    """Parse a mapping file; ``documents`` maps file names to contents.
+
+    Each line is ``alias[,alias…]:adj.xml:route.xml:pfe.xml`` or just the
+    aliases for an edge router.
+    """
+    entries = []
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split(":")
+        aliases = tuple(alias.strip() for alias in parts[0].split(",") if alias.strip())
+        if not aliases:
+            raise FormatError(f"mapping line {line_number}: no aliases")
+        if len(parts) == 1:
+            entries.append(MappingEntry(aliases))
+            continue
+        if len(parts) != 4:
+            raise FormatError(
+                f"mapping line {line_number}: expected aliases:adj:route:pfe"
+            )
+        files = []
+        for file_name in parts[1:]:
+            file_name = file_name.strip()
+            if file_name not in documents:
+                raise FormatError(
+                    f"mapping line {line_number}: missing document {file_name!r}"
+                )
+            files.append(documents[file_name])
+        entries.append(MappingEntry(aliases, RouterExtract(*files)))
+    if not entries:
+        raise FormatError("mapping file defines no routers")
+    return entries
+
+
+# ----------------------------------------------------------------------
+# import: extracts -> network
+# ----------------------------------------------------------------------
+
+
+def network_from_isis(
+    mapping_text: str, documents: Dict[str, str], name: str = "isis-import"
+) -> MplsNetwork:
+    """Reconstruct a network from IS-IS extracts plus the mapping file."""
+    entries = parse_mapping_file(mapping_text, documents)
+    alias_to_name: Dict[str, str] = {}
+    for entry in entries:
+        for alias in entry.aliases:
+            alias_to_name[alias] = entry.name
+
+    builder = NetworkBuilder(name)
+    for entry in entries:
+        builder.router(entry.name)
+
+    # Pass 1: adjacencies -> directed links (one per adjacency record).
+    link_names: Dict[Tuple[str, str], str] = {}
+    for entry in entries:
+        if entry.extract is None:
+            continue
+        for local_if, neighbor, neighbor_if in _parse_adjacencies(
+            entry.extract.adjacency_xml
+        ):
+            neighbor_name = alias_to_name.get(neighbor)
+            if neighbor_name is None:
+                raise FormatError(
+                    f"router {entry.name}: adjacency to unknown system {neighbor!r}"
+                )
+            link_name = f"{entry.name}.{local_if}->{neighbor_name}.{neighbor_if}"
+            builder.link(
+                link_name,
+                entry.name,
+                neighbor_name,
+                source_interface=local_if,
+                target_interface=neighbor_if,
+            )
+            link_names[(entry.name, local_if)] = link_name
+
+    # Pass 2: forwarding tables -> rules.
+    topology = builder.topology
+    for entry in entries:
+        if entry.extract is None:
+            continue  # edge routers have empty routing tables (sinks)
+        _check_pfe(entry.extract.pfe_xml, entry.name)
+        for in_interface, label_text, next_hops in _parse_routes(
+            entry.extract.route_xml, entry.name
+        ):
+            in_link = topology.link_by_in_interface(entry.name, in_interface)
+            for via_interface, ops_text, weight in next_hops:
+                out_name = link_names.get((entry.name, via_interface))
+                if out_name is None:
+                    raise FormatError(
+                        f"router {entry.name}: next hop via unknown interface "
+                        f"{via_interface!r}"
+                    )
+                builder.rule(
+                    in_link.name,
+                    parse_label(label_text),
+                    out_name,
+                    ops_text,
+                    priority=weight,
+                )
+    return builder.build()
+
+
+def _parse_adjacencies(xml_text: str) -> List[Tuple[str, str, str]]:
+    root = _parse(xml_text, "isis-adjacency-information")
+    adjacencies = []
+    for adjacency in root.iter("isis-adjacency"):
+        local_if = _text(adjacency, "interface-name")
+        neighbor = _text(adjacency, "system-name")
+        neighbor_if = _text(adjacency, "neighbor-interface")
+        adjacencies.append((local_if, neighbor, neighbor_if))
+    return adjacencies
+
+
+def _parse_routes(
+    xml_text: str, router: str
+) -> List[Tuple[str, str, List[Tuple[str, str, int]]]]:
+    root = _parse(xml_text, "forwarding-table-information")
+    routes = []
+    for rt_entry in root.iter("rt-entry"):
+        in_interface = _text(rt_entry, "incoming-interface")
+        label_text = _text(rt_entry, "label")
+        next_hops = []
+        for nh in rt_entry.findall("nh"):
+            via = _text(nh, "via")
+            ops_el = nh.find("ops")
+            ops_text = ops_el.text.strip() if ops_el is not None and ops_el.text else ""
+            weight = int(nh.get("weight", "1"))
+            next_hops.append((via, ops_text, weight))
+        if not next_hops:
+            raise FormatError(f"router {router}: rt-entry without next hops")
+        routes.append((in_interface, label_text, next_hops))
+    return routes
+
+
+def _check_pfe(xml_text: str, router: str) -> None:
+    _parse(xml_text, "pfe-next-hop-information")
+
+
+def _parse(xml_text: str, expected_root: str) -> ET.Element:
+    try:
+        root = ET.fromstring(xml_text)
+    except ET.ParseError as error:
+        raise FormatError(f"malformed IS-IS extract: {error}") from error
+    if root.tag != expected_root:
+        raise FormatError(
+            f"expected <{expected_root}> root, found <{root.tag}>"
+        )
+    return root
+
+
+def _text(element: ET.Element, tag: str) -> str:
+    child = element.find(tag)
+    if child is None or not (child.text or "").strip():
+        raise FormatError(f"missing <{tag}> element")
+    return child.text.strip()
+
+
+# ----------------------------------------------------------------------
+# export: network -> extracts (fixture generation / round-trip)
+# ----------------------------------------------------------------------
+
+
+def network_to_isis(
+    network: MplsNetwork,
+) -> Tuple[str, Dict[str, str]]:
+    """Render a network as IS-IS extracts plus a mapping file.
+
+    Routers without outgoing links become edge (sink) entries. System
+    ids are synthesized as ``192.0.0.<n>`` aliases, mirroring the
+    appendix's example mapping file.
+    """
+    topology = network.topology
+    documents: Dict[str, str] = {}
+    mapping_lines = []
+    system_ids = {
+        router.name: f"192.0.0.{index + 1}"
+        for index, router in enumerate(topology.routers)
+    }
+    for router in topology.routers:
+        out_links = topology.out_links(router.name)
+        rules = [
+            (in_link, label, groups)
+            for in_link, label, groups in network.routing.items()
+            if in_link.target.name == router.name
+        ]
+        if not out_links and not rules:
+            mapping_lines.append(f"{system_ids[router.name]},{router.name}")
+            continue
+        adjacency = ET.Element("isis-adjacency-information")
+        for link in out_links:
+            adjacency_el = ET.SubElement(adjacency, "isis-adjacency")
+            ET.SubElement(adjacency_el, "interface-name").text = link.source_interface
+            ET.SubElement(adjacency_el, "system-name").text = system_ids[
+                link.target.name
+            ]
+            ET.SubElement(adjacency_el, "neighbor-interface").text = (
+                link.target_interface
+            )
+        forwarding = ET.Element("forwarding-table-information")
+        table_el = ET.SubElement(forwarding, "route-table")
+        for in_link, label, groups in rules:
+            rt_el = ET.SubElement(table_el, "rt-entry")
+            ET.SubElement(rt_el, "incoming-interface").text = in_link.target_interface
+            ET.SubElement(rt_el, "label").text = str(label)
+            for priority, group in enumerate(groups, start=1):
+                for entry in group:
+                    nh_el = ET.SubElement(rt_el, "nh", weight=str(priority))
+                    ET.SubElement(nh_el, "via").text = entry.out_link.source_interface
+                    ET.SubElement(nh_el, "ops").text = format_operations(
+                        entry.operations
+                    )
+        pfe = ET.Element("pfe-next-hop-information")
+        for element in (adjacency, forwarding, pfe):
+            ET.indent(element)
+        documents[f"{router.name}-adj.xml"] = ET.tostring(adjacency, encoding="unicode")
+        documents[f"{router.name}-route.xml"] = ET.tostring(
+            forwarding, encoding="unicode"
+        )
+        documents[f"{router.name}-pfe.xml"] = ET.tostring(pfe, encoding="unicode")
+        mapping_lines.append(
+            f"{system_ids[router.name]},{router.name}:"
+            f"{router.name}-adj.xml:{router.name}-route.xml:{router.name}-pfe.xml"
+        )
+    return "\n".join(mapping_lines) + "\n", documents

@@ -1,0 +1,147 @@
+"""A single-file JSON network format.
+
+Besides the two-file XML format of Appendix A, the AalWiNes ecosystem
+uses a JSON representation of a whole network (topology, coordinates
+and routing together); this module provides the equivalent for this
+library. The format is self-describing::
+
+    {
+      "name": "...",
+      "routers": [{"name": "v0", "lat": 46.5, "lng": 7.3}, ...],
+      "links": [{"name": "e1", "from": "v0", "to": "v2",
+                 "from_interface": "e1", "to_interface": "e1",
+                 "weight": 1}, ...],
+      "routing": [{"in_link": "e1", "label": "s20", "priority": 1,
+                   "out_link": "e4", "ops": ["swap(s21)"]}, ...]
+    }
+
+Routing entries with the same (in_link, label, priority) form one
+traffic-engineering group, exactly like the table of Figure 1b.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.errors import FormatError
+from repro.model.builder import NetworkBuilder
+from repro.model.network import MplsNetwork
+from repro.model.operations import format_operations
+from repro.model.trace import Trace
+
+
+def network_to_json(network: MplsNetwork) -> str:
+    """Serialize a network to the JSON format."""
+    topology = network.topology
+    routers: List[Dict[str, Any]] = []
+    for router in topology.routers:
+        entry: Dict[str, Any] = {"name": router.name}
+        if router.coordinates is not None:
+            entry["lat"] = router.coordinates.latitude
+            entry["lng"] = router.coordinates.longitude
+        routers.append(entry)
+    links = [
+        {
+            "name": link.name,
+            "from": link.source.name,
+            "to": link.target.name,
+            "from_interface": link.source_interface,
+            "to_interface": link.target_interface,
+            "weight": link.weight,
+        }
+        for link in topology.links
+    ]
+    routing = []
+    for in_link, label, groups in network.routing.items():
+        for priority, group in enumerate(groups, start=1):
+            for entry in group:
+                ops = [str(op) for op in entry.operations]
+                routing.append(
+                    {
+                        "in_link": in_link.name,
+                        "label": str(label),
+                        "priority": priority,
+                        "out_link": entry.out_link.name,
+                        "ops": ops,
+                    }
+                )
+    payload = {
+        "name": network.name,
+        "routers": routers,
+        "links": links,
+        # The full label universe L (Definition 2): labels a network
+        # *knows* exceed the ones its rules mention, and queries may
+        # reference any of them.
+        "labels": [str(label) for label in network.labels],
+        "routing": routing,
+    }
+    return json.dumps(payload, indent=2) + "\n"
+
+
+def network_from_json(text: str) -> MplsNetwork:
+    """Parse the JSON format into a network."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise FormatError(f"malformed network JSON: {error}") from error
+    for section in ("name", "routers", "links", "routing"):
+        if section not in payload:
+            raise FormatError(f"network JSON lacks the {section!r} section")
+    builder = NetworkBuilder(payload["name"])
+    for router in payload["routers"]:
+        if "name" not in router:
+            raise FormatError("router entry without a name")
+        builder.router(router["name"], router.get("lat"), router.get("lng"))
+    for link in payload["links"]:
+        try:
+            builder.link(
+                link["name"],
+                link["from"],
+                link["to"],
+                source_interface=link.get("from_interface"),
+                target_interface=link.get("to_interface"),
+                weight=int(link.get("weight", 1)),
+            )
+        except KeyError as error:
+            raise FormatError(f"link entry lacks {error}") from None
+    for label_text in payload.get("labels", ()):
+        builder.label(label_text)
+    for rule in payload["routing"]:
+        try:
+            builder.rule(
+                rule["in_link"],
+                rule["label"],
+                rule["out_link"],
+                " ∘ ".join(rule.get("ops", [])),
+                priority=int(rule.get("priority", 1)),
+            )
+        except KeyError as error:
+            raise FormatError(f"routing entry lacks {error}") from None
+    return builder.build()
+
+
+def write_network_json(network: MplsNetwork, path: str) -> None:
+    """Write a network to a single JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(network_to_json(network))
+
+
+def read_network_json(path: str) -> MplsNetwork:
+    """Read a network from a single JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return network_from_json(handle.read())
+
+
+def trace_to_json(trace: Trace) -> str:
+    """Serialize a witness trace (the GUI's visualization payload)."""
+    steps = [
+        {
+            "link": step.link.name,
+            "from": step.link.source.name,
+            "to": step.link.target.name,
+            "header": [str(label) for label in step.header],
+        }
+        for step in trace
+    ]
+    return json.dumps({"trace": steps}, indent=2) + "\n"

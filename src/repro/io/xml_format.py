@@ -1,0 +1,325 @@
+"""The vendor-agnostic XML input format (Appendix A of the paper).
+
+The tool's native exchange format splits a network into a *topology*
+file and a *routing* file::
+
+    <network>
+      <routers>
+        <router name="R0">
+          <interfaces> <interface name="ae1.11"/> … </interfaces>
+        </router> …
+      </routers>
+      <links>
+        <sides>
+          <shared_interface interface="et-3/0/0.2" router="R0"/>
+          <shared_interface interface="et-1/3/0.2" router="R3"/>
+        </sides> …
+      </links>
+    </network>
+
+    <routes>
+      <routings>
+        <routing for="R0">
+          <destinations>
+            <destination from="ae1.11" label="$300292">
+              <te-groups>
+                <te-group priority="1">
+                  <route to="ae5.0">
+                    <actions> <action type="swap" label="$300293"/> </actions>
+                  </route> …
+
+The appendix only shows the outer structure of ``route.xml``; the
+``te-groups`` completion above is this library's (documented) dialect,
+chosen to carry exactly the model of Definition 2: prioritized
+traffic-engineering groups of (out-interface, operation-sequence)
+pairs.
+
+A ``<sides>`` element with two ``shared_interface`` children describes
+one physical link and becomes a duplex pair of directed links; a
+``directed="true"`` attribute (dialect extension) keeps a single
+direction, which the asymmetric-failure model sometimes needs.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import FormatError
+from repro.model.builder import NetworkBuilder
+from repro.model.labels import parse_label
+from repro.model.network import MplsNetwork
+from repro.model.operations import Pop, Push, Swap
+from repro.model.topology import Coordinates, Topology
+
+
+# ----------------------------------------------------------------------
+# writing
+# ----------------------------------------------------------------------
+
+
+def _links_as_sides(topology: Topology) -> List[Tuple]:
+    """Pair up opposite links into physical sides; leftovers stay directed."""
+    paired = set()
+    sides = []
+    for link in topology.links:
+        if link.name in paired:
+            continue
+        reverse = topology.reverse_link(link)
+        if (
+            reverse is not None
+            and reverse.name not in paired
+            and reverse.source_interface == link.target_interface
+            and reverse.target_interface == link.source_interface
+        ):
+            paired.add(link.name)
+            paired.add(reverse.name)
+            sides.append((link, False))
+        else:
+            paired.add(link.name)
+            sides.append((link, True))
+    return sides
+
+
+def topology_to_xml(topology: Topology) -> str:
+    """Serialize a topology to the ``topo.xml`` format."""
+    root = ET.Element("network")
+    routers_el = ET.SubElement(root, "routers")
+    for router in topology.routers:
+        router_el = ET.SubElement(routers_el, "router", name=router.name)
+        interfaces_el = ET.SubElement(router_el, "interfaces")
+        for interface in topology.interfaces(router.name):
+            ET.SubElement(interfaces_el, "interface", name=interface)
+    links_el = ET.SubElement(root, "links")
+    for link, directed in _links_as_sides(topology):
+        attributes = {"weight": str(link.weight)}
+        if directed:
+            attributes["directed"] = "true"
+        sides_el = ET.SubElement(links_el, "sides", **attributes)
+        ET.SubElement(
+            sides_el,
+            "shared_interface",
+            interface=link.source_interface,
+            router=link.source.name,
+        )
+        ET.SubElement(
+            sides_el,
+            "shared_interface",
+            interface=link.target_interface,
+            router=link.target.name,
+        )
+    ET.indent(root)
+    return ET.tostring(root, encoding="unicode") + "\n"
+
+
+def routing_to_xml(network: MplsNetwork) -> str:
+    """Serialize the routing table to the ``route.xml`` format."""
+    root = ET.Element("routes")
+    routings_el = ET.SubElement(root, "routings")
+    by_router: Dict[str, List] = {}
+    for in_link, label, groups in network.routing.items():
+        by_router.setdefault(in_link.target.name, []).append((in_link, label, groups))
+    for router_name in sorted(by_router):
+        routing_el = ET.SubElement(routings_el, "routing", attrib={"for": router_name})
+        destinations_el = ET.SubElement(routing_el, "destinations")
+        for in_link, label, groups in by_router[router_name]:
+            destination_el = ET.SubElement(
+                destinations_el,
+                "destination",
+                attrib={"from": in_link.target_interface, "label": str(label)},
+            )
+            te_groups_el = ET.SubElement(destination_el, "te-groups")
+            for priority, group in enumerate(groups, start=1):
+                group_el = ET.SubElement(
+                    te_groups_el, "te-group", priority=str(priority)
+                )
+                for entry in group:
+                    route_el = ET.SubElement(
+                        group_el,
+                        "route",
+                        to=entry.out_link.source_interface,
+                    )
+                    actions_el = ET.SubElement(route_el, "actions")
+                    for op in entry.operations:
+                        if isinstance(op, Swap):
+                            ET.SubElement(
+                                actions_el, "action", type="swap", label=str(op.label)
+                            )
+                        elif isinstance(op, Push):
+                            ET.SubElement(
+                                actions_el, "action", type="push", label=str(op.label)
+                            )
+                        else:
+                            ET.SubElement(actions_el, "action", type="pop")
+    ET.indent(root)
+    return ET.tostring(root, encoding="unicode") + "\n"
+
+
+def write_network(network: MplsNetwork, topology_path: str, routing_path: str) -> None:
+    """Write a network to ``topo.xml`` / ``route.xml`` files."""
+    with open(topology_path, "w", encoding="utf-8") as handle:
+        handle.write(topology_to_xml(network.topology))
+    with open(routing_path, "w", encoding="utf-8") as handle:
+        handle.write(routing_to_xml(network))
+
+
+# ----------------------------------------------------------------------
+# reading
+# ----------------------------------------------------------------------
+
+
+def _parse_xml(text: str, expected_root: str) -> ET.Element:
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as error:
+        raise FormatError(f"malformed XML: {error}") from error
+    if root.tag != expected_root:
+        raise FormatError(f"expected <{expected_root}> root, found <{root.tag}>")
+    return root
+
+
+def network_from_xml(
+    topology_xml: str,
+    routing_xml: str,
+    name: str = "network",
+    coordinates: Optional[Dict[str, Coordinates]] = None,
+) -> MplsNetwork:
+    """Parse a ``topo.xml`` / ``route.xml`` pair into a network.
+
+    ``coordinates`` optionally supplies router positions (the location
+    file of Appendix A.2, parsed by :mod:`repro.io.coords`).
+    """
+    topology_root = _parse_xml(topology_xml, "network")
+    routing_root = _parse_xml(routing_xml, "routes")
+    builder = NetworkBuilder(name)
+
+    routers_el = topology_root.find("routers")
+    if routers_el is None:
+        raise FormatError("topo.xml lacks a <routers> section")
+    for router_el in routers_el.iter("router"):
+        router_name = router_el.get("name")
+        if not router_name:
+            raise FormatError("<router> without a name attribute")
+        position = (coordinates or {}).get(router_name)
+        builder.router(
+            router_name,
+            position.latitude if position else None,
+            position.longitude if position else None,
+        )
+
+    links_el = topology_root.find("links")
+    if links_el is None:
+        raise FormatError("topo.xml lacks a <links> section")
+    link_counter = 0
+    for sides_el in links_el.iter("sides"):
+        shared = sides_el.findall("shared_interface")
+        if len(shared) != 2:
+            raise FormatError("<sides> must contain exactly two shared_interface")
+        (first, second) = shared
+        first_router = first.get("router")
+        second_router = second.get("router")
+        first_if = first.get("interface")
+        second_if = second.get("interface")
+        if not all((first_router, second_router, first_if, second_if)):
+            raise FormatError("<shared_interface> needs router and interface")
+        weight = int(sides_el.get("weight", "1"))
+        directed = sides_el.get("directed", "false").lower() == "true"
+        builder.link(
+            f"link{link_counter}_fw",
+            first_router,
+            second_router,
+            source_interface=first_if,
+            target_interface=second_if,
+            weight=weight,
+        )
+        if not directed:
+            builder.link(
+                f"link{link_counter}_bw",
+                second_router,
+                first_router,
+                source_interface=second_if,
+                target_interface=first_if,
+                weight=weight,
+            )
+        link_counter += 1
+
+    topology = builder.topology
+    routings_el = routing_root.find("routings")
+    if routings_el is None:
+        raise FormatError("route.xml lacks a <routings> section")
+    for routing_el in routings_el.iter("routing"):
+        router_name = routing_el.get("for")
+        if not router_name or not topology.has_router(router_name):
+            raise FormatError(f"routing for unknown router {router_name!r}")
+        destinations_el = routing_el.find("destinations")
+        if destinations_el is None:
+            continue
+        for destination_el in destinations_el.iter("destination"):
+            in_interface = destination_el.get("from")
+            label_text = destination_el.get("label")
+            if not in_interface or not label_text:
+                raise FormatError("<destination> needs from and label attributes")
+            in_link = topology.link_by_in_interface(router_name, in_interface)
+            te_groups_el = destination_el.find("te-groups")
+            if te_groups_el is None:
+                continue
+            groups = sorted(
+                te_groups_el.findall("te-group"),
+                key=lambda el: int(el.get("priority", "1")),
+            )
+            for group_el in groups:
+                priority = int(group_el.get("priority", "1"))
+                for route_el in group_el.findall("route"):
+                    out_interface = route_el.get("to")
+                    if not out_interface:
+                        raise FormatError("<route> needs a to attribute")
+                    out_link = topology.link_by_out_interface(
+                        router_name, out_interface
+                    )
+                    operations = []
+                    actions_el = route_el.find("actions")
+                    if actions_el is not None:
+                        for action_el in actions_el.findall("action"):
+                            operations.append(_parse_action(action_el))
+                    builder.rule(
+                        in_link.name,
+                        parse_label(label_text),
+                        out_link.name,
+                        tuple(operations),
+                        priority=priority,
+                    )
+    return builder.build()
+
+
+def _parse_action(action_el: ET.Element):
+    action_type = action_el.get("type")
+    if action_type == "pop":
+        return Pop()
+    label_text = action_el.get("label")
+    if not label_text:
+        raise FormatError(f"<action type={action_type!r}> needs a label")
+    label = parse_label(label_text)
+    if action_type == "swap":
+        return Swap(label)
+    if action_type == "push":
+        return Push(label)
+    raise FormatError(f"unknown action type {action_type!r}")
+
+
+def read_network(
+    topology_path: str,
+    routing_path: str,
+    name: Optional[str] = None,
+    coordinates: Optional[Dict[str, Coordinates]] = None,
+) -> MplsNetwork:
+    """Read a network from ``topo.xml`` / ``route.xml`` files."""
+    with open(topology_path, "r", encoding="utf-8") as handle:
+        topology_xml = handle.read()
+    with open(routing_path, "r", encoding="utf-8") as handle:
+        routing_xml = handle.read()
+    return network_from_xml(
+        topology_xml,
+        routing_xml,
+        name=name if name is not None else topology_path,
+        coordinates=coordinates,
+    )

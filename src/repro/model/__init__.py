@@ -1,0 +1,89 @@
+"""MPLS network model (§2 of the paper).
+
+Public surface: labels, headers, operations, topology, routing tables,
+networks, traces and atomic quantities.
+"""
+
+from repro.model.builder import NetworkBuilder
+from repro.model.header import Header, is_valid_header
+from repro.model.labels import (
+    BOTTOM,
+    Label,
+    LabelKind,
+    LabelTable,
+    ip,
+    mpls,
+    parse_label,
+    smpls,
+)
+from repro.model.network import MplsNetwork
+from repro.model.operations import (
+    NO_OPS,
+    Operation,
+    Pop,
+    Push,
+    Swap,
+    apply_operations,
+    format_operations,
+    stack_growth,
+    try_apply_operations,
+)
+from repro.model.quantities import Quantity, evaluate_quantity
+from repro.model.srlg import SharedRiskGroups, degrade_network, minimal_failure_groups
+from repro.model.routing import (
+    GroupSequence,
+    RoutingEntry,
+    RoutingTable,
+    TrafficEngineeringGroup,
+)
+from repro.model.topology import Coordinates, Link, Router, Topology, haversine_km
+from repro.model.trace import (
+    Trace,
+    TraceStep,
+    check_trace,
+    enumerate_traces,
+    minimal_failure_set,
+)
+
+__all__ = [
+    "BOTTOM",
+    "Coordinates",
+    "GroupSequence",
+    "Header",
+    "Label",
+    "LabelKind",
+    "LabelTable",
+    "Link",
+    "MplsNetwork",
+    "NO_OPS",
+    "NetworkBuilder",
+    "Operation",
+    "Pop",
+    "Push",
+    "Quantity",
+    "Router",
+    "RoutingEntry",
+    "RoutingTable",
+    "SharedRiskGroups",
+    "Swap",
+    "Topology",
+    "Trace",
+    "TraceStep",
+    "TrafficEngineeringGroup",
+    "apply_operations",
+    "check_trace",
+    "degrade_network",
+    "enumerate_traces",
+    "evaluate_quantity",
+    "format_operations",
+    "haversine_km",
+    "ip",
+    "is_valid_header",
+    "minimal_failure_set",
+    "minimal_failure_groups",
+    "mpls",
+    "parse_label",
+    "smpls",
+    "stack_growth",
+    "try_apply_operations",
+]

@@ -1,0 +1,158 @@
+"""Fluent construction API for MPLS networks.
+
+The dataset generators, the input-format readers and the examples all
+build networks through :class:`NetworkBuilder`, which takes care of
+label interning, link/interface naming and the grouping of rules into
+prioritized traffic-engineering groups.
+
+Example (a two-router swap chain)::
+
+    builder = NetworkBuilder("tiny")
+    builder.router("A"); builder.router("B"); builder.router("C")
+    builder.link("e0", "A", "B")
+    builder.link("e1", "B", "C")
+    builder.rule("e0", "s10", "e1", "swap(s11)")
+    network = builder.build()
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ModelError
+from repro.model.labels import Label, LabelTable, parse_label
+from repro.model.network import MplsNetwork
+from repro.model.operations import (
+    Operation,
+    parse_operation_sequence,
+)
+from repro.model.routing import (
+    RoutingEntry,
+    RoutingTable,
+    TrafficEngineeringGroup,
+)
+from repro.model.topology import Coordinates, Link, Topology
+
+#: Operations may be given as a pre-parsed tuple or as text like
+#: ``"swap(s21) ∘ push(30)"``.
+OperationsLike = Union[str, Sequence[Operation]]
+LabelLike = Union[str, Label]
+
+
+class NetworkBuilder:
+    """Incrementally builds an :class:`MplsNetwork`."""
+
+    def __init__(self, name: str = "network") -> None:
+        self._topology = Topology(name)
+        self._labels = LabelTable()
+        # (link name, label) -> priority -> list of entries
+        self._pending: Dict[Tuple[str, Label], Dict[int, List[RoutingEntry]]] = {}
+
+    # ------------------------------------------------------------------
+    # topology
+    # ------------------------------------------------------------------
+    def router(
+        self,
+        name: str,
+        latitude: Optional[float] = None,
+        longitude: Optional[float] = None,
+    ) -> "NetworkBuilder":
+        """Add a router, optionally with coordinates for Distance weights."""
+        coords = None
+        if latitude is not None and longitude is not None:
+            coords = Coordinates(latitude, longitude)
+        self._topology.add_router(name, coords)
+        return self
+
+    def link(
+        self,
+        name: str,
+        source: str,
+        target: str,
+        source_interface: Optional[str] = None,
+        target_interface: Optional[str] = None,
+        weight: int = 1,
+    ) -> "NetworkBuilder":
+        """Add a directed link (routers are created on demand)."""
+        self._topology.add_router(source)
+        self._topology.add_router(target)
+        self._topology.add_link(
+            name, source, target, source_interface, target_interface, weight
+        )
+        return self
+
+    def duplex_link(
+        self, source: str, target: str, weight: int = 1, name: Optional[str] = None
+    ) -> "NetworkBuilder":
+        """Add a physical (bidirectional) link as two directed links."""
+        self._topology.add_router(source)
+        self._topology.add_router(target)
+        self._topology.add_duplex_link(source, target, weight, name)
+        return self
+
+    # ------------------------------------------------------------------
+    # labels and rules
+    # ------------------------------------------------------------------
+    def label(self, label: LabelLike) -> Label:
+        """Intern a label given as text (``"s20"``, ``"ip1"``, ``"30"``)."""
+        if isinstance(label, Label):
+            return self._labels.add(label)
+        return self._labels.add(parse_label(label))
+
+    def _resolve_operations(self, operations: OperationsLike) -> Tuple[Operation, ...]:
+        if isinstance(operations, str):
+            return parse_operation_sequence(operations, lambda text: self.label(text))
+        resolved = tuple(operations)
+        from repro.model.operations import Push, Swap
+
+        for op in resolved:
+            if isinstance(op, (Push, Swap)):
+                self._labels.add(op.label)
+        return resolved
+
+    def rule(
+        self,
+        in_link: str,
+        label: LabelLike,
+        out_link: str,
+        operations: OperationsLike = (),
+        priority: int = 1,
+    ) -> "NetworkBuilder":
+        """Add one forwarding rule.
+
+        Rules with the same (in_link, label, priority) form one
+        traffic-engineering group; lower ``priority`` numbers are tried
+        first (priority 1 is the primary path), matching the table
+        rendering of Figure 1b in the paper.
+        """
+        if priority < 1:
+            raise ModelError("priorities are 1-based (1 = highest)")
+        matched = self.label(label)
+        out = self._topology.link(out_link)
+        entry = RoutingEntry(out, self._resolve_operations(operations))
+        key = (in_link, matched)
+        self._pending.setdefault(key, defaultdict(list))[priority].append(entry)
+        return self
+
+    # ------------------------------------------------------------------
+    # finalization
+    # ------------------------------------------------------------------
+    def build(self) -> MplsNetwork:
+        """Assemble and validate the network."""
+        routing = RoutingTable(self._topology)
+        for (link_name, label), by_priority in self._pending.items():
+            in_link = self._topology.link(link_name)
+            groups = [
+                TrafficEngineeringGroup(by_priority[priority])
+                for priority in sorted(by_priority)
+            ]
+            routing.set_groups(in_link, label, groups)
+        network = MplsNetwork(self._topology, self._labels, routing)
+        network.validate()
+        return network
+
+    @property
+    def topology(self) -> Topology:
+        """The topology under construction (for read-only inspection)."""
+        return self._topology

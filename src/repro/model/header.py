@@ -1,0 +1,97 @@
+"""Valid MPLS packet headers (Definition 2.2 of the paper).
+
+A header is a finite word over the label set ``L``, written top-of-stack
+first. The set of *valid* headers is
+
+    H = L_IP  ∪  { α ℓ1 ℓ0 | α ∈ L_M*, ℓ1 ∈ L_M^bot, ℓ0 ∈ L_IP }
+
+i.e. either a bare IP label, or an IP label below exactly one
+bottom-of-stack MPLS label below any number of plain MPLS labels.
+
+:class:`Header` is an immutable tuple wrapper with validity checking and
+the stack accessors the rest of the library needs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence, Tuple
+
+from repro.errors import HeaderError
+from repro.model.labels import Label
+
+
+def is_valid_header(labels: Sequence[Label]) -> bool:
+    """Check membership of a label word (top first) in the valid set ``H``."""
+    if len(labels) == 0:
+        return False
+    if len(labels) == 1:
+        return labels[0].is_ip
+    # More than one label: last must be IP, second-to-last the unique
+    # bottom-of-stack MPLS label, all earlier ones plain MPLS.
+    if not labels[-1].is_ip:
+        return False
+    if not labels[-2].is_bottom_mpls:
+        return False
+    return all(label.is_mpls for label in labels[:-2])
+
+
+class Header:
+    """An immutable valid MPLS header; labels ordered top-of-stack first."""
+
+    __slots__ = ("_labels", "_hash")
+
+    def __init__(self, labels: Iterable[Label]) -> None:
+        stack: Tuple[Label, ...] = tuple(labels)
+        if not is_valid_header(stack):
+            rendered = " ".join(str(l) for l in stack) or "(empty)"
+            raise HeaderError(f"invalid MPLS header: {rendered}")
+        self._labels = stack
+        self._hash = hash(stack)
+
+    @classmethod
+    def of(cls, *labels: Label) -> "Header":
+        """Build a header from labels listed top-of-stack first."""
+        return cls(labels)
+
+    @property
+    def labels(self) -> Tuple[Label, ...]:
+        """The label word, top of stack first."""
+        return self._labels
+
+    @property
+    def top(self) -> Label:
+        """The top-of-stack (left-most) label — ``head(h)`` in the paper."""
+        return self._labels[0]
+
+    @property
+    def ip_label(self) -> Label:
+        """The IP label at the bottom of every valid header."""
+        return self._labels[-1]
+
+    @property
+    def depth(self) -> int:
+        """Number of MPLS labels on the stack (header length minus the IP)."""
+        return len(self._labels) - 1
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __iter__(self) -> Iterator[Label]:
+        return iter(self._labels)
+
+    def __getitem__(self, index: int) -> Label:
+        return self._labels[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Header):
+            return NotImplemented
+        return self._labels == other._labels
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __str__(self) -> str:
+        return " ∘ ".join(str(label) for label in self._labels)
+
+    def __repr__(self) -> str:
+        return f"Header({self})"

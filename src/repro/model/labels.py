@@ -1,0 +1,228 @@
+"""MPLS label model.
+
+The paper partitions the label set ``L`` of a network into three disjoint
+classes (Definition 2):
+
+* ``L_M`` — plain MPLS labels (bottom-of-stack bit ``S`` unset),
+* ``L_M^bot`` — MPLS labels with the bottom-of-stack bit set (rendered with
+  a leading ``s`` in the paper, e.g. ``s20``),
+* ``L_IP`` — IP "labels" (destination addresses used below the MPLS stack).
+
+A :class:`Label` is an immutable (kind, name) pair; :class:`LabelTable`
+manages the label universe of one network and provides interning so that
+label identity checks are cheap inside the verification engine.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Tuple
+
+from repro.errors import ModelError
+
+
+class LabelKind(enum.Enum):
+    """The three label classes of Definition 2 (plus the stack-bottom marker)."""
+
+    MPLS = "mpls"
+    #: MPLS label with the bottom-of-stack bit set (``smpls`` in queries).
+    MPLS_BOTTOM = "smpls"
+    IP = "ip"
+    #: Synthetic stack-bottom marker used only inside pushdown encodings.
+    BOTTOM = "bottom"
+
+
+class Label:
+    """One MPLS/IP label: an immutable (kind, name) pair.
+
+    ``name`` is the label text as it appears in router tables and queries,
+    *without* any kind prefix (so the paper's ``s20`` is
+    ``Label(LabelKind.MPLS_BOTTOM, "20")`` but is rendered back as ``s20``).
+
+    Labels are the stack symbols of every pushdown encoding and therefore
+    sit on the hottest hashing path of the saturation engines; the hash is
+    computed once at construction.
+    """
+
+    __slots__ = ("kind", "name", "_hash")
+
+    def __init__(self, kind: LabelKind, name: str) -> None:
+        if not name and kind is not LabelKind.BOTTOM:
+            raise ModelError("label name must be non-empty")
+        object.__setattr__(self, "kind", kind)
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "_hash", hash((kind.value, name)))
+
+    def __setattr__(self, attribute: str, value: object) -> None:
+        raise AttributeError("Label is immutable")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Label):
+            return NotImplemented
+        return self.kind is other.kind and self.name == other.name
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    @property
+    def is_mpls(self) -> bool:
+        """True for plain MPLS labels (``L_M``)."""
+        return self.kind is LabelKind.MPLS
+
+    @property
+    def is_bottom_mpls(self) -> bool:
+        """True for MPLS labels with the S-bit set (``L_M^bot``)."""
+        return self.kind is LabelKind.MPLS_BOTTOM
+
+    @property
+    def is_ip(self) -> bool:
+        """True for IP labels (``L_IP``)."""
+        return self.kind is LabelKind.IP
+
+    @property
+    def is_stack_bottom(self) -> bool:
+        """True only for the synthetic PDA stack-bottom marker."""
+        return self.kind is LabelKind.BOTTOM
+
+    def __str__(self) -> str:
+        if self.kind is LabelKind.MPLS_BOTTOM:
+            return f"s{self.name}"
+        if self.kind is LabelKind.BOTTOM:
+            return "⊥"  # ⊥
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"Label({self.kind.value}:{self.name})"
+
+
+#: The unique stack-bottom marker shared by all pushdown encodings.
+BOTTOM = Label(LabelKind.BOTTOM, "")
+
+
+def mpls(name: object) -> Label:
+    """Convenience constructor for a plain MPLS label, e.g. ``mpls(30)``."""
+    return Label(LabelKind.MPLS, str(name))
+
+
+def smpls(name: object) -> Label:
+    """Convenience constructor for a bottom-of-stack MPLS label.
+
+    Accepts either the bare name (``smpls(20)``) or the paper's rendered
+    form (``smpls("s20")``); the leading ``s`` is stripped only for the
+    paper's numeric convention, so names like ``svc0`` stay intact.
+    """
+    text = str(name)
+    if text.startswith("s") and len(text) > 1 and text[1].isdigit():
+        text = text[1:]
+    return Label(LabelKind.MPLS_BOTTOM, text)
+
+
+def ip(name: object) -> Label:
+    """Convenience constructor for an IP label, e.g. ``ip("ip1")``."""
+    return Label(LabelKind.IP, str(name))
+
+
+def parse_label(text: str) -> Label:
+    """Parse a label from its rendered form.
+
+    The conventions follow the paper and the AalWiNes input formats:
+
+    * ``sNAME`` (a leading ``s`` followed by at least one character that
+      makes the remainder a plausible MPLS label) is a bottom-of-stack
+      MPLS label;
+    * ``ipNAME`` or anything containing a dot (dotted-quad addresses) is an
+      IP label;
+    * ``$NAME`` and plain numeric names are MPLS labels.
+    """
+    text = text.strip()
+    if not text:
+        raise ModelError("cannot parse an empty label")
+    if text == "⊥":
+        return BOTTOM
+    if text.startswith("ip") or "." in text:
+        return Label(LabelKind.IP, text)
+    if text.startswith("s") and len(text) > 1:
+        return Label(LabelKind.MPLS_BOTTOM, text[1:])
+    return Label(LabelKind.MPLS, text)
+
+
+class LabelTable:
+    """The label universe ``L = L_M ⊎ L_M^bot ⊎ L_IP`` of one network.
+
+    The table interns labels by their rendered text, guaranteeing that a
+    given (kind, name) pair appears once; the verification engine relies on
+    this to key dictionaries by label identity-equivalent hashes.
+    """
+
+    def __init__(self, labels: Iterable[Label] = ()) -> None:
+        self._by_text: Dict[str, Label] = {}
+        for label in labels:
+            self.add(label)
+
+    def add(self, label: Label) -> Label:
+        """Intern ``label`` and return the canonical instance."""
+        if label.is_stack_bottom:
+            raise ModelError("the stack-bottom marker is not a network label")
+        existing = self._by_text.get(str(label))
+        if existing is not None:
+            if existing.kind is not label.kind:
+                raise ModelError(
+                    f"label text {label} already registered with kind "
+                    f"{existing.kind.value}"
+                )
+            return existing
+        self._by_text[str(label)] = label
+        return label
+
+    def get(self, text: str) -> Optional[Label]:
+        """Look up a label by its rendered text, or None."""
+        return self._by_text.get(text)
+
+    def require(self, text: str) -> Label:
+        """Look up a label by its rendered text, raising on a miss."""
+        label = self._by_text.get(text)
+        if label is None:
+            raise ModelError(f"unknown label {text!r}")
+        return label
+
+    def of_kind(self, kind: LabelKind) -> FrozenSet[Label]:
+        """All labels of one class (``ip`` / ``mpls`` / ``smpls`` sets)."""
+        return frozenset(l for l in self._by_text.values() if l.kind is kind)
+
+    @property
+    def mpls_labels(self) -> FrozenSet[Label]:
+        """``L_M`` — the plain MPLS labels."""
+        return self.of_kind(LabelKind.MPLS)
+
+    @property
+    def bottom_mpls_labels(self) -> FrozenSet[Label]:
+        """``L_M^bot`` — the bottom-of-stack MPLS labels."""
+        return self.of_kind(LabelKind.MPLS_BOTTOM)
+
+    @property
+    def ip_labels(self) -> FrozenSet[Label]:
+        """``L_IP`` — the IP labels."""
+        return self.of_kind(LabelKind.IP)
+
+    def all_labels(self) -> Tuple[Label, ...]:
+        """Every registered label, in deterministic (insertion) order."""
+        return tuple(self._by_text.values())
+
+    def __len__(self) -> int:
+        return len(self._by_text)
+
+    def __iter__(self) -> Iterator[Label]:
+        return iter(self._by_text.values())
+
+    def __contains__(self, label: object) -> bool:
+        if isinstance(label, Label):
+            return self._by_text.get(str(label)) == label
+        if isinstance(label, str):
+            return label in self._by_text
+        return False
+
+    def __repr__(self) -> str:
+        return (
+            f"LabelTable(mpls={len(self.mpls_labels)}, "
+            f"smpls={len(self.bottom_mpls_labels)}, ip={len(self.ip_labels)})"
+        )

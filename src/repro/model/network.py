@@ -1,0 +1,115 @@
+"""The MPLS network: topology + label universe + routing table.
+
+Definition 2 of the paper: ``N = (V, E, s, t, L, τ)``. This module ties
+the pieces together and offers the forwarding-step primitive
+(:meth:`MplsNetwork.forwarding_alternatives`) used by both the explicit
+simulator and the trace validity checker.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, FrozenSet, Iterable, Optional, Tuple
+
+from repro.errors import ModelError
+from repro.model.header import Header
+from repro.model.labels import Label, LabelTable
+from repro.model.operations import Operation, try_apply_operations
+from repro.model.routing import GroupSequence, RoutingEntry, RoutingTable
+from repro.model.topology import Link, Topology
+
+
+class MplsNetwork:
+    """An MPLS network ``N = (V, E, s, t, L, τ)``.
+
+    Instances are produced by :class:`repro.model.builder.NetworkBuilder`
+    or by the dataset generators / input-format readers; after
+    construction the network is conceptually immutable.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        labels: LabelTable,
+        routing: RoutingTable,
+    ) -> None:
+        if routing.topology is not topology:
+            raise ModelError("routing table was built for a different topology")
+        self.topology = topology
+        self.labels = labels
+        self.routing = routing
+
+    # ------------------------------------------------------------------
+    # forwarding semantics
+    # ------------------------------------------------------------------
+    def forwarding_alternatives(
+        self, in_link: Link, header: Header, failed: AbstractSet[Link]
+    ) -> Tuple[Tuple[RoutingEntry, Header], ...]:
+        """All (entry, next header) pairs available to a packet.
+
+        This is 𝓐(τ(e, head(h))) of §2.4 restricted to entries whose
+        operation chain is defined on ``h`` (the header rewrite function is
+        partial): the active entries of the highest-priority active group,
+        each paired with the rewritten header.
+        """
+        groups = self.routing.lookup(in_link, header.top)
+        result = []
+        for entry in groups.active_entries(failed):
+            next_header = try_apply_operations(header, entry.operations)
+            if next_header is not None:
+                result.append((entry, next_header))
+        return tuple(result)
+
+    def group_sequence(self, in_link: Link, label: Label) -> GroupSequence:
+        """τ(in_link, label) — the raw prioritized group sequence."""
+        return self.routing.lookup(in_link, label)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.topology.name
+
+    def router_names(self) -> Tuple[str, ...]:
+        """All router names, in insertion order."""
+        return tuple(r.name for r in self.topology.routers)
+
+    def link_names(self) -> Tuple[str, ...]:
+        """All link names, in insertion order."""
+        return tuple(l.name for l in self.topology.links)
+
+    def rule_count(self) -> int:
+        """Total number of forwarding rules (the paper's rule-count unit)."""
+        return self.routing.rule_count()
+
+    def used_labels(self) -> FrozenSet[Label]:
+        """Labels that occur in the routing table (matched or produced)."""
+        from repro.model.operations import Push, Swap
+
+        used = set()
+        for _link, label, groups in self.routing.items():
+            used.add(label)
+            for _priority, entry in groups.all_entries():
+                for op in entry.operations:
+                    if isinstance(op, (Push, Swap)):
+                        used.add(op.label)
+        return frozenset(used)
+
+    def validate(self) -> None:
+        """Consistency checks beyond what construction already enforces.
+
+        Raises :class:`ModelError` when the routing table uses labels that
+        are not registered in the label table.
+        """
+        for _link, label, groups in self.routing.items():
+            if label not in self.labels:
+                raise ModelError(f"routing table matches unregistered label {label}")
+        for label in self.used_labels():
+            if label not in self.labels:
+                raise ModelError(f"routing table produces unregistered label {label}")
+
+    def __repr__(self) -> str:
+        return (
+            f"MplsNetwork({self.name!r}, routers={len(self.topology)}, "
+            f"links={len(self.topology.links)}, rules={self.rule_count()})"
+        )

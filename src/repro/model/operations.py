@@ -1,0 +1,214 @@
+"""MPLS label-stack operations and the header rewrite function 𝓗.
+
+The operation set of the paper (Definition 2) is
+
+    Op = { swap(ℓ) | ℓ ∈ L } ∪ { push(ℓ) | ℓ ∈ L } ∪ { pop }
+
+and Definition 3 gives the partial semantics 𝓗 : H × Op* ⇀ H that applies
+an operation sequence to a valid header, remaining *undefined* whenever a
+step would produce an invalid header (e.g. popping the IP label, or
+pushing a plain MPLS label directly onto an IP label).
+
+This module implements the operations as immutable dataclasses plus
+:func:`apply_operations` (the function 𝓗) and the static helpers the PDA
+compiler needs (:func:`stack_growth`, :func:`operations_well_formed`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import HeaderError, ModelError
+from repro.model.header import Header, is_valid_header
+from repro.model.labels import Label
+
+
+@dataclass(frozen=True)
+class Swap:
+    """``swap(ℓ)`` — replace the top-of-stack label with ``ℓ``."""
+
+    label: Label
+
+    def __str__(self) -> str:
+        return f"swap({self.label})"
+
+
+@dataclass(frozen=True)
+class Push:
+    """``push(ℓ)`` — push ``ℓ`` on top of the stack."""
+
+    label: Label
+
+    def __str__(self) -> str:
+        return f"push({self.label})"
+
+
+@dataclass(frozen=True)
+class Pop:
+    """``pop`` — remove the top-of-stack label (must be an MPLS label)."""
+
+    def __str__(self) -> str:
+        return "pop"
+
+
+Operation = Union[Swap, Push, Pop]
+
+#: The identity operation sequence ε.
+NO_OPS: Tuple[Operation, ...] = ()
+
+
+def apply_operation(labels: Tuple[Label, ...], op: Operation) -> Tuple[Label, ...]:
+    """Apply one operation to a label word (top first); raise if undefined.
+
+    This is one unfolding step of Definition 3. ``labels`` must be a valid
+    header; the result is guaranteed valid (otherwise :class:`HeaderError`).
+    """
+    if not labels:
+        raise HeaderError("cannot apply an operation to an empty header")
+    if isinstance(op, Swap):
+        candidate = (op.label,) + labels[1:]
+        if not is_valid_header(candidate):
+            raise HeaderError(f"swap({op.label}) undefined on header top {labels[0]}")
+        return candidate
+    if isinstance(op, Push):
+        candidate = (op.label,) + labels
+        if not is_valid_header(candidate):
+            raise HeaderError(f"push({op.label}) undefined on header top {labels[0]}")
+        return candidate
+    if isinstance(op, Pop):
+        top = labels[0]
+        if not (top.is_mpls or top.is_bottom_mpls):
+            raise HeaderError(f"pop undefined on non-MPLS top label {top}")
+        candidate = labels[1:]
+        if not is_valid_header(candidate):
+            raise HeaderError("pop would produce an invalid header")
+        return candidate
+    raise ModelError(f"unknown MPLS operation {op!r}")
+
+
+def apply_operations(header: Header, ops: Sequence[Operation]) -> Header:
+    """The header rewrite function 𝓗(h, ω) of Definition 3.
+
+    Raises :class:`HeaderError` exactly when 𝓗 is undefined on the input.
+    """
+    labels = header.labels
+    for op in ops:
+        labels = apply_operation(labels, op)
+    return Header(labels)
+
+
+def try_apply_operations(header: Header, ops: Sequence[Operation]) -> Optional[Header]:
+    """Like :func:`apply_operations` but returns None where 𝓗 is undefined."""
+    try:
+        return apply_operations(header, ops)
+    except HeaderError:
+        return None
+
+
+def stack_growth(ops: Sequence[Operation]) -> int:
+    """Net change in header length caused by an operation sequence.
+
+    Used to compute the *Tunnels* atomic quantity statically per routing
+    rule: the per-step tunnel contribution is ``max(0, stack_growth(ω))``.
+    """
+    growth = 0
+    for op in ops:
+        if isinstance(op, Push):
+            growth += 1
+        elif isinstance(op, Pop):
+            growth -= 1
+    return growth
+
+
+def max_stack_excursion(ops: Sequence[Operation]) -> int:
+    """Largest intermediate growth above the starting height.
+
+    Relevant for bounding the label-stack size the operation chain may
+    need while executing (tunnel-depth analyses).
+    """
+    growth = 0
+    peak = 0
+    for op in ops:
+        if isinstance(op, Push):
+            growth += 1
+            peak = max(peak, growth)
+        elif isinstance(op, Pop):
+            growth -= 1
+    return peak
+
+
+def operations_well_formed(top: Label, ops: Sequence[Operation]) -> bool:
+    """Statically check whether ω can be defined for a header with top ``top``.
+
+    The check tracks the *known* prefix of the stack as operations execute.
+    Once a pop consumes below the known prefix the remaining symbols are
+    unknown, and the check becomes permissive (the PDA compiler handles the
+    unknown-top case by expanding over the feasible label set).
+    """
+    known: List[Optional[Label]] = [top]
+    for op in ops:
+        current = known[0] if known else None
+        if isinstance(op, Swap):
+            if current is not None and current.is_ip and not op.label.is_ip:
+                return False
+            if known:
+                known[0] = op.label
+        elif isinstance(op, Push):
+            if current is not None:
+                if current.is_ip and not op.label.is_bottom_mpls:
+                    return False
+                if (current.is_mpls or current.is_bottom_mpls) and not op.label.is_mpls:
+                    return False
+            known.insert(0, op.label)
+        elif isinstance(op, Pop):
+            if current is not None and current.is_ip:
+                return False
+            if known:
+                known.pop(0)
+    return True
+
+
+def parse_operation(text: str, resolve: "LabelResolver") -> Operation:
+    """Parse one operation from text like ``swap(s21)``, ``push(30)``, ``pop``.
+
+    ``resolve`` maps a rendered label to a :class:`Label` (typically
+    ``LabelTable.require`` or :func:`repro.model.labels.parse_label`).
+    """
+    text = text.strip()
+    if text == "pop":
+        return Pop()
+    for name, cls in (("swap", Swap), ("push", Push)):
+        if text.startswith(name + "(") and text.endswith(")"):
+            inner = text[len(name) + 1 : -1].strip()
+            return cls(resolve(inner))
+    raise ModelError(f"cannot parse MPLS operation {text!r}")
+
+
+def parse_operation_sequence(text: str, resolve: "LabelResolver") -> Tuple[Operation, ...]:
+    """Parse an operation chain like ``swap(s21) ∘ push(30)`` (``o`` or ``;``
+    are accepted as separators too). An empty string — or the rendered
+    identity ``ε`` that :func:`format_operations` emits — is ε."""
+    text = text.strip()
+    if not text or text == "ε":
+        return NO_OPS
+    for separator in ("∘", ";", " o "):
+        if separator in text:
+            parts = text.split(separator)
+            break
+    else:
+        parts = [text]
+    return tuple(parse_operation(part, resolve) for part in parts if part.strip())
+
+
+class LabelResolver:
+    """Protocol-like alias: any callable str -> Label (documentation only)."""
+
+    def __call__(self, text: str) -> Label:  # pragma: no cover - protocol stub
+        raise NotImplementedError
+
+
+def format_operations(ops: Iterable[Operation]) -> str:
+    """Render an operation sequence the way the paper prints it."""
+    rendered = " ∘ ".join(str(op) for op in ops)
+    return rendered if rendered else "ε"

@@ -1,0 +1,128 @@
+"""Atomic quantities of network traces (§3 of the paper).
+
+The paper defines five atomic quantities of a trace
+``σ = (e1, h1) … (en, hn)``:
+
+* ``Links(σ) = n``,
+* ``Hops(σ)`` — links that are not self-loops,
+* ``Distance(σ) = Σ d(e_i)`` for a per-link distance function d,
+* ``Failures(σ) = Σ |failed(i)|`` — per step, the links of all
+  strictly-higher-priority groups that must be failed,
+* ``Tunnels(σ) = Σ max(0, |h_{i+1}| − |h_i|)`` — label-stack growth.
+
+These trace-level evaluators are the semantic ground truth; the PDA
+compiler assigns the equivalent *per-rule* weights statically, and the
+test-suite cross-checks the two.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.errors import WeightError
+from repro.model.network import MplsNetwork
+from repro.model.operations import try_apply_operations
+from repro.model.topology import Link
+from repro.model.trace import Trace
+
+
+class Quantity(enum.Enum):
+    """The atomic quantities supported by the tool."""
+
+    LINKS = "links"
+    HOPS = "hops"
+    DISTANCE = "distance"
+    FAILURES = "failures"
+    TUNNELS = "tunnels"
+
+    @classmethod
+    def parse(cls, text: str) -> "Quantity":
+        """Parse a quantity name, case-insensitively."""
+        try:
+            return cls(text.strip().lower())
+        except ValueError:
+            valid = ", ".join(q.value for q in cls)
+            raise WeightError(f"unknown atomic quantity {text!r} (expected one of {valid})")
+
+
+def links(trace: Trace) -> int:
+    """``Links(σ)`` — the length of the trace."""
+    return len(trace)
+
+
+def hops(trace: Trace) -> int:
+    """``Hops(σ)`` — links whose endpoints differ (self-loops not counted).
+
+    The paper counts the *set* of non-self-loop links used.
+    """
+    return len({link for link in trace.links if not link.is_self_loop})
+
+
+def distance(trace: Trace, distance_of: Callable[[Link], int]) -> int:
+    """``Distance(σ)`` for a distance function ``d : E → ℕ``."""
+    return sum(distance_of(link) for link in trace.links)
+
+
+def step_failures(network: MplsNetwork, trace: Trace, index: int) -> int:
+    """``|failed(i)|`` for the i-th step (0-based) of the trace.
+
+    When several (priority, entry) pairs justify the step, the cheapest
+    (fewest required failures) is used, matching the *minimal* number of
+    failed links the quantity is defined to measure.
+    """
+    current = trace[index]
+    following = trace[index + 1]
+    groups = network.group_sequence(current.link, current.header.top)
+    best: Optional[int] = None
+    for priority_index, entry in groups.all_entries():
+        if entry.out_link != following.link:
+            continue
+        if try_apply_operations(current.header, entry.operations) != following.header:
+            continue
+        required = groups.required_failures(priority_index)
+        if entry.out_link in required:
+            continue
+        cost = len(required)
+        if best is None or cost < best:
+            best = cost
+    if best is None:
+        raise WeightError(
+            f"trace step {index} is not justified by any routing entry; "
+            "Failures is undefined on invalid traces"
+        )
+    return best
+
+
+def failures(network: MplsNetwork, trace: Trace) -> int:
+    """``Failures(σ)`` — the sum of per-step minimal failed-link counts."""
+    return sum(step_failures(network, trace, i) for i in range(len(trace) - 1))
+
+
+def tunnels(trace: Trace) -> int:
+    """``Tunnels(σ)`` — total positive growth of the label stack."""
+    total = 0
+    for current, following in zip(trace.headers, trace.headers[1:]):
+        total += max(0, len(following) - len(current))
+    return total
+
+
+def evaluate_quantity(
+    quantity: Quantity,
+    network: MplsNetwork,
+    trace: Trace,
+    distance_of: Optional[Callable[[Link], int]] = None,
+) -> int:
+    """Evaluate one atomic quantity on a trace."""
+    if quantity is Quantity.LINKS:
+        return links(trace)
+    if quantity is Quantity.HOPS:
+        return hops(trace)
+    if quantity is Quantity.DISTANCE:
+        d = distance_of if distance_of is not None else network.topology.link_distance
+        return distance(trace, d)
+    if quantity is Quantity.FAILURES:
+        return failures(network, trace)
+    if quantity is Quantity.TUNNELS:
+        return tunnels(trace)
+    raise WeightError(f"unhandled quantity {quantity}")

@@ -1,0 +1,250 @@
+"""Routing tables with prioritized traffic-engineering groups.
+
+Definition 2 of the paper: the routing table is a function
+
+    τ : E × L → (2^{E × Op*})*
+
+mapping an incoming link and a top-of-stack label to a *sequence* of
+traffic-engineering groups ``O_1 O_2 … O_n``. Each group is a set of
+(outgoing link, operation sequence) pairs; the router forwards via any
+*active* link of the highest-priority group that has one (§2.4).
+
+The over-approximating PDA construction and the *Failures* atomic
+quantity both need, per (group, entry), the set of links that must have
+failed for that entry to be chosen — :meth:`GroupSequence.required_failures`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    AbstractSet,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.errors import RoutingError
+from repro.model.labels import Label
+from repro.model.operations import Operation, format_operations, operations_well_formed
+from repro.model.topology import Link, Topology
+
+
+@dataclass(frozen=True)
+class RoutingEntry:
+    """One forwarding alternative: an outgoing link plus an op sequence ω."""
+
+    out_link: Link
+    operations: Tuple[Operation, ...]
+
+    def __str__(self) -> str:
+        return f"{self.out_link.name}: {format_operations(self.operations)}"
+
+
+class TrafficEngineeringGroup:
+    """One traffic-engineering group ``O`` — a set of routing entries.
+
+    Entry order is preserved for deterministic iteration, but two groups
+    with the same entries in different order compare equal (set semantics,
+    as in the paper).
+    """
+
+    __slots__ = ("_entries", "_links")
+
+    def __init__(self, entries: Iterable[RoutingEntry]) -> None:
+        unique: Dict[RoutingEntry, None] = {}
+        for entry in entries:
+            unique.setdefault(entry)
+        if not unique:
+            raise RoutingError("a traffic-engineering group must be non-empty")
+        self._entries: Tuple[RoutingEntry, ...] = tuple(unique)
+        self._links: FrozenSet[Link] = frozenset(e.out_link for e in self._entries)
+
+    @property
+    def entries(self) -> Tuple[RoutingEntry, ...]:
+        return self._entries
+
+    @property
+    def links(self) -> FrozenSet[Link]:
+        """``E(O)`` — the set of all outgoing links in the group."""
+        return self._links
+
+    def is_active(self, failed: AbstractSet[Link]) -> bool:
+        """True when at least one link of the group is active (§2.4)."""
+        return any(link not in failed for link in self._links)
+
+    def active_entries(self, failed: AbstractSet[Link]) -> Tuple[RoutingEntry, ...]:
+        """Entries whose outgoing link is active."""
+        return tuple(e for e in self._entries if e.out_link not in failed)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[RoutingEntry]:
+        return iter(self._entries)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TrafficEngineeringGroup):
+            return NotImplemented
+        return frozenset(self._entries) == frozenset(other._entries)
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._entries))
+
+    def __str__(self) -> str:
+        return "{" + ", ".join(str(e) for e in self._entries) + "}"
+
+
+class GroupSequence:
+    """The value τ(e, ℓ): a priority-ordered sequence ``O_1 O_2 … O_n``.
+
+    ``O_1`` has the highest priority. :meth:`active_entries` implements the
+    paper's 𝓐 operator; :meth:`required_failures` gives, per priority
+    index, the links that must all be failed before that group may be used
+    (the per-step *failed(i)* set of the Failures quantity, §3).
+    """
+
+    __slots__ = ("_groups", "_required")
+
+    def __init__(self, groups: Sequence[TrafficEngineeringGroup]) -> None:
+        self._groups: Tuple[TrafficEngineeringGroup, ...] = tuple(groups)
+        required: List[FrozenSet[Link]] = []
+        accumulated: FrozenSet[Link] = frozenset()
+        for group in self._groups:
+            required.append(accumulated)
+            accumulated = accumulated | group.links
+        self._required: Tuple[FrozenSet[Link], ...] = tuple(required)
+
+    @property
+    def groups(self) -> Tuple[TrafficEngineeringGroup, ...]:
+        return self._groups
+
+    def required_failures(self, priority_index: int) -> FrozenSet[Link]:
+        """Links in all strictly higher-priority groups ``O_1 … O_{j-1}``.
+
+        Every one of them must be failed for group ``j`` (0-based
+        ``priority_index``) to be the highest-priority active group.
+        """
+        return self._required[priority_index]
+
+    def active_group_index(self, failed: AbstractSet[Link]) -> Optional[int]:
+        """Index of the highest-priority active group, or None."""
+        for index, group in enumerate(self._groups):
+            if group.is_active(failed):
+                return index
+        return None
+
+    def active_entries(self, failed: AbstractSet[Link]) -> Tuple[RoutingEntry, ...]:
+        """The 𝓐 operator of §2.4: active entries of the first active group."""
+        index = self.active_group_index(failed)
+        if index is None:
+            return ()
+        return self._groups[index].active_entries(failed)
+
+    def all_entries(self) -> Iterator[Tuple[int, RoutingEntry]]:
+        """Iterate (priority index, entry) over every entry of every group."""
+        for index, group in enumerate(self._groups):
+            for entry in group:
+                yield index, entry
+
+    def __len__(self) -> int:
+        return len(self._groups)
+
+    def __iter__(self) -> Iterator[TrafficEngineeringGroup]:
+        return iter(self._groups)
+
+    def __bool__(self) -> bool:
+        return bool(self._groups)
+
+    def __str__(self) -> str:
+        return " ".join(str(g) for g in self._groups)
+
+
+#: An empty τ value (packet is dropped / leaves the network).
+EMPTY_GROUP_SEQUENCE = GroupSequence(())
+
+
+class RoutingTable:
+    """The full routing function τ of one MPLS network.
+
+    Keys are (incoming link, top label); missing keys mean the packet is
+    not forwarded further (τ(e, ℓ) = empty sequence), which is how traffic
+    leaves the network at edge links.
+    """
+
+    def __init__(self, topology: Topology) -> None:
+        self._topology = topology
+        self._table: Dict[Tuple[str, Label], GroupSequence] = {}
+        self._labels_by_link: Dict[str, List[Label]] = {}
+
+    @property
+    def topology(self) -> Topology:
+        return self._topology
+
+    def set_groups(
+        self, in_link: Link, label: Label, groups: Sequence[TrafficEngineeringGroup]
+    ) -> None:
+        """Define τ(in_link, label) = groups, validating link adjacency.
+
+        Every entry's outgoing link must leave the router the incoming link
+        arrives at (``t(e) = s(e')``), and its operation chain must be
+        potentially well-formed for the matched top label.
+        """
+        router = in_link.target
+        for group in groups:
+            for entry in group:
+                if entry.out_link.source != router:
+                    raise RoutingError(
+                        f"rule for ({in_link.name}, {label}): outgoing link "
+                        f"{entry.out_link.name} does not leave router {router}"
+                    )
+                if not operations_well_formed(label, entry.operations):
+                    raise RoutingError(
+                        f"rule for ({in_link.name}, {label}): operations "
+                        f"{format_operations(entry.operations)} undefined on "
+                        f"top label {label}"
+                    )
+        key = (in_link.name, label)
+        if key in self._table:
+            raise RoutingError(
+                f"duplicate routing definition for ({in_link.name}, {label})"
+            )
+        self._table[key] = GroupSequence(groups)
+        self._labels_by_link.setdefault(in_link.name, []).append(label)
+
+    def lookup(self, in_link: Link, label: Label) -> GroupSequence:
+        """τ(in_link, label); the empty sequence when undefined."""
+        return self._table.get((in_link.name, label), EMPTY_GROUP_SEQUENCE)
+
+    def has_rule(self, in_link: Link, label: Label) -> bool:
+        """Is τ(in_link, label) defined?"""
+        return (in_link.name, label) in self._table
+
+    def items(self) -> Iterator[Tuple[Link, Label, GroupSequence]]:
+        """Iterate all defined (incoming link, label, groups) triples."""
+        for (link_name, label), groups in self._table.items():
+            yield self._topology.link(link_name), label, groups
+
+    def labels_for_link(self, in_link: Link) -> Tuple[Label, ...]:
+        """All top labels with a rule on the given incoming link."""
+        return tuple(self._labels_by_link.get(in_link.name, ()))
+
+    def rule_count(self) -> int:
+        """Total number of (link, label, priority, entry) forwarding rules,
+        the unit the paper uses when it reports ">250,000 rules"."""
+        return sum(
+            len(group)
+            for groups in self._table.values()
+            for group in groups
+        )
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def __iter__(self) -> Iterator[Tuple[str, Label]]:
+        return iter(self._table)

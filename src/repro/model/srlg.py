@@ -1,0 +1,263 @@
+"""Shared-risk link groups (SRLGs).
+
+The paper motivates multi-failure analysis with shared risk link
+groups [6, 17, 30]: links that share a conduit, a line card or a fibre
+span fail *together*, so "one failure event" can take down several
+model links at once. This module extends the failure semantics
+accordingly:
+
+* :class:`SharedRiskGroups` — a named grouping of links; links not
+  assigned to any group act as singleton groups (they can still fail
+  individually);
+* :func:`minimal_failure_groups` — the SRLG analogue of
+  :func:`repro.model.trace.minimal_failure_set`: the smallest set of
+  *failure events* (groups) enabling a trace, honouring that failing a
+  group fails **all** of its links — including any the trace itself
+  would need to traverse.
+
+The verification layer builds on this in
+:mod:`repro.verification.srlg`.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    AbstractSet,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.errors import ModelError
+from repro.model.network import MplsNetwork
+from repro.model.topology import Link
+from repro.model.trace import Trace, step_requirement_sets
+
+
+class SharedRiskGroups:
+    """A named partition-with-overlaps of links into shared-risk groups.
+
+    A link may belong to several groups (a conduit and a line card,
+    say). Links in no explicit group get an implicit singleton group
+    named after the link (prefixed ``link:``), so every link remains
+    individually failable.
+    """
+
+    SINGLETON_PREFIX = "link:"
+
+    def __init__(
+        self, network: MplsNetwork, groups: Mapping[str, Iterable[str]]
+    ) -> None:
+        self.network = network
+        topology = network.topology
+        self._groups: Dict[str, FrozenSet[Link]] = {}
+        self._of_link: Dict[str, Set[str]] = {}
+        for name, link_names in groups.items():
+            if name.startswith(self.SINGLETON_PREFIX):
+                raise ModelError(
+                    f"group name {name!r} collides with the singleton namespace"
+                )
+            members = frozenset(topology.link(link_name) for link_name in link_names)
+            if not members:
+                raise ModelError(f"shared-risk group {name!r} is empty")
+            self._groups[name] = members
+            for link in members:
+                self._of_link.setdefault(link.name, set()).add(name)
+
+    # ------------------------------------------------------------------
+    def group_names(self) -> Tuple[str, ...]:
+        """The explicitly defined group names."""
+        return tuple(self._groups)
+
+    def links_of(self, group: str) -> FrozenSet[Link]:
+        """All links failed by one failure event of ``group``."""
+        if group.startswith(self.SINGLETON_PREFIX):
+            return frozenset(
+                {self.network.topology.link(group[len(self.SINGLETON_PREFIX) :])}
+            )
+        members = self._groups.get(group)
+        if members is None:
+            raise ModelError(f"unknown shared-risk group {group!r}")
+        return members
+
+    def groups_of(self, link: Link) -> FrozenSet[str]:
+        """Every failure event that would take this link down."""
+        explicit = self._of_link.get(link.name)
+        if explicit:
+            return frozenset(explicit)
+        return frozenset({self.SINGLETON_PREFIX + link.name})
+
+    def links_of_groups(self, groups: Iterable[str]) -> FrozenSet[Link]:
+        """The union of links failed by a set of failure events."""
+        failed: Set[Link] = set()
+        for group in groups:
+            failed |= self.links_of(group)
+        return frozenset(failed)
+
+    def max_group_size(self) -> int:
+        """Largest number of links a single failure event can take down."""
+        if not self._groups:
+            return 1
+        return max(len(members) for members in self._groups.values())
+
+    def __len__(self) -> int:
+        return len(self._groups)
+
+
+def degrade_network(
+    network: MplsNetwork, failed: AbstractSet[Link], name: Optional[str] = None
+) -> MplsNetwork:
+    """Partially evaluate a network under a *fixed* failure set.
+
+    Returns a new network in which the failed links are physically
+    removed and every routing entry is resolved to the highest-priority
+    group that is active under ``failed`` (Definition 2.4's 𝓐 operator,
+    baked in). Verifying a query with ``k = 0`` on the degraded network
+    answers exactly "given that these links have failed, does a matching
+    trace exist?" — the deterministic what-if question operators ask
+    once an event has actually happened.
+
+    Link and interface names are preserved, so queries resolve
+    identically (patterns naming a removed link simply match nothing).
+    """
+    from repro.model.builder import NetworkBuilder
+
+    failed_names = {link.name for link in failed}
+    builder = NetworkBuilder(
+        name if name is not None else f"{network.name}@degraded"
+    )
+    for router in network.topology.routers:
+        coords = router.coordinates
+        builder.router(
+            router.name,
+            coords.latitude if coords else None,
+            coords.longitude if coords else None,
+        )
+    for link in network.topology.links:
+        if link.name in failed_names:
+            continue
+        builder.link(
+            link.name,
+            link.source.name,
+            link.target.name,
+            source_interface=link.source_interface,
+            target_interface=link.target_interface,
+            weight=link.weight,
+        )
+    for label in network.labels:
+        builder.label(label)
+    failed_set = frozenset(failed)
+    for in_link, label, groups in network.routing.items():
+        if in_link.name in failed_names:
+            continue
+        for entry in groups.active_entries(failed_set):
+            builder.rule(
+                in_link.name,
+                label,
+                entry.out_link.name,
+                entry.operations,
+                priority=1,
+            )
+    return builder.build()
+
+
+def _cover_alternatives(
+    srlg: SharedRiskGroups, required: FrozenSet[Link], used: FrozenSet[Link]
+) -> Optional[List[FrozenSet[str]]]:
+    """Group-set alternatives covering a per-step link requirement.
+
+    Each returned alternative is a set of groups whose union contains
+    ``required`` and touches no used link. Returns None when no such
+    cover exists. Exact search — requirement sets are tiny in practice
+    (the links of the higher-priority TE groups of one rule).
+    """
+    per_link: List[List[str]] = []
+    for link in sorted(required, key=lambda l: l.name):
+        candidates = [
+            group
+            for group in sorted(srlg.groups_of(link))
+            if not (srlg.links_of(group) & used)
+        ]
+        if not candidates:
+            return None
+        per_link.append(candidates)
+
+    alternatives: Set[FrozenSet[str]] = set()
+
+    def search(index: int, chosen: FrozenSet[str]) -> None:
+        if index == len(per_link):
+            alternatives.add(chosen)
+            return
+        for group in per_link[index]:
+            search(index + 1, chosen | {group})
+
+    search(0, frozenset())
+    # Drop dominated alternatives (proper supersets of another).
+    pruned: List[FrozenSet[str]] = []
+    for alternative in sorted(alternatives, key=len):
+        if not any(small <= alternative for small in pruned):
+            pruned.append(alternative)
+    return pruned
+
+
+def minimal_failure_groups(
+    network: MplsNetwork,
+    trace: Trace,
+    srlg: SharedRiskGroups,
+    max_groups: int,
+) -> Optional[FrozenSet[str]]:
+    """Smallest set of failure events (≤ max_groups) enabling a trace.
+
+    Like :func:`repro.model.trace.minimal_failure_set`, but failures
+    come in groups: choosing a group fails all of its links, so no
+    chosen group may contain a link the trace traverses. Returns None
+    when no such set of events exists.
+    """
+    used = frozenset(trace.links)
+    per_step: List[List[FrozenSet[str]]] = []
+    for current, following in zip(trace.steps, trace.steps[1:]):
+        requirement_sets = step_requirement_sets(network, current, following)
+        step_alternatives: List[FrozenSet[str]] = []
+        for required in requirement_sets:
+            if required & used:
+                continue
+            covers = _cover_alternatives(srlg, frozenset(required), used)
+            if covers:
+                step_alternatives.extend(covers)
+            elif not required:
+                step_alternatives.append(frozenset())
+        if not step_alternatives:
+            return None
+        pruned: List[FrozenSet[str]] = []
+        for alternative in sorted(set(step_alternatives), key=len):
+            if not any(small <= alternative for small in pruned):
+                pruned.append(alternative)
+        per_step.append(pruned)
+
+    best: Optional[FrozenSet[str]] = None
+    seen: Set[Tuple[int, FrozenSet[str]]] = set()
+
+    def search(index: int, accumulated: FrozenSet[str]) -> None:
+        nonlocal best
+        if len(accumulated) > max_groups:
+            return
+        if best is not None and len(accumulated) >= len(best):
+            return
+        if index == len(per_step):
+            best = accumulated
+            return
+        key = (index, accumulated)
+        if key in seen:
+            return
+        seen.add(key)
+        for alternative in per_step[index]:
+            search(index + 1, accumulated | alternative)
+
+    search(0, frozenset())
+    return best

@@ -1,0 +1,307 @@
+"""Network topology: a directed multigraph of routers and links.
+
+Definition 1 of the paper: a topology is ``(V, E, s, t)`` with routers
+``V``, links ``E`` and source/target maps ``s, t : E → V``. Links are
+*directed* (the paper models asymmetric failures), and multiple parallel
+links between the same router pair are allowed, which is why links carry
+their own identity instead of being (u, v) pairs.
+
+Routers expose named *interfaces*; a link connects an outgoing interface
+of its source router to an incoming interface of its target router, which
+is how the query syntax ``[v.in1#u.in2]`` addresses individual links.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.errors import TopologyError
+
+
+@dataclass(frozen=True)
+class Coordinates:
+    """Geographical router position (latitude/longitude, degrees).
+
+    Used by the *Distance* atomic quantity (Appendix A.2 of the paper) via
+    :func:`haversine_km`.
+    """
+
+    latitude: float
+    longitude: float
+
+
+def haversine_km(a: Coordinates, b: Coordinates) -> float:
+    """Great-circle distance between two coordinates in kilometres."""
+    radius_km = 6371.0
+    lat1, lon1 = math.radians(a.latitude), math.radians(a.longitude)
+    lat2, lon2 = math.radians(b.latitude), math.radians(b.longitude)
+    dlat = lat2 - lat1
+    dlon = lon2 - lon1
+    h = math.sin(dlat / 2) ** 2 + math.cos(lat1) * math.cos(lat2) * math.sin(dlon / 2) ** 2
+    return 2 * radius_km * math.asin(math.sqrt(h))
+
+
+@dataclass(frozen=True)
+class Router:
+    """One router (a vertex of the topology)."""
+
+    name: str
+    coordinates: Optional[Coordinates] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise TopologyError("router name must be non-empty")
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Link:
+    """One directed link ``e`` with ``s(e) = source`` and ``t(e) = target``.
+
+    ``source_interface`` names the outgoing interface on the source router
+    and ``target_interface`` the incoming interface on the target router.
+    ``weight`` is the value of the distance function ``d(e)`` used by the
+    *Distance* atomic quantity (latency, kilometres, inverse bandwidth, …).
+    """
+
+    name: str
+    source: Router
+    target: Router
+    source_interface: str
+    target_interface: str
+    weight: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise TopologyError("link name must be non-empty")
+        if self.weight < 0:
+            raise TopologyError(f"link {self.name}: weight must be non-negative")
+
+    @property
+    def is_self_loop(self) -> bool:
+        """True when source and target router coincide (not counted by *Hops*)."""
+        return self.source == self.target
+
+    def endpoints(self) -> Tuple[Router, Router]:
+        """The (source, target) router pair."""
+        return (self.source, self.target)
+
+    def __str__(self) -> str:
+        return f"{self.name}[{self.source}->{self.target}]"
+
+
+class Topology:
+    """A directed multigraph ``(V, E, s, t)`` with interface bookkeeping.
+
+    Construction is incremental (:meth:`add_router`, :meth:`add_link`);
+    once handed to an :class:`repro.model.network.MplsNetwork` the topology
+    should be treated as frozen.
+    """
+
+    def __init__(self, name: str = "network") -> None:
+        self.name = name
+        self._routers: Dict[str, Router] = {}
+        self._links: Dict[str, Link] = {}
+        self._out: Dict[str, List[Link]] = {}
+        self._in: Dict[str, List[Link]] = {}
+        # (router, outgoing interface) -> link, and the incoming mirror.
+        self._by_out_interface: Dict[Tuple[str, str], Link] = {}
+        self._by_in_interface: Dict[Tuple[str, str], Link] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_router(
+        self, name: str, coordinates: Optional[Coordinates] = None
+    ) -> Router:
+        """Register a router; returns the existing one if already present."""
+        existing = self._routers.get(name)
+        if existing is not None:
+            if coordinates is not None and existing.coordinates is None:
+                updated = Router(name, coordinates)
+                self._routers[name] = updated
+                return updated
+            return existing
+        router = Router(name, coordinates)
+        self._routers[name] = router
+        self._out[name] = []
+        self._in[name] = []
+        return router
+
+    def add_link(
+        self,
+        name: str,
+        source: str,
+        target: str,
+        source_interface: Optional[str] = None,
+        target_interface: Optional[str] = None,
+        weight: int = 1,
+    ) -> Link:
+        """Add a directed link from ``source`` to ``target``.
+
+        Interfaces default to the link name (unique per direction). Both
+        routers must already exist; interface names must be unique per
+        (router, direction).
+        """
+        if name in self._links:
+            raise TopologyError(f"duplicate link name {name!r}")
+        src = self._routers.get(source)
+        dst = self._routers.get(target)
+        if src is None:
+            raise TopologyError(f"link {name!r}: unknown source router {source!r}")
+        if dst is None:
+            raise TopologyError(f"link {name!r}: unknown target router {target!r}")
+        out_if = source_interface if source_interface is not None else name
+        in_if = target_interface if target_interface is not None else name
+        out_key = (source, out_if)
+        in_key = (target, in_if)
+        if out_key in self._by_out_interface:
+            raise TopologyError(
+                f"outgoing interface {out_if!r} already in use on router {source!r}"
+            )
+        if in_key in self._by_in_interface:
+            raise TopologyError(
+                f"incoming interface {in_if!r} already in use on router {target!r}"
+            )
+        link = Link(name, src, dst, out_if, in_if, weight)
+        self._links[name] = link
+        self._out[source].append(link)
+        self._in[target].append(link)
+        self._by_out_interface[out_key] = link
+        self._by_in_interface[in_key] = link
+        return link
+
+    def add_duplex_link(
+        self,
+        source: str,
+        target: str,
+        weight: int = 1,
+        name: Optional[str] = None,
+    ) -> Tuple[Link, Link]:
+        """Add a pair of opposite directed links modelling one physical link.
+
+        Physical MPLS links are bidirectional, but the model (and failure
+        semantics) is directional, so a physical link becomes two ``Link``
+        objects named ``{name}_fw`` / ``{name}_bw``.
+        """
+        base = name if name is not None else f"{source}--{target}"
+        forward = self.add_link(f"{base}_fw", source, target, weight=weight)
+        backward = self.add_link(f"{base}_bw", target, source, weight=weight)
+        return forward, backward
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    @property
+    def routers(self) -> Tuple[Router, ...]:
+        """All routers, in insertion order."""
+        return tuple(self._routers.values())
+
+    @property
+    def links(self) -> Tuple[Link, ...]:
+        """All links, in insertion order."""
+        return tuple(self._links.values())
+
+    def router(self, name: str) -> Router:
+        """Router by name (raises :class:`TopologyError` on a miss)."""
+        router = self._routers.get(name)
+        if router is None:
+            raise TopologyError(f"unknown router {name!r}")
+        return router
+
+    def has_router(self, name: str) -> bool:
+        """Does a router of this name exist?"""
+        return name in self._routers
+
+    def link(self, name: str) -> Link:
+        """Link by name (raises :class:`TopologyError` on a miss)."""
+        link = self._links.get(name)
+        if link is None:
+            raise TopologyError(f"unknown link {name!r}")
+        return link
+
+    def has_link(self, name: str) -> bool:
+        """Does a link of this name exist?"""
+        return name in self._links
+
+    def out_links(self, router: str) -> Tuple[Link, ...]:
+        """Links whose source is ``router``."""
+        if router not in self._routers:
+            raise TopologyError(f"unknown router {router!r}")
+        return tuple(self._out[router])
+
+    def in_links(self, router: str) -> Tuple[Link, ...]:
+        """Links whose target is ``router``."""
+        if router not in self._routers:
+            raise TopologyError(f"unknown router {router!r}")
+        return tuple(self._in[router])
+
+    def link_by_out_interface(self, router: str, interface: str) -> Link:
+        """The unique link leaving ``router`` via ``interface``."""
+        link = self._by_out_interface.get((router, interface))
+        if link is None:
+            raise TopologyError(
+                f"router {router!r} has no outgoing interface {interface!r}"
+            )
+        return link
+
+    def link_by_in_interface(self, router: str, interface: str) -> Link:
+        """The unique link entering ``router`` via ``interface``."""
+        link = self._by_in_interface.get((router, interface))
+        if link is None:
+            raise TopologyError(
+                f"router {router!r} has no incoming interface {interface!r}"
+            )
+        return link
+
+    def links_between(self, source: str, target: str) -> Tuple[Link, ...]:
+        """Every parallel link from ``source`` to ``target``."""
+        return tuple(l for l in self._out.get(source, ()) if l.target.name == target)
+
+    def reverse_link(self, link: Link) -> Optional[Link]:
+        """A link in the opposite direction between the same routers, if any."""
+        candidates = self.links_between(link.target.name, link.source.name)
+        return candidates[0] if candidates else None
+
+    def interfaces(self, router: str) -> Tuple[str, ...]:
+        """All interface names on a router (incoming and outgoing)."""
+        names = [l.source_interface for l in self.out_links(router)]
+        names += [l.target_interface for l in self.in_links(router)]
+        seen: Dict[str, None] = {}
+        for name in names:
+            seen.setdefault(name)
+        return tuple(seen)
+
+    def link_distance(self, link: Link) -> int:
+        """The distance value d(e): geographic km when both endpoints have
+        coordinates, otherwise the link's configured weight."""
+        if (
+            link.source.coordinates is not None
+            and link.target.coordinates is not None
+            and not link.is_self_loop
+        ):
+            return max(1, round(haversine_km(link.source.coordinates, link.target.coordinates)))
+        return link.weight
+
+    # ------------------------------------------------------------------
+    # misc
+    # ------------------------------------------------------------------
+    def degree(self, router: str) -> int:
+        """Total number of incident links (in + out)."""
+        return len(self._out.get(router, ())) + len(self._in.get(router, ()))
+
+    def __len__(self) -> int:
+        return len(self._routers)
+
+    def __iter__(self) -> Iterator[Router]:
+        return iter(self._routers.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"Topology({self.name!r}, routers={len(self._routers)}, "
+            f"links={len(self._links)})"
+        )

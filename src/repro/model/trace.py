@@ -1,0 +1,275 @@
+"""Network traces (Definition 4) and their validity / feasibility checks.
+
+A trace is a finite sequence of (link, header) pairs describing the
+routing of one packet under a set ``F`` of failed links. This module
+provides:
+
+* :class:`Trace` — the immutable sequence plus pretty-printing;
+* :func:`check_trace` — validity of a trace for a *given* failure set F;
+* :func:`minimal_failure_set` — the smallest F enabling a trace (or proof
+  that none of size ≤ k exists), which is the feasibility test the dual
+  engine runs on candidate witnesses from the over-approximation;
+* :func:`enumerate_traces` — a bounded explicit-state simulator used by
+  the reference engine and the test oracles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    AbstractSet,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.errors import ModelError
+from repro.model.header import Header
+from repro.model.network import MplsNetwork
+from repro.model.operations import try_apply_operations
+from repro.model.topology import Link
+
+
+@dataclass(frozen=True)
+class TraceStep:
+    """One (link, header) pair of a trace: the packet *arrived* on ``link``
+    carrying ``header``."""
+
+    link: Link
+    header: Header
+
+    def __str__(self) -> str:
+        return f"({self.link.name}, {self.header})"
+
+
+class Trace:
+    """An immutable sequence of trace steps."""
+
+    __slots__ = ("_steps",)
+
+    def __init__(self, steps: Iterable[TraceStep]) -> None:
+        self._steps: Tuple[TraceStep, ...] = tuple(steps)
+        if not self._steps:
+            raise ModelError("a trace must contain at least one step")
+
+    @classmethod
+    def of(cls, *pairs: Tuple[Link, Header]) -> "Trace":
+        """Build a trace from (link, header) tuples."""
+        return cls(TraceStep(link, header) for link, header in pairs)
+
+    @property
+    def steps(self) -> Tuple[TraceStep, ...]:
+        return self._steps
+
+    @property
+    def links(self) -> Tuple[Link, ...]:
+        """The link sequence e1 … en (matched against the query's ``b``)."""
+        return tuple(step.link for step in self._steps)
+
+    @property
+    def headers(self) -> Tuple[Header, ...]:
+        return tuple(step.header for step in self._steps)
+
+    @property
+    def first_header(self) -> Header:
+        """h1 — matched against the query's initial-header expression."""
+        return self._steps[0].header
+
+    @property
+    def last_header(self) -> Header:
+        """hn — matched against the query's final-header expression."""
+        return self._steps[-1].header
+
+    def __len__(self) -> int:
+        return len(self._steps)
+
+    def __iter__(self) -> Iterator[TraceStep]:
+        return iter(self._steps)
+
+    def __getitem__(self, index: int) -> TraceStep:
+        return self._steps[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Trace):
+            return NotImplemented
+        return self._steps == other._steps
+
+    def __hash__(self) -> int:
+        return hash(self._steps)
+
+    def __str__(self) -> str:
+        return " ".join(str(step) for step in self._steps)
+
+    def __repr__(self) -> str:
+        return f"Trace({self})"
+
+    def pretty(self) -> str:
+        """Multi-line rendering showing, per hop, the router-level view."""
+        lines = []
+        for index, step in enumerate(self._steps):
+            link = step.link
+            lines.append(
+                f"  {index + 1:>3}. {link.source.name} --{link.name}--> "
+                f"{link.target.name}   header: {step.header}"
+            )
+        return "\n".join(lines)
+
+
+def check_trace(
+    network: MplsNetwork, trace: Trace, failed: AbstractSet[Link]
+) -> bool:
+    """Definition 4: is ``trace`` a valid trace of ``network`` under ``F``?
+
+    Checks that no used link is failed and that every consecutive pair is
+    justified by an active entry of the highest-priority active group.
+    """
+    for step in trace:
+        if step.link in failed:
+            return False
+    for current, following in zip(trace.steps, trace.steps[1:]):
+        alternatives = network.forwarding_alternatives(
+            current.link, current.header, failed
+        )
+        if not any(
+            entry.out_link == following.link and header == following.header
+            for entry, header in alternatives
+        ):
+            return False
+    return True
+
+
+def _step_requirements(
+    network: MplsNetwork, current: TraceStep, following: TraceStep
+) -> List[FrozenSet[Link]]:
+    """All per-step failure requirements justifying ``current → following``.
+
+    Each element is the set of links that must be failed so that the
+    highest-priority active group contains the used entry. Several
+    alternatives can exist when the same (out link, rewritten header)
+    appears in more than one priority group.
+    """
+    groups = network.group_sequence(current.link, current.header.top)
+    requirements: List[FrozenSet[Link]] = []
+    for priority_index, entry in groups.all_entries():
+        if entry.out_link != following.link:
+            continue
+        rewritten = try_apply_operations(current.header, entry.operations)
+        if rewritten != following.header:
+            continue
+        required = groups.required_failures(priority_index)
+        if entry.out_link in required:
+            # The used link would itself have to be failed: contradiction.
+            continue
+        requirements.append(required)
+    return requirements
+
+
+def step_requirement_sets(
+    network: MplsNetwork, current: TraceStep, following: TraceStep
+) -> List[FrozenSet[Link]]:
+    """Public alias of the per-step failure-requirement computation.
+
+    Used by the SRLG extension, which needs the raw requirement sets to
+    cover them with failure *events* instead of individual links.
+    """
+    return _step_requirements(network, current, following)
+
+
+def minimal_failure_set(
+    network: MplsNetwork, trace: Trace, max_failures: int
+) -> Optional[FrozenSet[Link]]:
+    """Smallest failure set ``F`` with |F| ≤ k making the trace valid.
+
+    Returns None when no such set exists. The used links of the trace can
+    never be in F. Per step there may be several alternative requirement
+    sets (rarely more than one); the search is a small exact set-cover
+    over those alternatives, with memoization on the accumulated set.
+    """
+    used = frozenset(trace.links)
+    per_step: List[List[FrozenSet[Link]]] = []
+    for current, following in zip(trace.steps, trace.steps[1:]):
+        alternatives = _step_requirements(network, current, following)
+        alternatives = [req for req in alternatives if not (req & used)]
+        if not alternatives:
+            return None
+        # Deduplicate and drop dominated alternatives (supersets).
+        pruned: List[FrozenSet[Link]] = []
+        for req in sorted(set(alternatives), key=len):
+            if not any(small <= req for small in pruned):
+                pruned.append(req)
+        per_step.append(pruned)
+
+    best: Optional[FrozenSet[Link]] = None
+    seen: Set[Tuple[int, FrozenSet[Link]]] = set()
+
+    def search(index: int, accumulated: FrozenSet[Link]) -> None:
+        nonlocal best
+        if len(accumulated) > max_failures:
+            return
+        if best is not None and len(accumulated) >= len(best):
+            return
+        if index == len(per_step):
+            best = accumulated
+            return
+        key = (index, accumulated)
+        if key in seen:
+            return
+        seen.add(key)
+        for requirement in per_step[index]:
+            search(index + 1, accumulated | requirement)
+
+    search(0, frozenset())
+    return best
+
+
+def simulate_step(
+    network: MplsNetwork, step: TraceStep, failed: AbstractSet[Link]
+) -> Tuple[TraceStep, ...]:
+    """All possible successor steps of one trace step under ``F``."""
+    return tuple(
+        TraceStep(entry.out_link, header)
+        for entry, header in network.forwarding_alternatives(
+            step.link, step.header, failed
+        )
+    )
+
+
+def enumerate_traces(
+    network: MplsNetwork,
+    initial: TraceStep,
+    failed: AbstractSet[Link],
+    max_length: int,
+    max_header_depth: Optional[int] = None,
+) -> Iterator[Trace]:
+    """Yield every valid trace from ``initial`` up to ``max_length`` steps.
+
+    Traces are emitted for every prefix (a packet may leave the network at
+    any point where τ is undefined — and a query may also match a strict
+    prefix of a longer routing). ``max_header_depth`` bounds the label
+    stack so that push-loops terminate; the exponential cost is why this
+    is only a test oracle, mirroring the paper's remark that the direct
+    encoding is exponentially slower than the symbolic PDA approach.
+    """
+    if initial.link in failed:
+        return
+    stack: List[Tuple[TraceStep, ...]] = [(initial,)]
+    seen: Set[Tuple[TraceStep, ...]] = set()
+    while stack:
+        prefix = stack.pop()
+        yield Trace(prefix)
+        if len(prefix) >= max_length:
+            continue
+        for successor in simulate_step(network, prefix[-1], failed):
+            if max_header_depth is not None and successor.header.depth > max_header_depth:
+                continue
+            extended = prefix + (successor,)
+            if extended in seen:
+                continue
+            seen.add(extended)
+            stack.append(extended)

@@ -1,0 +1,73 @@
+"""Weighted pushdown automata library (§4.1 of the paper).
+
+Pushdown systems, bounded idempotent semirings, weighted pre*/post*
+saturation with witness reconstruction, static reductions, and a
+reachability solver facade.
+"""
+
+from repro.pda.automaton import EPSILON, WeightedPAutomaton
+from repro.pda.poststar import SaturationResult, mid_state, poststar, poststar_single
+from repro.pda.prestar import prestar, prestar_single
+from repro.pda.reductions import (
+    ReductionReport,
+    TopOfStackAnalysis,
+    analyze_top_of_stack,
+    reduce_pushdown,
+)
+from repro.pda.semiring import (
+    BOOLEAN,
+    MIN_PLUS,
+    BooleanSemiring,
+    MinPlusSemiring,
+    MinPlusVectorSemiring,
+    Semiring,
+    vector_semiring,
+)
+from repro.pda.solver import (
+    ReachabilityOutcome,
+    SolverStats,
+    solve_reachability,
+)
+from repro.pda.system import (
+    Configuration,
+    PushdownSystem,
+    Rule,
+    apply_rule,
+    run_rules,
+)
+from repro.pda.witness import (
+    reconstruct_poststar_run,
+    reconstruct_prestar_run,
+)
+
+__all__ = [
+    "BOOLEAN",
+    "BooleanSemiring",
+    "Configuration",
+    "EPSILON",
+    "MIN_PLUS",
+    "MinPlusSemiring",
+    "MinPlusVectorSemiring",
+    "PushdownSystem",
+    "ReachabilityOutcome",
+    "ReductionReport",
+    "Rule",
+    "SaturationResult",
+    "Semiring",
+    "SolverStats",
+    "TopOfStackAnalysis",
+    "WeightedPAutomaton",
+    "analyze_top_of_stack",
+    "apply_rule",
+    "mid_state",
+    "poststar",
+    "poststar_single",
+    "prestar",
+    "prestar_single",
+    "reconstruct_poststar_run",
+    "reconstruct_prestar_run",
+    "reduce_pushdown",
+    "run_rules",
+    "solve_reachability",
+    "vector_semiring",
+]

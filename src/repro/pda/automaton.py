@@ -1,0 +1,215 @@
+"""Weighted P-automata: the saturation workspace and result object.
+
+A *P-automaton* is an NFA over the stack alphabet whose states include
+the control states of a pushdown system; it represents a regular set of
+configurations: ``⟨p, γ1…γn⟩`` is accepted iff the automaton has a path
+``p --γ1--> … --γn--> q`` ending in a final state. The saturation
+procedures (:mod:`repro.pda.prestar`, :mod:`repro.pda.poststar`) grow
+such an automaton until it represents ``pre*`` / ``post*`` of the
+initial configuration set.
+
+Weighted transitions carry a semiring weight and a *witness* — a small
+tuple describing how the transition arose, from which
+:mod:`repro.pda.witness` reconstructs actual PDS rule sequences.
+
+The class also implements the Dijkstra-style worklist shared by both
+saturators: :meth:`relax` inserts/improves transitions, :meth:`pop`
+finalizes the best pending one.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from repro.errors import PdaError
+from repro.pda.semiring import Semiring
+
+State = Hashable
+Symbol = Hashable
+
+#: Transition key: (source, symbol, target). ``symbol`` may be EPSILON.
+Key = Tuple[State, Any, State]
+
+
+class _Epsilon:
+    """Singleton ε marker for post*'s intermediate transitions."""
+
+    _instance: Optional["_Epsilon"] = None
+
+    def __new__(cls) -> "_Epsilon":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "ε"
+
+
+EPSILON = _Epsilon()
+
+
+def _heap_key(weight: Any) -> Any:
+    """Total-order key for the priority queue; smaller = better.
+
+    Booleans: True (reachable) sorts before False. Numbers and tuples
+    order naturally.
+    """
+    if weight is True or weight is False:
+        return 0 if weight else 1
+    return weight
+
+
+class WeightedPAutomaton:
+    """A weighted P-automaton plus the saturation worklist state."""
+
+    def __init__(self, semiring: Semiring, final_states: Iterable[State]) -> None:
+        self.semiring = semiring
+        self.final_states: FrozenSet[State] = frozenset(final_states)
+        #: Best known weight per transition key.
+        self.weights: Dict[Key, Any] = {}
+        #: Witness (provenance) tuple per transition key.
+        self.witnesses: Dict[Key, Tuple[Any, ...]] = {}
+        #: Non-ε out-edges per state: symbol -> set of targets.
+        self.out_edges: Dict[State, Dict[Any, Set[State]]] = {}
+        #: ε-transition sources per target state (post* bookkeeping).
+        self.eps_by_target: Dict[State, Set[State]] = {}
+        self._finalized: Set[Key] = set()
+        self._heap: List[Tuple[Any, int, Key]] = []
+        self._counter = 0
+        #: Number of relaxations that actually improved a weight.
+        self.relaxations = 0
+
+    # ------------------------------------------------------------------
+    # worklist
+    # ------------------------------------------------------------------
+    def relax(self, key: Key, weight: Any, witness: Tuple[Any, ...]) -> bool:
+        """Insert or improve a transition; returns True when it changed."""
+        if self.semiring.is_zero(weight):
+            return False
+        current = self.weights.get(key)
+        if current is not None and not self.semiring.less(weight, current):
+            return False
+        if key in self._finalized:
+            # Monotone weights guarantee finalized transitions are optimal.
+            raise PdaError(f"non-monotone weight improvement on finalized {key}")
+        self.weights[key] = weight
+        self.witnesses[key] = witness
+        self.relaxations += 1
+        source, symbol, target = key
+        if symbol is EPSILON:
+            self.eps_by_target.setdefault(target, set()).add(source)
+        else:
+            self.out_edges.setdefault(source, {}).setdefault(symbol, set()).add(target)
+        self._counter += 1
+        heapq.heappush(self._heap, (_heap_key(weight), self._counter, key))
+        return True
+
+    def pop(self) -> Optional[Tuple[Key, Any]]:
+        """Finalize and return the best pending transition, or None."""
+        while self._heap:
+            _, _, key = heapq.heappop(self._heap)
+            if key in self._finalized:
+                continue
+            weight = self.weights[key]
+            self._finalized.add(key)
+            return key, weight
+        return None
+
+    def is_finalized(self, key: Key) -> bool:
+        """Has this transition's weight been fixed by a pop?"""
+        return key in self._finalized
+
+    # ------------------------------------------------------------------
+    # acceptance
+    # ------------------------------------------------------------------
+    def transition_weight(self, key: Key) -> Any:
+        """Best known weight of one transition (zero if absent)."""
+        return self.weights.get(key, self.semiring.zero)
+
+    def targets(self, state: State, symbol: Any) -> FrozenSet[State]:
+        """Non-ε successors of ``state`` under ``symbol``."""
+        return frozenset(self.out_edges.get(state, {}).get(symbol, ()))
+
+    def accept_weight(
+        self, state: State, stack: Tuple[Any, ...]
+    ) -> Tuple[Any, Optional[Tuple[Key, ...]]]:
+        """Minimal weight of an accepting path for ``⟨state, stack⟩``.
+
+        Returns ``(weight, path)`` where ``path`` is the transition-key
+        sequence realizing it, or ``(zero, None)`` when the configuration
+        is not accepted. Stacks must be non-empty (the encodings in this
+        library always keep a bottom marker on the stack).
+        """
+        if not stack:
+            raise PdaError("empty-stack acceptance is not supported")
+        semiring = self.semiring
+        # Dijkstra over (automaton state, stack position).
+        start = (state, 0)
+        best: Dict[Tuple[State, int], Any] = {start: semiring.one}
+        back: Dict[Tuple[State, int], Tuple[Tuple[State, int], Key]] = {}
+        heap: List[Tuple[Any, int, Tuple[State, int]]] = [
+            (_heap_key(semiring.one), 0, start)
+        ]
+        counter = 0
+        done: Set[Tuple[State, int]] = set()
+        goal: Optional[Tuple[State, int]] = None
+        while heap:
+            _, _, node = heapq.heappop(heap)
+            if node in done:
+                continue
+            done.add(node)
+            current_state, position = node
+            if position == len(stack):
+                if current_state in self.final_states:
+                    goal = node
+                    break
+                continue
+            symbol = stack[position]
+            for target in self.targets(current_state, symbol):
+                key = (current_state, symbol, target)
+                weight = semiring.extend(best[node], self.weights[key])
+                successor = (target, position + 1)
+                known = best.get(successor)
+                if known is None or semiring.less(weight, known):
+                    best[successor] = weight
+                    back[successor] = (node, key)
+                    counter += 1
+                    heapq.heappush(heap, (_heap_key(weight), counter, successor))
+        if goal is None:
+            return semiring.zero, None
+        path: List[Key] = []
+        node = goal
+        while node != start:
+            node, key = back[node]
+            path.append(key)
+        path.reverse()
+        return best[goal], tuple(path)
+
+    def accepts(self, state: State, stack: Tuple[Any, ...]) -> bool:
+        """Boolean acceptance of a configuration."""
+        weight, _ = self.accept_weight(state, stack)
+        return not self.semiring.is_zero(weight)
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    def transition_count(self) -> int:
+        """Number of distinct transitions (including ε ones)."""
+        return len(self.weights)
+
+    def __repr__(self) -> str:
+        return (
+            f"WeightedPAutomaton(transitions={len(self.weights)}, "
+            f"finalized={len(self._finalized)})"
+        )

@@ -1,0 +1,285 @@
+"""A reduced ordered binary decision diagram (ROBDD) library.
+
+Moped — the baseline model checker of the paper's evaluation — is a
+*symbolic* pushdown model checker: control states and stack symbols are
+encoded in binary and the saturation fixpoint is computed on BDDs
+[35, ch. 4]. This module provides the BDD kernel that
+:mod:`repro.verification.moped` builds its symbolic pre* on:
+
+* hash-consed nodes (``(variable, low, high)`` interned in a unique
+  table), so BDD equality is identity;
+* memoized ``apply`` for conjunction/disjunction, negation, existential
+  quantification over variable blocks, and monotone variable renaming
+  (sufficient for relational composition when block order is preserved);
+* satisfying-assignment extraction and model counting for tests.
+
+The implementation favours clarity over raw speed — matching the role
+of the original: a general-purpose symbolic engine, not a
+network-tailored one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import PdaError
+
+#: Node ids; 0 and 1 are the terminals.
+FALSE = 0
+TRUE = 1
+
+
+class Bdd:
+    """A BDD manager: owns the unique table and operation caches.
+
+    Variables are non-negative integers; smaller ids sit higher in the
+    diagram (closer to the root). All functions created by one manager
+    share its node space.
+    """
+
+    def __init__(self) -> None:
+        # node id -> (var, low, high); ids 0/1 are terminals.
+        self._nodes: List[Tuple[int, int, int]] = [(-1, -1, -1), (-1, -1, -1)]
+        self._unique: Dict[Tuple[int, int, int], int] = {}
+        self._and_cache: Dict[Tuple[int, int], int] = {}
+        self._or_cache: Dict[Tuple[int, int], int] = {}
+        self._not_cache: Dict[int, int] = {}
+        self._exists_cache: Dict[Tuple[int, FrozenSet[int]], int] = {}
+        self._rename_cache: Dict[Tuple[int, Tuple[Tuple[int, int], ...]], int] = {}
+
+    # ------------------------------------------------------------------
+    # node construction
+    # ------------------------------------------------------------------
+    def node(self, variable: int, low: int, high: int) -> int:
+        """The canonical node for (variable, low, high)."""
+        if low == high:
+            return low
+        key = (variable, low, high)
+        found = self._unique.get(key)
+        if found is not None:
+            return found
+        node_id = len(self._nodes)
+        self._nodes.append(key)
+        self._unique[key] = node_id
+        return node_id
+
+    def var(self, variable: int) -> int:
+        """The function "variable is true"."""
+        return self.node(variable, FALSE, TRUE)
+
+    def nvar(self, variable: int) -> int:
+        """The function "variable is false"."""
+        return self.node(variable, TRUE, FALSE)
+
+    def variable_of(self, node: int) -> int:
+        """The decision variable of an internal node."""
+        return self._nodes[node][0]
+
+    def low(self, node: int) -> int:
+        """The child followed when the variable is false."""
+        return self._nodes[node][1]
+
+    def high(self, node: int) -> int:
+        """The child followed when the variable is true."""
+        return self._nodes[node][2]
+
+    def node_count(self) -> int:
+        """Total allocated nodes (a size/leak diagnostic)."""
+        return len(self._nodes)
+
+    # ------------------------------------------------------------------
+    # boolean operations
+    # ------------------------------------------------------------------
+    def apply_and(self, left: int, right: int) -> int:
+        """Conjunction of two functions (memoized Shannon expansion)."""
+        if left == FALSE or right == FALSE:
+            return FALSE
+        if left == TRUE:
+            return right
+        if right == TRUE:
+            return left
+        if left == right:
+            return left
+        if left > right:
+            left, right = right, left
+        key = (left, right)
+        found = self._and_cache.get(key)
+        if found is not None:
+            return found
+        result = self._apply(left, right, self.apply_and)
+        self._and_cache[key] = result
+        return result
+
+    def apply_or(self, left: int, right: int) -> int:
+        """Disjunction of two functions (memoized Shannon expansion)."""
+        if left == TRUE or right == TRUE:
+            return TRUE
+        if left == FALSE:
+            return right
+        if right == FALSE:
+            return left
+        if left == right:
+            return left
+        if left > right:
+            left, right = right, left
+        key = (left, right)
+        found = self._or_cache.get(key)
+        if found is not None:
+            return found
+        result = self._apply(left, right, self.apply_or)
+        self._or_cache[key] = result
+        return result
+
+    def _apply(self, left: int, right: int, op) -> int:
+        # Callers dispatch the terminal cases; both operands are internal.
+        var_left = self._nodes[left][0]
+        var_right = self._nodes[right][0]
+        if var_left == var_right:
+            variable = var_left
+            low = op(self._nodes[left][1], self._nodes[right][1])
+            high = op(self._nodes[left][2], self._nodes[right][2])
+        elif var_left < var_right:
+            variable = var_left
+            low = op(self._nodes[left][1], right)
+            high = op(self._nodes[left][2], right)
+        else:
+            variable = var_right
+            low = op(left, self._nodes[right][1])
+            high = op(left, self._nodes[right][2])
+        return self.node(variable, low, high)
+
+    def apply_not(self, operand: int) -> int:
+        """Negation of a function."""
+        if operand == TRUE:
+            return FALSE
+        if operand == FALSE:
+            return TRUE
+        found = self._not_cache.get(operand)
+        if found is not None:
+            return found
+        variable, low, high = self._nodes[operand]
+        result = self.node(variable, self.apply_not(low), self.apply_not(high))
+        self._not_cache[operand] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # quantification and renaming
+    # ------------------------------------------------------------------
+    def exists(self, operand: int, variables: Iterable[int]) -> int:
+        """∃ v1…vn . f — existential quantification over a variable set."""
+        var_set = frozenset(variables)
+        if not var_set or operand <= TRUE:
+            return operand
+        key = (operand, var_set)
+        found = self._exists_cache.get(key)
+        if found is not None:
+            return found
+        variable, low, high = self._nodes[operand]
+        low_q = self.exists(low, var_set)
+        high_q = self.exists(high, var_set)
+        if variable in var_set:
+            result = self.apply_or(low_q, high_q)
+        else:
+            result = self.node(variable, low_q, high_q)
+        self._exists_cache[key] = result
+        return result
+
+    def rename(self, operand: int, mapping: Dict[int, int]) -> int:
+        """Substitute variables; the mapping must be order-preserving
+        (monotone), which keeps the diagram ordered without reordering."""
+        items = tuple(sorted(mapping.items()))
+        previous = -1
+        for source, target in items:
+            if target <= previous:
+                raise PdaError("rename mapping must be strictly monotone")
+            previous = target
+        return self._rename(operand, items)
+
+    def _rename(self, operand: int, items: Tuple[Tuple[int, int], ...]) -> int:
+        if operand <= TRUE:
+            return operand
+        key = (operand, items)
+        found = self._rename_cache.get(key)
+        if found is not None:
+            return found
+        variable, low, high = self._nodes[operand]
+        renamed = dict(items).get(variable, variable)
+        result = self.node(
+            renamed, self._rename(low, items), self._rename(high, items)
+        )
+        self._rename_cache[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # encodings and inspection
+    # ------------------------------------------------------------------
+    def cube(self, assignment: Sequence[Tuple[int, bool]]) -> int:
+        """The conjunction of literals (variable, polarity)."""
+        result = TRUE
+        for variable, polarity in sorted(assignment, reverse=True):
+            literal = self.var(variable) if polarity else self.nvar(variable)
+            result = self.apply_and(result, literal)
+        return result
+
+    def encode_value(self, value: int, variables: Sequence[int]) -> int:
+        """The cube encoding ``value`` in binary over ``variables``
+        (least significant bit on the first variable)."""
+        return self.cube(
+            [(variable, bool((value >> bit) & 1)) for bit, variable in enumerate(variables)]
+        )
+
+    def satisfy_one(self, operand: int) -> Optional[Dict[int, bool]]:
+        """One satisfying assignment (only for mentioned variables)."""
+        if operand == FALSE:
+            return None
+        assignment: Dict[int, bool] = {}
+        node = operand
+        while node > TRUE:
+            variable, low, high = self._nodes[node]
+            if high != FALSE:
+                assignment[variable] = True
+                node = high
+            else:
+                assignment[variable] = False
+                node = low
+        return assignment
+
+    def evaluate(self, operand: int, assignment: Dict[int, bool]) -> bool:
+        """Evaluate under a (total for mentioned variables) assignment."""
+        node = operand
+        while node > TRUE:
+            variable, low, high = self._nodes[node]
+            node = high if assignment.get(variable, False) else low
+        return node == TRUE
+
+    def count_models(self, operand: int, variables: Sequence[int]) -> int:
+        """Number of satisfying assignments over the given variable set."""
+        var_list = sorted(variables)
+        positions = {variable: index for index, variable in enumerate(var_list)}
+        cache: Dict[int, int] = {}
+
+        def count(node: int, depth: int) -> int:
+            if node == FALSE:
+                return 0
+            if node == TRUE:
+                return 1 << (len(var_list) - depth)
+            variable, low, high = self._nodes[node]
+            position = positions.get(variable)
+            if position is None:
+                raise PdaError(f"variable {variable} outside the counting set")
+            key = node
+            cached = cache.get(key)
+            if cached is None:
+                cached = count(low, position + 1) + count(high, position + 1)
+                cache[key] = cached
+            # Account for skipped variables between depth and position.
+            return cached << (position - depth)
+
+        return count(operand, 0)
+
+
+def bits_needed(cardinality: int) -> int:
+    """Number of bits to encode values 0 .. cardinality-1 (min 1)."""
+    if cardinality <= 1:
+        return 1
+    return (cardinality - 1).bit_length()

@@ -1,0 +1,176 @@
+"""Weighted post* saturation (forward reachability).
+
+Implements the generalized post* algorithm of Reps–Schwoon–Jha–Melski
+[33] / Schwoon's thesis [35], run Dijkstra-style: the worklist is a
+priority queue ordered by weight, so every automaton transition is
+finalized with its *minimal* weight the first time it is popped. This
+is both asymptotically efficient and realizes the paper's guided search
+toward minimal-weight (e.g. fewest-failures) witnesses; it also enables
+sound early termination the moment the target configuration's
+transition is finalized.
+
+Given a PDS and an initial P-automaton ``A`` (no transitions into
+control states, no ε-transitions), the saturated automaton accepts
+exactly ``post*(L(A))`` with meet-over-all-runs weights.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Hashable, Iterable, Optional, Sequence, Tuple
+
+from repro.errors import PdaError, VerificationTimeout
+from repro.pda.automaton import EPSILON, Key, State, WeightedPAutomaton
+from repro.pda.semiring import Semiring
+from repro.pda.system import PushdownSystem
+
+#: Marker distinguishing the synthetic mid-states of push rules.
+_MID = "__post*__"
+
+
+def mid_state(to_state: State, symbol: Any) -> Tuple[str, State, Any]:
+    """The unique extra state ``q_{p',γ'}`` for a push-rule head."""
+    return (_MID, to_state, symbol)
+
+
+@dataclass
+class SaturationResult:
+    """Outcome of a saturation run."""
+
+    automaton: WeightedPAutomaton
+    #: Number of transitions finalized.
+    iterations: int
+    #: True when the run stopped early because the target was finalized.
+    early_terminated: bool
+
+    @property
+    def transition_count(self) -> int:
+        return self.automaton.transition_count()
+
+
+def poststar(
+    pds: PushdownSystem,
+    semiring: Semiring,
+    initial_transitions: Sequence[Tuple[State, Any, State]],
+    final_states: Iterable[State],
+    target: Optional[Tuple[State, Any]] = None,
+    max_steps: Optional[int] = None,
+    deadline: Optional[float] = None,
+) -> SaturationResult:
+    """Saturate ``post*`` of the configurations accepted by the initial
+    automaton.
+
+    ``initial_transitions`` and ``final_states`` describe the automaton
+    ``A`` of initial configurations. If ``target = (state, symbol)`` is
+    given, saturation stops as soon as a transition ``(state, symbol,
+    final)`` is finalized — its weight is then already minimal.
+    """
+    control_states = pds.states
+    automaton = WeightedPAutomaton(semiring, final_states)
+    for source, symbol, target_state in initial_transitions:
+        if target_state in control_states:
+            raise PdaError(
+                "initial automaton must not have transitions into control states"
+            )
+        if symbol is EPSILON:
+            raise PdaError("initial automaton must be ε-free")
+        automaton.relax((source, symbol, target_state), semiring.one, ("init",))
+
+    final_set = automaton.final_states
+    iterations = 0
+    while True:
+        popped = automaton.pop()
+        if popped is None:
+            return SaturationResult(automaton, iterations, early_terminated=False)
+        iterations += 1
+        if deadline is not None and iterations % 512 == 0 and time.perf_counter() > deadline:
+            raise VerificationTimeout("saturation exceeded its wall-clock deadline")
+        if max_steps is not None and iterations > max_steps:
+            raise PdaError(f"post* exceeded the step budget of {max_steps}")
+        key, weight = popped
+        source, symbol, target_state = key
+
+        if symbol is EPSILON:
+            # Combine the ε-transition with every edge leaving its target.
+            for out_symbol, out_targets in (
+                automaton.out_edges.get(target_state, {}).items()
+            ):
+                for out_target in out_targets:
+                    partner: Key = (target_state, out_symbol, out_target)
+                    combined = semiring.extend(weight, automaton.weights[partner])
+                    automaton.relax(
+                        (source, out_symbol, out_target),
+                        combined,
+                        ("eps", key, partner),
+                    )
+            continue
+
+        if (
+            target is not None
+            and source == target[0]
+            and symbol == target[1]
+            and target_state in final_set
+        ):
+            return SaturationResult(automaton, iterations, early_terminated=True)
+
+        # Apply every rule whose head matches the popped transition.
+        for rule in pds.rules_from(source, symbol):
+            extended = semiring.extend(weight, rule.weight)
+            if rule.is_swap:
+                automaton.relax(
+                    (rule.to_state, rule.push[0], target_state),
+                    extended,
+                    ("step", rule, key),
+                )
+            elif rule.is_pop:
+                automaton.relax(
+                    (rule.to_state, EPSILON, target_state),
+                    extended,
+                    ("step", rule, key),
+                )
+            else:  # push
+                top, below = rule.push
+                middle = mid_state(rule.to_state, top)
+                automaton.relax(
+                    (rule.to_state, top, middle), semiring.one, ("push-head", rule)
+                )
+                automaton.relax(
+                    (middle, below, target_state),
+                    extended,
+                    ("push-tail", rule, key),
+                )
+
+        # Combine with finalized-or-pending ε-transitions ending at `source`.
+        for eps_source in automaton.eps_by_target.get(source, ()):
+            eps_key: Key = (eps_source, EPSILON, source)
+            combined = semiring.extend(automaton.weights[eps_key], weight)
+            automaton.relax(
+                (eps_source, symbol, target_state), combined, ("eps", eps_key, key)
+            )
+
+
+def poststar_single(
+    pds: PushdownSystem,
+    semiring: Semiring,
+    initial_state: State,
+    initial_symbol: Any,
+    target: Optional[Tuple[State, Any]] = None,
+    max_steps: Optional[int] = None,
+    deadline: Optional[float] = None,
+) -> SaturationResult:
+    """post* from the single configuration ``⟨initial_state, initial_symbol⟩``.
+
+    This is the shape the network encodings use: one starting control
+    state with just the stack-bottom marker.
+    """
+    final = ("__final__", initial_state)
+    return poststar(
+        pds,
+        semiring,
+        initial_transitions=[(initial_state, initial_symbol, final)],
+        final_states=[final],
+        target=target,
+        max_steps=max_steps,
+        deadline=deadline,
+    )

@@ -1,0 +1,151 @@
+"""Weighted pre* saturation (backward reachability).
+
+Implements the generalized pre* algorithm of Bouajjani–Esparza–Maler
+[9] with weights per Reps–Schwoon–Jha–Melski [33]. Given a PDS and a
+target P-automaton (no transitions into control states), the saturated
+automaton accepts exactly ``pre*(L(A))``: every configuration from
+which some target configuration is reachable, annotated with the
+minimal weight of such a run.
+
+This is the algorithm a *generic* pushdown model checker such as Moped
+runs; the Moped-baseline backend of the verification layer uses it
+as-is, exhaustively (no early termination), which reproduces the
+performance relationship the paper evaluates.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import PdaError, VerificationTimeout
+from repro.pda.automaton import EPSILON, Key, State, WeightedPAutomaton
+from repro.pda.poststar import SaturationResult
+from repro.pda.semiring import Semiring
+from repro.pda.system import PushdownSystem, Rule
+
+
+def prestar(
+    pds: PushdownSystem,
+    semiring: Semiring,
+    target_transitions: Sequence[Tuple[State, Any, State]],
+    final_states: Iterable[State],
+    target: Optional[Tuple[State, Any]] = None,
+    max_steps: Optional[int] = None,
+    deadline: Optional[float] = None,
+) -> SaturationResult:
+    """Saturate ``pre*`` of the configurations accepted by the target
+    automaton.
+
+    If ``target = (state, symbol)`` is given (the *initial* configuration
+    of the reachability question), saturation may stop as soon as the
+    transition ``(state, symbol, final)`` is finalized.
+    """
+    control_states = pds.states
+    automaton = WeightedPAutomaton(semiring, final_states)
+    for source, symbol, target_state in target_transitions:
+        if target_state in control_states:
+            raise PdaError(
+                "target automaton must not have transitions into control states"
+            )
+        if symbol is EPSILON:
+            raise PdaError("target automaton must be ε-free")
+        automaton.relax((source, symbol, target_state), semiring.one, ("init",))
+
+    # Rule indexes for the two saturation directions.
+    swap_rules: Dict[Tuple[State, Any], List[Rule]] = {}
+    push_rules_head: Dict[Tuple[State, Any], List[Rule]] = {}
+    push_rules_below: Dict[Any, List[Rule]] = {}
+    for rule in pds.rules:
+        if rule.is_pop:
+            # ⟨p, γ⟩ → ⟨p', ε⟩: (p, γ, p') holds unconditionally.
+            automaton.relax(
+                (rule.from_state, rule.pop, rule.to_state),
+                rule.weight,
+                ("rule", rule, ()),
+            )
+        elif rule.is_swap:
+            swap_rules.setdefault((rule.to_state, rule.push[0]), []).append(rule)
+        else:
+            push_rules_head.setdefault((rule.to_state, rule.push[0]), []).append(rule)
+            push_rules_below.setdefault(rule.push[1], []).append(rule)
+
+    final_set = automaton.final_states
+    iterations = 0
+    while True:
+        popped = automaton.pop()
+        if popped is None:
+            return SaturationResult(automaton, iterations, early_terminated=False)
+        iterations += 1
+        if deadline is not None and iterations % 512 == 0 and time.perf_counter() > deadline:
+            raise VerificationTimeout("saturation exceeded its wall-clock deadline")
+        if max_steps is not None and iterations > max_steps:
+            raise PdaError(f"pre* exceeded the step budget of {max_steps}")
+        key, weight = popped
+        source, symbol, target_state = key
+
+        if (
+            target is not None
+            and source == target[0]
+            and symbol == target[1]
+            and target_state in final_set
+        ):
+            return SaturationResult(automaton, iterations, early_terminated=True)
+
+        # Swap rules ⟨p, γ⟩ → ⟨p', γ1⟩ with (p', γ1) = (source, symbol).
+        for rule in swap_rules.get((source, symbol), ()):
+            automaton.relax(
+                (rule.from_state, rule.pop, target_state),
+                semiring.extend(rule.weight, weight),
+                ("rule", rule, (key,)),
+            )
+
+        # Push rules where the popped transition reads the *first* pushed
+        # symbol: ⟨p, γ⟩ → ⟨source, symbol · γ2⟩; need (target_state, γ2, q2).
+        for rule in push_rules_head.get((source, symbol), ()):
+            below = rule.push[1]
+            for q2 in automaton.targets(target_state, below):
+                partner: Key = (target_state, below, q2)
+                automaton.relax(
+                    (rule.from_state, rule.pop, q2),
+                    semiring.extend(
+                        rule.weight,
+                        semiring.extend(weight, automaton.weights[partner]),
+                    ),
+                    ("rule", rule, (key, partner)),
+                )
+
+        # Push rules where the popped transition reads the *second* pushed
+        # symbol: need an existing (p', γ1, source).
+        for rule in push_rules_below.get(symbol, ()):
+            head: Key = (rule.to_state, rule.push[0], source)
+            head_weight = automaton.weights.get(head)
+            if head_weight is None:
+                continue
+            automaton.relax(
+                (rule.from_state, rule.pop, target_state),
+                semiring.extend(rule.weight, semiring.extend(head_weight, weight)),
+                ("rule", rule, (head, key)),
+            )
+
+
+def prestar_single(
+    pds: PushdownSystem,
+    semiring: Semiring,
+    target_state: State,
+    target_symbol: Any,
+    source: Optional[Tuple[State, Any]] = None,
+    max_steps: Optional[int] = None,
+    deadline: Optional[float] = None,
+) -> SaturationResult:
+    """pre* of the single configuration ``⟨target_state, target_symbol⟩``."""
+    final = ("__final__", target_state)
+    return prestar(
+        pds,
+        semiring,
+        target_transitions=[(target_state, target_symbol, final)],
+        final_states=[final],
+        target=source,
+        max_steps=max_steps,
+        deadline=deadline,
+    )

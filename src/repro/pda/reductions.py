@@ -1,0 +1,159 @@
+"""Static reductions on pushdown systems (§4.2 of the paper).
+
+Before saturation, AalWiNes runs "a series of reductions (based on
+static analysis that overapproximates the possible top-of-stack symbols
+in every given control state) … removing redundant rules in order to
+decrease its size". This module implements that pass:
+
+* a fixpoint *top-of-stack* analysis computing, per control state ``p``,
+  the set ``S(p)`` of symbols that can be on top when control is at
+  ``p``, plus an auxiliary set ``U(p)`` of symbols that can occur
+  anywhere strictly below the top (needed to propagate across pops);
+* pruning of rules whose stack precondition is unsatisfiable
+  (``pop ∉ S(from_state)``);
+* control-flow pruning of rules that cannot participate in any run from
+  the initial head to the target control state.
+
+All reductions are over-approximations: they never remove a rule that
+some real run could fire, so reachability answers are unchanged — only
+the saturation workload shrinks.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, Optional, Set, Tuple
+
+from repro.pda.system import PushdownSystem, Rule
+
+State = Hashable
+Symbol = Hashable
+
+
+@dataclass
+class TopOfStackAnalysis:
+    """Result of the fixpoint analysis: per-state top and below sets."""
+
+    tops: Dict[State, Set[Symbol]]
+    below: Dict[State, Set[Symbol]]
+
+    def may_fire(self, rule: Rule) -> bool:
+        """Could this rule's head ever match during a run?"""
+        return rule.pop in self.tops.get(rule.from_state, ())
+
+
+def analyze_top_of_stack(
+    pds: PushdownSystem, initial_state: State, initial_symbol: Symbol
+) -> TopOfStackAnalysis:
+    """Overapproximate the possible top-of-stack symbols per control state.
+
+    Starts from the single initial head ``⟨initial_state, initial_symbol⟩``
+    and propagates through the rules; a pop rule exposes any symbol of the
+    source state's below-set.
+    """
+    tops: Dict[State, Set[Symbol]] = {initial_state: {initial_symbol}}
+    below: Dict[State, Set[Symbol]] = {initial_state: set()}
+    worklist = deque([initial_state])
+    queued = {initial_state}
+
+    def enqueue(state: State) -> None:
+        if state not in queued:
+            queued.add(state)
+            worklist.append(state)
+
+    while worklist:
+        state = worklist.popleft()
+        queued.discard(state)
+        state_tops = tuple(tops.get(state, ()))
+        state_below = below.setdefault(state, set())
+        for symbol in state_tops:
+            for rule in pds.rules_from(state, symbol):
+                target = rule.to_state
+                target_tops = tops.setdefault(target, set())
+                target_below = below.setdefault(target, set())
+                changed = False
+                if rule.is_swap:
+                    new_tops = {rule.push[0]}
+                    new_below = state_below
+                elif rule.is_push:
+                    new_tops = {rule.push[0]}
+                    new_below = state_below | {rule.push[1]}
+                else:  # pop: anything below may surface
+                    new_tops = set(state_below)
+                    new_below = state_below
+                if not new_tops <= target_tops:
+                    target_tops.update(new_tops)
+                    changed = True
+                if not new_below <= target_below:
+                    target_below.update(new_below)
+                    changed = True
+                if changed:
+                    enqueue(target)
+    return TopOfStackAnalysis(tops, below)
+
+
+def _coreachable_states(pds: PushdownSystem, target_state: State) -> Set[State]:
+    """Control states from which ``target_state`` is reachable in the
+    rule graph (ignoring stack contents — an over-approximation)."""
+    predecessors: Dict[State, Set[State]] = {}
+    for rule in pds.rules:
+        predecessors.setdefault(rule.to_state, set()).add(rule.from_state)
+    seen = {target_state}
+    frontier = deque([target_state])
+    while frontier:
+        state = frontier.popleft()
+        for predecessor in predecessors.get(state, ()):
+            if predecessor not in seen:
+                seen.add(predecessor)
+                frontier.append(predecessor)
+    return seen
+
+
+@dataclass
+class ReductionReport:
+    """Sizes before/after the reduction pass (for the ablation bench)."""
+
+    rules_before: int
+    rules_after: int
+    states_before: int
+    states_after: int
+
+    @property
+    def rules_removed(self) -> int:
+        return self.rules_before - self.rules_after
+
+
+def reduce_pushdown(
+    pds: PushdownSystem,
+    initial_state: State,
+    initial_symbol: Symbol,
+    target_state: Optional[State] = None,
+    passes: int = 2,
+) -> Tuple[PushdownSystem, ReductionReport]:
+    """Apply the reduction pipeline and return the smaller system.
+
+    ``passes`` bounds how often the (analysis → prune) round-trip runs;
+    pruning can make the next analysis strictly more precise, and two
+    rounds capture almost all of the benefit in practice.
+    """
+    current = pds
+    states_before = len(pds.states)
+    for _ in range(max(1, passes)):
+        analysis = analyze_top_of_stack(current, initial_state, initial_symbol)
+        kept = [rule for rule in current.rules if analysis.may_fire(rule)]
+        if target_state is not None:
+            filtered = current if len(kept) == len(current) else current.replace_rules(kept)
+            coreachable = _coreachable_states(filtered, target_state)
+            kept = [rule for rule in kept if rule.to_state in coreachable or
+                    rule.to_state == target_state]
+        if len(kept) == len(current):
+            break
+        current = current.replace_rules(kept)
+    report = ReductionReport(
+        rules_before=pds.rule_count(),
+        rules_after=current.rule_count(),
+        states_before=states_before,
+        states_after=len(current.states),
+    )
+    return current, report

@@ -1,0 +1,148 @@
+"""Bounded idempotent semirings for weighted pushdown reachability.
+
+The weighted PDA framework of Reps, Schwoon, Jha and Melski [33]
+computes meet-over-all-paths values over a *bounded idempotent
+semiring* ``(D, ⊕, ⊗, 0̄, 1̄)``. The saturation engines in this package
+additionally exploit a total order compatible with ⊕ (``a ⊕ b = min(a,
+b)``) to run Dijkstra-style, which is what gives the paper's "guided
+search" for minimal witnesses.
+
+Three instances cover the tool's needs:
+
+* :class:`BooleanSemiring` — plain reachability (the unweighted Dual
+  engine),
+* :class:`MinPlusSemiring` — a single quantity (e.g. Failures),
+* :class:`MinPlusVectorSemiring` — lexicographically ordered vectors of
+  quantities (Problem 2's priority vectors).
+
+Elements are plain Python values (bool / int-or-inf / tuple), not
+wrapper objects — the saturation inner loop is the hot path.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Generic, Tuple, TypeVar, Union
+
+W = TypeVar("W")
+
+#: Numeric weights may be exact ints or the infinity sentinel.
+Extended = Union[int, float]
+
+
+class Semiring(Generic[W]):
+    """Interface of a totally ordered bounded idempotent semiring.
+
+    ``combine`` (⊕) must be min w.r.t. :meth:`less`; ``extend`` (⊗) must
+    be monotone (``extend(a, b) ⊀ a`` for weights ⊒ one), which the
+    Dijkstra-style saturation relies on.
+    """
+
+    #: ⊕-neutral / ⊗-annihilating element ("unreachable").
+    zero: W
+    #: ⊗-neutral element (the weight of the empty rule sequence).
+    one: W
+
+    def combine(self, a: W, b: W) -> W:
+        """⊕ — the better (smaller) of two weights."""
+        raise NotImplementedError
+
+    def extend(self, a: W, b: W) -> W:
+        """⊗ — sequential composition of weights."""
+        raise NotImplementedError
+
+    def less(self, a: W, b: W) -> bool:
+        """Strictly-better-than; total on the weights in use."""
+        raise NotImplementedError
+
+    def is_zero(self, a: W) -> bool:
+        """Is this the unreachable element?"""
+        return a == self.zero
+
+
+class BooleanSemiring(Semiring[bool]):
+    """Reachability only: True = reachable (and True is *better*)."""
+
+    zero = False
+    one = True
+
+    def combine(self, a: bool, b: bool) -> bool:
+        """Logical or."""
+        return a or b
+
+    def extend(self, a: bool, b: bool) -> bool:
+        """Logical and."""
+        return a and b
+
+    def less(self, a: bool, b: bool) -> bool:
+        """True (reachable) is strictly better than False."""
+        return a and not b
+
+
+class MinPlusSemiring(Semiring[Extended]):
+    """(ℕ ∪ {∞}, min, +, ∞, 0) — shortest-path weights."""
+
+    zero = math.inf
+    one = 0
+
+    def combine(self, a: Extended, b: Extended) -> Extended:
+        """Minimum."""
+        return a if a <= b else b
+
+    def extend(self, a: Extended, b: Extended) -> Extended:
+        """Addition."""
+        return a + b
+
+    def less(self, a: Extended, b: Extended) -> bool:
+        """Numeric strictly-less."""
+        return a < b
+
+
+class MinPlusVectorSemiring(Semiring[Tuple[Extended, ...]]):
+    """Lexicographic min / componentwise + over fixed-arity vectors.
+
+    This is the semiring of Problem 2's prioritized weight vectors: the
+    first component is minimized first, ties broken by the second, etc.
+    Componentwise addition is monotone for the lexicographic order on
+    non-negative components, so Dijkstra-style search stays correct.
+
+    Domain note: the semiring laws (distributivity in particular) hold
+    on the domain actually used — *finite* vectors plus the single
+    all-∞ zero element. Vectors mixing finite and infinite components
+    are not valid weights: rule weights are always finite, ⊗ of finite
+    vectors is finite, and ⊕ never manufactures mixed vectors, so the
+    engines stay inside the valid domain by construction.
+    """
+
+    def __init__(self, arity: int) -> None:
+        if arity < 1:
+            raise ValueError("vector semiring needs arity >= 1")
+        self.arity = arity
+        self.zero = (math.inf,) * arity
+        self.one = (0,) * arity
+
+    def combine(
+        self, a: Tuple[Extended, ...], b: Tuple[Extended, ...]
+    ) -> Tuple[Extended, ...]:
+        """Lexicographic minimum."""
+        return a if a <= b else b
+
+    def extend(
+        self, a: Tuple[Extended, ...], b: Tuple[Extended, ...]
+    ) -> Tuple[Extended, ...]:
+        """Componentwise addition."""
+        return tuple(x + y for x, y in zip(a, b))
+
+    def less(self, a: Tuple[Extended, ...], b: Tuple[Extended, ...]) -> bool:
+        """Lexicographic strictly-less."""
+        return a < b
+
+
+#: Shared stateless instances.
+BOOLEAN = BooleanSemiring()
+MIN_PLUS = MinPlusSemiring()
+
+
+def vector_semiring(arity: int) -> MinPlusVectorSemiring:
+    """A lexicographic min-plus semiring of the given arity."""
+    return MinPlusVectorSemiring(arity)

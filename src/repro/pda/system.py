@@ -1,0 +1,200 @@
+"""Weighted pushdown systems in normal form.
+
+A pushdown system (PDS) is a triple ``(P, Γ, Δ)`` of control states,
+stack symbols and rules. Rules are kept in *normal form*: each rule
+``⟨p, γ⟩ → ⟨p', w⟩`` pushes at most two symbols (|w| ≤ 2), which is the
+form the saturation algorithms require. The three shapes are:
+
+* ``POP``  — ``w = ε``,
+* ``SWAP`` — ``w = γ'``,
+* ``PUSH`` — ``w = γ₁ γ₂`` (``γ₁`` becomes the new top).
+
+Every rule carries a semiring weight and an opaque ``tag`` used by the
+verification layer to map PDA runs back to network traces.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.errors import PdaError
+
+State = Hashable
+Symbol = Hashable
+
+
+class Rule:
+    """One normal-form rule ``⟨from_state, pop⟩ → ⟨to_state, push⟩``.
+
+    ``push`` is a tuple of 0, 1 or 2 stack symbols; for a push rule
+    ``push[0]`` is the new top of stack and ``push[1]`` sits below it.
+    """
+
+    __slots__ = ("from_state", "pop", "to_state", "push", "weight", "tag")
+
+    def __init__(
+        self,
+        from_state: State,
+        pop: Symbol,
+        to_state: State,
+        push: Tuple[Symbol, ...],
+        weight: Any,
+        tag: Any = None,
+    ) -> None:
+        if len(push) > 2:
+            raise PdaError("rules must be in normal form (|push| <= 2)")
+        self.from_state = from_state
+        self.pop = pop
+        self.to_state = to_state
+        self.push = push
+        self.weight = weight
+        self.tag = tag
+
+    @property
+    def is_pop(self) -> bool:
+        return len(self.push) == 0
+
+    @property
+    def is_swap(self) -> bool:
+        return len(self.push) == 1
+
+    @property
+    def is_push(self) -> bool:
+        return len(self.push) == 2
+
+    def __repr__(self) -> str:
+        pushed = " ".join(str(s) for s in self.push) or "ε"
+        return (
+            f"<{self.from_state}, {self.pop}> -> <{self.to_state}, {pushed}>"
+            f" @{self.weight}"
+        )
+
+
+class PushdownSystem:
+    """A weighted pushdown system with head-indexed rule lookup."""
+
+    def __init__(self) -> None:
+        self._rules: List[Rule] = []
+        self._by_head: Dict[Tuple[State, Symbol], List[Rule]] = {}
+        self._states: Set[State] = set()
+        self._symbols: Set[Symbol] = set()
+
+    def add_rule(
+        self,
+        from_state: State,
+        pop: Symbol,
+        to_state: State,
+        push: Tuple[Symbol, ...],
+        weight: Any,
+        tag: Any = None,
+    ) -> Rule:
+        """Create, index and return a rule."""
+        rule = Rule(from_state, pop, to_state, push, weight, tag)
+        self._rules.append(rule)
+        self._by_head.setdefault((from_state, pop), []).append(rule)
+        self._states.add(from_state)
+        self._states.add(to_state)
+        self._symbols.add(pop)
+        self._symbols.update(push)
+        return rule
+
+    def rules_from(self, state: State, symbol: Symbol) -> Sequence[Rule]:
+        """All rules with head ``⟨state, symbol⟩``."""
+        return self._by_head.get((state, symbol), ())
+
+    @property
+    def rules(self) -> Tuple[Rule, ...]:
+        return tuple(self._rules)
+
+    @property
+    def states(self) -> FrozenSet[State]:
+        return frozenset(self._states)
+
+    @property
+    def symbols(self) -> FrozenSet[Symbol]:
+        return frozenset(self._symbols)
+
+    def rule_count(self) -> int:
+        """Number of rules in Δ."""
+        return len(self._rules)
+
+    def replace_rules(self, rules: Iterable[Rule]) -> "PushdownSystem":
+        """A new system containing only the given rules (used by reductions)."""
+        reduced = PushdownSystem()
+        for rule in rules:
+            reduced.add_rule(
+                rule.from_state, rule.pop, rule.to_state, rule.push, rule.weight, rule.tag
+            )
+        return reduced
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __iter__(self) -> Iterator[Rule]:
+        return iter(self._rules)
+
+    def __repr__(self) -> str:
+        return (
+            f"PushdownSystem(states={len(self._states)}, "
+            f"symbols={len(self._symbols)}, rules={len(self._rules)})"
+        )
+
+
+class Configuration:
+    """A PDS configuration ``⟨state, stack⟩`` (top of stack first)."""
+
+    __slots__ = ("state", "stack")
+
+    def __init__(self, state: State, stack: Tuple[Symbol, ...]) -> None:
+        self.state = state
+        self.stack = stack
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Configuration):
+            return NotImplemented
+        return self.state == other.state and self.stack == other.stack
+
+    def __hash__(self) -> int:
+        return hash((self.state, self.stack))
+
+    def __repr__(self) -> str:
+        stack = " ".join(str(s) for s in self.stack) or "ε"
+        return f"<{self.state}, {stack}>"
+
+
+def apply_rule(configuration: Configuration, rule: Rule) -> Configuration:
+    """One transition step of the PDS semantics.
+
+    Raises :class:`PdaError` when the rule head does not match — callers
+    replaying reconstructed runs use this as a soundness assertion.
+    """
+    if not configuration.stack:
+        raise PdaError(f"cannot apply {rule!r}: empty stack")
+    if configuration.state != rule.from_state or configuration.stack[0] != rule.pop:
+        raise PdaError(f"rule {rule!r} does not match {configuration!r}")
+    return Configuration(rule.to_state, rule.push + configuration.stack[1:])
+
+
+def run_rules(
+    initial: Configuration, rules: Sequence[Rule]
+) -> Tuple[Configuration, ...]:
+    """Replay a rule sequence, returning every intermediate configuration.
+
+    The first element is ``initial``; the last is the final configuration.
+    """
+    configurations = [initial]
+    for rule in rules:
+        configurations.append(apply_rule(configurations[-1], rule))
+    return tuple(configurations)

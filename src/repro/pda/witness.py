@@ -1,0 +1,139 @@
+"""Witness reconstruction: from saturation provenance to PDS rule runs.
+
+Both saturators record, per automaton transition, a small tuple saying
+how the transition arose (see the module docs of
+:mod:`repro.pda.poststar` / :mod:`repro.pda.prestar`). Given an
+accepting path of the query configuration in the saturated automaton,
+the functions here unfold those annotations into the *actual rule
+sequence* of a PDS run — which the verification layer then replays into
+a network trace.
+
+Witness shapes (post*):
+
+* ``("init",)`` — the transition was in the initial automaton;
+* ``("step", rule, t0)`` — a swap rule applied to popped ``t0``; pop
+  rules produce the same shape on their ε-transition;
+* ``("eps", eps_key, t_next)`` — combination of an ε-transition with a
+  following edge;
+* ``("push-head", rule)`` / ``("push-tail", rule, t0)`` — the two
+  transitions of a push rule.
+
+Witness shapes (pre*): ``("init",)`` or ``("rule", rule, partners)``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Sequence, Tuple
+
+from repro.errors import PdaError
+from repro.pda.automaton import Key, WeightedPAutomaton
+from repro.pda.system import Rule
+
+#: Hard cap on unfolding work; generous, purely an anti-loop guard.
+_MAX_UNFOLD_STEPS = 10_000_000
+
+
+def reconstruct_poststar_run(
+    automaton: WeightedPAutomaton, path: Sequence[Key]
+) -> Tuple[Rule, ...]:
+    """Rules of a PDS run from an initial configuration to the
+    configuration accepted by ``path`` in a post*-saturated automaton.
+
+    The returned rules are in application order; replaying them from the
+    corresponding initial configuration (via
+    :func:`repro.pda.system.run_rules`) reproduces the target
+    configuration — the engine uses that replay as a soundness check.
+    """
+    witnesses = automaton.witnesses
+    pending: Deque[Key] = deque(path)
+    reversed_rules: List[Rule] = []
+    steps = 0
+    while pending:
+        steps += 1
+        if steps > _MAX_UNFOLD_STEPS:
+            raise PdaError("witness unfolding exceeded its step budget")
+        head = pending.popleft()
+        witness = witnesses.get(head)
+        if witness is None:
+            raise PdaError(f"no witness recorded for transition {head}")
+        kind = witness[0]
+        if kind == "init":
+            # The remaining path lies entirely in the initial automaton;
+            # the run has reached its initial configuration.
+            for key in pending:
+                if witnesses.get(key, ("?",))[0] != "init":
+                    raise PdaError(
+                        "malformed witness: non-initial transition after an "
+                        "initial one"
+                    )
+            break
+        if kind == "step":
+            _, rule, predecessor = witness
+            reversed_rules.append(rule)
+            pending.appendleft(predecessor)
+            continue
+        if kind == "eps":
+            _, eps_key, successor = witness
+            eps_witness = witnesses[eps_key]
+            if eps_witness[0] != "step":
+                raise PdaError("ε-transition with unexpected witness shape")
+            _, pop_rule, predecessor = eps_witness
+            reversed_rules.append(pop_rule)
+            pending.appendleft(successor)
+            pending.appendleft(predecessor)
+            continue
+        if kind == "push-head":
+            if not pending:
+                raise PdaError("push-head transition at the end of a path")
+            tail_key = pending.popleft()
+            tail_witness = witnesses[tail_key]
+            if tail_witness[0] != "push-tail":
+                # Edges leaving a mid-state are created exclusively by push
+                # rules, so anything else indicates a corrupted witness DAG.
+                raise PdaError(
+                    f"unexpected witness {tail_witness[0]!r} after a push-head"
+                )
+            _, rule, predecessor = tail_witness
+            reversed_rules.append(rule)
+            pending.appendleft(predecessor)
+            continue
+        raise PdaError(f"unknown witness kind {kind!r}")
+    reversed_rules.reverse()
+    return tuple(reversed_rules)
+
+
+def reconstruct_prestar_run(
+    automaton: WeightedPAutomaton, path: Sequence[Key]
+) -> Tuple[Rule, ...]:
+    """Rules of a PDS run from the configuration accepted by ``path`` to
+    a target configuration, in a pre*-saturated automaton."""
+    witnesses = automaton.witnesses
+    pending: Deque[Key] = deque(path)
+    rules: List[Rule] = []
+    steps = 0
+    while pending:
+        steps += 1
+        if steps > _MAX_UNFOLD_STEPS:
+            raise PdaError("witness unfolding exceeded its step budget")
+        head = pending.popleft()
+        witness = witnesses.get(head)
+        if witness is None:
+            raise PdaError(f"no witness recorded for transition {head}")
+        if witness[0] == "init":
+            # Everything from here on is already accepted by the target
+            # automaton; no further rules are applied.
+            for key in pending:
+                if witnesses.get(key, ("?",))[0] != "init":
+                    raise PdaError(
+                        "malformed witness: non-initial transition after an "
+                        "initial one"
+                    )
+            break
+        if witness[0] != "rule":
+            raise PdaError(f"unknown witness kind {witness[0]!r}")
+        _, rule, partners = witness
+        rules.append(rule)
+        for key in reversed(partners):
+            pending.appendleft(key)
+    return tuple(rules)

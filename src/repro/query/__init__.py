@@ -1,0 +1,72 @@
+"""Query language (§2.5) and its compilation artefacts (NFAs, weights)."""
+
+from repro.query.ast import (
+    Concat,
+    Epsilon,
+    Leaf,
+    Option,
+    Plus,
+    Query,
+    Regex,
+    Repeat,
+    Star,
+    Union_,
+    concat,
+    union,
+)
+from repro.query.atoms import (
+    AnyLabel,
+    AnyLink,
+    LabelAtom,
+    LinkAtom,
+    LinkEndpoint,
+    resolve_label_atom,
+    resolve_link_atom,
+)
+from repro.query.nfa import (
+    Nfa,
+    build_nfa,
+    label_nfa,
+    link_nfa,
+    valid_header_nfa,
+)
+from repro.query.parser import QueryParser, parse_query
+from repro.query.weights import (
+    LinearExpression,
+    StepCosts,
+    WeightVector,
+    parse_weight_vector,
+)
+
+__all__ = [
+    "AnyLabel",
+    "AnyLink",
+    "Concat",
+    "Epsilon",
+    "LabelAtom",
+    "Leaf",
+    "LinearExpression",
+    "LinkAtom",
+    "LinkEndpoint",
+    "Nfa",
+    "Option",
+    "Plus",
+    "Query",
+    "QueryParser",
+    "Regex",
+    "Repeat",
+    "Star",
+    "StepCosts",
+    "Union_",
+    "WeightVector",
+    "build_nfa",
+    "concat",
+    "label_nfa",
+    "link_nfa",
+    "parse_query",
+    "parse_weight_vector",
+    "resolve_label_atom",
+    "resolve_link_atom",
+    "union",
+    "valid_header_nfa",
+]

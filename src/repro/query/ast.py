@@ -1,0 +1,176 @@
+"""Abstract syntax of the query language (Definition 5).
+
+A query ``⟨a⟩ b ⟨c⟩ k`` consists of two *label* regular expressions
+(``a``, ``c``), one *link* regular expression (``b``) and a failure
+bound ``k``. Both kinds of expression share the same regex combinators
+(concatenation, union, Kleene star/plus, option) and differ only in
+their atoms — :mod:`repro.query.atoms`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+from repro.query.atoms import AnyLabel, AnyLink, LabelAtom, LinkAtom
+
+#: The leaf type of a regular expression.
+Atom = Union[LabelAtom, LinkAtom, AnyLabel, AnyLink]
+
+
+@dataclass(frozen=True)
+class Leaf:
+    """A single atom occurrence."""
+
+    atom: Atom
+
+    def __str__(self) -> str:
+        return str(self.atom)
+
+
+@dataclass(frozen=True)
+class Concat:
+    """Concatenation ``r1 r2 … rn`` (n ≥ 2)."""
+
+    parts: Tuple["Regex", ...]
+
+    def __str__(self) -> str:
+        return " ".join(_wrap(part) for part in self.parts)
+
+
+@dataclass(frozen=True)
+class Union_:
+    """Alternation ``r1 | r2 | … | rn`` (n ≥ 2)."""
+
+    options: Tuple["Regex", ...]
+
+    def __str__(self) -> str:
+        return " | ".join(_wrap(option) for option in self.options)
+
+
+@dataclass(frozen=True)
+class Star:
+    """Kleene star ``r*``."""
+
+    inner: "Regex"
+
+    def __str__(self) -> str:
+        return f"{_wrap(self.inner)}*"
+
+
+@dataclass(frozen=True)
+class Plus:
+    """One-or-more ``r+``."""
+
+    inner: "Regex"
+
+    def __str__(self) -> str:
+        return f"{_wrap(self.inner)}+"
+
+
+@dataclass(frozen=True)
+class Option:
+    """Zero-or-one ``r?``."""
+
+    inner: "Regex"
+
+    def __str__(self) -> str:
+        return f"{_wrap(self.inner)}?"
+
+
+@dataclass(frozen=True)
+class Repeat:
+    """Bounded repetition ``r{m,n}`` (``n = None`` means unbounded).
+
+    An expressiveness extension over the paper's published language
+    (its conclusion announces work in this direction): ``r{3}`` is
+    exactly three copies, ``r{2,4}`` between two and four, ``r{2,}``
+    at least two. ``r{0,1} = r?``, ``r{0,} = r*``, ``r{1,} = r+``.
+    """
+
+    inner: "Regex"
+    minimum: int
+    maximum: "int | None"
+
+    def __post_init__(self) -> None:
+        if self.minimum < 0:
+            raise ValueError("repetition minimum must be non-negative")
+        if self.maximum is not None and self.maximum < self.minimum:
+            raise ValueError("repetition maximum must be >= minimum")
+
+    def __str__(self) -> str:
+        if self.maximum is None:
+            bounds = f"{{{self.minimum},}}"
+        elif self.maximum == self.minimum:
+            bounds = f"{{{self.minimum}}}"
+        else:
+            bounds = f"{{{self.minimum},{self.maximum}}}"
+        return f"{_wrap(self.inner)}{bounds}"
+
+
+@dataclass(frozen=True)
+class Epsilon:
+    """The empty word (arises from an empty expression between ⟨ ⟩)."""
+
+    def __str__(self) -> str:
+        return "ε"
+
+
+Regex = Union[Leaf, Concat, Union_, Star, Plus, Option, Repeat, Epsilon]
+
+
+def _wrap(regex: Regex) -> str:
+    """Parenthesize non-atomic sub-expressions when rendering."""
+    if isinstance(regex, (Concat, Union_)):
+        return f"({regex})"
+    return str(regex)
+
+
+def concat(*parts: Regex) -> Regex:
+    """Smart concatenation: flattens nesting and drops ε."""
+    flat = []
+    for part in parts:
+        if isinstance(part, Epsilon):
+            continue
+        if isinstance(part, Concat):
+            flat.extend(part.parts)
+        else:
+            flat.append(part)
+    if not flat:
+        return Epsilon()
+    if len(flat) == 1:
+        return flat[0]
+    return Concat(tuple(flat))
+
+
+def union(*options: Regex) -> Regex:
+    """Smart alternation: flattens nesting and deduplicates."""
+    flat = []
+    for option in options:
+        if isinstance(option, Union_):
+            flat.extend(option.options)
+        else:
+            flat.append(option)
+    unique = []
+    for option in flat:
+        if option not in unique:
+            unique.append(option)
+    if len(unique) == 1:
+        return unique[0]
+    return Union_(tuple(unique))
+
+
+@dataclass(frozen=True)
+class Query:
+    """A full query ``⟨a⟩ b ⟨c⟩ k``."""
+
+    initial_header: Regex
+    path: Regex
+    final_header: Regex
+    max_failures: int
+
+    def __str__(self) -> str:
+        return (
+            f"<{self.initial_header}> {self.path} "
+            f"<{self.final_header}> {self.max_failures}"
+        )

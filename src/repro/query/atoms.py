@@ -1,0 +1,187 @@
+"""Atoms of the query language and their resolution against a network.
+
+Label atoms (inside ``⟨ ⟩``) denote sets of labels:
+
+* the class abbreviations ``ip`` / ``mpls`` / ``smpls`` (§2.5),
+* literal labels (``s40``, ``30``, ``$449550``) or bracketed lists
+  (``[s10, s11]``),
+* the wildcard ``.``,
+* any of the above negated with a leading ``^``.
+
+Link atoms (in the path expression) denote sets of links:
+
+* ``[v#u]`` — every link from router ``v`` to router ``u``,
+* ``[v.out#u.in]`` — the unique link with those interfaces
+  (either side's interface may be omitted),
+* ``.`` on either side of ``#`` matches any router,
+* the bare wildcard ``.`` matches any link,
+* a leading ``^`` inside the bracket complements the set (``[^v#u]``).
+
+Atoms are *resolved* against a concrete network into frozensets of
+:class:`~repro.model.labels.Label` / :class:`~repro.model.topology.Link`
+by :func:`resolve_label_atom` / :func:`resolve_link_atom`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional, Tuple
+
+from repro.errors import QuerySemanticsError
+from repro.model.labels import Label, LabelKind
+from repro.model.network import MplsNetwork
+from repro.model.topology import Link
+
+
+@dataclass(frozen=True)
+class AnyLabel:
+    """The label wildcard ``.`` — matches every label of the network."""
+
+    def __str__(self) -> str:
+        return "."
+
+
+@dataclass(frozen=True)
+class LabelAtom:
+    """A set of label classes and/or literal label texts, possibly negated."""
+
+    #: Class abbreviations used, subset of {"ip", "mpls", "smpls"}.
+    classes: FrozenSet[str] = frozenset()
+    #: Literal label texts as written in the query (e.g. "s40", "$449550").
+    literals: Tuple[str, ...] = ()
+    negated: bool = False
+
+    def __post_init__(self) -> None:
+        unknown = self.classes - {"ip", "mpls", "smpls"}
+        if unknown:
+            raise QuerySemanticsError(f"unknown label classes {sorted(unknown)}")
+        if not self.classes and not self.literals:
+            raise QuerySemanticsError("empty label atom")
+
+    def __str__(self) -> str:
+        parts = sorted(self.classes) + list(self.literals)
+        body = ", ".join(parts)
+        prefix = "^" if self.negated else ""
+        if len(parts) == 1 and not self.negated:
+            return parts[0]
+        return f"[{prefix}{body}]"
+
+
+@dataclass(frozen=True)
+class AnyLink:
+    """The link wildcard ``.`` — matches every link of the network."""
+
+    def __str__(self) -> str:
+        return "."
+
+
+@dataclass(frozen=True)
+class LinkEndpoint:
+    """One side of a link atom: a router (or wildcard) plus an optional
+    interface name."""
+
+    router: Optional[str]  # None means the wildcard '.'
+    interface: Optional[str] = None
+
+    def __str__(self) -> str:
+        base = self.router if self.router is not None else "."
+        if self.interface is not None:
+            return f"{base}.{self.interface}"
+        return base
+
+
+@dataclass(frozen=True)
+class LinkAtom:
+    """A bracketed link pattern ``[source#target]``, possibly negated."""
+
+    source: LinkEndpoint
+    target: LinkEndpoint
+    negated: bool = False
+
+    def __str__(self) -> str:
+        prefix = "^" if self.negated else ""
+        return f"[{prefix}{self.source}#{self.target}]"
+
+
+# ----------------------------------------------------------------------
+# resolution
+# ----------------------------------------------------------------------
+
+_CLASS_TO_KIND = {
+    "ip": LabelKind.IP,
+    "mpls": LabelKind.MPLS,
+    "smpls": LabelKind.MPLS_BOTTOM,
+}
+
+
+def resolve_label_atom(
+    atom: "AnyLabel | LabelAtom", network: MplsNetwork
+) -> FrozenSet[Label]:
+    """The set of network labels matched by a label atom.
+
+    Literal labels must exist in the network's label table — a query that
+    mentions a label the network never uses is almost certainly a typo,
+    and the tool reports it instead of silently answering "no trace".
+    """
+    universe = frozenset(network.labels.all_labels())
+    if isinstance(atom, AnyLabel):
+        return universe
+    matched = set()
+    for class_name in atom.classes:
+        matched |= network.labels.of_kind(_CLASS_TO_KIND[class_name])
+    for text in atom.literals:
+        label = network.labels.get(text)
+        if label is None:
+            raise QuerySemanticsError(
+                f"label {text!r} does not occur in network {network.name!r}"
+            )
+        matched.add(label)
+    if atom.negated:
+        return universe - matched
+    return frozenset(matched)
+
+
+def _endpoint_matches_source(endpoint: LinkEndpoint, link: Link) -> bool:
+    if endpoint.router is not None and link.source.name != endpoint.router:
+        return False
+    if endpoint.interface is not None and link.source_interface != endpoint.interface:
+        return False
+    return True
+
+
+def _endpoint_matches_target(endpoint: LinkEndpoint, link: Link) -> bool:
+    if endpoint.router is not None and link.target.name != endpoint.router:
+        return False
+    if endpoint.interface is not None and link.target_interface != endpoint.interface:
+        return False
+    return True
+
+
+def resolve_link_atom(
+    atom: "AnyLink | LinkAtom", network: MplsNetwork
+) -> FrozenSet[Link]:
+    """The set of network links matched by a link atom.
+
+    Router names mentioned explicitly must exist in the topology
+    (interfaces are validated only when the router side is concrete).
+    """
+    universe = frozenset(network.topology.links)
+    if isinstance(atom, AnyLink):
+        return universe
+    for endpoint in (atom.source, atom.target):
+        if endpoint.router is not None and not network.topology.has_router(
+            endpoint.router
+        ):
+            raise QuerySemanticsError(
+                f"router {endpoint.router!r} does not exist in network "
+                f"{network.name!r}"
+            )
+    matched = frozenset(
+        link
+        for link in universe
+        if _endpoint_matches_source(atom.source, link)
+        and _endpoint_matches_target(atom.target, link)
+    )
+    if atom.negated:
+        return universe - matched
+    return matched

@@ -1,0 +1,415 @@
+"""Nondeterministic finite automata over resolved atom sets.
+
+The verification pipeline compiles the three regular expressions of a
+query into NFAs whose edges are labelled with *frozensets of symbols*
+(labels or links) — the result of resolving each atom against the
+network. The PDA encoding then consumes these NFAs directly:
+
+* ``A_a`` (initial header) is reversed and intersected with the
+  valid-header automaton to drive the stack-construction phase,
+* ``A_b`` (path) runs in the control state during routing simulation,
+* ``A_c`` (final header) drives the stack-checking phase.
+
+The construction is Thompson's, followed by ε-elimination so that the
+PDA compiler only ever sees ε-free automata.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.errors import QuerySemanticsError
+from repro.model.labels import Label, LabelKind
+from repro.model.network import MplsNetwork
+from repro.query import ast
+from repro.query.atoms import (
+    AnyLabel,
+    AnyLink,
+    LabelAtom,
+    LinkAtom,
+    resolve_label_atom,
+    resolve_link_atom,
+)
+
+Symbol = Hashable
+SymbolSet = FrozenSet[Symbol]
+#: Resolves one regex atom to the set of symbols it matches.
+AtomResolver = Callable[[object], SymbolSet]
+
+
+@dataclass(frozen=True)
+class Edge:
+    """One ε-free transition: any symbol in ``symbols`` moves to ``target``."""
+
+    symbols: SymbolSet
+    target: int
+
+
+class Nfa:
+    """An ε-free NFA with integer states and set-labelled edges."""
+
+    def __init__(
+        self,
+        state_count: int,
+        initial: Iterable[int],
+        accepting: Iterable[int],
+        edges: Dict[int, Tuple[Edge, ...]],
+    ) -> None:
+        self.state_count = state_count
+        self.initial: FrozenSet[int] = frozenset(initial)
+        self.accepting: FrozenSet[int] = frozenset(accepting)
+        self._edges: Dict[int, Tuple[Edge, ...]] = edges
+
+    # ------------------------------------------------------------------
+    # basic queries
+    # ------------------------------------------------------------------
+    def edges_from(self, state: int) -> Tuple[Edge, ...]:
+        """Outgoing edges of one state."""
+        return self._edges.get(state, ())
+
+    def step(self, state: int, symbol: Symbol) -> Tuple[int, ...]:
+        """States reachable from ``state`` by reading ``symbol``."""
+        return tuple(
+            edge.target for edge in self.edges_from(state) if symbol in edge.symbols
+        )
+
+    def step_set(self, states: Iterable[int], symbol: Symbol) -> FrozenSet[int]:
+        """Successor set of a state set under one symbol."""
+        result: Set[int] = set()
+        for state in states:
+            result.update(self.step(state, symbol))
+        return frozenset(result)
+
+    def accepts(self, word: Sequence[Symbol]) -> bool:
+        """Membership of a finite word in the automaton's language."""
+        current: FrozenSet[int] = self.initial
+        for symbol in word:
+            current = self.step_set(current, symbol)
+            if not current:
+                return False
+        return bool(current & self.accepting)
+
+    @property
+    def accepts_empty_word(self) -> bool:
+        return bool(self.initial & self.accepting)
+
+    def is_empty(self) -> bool:
+        """True when the language is empty (no accepting state reachable)."""
+        seen: Set[int] = set(self.initial)
+        frontier = deque(self.initial)
+        while frontier:
+            state = frontier.popleft()
+            if state in self.accepting:
+                return False
+            for edge in self.edges_from(state):
+                if edge.symbols and edge.target not in seen:
+                    seen.add(edge.target)
+                    frontier.append(edge.target)
+        return False if (seen & self.accepting) else True
+
+    def edge_count(self) -> int:
+        """Total number of edges (a size diagnostic)."""
+        return sum(len(edges) for edges in self._edges.values())
+
+    # ------------------------------------------------------------------
+    # transformations
+    # ------------------------------------------------------------------
+    def reverse(self) -> "Nfa":
+        """The automaton of the reversed language."""
+        reversed_edges: Dict[int, List[Edge]] = {}
+        for source, edges in self._edges.items():
+            for edge in edges:
+                reversed_edges.setdefault(edge.target, []).append(
+                    Edge(edge.symbols, source)
+                )
+        return Nfa(
+            self.state_count,
+            initial=self.accepting,
+            accepting=self.initial,
+            edges={s: tuple(es) for s, es in reversed_edges.items()},
+        )
+
+    def trim(self) -> "Nfa":
+        """Remove states that are unreachable or cannot reach acceptance."""
+        forward: Set[int] = set(self.initial)
+        frontier = deque(self.initial)
+        while frontier:
+            state = frontier.popleft()
+            for edge in self.edges_from(state):
+                if edge.symbols and edge.target not in forward:
+                    forward.add(edge.target)
+                    frontier.append(edge.target)
+        predecessor: Dict[int, List[int]] = {}
+        for source, edges in self._edges.items():
+            for edge in edges:
+                if edge.symbols:
+                    predecessor.setdefault(edge.target, []).append(source)
+        backward: Set[int] = set(self.accepting)
+        frontier = deque(self.accepting)
+        while frontier:
+            state = frontier.popleft()
+            for source in predecessor.get(state, ()):
+                if source not in backward:
+                    backward.add(source)
+                    frontier.append(source)
+        alive = forward & backward
+        remap = {old: new for new, old in enumerate(sorted(alive))}
+        edges: Dict[int, Tuple[Edge, ...]] = {}
+        for source in alive:
+            kept = tuple(
+                Edge(edge.symbols, remap[edge.target])
+                for edge in self.edges_from(source)
+                if edge.target in alive and edge.symbols
+            )
+            if kept:
+                edges[remap[source]] = kept
+        return Nfa(
+            len(alive),
+            initial=(remap[s] for s in self.initial if s in alive),
+            accepting=(remap[s] for s in self.accepting if s in alive),
+            edges=edges,
+        )
+
+    def intersect(self, other: "Nfa") -> "Nfa":
+        """Product automaton for language intersection."""
+        index: Dict[Tuple[int, int], int] = {}
+
+        def state_of(pair: Tuple[int, int]) -> int:
+            if pair not in index:
+                index[pair] = len(index)
+            return index[pair]
+
+        edges: Dict[int, List[Edge]] = {}
+        frontier: deque = deque()
+        for p in self.initial:
+            for q in other.initial:
+                state_of((p, q))
+                frontier.append((p, q))
+        seen = set(index)
+        while frontier:
+            p, q = frontier.popleft()
+            source = state_of((p, q))
+            for edge_p in self.edges_from(p):
+                for edge_q in other.edges_from(q):
+                    common = edge_p.symbols & edge_q.symbols
+                    if not common:
+                        continue
+                    pair = (edge_p.target, edge_q.target)
+                    target = state_of(pair)
+                    edges.setdefault(source, []).append(Edge(common, target))
+                    if pair not in seen:
+                        seen.add(pair)
+                        frontier.append(pair)
+        accepting = [
+            state
+            for (p, q), state in index.items()
+            if p in self.accepting and q in other.accepting
+        ]
+        initial = [
+            state
+            for (p, q), state in index.items()
+            if p in self.initial and q in other.initial
+        ]
+        product = Nfa(
+            len(index),
+            initial=initial,
+            accepting=accepting,
+            edges={s: tuple(es) for s, es in edges.items()},
+        )
+        return product.trim()
+
+
+# ----------------------------------------------------------------------
+# Thompson construction
+# ----------------------------------------------------------------------
+
+
+class _ThompsonBuilder:
+    """Builds an NFA with ε-edges, then eliminates them."""
+
+    def __init__(self, resolver: AtomResolver) -> None:
+        self._resolver = resolver
+        self._symbol_edges: Dict[int, List[Edge]] = {}
+        self._eps_edges: Dict[int, List[int]] = {}
+        self._count = 0
+
+    def _new_state(self) -> int:
+        state = self._count
+        self._count += 1
+        return state
+
+    def _add_symbol_edge(self, source: int, symbols: SymbolSet, target: int) -> None:
+        self._symbol_edges.setdefault(source, []).append(Edge(symbols, target))
+
+    def _add_eps(self, source: int, target: int) -> None:
+        self._eps_edges.setdefault(source, []).append(target)
+
+    def build(self, regex: ast.Regex) -> Nfa:
+        start, end = self._fragment(regex)
+        return self._eliminate_epsilon(start, end)
+
+    def _fragment(self, regex: ast.Regex) -> Tuple[int, int]:
+        if isinstance(regex, ast.Epsilon):
+            start = self._new_state()
+            end = self._new_state()
+            self._add_eps(start, end)
+            return start, end
+        if isinstance(regex, ast.Leaf):
+            start = self._new_state()
+            end = self._new_state()
+            self._add_symbol_edge(start, self._resolver(regex.atom), end)
+            return start, end
+        if isinstance(regex, ast.Concat):
+            start, current = self._fragment(regex.parts[0])
+            for part in regex.parts[1:]:
+                nxt_start, nxt_end = self._fragment(part)
+                self._add_eps(current, nxt_start)
+                current = nxt_end
+            return start, current
+        if isinstance(regex, ast.Union_):
+            start = self._new_state()
+            end = self._new_state()
+            for option in regex.options:
+                inner_start, inner_end = self._fragment(option)
+                self._add_eps(start, inner_start)
+                self._add_eps(inner_end, end)
+            return start, end
+        if isinstance(regex, ast.Star):
+            start = self._new_state()
+            end = self._new_state()
+            inner_start, inner_end = self._fragment(regex.inner)
+            self._add_eps(start, inner_start)
+            self._add_eps(start, end)
+            self._add_eps(inner_end, inner_start)
+            self._add_eps(inner_end, end)
+            return start, end
+        if isinstance(regex, ast.Plus):
+            return self._fragment(ast.concat(regex.inner, ast.Star(regex.inner)))
+        if isinstance(regex, ast.Repeat):
+            # r{m,n}: m mandatory copies, then n-m optional ones (or a
+            # star when unbounded). Expansion keeps the construction
+            # structural; bounds in queries are small in practice.
+            parts = [regex.inner] * regex.minimum
+            if regex.maximum is None:
+                parts.append(ast.Star(regex.inner))
+            else:
+                parts.extend(
+                    ast.Option(regex.inner)
+                    for _ in range(regex.maximum - regex.minimum)
+                )
+            return self._fragment(ast.concat(*parts))
+        if isinstance(regex, ast.Option):
+            return self._fragment(ast.union(regex.inner, ast.Epsilon()))
+        raise QuerySemanticsError(f"unknown regex node {regex!r}")
+
+    def _closure(self, state: int) -> FrozenSet[int]:
+        seen = {state}
+        frontier = deque([state])
+        while frontier:
+            current = frontier.popleft()
+            for target in self._eps_edges.get(current, ()):
+                if target not in seen:
+                    seen.add(target)
+                    frontier.append(target)
+        return frozenset(seen)
+
+    def _eliminate_epsilon(self, start: int, end: int) -> Nfa:
+        closures = {state: self._closure(state) for state in range(self._count)}
+        edges: Dict[int, Tuple[Edge, ...]] = {}
+        for state in range(self._count):
+            collected: List[Edge] = []
+            for member in closures[state]:
+                collected.extend(self._symbol_edges.get(member, ()))
+            if collected:
+                edges[state] = tuple(collected)
+        accepting = [state for state in range(self._count) if end in closures[state]]
+        nfa = Nfa(self._count, initial=[start], accepting=accepting, edges=edges)
+        trimmed = nfa.trim()
+        # A regex matching only ε trims to nothing but must keep acceptance.
+        if not trimmed.accepting and nfa.accepts_empty_word:
+            return Nfa(1, initial=[0], accepting=[0], edges={})
+        return trimmed
+
+
+def build_nfa(regex: ast.Regex, resolver: AtomResolver) -> Nfa:
+    """Compile a regex AST into an ε-free NFA via a custom atom resolver."""
+    return _ThompsonBuilder(resolver).build(regex)
+
+
+def label_nfa(regex: ast.Regex, network: MplsNetwork) -> Nfa:
+    """Compile a label regex, resolving atoms against the network's labels."""
+
+    def resolver(atom: object) -> SymbolSet:
+        if isinstance(atom, (AnyLabel, LabelAtom)):
+            return resolve_label_atom(atom, network)
+        raise QuerySemanticsError(f"link atom {atom} used in a label expression")
+
+    return build_nfa(regex, resolver)
+
+
+def link_nfa(regex: ast.Regex, network: MplsNetwork) -> Nfa:
+    """Compile a link regex, resolving atoms against the network's links."""
+
+    def resolver(atom: object) -> SymbolSet:
+        if isinstance(atom, (AnyLink, LinkAtom)):
+            return resolve_link_atom(atom, network)
+        raise QuerySemanticsError(f"label atom {atom} used in a link expression")
+
+    return build_nfa(regex, resolver)
+
+
+def valid_header_nfa(network: MplsNetwork) -> Nfa:
+    """The automaton of valid headers H, read top-of-stack first (§2.2).
+
+    Words are ``mpls* smpls ip`` or a bare ``ip`` label.
+    """
+    mpls_set = frozenset(network.labels.mpls_labels)
+    smpls_set = frozenset(network.labels.bottom_mpls_labels)
+    ip_set = frozenset(network.labels.ip_labels)
+    # States: 0 = start, 1 = inside the mpls* prefix, 2 = after the single
+    # smpls label, 3 = accepting (complete header). A bare IP label is only
+    # allowed straight from the start state.
+    edges: Dict[int, Tuple[Edge, ...]] = {}
+    start_edges: List[Edge] = []
+    prefix_edges: List[Edge] = []
+    if mpls_set:
+        start_edges.append(Edge(mpls_set, 1))
+        prefix_edges.append(Edge(mpls_set, 1))
+    if smpls_set:
+        start_edges.append(Edge(smpls_set, 2))
+        prefix_edges.append(Edge(smpls_set, 2))
+    if ip_set:
+        start_edges.append(Edge(ip_set, 3))
+        edges[2] = (Edge(ip_set, 3),)
+    edges[0] = tuple(start_edges)
+    if prefix_edges:
+        edges[1] = tuple(prefix_edges)
+    return Nfa(4, initial=[0], accepting=[3], edges=edges)
+
+
+def header_language_nonempty(
+    a_nfa: Nfa, c_nfa: Nfa, network: MplsNetwork
+) -> bool:
+    """Is Lang(a) ∩ Lang(c) ∩ H non-empty?
+
+    Needed for the ε-path corner case of the satisfiability problem: when
+    the path expression admits the empty link sequence the query cannot be
+    answered by the PDA encoding (a trace needs at least one link), but
+    callers may still want to know whether a single-configuration "trace"
+    of length one is conceivable. Exposed mainly for the test-suite.
+    """
+    valid = valid_header_nfa(network)
+    return not a_nfa.intersect(c_nfa).intersect(valid).is_empty()

@@ -1,0 +1,212 @@
+"""Weight expressions for the quantitative extension (§3).
+
+The paper combines atomic quantities into linear expressions
+
+    expr ::= p | a * expr | expr + expr        (a ∈ ℕ)
+
+and prioritizes several of them as a vector ``(expr1, …, exprn)``
+compared lexicographically. This module provides:
+
+* :class:`LinearExpression` — a sum of (coefficient, quantity) terms,
+* :class:`WeightVector` — a prioritized tuple of linear expressions,
+* a small parser for the CLI syntax
+  (``"hops, failures + 3*tunnels"``),
+* trace-level evaluation (the semantic ground truth), and
+* per-step evaluation (:meth:`WeightVector.step_weight`), which is what
+  the PDA compiler attaches to rules.
+
+Note on *Hops*: the paper defines Hops(σ) as the number of *distinct*
+non-self-loop links, while per-rule weights are necessarily additive
+per traversal. Minimal witnesses essentially never traverse one link
+twice (doing so cannot decrease any quantity), so the tool — like the
+original — uses the additive reading for rule weights; the trace-level
+evaluator keeps the exact set semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence, Tuple
+
+from repro.errors import WeightError
+from repro.model.network import MplsNetwork
+from repro.model.quantities import Quantity, evaluate_quantity
+from repro.model.topology import Link
+from repro.model.trace import Trace
+
+
+@dataclass(frozen=True)
+class StepCosts:
+    """The atomic-quantity contributions of one trace step.
+
+    Produced by the PDA compiler per rule; consumed by
+    :meth:`WeightVector.step_weight`.
+    """
+
+    links: int = 0
+    hops: int = 0
+    distance: int = 0
+    failures: int = 0
+    tunnels: int = 0
+
+    def get(self, quantity: Quantity) -> int:
+        """This step's contribution to one atomic quantity."""
+        return getattr(self, quantity.value)
+
+    @classmethod
+    def for_link(
+        cls,
+        link: Link,
+        distance_of: Callable[[Link], int],
+        failures: int = 0,
+        tunnels: int = 0,
+    ) -> "StepCosts":
+        """Costs of a step that traverses ``link``."""
+        return cls(
+            links=1,
+            hops=0 if link.is_self_loop else 1,
+            distance=distance_of(link),
+            failures=failures,
+            tunnels=tunnels,
+        )
+
+
+@dataclass(frozen=True)
+class LinearExpression:
+    """A linear combination ``Σ coefficient·quantity``."""
+
+    terms: Tuple[Tuple[int, Quantity], ...]
+
+    def __post_init__(self) -> None:
+        if not self.terms:
+            raise WeightError("a linear expression needs at least one term")
+        for coefficient, _quantity in self.terms:
+            if coefficient < 0:
+                raise WeightError("weight coefficients must be non-negative")
+
+    @classmethod
+    def of(cls, *terms: "Tuple[int, Quantity] | Quantity") -> "LinearExpression":
+        normalized = []
+        for term in terms:
+            if isinstance(term, Quantity):
+                normalized.append((1, term))
+            else:
+                normalized.append(term)
+        return cls(tuple(normalized))
+
+    def evaluate_trace(
+        self,
+        network: MplsNetwork,
+        trace: Trace,
+        distance_of: Optional[Callable[[Link], int]] = None,
+    ) -> int:
+        """Exact trace-level value (set semantics for Hops)."""
+        return sum(
+            coefficient * evaluate_quantity(quantity, network, trace, distance_of)
+            for coefficient, quantity in self.terms
+        )
+
+    def evaluate_step(self, costs: StepCosts) -> int:
+        """Additive per-step value used as a PDA rule weight."""
+        return sum(
+            coefficient * costs.get(quantity) for coefficient, quantity in self.terms
+        )
+
+    def __str__(self) -> str:
+        rendered = []
+        for coefficient, quantity in self.terms:
+            if coefficient == 1:
+                rendered.append(quantity.value)
+            else:
+                rendered.append(f"{coefficient}*{quantity.value}")
+        return " + ".join(rendered)
+
+
+@dataclass(frozen=True)
+class WeightVector:
+    """A prioritized vector of linear expressions (lexicographic order)."""
+
+    expressions: Tuple[LinearExpression, ...]
+
+    def __post_init__(self) -> None:
+        if not self.expressions:
+            raise WeightError("a weight vector needs at least one expression")
+
+    @classmethod
+    def of(cls, *expressions: "LinearExpression | Quantity") -> "WeightVector":
+        normalized = []
+        for expression in expressions:
+            if isinstance(expression, Quantity):
+                normalized.append(LinearExpression.of(expression))
+            else:
+                normalized.append(expression)
+        return cls(tuple(normalized))
+
+    @property
+    def arity(self) -> int:
+        return len(self.expressions)
+
+    def quantities(self) -> Tuple[Quantity, ...]:
+        """Every atomic quantity mentioned anywhere in the vector."""
+        seen = []
+        for expression in self.expressions:
+            for _coefficient, quantity in expression.terms:
+                if quantity not in seen:
+                    seen.append(quantity)
+        return tuple(seen)
+
+    def evaluate_trace(
+        self,
+        network: MplsNetwork,
+        trace: Trace,
+        distance_of: Optional[Callable[[Link], int]] = None,
+    ) -> Tuple[int, ...]:
+        """The vector value of a trace, compared lexicographically."""
+        return tuple(
+            expression.evaluate_trace(network, trace, distance_of)
+            for expression in self.expressions
+        )
+
+    def step_weight(self, costs: StepCosts) -> Tuple[int, ...]:
+        """The per-step rule weight attached by the PDA compiler."""
+        return tuple(
+            expression.evaluate_step(costs) for expression in self.expressions
+        )
+
+    def zero(self) -> Tuple[int, ...]:
+        """The all-zero vector of this arity."""
+        return (0,) * self.arity
+
+    def __str__(self) -> str:
+        return "(" + ", ".join(str(e) for e in self.expressions) + ")"
+
+
+def parse_weight_vector(text: str) -> WeightVector:
+    """Parse the CLI weight syntax, e.g. ``"hops, failures + 3*tunnels"``.
+
+    Components are comma-separated (highest priority first); each
+    component is a ``+``-separated sum of terms ``[coefficient *] quantity``.
+    """
+    components = [part.strip() for part in text.split(",")]
+    if not any(components):
+        raise WeightError("empty weight vector")
+    expressions = []
+    for component in components:
+        if not component:
+            raise WeightError(f"empty component in weight vector {text!r}")
+        terms = []
+        for raw_term in component.split("+"):
+            raw_term = raw_term.strip()
+            if "*" in raw_term:
+                raw_coefficient, _, raw_quantity = raw_term.partition("*")
+                try:
+                    coefficient = int(raw_coefficient.strip())
+                except ValueError:
+                    raise WeightError(
+                        f"bad coefficient {raw_coefficient.strip()!r} in {raw_term!r}"
+                    )
+            else:
+                coefficient, raw_quantity = 1, raw_term
+            terms.append((coefficient, Quantity.parse(raw_quantity)))
+        expressions.append(LinearExpression(tuple(terms)))
+    return WeightVector(tuple(expressions))

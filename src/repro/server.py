@@ -1,0 +1,231 @@
+"""HTTP verification service — the backend of the paper's web GUI.
+
+§4 of the paper: "The backend verification engine is running on a web
+server at https://demo.aalwines.cs.aau.dk/". This module provides that
+backend as a small stdlib-only JSON-over-HTTP service; any front end
+(including a browser UI) can drive it. Endpoints:
+
+* ``GET  /networks`` — the loadable built-in networks (the GUI's
+  predefined-network drop-down);
+* ``GET  /networks/<name>`` — one network in the single-file JSON
+  format;
+* ``GET  /queries/example`` — the φ0–φ4 demo queries of Figure 1;
+* ``POST /verify`` — body ``{"network": <name or inline JSON network>,
+  "query": "...", "weight": "...?", "engine": "dual|moped"?,
+  "timeout": seconds?}``; responds with the verdict, the witness trace
+  (steps + headers), the failure set, the minimal weight, and a
+  Graphviz DOT visualization — everything the GUI renders.
+
+Use :class:`VerificationServer` programmatically (it picks a free port
+with ``port=0``, handy for tests) or run ``python -m repro.server``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from repro.datasets.example import EXAMPLE_QUERIES
+from repro.errors import ReproError, VerificationTimeout
+from repro.io.json_format import network_from_json, network_to_json
+from repro.model.network import MplsNetwork
+from repro.verification.engine import VerificationEngine
+from repro.viz import result_to_dot
+
+_BUILTINS = ("example", "nordunet", "abilene", "nsfnet", "geant")
+
+
+class _NetworkCache:
+    """Lazily built, shared built-in networks."""
+
+    def __init__(self) -> None:
+        self._cache: Dict[str, MplsNetwork] = {}
+        self._lock = threading.Lock()
+
+    def get(self, name: str) -> MplsNetwork:
+        if name not in _BUILTINS:
+            raise ReproError(f"unknown built-in network {name!r}")
+        with self._lock:
+            if name not in self._cache:
+                from repro.cli import _load_builtin
+
+                self._cache[name] = _load_builtin(name)
+            return self._cache[name]
+
+
+def _verify_payload(payload: Dict[str, Any], cache: _NetworkCache) -> Dict[str, Any]:
+    """Handle one /verify request body; returns the response document."""
+    if "query" not in payload:
+        raise ReproError("request needs a 'query' field")
+    network_field = payload.get("network", "example")
+    if isinstance(network_field, str):
+        network = cache.get(network_field)
+    elif isinstance(network_field, dict):
+        network = network_from_json(json.dumps(network_field))
+    else:
+        raise ReproError("'network' must be a built-in name or a network object")
+
+    engine_name = payload.get("engine", "dual")
+    if engine_name not in ("dual", "moped", "poststar", "prestar"):
+        raise ReproError(f"unknown engine {engine_name!r}")
+    backend = "poststar" if engine_name == "dual" else engine_name
+    engine = VerificationEngine(
+        network, backend=backend, weight=payload.get("weight")
+    )
+    result = engine.verify(
+        payload["query"], timeout_seconds=payload.get("timeout")
+    )
+
+    response: Dict[str, Any] = {
+        "status": result.status.value,
+        "query": str(result.query),
+        "time_seconds": round(result.stats.total_seconds, 6),
+        "dot": result_to_dot(network, result),
+    }
+    if result.weight is not None:
+        response["weight"] = list(result.weight)
+        response["minimal_guaranteed"] = result.minimal_guaranteed
+    if result.trace is not None:
+        response["trace"] = [
+            {
+                "link": step.link.name,
+                "from": step.link.source.name,
+                "to": step.link.target.name,
+                "header": [str(label) for label in step.header],
+            }
+            for step in result.trace
+        ]
+        response["failure_set"] = sorted(
+            link.name for link in (result.failure_set or frozenset())
+        )
+    return response
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Request handler; the server instance carries the shared cache."""
+
+    server_version = "aalwines-repro/1.0"
+
+    # -- helpers ---------------------------------------------------------
+    def _send_json(self, document: Any, status: int = 200) -> None:
+        body = json.dumps(document, indent=2).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, message: str, status: int) -> None:
+        self._send_json({"error": message}, status=status)
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    # -- routes ----------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (http.server naming)
+        cache: _NetworkCache = self.server.cache  # type: ignore[attr-defined]
+        try:
+            if self.path == "/networks":
+                self._send_json({"networks": list(_BUILTINS)})
+            elif self.path.startswith("/networks/"):
+                name = self.path[len("/networks/") :]
+                network = cache.get(name)
+                self._send_json(json.loads(network_to_json(network)))
+            elif self.path == "/queries/example":
+                self._send_json(
+                    {"queries": [{"name": n, "text": t} for n, t in EXAMPLE_QUERIES]}
+                )
+            else:
+                self._send_error_json(f"no such endpoint {self.path!r}", 404)
+        except ReproError as error:
+            self._send_error_json(str(error), 404)
+
+    def do_POST(self) -> None:  # noqa: N802
+        cache: _NetworkCache = self.server.cache  # type: ignore[attr-defined]
+        if self.path != "/verify":
+            self._send_error_json(f"no such endpoint {self.path!r}", 404)
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            raw = self.rfile.read(length)
+            payload = json.loads(raw.decode("utf-8"))
+            if not isinstance(payload, dict):
+                raise ReproError("request body must be a JSON object")
+        except (ValueError, UnicodeDecodeError):
+            self._send_error_json("request body is not valid JSON", 400)
+            return
+        try:
+            self._send_json(_verify_payload(payload, cache))
+        except VerificationTimeout:
+            self._send_error_json("verification timed out", 408)
+        except ReproError as error:
+            self._send_error_json(str(error), 400)
+
+
+class VerificationServer:
+    """The embeddable verification web service.
+
+    ``port=0`` binds an ephemeral port (see :attr:`port` after
+    :meth:`start`). The server runs on a daemon thread; use as a context
+    manager in tests.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8080,
+                 verbose: bool = False) -> None:
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.cache = _NetworkCache()  # type: ignore[attr-defined]
+        self._httpd.verbose = verbose  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    def start(self) -> "VerificationServer":
+        """Start serving on a daemon thread; returns self for chaining."""
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut the server down and release the socket."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+
+    def __enter__(self) -> "VerificationServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+def main() -> None:  # pragma: no cover - interactive entry point
+    """Run the service from the command line until interrupted."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8080)
+    args = parser.parse_args()
+    server = VerificationServer(args.host, args.port, verbose=True)
+    print(f"aalwines verification service on http://{server.host}:{server.port}/")
+    server.start()
+    try:
+        threading.Event().wait()
+    except KeyboardInterrupt:
+        server.stop()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

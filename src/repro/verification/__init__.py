@@ -1,0 +1,47 @@
+"""Verification pipeline: query compilation, dual engine, baselines."""
+
+from repro.verification.compiler import ACCEPT, START, CompiledQuery, QueryCompiler
+from repro.verification.engine import (
+    VerificationEngine,
+    dual_engine,
+    moped_engine,
+    weighted_engine,
+)
+from repro.verification.explicit import ExplicitEngine, ExplicitResult
+from repro.verification.reconstruction import (
+    ReconstructedWitness,
+    check_witness,
+    trace_from_rules,
+)
+from repro.verification.batch import BatchItem, BatchSummary, BatchVerifier, parse_query_file
+from repro.verification.moped import MopedBackend, SymbolicPrestar, solve_with_moped
+from repro.verification.results import EngineStats, Status, VerificationResult
+from repro.verification.srlg import SrlgEngine, SrlgResult
+
+__all__ = [
+    "ACCEPT",
+    "BatchItem",
+    "BatchSummary",
+    "BatchVerifier",
+    "MopedBackend",
+    "SrlgEngine",
+    "SrlgResult",
+    "SymbolicPrestar",
+    "CompiledQuery",
+    "EngineStats",
+    "ExplicitEngine",
+    "ExplicitResult",
+    "QueryCompiler",
+    "ReconstructedWitness",
+    "START",
+    "Status",
+    "VerificationEngine",
+    "VerificationResult",
+    "check_witness",
+    "dual_engine",
+    "moped_engine",
+    "trace_from_rules",
+    "parse_query_file",
+    "solve_with_moped",
+    "weighted_engine",
+]

@@ -1,0 +1,186 @@
+"""Batch verification of query suites.
+
+The paper's operator workflow runs thousands of queries against one
+dataplane snapshot (§4.2 reports statistics over 6,000). This module
+provides that workflow as a first-class API: a :class:`BatchVerifier`
+runs a list of (named) queries through one engine, capturing per-query
+results, timeouts and errors, and aggregates the §4.2-style statistics
+(verdict counts, inconclusive rate, total/worst times).
+
+The CLI exposes it via ``aalwines --queries-file FILE``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ReproError, VerificationTimeout
+from repro.model.network import MplsNetwork
+from repro.verification.engine import VerificationEngine
+from repro.verification.results import Status, VerificationResult
+
+
+@dataclass
+class BatchItem:
+    """Outcome of one query in a batch run."""
+
+    name: str
+    query: str
+    #: "satisfied" / "unsatisfied" / "inconclusive" / "timeout" / "error".
+    outcome: str
+    seconds: float
+    result: Optional[VerificationResult] = None
+    error: Optional[str] = None
+
+    @property
+    def conclusive(self) -> bool:
+        return self.outcome in ("satisfied", "unsatisfied")
+
+
+@dataclass
+class BatchSummary:
+    """§4.2-style aggregate statistics over a batch."""
+
+    total: int = 0
+    satisfied: int = 0
+    unsatisfied: int = 0
+    inconclusive: int = 0
+    timeouts: int = 0
+    errors: int = 0
+    total_seconds: float = 0.0
+    worst_seconds: float = 0.0
+    worst_query: Optional[str] = None
+
+    @property
+    def inconclusive_rate(self) -> float:
+        """Fraction of *answered* queries that were inconclusive (the
+        paper reports 8/6000 = 0.13% for the operator network)."""
+        answered = self.satisfied + self.unsatisfied + self.inconclusive
+        if answered == 0:
+            return 0.0
+        return self.inconclusive / answered
+
+    def format(self) -> str:
+        """Human-readable multi-line rendering (used by the CLI)."""
+        lines = [
+            f"queries:       {self.total}",
+            f"satisfied:     {self.satisfied}",
+            f"unsatisfied:   {self.unsatisfied}",
+            f"inconclusive:  {self.inconclusive} "
+            f"({100 * self.inconclusive_rate:.2f}%)",
+        ]
+        if self.timeouts:
+            lines.append(f"timeouts:      {self.timeouts}")
+        if self.errors:
+            lines.append(f"errors:        {self.errors}")
+        lines.append(f"total time:    {self.total_seconds:.2f}s")
+        if self.worst_query is not None:
+            lines.append(
+                f"slowest query: {self.worst_query} ({self.worst_seconds:.2f}s)"
+            )
+        return "\n".join(lines)
+
+
+#: Optional per-item progress callback (index, total, item).
+ProgressCallback = Callable[[int, int, BatchItem], None]
+
+
+class BatchVerifier:
+    """Runs many queries through one verification engine."""
+
+    def __init__(
+        self,
+        engine: VerificationEngine,
+        timeout_per_query: Optional[float] = None,
+    ) -> None:
+        self.engine = engine
+        self.timeout_per_query = timeout_per_query
+
+    def run(
+        self,
+        queries: Iterable[Union[str, Tuple[str, str]]],
+        progress: Optional[ProgressCallback] = None,
+    ) -> Tuple[List[BatchItem], BatchSummary]:
+        """Verify every query; never raises on a per-query failure.
+
+        ``queries`` may be bare query strings or (name, query) pairs.
+        """
+        named: List[Tuple[str, str]] = []
+        for entry in queries:
+            if isinstance(entry, str):
+                named.append((f"q{len(named):04d}", entry))
+            else:
+                named.append(entry)
+
+        items: List[BatchItem] = []
+        summary = BatchSummary()
+        for index, (name, query) in enumerate(named):
+            item = self._run_one(name, query)
+            items.append(item)
+            summary.total += 1
+            summary.total_seconds += item.seconds
+            if item.outcome == "satisfied":
+                summary.satisfied += 1
+            elif item.outcome == "unsatisfied":
+                summary.unsatisfied += 1
+            elif item.outcome == "inconclusive":
+                summary.inconclusive += 1
+            elif item.outcome == "timeout":
+                summary.timeouts += 1
+            else:
+                summary.errors += 1
+            if item.seconds > summary.worst_seconds:
+                summary.worst_seconds = item.seconds
+                summary.worst_query = name
+            if progress is not None:
+                progress(index, len(named), item)
+        return items, summary
+
+    def _run_one(self, name: str, query: str) -> BatchItem:
+        start = time.perf_counter()
+        try:
+            result = self.engine.verify(query, timeout_seconds=self.timeout_per_query)
+            return BatchItem(
+                name=name,
+                query=query,
+                outcome=result.status.value,
+                seconds=time.perf_counter() - start,
+                result=result,
+            )
+        except VerificationTimeout:
+            return BatchItem(
+                name=name,
+                query=query,
+                outcome="timeout",
+                seconds=time.perf_counter() - start,
+            )
+        except ReproError as error:
+            return BatchItem(
+                name=name,
+                query=query,
+                outcome="error",
+                seconds=time.perf_counter() - start,
+                error=str(error),
+            )
+
+
+def parse_query_file(text: str) -> List[Tuple[str, str]]:
+    """Parse a query file: one query per line.
+
+    Blank lines and ``#`` comments are skipped; a line may carry an
+    optional leading ``name:`` (with the name containing no ``<``).
+    """
+    queries: List[Tuple[str, str]] = []
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        name = f"line{line_number}"
+        if ":" in line and "<" in line:
+            candidate, _, rest = line.partition(":")
+            if "<" not in candidate and rest.strip():
+                name, line = candidate.strip(), rest.strip()
+        queries.append((name, line))
+    return queries

@@ -1,0 +1,378 @@
+"""Moped-baseline backend: a faithful emulation of the external
+pushdown model checker used by P-Rex and as the paper's baseline.
+
+Moped [3, 35] is a *generic* pushdown model checker driven through a
+textual input format (Remopla). Using it as a verification backend —
+the architecture of P-Rex, and the "Moped" column of the paper's
+Table 1 — therefore pays three structural costs that AalWiNes' native
+engine avoids:
+
+1. the (reduced) pushdown system is **serialized** to the text format;
+2. the model checker **parses** it back into its own representation
+   (everything crossing the boundary is text — no object sharing);
+3. reachability is decided by an **exhaustive pre\\* fixpoint** with no
+   early termination and no weight support, and the witness run comes
+   back as text that the caller must map to its own rule objects.
+
+This module implements exactly that boundary: :func:`serialize_remopla`
+/ :func:`parse_remopla` define the format, :class:`MopedBackend` is the
+"external process", and :func:`solve_with_moped` is the adapter the
+verification engine calls. The pushdown semantics are identical to the
+native engine's, so verdicts always agree — only the costs differ,
+which is precisely the comparison the paper's evaluation makes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import FormatError, PdaError
+from repro.pda.bdd import FALSE, Bdd, bits_needed
+from repro.pda.prestar import prestar_single
+from repro.pda.reductions import reduce_pushdown
+from repro.pda.semiring import BOOLEAN
+from repro.pda.solver import ReachabilityOutcome, SolverStats
+from repro.pda.system import PushdownSystem, Rule
+from repro.pda.witness import reconstruct_prestar_run
+
+_HEADER = "# remopla (repro dialect)"
+
+
+def serialize_remopla(
+    pds: PushdownSystem, initial: Tuple[Any, Any], target: Tuple[Any, Any]
+) -> Tuple[str, Dict[int, Rule]]:
+    """Serialize a PDS to the text format handed to the model checker.
+
+    Control states and stack symbols are interned as opaque identifiers
+    (``s<i>`` / ``y<i>``), exactly like a Remopla export would; the rule
+    table maps the per-line rule ids back to the caller's rule objects
+    (needed to interpret the checker's textual witness).
+    """
+    state_ids: Dict[Any, str] = {}
+    symbol_ids: Dict[Any, str] = {}
+
+    def state_id(state: Any) -> str:
+        if state not in state_ids:
+            state_ids[state] = f"s{len(state_ids)}"
+        return state_ids[state]
+
+    def symbol_id(symbol: Any) -> str:
+        if symbol not in symbol_ids:
+            symbol_ids[symbol] = f"y{len(symbol_ids)}"
+        return symbol_ids[symbol]
+
+    lines: List[str] = [_HEADER]
+    rule_table: Dict[int, Rule] = {}
+    for index, rule in enumerate(pds.rules):
+        rule_table[index] = rule
+        push = " ".join(symbol_id(s) for s in rule.push)
+        lines.append(
+            f"r{index}: {state_id(rule.from_state)} <{symbol_id(rule.pop)}> --> "
+            f"{state_id(rule.to_state)} <{push}>"
+        )
+    lines.append(f"init: {state_id(initial[0])} <{symbol_id(initial[1])}>")
+    lines.append(f"reach: {state_id(target[0])} <{symbol_id(target[1])}>")
+    return "\n".join(lines) + "\n", rule_table
+
+
+@dataclass
+class _ParsedSystem:
+    """The model checker's own view of the input (string identifiers)."""
+
+    pds: PushdownSystem
+    initial: Tuple[str, str]
+    target: Tuple[str, str]
+
+
+def parse_remopla(text: str) -> _ParsedSystem:
+    """Parse the text format into a fresh PDS over string identifiers."""
+    pds = PushdownSystem()
+    initial: Optional[Tuple[str, str]] = None
+    target: Optional[Tuple[str, str]] = None
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        head, _, rest = line.partition(":")
+        head = head.strip()
+        rest = rest.strip()
+        if head == "init" or head == "reach":
+            state, symbol = _parse_config(rest, line_number)
+            if head == "init":
+                initial = (state, symbol)
+            else:
+                target = (state, symbol)
+            continue
+        if not head.startswith("r"):
+            raise FormatError(f"remopla line {line_number}: unknown directive {head!r}")
+        try:
+            rule_id = int(head[1:])
+        except ValueError:
+            raise FormatError(f"remopla line {line_number}: bad rule id {head!r}")
+        source, arrow, destination = rest.partition("-->")
+        if not arrow:
+            raise FormatError(f"remopla line {line_number}: missing arrow")
+        from_state, pop = _parse_config(source.strip(), line_number)
+        to_state, push = _parse_push(destination.strip(), line_number)
+        pds.add_rule(from_state, pop, to_state, push, True, tag=rule_id)
+    if initial is None or target is None:
+        raise FormatError("remopla input lacks init/reach directives")
+    return _ParsedSystem(pds, initial, target)
+
+
+def _parse_config(text: str, line_number: int) -> Tuple[str, str]:
+    state, bracket, rest = text.partition("<")
+    if not bracket or not rest.endswith(">"):
+        raise FormatError(f"remopla line {line_number}: malformed configuration")
+    symbols = rest[:-1].split()
+    if len(symbols) != 1:
+        raise FormatError(
+            f"remopla line {line_number}: configurations carry exactly one symbol"
+        )
+    return state.strip(), symbols[0]
+
+
+def _parse_push(text: str, line_number: int) -> Tuple[str, Tuple[str, ...]]:
+    state, bracket, rest = text.partition("<")
+    if not bracket or not rest.endswith(">"):
+        raise FormatError(f"remopla line {line_number}: malformed rule target")
+    return state.strip(), tuple(rest[:-1].split())
+
+
+class SymbolicPrestar:
+    """BDD-based pre* saturation — the decision procedure Moped runs.
+
+    Control states and stack symbols are encoded in binary; the
+    P-automaton's transition relation ``T(q, γ, q')`` lives in a BDD over
+    seven variable blocks (four state blocks, three symbol blocks), and
+    the Bouajjani–Esparza–Maler saturation becomes a relational fixpoint:
+
+    * swap rules:  T += ∃p'γ'. R_swap(p, γ, p', γ') ∧ T(p', γ', q)
+    * push rules:  T += ∃p'γ₁q₁γ₂. R_push(p, γ, p', γ₁, γ₂)
+                         ∧ T(p', γ₁, q₁) ∧ T(q₁, γ₂, q)
+
+    iterated semi-naively (only the delta of the previous round is
+    recombined) until the relation stops growing.
+    """
+
+    #: Synthetic final state of the target automaton.
+    FINAL = "__qf__"
+
+    def __init__(self, pds: PushdownSystem, initial, target) -> None:
+        self.pds = pds
+        states = sorted(pds.states, key=str)
+        symbols = sorted(pds.symbols, key=str)
+        for extra in (initial[0], target[0]):
+            if extra not in pds.states:
+                states.append(extra)
+        for extra in (initial[1], target[1]):
+            if extra not in pds.symbols:
+                symbols.append(extra)
+        states.append(self.FINAL)
+        self.state_index = {state: i for i, state in enumerate(states)}
+        self.symbol_index = {symbol: i for i, symbol in enumerate(symbols)}
+        self.bdd = Bdd()
+        s_bits = bits_needed(len(states))
+        y_bits = bits_needed(len(symbols))
+        # Variable blocks, in global order: S1 Y1 S2 Y2 S3 Y3 S4.
+        offsets = []
+        position = 0
+        for width in (s_bits, y_bits, s_bits, y_bits, s_bits, y_bits, s_bits):
+            offsets.append(position)
+            position += width
+        self.s_bits, self.y_bits = s_bits, y_bits
+        (
+            self.S1,
+            self.Y1,
+            self.S2,
+            self.Y2,
+            self.S3,
+            self.Y3,
+            self.S4,
+        ) = (
+            tuple(range(offset, offset + width))
+            for offset, width in zip(
+                offsets, (s_bits, y_bits, s_bits, y_bits, s_bits, y_bits, s_bits)
+            )
+        )
+        self.initial = initial
+        self.target = target
+
+    # -- encoding helpers ------------------------------------------------
+    def _enc_state(self, state, block) -> int:
+        return self.bdd.encode_value(self.state_index[state], block)
+
+    def _enc_symbol(self, symbol, block) -> int:
+        return self.bdd.encode_value(self.symbol_index[symbol], block)
+
+    def _transition(self, source, symbol, destination) -> int:
+        bdd = self.bdd
+        return bdd.apply_and(
+            self._enc_state(source, self.S1),
+            bdd.apply_and(
+                self._enc_symbol(symbol, self.Y1),
+                self._enc_state(destination, self.S2),
+            ),
+        )
+
+    def _block_map(self, *pairs) -> Dict[int, int]:
+        mapping: Dict[int, int] = {}
+        for source_block, target_block in pairs:
+            for source_var, target_var in zip(source_block, target_block):
+                mapping[source_var] = target_var
+        return mapping
+
+    # -- saturation --------------------------------------------------------
+    def saturate(self, deadline: Optional[float] = None) -> int:
+        """Run the fixpoint; returns the BDD of the final relation T."""
+        bdd = self.bdd
+        swap_relation = FALSE
+        push_relation = FALSE
+        relation = self._transition(self.target[0], self.target[1], self.FINAL)
+        for rule in self.pds.rules:
+            if rule.is_pop:
+                relation = bdd.apply_or(
+                    relation,
+                    self._transition(rule.from_state, rule.pop, rule.to_state),
+                )
+            else:
+                head = bdd.apply_and(
+                    self._enc_state(rule.from_state, self.S1),
+                    bdd.apply_and(
+                        self._enc_symbol(rule.pop, self.Y1),
+                        bdd.apply_and(
+                            self._enc_state(rule.to_state, self.S2),
+                            self._enc_symbol(rule.push[0], self.Y2),
+                        ),
+                    ),
+                )
+                if rule.is_swap:
+                    swap_relation = bdd.apply_or(swap_relation, head)
+                else:
+                    push_relation = bdd.apply_or(
+                        push_relation,
+                        bdd.apply_and(head, self._enc_symbol(rule.push[1], self.Y3)),
+                    )
+
+        to_23 = self._block_map((self.S1, self.S2), (self.Y1, self.Y2), (self.S2, self.S3))
+        to_34 = self._block_map((self.S1, self.S3), (self.Y1, self.Y3), (self.S2, self.S4))
+        s3_back = self._block_map((self.S3, self.S2))
+        s4_back = self._block_map((self.S4, self.S2))
+        mid_vars = tuple(self.S2) + tuple(self.Y2)
+        push_vars = mid_vars + tuple(self.S3) + tuple(self.Y3)
+
+        delta = relation
+        while delta != FALSE:
+            if deadline is not None and time.perf_counter() > deadline:
+                from repro.errors import VerificationTimeout
+
+                raise VerificationTimeout("symbolic pre* exceeded its deadline")
+            delta_23 = bdd.rename(delta, to_23)
+            relation_23 = bdd.rename(relation, to_23)
+            relation_34 = bdd.rename(relation, to_34)
+            delta_34 = bdd.rename(delta, to_34)
+            new = FALSE
+            if swap_relation != FALSE:
+                swaps = bdd.exists(
+                    bdd.apply_and(swap_relation, delta_23), mid_vars
+                )
+                new = bdd.apply_or(new, bdd.rename(swaps, s3_back))
+            if push_relation != FALSE:
+                # Either leg of the push product may use the delta.
+                left = bdd.apply_and(
+                    push_relation, bdd.apply_and(delta_23, relation_34)
+                )
+                right = bdd.apply_and(
+                    push_relation, bdd.apply_and(relation_23, delta_34)
+                )
+                pushes = bdd.exists(bdd.apply_or(left, right), push_vars)
+                new = bdd.apply_or(new, bdd.rename(pushes, s4_back))
+            updated = bdd.apply_or(relation, new)
+            delta = bdd.apply_and(new, bdd.apply_not(relation))
+            relation = updated
+        return relation
+
+    def is_reachable(self, relation: int) -> bool:
+        """Does the saturated relation accept the initial configuration?"""
+        query = self._transition(self.initial[0], self.initial[1], self.FINAL)
+        return self.bdd.apply_and(relation, query) != FALSE
+
+
+class MopedBackend:
+    """The "external model checker": text in, text out.
+
+    ``check`` takes the serialized system and returns the checker's
+    textual answer: ``"NOT REACHABLE"`` or ``"REACHABLE\\nTRACE: r3 r17
+    …"``. Reachability is decided by the symbolic (BDD-based) pre*
+    fixpoint, exactly Moped's strategy: exhaustive, unweighted, with a
+    separate trace-regeneration pass for reachable instances.
+    """
+
+    def check(self, text: str, deadline: Optional[float] = None) -> str:
+        """Model-check one serialized instance; returns the textual verdict."""
+        parsed = parse_remopla(text)
+        symbolic = SymbolicPrestar(parsed.pds, parsed.initial, parsed.target)
+        relation = symbolic.saturate(deadline=deadline)
+        if not symbolic.is_reachable(relation):
+            return "NOT REACHABLE\n"
+        # Trace regeneration (Moped's witness pass): an explicit pre*
+        # with witness bookkeeping, guided to the initial configuration.
+        result = prestar_single(
+            parsed.pds,
+            BOOLEAN,
+            parsed.target[0],
+            parsed.target[1],
+            source=parsed.initial,
+            deadline=deadline,
+        )
+        weight, path = result.automaton.accept_weight(
+            parsed.initial[0], (parsed.initial[1],)
+        )
+        if not weight:
+            raise PdaError("moped trace pass disagrees with the symbolic check")
+        rules = reconstruct_prestar_run(result.automaton, path)
+        trace = " ".join(f"r{rule.tag}" for rule in rules)
+        return f"REACHABLE\nTRACE: {trace}\n"
+
+
+def solve_with_moped(
+    pds: PushdownSystem,
+    initial: Tuple[Any, Any],
+    target: Tuple[Any, Any],
+    use_reductions: bool = True,
+    deadline: Optional[float] = None,
+) -> ReachabilityOutcome:
+    """Solve one reachability instance through the Moped boundary.
+
+    Mirrors Figure 3 of the paper: the (optionally reduced) pushdown is
+    *sent to the Moped engine*; the textual verdict and witness come
+    back and are mapped onto the caller's rule objects.
+    """
+    start = time.perf_counter()
+    system = pds
+    reduction_report = None
+    if use_reductions:
+        system, reduction_report = reduce_pushdown(
+            pds, initial[0], initial[1], target[0]
+        )
+    text, rule_table = serialize_remopla(system, initial, target)
+    answer = MopedBackend().check(text, deadline=deadline)
+
+    lines = answer.splitlines()
+    reachable = bool(lines) and lines[0] == "REACHABLE"
+    rules: Optional[Tuple[Rule, ...]] = None
+    if reachable:
+        if len(lines) < 2 or not lines[1].startswith("TRACE: "):
+            raise PdaError("moped backend returned no trace for a reachable query")
+        ids = [int(token[1:]) for token in lines[1][len("TRACE: ") :].split()]
+        rules = tuple(rule_table[rule_id] for rule_id in ids)
+    stats = SolverStats(
+        method="moped",
+        rules_before=pds.rule_count(),
+        rules_after=system.rule_count(),
+        elapsed_seconds=time.perf_counter() - start,
+        reduction=reduction_report,
+    )
+    return ReachabilityOutcome(reachable, reachable, rules, stats)

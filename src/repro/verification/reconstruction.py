@@ -1,0 +1,81 @@
+"""Mapping PDA witness runs back to network traces, and checking them.
+
+The compiler's control states remember which network link a
+configuration corresponds to, and the PDA stack *is* the packet header,
+so a reconstructed rule run can be replayed into a network trace
+directly. The resulting trace is then validated against Definition 4
+and the global failure bound via
+:func:`repro.model.trace.minimal_failure_set` — the step that makes the
+over-approximation's answers trustworthy (§4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Sequence, Tuple
+
+from repro.errors import VerificationError
+from repro.model.header import Header
+from repro.model.labels import BOTTOM
+from repro.model.topology import Link
+from repro.model.trace import Trace, TraceStep, minimal_failure_set
+from repro.pda.system import Configuration, Rule, run_rules
+from repro.verification.compiler import CompiledQuery
+
+
+@dataclass
+class ReconstructedWitness:
+    """A network trace recovered from a PDA run, plus its feasibility."""
+
+    trace: Trace
+    #: The smallest failure set enabling the trace, when one of size ≤ k
+    #: exists; None means the trace needs more than k distinct failures
+    #: (or conflicts with its own used links) — i.e. it is spurious.
+    failure_set: Optional[FrozenSet[Link]]
+
+    @property
+    def feasible(self) -> bool:
+        return self.failure_set is not None
+
+
+def trace_from_rules(
+    compiled: CompiledQuery, rules: Sequence[Rule]
+) -> Trace:
+    """Replay a PDA rule run and extract the network trace it encodes.
+
+    Every configuration whose control state is a phase-2 arrival state
+    contributes one (link, header) step; the stack below the bottom
+    marker is the header.
+    """
+    initial = Configuration(compiled.initial[0], (compiled.initial[1],))
+    configurations = run_rules(initial, rules)
+    steps = []
+    for configuration in configurations:
+        link = compiled.link_of_state(configuration.state)
+        if link is None:
+            continue
+        stack = configuration.stack
+        if not stack or stack[-1] is not BOTTOM:
+            raise VerificationError(
+                f"malformed PDA stack during replay: {configuration!r}"
+            )
+        steps.append(TraceStep(link, Header(stack[:-1])))
+    if not steps:
+        raise VerificationError("PDA run visited no network link states")
+    return Trace(steps)
+
+
+def check_witness(
+    compiled: CompiledQuery, rules: Sequence[Rule]
+) -> ReconstructedWitness:
+    """Reconstruct the trace of a witness run and test its feasibility.
+
+    Feasibility means: a set ``F`` of at most ``k`` failed links exists
+    that activates every fallback rule the trace relies on while keeping
+    every used link alive (the polynomial check of §4.2).
+    """
+    trace = trace_from_rules(compiled, rules)
+    failure_set = minimal_failure_set(
+        compiled.network, trace, compiled.query.max_failures
+    )
+    return ReconstructedWitness(trace=trace, failure_set=failure_set)

@@ -1,0 +1,85 @@
+"""Result types of the verification pipeline."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Optional, Tuple
+
+from repro.model.topology import Link
+from repro.model.trace import Trace
+from repro.pda.solver import SolverStats
+from repro.query.ast import Query
+
+
+class Status(enum.Enum):
+    """Answer to the query satisfiability problem (Problem 1).
+
+    ``INCONCLUSIVE`` is the third outcome of the dual approximation
+    scheme: the over-approximation found only spurious traces and the
+    under-approximation found none (§4.2).
+    """
+
+    SATISFIED = "satisfied"
+    UNSATISFIED = "unsatisfied"
+    INCONCLUSIVE = "inconclusive"
+
+
+@dataclass
+class EngineStats:
+    """Timing and size observability for one verification run."""
+
+    #: Wall-clock seconds for the whole pipeline.
+    total_seconds: float = 0.0
+    #: Seconds spent compiling the over-approximation PDA.
+    compile_over_seconds: float = 0.0
+    #: Seconds spent compiling the under-approximation PDA (0 if skipped).
+    compile_under_seconds: float = 0.0
+    #: Solver statistics per phase (absent when the phase did not run).
+    over_solver: Optional[SolverStats] = None
+    under_solver: Optional[SolverStats] = None
+    #: PDA rule counts as compiled (before reductions).
+    over_rules: int = 0
+    under_rules: int = 0
+    #: Whether the under-approximation phase was needed at all.
+    used_under_approximation: bool = False
+
+
+@dataclass
+class VerificationResult:
+    """Outcome of verifying one query."""
+
+    query: Query
+    status: Status
+    #: A witness trace when SATISFIED.
+    trace: Optional[Trace] = None
+    #: The failure set enabling the witness (empty set when none needed).
+    failure_set: Optional[FrozenSet[Link]] = None
+    #: Trace-level value of the weight vector, when one was given.
+    weight: Optional[Tuple[int, ...]] = None
+    #: True when the reported witness is guaranteed minimal w.r.t. the
+    #: weight vector (it came from the over-approximation and is real, so
+    #: its weight coincides with the true minimum — see engine docs).
+    minimal_guaranteed: bool = False
+    stats: EngineStats = field(default_factory=EngineStats)
+
+    @property
+    def satisfied(self) -> bool:
+        return self.status is Status.SATISFIED
+
+    @property
+    def conclusive(self) -> bool:
+        return self.status is not Status.INCONCLUSIVE
+
+    def summary(self) -> str:
+        """One-line human-readable rendering (used by the CLI)."""
+        parts = [f"{self.status.value.upper()}"]
+        if self.weight is not None and self.trace is not None:
+            parts.append(f"weight={tuple(self.weight)}")
+        if self.trace is not None:
+            parts.append(f"trace-length={len(self.trace)}")
+        if self.failure_set:
+            failed = ", ".join(sorted(link.name for link in self.failure_set))
+            parts.append(f"failed-links={{{failed}}}")
+        parts.append(f"time={self.stats.total_seconds:.3f}s")
+        return "  ".join(parts)

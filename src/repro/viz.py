@@ -1,0 +1,175 @@
+"""Graphviz/DOT visualization of networks and witness traces.
+
+The original tool ships a web GUI that draws the topology and animates
+the witness trace with the operations performed at each router (§4,
+Figure 2). This module provides the same information as Graphviz DOT
+documents (renderable with ``dot -Tsvg``) plus a pure-text fallback, so
+the library remains dependency-free:
+
+* :func:`network_to_dot` — the topology, optionally with failed links
+  marked;
+* :func:`trace_to_dot` — the topology with a witness trace highlighted,
+  hop numbers on the traversed links and per-router header/operation
+  annotations (what the GUI shows when a query is satisfied);
+* :func:`result_to_dot` — convenience wrapper over a
+  :class:`~repro.verification.results.VerificationResult`;
+* :func:`trace_timeline` — a textual hop-by-hop rendering with the
+  label-stack evolution, for terminals.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Dict, Iterable, List, Optional, Tuple
+
+from repro.model.network import MplsNetwork
+from repro.model.topology import Link, Topology
+from repro.model.trace import Trace
+from repro.verification.results import VerificationResult
+
+
+def _quote(text: str) -> str:
+    escaped = text.replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def _router_attributes(name: str) -> str:
+    if name.startswith("ext_"):
+        return "shape=plaintext, fontcolor=gray40"
+    return "shape=ellipse, style=filled, fillcolor=white"
+
+
+def network_to_dot(
+    topology: Topology,
+    failed: AbstractSet[Link] = frozenset(),
+    title: Optional[str] = None,
+) -> str:
+    """Render a topology as a DOT digraph.
+
+    Failed links are drawn dashed red; duplex pairs are merged into one
+    double-headed edge when neither direction is failed or highlighted.
+    """
+    return _render(topology, failed=failed, highlight={}, labels={}, title=title)
+
+
+def trace_to_dot(
+    network: MplsNetwork,
+    trace: Trace,
+    failed: AbstractSet[Link] = frozenset(),
+    title: Optional[str] = None,
+) -> str:
+    """Render a witness trace over its network.
+
+    Traversed links are bold blue and numbered by hop; each traversed
+    link is annotated with the header carried on it, reproducing the
+    GUI's per-hop inspection view.
+    """
+    highlight: Dict[str, List[int]] = {}
+    labels: Dict[str, str] = {}
+    for index, step in enumerate(trace, start=1):
+        highlight.setdefault(step.link.name, []).append(index)
+        labels[step.link.name] = str(step.header)
+    return _render(
+        network.topology,
+        failed=failed,
+        highlight=highlight,
+        labels=labels,
+        title=title,
+    )
+
+
+def result_to_dot(network: MplsNetwork, result: VerificationResult) -> str:
+    """Visualize a verification result (trace + failure set when SAT)."""
+    failed = result.failure_set if result.failure_set is not None else frozenset()
+    title = f"{result.query}  —  {result.status.value}"
+    if result.trace is None:
+        return network_to_dot(network.topology, failed=failed, title=title)
+    return trace_to_dot(network, result.trace, failed=failed, title=title)
+
+
+def _render(
+    topology: Topology,
+    failed: AbstractSet[Link],
+    highlight: Dict[str, List[int]],
+    labels: Dict[str, str],
+    title: Optional[str],
+) -> str:
+    failed_names = {link.name for link in failed}
+    lines = ["digraph network {"]
+    lines.append("  rankdir=LR;")
+    lines.append('  node [fontname="Helvetica", fontsize=11];')
+    lines.append('  edge [fontname="Helvetica", fontsize=9];')
+    if title:
+        lines.append(f"  label={_quote(title)};")
+        lines.append("  labelloc=t;")
+    for router in topology.routers:
+        position = ""
+        if router.coordinates is not None:
+            position = (
+                f', pos="{router.coordinates.longitude:.2f},'
+                f'{router.coordinates.latitude:.2f}!"'
+            )
+        lines.append(
+            f"  {_quote(router.name)} [{_router_attributes(router.name)}"
+            f"{position}];"
+        )
+    rendered_pairs = set()
+    for link in topology.links:
+        attributes: List[str] = []
+        hops = highlight.get(link.name)
+        if hops is not None:
+            hop_text = ",".join(str(h) for h in hops)
+            label = f"{hop_text}: {labels.get(link.name, link.name)}"
+            attributes.append("color=blue")
+            attributes.append("penwidth=2.2")
+            attributes.append(f"label={_quote(label)}")
+        elif link.name in failed_names:
+            attributes.append("color=red")
+            attributes.append("style=dashed")
+            attributes.append(f'label={_quote(link.name + " ✗")}')
+        else:
+            # Merge an unremarkable duplex pair into one dir=both edge.
+            reverse = topology.reverse_link(link)
+            if (
+                reverse is not None
+                and reverse.name not in failed_names
+                and reverse.name not in highlight
+            ):
+                pair = frozenset({link.name, reverse.name})
+                if pair in rendered_pairs:
+                    continue
+                rendered_pairs.add(pair)
+                attributes.append("dir=both")
+            attributes.append("color=gray55")
+        lines.append(
+            f"  {_quote(link.source.name)} -> {_quote(link.target.name)} "
+            f"[{', '.join(attributes)}];"
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def trace_timeline(network: MplsNetwork, trace: Trace) -> str:
+    """A textual hop-by-hop view with the label-stack evolution.
+
+    Mirrors the GUI's trace inspector: per hop the link, the arriving
+    header, and the operations the previous router applied (inferred by
+    matching the routing table, like the GUI's tooltip does).
+    """
+    from repro.model.operations import format_operations, try_apply_operations
+
+    lines = []
+    for index, step in enumerate(trace):
+        stack = " ".join(str(label) for label in step.header)
+        prefix = f"hop {index + 1:>2}  {step.link.source.name} → {step.link.target.name}"
+        operation_text = ""
+        if index > 0:
+            previous = trace[index - 1]
+            groups = network.group_sequence(previous.link, previous.header.top)
+            for _priority, entry in groups.all_entries():
+                if entry.out_link != step.link:
+                    continue
+                if try_apply_operations(previous.header, entry.operations) == step.header:
+                    operation_text = f"  [{format_operations(entry.operations)}]"
+                    break
+        lines.append(f"{prefix:<40} stack: {stack}{operation_text}")
+    return "\n".join(lines)

@@ -1,0 +1,80 @@
+"""Tests for graph specs and the shortest-path routine."""
+
+import pytest
+
+from repro.datasets.graphs import EdgeSpec, GraphSpec, NodeSpec, shortest_path
+from repro.errors import ModelError
+from repro.model.topology import Topology
+
+
+def spec(name, nodes, edges):
+    return GraphSpec(
+        name,
+        tuple(NodeSpec(n) for n in nodes),
+        tuple(EdgeSpec(a, b, w) for a, b, w in edges),
+    )
+
+
+class TestGraphSpec:
+    def test_basic_properties(self):
+        graph = spec("g", ["a", "b", "c"], [("a", "b", 1), ("b", "c", 2)])
+        assert graph.node_count == 3
+        assert graph.edge_count == 2
+        assert graph.degrees() == {"a": 1, "b": 2, "c": 1}
+        assert graph.is_connected()
+
+    def test_disconnected(self):
+        graph = spec("g", ["a", "b", "c", "d"], [("a", "b", 1), ("c", "d", 1)])
+        assert not graph.is_connected()
+
+    def test_duplicate_nodes_rejected(self):
+        with pytest.raises(ModelError):
+            spec("g", ["a", "a"], [])
+
+    def test_unknown_edge_endpoint_rejected(self):
+        with pytest.raises(ModelError):
+            spec("g", ["a"], [("a", "b", 1)])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ModelError):
+            spec("g", ["a"], [("a", "a", 1)])
+
+    def test_neighbors(self):
+        graph = spec("g", ["a", "b", "c"], [("a", "b", 3), ("a", "c", 1)])
+        assert sorted(graph.neighbors()["a"]) == [("b", 3), ("c", 1)]
+
+
+class TestShortestPath:
+    @pytest.fixture
+    def topology(self):
+        topo = Topology()
+        for name in "abcd":
+            topo.add_router(name)
+        topo.add_duplex_link("a", "b", weight=1)
+        topo.add_duplex_link("b", "c", weight=1)
+        topo.add_duplex_link("a", "c", weight=5)
+        topo.add_duplex_link("c", "d", weight=1)
+        return topo
+
+    def test_prefers_cheaper_route(self, topology):
+        path = shortest_path(topology, "a", "c")
+        assert [l.source.name for l in path] == ["a", "b"]
+        assert path[-1].target.name == "c"
+
+    def test_trivial_path(self, topology):
+        assert shortest_path(topology, "a", "a") == []
+
+    def test_unreachable(self, topology):
+        topology.add_router("island")
+        assert shortest_path(topology, "a", "island") is None
+
+    def test_forbidden_links_avoided(self, topology):
+        direct = shortest_path(topology, "a", "c")
+        forbidden = frozenset(link.name for link in direct)
+        detour = shortest_path(topology, "a", "c", forbidden)
+        assert detour is not None
+        assert not any(link.name in forbidden for link in detour)
+
+    def test_all_links_forbidden_gives_none(self, topology):
+        forbidden = frozenset(link.name for link in topology.links)
+        assert shortest_path(topology, "a", "d", forbidden) is None

@@ -1,0 +1,181 @@
+"""Tests for the MPLS synthesis pipeline (§5's workload construction)."""
+
+import pytest
+
+from repro.datasets.graphs import EdgeSpec, GraphSpec, NodeSpec
+from repro.datasets.queries import lsp_pairs, lsp_route
+from repro.datasets.synthesis import (
+    SynthesisOptions,
+    destination_ip,
+    entry_link_name,
+    exit_link_name,
+    synthesize_network,
+)
+from repro.datasets.zoo import abilene
+from repro.model.header import Header
+from repro.model.trace import TraceStep, enumerate_traces
+
+
+@pytest.fixture(scope="module")
+def network_and_report():
+    return synthesize_network(
+        abilene(), SynthesisOptions(service_tunnels=3, seed=2)
+    )
+
+
+@pytest.fixture(scope="module")
+def network(network_and_report):
+    return network_and_report[0]
+
+
+@pytest.fixture(scope="module")
+def report(network_and_report):
+    return network_and_report[1]
+
+
+class TestStructure:
+    def test_edge_routers_get_stubs(self, network, report):
+        for router in report.edge_routers:
+            assert network.topology.has_link(entry_link_name(router))
+            assert network.topology.has_link(exit_link_name(router))
+
+    def test_duplex_core_links(self, network):
+        core = [
+            link
+            for link in network.topology.links
+            if not link.source.name.startswith("ext_")
+            and not link.target.name.startswith("ext_")
+        ]
+        for link in core:
+            assert network.topology.reverse_link(link) is not None
+
+    def test_lsp_mesh_size(self, report):
+        edge_count = len(report.edge_routers)
+        assert report.lsp_count == edge_count * (edge_count - 1)
+
+    def test_rule_count_matches_report(self, network, report):
+        assert network.rule_count() == report.rule_count
+
+    def test_network_validates(self, network):
+        network.validate()
+
+
+class TestLspSemantics:
+    def test_every_lsp_delivers(self, network, report):
+        """Simulating each LSP's packet must reach the egress stub with a
+        plain IP header (penultimate-hop popping)."""
+        pairs = lsp_pairs(network)
+        assert pairs
+        for ingress, egress in pairs:
+            route = lsp_route(network, ingress, egress)
+            assert route is not None, (ingress, egress)
+            assert route[0].name == entry_link_name(ingress)
+            assert route[-1].name == exit_link_name(egress)
+
+    def test_php_pops_before_egress(self, network):
+        """On multi-hop LSPs the label must be gone on the last core link."""
+        ingress, egress = next(
+            (a, b) for (a, b) in lsp_pairs(network)
+            if len(lsp_route(network, a, b)) >= 4
+        )
+        route = lsp_route(network, ingress, egress)
+        destination = destination_ip(egress)
+        entry = network.topology.link(entry_link_name(ingress))
+        header = Header([network.labels.require(str(destination))])
+        # Replay headers along the route.
+        headers = [header]
+        current = entry
+        for link in route[1:]:
+            alternatives = network.forwarding_alternatives(
+                current, headers[-1], frozenset()
+            )
+            chosen = next(
+                (h for entry_rule, h in alternatives if entry_rule.out_link == link)
+            )
+            headers.append(chosen)
+            current = link
+        # Arrival on the last core link (before the exit stub) is plain IP.
+        assert headers[-2].depth == 0
+        # Mid-path arrivals carry the LSP label.
+        if len(route) >= 4:
+            assert headers[1].depth == 1
+
+    def test_failover_protects_against_single_failure(self, network):
+        """With a primary link failed, the backup tunnel still delivers."""
+        pairs = [
+            (a, b) for (a, b) in lsp_pairs(network)
+            if len(lsp_route(network, a, b)) >= 4
+        ]
+        ingress, egress = pairs[0]
+        route = lsp_route(network, ingress, egress)
+        failed = frozenset({route[1]})  # first core link
+        entry = network.topology.link(entry_link_name(ingress))
+        destination = network.labels.require(str(destination_ip(egress)))
+        initial = TraceStep(entry, Header([destination]))
+        exit_link = exit_link_name(egress)
+        delivered = any(
+            trace.links[-1].name == exit_link
+            for trace in enumerate_traces(network, initial, failed, 14, 4)
+        )
+        assert delivered, f"no failover delivery {ingress}->{egress} without {failed}"
+
+
+class TestServiceTunnels:
+    def test_service_labels_exist(self, network, report):
+        assert report.service_tunnel_count == 3
+        service = [
+            label
+            for label in network.labels.bottom_mpls_labels
+            if label.name.startswith("svc") and label.name[3:].isdigit()
+        ]
+        assert len(service) == 3
+
+    def test_service_transport_stacks_two_deep(self, network):
+        """Inside the core, service traffic carries transport over service
+        label — the two-deep stacks of the NORDUnet snapshot."""
+        from repro.datasets.queries import service_tunnel_route
+
+        route = service_tunnel_route(network, "ssvc0")
+        assert route is not None
+        if len(route) >= 4:
+            entry = route[0]
+            header = Header(
+                [network.labels.require("ssvc0"), sorted(network.labels.ip_labels, key=str)[0]]
+            )
+            alternatives = network.forwarding_alternatives(entry, header, frozenset())
+            assert alternatives
+            _entry, rewritten = alternatives[0]
+            assert rewritten.depth == 2  # transport ∘ service ∘ ip
+
+
+class TestOptions:
+    def test_lsp_cap(self):
+        network, report = synthesize_network(
+            abilene(), SynthesisOptions(max_lsp_pairs=5, seed=4)
+        )
+        assert report.lsp_count <= 5
+
+    def test_protection_can_be_disabled(self):
+        network, report = synthesize_network(
+            abilene(), SynthesisOptions(protect=False)
+        )
+        assert report.protected_links == 0
+        for _link, _label, groups in network.routing.items():
+            assert len(groups) == 1  # no priority-2 groups anywhere
+
+    def test_synthesis_is_deterministic(self):
+        first, _ = synthesize_network(abilene(), SynthesisOptions(seed=5))
+        second, _ = synthesize_network(abilene(), SynthesisOptions(seed=5))
+        assert first.rule_count() == second.rule_count()
+        assert first.link_names() == second.link_names()
+
+    def test_disconnected_graph_rejected(self):
+        from repro.errors import ModelError
+
+        graph = GraphSpec(
+            "broken",
+            (NodeSpec("a"), NodeSpec("b"), NodeSpec("c")),
+            (EdgeSpec("a", "b"),),
+        )
+        with pytest.raises(ModelError):
+            synthesize_network(graph)

@@ -1,0 +1,113 @@
+"""Tests for the zoo substitute, NORDUnet substitute and query suites."""
+
+import pytest
+
+from repro.datasets.nordunet import build_nordunet, nordunet_graph
+from repro.datasets.queries import (
+    generate_query_suite,
+    lsp_pairs,
+    service_tunnel_route,
+    table1_queries,
+)
+from repro.datasets.zoo import abilene, geant, nsfnet, synthetic_graph, zoo_collection
+from repro.query.parser import parse_query
+
+
+class TestZoo:
+    @pytest.mark.parametrize("factory", [abilene, nsfnet, geant])
+    def test_embedded_graphs_are_connected(self, factory):
+        graph = factory()
+        assert graph.is_connected()
+        assert all(node.latitude is not None for node in graph.nodes)
+
+    def test_embedded_sizes(self):
+        assert abilene().node_count == 11
+        assert nsfnet().node_count == 14
+        assert geant().node_count == 22
+
+    @pytest.mark.parametrize("size", [2, 10, 40])
+    def test_synthetic_connected_at_any_size(self, size):
+        graph = synthetic_graph(size, seed=3)
+        assert graph.node_count == size
+        assert graph.is_connected()
+
+    def test_synthetic_deterministic(self):
+        assert synthetic_graph(20, 7).edges == synthetic_graph(20, 7).edges
+
+    def test_synthetic_seeds_differ(self):
+        assert synthetic_graph(20, 1).edges != synthetic_graph(20, 2).edges
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            synthetic_graph(1)
+
+    def test_collection_composition(self):
+        graphs = zoo_collection(sizes=(16,), seeds=(1, 2))
+        names = [graph.name for graph in graphs]
+        assert "Abilene" in names and "Geant" in names
+        assert sum(1 for name in names if name.startswith("Synthetic")) == 2
+
+
+class TestNordunet:
+    def test_graph_shape(self):
+        graph = nordunet_graph()
+        # The paper's operator network has 31 routers.
+        assert graph.node_count == 31
+        assert graph.is_connected()
+
+    def test_build(self):
+        network, report = build_nordunet()
+        # 31 core routers plus one stub per edge router.
+        assert len(network.topology) == 31 + len(report.edge_routers)
+        assert report.service_tunnel_count == 24
+        assert network.rule_count() > 1000
+
+    def test_density_scales_rules(self):
+        light, _ = build_nordunet(density=1)
+        heavy, _ = build_nordunet(density=3)
+        assert heavy.rule_count() > light.rule_count()
+
+
+class TestQuerySuites:
+    @pytest.fixture(scope="class")
+    def network(self):
+        return build_nordunet()[0]
+
+    def test_suite_is_deterministic(self, network):
+        first = generate_query_suite(network, count=10, seed=3)
+        second = generate_query_suite(network, count=10, seed=3)
+        assert [q.text for q in first] == [q.text for q in second]
+
+    def test_suite_parses(self, network):
+        for query in generate_query_suite(network, count=15, seed=1):
+            parsed = parse_query(query.text)
+            assert parsed.max_failures == query.max_failures
+
+    def test_suite_mixes_kinds(self, network):
+        kinds = {q.kind for q in generate_query_suite(network, count=15, seed=1)}
+        assert {"ip", "smpls", "group", "waypoint", "transparency"} <= kinds
+
+    def test_unconstrained_included(self, network):
+        suite = generate_query_suite(network, count=10, seed=1)
+        assert suite[-1].kind == "unconstrained"
+
+    def test_table1_shape(self, network):
+        queries = table1_queries(network)
+        assert len(queries) == 6
+        assert [q.max_failures for q in queries] == [1, 1, 0, 0, 1, 0]
+        for query in queries:
+            parse_query(query.text)
+
+    def test_lsp_pairs_nonempty(self, network):
+        pairs = lsp_pairs(network)
+        assert pairs
+        assert all(a != b for a, b in pairs)
+
+    def test_service_route_exists(self, network):
+        route = service_tunnel_route(network, "ssvc0")
+        assert route is not None
+        assert route[0].source.name.startswith("ext_")
+        assert route[-1].target.name.startswith("ext_")
+
+    def test_service_route_unknown_label(self, network):
+        assert service_tunnel_route(network, "snope") is None

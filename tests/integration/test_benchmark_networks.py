@@ -1,0 +1,102 @@
+"""Integration smoke tests over the benchmark networks.
+
+Pin the verdicts of the Table-1 suite and a zoo query suite: dataset
+generation is deterministic, so any change here means either a
+generator change (update deliberately) or an engine regression.
+"""
+
+import pytest
+
+from repro.datasets.nordunet import build_nordunet
+from repro.datasets.queries import generate_query_suite, table1_queries
+from repro.datasets.synthesis import SynthesisOptions, synthesize_network
+from repro.datasets.zoo import geant
+from repro.verification.engine import dual_engine, moped_engine, weighted_engine
+from repro.verification.results import Status
+
+
+@pytest.fixture(scope="module")
+def nordunet():
+    return build_nordunet()[0]
+
+
+@pytest.fixture(scope="module")
+def geant_network():
+    return synthesize_network(
+        geant(), SynthesisOptions(service_tunnels=8, max_lsp_pairs=150)
+    )[0]
+
+
+class TestTable1Verdicts:
+    EXPECTED = {
+        "t1_smpls_reach": Status.SATISFIED,
+        "t2_group_reach": Status.UNSATISFIED,
+        "t3_ip_reach": Status.SATISFIED,
+        "t4_service_waypoint_k0": Status.SATISFIED,
+        "t5_service_waypoint_k1": Status.SATISFIED,
+        "t6_unconstrained": Status.SATISFIED,
+    }
+
+    def test_dual_verdicts_pinned(self, nordunet):
+        engine = dual_engine(nordunet)
+        for query in table1_queries(nordunet):
+            result = engine.verify(query.text, timeout_seconds=120)
+            assert result.status is self.EXPECTED[query.name], query.name
+
+    def test_weighted_agrees_and_reports_weights(self, nordunet):
+        engine = weighted_engine(nordunet, weight="failures")
+        for query in table1_queries(nordunet):
+            result = engine.verify(query.text, timeout_seconds=120)
+            assert result.status is self.EXPECTED[query.name], query.name
+            if result.satisfied:
+                assert result.weight is not None
+                assert result.weight[0] <= query.max_failures
+
+    def test_witnesses_respect_failure_bound(self, nordunet):
+        engine = dual_engine(nordunet)
+        for query in table1_queries(nordunet):
+            result = engine.verify(query.text, timeout_seconds=120)
+            if result.satisfied:
+                assert len(result.failure_set) <= query.max_failures
+
+    def test_stats_populated(self, nordunet):
+        engine = dual_engine(nordunet)
+        result = engine.verify(table1_queries(nordunet)[0].text)
+        stats = result.stats
+        assert stats.total_seconds > 0
+        assert stats.over_rules > 0
+        assert stats.over_solver is not None
+        assert stats.over_solver.elapsed_seconds > 0
+
+
+class TestZooSuite:
+    def test_engines_agree_on_geant_suite(self, geant_network):
+        suite = generate_query_suite(geant_network, count=8, seed=1)
+        dual = dual_engine(geant_network)
+        moped = moped_engine(geant_network)
+        for query in suite:
+            dual_status = dual.verify(query.text, timeout_seconds=120).status
+            moped_status = moped.verify(query.text, timeout_seconds=300).status
+            assert dual_status == moped_status, query.name
+
+    def test_suite_has_sat_and_unsat(self, geant_network):
+        """The generated benchmark mix must exercise both verdicts."""
+        suite = generate_query_suite(geant_network, count=10, seed=1)
+        engine = dual_engine(geant_network)
+        statuses = {
+            engine.verify(query.text, timeout_seconds=120).status
+            for query in suite
+        }
+        assert Status.SATISFIED in statuses
+        assert Status.UNSATISFIED in statuses
+
+    def test_transparency_holds_on_synthesized_network(self, geant_network):
+        """The synthesis pipeline must never leak internal labels — the
+        φ3-style audit is UNSAT on every generated transparency query."""
+        suite = generate_query_suite(geant_network, count=15, seed=2)
+        engine = dual_engine(geant_network)
+        transparency = [q for q in suite if q.kind == "transparency"]
+        assert transparency
+        for query in transparency:
+            result = engine.verify(query.text, timeout_seconds=120)
+            assert result.status is Status.UNSATISFIED, query.text

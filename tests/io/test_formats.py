@@ -1,0 +1,191 @@
+"""Round-trip tests for the XML, JSON, IS-IS and location formats.
+
+Round-trips are validated *semantically*: the re-read network must give
+the same verification answers and the same witness behaviour, and its
+routing table must match rule-for-rule when keyed by (router, incoming
+interface, label).
+"""
+
+import pytest
+
+from repro.datasets.example import EXAMPLE_QUERIES, build_example_network
+from repro.errors import FormatError
+from repro.io.coords import coordinates_from_json, coordinates_to_json
+from repro.io.isis import network_from_isis, network_to_isis, parse_mapping_file
+from repro.io.json_format import network_from_json, network_to_json, trace_to_json
+from repro.io.xml_format import network_from_xml, routing_to_xml, topology_to_xml
+from repro.verification.engine import dual_engine
+
+
+@pytest.fixture(scope="module")
+def network():
+    return build_example_network()
+
+
+def routing_signature(network):
+    """Routing table keyed by (router, in-interface, label), link-name
+    independent."""
+    signature = {}
+    for in_link, label, groups in network.routing.items():
+        key = (in_link.target.name, in_link.target_interface, str(label))
+        value = tuple(
+            tuple(
+                sorted(
+                    (
+                        entry.out_link.source.name,
+                        entry.out_link.source_interface,
+                        tuple(str(op) for op in entry.operations),
+                    )
+                    for entry in group
+                )
+            )
+            for group in groups
+        )
+        signature[key] = value
+    return signature
+
+
+def assert_equivalent(original, reloaded):
+    assert {r.name for r in original.topology.routers} == {
+        r.name for r in reloaded.topology.routers
+    }
+    assert len(original.topology.links) == len(reloaded.topology.links)
+    assert routing_signature(original) == routing_signature(reloaded)
+
+
+class TestXmlRoundTrip:
+    def test_structure(self, network):
+        topo_xml = topology_to_xml(network.topology)
+        route_xml = routing_to_xml(network)
+        assert "<network>" in topo_xml and "shared_interface" in topo_xml
+        assert "<routes>" in route_xml and "te-group" in route_xml
+
+    def test_roundtrip_preserves_semantics(self, network):
+        reloaded = network_from_xml(
+            topology_to_xml(network.topology), routing_to_xml(network), "reload"
+        )
+        assert_equivalent(network, reloaded)
+
+    def test_reloaded_network_verifies_identically(self, network):
+        reloaded = network_from_xml(
+            topology_to_xml(network.topology), routing_to_xml(network), "reload"
+        )
+        for _name, query in EXAMPLE_QUERIES:
+            original = dual_engine(network).verify(query)
+            again = dual_engine(reloaded).verify(query)
+            assert original.status == again.status, query
+
+    def test_directed_links_survive(self, network):
+        # The example network is fully directed (no reverse links), so
+        # every side must carry directed="true" and re-read as one link.
+        topo_xml = topology_to_xml(network.topology)
+        assert topo_xml.count('directed="true"') == len(network.topology.links)
+
+    @pytest.mark.parametrize(
+        "topo, route",
+        [
+            ("<garbage>", "<routes><routings/></routes>"),
+            ("<network/>", "<routes><routings/></routes>"),
+            ("<network><routers/></network>", "<routes><routings/></routes>"),
+        ],
+    )
+    def test_malformed_rejected(self, topo, route):
+        with pytest.raises(FormatError):
+            network_from_xml(topo, route)
+
+    def test_unknown_router_in_routing_rejected(self, network):
+        topo_xml = topology_to_xml(network.topology)
+        bad_route = (
+            "<routes><routings><routing for=\"nope\">"
+            "<destinations/></routing></routings></routes>"
+        )
+        with pytest.raises(FormatError):
+            network_from_xml(topo_xml, bad_route)
+
+
+class TestJsonRoundTrip:
+    def test_roundtrip(self, network):
+        reloaded = network_from_json(network_to_json(network))
+        assert_equivalent(network, reloaded)
+        assert reloaded.name == network.name
+
+    def test_reloaded_network_verifies_identically(self, network):
+        reloaded = network_from_json(network_to_json(network))
+        for _name, query in EXAMPLE_QUERIES:
+            assert (
+                dual_engine(network).verify(query).status
+                == dual_engine(reloaded).verify(query).status
+            )
+
+    def test_trace_json(self, network):
+        result = dual_engine(network).verify("<ip> [.#v0] .* [v3#.] <ip> 0")
+        rendered = trace_to_json(result.trace)
+        assert '"trace"' in rendered
+        assert '"header"' in rendered
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "not json",
+            "{}",
+            '{"name": "x", "routers": [], "links": []}',
+        ],
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(FormatError):
+            network_from_json(bad)
+
+
+class TestIsisRoundTrip:
+    def test_roundtrip(self, network):
+        mapping, documents = network_to_isis(network)
+        reloaded = network_from_isis(mapping, documents)
+        assert_equivalent(network, reloaded)
+
+    def test_reloaded_network_verifies_identically(self, network):
+        mapping, documents = network_to_isis(network)
+        reloaded = network_from_isis(mapping, documents)
+        for _name, query in EXAMPLE_QUERIES:
+            assert (
+                dual_engine(network).verify(query).status
+                == dual_engine(reloaded).verify(query).status
+            )
+
+    def test_mapping_file_parsing(self, network):
+        mapping, documents = network_to_isis(network)
+        entries = parse_mapping_file(mapping, documents)
+        names = {entry.name for entry in entries}
+        assert names == {r.name for r in network.topology.routers}
+        # The sink router vOut has no extracts.
+        vout = next(entry for entry in entries if entry.name == "vOut")
+        assert vout.extract is None
+
+    def test_missing_document_rejected(self, network):
+        mapping, documents = network_to_isis(network)
+        documents.pop("v0-adj.xml")
+        with pytest.raises(FormatError):
+            parse_mapping_file(mapping, documents)
+
+    def test_empty_mapping_rejected(self):
+        with pytest.raises(FormatError):
+            parse_mapping_file("# only a comment\n", {})
+
+
+class TestCoordinates:
+    def test_roundtrip(self):
+        from repro.datasets.nordunet import nordunet_graph
+        from repro.datasets.synthesis import synthesize_network
+
+        network, _ = synthesize_network(nordunet_graph())
+        rendered = coordinates_to_json(network.topology)
+        parsed = coordinates_from_json(rendered)
+        assert parsed["cph1"].latitude == pytest.approx(55.68)
+        assert parsed["lon1"].longitude == pytest.approx(-0.13)
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["nope", "[1, 2]", '{"R0": {"lat": 1}}', '{"R0": {"lat": "x", "lng": 2}}'],
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(FormatError):
+            coordinates_from_json(bad)

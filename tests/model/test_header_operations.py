@@ -1,0 +1,167 @@
+"""Unit tests for headers and the header rewrite function 𝓗 (Def. 3)."""
+
+import pytest
+
+from repro.errors import HeaderError
+from repro.model.header import Header, is_valid_header
+from repro.model.labels import ip, mpls, smpls
+from repro.model.operations import (
+    NO_OPS,
+    Pop,
+    Push,
+    Swap,
+    apply_operations,
+    format_operations,
+    max_stack_excursion,
+    operations_well_formed,
+    parse_operation,
+    parse_operation_sequence,
+    stack_growth,
+    try_apply_operations,
+)
+
+IP1 = ip("ip1")
+S20 = smpls(20)
+S21 = smpls(21)
+M30 = mpls(30)
+M31 = mpls(31)
+
+
+class TestValidHeaders:
+    def test_bare_ip_is_valid(self):
+        assert is_valid_header((IP1,))
+
+    def test_smpls_over_ip_is_valid(self):
+        assert is_valid_header((S20, IP1))
+
+    def test_mpls_chain_is_valid(self):
+        assert is_valid_header((M30, M31, S20, IP1))
+
+    def test_empty_is_invalid(self):
+        assert not is_valid_header(())
+
+    def test_bare_mpls_is_invalid(self):
+        assert not is_valid_header((M30,))
+
+    def test_mpls_directly_on_ip_is_invalid(self):
+        assert not is_valid_header((M30, IP1))
+
+    def test_two_bottom_labels_invalid(self):
+        assert not is_valid_header((S20, S21, IP1))
+
+    def test_ip_on_top_of_stack_invalid(self):
+        assert not is_valid_header((IP1, S20, IP1))
+
+    def test_header_constructor_rejects_invalid(self):
+        with pytest.raises(HeaderError):
+            Header([M30, IP1])
+
+    def test_header_accessors(self):
+        header = Header([M30, S20, IP1])
+        assert header.top == M30
+        assert header.ip_label == IP1
+        assert header.depth == 2
+        assert len(header) == 3
+        assert header[1] == S20
+
+    def test_header_equality_and_hash(self):
+        assert Header([S20, IP1]) == Header([S20, IP1])
+        assert hash(Header([S20, IP1])) == hash(Header([S20, IP1]))
+        assert Header([S20, IP1]) != Header([S21, IP1])
+
+
+class TestRewriteFunction:
+    def test_paper_example(self):
+        # 𝓗(30 ∘ s20 ∘ ip1, pop ∘ swap(s21) ∘ push(31)) = 31 ∘ s21 ∘ ip1
+        header = Header([M30, S20, IP1])
+        ops = (Pop(), Swap(S21), Push(M31))
+        assert apply_operations(header, ops) == Header([M31, S21, IP1])
+
+    def test_identity(self):
+        header = Header([S20, IP1])
+        assert apply_operations(header, NO_OPS) == header
+
+    def test_swap_top(self):
+        assert apply_operations(Header([S20, IP1]), (Swap(S21),)) == Header([S21, IP1])
+
+    def test_push_on_ip_requires_bottom_label(self):
+        header = Header([IP1])
+        assert apply_operations(header, (Push(S20),)) == Header([S20, IP1])
+        with pytest.raises(HeaderError):
+            apply_operations(header, (Push(M30),))
+
+    def test_push_on_mpls_requires_plain_label(self):
+        header = Header([S20, IP1])
+        assert apply_operations(header, (Push(M30),)) == Header([M30, S20, IP1])
+        with pytest.raises(HeaderError):
+            apply_operations(header, (Push(S21),))
+
+    def test_pop_ip_label_undefined(self):
+        with pytest.raises(HeaderError):
+            apply_operations(Header([IP1]), (Pop(),))
+
+    def test_swap_ip_for_mpls_undefined(self):
+        with pytest.raises(HeaderError):
+            apply_operations(Header([IP1]), (Swap(M30),))
+
+    def test_swap_bottom_for_plain_undefined(self):
+        # Replacing the S-bit label with a plain MPLS label would leave the
+        # stack without a bottom label.
+        with pytest.raises(HeaderError):
+            apply_operations(Header([S20, IP1]), (Swap(M30),))
+
+    def test_try_apply_returns_none_when_undefined(self):
+        assert try_apply_operations(Header([IP1]), (Pop(),)) is None
+        assert try_apply_operations(Header([IP1]), NO_OPS) == Header([IP1])
+
+
+class TestStaticHelpers:
+    def test_stack_growth(self):
+        assert stack_growth((Swap(S21), Push(M30))) == 1
+        assert stack_growth((Pop(), Push(M30), Push(M31))) == 1
+        assert stack_growth((Pop(),)) == -1
+        assert stack_growth(NO_OPS) == 0
+
+    def test_max_excursion(self):
+        assert max_stack_excursion((Push(M30), Pop(), Push(M31))) == 1
+        assert max_stack_excursion((Push(M30), Push(M31))) == 2
+        assert max_stack_excursion((Pop(), Push(M30))) == 0
+
+    def test_well_formedness_known_prefix(self):
+        assert operations_well_formed(S20, (Swap(S21), Push(M30)))
+        assert not operations_well_formed(IP1, (Pop(),))
+        assert not operations_well_formed(IP1, (Push(M30),))
+        assert operations_well_formed(IP1, (Push(S20), Push(M30)))
+        assert not operations_well_formed(S20, (Push(S21),))
+
+    def test_well_formedness_permissive_below_known(self):
+        # After popping past the known top the checker must not reject.
+        assert operations_well_formed(M30, (Pop(), Pop()))
+
+
+class TestOperationParsing:
+    def resolve(self, text):
+        from repro.model.labels import parse_label
+
+        return parse_label(text)
+
+    def test_parse_single_ops(self):
+        assert parse_operation("pop", self.resolve) == Pop()
+        assert parse_operation("swap(s21)", self.resolve) == Swap(S21)
+        assert parse_operation("push(30)", self.resolve) == Push(M30)
+
+    def test_parse_sequences(self):
+        ops = parse_operation_sequence("swap(s21) ∘ push(30)", self.resolve)
+        assert ops == (Swap(S21), Push(M30))
+        assert parse_operation_sequence("", self.resolve) == NO_OPS
+        assert parse_operation_sequence("pop; pop", self.resolve) == (Pop(), Pop())
+
+    def test_parse_garbage_raises(self):
+        from repro.errors import ModelError
+
+        with pytest.raises(ModelError):
+            parse_operation("jump(30)", self.resolve)
+
+    def test_format_roundtrip(self):
+        assert format_operations((Swap(S21), Push(M30))) == "swap(s21) ∘ push(30)"
+        assert format_operations(()) == "ε"

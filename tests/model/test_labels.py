@@ -1,0 +1,121 @@
+"""Unit tests for the label model."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model.labels import (
+    BOTTOM,
+    Label,
+    LabelKind,
+    LabelTable,
+    ip,
+    mpls,
+    parse_label,
+    smpls,
+)
+
+
+class TestLabelConstructors:
+    def test_mpls_constructor(self):
+        label = mpls(30)
+        assert label.kind is LabelKind.MPLS
+        assert label.name == "30"
+        assert label.is_mpls
+        assert not label.is_bottom_mpls
+        assert not label.is_ip
+
+    def test_smpls_constructor_from_bare_name(self):
+        label = smpls(20)
+        assert label.kind is LabelKind.MPLS_BOTTOM
+        assert label.name == "20"
+        assert str(label) == "s20"
+
+    def test_smpls_constructor_strips_rendered_prefix(self):
+        assert smpls("s20") == smpls(20)
+
+    def test_ip_constructor(self):
+        label = ip("ip1")
+        assert label.is_ip
+        assert str(label) == "ip1"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ModelError):
+            Label(LabelKind.MPLS, "")
+
+    def test_bottom_marker(self):
+        assert BOTTOM.is_stack_bottom
+        assert str(BOTTOM) == "⊥"
+
+
+class TestParseLabel:
+    def test_numeric_is_mpls(self):
+        assert parse_label("30") == mpls(30)
+
+    def test_s_prefix_is_bottom_mpls(self):
+        assert parse_label("s20") == smpls(20)
+
+    def test_ip_prefix(self):
+        assert parse_label("ip1") == ip("ip1")
+
+    def test_dotted_quad_is_ip(self):
+        label = parse_label("192.0.2.1")
+        assert label.is_ip
+
+    def test_dollar_service_label_is_mpls(self):
+        label = parse_label("$449550")
+        assert label.is_mpls
+        assert label.name == "$449550"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            parse_label("  ")
+
+    def test_roundtrip_through_str(self):
+        for text in ("30", "s20", "ip1", "$12"):
+            assert str(parse_label(text)) == text
+
+
+class TestLabelTable:
+    def test_add_and_get(self):
+        table = LabelTable()
+        label = table.add(mpls(30))
+        assert table.get("30") is label
+        assert table.require("30") is label
+
+    def test_interning_returns_same_instance(self):
+        table = LabelTable()
+        first = table.add(smpls(20))
+        second = table.add(smpls(20))
+        assert first is second
+        assert len(table) == 1
+
+    def test_kind_partition(self):
+        table = LabelTable([mpls(30), mpls(31), smpls(20), ip("ip1")])
+        assert table.mpls_labels == {mpls(30), mpls(31)}
+        assert table.bottom_mpls_labels == {smpls(20)}
+        assert table.ip_labels == {ip("ip1")}
+
+    def test_require_unknown_raises(self):
+        with pytest.raises(ModelError):
+            LabelTable().require("999")
+
+    def test_bottom_marker_rejected(self):
+        with pytest.raises(ModelError):
+            LabelTable().add(BOTTOM)
+
+    def test_contains_label_and_text(self):
+        table = LabelTable([mpls(5)])
+        assert mpls(5) in table
+        assert "5" in table
+        assert "6" not in table
+        assert 3.5 not in table
+
+    def test_conflicting_kind_same_text_rejected(self):
+        table = LabelTable()
+        table.add(Label(LabelKind.MPLS, "x1"))
+        with pytest.raises(ModelError):
+            table.add(Label(LabelKind.IP, "x1"))
+
+    def test_iteration_order_is_insertion(self):
+        table = LabelTable([mpls(3), mpls(1), mpls(2)])
+        assert [l.name for l in table] == ["3", "1", "2"]

@@ -1,0 +1,104 @@
+"""Unit tests for the MplsNetwork facade."""
+
+import pytest
+
+from repro.datasets.example import build_example_network
+from repro.errors import ModelError
+from repro.model.header import Header
+from repro.model.labels import LabelTable, ip, mpls, smpls
+from repro.model.network import MplsNetwork
+from repro.model.routing import RoutingTable
+from repro.model.topology import Topology
+
+
+@pytest.fixture(scope="module")
+def network():
+    return build_example_network()
+
+
+class TestForwarding:
+    def test_primary_alternatives(self, network):
+        e0 = network.topology.link("e0")
+        header = Header([network.labels.require("ip1")])
+        alternatives = network.forwarding_alternatives(e0, header, frozenset())
+        assert {entry.out_link.name for entry, _h in alternatives} == {"e1", "e2"}
+        headers = {str(h) for _e, h in alternatives}
+        assert headers == {"s20 ∘ ip1", "s10 ∘ ip1"}
+
+    def test_failover_alternative(self, network):
+        e1 = network.topology.link("e1")
+        e4 = network.topology.link("e4")
+        header = Header([network.labels.require("s20"), network.labels.require("ip1")])
+        primary = network.forwarding_alternatives(e1, header, frozenset())
+        assert {entry.out_link.name for entry, _h in primary} == {"e4"}
+        backup = network.forwarding_alternatives(e1, header, frozenset({e4}))
+        assert {entry.out_link.name for entry, _h in backup} == {"e5"}
+        _entry, rewritten = backup[0]
+        assert str(rewritten) == "30 ∘ s21 ∘ ip1"
+
+    def test_undefined_lookup_drops_packet(self, network):
+        e7 = network.topology.link("e7")
+        header = Header([network.labels.require("ip1")])
+        assert network.forwarding_alternatives(e7, header, frozenset()) == ()
+
+    def test_partial_rewrite_filtered(self):
+        """An entry whose operation chain is undefined on the concrete
+        header is not offered (the rewrite function is partial)."""
+        from repro.model.builder import NetworkBuilder
+
+        builder = NetworkBuilder("partial")
+        builder.link("a", "A", "B")
+        builder.link("b", "B", "C")
+        # pop on a bottom-of-stack label uncovering... nothing valid
+        # unless an IP label is below; with a bare pop the rule is only
+        # defined for 2+ deep headers.
+        builder.rule("a", "30", "b", "pop")
+        builder.label("ip1")
+        builder.label("s9")
+        net = builder.build()
+        deep = Header([net.labels.require("30"), net.labels.require("s9"),
+                       net.labels.require("ip1")])
+        a = net.topology.link("a")
+        assert len(net.forwarding_alternatives(a, deep, frozenset())) == 1
+
+
+class TestIntrospection:
+    def test_rule_count(self, network):
+        assert network.rule_count() == 13  # the 13 rows of Figure 1b
+
+    def test_used_labels(self, network):
+        used = {str(label) for label in network.used_labels()}
+        assert {"ip1", "s20", "s21", "s40", "s44", "30"} <= used
+
+    def test_names(self, network):
+        assert "v0" in network.router_names()
+        assert "e4" in network.link_names()
+        assert network.name == "running-example"
+
+    def test_validate_passes(self, network):
+        network.validate()
+
+    def test_mismatched_topology_rejected(self, network):
+        other = Topology("other")
+        with pytest.raises(ModelError):
+            MplsNetwork(other, network.labels, network.routing)
+
+    def test_validate_catches_unregistered_labels(self, network):
+        # A routing table whose labels were never interned in the table.
+        topo = Topology("t")
+        topo.add_router("A")
+        topo.add_router("B")
+        topo.add_router("C")
+        in_link = topo.add_link("ab", "A", "B")
+        out_link = topo.add_link("bc", "B", "C")
+        from repro.model.routing import RoutingEntry, TrafficEngineeringGroup
+
+        routing = RoutingTable(topo)
+        routing.set_groups(
+            in_link,
+            smpls(77),
+            [TrafficEngineeringGroup([RoutingEntry(out_link, ())])],
+        )
+        bad = MplsNetwork(topo, LabelTable(), routing)
+        with pytest.raises(ModelError):
+            bad.validate()

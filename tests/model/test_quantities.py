@@ -1,0 +1,117 @@
+"""Tests for atomic quantities (§3), checked against the paper's numbers."""
+
+import pytest
+
+from repro.datasets.example import build_example_network, example_traces
+from repro.errors import WeightError
+from repro.model.quantities import (
+    Quantity,
+    distance,
+    evaluate_quantity,
+    failures,
+    hops,
+    links,
+    tunnels,
+)
+
+
+@pytest.fixture(scope="module")
+def network():
+    return build_example_network()
+
+
+@pytest.fixture(scope="module")
+def traces(network):
+    return example_traces(network)
+
+
+class TestPaperValues:
+    """§3 computes these values for the running example explicitly."""
+
+    def test_links_and_hops_sigma0(self, traces):
+        assert links(traces["sigma0"]) == 4
+        assert hops(traces["sigma0"]) == 4
+
+    def test_links_and_hops_sigma3(self, traces):
+        assert links(traces["sigma3"]) == 5
+        assert hops(traces["sigma3"]) == 5
+
+    def test_failures(self, network, traces):
+        assert failures(network, traces["sigma2"]) == 1
+        assert failures(network, traces["sigma3"]) == 0
+        assert failures(network, traces["sigma0"]) == 0
+
+    def test_tunnels(self, traces):
+        assert tunnels(traces["sigma1"]) == 1
+        assert tunnels(traces["sigma2"]) == 2
+        assert tunnels(traces["sigma3"]) == 0
+
+    def test_minimum_witness_example(self, network, traces):
+        """§3: minimizing (Hops, Failures + 3·Tunnels) over {σ2, σ3}."""
+
+        def vector(trace):
+            return (
+                hops(trace),
+                failures(network, trace) + 3 * tunnels(trace),
+            )
+
+        assert vector(traces["sigma2"]) == (5, 7)
+        assert vector(traces["sigma3"]) == (5, 0)
+        assert min([traces["sigma2"], traces["sigma3"]], key=vector) == traces["sigma3"]
+
+
+class TestEvaluators:
+    def test_distance_with_custom_function(self, traces):
+        assert distance(traces["sigma0"], lambda link: 10) == 40
+
+    def test_distance_default_uses_topology(self, network, traces):
+        value = evaluate_quantity(Quantity.DISTANCE, network, traces["sigma0"])
+        assert value == 4  # all link weights default to 1
+
+    def test_evaluate_each_quantity(self, network, traces):
+        sigma2 = traces["sigma2"]
+        assert evaluate_quantity(Quantity.LINKS, network, sigma2) == 5
+        assert evaluate_quantity(Quantity.HOPS, network, sigma2) == 5
+        assert evaluate_quantity(Quantity.FAILURES, network, sigma2) == 1
+        assert evaluate_quantity(Quantity.TUNNELS, network, sigma2) == 2
+
+    def test_hops_ignores_self_loops(self, network):
+        from repro.model.builder import NetworkBuilder
+        from repro.model.header import Header
+        from repro.model.trace import Trace, TraceStep
+
+        builder = NetworkBuilder("loopy")
+        builder.router("A").router("B")
+        builder.link("ab", "A", "B")
+        builder.link("bb", "B", "B")
+        builder.link("bb2", "B", "B")
+        builder.rule("ab", "ip1", "bb")
+        builder.rule("bb", "ip1", "bb2")
+        net = builder.build()
+        ip1 = net.labels.require("ip1")
+        topo = net.topology
+        trace = Trace(
+            [
+                TraceStep(topo.link("ab"), Header([ip1])),
+                TraceStep(topo.link("bb"), Header([ip1])),
+                TraceStep(topo.link("bb2"), Header([ip1])),
+            ]
+        )
+        assert links(trace) == 3
+        assert hops(trace) == 1
+
+    def test_failures_undefined_on_invalid_trace(self, network, traces):
+        from repro.model.trace import Trace
+
+        sigma0 = traces["sigma0"]
+        sigma1 = traces["sigma1"]
+        # Splice two unrelated traces: the junction step has no justification.
+        frankenstein = Trace(list(sigma0.steps[:2]) + [sigma1.steps[2]])
+        with pytest.raises(WeightError):
+            failures(network, frankenstein)
+
+    def test_quantity_parse(self):
+        assert Quantity.parse("Hops") is Quantity.HOPS
+        assert Quantity.parse(" failures ") is Quantity.FAILURES
+        with pytest.raises(WeightError):
+            Quantity.parse("latency2")

@@ -1,0 +1,145 @@
+"""Unit tests for routing tables and traffic-engineering groups (§2.1, §2.4)."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.model.labels import ip, smpls
+from repro.model.operations import Pop, Swap
+from repro.model.routing import (
+    EMPTY_GROUP_SEQUENCE,
+    GroupSequence,
+    RoutingEntry,
+    RoutingTable,
+    TrafficEngineeringGroup,
+)
+from repro.model.topology import Topology
+
+S10 = smpls(10)
+S11 = smpls(11)
+
+
+@pytest.fixture
+def diamond():
+    """A -> B with two parallel continuations B->C (primary) and B->D (backup)."""
+    topo = Topology("diamond")
+    for name in ("A", "B", "C", "D"):
+        topo.add_router(name)
+    topo.add_link("ab", "A", "B")
+    topo.add_link("bc", "B", "C")
+    topo.add_link("bd", "B", "D")
+    return topo
+
+
+def entry(topo, link_name, *ops):
+    return RoutingEntry(topo.link(link_name), tuple(ops))
+
+
+class TestGroups:
+    def test_group_requires_entries(self):
+        with pytest.raises(RoutingError):
+            TrafficEngineeringGroup([])
+
+    def test_group_set_semantics(self, diamond):
+        a = TrafficEngineeringGroup([entry(diamond, "bc"), entry(diamond, "bd")])
+        b = TrafficEngineeringGroup([entry(diamond, "bd"), entry(diamond, "bc")])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len(a) == 2
+
+    def test_group_deduplicates(self, diamond):
+        group = TrafficEngineeringGroup([entry(diamond, "bc"), entry(diamond, "bc")])
+        assert len(group) == 1
+
+    def test_activity(self, diamond):
+        bc, bd = diamond.link("bc"), diamond.link("bd")
+        group = TrafficEngineeringGroup([entry(diamond, "bc")])
+        assert group.is_active(set())
+        assert not group.is_active({bc})
+        assert group.is_active({bd})
+
+    def test_active_entries_filters_failed(self, diamond):
+        bc = diamond.link("bc")
+        group = TrafficEngineeringGroup([entry(diamond, "bc"), entry(diamond, "bd")])
+        active = group.active_entries({bc})
+        assert [e.out_link.name for e in active] == ["bd"]
+
+
+class TestGroupSequence:
+    def test_priority_selection(self, diamond):
+        bc, bd = diamond.link("bc"), diamond.link("bd")
+        primary = TrafficEngineeringGroup([entry(diamond, "bc")])
+        backup = TrafficEngineeringGroup([entry(diamond, "bd")])
+        sequence = GroupSequence([primary, backup])
+
+        assert sequence.active_group_index(set()) == 0
+        assert [e.out_link.name for e in sequence.active_entries(set())] == ["bc"]
+        assert sequence.active_group_index({bc}) == 1
+        assert [e.out_link.name for e in sequence.active_entries({bc})] == ["bd"]
+        assert sequence.active_group_index({bc, bd}) is None
+        assert sequence.active_entries({bc, bd}) == ()
+
+    def test_required_failures(self, diamond):
+        bc = diamond.link("bc")
+        primary = TrafficEngineeringGroup([entry(diamond, "bc")])
+        backup = TrafficEngineeringGroup([entry(diamond, "bd")])
+        sequence = GroupSequence([primary, backup])
+        assert sequence.required_failures(0) == frozenset()
+        assert sequence.required_failures(1) == frozenset({bc})
+
+    def test_all_entries_enumeration(self, diamond):
+        primary = TrafficEngineeringGroup([entry(diamond, "bc")])
+        backup = TrafficEngineeringGroup([entry(diamond, "bd")])
+        sequence = GroupSequence([primary, backup])
+        listed = [(i, e.out_link.name) for i, e in sequence.all_entries()]
+        assert listed == [(0, "bc"), (1, "bd")]
+
+    def test_empty_sequence(self):
+        assert not EMPTY_GROUP_SEQUENCE
+        assert EMPTY_GROUP_SEQUENCE.active_entries(set()) == ()
+        assert EMPTY_GROUP_SEQUENCE.active_group_index(set()) is None
+
+
+class TestRoutingTable:
+    def test_lookup_default_empty(self, diamond):
+        table = RoutingTable(diamond)
+        assert table.lookup(diamond.link("ab"), S10) is EMPTY_GROUP_SEQUENCE
+        assert not table.has_rule(diamond.link("ab"), S10)
+
+    def test_set_and_lookup(self, diamond):
+        table = RoutingTable(diamond)
+        group = TrafficEngineeringGroup([entry(diamond, "bc", Swap(S11))])
+        table.set_groups(diamond.link("ab"), S10, [group])
+        groups = table.lookup(diamond.link("ab"), S10)
+        assert len(groups) == 1
+        assert table.has_rule(diamond.link("ab"), S10)
+        assert table.rule_count() == 1
+
+    def test_adjacency_validated(self, diamond):
+        table = RoutingTable(diamond)
+        # "ab" arrives at B; an entry leaving A is inconsistent.
+        bad = TrafficEngineeringGroup([entry(diamond, "ab")])
+        with pytest.raises(RoutingError):
+            table.set_groups(diamond.link("bc"), S10, [bad])
+
+    def test_ill_formed_operations_rejected(self, diamond):
+        table = RoutingTable(diamond)
+        bad = TrafficEngineeringGroup([entry(diamond, "bc", Pop())])
+        with pytest.raises(RoutingError):
+            table.set_groups(diamond.link("ab"), ip("ip1"), [bad])
+
+    def test_duplicate_definition_rejected(self, diamond):
+        table = RoutingTable(diamond)
+        group = TrafficEngineeringGroup([entry(diamond, "bc", Swap(S11))])
+        table.set_groups(diamond.link("ab"), S10, [group])
+        with pytest.raises(RoutingError):
+            table.set_groups(diamond.link("ab"), S10, [group])
+
+    def test_items_and_labels_for_link(self, diamond):
+        table = RoutingTable(diamond)
+        group = TrafficEngineeringGroup([entry(diamond, "bc", Swap(S11))])
+        table.set_groups(diamond.link("ab"), S10, [group])
+        items = list(table.items())
+        assert len(items) == 1
+        link, label, groups = items[0]
+        assert link.name == "ab" and label == S10 and len(groups) == 1
+        assert table.labels_for_link(diamond.link("ab")) == (S10,)

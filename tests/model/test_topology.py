@@ -1,0 +1,119 @@
+"""Unit tests for the topology (directed multigraph, Def. 1)."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.model.topology import Coordinates, Topology, haversine_km
+
+
+@pytest.fixture
+def triangle():
+    topo = Topology("triangle")
+    for name in ("A", "B", "C"):
+        topo.add_router(name)
+    topo.add_link("ab", "A", "B", "if_ab_out", "if_ab_in", weight=3)
+    topo.add_link("bc", "B", "C")
+    topo.add_link("ca", "C", "A")
+    return topo
+
+
+class TestConstruction:
+    def test_routers_and_links(self, triangle):
+        assert len(triangle) == 3
+        assert [r.name for r in triangle.routers] == ["A", "B", "C"]
+        assert [l.name for l in triangle.links] == ["ab", "bc", "ca"]
+
+    def test_duplicate_link_name_rejected(self, triangle):
+        with pytest.raises(TopologyError):
+            triangle.add_link("ab", "B", "C")
+
+    def test_unknown_router_rejected(self, triangle):
+        with pytest.raises(TopologyError):
+            triangle.add_link("ax", "A", "X")
+        with pytest.raises(TopologyError):
+            triangle.add_link("xa", "X", "A")
+
+    def test_add_router_is_idempotent(self, triangle):
+        before = triangle.router("A")
+        after = triangle.add_router("A")
+        assert before is after
+
+    def test_interface_collision_rejected(self, triangle):
+        with pytest.raises(TopologyError):
+            triangle.add_link("ab2", "A", "C", source_interface="if_ab_out")
+        with pytest.raises(TopologyError):
+            triangle.add_link("cb2", "C", "B", target_interface="if_ab_in")
+
+    def test_parallel_links_allowed(self, triangle):
+        triangle.add_link("ab2", "A", "B")
+        assert len(triangle.links_between("A", "B")) == 2
+
+    def test_duplex_link(self):
+        topo = Topology()
+        topo.add_router("A")
+        topo.add_router("B")
+        fw, bw = topo.add_duplex_link("A", "B", weight=7)
+        assert fw.source.name == "A" and fw.target.name == "B"
+        assert bw.source.name == "B" and bw.target.name == "A"
+        assert fw.weight == bw.weight == 7
+        assert topo.reverse_link(fw) == bw
+
+    def test_negative_weight_rejected(self, triangle):
+        with pytest.raises(TopologyError):
+            triangle.add_link("neg", "A", "B", weight=-1)
+
+
+class TestLookup:
+    def test_out_and_in_links(self, triangle):
+        assert [l.name for l in triangle.out_links("A")] == ["ab"]
+        assert [l.name for l in triangle.in_links("A")] == ["ca"]
+
+    def test_interface_lookup(self, triangle):
+        assert triangle.link_by_out_interface("A", "if_ab_out").name == "ab"
+        assert triangle.link_by_in_interface("B", "if_ab_in").name == "ab"
+        with pytest.raises(TopologyError):
+            triangle.link_by_out_interface("A", "nope")
+
+    def test_interfaces_listing(self, triangle):
+        assert set(triangle.interfaces("B")) == {"if_ab_in", "bc"}
+
+    def test_degree(self, triangle):
+        assert triangle.degree("A") == 2
+
+    def test_unknown_lookups_raise(self, triangle):
+        with pytest.raises(TopologyError):
+            triangle.router("X")
+        with pytest.raises(TopologyError):
+            triangle.link("xx")
+        with pytest.raises(TopologyError):
+            triangle.out_links("X")
+
+    def test_self_loop_detection(self, triangle):
+        loop = triangle.add_link("aa", "A", "A")
+        assert loop.is_self_loop
+        assert not triangle.link("ab").is_self_loop
+
+
+class TestDistances:
+    def test_haversine_known_distance(self):
+        copenhagen = Coordinates(55.676, 12.568)
+        vienna = Coordinates(48.208, 16.373)
+        distance = haversine_km(copenhagen, vienna)
+        # Real-world distance is roughly 870 km.
+        assert 820 < distance < 920
+
+    def test_link_distance_prefers_coordinates(self):
+        topo = Topology()
+        topo.add_router("CPH", Coordinates(55.676, 12.568))
+        topo.add_router("VIE", Coordinates(48.208, 16.373))
+        link = topo.add_link("cv", "CPH", "VIE", weight=1)
+        assert topo.link_distance(link) > 500
+
+    def test_link_distance_falls_back_to_weight(self, triangle):
+        assert triangle.link_distance(triangle.link("ab")) == 3
+
+    def test_self_loop_distance_uses_weight(self):
+        topo = Topology()
+        topo.add_router("A", Coordinates(0.0, 0.0))
+        loop = topo.add_link("aa", "A", "A", weight=2)
+        assert topo.link_distance(loop) == 2

@@ -1,0 +1,141 @@
+"""Tests for traces, validity, minimal failure sets and the simulator.
+
+Uses the running example of Figure 1 as its main fixture, checking the
+paper's concrete claims about σ0–σ3.
+"""
+
+import pytest
+
+from repro.datasets.example import build_example_network, example_traces
+from repro.model.header import Header
+from repro.model.trace import (
+    Trace,
+    TraceStep,
+    check_trace,
+    enumerate_traces,
+    minimal_failure_set,
+)
+
+
+@pytest.fixture(scope="module")
+def network():
+    return build_example_network()
+
+
+@pytest.fixture(scope="module")
+def traces(network):
+    return example_traces(network)
+
+
+class TestExampleTraces:
+    def test_sigma0_valid_without_failures(self, network, traces):
+        assert check_trace(network, traces["sigma0"], frozenset())
+
+    def test_sigma1_valid_without_failures(self, network, traces):
+        assert check_trace(network, traces["sigma1"], frozenset())
+
+    def test_sigma2_requires_e4_failure(self, network, traces):
+        e4 = network.topology.link("e4")
+        assert not check_trace(network, traces["sigma2"], frozenset())
+        assert check_trace(network, traces["sigma2"], frozenset({e4}))
+
+    def test_sigma3_valid_even_with_failures_elsewhere(self, network, traces):
+        topo = network.topology
+        assert check_trace(network, traces["sigma3"], frozenset())
+        failed = frozenset({topo.link("e2"), topo.link("e3")})
+        assert check_trace(network, traces["sigma3"], failed)
+
+    def test_trace_using_failed_link_invalid(self, network, traces):
+        e1 = network.topology.link("e1")
+        assert not check_trace(network, traces["sigma0"], frozenset({e1}))
+
+    def test_minimal_failure_sets(self, network, traces):
+        e4 = network.topology.link("e4")
+        assert minimal_failure_set(network, traces["sigma0"], 2) == frozenset()
+        assert minimal_failure_set(network, traces["sigma1"], 0) == frozenset()
+        assert minimal_failure_set(network, traces["sigma2"], 2) == frozenset({e4})
+        assert minimal_failure_set(network, traces["sigma2"], 0) is None
+        assert minimal_failure_set(network, traces["sigma3"], 0) == frozenset()
+
+
+class TestTraceBasics:
+    def test_accessors(self, network, traces):
+        sigma0 = traces["sigma0"]
+        assert len(sigma0) == 4
+        assert [l.name for l in sigma0.links] == ["e0", "e1", "e4", "e7"]
+        assert str(sigma0.first_header) == "ip1"
+        assert str(sigma0.last_header) == "ip1"
+
+    def test_equality_and_hash(self, network, traces):
+        again = example_traces(network)
+        assert traces["sigma0"] == again["sigma0"]
+        assert hash(traces["sigma0"]) == hash(again["sigma0"])
+        assert traces["sigma0"] != traces["sigma1"]
+
+    def test_empty_trace_rejected(self):
+        from repro.errors import ModelError
+
+        with pytest.raises(ModelError):
+            Trace([])
+
+    def test_pretty_mentions_every_hop(self, traces):
+        pretty = traces["sigma2"].pretty()
+        for name in ("e0", "e1", "e5", "e6", "e7"):
+            assert name in pretty
+
+
+class TestSimulator:
+    def initial(self, network, *labels):
+        topo = network.topology
+        header = Header(network.labels.require(text) for text in labels)
+        return TraceStep(topo.link("e0"), header)
+
+    def test_enumerates_both_ip_paths(self, network, traces):
+        found = set(
+            enumerate_traces(network, self.initial(network, "ip1"), frozenset(), 6)
+        )
+        assert traces["sigma0"] in found
+        assert traces["sigma1"] in found
+        assert traces["sigma2"] not in found
+
+    def test_enumerates_failover_under_e4_failure(self, network, traces):
+        e4 = network.topology.link("e4")
+        found = set(
+            enumerate_traces(network, self.initial(network, "ip1"), frozenset({e4}), 6)
+        )
+        assert traces["sigma2"] in found
+        assert traces["sigma0"] not in found
+
+    def test_enumerates_service_path(self, network, traces):
+        found = set(
+            enumerate_traces(
+                network, self.initial(network, "s40", "ip1"), frozenset(), 6
+            )
+        )
+        assert traces["sigma3"] in found
+
+    def test_initial_on_failed_link_yields_nothing(self, network):
+        e0 = network.topology.link("e0")
+        found = list(
+            enumerate_traces(network, self.initial(network, "ip1"), frozenset({e0}), 6)
+        )
+        assert found == []
+
+    def test_length_bound_respected(self, network):
+        found = list(
+            enumerate_traces(network, self.initial(network, "ip1"), frozenset(), 2)
+        )
+        assert all(len(trace) <= 2 for trace in found)
+
+    def test_header_depth_bound_respected(self, network):
+        found = list(
+            enumerate_traces(
+                network,
+                self.initial(network, "ip1"),
+                frozenset(),
+                6,
+                max_header_depth=0,
+            )
+        )
+        # Depth 0 forbids pushing the LSP label, so only the arrival step.
+        assert all(len(trace) == 1 for trace in found)

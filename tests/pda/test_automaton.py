@@ -1,0 +1,97 @@
+"""Unit tests for the weighted P-automaton container itself."""
+
+import math
+
+import pytest
+
+from repro.errors import PdaError
+from repro.pda.automaton import EPSILON, WeightedPAutomaton
+from repro.pda.semiring import BOOLEAN, MIN_PLUS
+
+
+@pytest.fixture
+def automaton():
+    return WeightedPAutomaton(MIN_PLUS, final_states=["f"])
+
+
+class TestRelaxAndPop:
+    def test_relax_inserts(self, automaton):
+        assert automaton.relax(("p", "a", "f"), 3, ("init",))
+        assert automaton.transition_weight(("p", "a", "f")) == 3
+
+    def test_relax_improves(self, automaton):
+        automaton.relax(("p", "a", "f"), 3, ("init",))
+        assert automaton.relax(("p", "a", "f"), 2, ("better",))
+        assert automaton.transition_weight(("p", "a", "f")) == 2
+        assert automaton.witnesses[("p", "a", "f")] == ("better",)
+
+    def test_relax_rejects_worse(self, automaton):
+        automaton.relax(("p", "a", "f"), 2, ("init",))
+        assert not automaton.relax(("p", "a", "f"), 3, ("worse",))
+        assert automaton.witnesses[("p", "a", "f")] == ("init",)
+
+    def test_relax_rejects_zero(self, automaton):
+        assert not automaton.relax(("p", "a", "f"), math.inf, ("init",))
+        assert automaton.transition_count() == 0
+
+    def test_pop_order_is_by_weight(self, automaton):
+        automaton.relax(("p", "a", "f"), 5, ("init",))
+        automaton.relax(("q", "a", "f"), 1, ("init",))
+        automaton.relax(("r", "a", "f"), 3, ("init",))
+        popped = [automaton.pop()[0][0] for _ in range(3)]
+        assert popped == ["q", "r", "p"]
+        assert automaton.pop() is None
+
+    def test_improvement_after_finalize_raises(self, automaton):
+        automaton.relax(("p", "a", "f"), 5, ("init",))
+        automaton.pop()
+        with pytest.raises(PdaError):
+            automaton.relax(("p", "a", "f"), 1, ("late",))
+
+    def test_stale_heap_entries_skipped(self, automaton):
+        automaton.relax(("p", "a", "f"), 5, ("init",))
+        automaton.relax(("p", "a", "f"), 2, ("better",))
+        key, weight = automaton.pop()
+        assert weight == 2
+        assert automaton.pop() is None
+
+    def test_epsilon_bookkeeping(self, automaton):
+        automaton.relax(("p", EPSILON, "q"), 1, ("init",))
+        assert automaton.eps_by_target["q"] == {"p"}
+        assert automaton.targets("p", EPSILON) == frozenset()
+
+
+class TestAcceptance:
+    def build_chain(self, automaton):
+        automaton.relax(("p", "a", "m"), 1, ("init",))
+        automaton.relax(("m", "b", "f"), 2, ("init",))
+        automaton.relax(("m", "b", "dead"), 0, ("init",))
+
+    def test_multi_symbol_path(self, automaton):
+        self.build_chain(automaton)
+        weight, path = automaton.accept_weight("p", ("a", "b"))
+        assert weight == 3
+        assert path == (("p", "a", "m"), ("m", "b", "f"))
+
+    def test_dead_end_not_accepted(self, automaton):
+        self.build_chain(automaton)
+        weight, path = automaton.accept_weight("p", ("a",))
+        assert weight == math.inf and path is None
+
+    def test_chooses_cheapest_path(self, automaton):
+        self.build_chain(automaton)
+        automaton.relax(("p", "a", "m2"), 0, ("init",))
+        automaton.relax(("m2", "b", "f"), 1, ("init",))
+        weight, path = automaton.accept_weight("p", ("a", "b"))
+        assert weight == 1
+        assert path[0] == ("p", "a", "m2")
+
+    def test_empty_stack_rejected(self, automaton):
+        with pytest.raises(PdaError):
+            automaton.accept_weight("p", ())
+
+    def test_boolean_accepts(self):
+        automaton = WeightedPAutomaton(BOOLEAN, final_states=["f"])
+        automaton.relax(("p", "a", "f"), True, ("init",))
+        assert automaton.accepts("p", ("a",))
+        assert not automaton.accepts("q", ("a",))

@@ -1,0 +1,157 @@
+"""Unit tests for the ROBDD kernel."""
+
+import pytest
+
+from repro.errors import PdaError
+from repro.pda.bdd import FALSE, TRUE, Bdd, bits_needed
+
+
+@pytest.fixture
+def bdd():
+    return Bdd()
+
+
+class TestBasics:
+    def test_terminals(self, bdd):
+        assert bdd.apply_and(TRUE, TRUE) == TRUE
+        assert bdd.apply_and(TRUE, FALSE) == FALSE
+        assert bdd.apply_or(FALSE, FALSE) == FALSE
+        assert bdd.apply_or(TRUE, FALSE) == TRUE
+
+    def test_var_and_negation(self, bdd):
+        x = bdd.var(0)
+        assert bdd.apply_not(x) == bdd.nvar(0)
+        assert bdd.apply_not(bdd.apply_not(x)) == x
+
+    def test_hash_consing_gives_identity(self, bdd):
+        a = bdd.apply_and(bdd.var(0), bdd.var(1))
+        b = bdd.apply_and(bdd.var(1), bdd.var(0))
+        assert a == b
+
+    def test_idempotence_and_annihilation(self, bdd):
+        x = bdd.var(2)
+        assert bdd.apply_and(x, x) == x
+        assert bdd.apply_or(x, x) == x
+        assert bdd.apply_and(x, bdd.apply_not(x)) == FALSE
+        assert bdd.apply_or(x, bdd.apply_not(x)) == TRUE
+
+    def test_reduction_eliminates_redundant_tests(self, bdd):
+        # (x ∧ y) ∨ (¬x ∧ y) == y
+        x, y = bdd.var(0), bdd.var(1)
+        left = bdd.apply_and(x, y)
+        right = bdd.apply_and(bdd.apply_not(x), y)
+        assert bdd.apply_or(left, right) == y
+
+    def test_evaluate(self, bdd):
+        formula = bdd.apply_or(bdd.var(0), bdd.apply_and(bdd.var(1), bdd.var(2)))
+        assert bdd.evaluate(formula, {0: True})
+        assert bdd.evaluate(formula, {0: False, 1: True, 2: True})
+        assert not bdd.evaluate(formula, {0: False, 1: True, 2: False})
+
+
+class TestQuantificationAndRenaming:
+    def test_exists(self, bdd):
+        # ∃y. x ∧ y == x
+        formula = bdd.apply_and(bdd.var(0), bdd.var(1))
+        assert bdd.exists(formula, [1]) == bdd.var(0)
+        # ∃x,y. x ∧ y == TRUE
+        assert bdd.exists(formula, [0, 1]) == TRUE
+
+    def test_exists_over_disjunction(self, bdd):
+        formula = bdd.apply_or(
+            bdd.apply_and(bdd.var(0), bdd.var(1)),
+            bdd.apply_and(bdd.nvar(0), bdd.var(2)),
+        )
+        # ∃0: (1 ∨ 2)
+        assert bdd.exists(formula, [0]) == bdd.apply_or(bdd.var(1), bdd.var(2))
+
+    def test_rename_monotone(self, bdd):
+        formula = bdd.apply_and(bdd.var(0), bdd.var(1))
+        renamed = bdd.rename(formula, {0: 5, 1: 7})
+        assert renamed == bdd.apply_and(bdd.var(5), bdd.var(7))
+
+    def test_rename_rejects_non_monotone(self, bdd):
+        formula = bdd.apply_and(bdd.var(0), bdd.var(1))
+        with pytest.raises(PdaError):
+            bdd.rename(formula, {0: 7, 1: 5})
+
+    def test_relational_composition(self, bdd):
+        """R(a,b) ∘ S(b,c) via conjoin + exists, the saturation workhorse."""
+        # R = {(0->1)}: a=0 encoded ¬v0, b=1 encoded v1 (1-bit each).
+        r = bdd.apply_and(bdd.nvar(0), bdd.var(1))
+        # S = {(1->0)} over (b@v1, c@v2): v1 ∧ ¬v2.
+        s = bdd.apply_and(bdd.var(1), bdd.nvar(2))
+        composed = bdd.exists(bdd.apply_and(r, s), [1])
+        assert composed == bdd.apply_and(bdd.nvar(0), bdd.nvar(2))
+
+
+class TestEncodings:
+    def test_cube(self, bdd):
+        cube = bdd.cube([(0, True), (1, False)])
+        assert bdd.evaluate(cube, {0: True, 1: False})
+        assert not bdd.evaluate(cube, {0: True, 1: True})
+
+    def test_encode_value(self, bdd):
+        encoded = bdd.encode_value(5, [0, 1, 2])  # 101 -> v0 ∧ ¬v1 ∧ v2
+        assert bdd.evaluate(encoded, {0: True, 1: False, 2: True})
+        assert not bdd.evaluate(encoded, {0: True, 1: True, 2: True})
+
+    def test_satisfy_one(self, bdd):
+        formula = bdd.apply_and(bdd.var(0), bdd.nvar(3))
+        assignment = bdd.satisfy_one(formula)
+        assert assignment is not None
+        assert bdd.evaluate(formula, assignment)
+        assert bdd.satisfy_one(FALSE) is None
+
+    def test_count_models(self, bdd):
+        formula = bdd.apply_or(bdd.var(0), bdd.var(1))
+        assert bdd.count_models(formula, [0, 1]) == 3
+        assert bdd.count_models(TRUE, [0, 1, 2]) == 8
+        assert bdd.count_models(FALSE, [0, 1]) == 0
+
+    def test_count_models_with_skipped_variables(self, bdd):
+        formula = bdd.var(1)
+        assert bdd.count_models(formula, [0, 1, 2]) == 4
+
+    def test_bits_needed(self):
+        assert bits_needed(1) == 1
+        assert bits_needed(2) == 1
+        assert bits_needed(3) == 2
+        assert bits_needed(1024) == 10
+        assert bits_needed(1025) == 11
+
+
+class TestRandomizedEquivalence:
+    """BDD operations must agree with direct truth-table evaluation."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_formulas(self, bdd, seed):
+        import itertools
+        import random
+
+        rng = random.Random(seed)
+        variables = [0, 1, 2, 3]
+
+        def random_formula(depth):
+            if depth == 0 or rng.random() < 0.3:
+                v = rng.choice(variables)
+                return (bdd.var(v), lambda env, v=v: env[v])
+            op = rng.choice(["and", "or", "not"])
+            left_bdd, left_fn = random_formula(depth - 1)
+            if op == "not":
+                return (bdd.apply_not(left_bdd), lambda env, f=left_fn: not f(env))
+            right_bdd, right_fn = random_formula(depth - 1)
+            if op == "and":
+                return (
+                    bdd.apply_and(left_bdd, right_bdd),
+                    lambda env, f=left_fn, g=right_fn: f(env) and g(env),
+                )
+            return (
+                bdd.apply_or(left_bdd, right_bdd),
+                lambda env, f=left_fn, g=right_fn: f(env) or g(env),
+            )
+
+        formula, reference = random_formula(4)
+        for values in itertools.product([False, True], repeat=len(variables)):
+            env = dict(zip(variables, values))
+            assert bdd.evaluate(formula, env) == reference(env)

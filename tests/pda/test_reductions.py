@@ -1,0 +1,105 @@
+"""Tests for the static reduction pass (top-of-stack analysis, pruning)."""
+
+import pytest
+
+from repro.pda.reductions import analyze_top_of_stack, reduce_pushdown
+from repro.pda.semiring import BOOLEAN, MIN_PLUS
+from repro.pda.solver import solve_reachability
+from repro.pda.system import PushdownSystem
+
+
+def build_system_with_dead_rules():
+    """Reachable core s->t over symbol x, plus rules that can never fire."""
+    pds = PushdownSystem()
+    pds.add_rule("s", "x", "m", ("y", "x"), True, tag="live-push")
+    pds.add_rule("m", "y", "t", (), True, tag="live-pop")
+    # Dead: symbol z never reaches the top of the stack.
+    pds.add_rule("s", "z", "m", ("z",), True, tag="dead-symbol")
+    # Dead: state u is never entered.
+    pds.add_rule("u", "x", "t", ("x",), True, tag="dead-state")
+    # Dead: leads away from the target and never back.
+    pds.add_rule("m", "y", "sink", ("y",), True, tag="to-sink")
+    return pds
+
+
+class TestAnalysis:
+    def test_tops_computed(self):
+        pds = build_system_with_dead_rules()
+        analysis = analyze_top_of_stack(pds, "s", "x")
+        assert analysis.tops["s"] == {"x"}
+        assert analysis.tops["m"] == {"y"}
+        # After the pop at m, the below-set {x} surfaces at t.
+        assert analysis.tops["t"] == {"x"}
+        assert "u" not in analysis.tops
+
+    def test_below_tracks_pushes(self):
+        pds = build_system_with_dead_rules()
+        analysis = analyze_top_of_stack(pds, "s", "x")
+        assert "x" in analysis.below["m"]
+
+    def test_may_fire(self):
+        pds = build_system_with_dead_rules()
+        analysis = analyze_top_of_stack(pds, "s", "x")
+        tags = {rule.tag: analysis.may_fire(rule) for rule in pds.rules}
+        assert tags["live-push"] and tags["live-pop"]
+        assert not tags["dead-symbol"]
+        assert not tags["dead-state"]
+
+    def test_swap_chain(self):
+        pds = PushdownSystem()
+        pds.add_rule("a", "x", "b", ("y",), True)
+        pds.add_rule("b", "y", "c", ("z",), True)
+        analysis = analyze_top_of_stack(pds, "a", "x")
+        assert analysis.tops["b"] == {"y"}
+        assert analysis.tops["c"] == {"z"}
+
+
+class TestReduction:
+    def test_dead_rules_removed(self):
+        pds = build_system_with_dead_rules()
+        reduced, report = reduce_pushdown(pds, "s", "x", target_state="t")
+        kept_tags = {rule.tag for rule in reduced.rules}
+        assert kept_tags == {"live-push", "live-pop"}
+        assert report.rules_before == 5
+        assert report.rules_after == 2
+        assert report.rules_removed == 3
+
+    def test_without_target_keeps_sink(self):
+        pds = build_system_with_dead_rules()
+        reduced, _report = reduce_pushdown(pds, "s", "x")
+        kept_tags = {rule.tag for rule in reduced.rules}
+        assert "to-sink" in kept_tags
+        assert "dead-symbol" not in kept_tags
+
+    def test_reduction_preserves_reachability(self):
+        pds = build_system_with_dead_rules()
+        with_reductions = solve_reachability(
+            pds, BOOLEAN, ("s", "x"), ("t", "x"), use_reductions=True
+        )
+        without = solve_reachability(
+            pds, BOOLEAN, ("s", "x"), ("t", "x"), use_reductions=False
+        )
+        assert with_reductions.reachable == without.reachable is True
+
+    def test_reduction_preserves_weights(self):
+        pds = PushdownSystem()
+        pds.add_rule("s", "x", "m", ("y", "x"), 2)
+        pds.add_rule("m", "y", "t", (), 3)
+        pds.add_rule("s", "z", "t", ("z",), 0)  # dead but tempting (weight 0)
+        with_red = solve_reachability(pds, MIN_PLUS, ("s", "x"), ("t", "x"))
+        without = solve_reachability(
+            pds, MIN_PLUS, ("s", "x"), ("t", "x"), use_reductions=False
+        )
+        assert with_red.weight == without.weight == 5
+
+    def test_stats_expose_reduction_report(self):
+        pds = build_system_with_dead_rules()
+        outcome = solve_reachability(pds, BOOLEAN, ("s", "x"), ("t", "x"))
+        assert outcome.stats.reduction is not None
+        assert outcome.stats.rules_after <= outcome.stats.rules_before
+
+    def test_unreachable_target_prunes_everything_relevant(self):
+        pds = build_system_with_dead_rules()
+        reduced, _ = reduce_pushdown(pds, "s", "x", target_state="mars")
+        # No rule can lead to a nonexistent state.
+        assert reduced.rule_count() == 0

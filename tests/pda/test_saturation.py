@@ -1,0 +1,221 @@
+"""Correctness tests for pre*/post* saturation on hand-built systems.
+
+The examples are small enough that the expected reachability relations
+and minimal weights can be verified by hand (and are, in the comments).
+"""
+
+import math
+
+import pytest
+
+from repro.errors import PdaError
+from repro.pda.automaton import EPSILON
+from repro.pda.poststar import poststar, poststar_single
+from repro.pda.prestar import prestar, prestar_single
+from repro.pda.semiring import BOOLEAN, MIN_PLUS, vector_semiring
+from repro.pda.solver import solve_reachability
+from repro.pda.system import Configuration, PushdownSystem, run_rules
+
+
+def counter_system(weight_one=True):
+    """A classic counter: p pushes 'a' up to some height, q pops them.
+
+    Rules (boolean weights unless weight_one=False):
+      <p, a> -> <p, a a>   (push)
+      <p, a> -> <q, a>     (switch)
+      <q, a> -> <q, ε>     (pop)
+    Starting from <p, a>, q can empty the stack down to the last 'a',
+    i.e. <q, a^n> is reachable for every n >= 1 and <q, ε> stays out of
+    reach only because we model the bottom symbol explicitly elsewhere.
+    """
+    pds = PushdownSystem()
+    w = True
+    pds.add_rule("p", "a", "p", ("a", "a"), w)
+    pds.add_rule("p", "a", "q", ("a",), w)
+    pds.add_rule("q", "a", "q", (), w)
+    return pds
+
+
+class TestPostStarBoolean:
+    def test_counter_reachability(self):
+        pds = counter_system()
+        result = poststar_single(pds, BOOLEAN, "p", "a")
+        automaton = result.automaton
+        # <q, a> reachable; so are <q, a a>, <p, a a a> etc.
+        assert automaton.accepts("q", ("a",))
+        assert automaton.accepts("q", ("a", "a"))
+        assert automaton.accepts("p", ("a", "a", "a"))
+        # An unrelated state is not.
+        assert not automaton.accepts("r", ("a",))
+
+    def test_initial_configuration_accepted(self):
+        pds = counter_system()
+        result = poststar_single(pds, BOOLEAN, "p", "a")
+        assert result.automaton.accepts("p", ("a",))
+
+    def test_early_termination(self):
+        pds = counter_system()
+        result = poststar_single(pds, BOOLEAN, "p", "a", target=("q", "a"))
+        assert result.early_terminated
+        assert result.automaton.accepts("q", ("a",))
+
+    def test_rejects_transition_into_control_state(self):
+        pds = counter_system()
+        with pytest.raises(PdaError):
+            poststar(pds, BOOLEAN, [("p", "a", "q")], ["q"])
+
+    def test_rejects_epsilon_in_initial(self):
+        pds = counter_system()
+        with pytest.raises(PdaError):
+            poststar(pds, BOOLEAN, [("p", EPSILON, "f")], ["f"])
+
+
+class TestPostStarWeighted:
+    def weighted_chain(self):
+        """A linear chain with weighted swap rules and one shortcut.
+
+        <s, x> -1-> <a, x> -1-> <b, x> -1-> <t, x>
+        <s, x> -5-> <t, x>               (direct, heavier)
+        Minimal weight s->t is 3.
+        """
+        pds = PushdownSystem()
+        pds.add_rule("s", "x", "a", ("x",), 1)
+        pds.add_rule("a", "x", "b", ("x",), 1)
+        pds.add_rule("b", "x", "t", ("x",), 1)
+        pds.add_rule("s", "x", "t", ("x",), 5)
+        return pds
+
+    def test_minimal_weight(self):
+        result = poststar_single(self.weighted_chain(), MIN_PLUS, "s", "x")
+        weight, path = result.automaton.accept_weight("t", ("x",))
+        assert weight == 3
+        assert path is not None
+
+    def test_early_termination_weight_is_minimal(self):
+        result = poststar_single(
+            self.weighted_chain(), MIN_PLUS, "s", "x", target=("t", "x")
+        )
+        assert result.early_terminated
+        weight, _ = result.automaton.accept_weight("t", ("x",))
+        assert weight == 3
+
+    def test_weighted_push_pop_cycle(self):
+        """Weights accumulate across push/pop phases.
+
+        <s, x> -2-> <m, y x>  (push y, cost 2)
+        <m, y> -3-> <t, ε>    (pop y, cost 3)
+        So <t, x> is reachable at cost 5.
+        """
+        pds = PushdownSystem()
+        pds.add_rule("s", "x", "m", ("y", "x"), 2)
+        pds.add_rule("m", "y", "t", (), 3)
+        result = poststar_single(pds, MIN_PLUS, "s", "x")
+        weight, _ = result.automaton.accept_weight("t", ("x",))
+        assert weight == 5
+
+    def test_unreachable_is_zero(self):
+        result = poststar_single(self.weighted_chain(), MIN_PLUS, "s", "x")
+        weight, path = result.automaton.accept_weight("nowhere", ("x",))
+        assert weight == math.inf
+        assert path is None
+
+    def test_vector_weights_lexicographic(self):
+        """Two routes: (1 hop, 10 cost) via a, (2 hops, 0 cost) via b.
+
+        Minimizing (hops, cost) must pick the 1-hop route; minimizing
+        (cost, hops) must pick the 0-cost route.
+        """
+        hops_first = vector_semiring(2)
+        pds = PushdownSystem()
+        pds.add_rule("s", "x", "t", ("x",), (1, 10))
+        pds.add_rule("s", "x", "m", ("x",), (1, 0))
+        pds.add_rule("m", "x", "t", ("x",), (1, 0))
+        result = poststar_single(pds, hops_first, "s", "x")
+        weight, _ = result.automaton.accept_weight("t", ("x",))
+        assert weight == (1, 10)
+
+        cost_first = vector_semiring(2)
+        pds2 = PushdownSystem()
+        pds2.add_rule("s", "x", "t", ("x",), (10, 1))
+        pds2.add_rule("s", "x", "m", ("x",), (0, 1))
+        pds2.add_rule("m", "x", "t", ("x",), (0, 1))
+        result2 = poststar_single(pds2, cost_first, "s", "x")
+        weight2, _ = result2.automaton.accept_weight("t", ("x",))
+        assert weight2 == (0, 2)
+
+
+class TestPreStar:
+    def test_counter_reachability(self):
+        pds = counter_system()
+        result = prestar_single(pds, BOOLEAN, "q", "a")
+        automaton = result.automaton
+        # Everything that can reach <q, a>: <p, a>, <p, a a>, <q, a a>, ...
+        assert automaton.accepts("p", ("a",))
+        assert automaton.accepts("q", ("a", "a"))
+        assert automaton.accepts("p", ("a", "a"))
+        assert not automaton.accepts("r", ("a",))
+
+    def test_weighted_agrees_with_poststar(self):
+        pds = PushdownSystem()
+        pds.add_rule("s", "x", "a", ("x",), 1)
+        pds.add_rule("a", "x", "b", ("x",), 1)
+        pds.add_rule("b", "x", "t", ("x",), 1)
+        pds.add_rule("s", "x", "t", ("x",), 5)
+        pre = prestar_single(pds, MIN_PLUS, "t", "x")
+        weight, _ = pre.automaton.accept_weight("s", ("x",))
+        post = poststar_single(pds, MIN_PLUS, "s", "x")
+        weight_post, _ = post.automaton.accept_weight("t", ("x",))
+        assert weight == weight_post == 3
+
+    def test_weighted_push_pop(self):
+        pds = PushdownSystem()
+        pds.add_rule("s", "x", "m", ("y", "x"), 2)
+        pds.add_rule("m", "y", "t", (), 3)
+        result = prestar_single(pds, MIN_PLUS, "t", "x")
+        weight, _ = result.automaton.accept_weight("s", ("x",))
+        assert weight == 5
+
+    def test_early_termination(self):
+        pds = counter_system()
+        result = prestar_single(pds, BOOLEAN, "q", "a", source=("p", "a"))
+        assert result.early_terminated
+
+    def test_rejects_transition_into_control_state(self):
+        pds = counter_system()
+        with pytest.raises(PdaError):
+            prestar(pds, BOOLEAN, [("q", "a", "p")], ["p"])
+
+
+class TestCrossCheck:
+    """pre* and post* must agree on reachability for random-ish systems."""
+
+    def build(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        states = ["p", "q", "r", "s"]
+        symbols = ["a", "b", "c"]
+        pds = PushdownSystem()
+        for _ in range(25):
+            kind = rng.choice(["pop", "swap", "push"])
+            from_state = rng.choice(states)
+            pop = rng.choice(symbols)
+            to_state = rng.choice(states)
+            if kind == "pop":
+                push = ()
+            elif kind == "swap":
+                push = (rng.choice(symbols),)
+            else:
+                push = (rng.choice(symbols), pop)
+            pds.add_rule(from_state, pop, to_state, push, True)
+        return pds
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_agreement(self, seed):
+        pds = self.build(seed)
+        for target_state in ("p", "q", "r", "s"):
+            post = poststar_single(pds, BOOLEAN, "p", "a")
+            pre = prestar_single(pds, BOOLEAN, target_state, "a")
+            assert post.automaton.accepts(target_state, ("a",)) == pre.automaton.accepts(
+                "p", ("a",)
+            ), f"disagreement for seed {seed}, target {target_state}"

@@ -1,0 +1,97 @@
+"""Unit tests for the semiring framework (laws checked by hand here;
+hypothesis re-checks them on random elements in tests/property)."""
+
+import math
+
+import pytest
+
+from repro.pda.semiring import (
+    BOOLEAN,
+    MIN_PLUS,
+    MinPlusVectorSemiring,
+    vector_semiring,
+)
+
+
+class TestBoolean:
+    def test_constants(self):
+        assert BOOLEAN.zero is False
+        assert BOOLEAN.one is True
+
+    def test_combine_is_or(self):
+        assert BOOLEAN.combine(False, True) is True
+        assert BOOLEAN.combine(False, False) is False
+
+    def test_extend_is_and(self):
+        assert BOOLEAN.extend(True, True) is True
+        assert BOOLEAN.extend(True, False) is False
+
+    def test_less_prefers_reachable(self):
+        assert BOOLEAN.less(True, False)
+        assert not BOOLEAN.less(False, True)
+        assert not BOOLEAN.less(True, True)
+
+    def test_is_zero(self):
+        assert BOOLEAN.is_zero(False)
+        assert not BOOLEAN.is_zero(True)
+
+
+class TestMinPlus:
+    def test_constants(self):
+        assert MIN_PLUS.zero == math.inf
+        assert MIN_PLUS.one == 0
+
+    def test_combine_is_min(self):
+        assert MIN_PLUS.combine(3, 5) == 3
+        assert MIN_PLUS.combine(math.inf, 5) == 5
+
+    def test_extend_is_plus(self):
+        assert MIN_PLUS.extend(3, 5) == 8
+        assert MIN_PLUS.extend(math.inf, 5) == math.inf
+
+    def test_annihilation(self):
+        assert MIN_PLUS.extend(MIN_PLUS.zero, 7) == MIN_PLUS.zero
+
+    def test_identity(self):
+        assert MIN_PLUS.extend(MIN_PLUS.one, 7) == 7
+        assert MIN_PLUS.combine(MIN_PLUS.zero, 7) == 7
+
+    def test_less(self):
+        assert MIN_PLUS.less(2, 3)
+        assert not MIN_PLUS.less(3, 3)
+
+
+class TestVector:
+    def test_arity_validation(self):
+        with pytest.raises(ValueError):
+            MinPlusVectorSemiring(0)
+
+    def test_constants(self):
+        semiring = vector_semiring(2)
+        assert semiring.zero == (math.inf, math.inf)
+        assert semiring.one == (0, 0)
+
+    def test_combine_is_lexicographic_min(self):
+        semiring = vector_semiring(2)
+        assert semiring.combine((1, 9), (2, 0)) == (1, 9)
+        assert semiring.combine((1, 9), (1, 3)) == (1, 3)
+
+    def test_extend_is_componentwise_plus(self):
+        semiring = vector_semiring(3)
+        assert semiring.extend((1, 2, 3), (10, 20, 30)) == (11, 22, 33)
+
+    def test_less_is_lexicographic(self):
+        semiring = vector_semiring(2)
+        assert semiring.less((0, 100), (1, 0))
+        assert semiring.less((1, 0), (1, 1))
+        assert not semiring.less((1, 1), (1, 1))
+
+    def test_extend_monotone_for_nonnegative(self):
+        semiring = vector_semiring(2)
+        base = (3, 4)
+        for delta in [(0, 0), (0, 1), (1, 0), (5, 5)]:
+            assert not semiring.less(semiring.extend(base, delta), base)
+
+    def test_zero_annihilates(self):
+        semiring = vector_semiring(2)
+        assert semiring.is_zero(semiring.extend(semiring.zero, (1, 1)))

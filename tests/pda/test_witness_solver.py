@@ -1,0 +1,198 @@
+"""Tests for witness reconstruction and the solver facade.
+
+Every reconstructed run is replayed with the PDS semantics
+(:func:`run_rules`), which independently validates the witness logic.
+"""
+
+import math
+
+import pytest
+
+from repro.pda.poststar import poststar_single
+from repro.pda.prestar import prestar_single
+from repro.pda.semiring import BOOLEAN, MIN_PLUS, vector_semiring
+from repro.pda.solver import solve_reachability
+from repro.pda.system import Configuration, PushdownSystem, run_rules
+from repro.pda.witness import reconstruct_poststar_run, reconstruct_prestar_run
+
+
+def replay(rules, initial_state, initial_stack):
+    return run_rules(Configuration(initial_state, initial_stack), rules)[-1]
+
+
+def tunnel_system():
+    """A miniature MPLS-like tunnel:
+
+    <in, ip>  --push-->  <mid, lbl ip>     (enter tunnel, cost 1)
+    <mid, lbl> --swap-->  <mid2, lbl2>     (swap inside, cost 1)
+    <mid2, lbl2> --pop--> <out, ε>         (leave tunnel, cost 1)
+    so <out, ip> reachable from <in, ip> at cost 3 through all three
+    rule shapes (push, swap, pop).
+    """
+    pds = PushdownSystem()
+    pds.add_rule("in", "ip", "mid", ("lbl", "ip"), 1, tag="enter")
+    pds.add_rule("mid", "lbl", "mid2", ("lbl2",), 1, tag="swap")
+    pds.add_rule("mid2", "lbl2", "out", (), 1, tag="leave")
+    return pds
+
+
+class TestPostStarWitness:
+    def test_all_rule_shapes(self):
+        pds = tunnel_system()
+        result = poststar_single(pds, MIN_PLUS, "in", "ip")
+        weight, path = result.automaton.accept_weight("out", ("ip",))
+        assert weight == 3
+        rules = reconstruct_poststar_run(result.automaton, path)
+        assert [rule.tag for rule in rules] == ["enter", "swap", "leave"]
+        final = replay(rules, "in", ("ip",))
+        assert final.state == "out" and final.stack == ("ip",)
+
+    def test_minimal_witness_among_alternatives(self):
+        pds = PushdownSystem()
+        pds.add_rule("s", "x", "t", ("x",), 5, tag="expensive")
+        pds.add_rule("s", "x", "m", ("x",), 1, tag="cheap1")
+        pds.add_rule("m", "x", "t", ("x",), 1, tag="cheap2")
+        result = poststar_single(pds, MIN_PLUS, "s", "x")
+        weight, path = result.automaton.accept_weight("t", ("x",))
+        rules = reconstruct_poststar_run(result.automaton, path)
+        assert weight == 2
+        assert [rule.tag for rule in rules] == ["cheap1", "cheap2"]
+
+    def test_deep_push_pop_nesting(self):
+        """Push n symbols then pop them all; the run must interleave
+        correctly when reconstructed."""
+        pds = PushdownSystem()
+        depth = 6
+        for level in range(depth):
+            pds.add_rule(
+                f"up{level}", "x", f"up{level + 1}", ("x", "x"), 1, tag=f"push{level}"
+            )
+        pds.add_rule(f"up{depth}", "x", "down", ("x",), 0, tag="turn")
+        pds.add_rule("down", "x", "down", (), 1, tag="pop")
+        result = poststar_single(pds, MIN_PLUS, "up0", "x")
+        weight, path = result.automaton.accept_weight("down", ("x",))
+        assert weight == depth + depth  # n pushes + n pops back to height 1
+        rules = reconstruct_poststar_run(result.automaton, path)
+        final = replay(rules, "up0", ("x",))
+        assert final.state == "down" and final.stack == ("x",)
+
+    def test_boolean_witness(self):
+        pds = PushdownSystem()
+        pds.add_rule("in", "ip", "mid", ("lbl", "ip"), True, tag="enter")
+        pds.add_rule("mid", "lbl", "mid2", ("lbl2",), True, tag="swap")
+        pds.add_rule("mid2", "lbl2", "out", (), True, tag="leave")
+        result = poststar_single(pds, BOOLEAN, "in", "ip")
+        weight, path = result.automaton.accept_weight("out", ("ip",))
+        assert weight is True
+        rules = reconstruct_poststar_run(result.automaton, path)
+        final = replay(rules, "in", ("ip",))
+        assert final.state == "out"
+
+    def test_loopy_system_terminates(self):
+        """Self-loops in the PDS must not send reconstruction in circles."""
+        pds = PushdownSystem()
+        pds.add_rule("s", "x", "s", ("x",), 1, tag="self")
+        pds.add_rule("s", "x", "t", ("x",), 1, tag="go")
+        result = poststar_single(pds, MIN_PLUS, "s", "x")
+        weight, path = result.automaton.accept_weight("t", ("x",))
+        assert weight == 1
+        rules = reconstruct_poststar_run(result.automaton, path)
+        assert [rule.tag for rule in rules] == ["go"]
+
+
+class TestPreStarWitness:
+    def test_all_rule_shapes(self):
+        pds = tunnel_system()
+        result = prestar_single(pds, MIN_PLUS, "out", "ip")
+        weight, path = result.automaton.accept_weight("in", ("ip",))
+        assert weight == 3
+        rules = reconstruct_prestar_run(result.automaton, path)
+        assert [rule.tag for rule in rules] == ["enter", "swap", "leave"]
+        final = replay(rules, "in", ("ip",))
+        assert final.state == "out" and final.stack == ("ip",)
+
+    def test_deep_nesting(self):
+        pds = PushdownSystem()
+        depth = 5
+        for level in range(depth):
+            pds.add_rule(
+                f"up{level}", "x", f"up{level + 1}", ("x", "x"), 1, tag=f"push{level}"
+            )
+        pds.add_rule(f"up{depth}", "x", "down", ("x",), 0, tag="turn")
+        pds.add_rule("down", "x", "down", (), 1, tag="pop")
+        result = prestar_single(pds, MIN_PLUS, "down", "x")
+        weight, path = result.automaton.accept_weight("up0", ("x",))
+        rules = reconstruct_prestar_run(result.automaton, path)
+        final = replay(rules, "up0", ("x",))
+        assert final.state == "down" and final.stack == ("x",)
+
+
+class TestSolverFacade:
+    def test_poststar_solve(self):
+        outcome = solve_reachability(
+            tunnel_system(), MIN_PLUS, ("in", "ip"), ("out", "ip")
+        )
+        assert outcome.reachable
+        assert outcome.weight == 3
+        assert [rule.tag for rule in outcome.rules] == ["enter", "swap", "leave"]
+        assert outcome.stats.method == "poststar"
+        assert outcome.stats.elapsed_seconds >= 0
+
+    def test_prestar_solve(self):
+        outcome = solve_reachability(
+            tunnel_system(), MIN_PLUS, ("in", "ip"), ("out", "ip"), method="prestar"
+        )
+        assert outcome.reachable
+        assert outcome.weight == 3
+        final = replay(outcome.rules, "in", ("ip",))
+        assert final.state == "out"
+
+    def test_unreachable(self):
+        outcome = solve_reachability(
+            tunnel_system(), MIN_PLUS, ("in", "ip"), ("nowhere", "ip")
+        )
+        assert not outcome.reachable
+        assert outcome.weight == math.inf
+        assert outcome.rules is None
+
+    def test_no_witness_requested(self):
+        outcome = solve_reachability(
+            tunnel_system(),
+            MIN_PLUS,
+            ("in", "ip"),
+            ("out", "ip"),
+            want_witness=False,
+        )
+        assert outcome.reachable
+        assert outcome.rules is None
+
+    def test_methods_agree(self):
+        for method in ("poststar", "prestar"):
+            for reductions in (True, False):
+                outcome = solve_reachability(
+                    tunnel_system(),
+                    MIN_PLUS,
+                    ("in", "ip"),
+                    ("out", "ip"),
+                    method=method,
+                    use_reductions=reductions,
+                )
+                assert outcome.reachable and outcome.weight == 3
+
+    def test_unknown_method_rejected(self):
+        from repro.errors import PdaError
+
+        with pytest.raises(PdaError):
+            solve_reachability(
+                tunnel_system(), MIN_PLUS, ("in", "ip"), ("out", "ip"), method="magic"
+            )
+
+    def test_vector_weights_through_solver(self):
+        semiring = vector_semiring(2)
+        pds = PushdownSystem()
+        pds.add_rule("s", "x", "t", ("x",), (1, 10), tag="short-expensive")
+        pds.add_rule("s", "x", "m", ("x",), (1, 1), tag="a")
+        pds.add_rule("m", "x", "t", ("x",), (1, 1), tag="b")
+        outcome = solve_reachability(pds, semiring, ("s", "x"), ("t", "x"))
+        assert outcome.weight == (1, 10)
+        assert [rule.tag for rule in outcome.rules] == ["short-expensive"]

@@ -1,0 +1,74 @@
+"""Property tests: all engines and configurations agree on verdicts.
+
+Random networks × random queries, across: Dual (post*), pre* backend,
+the symbolic-BDD Moped backend, reductions on/off, and the weighted
+engine. Any divergence would indicate a soundness bug in one of the
+saturation or approximation layers.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pda.reductions import reduce_pushdown
+from repro.pda.semiring import BOOLEAN
+from repro.pda.poststar import poststar_single
+from repro.verification.engine import (
+    VerificationEngine,
+    dual_engine,
+    moped_engine,
+    weighted_engine,
+)
+from tests.property.test_engine_vs_oracle import (
+    build_random_network,
+    build_random_query,
+)
+from tests.property.test_pda_properties import booleanized, pushdown_systems
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_all_engines_agree(seed):
+    network = build_random_network(seed)
+    query = build_random_query(network, seed + 1)
+    engines = [
+        dual_engine(network),
+        moped_engine(network),
+        VerificationEngine(network, backend="prestar"),
+        VerificationEngine(network, use_reductions=False),
+        weighted_engine(network, weight="failures"),
+        weighted_engine(network, weight="hops, tunnels"),
+    ]
+    verdicts = {engine.verify(query).status for engine in engines}
+    assert len(verdicts) == 1, (seed, query, verdicts)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_weighted_witness_weight_matches_trace(seed):
+    """The engine's reported weight equals the trace-level evaluation."""
+    from repro.query.weights import parse_weight_vector
+
+    network = build_random_network(seed)
+    query = build_random_query(network, seed + 1)
+    vector = parse_weight_vector("links, tunnels")
+    engine = weighted_engine(network, weight=vector)
+    result = engine.verify(query)
+    if result.satisfied:
+        assert result.weight == vector.evaluate_trace(network, result.trace)
+
+
+@settings(max_examples=40, deadline=None)
+@given(pushdown_systems())
+def test_reductions_preserve_reachability(pds):
+    """On random PDS (not just compiled queries), the reduction pass must
+    never change any single-symbol reachability answer."""
+    boolean_pds = booleanized(pds)
+    reduced, report = reduce_pushdown(boolean_pds, "p", "a")
+    assert report.rules_after <= report.rules_before
+    full = poststar_single(boolean_pds, BOOLEAN, "p", "a")
+    pruned = poststar_single(reduced, BOOLEAN, "p", "a")
+    for state in ("p", "q", "r"):
+        for symbol in ("a", "b"):
+            assert full.automaton.accepts(state, (symbol,)) == pruned.automaton.accepts(
+                state, (symbol,)
+            ), (state, symbol)

@@ -1,0 +1,139 @@
+"""Property test: the PDA engines agree with the explicit oracle on
+randomly generated small MPLS networks and queries.
+
+This is the strongest end-to-end guarantee in the suite: networks (with
+failover priorities and tunnels) and queries are both random, and every
+SAT/UNSAT verdict of the dual engine must match exhaustive enumeration.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.builder import NetworkBuilder
+from repro.verification.engine import dual_engine
+from repro.verification.explicit import ExplicitEngine
+
+
+def build_random_network(seed):
+    """A small random MPLS network with swap chains, tunnels and backups.
+
+    Construction never fails: rules are sampled from validity-preserving
+    templates (swap within a kind, push of the right kind, pop of MPLS).
+    """
+    rng = random.Random(seed)
+    router_count = rng.randint(3, 5)
+    builder = NetworkBuilder(f"random{seed}")
+    names = [f"n{i}" for i in range(router_count)]
+    links = []
+    # Ring backbone for connectivity plus random chords.
+    for i in range(router_count):
+        link = f"e{i}"
+        builder.link(link, names[i], names[(i + 1) % router_count])
+        links.append(link)
+    for extra in range(rng.randint(0, 3)):
+        source, target = rng.sample(names, 2)
+        link = f"x{extra}"
+        builder.link(link, source, target)
+        links.append(link)
+
+    smpls_labels = [f"s{i}" for i in range(1, 4)]
+    mpls_labels = [f"{i}" for i in range(30, 33)]
+    ip_labels = ["ip1", "ip2"]
+    topology = builder.topology
+
+    rule_count = rng.randint(3, 10)
+    for _ in range(rule_count):
+        in_link = rng.choice(links)
+        router = topology.link(in_link).target.name
+        out_candidates = [l.name for l in topology.out_links(router)]
+        if not out_candidates:
+            continue
+        out_link = rng.choice(out_candidates)
+        shape = rng.choice(["ip-push", "swap-s", "swap-m", "pop", "push-m", "none"])
+        try:
+            if shape == "ip-push":
+                builder.rule(in_link, rng.choice(ip_labels), out_link,
+                             f"push({rng.choice(smpls_labels)})",
+                             priority=rng.choice([1, 1, 2]))
+            elif shape == "swap-s":
+                builder.rule(in_link, rng.choice(smpls_labels), out_link,
+                             f"swap({rng.choice(smpls_labels)})",
+                             priority=rng.choice([1, 1, 2]))
+            elif shape == "swap-m":
+                builder.rule(in_link, rng.choice(mpls_labels), out_link,
+                             f"swap({rng.choice(mpls_labels)})")
+            elif shape == "pop":
+                builder.rule(in_link, rng.choice(mpls_labels + smpls_labels),
+                             out_link, "pop")
+            elif shape == "push-m":
+                builder.rule(in_link, rng.choice(smpls_labels), out_link,
+                             f"swap({rng.choice(smpls_labels)}) ∘ "
+                             f"push({rng.choice(mpls_labels)})",
+                             priority=rng.choice([1, 2]))
+            else:
+                builder.rule(in_link, rng.choice(ip_labels), out_link)
+        except Exception:
+            continue  # duplicate (in_link, label) definitions are skipped
+    # Make sure query labels always resolve.
+    for label in ip_labels + smpls_labels:
+        builder.label(label)
+    return builder.build()
+
+
+def build_random_query(network, seed):
+    rng = random.Random(seed)
+    routers = [r.name for r in network.topology.routers]
+    source, target = rng.choice(routers), rng.choice(routers)
+    a = rng.choice(["ip", "smpls ip", "smpls? ip", "[s1] ip"])
+    c = rng.choice(["ip", "smpls ip", "smpls? ip", ". .* ip"])
+    b = rng.choice(
+        [
+            f"[.#{source}] .* [.#{target}]",
+            f"[.#{source}] . .*",
+            ".*",
+            f"[.#{source}] [^{source}#{target}]* [.#{target}]",
+        ]
+    )
+    k = rng.choice([0, 1, 2])
+    return f"<{a}> {b} <{c}> {k}"
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_dual_engine_matches_oracle(seed):
+    network = build_random_network(seed)
+    query = build_random_query(network, seed + 1)
+    oracle = ExplicitEngine(
+        network, max_trace_length=5, max_header_depth=2, max_initial_header=3
+    )
+    expected = oracle.verify(query)
+    result = dual_engine(network).verify(query)
+    if not result.conclusive:
+        return  # the dual approximation is allowed to be inconclusive
+    if expected.satisfied:
+        # The oracle's bounds make its positives definitive.
+        assert result.satisfied, (seed, query)
+    elif result.satisfied:
+        # The engine may legitimately find witnesses beyond the oracle's
+        # bounds; its witness must then exceed at least one bound.
+        trace = result.trace
+        assert (
+            len(trace) > 5
+            or max(h.depth for h in trace.headers) > 2
+            or len(trace.first_header) > 3
+        ), (seed, query)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_witnesses_are_valid_traces(seed):
+    from repro.model.trace import check_trace
+
+    network = build_random_network(seed)
+    query = build_random_query(network, seed + 1)
+    result = dual_engine(network).verify(query)
+    if result.satisfied:
+        assert check_trace(network, result.trace, result.failure_set)
+        assert len(result.failure_set) <= result.query.max_failures

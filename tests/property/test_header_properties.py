@@ -1,0 +1,111 @@
+"""Property-based tests for headers and the rewrite function 𝓗."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import HeaderError
+from repro.model.header import Header, is_valid_header
+from repro.model.labels import ip, mpls, smpls
+from repro.model.operations import (
+    Pop,
+    Push,
+    Swap,
+    apply_operations,
+    max_stack_excursion,
+    stack_growth,
+    try_apply_operations,
+)
+
+MPLS_LABELS = [mpls(i) for i in range(4)]
+BOTTOM_LABELS = [smpls(i) for i in range(10, 13)]
+IP_LABELS = [ip(f"ip{i}") for i in range(2)]
+
+
+@st.composite
+def valid_headers(draw):
+    """Arbitrary members of H: mpls* smpls ip | ip."""
+    if draw(st.booleans()):
+        return Header([draw(st.sampled_from(IP_LABELS))])
+    prefix = draw(st.lists(st.sampled_from(MPLS_LABELS), max_size=4))
+    return Header(
+        prefix
+        + [draw(st.sampled_from(BOTTOM_LABELS)), draw(st.sampled_from(IP_LABELS))]
+    )
+
+
+@st.composite
+def operations(draw):
+    kind = draw(st.sampled_from(["swap", "push", "pop"]))
+    if kind == "pop":
+        return Pop()
+    label = draw(
+        st.sampled_from(MPLS_LABELS + BOTTOM_LABELS + IP_LABELS)
+    )
+    return Swap(label) if kind == "swap" else Push(label)
+
+
+class TestClosure:
+    @given(valid_headers(), st.lists(operations(), max_size=5))
+    def test_defined_rewrites_stay_valid(self, header, ops):
+        """Definition 3: whenever 𝓗 is defined, the result is in H."""
+        result = try_apply_operations(header, ops)
+        if result is not None:
+            assert is_valid_header(result.labels)
+
+    @given(valid_headers())
+    def test_identity(self, header):
+        assert apply_operations(header, ()) == header
+
+    @given(valid_headers(), st.sampled_from(MPLS_LABELS))
+    def test_push_pop_roundtrip(self, header, label):
+        """push(ℓ) then pop is the identity wherever push is defined."""
+        pushed = try_apply_operations(header, (Push(label),))
+        if pushed is not None:
+            assert apply_operations(pushed, (Pop(),)) == header
+
+    @given(valid_headers(), st.lists(operations(), max_size=5))
+    def test_growth_matches_ops(self, header, ops):
+        """|𝓗(h, ω)| − |h| equals the static stack growth of ω."""
+        result = try_apply_operations(header, ops)
+        if result is not None:
+            assert len(result) - len(header) == stack_growth(ops)
+
+    @given(valid_headers(), st.lists(operations(), max_size=5))
+    def test_ip_label_is_stable(self, header, ops):
+        """No operation sequence can change the IP label at the bottom."""
+        result = try_apply_operations(header, ops)
+        if result is not None and len(ops) <= header.depth:
+            # As long as fewer ops than MPLS labels ran, the IP label
+            # can never have been exposed, let alone rewritten.
+            assert result.ip_label == header.ip_label
+
+    @given(valid_headers(), st.lists(operations(), max_size=4))
+    def test_determinism(self, header, ops):
+        first = try_apply_operations(header, ops)
+        second = try_apply_operations(header, ops)
+        assert first == second
+
+    @given(st.lists(operations(), max_size=6))
+    def test_excursion_bounds_growth(self, ops):
+        assert max_stack_excursion(ops) >= max(0, stack_growth(ops))
+
+
+class TestValidity:
+    @given(valid_headers())
+    def test_generator_only_produces_valid(self, header):
+        assert is_valid_header(header.labels)
+
+    @given(
+        st.lists(
+            st.sampled_from(MPLS_LABELS + BOTTOM_LABELS + IP_LABELS), max_size=5
+        )
+    )
+    def test_constructor_agrees_with_predicate(self, labels):
+        if is_valid_header(labels):
+            assert Header(labels).labels == tuple(labels)
+        else:
+            try:
+                Header(labels)
+                assert False, "constructor accepted an invalid header"
+            except HeaderError:
+                pass

@@ -1,0 +1,77 @@
+"""Property test: every I/O format round-trips random networks
+semantically (same routers, same interface-keyed rules, same verdicts).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.io.isis import network_from_isis, network_to_isis
+from repro.io.json_format import network_from_json, network_to_json
+from repro.io.xml_format import network_from_xml, routing_to_xml, topology_to_xml
+from tests.io.test_formats import routing_signature
+from tests.property.test_engine_vs_oracle import build_random_network
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=5000))
+def test_json_roundtrip(seed):
+    network = build_random_network(seed)
+    reloaded = network_from_json(network_to_json(network))
+    assert routing_signature(network) == routing_signature(reloaded)
+    assert {r.name for r in network.topology.routers} == {
+        r.name for r in reloaded.topology.routers
+    }
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=5000))
+def test_xml_roundtrip(seed):
+    network = build_random_network(seed)
+    reloaded = network_from_xml(
+        topology_to_xml(network.topology), routing_to_xml(network)
+    )
+    assert routing_signature(network) == routing_signature(reloaded)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=5000))
+def test_isis_roundtrip(seed):
+    network = build_random_network(seed)
+    mapping, documents = network_to_isis(network)
+    reloaded = network_from_isis(mapping, documents)
+    assert routing_signature(network) == routing_signature(reloaded)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=0, max_value=5000))
+def test_verdicts_stable_across_formats(seed):
+    from repro.verification.engine import dual_engine
+    from tests.property.test_engine_vs_oracle import build_random_query
+
+    network = build_random_network(seed)
+    query = build_random_query(network, seed + 1)
+    reference = dual_engine(network).verify(query).status
+    via_json = network_from_json(network_to_json(network))
+    # JSON carries the full label universe, so every query transfers.
+    assert dual_engine(via_json).verify(query).status == reference
+    mapping, documents = network_to_isis(network)
+    via_isis = network_from_isis(mapping, documents)
+    try:
+        isis_status = dual_engine(via_isis).verify(query).status
+    except Exception as error:
+        from repro.errors import QuerySemanticsError
+
+        # The IS-IS extracts (like the paper's appendix format) only
+        # carry labels the rules mention; a query naming an unused
+        # label legitimately fails to resolve after that round-trip.
+        assert isinstance(error, QuerySemanticsError)
+        return
+    # The reloaded universe is a subset of the original's, so its trace
+    # set is too: SAT after the round-trip must imply SAT before (the
+    # converse can legitimately fail when a witness header used a label
+    # no rule mentions).
+    from repro.verification.results import Status
+
+    if isis_status is Status.SATISFIED:
+        assert reference is Status.SATISFIED

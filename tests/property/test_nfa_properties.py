@@ -1,0 +1,136 @@
+"""Property-based tests for regex → NFA compilation.
+
+A direct recursive matcher over the regex AST serves as the semantic
+reference; the compiled NFA must agree with it on random words, and the
+automaton transformations (reverse, intersect, trim) must respect their
+language-level contracts.
+"""
+
+import functools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.query import ast
+from repro.query.atoms import AnyLabel, LabelAtom
+from repro.query.nfa import build_nfa
+
+ALPHABET = ("A", "B", "C")
+
+
+def resolver(atom):
+    if isinstance(atom, AnyLabel):
+        return frozenset(ALPHABET)
+    resolved = frozenset(atom.literals)
+    if atom.negated:
+        return frozenset(ALPHABET) - resolved
+    return resolved
+
+
+def reference_match(regex, word):
+    """Semantic reference: direct recursive matching with memoization."""
+
+    @functools.lru_cache(maxsize=None)
+    def match(node, start, end):
+        segment = word[start:end]
+        if isinstance(node, ast.Epsilon):
+            return start == end
+        if isinstance(node, ast.Leaf):
+            return end - start == 1 and segment[0] in resolver(node.atom)
+        if isinstance(node, ast.Concat):
+            return match_sequence(node.parts, start, end)
+        if isinstance(node, ast.Union_):
+            return any(match(option, start, end) for option in node.options)
+        if isinstance(node, ast.Option):
+            return start == end or match(node.inner, start, end)
+        if isinstance(node, ast.Plus):
+            return match(
+                ast.concat(node.inner, ast.Star(node.inner)), start, end
+            )
+        if isinstance(node, ast.Star):
+            if start == end:
+                return True
+            return any(
+                match(node.inner, start, split) and match(node, split, end)
+                for split in range(start + 1, end + 1)
+            )
+        raise AssertionError(node)
+
+    @functools.lru_cache(maxsize=None)
+    def match_sequence(parts, start, end):
+        if not parts:
+            return start == end
+        head, tail = parts[0], parts[1:]
+        return any(
+            match(head, start, split) and match_sequence(tail, split, end)
+            for split in range(start, end + 1)
+        )
+
+    return match(regex, 0, len(word))
+
+
+@st.composite
+def regexes(draw, depth=3):
+    if depth == 0:
+        literal = draw(st.sampled_from(ALPHABET))
+        negated = draw(st.booleans())
+        return ast.Leaf(LabelAtom(literals=(literal,), negated=negated))
+    kind = draw(
+        st.sampled_from(["leaf", "concat", "union", "star", "plus", "option"])
+    )
+    if kind == "leaf":
+        return draw(regexes(depth=0))
+    if kind in ("concat", "union"):
+        count = draw(st.integers(min_value=2, max_value=3))
+        parts = tuple(draw(regexes(depth=depth - 1)) for _ in range(count))
+        return ast.concat(*parts) if kind == "concat" else ast.union(*parts)
+    inner = draw(regexes(depth=depth - 1))
+    return {"star": ast.Star, "plus": ast.Plus, "option": ast.Option}[kind](inner)
+
+
+words = st.lists(st.sampled_from(ALPHABET), max_size=6).map(tuple)
+
+
+class TestNfaSemantics:
+    @settings(max_examples=150, deadline=None)
+    @given(regexes(), words)
+    def test_nfa_agrees_with_reference(self, regex, word):
+        nfa = build_nfa(regex, resolver)
+        assert nfa.accepts(word) == reference_match(regex, word)
+
+    @settings(max_examples=80, deadline=None)
+    @given(regexes(), words)
+    def test_reverse_accepts_reversed_words(self, regex, word):
+        nfa = build_nfa(regex, resolver)
+        assert nfa.reverse().accepts(tuple(reversed(word))) == nfa.accepts(word)
+
+    @settings(max_examples=60, deadline=None)
+    @given(regexes(), regexes(), words)
+    def test_intersection_is_conjunction(self, left, right, word):
+        left_nfa = build_nfa(left, resolver)
+        right_nfa = build_nfa(right, resolver)
+        both = left_nfa.intersect(right_nfa)
+        assert both.accepts(word) == (left_nfa.accepts(word) and right_nfa.accepts(word))
+
+    @settings(max_examples=80, deadline=None)
+    @given(regexes(), words)
+    def test_trim_preserves_language(self, regex, word):
+        nfa = build_nfa(regex, resolver)
+        assert nfa.trim().accepts(word) == nfa.accepts(word)
+
+    @settings(max_examples=80, deadline=None)
+    @given(regexes())
+    def test_is_empty_consistent_with_acceptance(self, regex):
+        import itertools
+
+        nfa = build_nfa(regex, resolver)
+        short_words = [
+            word
+            for length in range(4)
+            for word in itertools.product(ALPHABET, repeat=length)
+        ]
+        accepts_short = any(nfa.accepts(word) for word in short_words)
+        if accepts_short:
+            assert not nfa.is_empty()
+        if nfa.is_empty():
+            assert not accepts_short

@@ -1,0 +1,71 @@
+"""Property test: queries render back to equal ASTs (parse ∘ str = id)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.query import ast
+from repro.query.atoms import AnyLabel, AnyLink, LabelAtom, LinkAtom, LinkEndpoint
+from repro.query.parser import parse_query
+
+ROUTERS = ("v0", "v1", "R12", "cph1")
+LABELS = ("s40", "30", "ip1", "$449550")
+CLASSES = ("ip", "mpls", "smpls")
+
+
+@st.composite
+def label_atoms(draw):
+    kind = draw(st.sampled_from(["any", "class", "literal", "list"]))
+    if kind == "any":
+        return AnyLabel()
+    if kind == "class":
+        return LabelAtom(classes=frozenset({draw(st.sampled_from(CLASSES))}))
+    if kind == "literal":
+        return LabelAtom(literals=(draw(st.sampled_from(LABELS)),))
+    literals = tuple(
+        draw(st.lists(st.sampled_from(LABELS), min_size=1, max_size=3, unique=True))
+    )
+    return LabelAtom(literals=literals, negated=draw(st.booleans()))
+
+
+@st.composite
+def link_atoms(draw):
+    if draw(st.booleans()):
+        return AnyLink()
+    def endpoint():
+        if draw(st.booleans()):
+            return LinkEndpoint(None)
+        return LinkEndpoint(draw(st.sampled_from(ROUTERS)))
+    return LinkAtom(endpoint(), endpoint(), negated=draw(st.booleans()))
+
+
+@st.composite
+def regexes(draw, atoms, depth=2):
+    if depth == 0:
+        return ast.Leaf(draw(atoms))
+    kind = draw(st.sampled_from(["leaf", "concat", "union", "star", "plus", "option"]))
+    if kind == "leaf":
+        return ast.Leaf(draw(atoms))
+    if kind in ("concat", "union"):
+        parts = tuple(
+            draw(regexes(atoms, depth=depth - 1))
+            for _ in range(draw(st.integers(2, 3)))
+        )
+        return ast.concat(*parts) if kind == "concat" else ast.union(*parts)
+    inner = draw(regexes(atoms, depth=depth - 1))
+    return {"star": ast.Star, "plus": ast.Plus, "option": ast.Option}[kind](inner)
+
+
+@st.composite
+def queries(draw):
+    return ast.Query(
+        initial_header=draw(regexes(label_atoms())),
+        path=draw(regexes(link_atoms())),
+        final_header=draw(regexes(label_atoms())),
+        max_failures=draw(st.integers(min_value=0, max_value=5)),
+    )
+
+
+@settings(max_examples=200, deadline=None)
+@given(queries())
+def test_parse_of_str_is_identity(query):
+    assert parse_query(str(query)) == query

@@ -1,0 +1,116 @@
+"""Property-based checks of the bounded-idempotent-semiring laws.
+
+The correctness of weighted saturation (and of the Dijkstra strategy)
+rests on these algebraic properties, so they are verified on random
+elements rather than trusted.
+"""
+
+import math
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.pda.semiring import BOOLEAN, MIN_PLUS, vector_semiring
+
+finite_weights = st.integers(min_value=0, max_value=10_000)
+weights = st.one_of(finite_weights, st.just(math.inf))
+
+
+def vectors(arity):
+    """The vector semiring's *valid* domain: finite vectors plus the
+    all-∞ zero (mixed vectors never arise in the engines — see the
+    domain note on MinPlusVectorSemiring)."""
+    finite = st.tuples(*([finite_weights] * arity))
+    return st.one_of(finite, st.just((math.inf,) * arity))
+
+
+class TestMinPlusLaws:
+    @given(weights, weights, weights)
+    def test_combine_associative_commutative(self, a, b, c):
+        s = MIN_PLUS
+        assert s.combine(a, s.combine(b, c)) == s.combine(s.combine(a, b), c)
+        assert s.combine(a, b) == s.combine(b, a)
+
+    @given(weights, weights, weights)
+    def test_extend_associative(self, a, b, c):
+        s = MIN_PLUS
+        assert s.extend(a, s.extend(b, c)) == s.extend(s.extend(a, b), c)
+
+    @given(weights, weights, weights)
+    def test_distributivity(self, a, b, c):
+        s = MIN_PLUS
+        assert s.extend(a, s.combine(b, c)) == s.combine(
+            s.extend(a, b), s.extend(a, c)
+        )
+
+    @given(weights)
+    def test_identities(self, a):
+        s = MIN_PLUS
+        assert s.combine(s.zero, a) == a
+        assert s.extend(s.one, a) == a
+        assert s.extend(s.zero, a) == s.zero
+
+    @given(weights)
+    def test_idempotence(self, a):
+        assert MIN_PLUS.combine(a, a) == a
+
+    @given(weights, finite_weights)
+    def test_extend_monotone(self, a, delta):
+        """extend never improves a weight — the Dijkstra precondition."""
+        s = MIN_PLUS
+        assert not s.less(s.extend(a, delta), a)
+
+
+class TestVectorLaws:
+    @given(vectors(3), vectors(3), vectors(3))
+    def test_distributivity(self, a, b, c):
+        s = vector_semiring(3)
+        assert s.extend(a, s.combine(b, c)) == s.combine(
+            s.extend(a, b), s.extend(a, c)
+        )
+
+    @given(vectors(2), vectors(2))
+    def test_combine_is_lexicographic_min(self, a, b):
+        s = vector_semiring(2)
+        combined = s.combine(a, b)
+        assert combined in (a, b)
+        assert not s.less(a, combined) and not s.less(b, combined)
+
+    @given(vectors(2))
+    def test_identities(self, a):
+        s = vector_semiring(2)
+        assert s.combine(s.zero, a) == a
+        assert s.extend(s.one, a) == a
+
+    @given(vectors(2), st.tuples(finite_weights, finite_weights))
+    def test_extend_monotone(self, a, delta):
+        s = vector_semiring(2)
+        assert not s.less(s.extend(a, delta), a)
+
+    @given(vectors(2), vectors(2), vectors(2))
+    def test_order_total_and_transitive(self, a, b, c):
+        s = vector_semiring(2)
+        # Totality: exactly one of <, ==, > holds.
+        assert (s.less(a, b) + s.less(b, a) + (a == b)) == 1
+        if s.less(a, b) and s.less(b, c):
+            assert s.less(a, c)
+
+
+class TestBooleanLaws:
+    @given(st.booleans(), st.booleans(), st.booleans())
+    def test_distributivity(self, a, b, c):
+        s = BOOLEAN
+        assert s.extend(a, s.combine(b, c)) == s.combine(
+            s.extend(a, b), s.extend(a, c)
+        )
+
+    @given(st.booleans())
+    def test_identities(self, a):
+        s = BOOLEAN
+        assert s.combine(s.zero, a) == a
+        assert s.extend(s.one, a) == a
+
+    @given(st.booleans(), st.booleans())
+    def test_extend_monotone(self, a, b):
+        s = BOOLEAN
+        assert not s.less(s.extend(a, b), a)

@@ -1,0 +1,119 @@
+"""Unit tests for atom resolution against the running-example network."""
+
+import pytest
+
+from repro.datasets.example import build_example_network
+from repro.errors import QuerySemanticsError
+from repro.query.atoms import (
+    AnyLabel,
+    AnyLink,
+    LabelAtom,
+    LinkAtom,
+    LinkEndpoint,
+    resolve_label_atom,
+    resolve_link_atom,
+)
+
+
+@pytest.fixture(scope="module")
+def network():
+    return build_example_network()
+
+
+class TestLabelResolution:
+    def test_any_label(self, network):
+        resolved = resolve_label_atom(AnyLabel(), network)
+        assert resolved == frozenset(network.labels.all_labels())
+
+    def test_class_atoms(self, network):
+        ip_set = resolve_label_atom(LabelAtom(classes=frozenset({"ip"})), network)
+        assert {str(l) for l in ip_set} == {"ip1"}
+        smpls_set = resolve_label_atom(
+            LabelAtom(classes=frozenset({"smpls"})), network
+        )
+        assert all(l.is_bottom_mpls for l in smpls_set)
+        assert "s20" in {str(l) for l in smpls_set}
+        mpls_set = resolve_label_atom(LabelAtom(classes=frozenset({"mpls"})), network)
+        assert {str(l) for l in mpls_set} == {"30"}
+
+    def test_literal_atom(self, network):
+        resolved = resolve_label_atom(LabelAtom(literals=("s40",)), network)
+        assert {str(l) for l in resolved} == {"s40"}
+
+    def test_unknown_literal_rejected(self, network):
+        with pytest.raises(QuerySemanticsError):
+            resolve_label_atom(LabelAtom(literals=("s99",)), network)
+
+    def test_negation(self, network):
+        positive = resolve_label_atom(LabelAtom(classes=frozenset({"ip"})), network)
+        negative = resolve_label_atom(
+            LabelAtom(classes=frozenset({"ip"}), negated=True), network
+        )
+        universe = frozenset(network.labels.all_labels())
+        assert positive | negative == universe
+        assert not positive & negative
+
+    def test_combined_classes_and_literals(self, network):
+        resolved = resolve_label_atom(
+            LabelAtom(classes=frozenset({"ip"}), literals=("s40",)), network
+        )
+        assert {str(l) for l in resolved} == {"ip1", "s40"}
+
+    def test_empty_atom_rejected(self):
+        with pytest.raises(QuerySemanticsError):
+            LabelAtom()
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(QuerySemanticsError):
+            LabelAtom(classes=frozenset({"vlan"}))
+
+
+class TestLinkResolution:
+    def test_any_link(self, network):
+        resolved = resolve_link_atom(AnyLink(), network)
+        assert resolved == frozenset(network.topology.links)
+
+    def test_router_to_router(self, network):
+        atom = LinkAtom(LinkEndpoint("v0"), LinkEndpoint("v2"))
+        resolved = resolve_link_atom(atom, network)
+        assert {l.name for l in resolved} == {"e1"}
+
+    def test_wildcard_source(self, network):
+        atom = LinkAtom(LinkEndpoint(None), LinkEndpoint("v3"))
+        resolved = resolve_link_atom(atom, network)
+        assert {l.name for l in resolved} == {"e3", "e4", "e6"}
+
+    def test_wildcard_target(self, network):
+        atom = LinkAtom(LinkEndpoint("v0"), LinkEndpoint(None))
+        resolved = resolve_link_atom(atom, network)
+        assert {l.name for l in resolved} == {"e1", "e2"}
+
+    def test_negated_atom(self, network):
+        atom = LinkAtom(LinkEndpoint("v2"), LinkEndpoint("v3"), negated=True)
+        resolved = resolve_link_atom(atom, network)
+        assert {l.name for l in resolved} == {
+            "e0",
+            "e1",
+            "e2",
+            "e3",
+            "e5",
+            "e6",
+            "e7",
+        }
+
+    def test_interface_match(self, network):
+        # Interfaces default to the link name in the builder.
+        atom = LinkAtom(LinkEndpoint("v0", "e1"), LinkEndpoint("v2", "e1"))
+        resolved = resolve_link_atom(atom, network)
+        assert {l.name for l in resolved} == {"e1"}
+        mismatched = LinkAtom(LinkEndpoint("v0", "e2"), LinkEndpoint("v2", "e1"))
+        assert resolve_link_atom(mismatched, network) == frozenset()
+
+    def test_unknown_router_rejected(self, network):
+        atom = LinkAtom(LinkEndpoint("v9"), LinkEndpoint(None))
+        with pytest.raises(QuerySemanticsError):
+            resolve_link_atom(atom, network)
+
+    def test_no_match_is_empty_not_error(self, network):
+        atom = LinkAtom(LinkEndpoint("v3"), LinkEndpoint("v0"))
+        assert resolve_link_atom(atom, network) == frozenset()

@@ -1,0 +1,201 @@
+"""Unit tests for NFA construction, reversal, products and language ops."""
+
+import pytest
+
+from repro.datasets.example import build_example_network
+from repro.query.ast import Epsilon, Leaf, Option, Plus, Star, concat, union
+from repro.query.atoms import AnyLabel, LabelAtom
+from repro.query.nfa import (
+    build_nfa,
+    header_language_nonempty,
+    label_nfa,
+    link_nfa,
+    valid_header_nfa,
+)
+from repro.query.parser import QueryParser
+
+
+@pytest.fixture(scope="module")
+def network():
+    return build_example_network()
+
+
+def resolver_for(mapping):
+    """Atom resolver over a toy alphabet: LabelAtom literals name symbols."""
+
+    def resolve(atom):
+        if isinstance(atom, AnyLabel):
+            return frozenset(mapping.values())
+        assert isinstance(atom, LabelAtom)
+        resolved = frozenset(mapping[text] for text in atom.literals)
+        if atom.negated:
+            return frozenset(mapping.values()) - resolved
+        return resolved
+
+    return resolve
+
+
+@pytest.fixture
+def abc():
+    return {"a": "A", "b": "B", "c": "C"}
+
+
+def lit(name):
+    return Leaf(LabelAtom(literals=(name,)))
+
+
+class TestThompson:
+    def test_single_atom(self, abc):
+        nfa = build_nfa(lit("a"), resolver_for(abc))
+        assert nfa.accepts(["A"])
+        assert not nfa.accepts(["B"])
+        assert not nfa.accepts([])
+        assert not nfa.accepts(["A", "A"])
+
+    def test_concat(self, abc):
+        nfa = build_nfa(concat(lit("a"), lit("b")), resolver_for(abc))
+        assert nfa.accepts(["A", "B"])
+        assert not nfa.accepts(["A"])
+        assert not nfa.accepts(["B", "A"])
+
+    def test_union(self, abc):
+        nfa = build_nfa(union(lit("a"), lit("b")), resolver_for(abc))
+        assert nfa.accepts(["A"])
+        assert nfa.accepts(["B"])
+        assert not nfa.accepts(["C"])
+
+    def test_star(self, abc):
+        nfa = build_nfa(Star(lit("a")), resolver_for(abc))
+        assert nfa.accepts([])
+        assert nfa.accepts(["A"])
+        assert nfa.accepts(["A"] * 5)
+        assert not nfa.accepts(["A", "B"])
+
+    def test_plus(self, abc):
+        nfa = build_nfa(Plus(lit("a")), resolver_for(abc))
+        assert not nfa.accepts([])
+        assert nfa.accepts(["A"])
+        assert nfa.accepts(["A", "A", "A"])
+
+    def test_option(self, abc):
+        nfa = build_nfa(Option(lit("a")), resolver_for(abc))
+        assert nfa.accepts([])
+        assert nfa.accepts(["A"])
+        assert not nfa.accepts(["A", "A"])
+
+    def test_epsilon(self, abc):
+        nfa = build_nfa(Epsilon(), resolver_for(abc))
+        assert nfa.accepts([])
+        assert not nfa.accepts(["A"])
+        assert nfa.accepts_empty_word
+
+    def test_complex_expression(self, abc):
+        # (a|b)* c
+        regex = concat(Star(union(lit("a"), lit("b"))), lit("c"))
+        nfa = build_nfa(regex, resolver_for(abc))
+        assert nfa.accepts(["C"])
+        assert nfa.accepts(["A", "B", "A", "C"])
+        assert not nfa.accepts(["A", "B"])
+        assert not nfa.accepts(["C", "C"])
+
+    def test_negated_atom(self, abc):
+        nfa = build_nfa(Leaf(LabelAtom(literals=("a",), negated=True)), resolver_for(abc))
+        assert not nfa.accepts(["A"])
+        assert nfa.accepts(["B"])
+        assert nfa.accepts(["C"])
+
+
+class TestTransformations:
+    def test_reverse(self, abc):
+        nfa = build_nfa(concat(lit("a"), lit("b")), resolver_for(abc))
+        reversed_nfa = nfa.reverse()
+        assert reversed_nfa.accepts(["B", "A"])
+        assert not reversed_nfa.accepts(["A", "B"])
+
+    def test_reverse_of_star_keeps_empty(self, abc):
+        nfa = build_nfa(Star(lit("a")), resolver_for(abc))
+        assert nfa.reverse().accepts([])
+
+    def test_intersection(self, abc):
+        # (a|b)+ ∩ (b|c)+  =  b+
+        resolver = resolver_for(abc)
+        left = build_nfa(Plus(union(lit("a"), lit("b"))), resolver)
+        right = build_nfa(Plus(union(lit("b"), lit("c"))), resolver)
+        both = left.intersect(right)
+        assert both.accepts(["B"])
+        assert both.accepts(["B", "B"])
+        assert not both.accepts(["A"])
+        assert not both.accepts(["C"])
+        assert not both.accepts([])
+
+    def test_empty_intersection(self, abc):
+        resolver = resolver_for(abc)
+        left = build_nfa(lit("a"), resolver)
+        right = build_nfa(lit("b"), resolver)
+        assert left.intersect(right).is_empty()
+
+    def test_trim_removes_dead_states(self, abc):
+        nfa = build_nfa(
+            union(lit("a"), concat(lit("b"), lit("c"))), resolver_for(abc)
+        )
+        trimmed = nfa.trim()
+        assert trimmed.accepts(["A"])
+        assert trimmed.accepts(["B", "C"])
+        assert trimmed.state_count <= nfa.state_count
+
+    def test_is_empty(self, abc):
+        assert not build_nfa(lit("a"), resolver_for(abc)).is_empty()
+
+
+class TestNetworkNfas:
+    def test_label_nfa_matches_headers(self, network):
+        parser = QueryParser()
+        regex = parser.parse_label_regex("s40 ip")
+        nfa = label_nfa(regex, network)
+        s40 = network.labels.require("s40")
+        ip1 = network.labels.require("ip1")
+        assert nfa.accepts([s40, ip1])
+        assert not nfa.accepts([ip1])
+
+    def test_link_nfa_matches_paths(self, network):
+        parser = QueryParser()
+        regex = parser.parse_link_regex("[.#v0] .* [v3#.]")
+        nfa = link_nfa(regex, network)
+        topo = network.topology
+        sigma0_links = [topo.link(n) for n in ("e0", "e1", "e4", "e7")]
+        assert nfa.accepts(sigma0_links)
+        assert not nfa.accepts(sigma0_links[:-1])
+
+    def test_valid_header_nfa(self, network):
+        nfa = valid_header_nfa(network)
+        labels = network.labels
+        ip1 = labels.require("ip1")
+        s20 = labels.require("s20")
+        m30 = labels.require("30")
+        assert nfa.accepts([ip1])
+        assert nfa.accepts([s20, ip1])
+        assert nfa.accepts([m30, s20, ip1])
+        assert not nfa.accepts([m30, ip1])
+        assert not nfa.accepts([s20, s20, ip1])
+        assert not nfa.accepts([])
+        assert not nfa.accepts([ip1, ip1])
+
+    def test_header_language_nonempty(self, network):
+        parser = QueryParser()
+        a = label_nfa(parser.parse_label_regex("smpls ip"), network)
+        c = label_nfa(parser.parse_label_regex(". ip"), network)
+        assert header_language_nonempty(a, c, network)
+        c2 = label_nfa(parser.parse_label_regex("mpls ip"), network)
+        # mpls directly above ip is not a valid header.
+        assert not header_language_nonempty(a, c2, network)
+
+    def test_wrong_atom_kind_raises(self, network):
+        from repro.errors import QuerySemanticsError
+
+        parser = QueryParser()
+        link_regex = parser.parse_link_regex("[v0#v2]")
+        with pytest.raises(QuerySemanticsError):
+            label_nfa(link_regex, network)
+        label_regex = parser.parse_label_regex("ip")
+        with pytest.raises(QuerySemanticsError):
+            link_nfa(label_regex, network)

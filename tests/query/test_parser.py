@@ -1,0 +1,152 @@
+"""Unit tests for the query-language lexer/parser."""
+
+import pytest
+
+from repro.errors import QuerySemanticsError, QuerySyntaxError
+from repro.query.ast import (
+    Concat,
+    Epsilon,
+    Leaf,
+    Option,
+    Plus,
+    Star,
+    Union_,
+    concat,
+    union,
+)
+from repro.query.atoms import AnyLabel, AnyLink, LabelAtom, LinkAtom, LinkEndpoint
+from repro.query.parser import parse_query
+
+
+class TestFullQueries:
+    def test_phi0(self):
+        query = parse_query("<ip> [.#v0] .* [v3#.] <ip> 0")
+        assert query.max_failures == 0
+        assert query.initial_header == Leaf(LabelAtom(classes=frozenset({"ip"})))
+        assert isinstance(query.path, Concat)
+        first, middle, last = query.path.parts
+        assert first == Leaf(LinkAtom(LinkEndpoint(None), LinkEndpoint("v0")))
+        assert middle == Star(Leaf(AnyLink()))
+        assert last == Leaf(LinkAtom(LinkEndpoint("v3"), LinkEndpoint(None)))
+
+    def test_phi1_complement_link(self):
+        query = parse_query("<ip> [.#v0] [^v2#v3]* [v3#.] <ip> 2")
+        assert query.max_failures == 2
+        middle = query.path.parts[1]
+        assert middle == Star(
+            Leaf(LinkAtom(LinkEndpoint("v2"), LinkEndpoint("v3"), negated=True))
+        )
+
+    def test_phi2_literal_label(self):
+        query = parse_query("<s40 ip> [.#v0] .* [v3#.] <smpls ip> 0")
+        assert query.initial_header == concat(
+            Leaf(LabelAtom(literals=("s40",))),
+            Leaf(LabelAtom(classes=frozenset({"ip"}))),
+        )
+        assert query.final_header == concat(
+            Leaf(LabelAtom(classes=frozenset({"smpls"}))),
+            Leaf(LabelAtom(classes=frozenset({"ip"}))),
+        )
+
+    def test_phi3_plus(self):
+        query = parse_query("<s40 ip> [.#v0] .* [v3#.] <mpls+ smpls ip> 1")
+        first = query.final_header.parts[0]
+        assert first == Plus(Leaf(LabelAtom(classes=frozenset({"mpls"}))))
+
+    def test_phi4_option(self):
+        query = parse_query("<smpls? ip> [.#v0] . . . .* [v3#.] <smpls? ip> 1")
+        assert query.initial_header.parts[0] == Option(
+            Leaf(LabelAtom(classes=frozenset({"smpls"})))
+        )
+        # [.#v0] plus three dots plus star plus [v3#.]
+        assert len(query.path.parts) == 6
+
+    def test_table1_service_label(self):
+        query = parse_query("<[$449550] ip> [.#R0] .* [.#R5] .* [.#R1] <ip> 0")
+        assert query.initial_header.parts[0] == Leaf(LabelAtom(literals=("$449550",)))
+
+    def test_table1_group_query(self):
+        query = parse_query("<smpls ip> [.#R2] .* [.#R18] <(mpls* smpls)? ip> 1")
+        final = query.final_header
+        assert isinstance(final.parts[0], Option)
+        inner = final.parts[0].inner
+        assert isinstance(inner, Concat)
+
+    def test_interface_qualified_link(self):
+        query = parse_query("<ip> [R0.ae1.11#R3.et-1/3/0.2] <ip> 0")
+        atom = query.path.atom
+        assert atom.source == LinkEndpoint("R0", "ae1.11")
+        assert atom.target == LinkEndpoint("R3", "et-1/3/0.2")
+
+    def test_union_of_paths(self):
+        query = parse_query("<ip> ([a#b] | [b#a]) . <ip> 0")
+        assert isinstance(query.path, Concat)
+        assert isinstance(query.path.parts[0], Union_)
+
+    def test_empty_header_expression(self):
+        query = parse_query("<> . <> 0")
+        assert query.initial_header == Epsilon()
+        assert query.final_header == Epsilon()
+
+    def test_bracketed_label_list(self):
+        query = parse_query("<[s10, s11] ip> . <ip> 3")
+        atom = query.initial_header.parts[0].atom
+        assert atom.literals == ("s10", "s11")
+        assert not atom.negated
+
+    def test_negated_label_list(self):
+        query = parse_query("<[^s10] ip> . <ip> 0")
+        atom = query.initial_header.parts[0].atom
+        assert atom.negated
+
+    def test_str_roundtrip(self):
+        text = "<s40 ip> [.#v0] .* [v3#.] <smpls ip> 0"
+        query = parse_query(text)
+        assert parse_query(str(query)) == query
+
+
+class TestSyntaxErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "<ip> .*",  # missing final header and k
+            "<ip> .* <ip>",  # missing k
+            "<ip .* <ip> 0",  # unterminated header
+            "<ip> [v0v1] <ip> 0",  # missing '#'
+            "<ip> .* <ip> 0 extra",  # trailing garbage
+            "<ip> ( . <ip> 0",  # unbalanced paren
+            "<ip> .* <ip> -1",  # negative k
+            "<ip> [v0.#v1] <ip> 0",  # missing interface name
+        ],
+    )
+    def test_rejected(self, bad):
+        with pytest.raises(QuerySyntaxError):
+            parse_query(bad)
+
+    def test_error_carries_position(self):
+        with pytest.raises(QuerySyntaxError) as err:
+            parse_query("<ip> .* <ip>")
+        assert err.value.position >= 0
+
+    def test_unknown_class_in_semantic_layer(self):
+        # 'ipx' parses as a literal label; rejection happens at resolution.
+        query = parse_query("<ipx> . <ip> 0")
+        assert query.initial_header == Leaf(LabelAtom(literals=("ipx",)))
+
+
+class TestSmartConstructors:
+    def test_concat_flattens_and_drops_epsilon(self):
+        a = Leaf(AnyLabel())
+        assert concat(a, Epsilon()) == a
+        assert concat(Epsilon(), Epsilon()) == Epsilon()
+        nested = concat(concat(a, a), a)
+        assert isinstance(nested, Concat)
+        assert len(nested.parts) == 3
+
+    def test_union_deduplicates(self):
+        a = Leaf(AnyLabel())
+        assert union(a, a) == a
+        both = union(a, Epsilon())
+        assert isinstance(both, Union_)
+        assert len(both.options) == 2

@@ -1,0 +1,135 @@
+"""Tests for the bounded-repetition extension ``r{m,n}``.
+
+The paper's conclusion announces work on "improving the expressiveness
+of the query language"; bounded repetition is this library's
+implementation of that direction.
+"""
+
+import pytest
+
+from repro.datasets.example import build_example_network
+from repro.errors import QuerySyntaxError
+from repro.query.ast import Leaf, Repeat
+from repro.query.atoms import AnyLink, LabelAtom
+from repro.query.nfa import build_nfa
+from repro.query.parser import parse_query
+from repro.verification.engine import dual_engine
+from repro.verification.results import Status
+
+
+def resolver(atom):
+    if isinstance(atom, LabelAtom):
+        resolved = frozenset(atom.literals)
+        if atom.negated:
+            return frozenset("ABC") - resolved
+        return resolved
+    return frozenset("ABC")
+
+
+def lit(name):
+    return Leaf(LabelAtom(literals=(name,)))
+
+
+class TestParsing:
+    def test_exact(self):
+        query = parse_query("<ip> .{3} <ip> 0")
+        assert query.path == Repeat(Leaf(AnyLink()), 3, 3)
+
+    def test_range(self):
+        query = parse_query("<ip> .{2,4} <ip> 0")
+        assert query.path == Repeat(Leaf(AnyLink()), 2, 4)
+
+    def test_open_ended(self):
+        query = parse_query("<ip> .{2,} <ip> 0")
+        assert query.path == Repeat(Leaf(AnyLink()), 2, None)
+
+    def test_on_label_regex(self):
+        query = parse_query("<mpls{2} smpls ip> . <ip> 0")
+        assert query.initial_header.parts[0] == Repeat(
+            Leaf(LabelAtom(classes=frozenset({"mpls"}))), 2, 2
+        )
+
+    def test_str_roundtrip(self):
+        for text in ("<ip> .{3} <ip> 0", "<ip> .{2,4} <ip> 0", "<ip> .{2,} <ip> 0"):
+            assert parse_query(str(parse_query(text))) == parse_query(text)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "<ip> .{} <ip> 0",
+            "<ip> .{a} <ip> 0",
+            "<ip> .{3,2} <ip> 0",
+            "<ip> .{3 <ip> 0",
+        ],
+    )
+    def test_rejected(self, bad):
+        with pytest.raises(QuerySyntaxError):
+            parse_query(bad)
+
+    def test_invalid_bounds_in_ast(self):
+        with pytest.raises(ValueError):
+            Repeat(Leaf(AnyLink()), -1, 2)
+        with pytest.raises(ValueError):
+            Repeat(Leaf(AnyLink()), 3, 2)
+
+
+class TestSemantics:
+    def test_exact_count(self):
+        nfa = build_nfa(Repeat(lit("A"), 3, 3), resolver)
+        assert nfa.accepts("AAA")
+        assert not nfa.accepts("AA")
+        assert not nfa.accepts("AAAA")
+
+    def test_range(self):
+        nfa = build_nfa(Repeat(lit("A"), 1, 3), resolver)
+        assert not nfa.accepts("")
+        assert nfa.accepts("A")
+        assert nfa.accepts("AAA")
+        assert not nfa.accepts("AAAA")
+
+    def test_open_ended(self):
+        nfa = build_nfa(Repeat(lit("A"), 2, None), resolver)
+        assert not nfa.accepts("A")
+        assert nfa.accepts("AA")
+        assert nfa.accepts("A" * 7)
+
+    def test_zero_minimum(self):
+        nfa = build_nfa(Repeat(lit("A"), 0, 2), resolver)
+        assert nfa.accepts("")
+        assert nfa.accepts("AA")
+        assert not nfa.accepts("AAA")
+
+
+class TestEndToEnd:
+    """φ4 of the paper ('three or more hops') expressed with repetition."""
+
+    @pytest.fixture(scope="class")
+    def network(self):
+        return build_example_network()
+
+    def test_phi4_with_repetition(self, network):
+        engine = dual_engine(network)
+        classic = engine.verify(
+            "<smpls? ip> [.#v0] . . . .* [v3#.] <smpls? ip> 1"
+        )
+        rewritten = engine.verify(
+            "<smpls? ip> [.#v0] .{3,} [v3#.] <smpls? ip> 1"
+        )
+        assert classic.status == rewritten.status == Status.SATISFIED
+        assert len(rewritten.trace) >= 5
+
+    def test_exact_length_path(self, network):
+        engine = dual_engine(network)
+        # σ0/σ1 have exactly 4 links; σ3 has 5.
+        four = engine.verify("<ip> .{4} <ip> 0")
+        assert four.status is Status.SATISFIED
+        assert len(four.trace) == 4
+        six = engine.verify("<ip> .{6,} <ip> 0")
+        assert six.status is Status.UNSATISFIED
+
+    def test_bounded_tunnel_depth_in_header(self, network):
+        engine = dual_engine(network)
+        # At most one plain MPLS label above the bottom label: satisfied
+        # by the failover trace σ2 (header 30 ∘ s21 ∘ ip1) at k=1.
+        result = engine.verify("<ip> [.#v0] .* <mpls{1,2} smpls ip> 1")
+        assert result.status is Status.SATISFIED

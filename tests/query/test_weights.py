@@ -1,0 +1,128 @@
+"""Unit tests for weight expressions and vectors (§3)."""
+
+import pytest
+
+from repro.datasets.example import build_example_network, example_traces
+from repro.errors import WeightError
+from repro.model.quantities import Quantity
+from repro.query.weights import (
+    LinearExpression,
+    StepCosts,
+    WeightVector,
+    parse_weight_vector,
+)
+
+
+@pytest.fixture(scope="module")
+def network():
+    return build_example_network()
+
+
+@pytest.fixture(scope="module")
+def traces(network):
+    return example_traces(network)
+
+
+class TestParsing:
+    def test_single_quantity(self):
+        vector = parse_weight_vector("hops")
+        assert vector.arity == 1
+        assert vector.expressions[0].terms == ((1, Quantity.HOPS),)
+
+    def test_paper_example_vector(self):
+        vector = parse_weight_vector("hops, failures + 3*tunnels")
+        assert vector.arity == 2
+        assert vector.expressions[1].terms == (
+            (1, Quantity.FAILURES),
+            (3, Quantity.TUNNELS),
+        )
+
+    def test_whitespace_insensitive(self):
+        assert parse_weight_vector(" links ,  2 * distance ") == parse_weight_vector(
+            "links,2*distance"
+        )
+
+    @pytest.mark.parametrize("bad", ["", ",", "hops,", "foo", "x*hops", "2*"])
+    def test_rejected(self, bad):
+        with pytest.raises(WeightError):
+            parse_weight_vector(bad)
+
+    def test_str_roundtrip(self):
+        vector = parse_weight_vector("hops, failures + 3*tunnels")
+        assert parse_weight_vector(str(vector).strip("()")) == vector
+
+
+class TestEvaluation:
+    def test_paper_minimum_witness_values(self, network, traces):
+        vector = parse_weight_vector("hops, failures + 3*tunnels")
+        assert vector.evaluate_trace(network, traces["sigma2"]) == (5, 7)
+        assert vector.evaluate_trace(network, traces["sigma3"]) == (5, 0)
+
+    def test_lexicographic_choice(self, network, traces):
+        vector = parse_weight_vector("hops, failures + 3*tunnels")
+        candidates = [traces["sigma2"], traces["sigma3"]]
+        best = min(candidates, key=lambda t: vector.evaluate_trace(network, t))
+        assert best == traces["sigma3"]
+
+    def test_distance_expression(self, network, traces):
+        vector = parse_weight_vector("distance")
+        # Unit link weights: distance equals the number of links.
+        assert vector.evaluate_trace(network, traces["sigma0"]) == (4,)
+
+    def test_custom_distance_function(self, network, traces):
+        vector = parse_weight_vector("distance")
+        value = vector.evaluate_trace(network, traces["sigma0"], lambda link: 7)
+        assert value == (28,)
+
+    def test_quantities_listing(self):
+        vector = parse_weight_vector("hops + tunnels, failures + hops")
+        assert vector.quantities() == (
+            Quantity.HOPS,
+            Quantity.TUNNELS,
+            Quantity.FAILURES,
+        )
+
+
+class TestStepWeights:
+    def test_step_weight_matches_expression(self):
+        vector = parse_weight_vector("hops, failures + 3*tunnels")
+        costs = StepCosts(links=1, hops=1, distance=5, failures=2, tunnels=1)
+        assert vector.step_weight(costs) == (1, 5)
+
+    def test_zero(self):
+        vector = parse_weight_vector("hops, links")
+        assert vector.zero() == (0, 0)
+
+    def test_for_link_constructor(self, network):
+        link = network.topology.link("e1")
+        costs = StepCosts.for_link(link, lambda l: 9, failures=1, tunnels=2)
+        assert costs == StepCosts(links=1, hops=1, distance=9, failures=1, tunnels=2)
+
+    def test_for_self_loop(self, network):
+        from repro.model.topology import Topology
+
+        topo = Topology()
+        topo.add_router("A")
+        loop = topo.add_link("aa", "A", "A")
+        costs = StepCosts.for_link(loop, lambda l: 3)
+        assert costs.hops == 0
+        assert costs.links == 1
+
+
+class TestValidation:
+    def test_negative_coefficient_rejected(self):
+        with pytest.raises(WeightError):
+            LinearExpression(((-1, Quantity.HOPS),))
+
+    def test_empty_expression_rejected(self):
+        with pytest.raises(WeightError):
+            LinearExpression(())
+
+    def test_empty_vector_rejected(self):
+        with pytest.raises(WeightError):
+            WeightVector(())
+
+    def test_of_constructors(self):
+        vector = WeightVector.of(Quantity.HOPS, LinearExpression.of((2, Quantity.LINKS)))
+        assert vector.arity == 2
+        assert vector.expressions[0] == LinearExpression.of(Quantity.HOPS)

@@ -1,0 +1,160 @@
+"""Tests for the command-line interface."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.datasets.example import build_example_network
+from repro.io.xml_format import write_network
+
+
+PHI0 = "<ip> [.#v0] .* [v3#.] <ip> 0"
+PHI3 = "<s40 ip> [.#v0] .* [v3#.] <mpls+ smpls ip> 1"
+
+
+class TestVerification:
+    def test_satisfied_exit_code(self, capsys):
+        assert main(["--builtin", "example", "--query", PHI0]) == 0
+        out = capsys.readouterr().out
+        assert "SATISFIED" in out
+        assert "witness trace:" in out
+        assert "e0" in out
+
+    def test_unsatisfied_exit_code(self, capsys):
+        assert main(["--builtin", "example", "--query", PHI3]) == 1
+        assert "UNSATISFIED" in capsys.readouterr().out
+
+    def test_weighted_verification(self, capsys):
+        code = main(
+            [
+                "--builtin",
+                "example",
+                "--query",
+                "<smpls? ip> [.#v0] . . . .* [v3#.] <smpls? ip> 1",
+                "--weight",
+                "hops, failures + 3*tunnels",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "weight=(5, 0)" in out
+
+    def test_moped_engine(self, capsys):
+        assert main(["--builtin", "example", "--engine", "moped", "--query", PHI0]) == 0
+
+    def test_stats_flag(self, capsys):
+        assert main(["--builtin", "example", "--query", PHI0, "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "compile(over)" in out
+        assert "solve(over)" in out
+
+    def test_trace_json_flag(self, capsys):
+        assert main(["--builtin", "example", "--query", PHI0, "--trace-json"]) == 0
+        out = capsys.readouterr().out
+        payload = out[out.index("{") :]
+        parsed = json.loads(payload)
+        assert parsed["trace"][0]["link"] == "e0"
+
+    def test_no_reductions_flag(self, capsys):
+        assert main(["--builtin", "example", "--query", PHI0, "--no-reductions"]) == 0
+
+
+class TestInputSources:
+    def test_xml_files(self, tmp_path, capsys):
+        network = build_example_network()
+        topo = tmp_path / "topo.xml"
+        route = tmp_path / "route.xml"
+        write_network(network, str(topo), str(route))
+        code = main(
+            ["--topology", str(topo), "--routing", str(route), "--query", PHI0]
+        )
+        assert code == 0
+
+    def test_json_network(self, tmp_path, capsys):
+        from repro.io.json_format import write_network_json
+
+        network = build_example_network()
+        path = tmp_path / "net.json"
+        write_network_json(network, str(path))
+        assert main(["--network", str(path), "--query", PHI0]) == 0
+
+    def test_isis_import(self, tmp_path, capsys):
+        from repro.io.isis import network_to_isis
+
+        network = build_example_network()
+        mapping, documents = network_to_isis(network)
+        mapping_path = tmp_path / "mapping.txt"
+        mapping_path.write_text(mapping)
+        for name, content in documents.items():
+            (tmp_path / name).write_text(content)
+        code = main(
+            [
+                "--isis",
+                str(mapping_path),
+                "--isis-dir",
+                str(tmp_path),
+                "--query",
+                PHI0,
+            ]
+        )
+        assert code == 0
+
+    def test_conversion_flow(self, tmp_path, capsys):
+        """--write-topology / --write-routing mirror Appendix A.1."""
+        from repro.io.isis import network_to_isis
+
+        network = build_example_network()
+        mapping, documents = network_to_isis(network)
+        mapping_path = tmp_path / "mapping.txt"
+        mapping_path.write_text(mapping)
+        for name, content in documents.items():
+            (tmp_path / name).write_text(content)
+        topo_out = tmp_path / "topo.xml"
+        route_out = tmp_path / "route.xml"
+        code = main(
+            [
+                "--isis",
+                str(mapping_path),
+                "--isis-dir",
+                str(tmp_path),
+                "--write-topology",
+                str(topo_out),
+                "--write-routing",
+                str(route_out),
+            ]
+        )
+        assert code == 0
+        # The converted files are a valid verification input.
+        assert (
+            main(
+                [
+                    "--topology",
+                    str(topo_out),
+                    "--routing",
+                    str(route_out),
+                    "--query",
+                    PHI0,
+                ]
+            )
+            == 0
+        )
+
+
+class TestErrors:
+    def test_no_source(self, capsys):
+        assert main(["--query", PHI0]) == 3
+        assert "error" in capsys.readouterr().err
+
+    def test_two_sources(self, capsys):
+        assert main(["--builtin", "example", "--network", "x.json", "--query", PHI0]) == 3
+
+    def test_no_query_no_conversion(self, capsys):
+        assert main(["--builtin", "example"]) == 3
+
+    def test_bad_query(self, capsys):
+        assert main(["--builtin", "example", "--query", "<ip .*"]) == 3
+
+    def test_missing_routing_file(self, capsys):
+        assert main(["--topology", "only.xml", "--query", PHI0]) == 3

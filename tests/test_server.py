@@ -1,0 +1,166 @@
+"""Tests for the HTTP verification service (the GUI backend)."""
+
+import http.client
+import json
+
+import pytest
+
+from repro.server import VerificationServer
+
+
+@pytest.fixture(scope="module")
+def server():
+    with VerificationServer(port=0) as running:
+        yield running
+
+
+def request(server, method, path, body=None):
+    connection = http.client.HTTPConnection(server.host, server.port, timeout=60)
+    try:
+        payload = json.dumps(body) if body is not None else None
+        connection.request(method, path, body=payload)
+        response = connection.getresponse()
+        return response.status, json.loads(response.read().decode("utf-8"))
+    finally:
+        connection.close()
+
+
+class TestDiscovery:
+    def test_networks_listing(self, server):
+        status, document = request(server, "GET", "/networks")
+        assert status == 200
+        assert "example" in document["networks"]
+        assert "nordunet" in document["networks"]
+
+    def test_network_download(self, server):
+        status, document = request(server, "GET", "/networks/example")
+        assert status == 200
+        assert document["name"] == "running-example"
+        assert any(link["name"] == "e4" for link in document["links"])
+
+    def test_example_queries(self, server):
+        status, document = request(server, "GET", "/queries/example")
+        assert status == 200
+        names = [entry["name"] for entry in document["queries"]]
+        assert names == ["phi0", "phi1", "phi2", "phi3", "phi4"]
+
+    def test_unknown_endpoint(self, server):
+        status, document = request(server, "GET", "/nope")
+        assert status == 404
+        assert "error" in document
+
+    def test_unknown_network(self, server):
+        status, document = request(server, "GET", "/networks/arpanet")
+        assert status == 404
+
+
+class TestVerify:
+    def test_satisfied(self, server):
+        status, document = request(
+            server,
+            "POST",
+            "/verify",
+            {"network": "example", "query": "<ip> [.#v0] .* [v3#.] <ip> 0"},
+        )
+        assert status == 200
+        assert document["status"] == "satisfied"
+        assert document["trace"][0]["link"] == "e0"
+        assert document["failure_set"] == []
+        assert document["dot"].startswith("digraph")
+
+    def test_unsatisfied(self, server):
+        status, document = request(
+            server,
+            "POST",
+            "/verify",
+            {
+                "network": "example",
+                "query": "<s40 ip> [.#v0] .* [v3#.] <mpls+ smpls ip> 1",
+            },
+        )
+        assert status == 200
+        assert document["status"] == "unsatisfied"
+        assert "trace" not in document
+
+    def test_weighted(self, server):
+        status, document = request(
+            server,
+            "POST",
+            "/verify",
+            {
+                "network": "example",
+                "query": "<smpls? ip> [.#v0] . . . .* [v3#.] <smpls? ip> 1",
+                "weight": "hops, failures + 3*tunnels",
+            },
+        )
+        assert status == 200
+        assert document["weight"] == [5, 0]
+        assert document["minimal_guaranteed"] is True
+
+    def test_inline_network(self, server):
+        _status, example = request(server, "GET", "/networks/example")
+        status, document = request(
+            server,
+            "POST",
+            "/verify",
+            {"network": example, "query": "<ip> [.#v0] .* [v3#.] <ip> 0"},
+        )
+        assert status == 200
+        assert document["status"] == "satisfied"
+
+    def test_moped_engine(self, server):
+        status, document = request(
+            server,
+            "POST",
+            "/verify",
+            {
+                "network": "example",
+                "query": "<ip> [.#v0] .* [v3#.] <ip> 0",
+                "engine": "moped",
+            },
+        )
+        assert status == 200
+        assert document["status"] == "satisfied"
+
+    @pytest.mark.parametrize(
+        "payload, expected_status",
+        [
+            ({"network": "example"}, 400),  # missing query
+            ({"network": 7, "query": "<ip> . <ip> 0"}, 400),
+            ({"network": "example", "query": "<ip .*"}, 400),  # syntax error
+            ({"network": "example", "query": "<ip> . <ip> 0", "engine": "x"}, 400),
+        ],
+    )
+    def test_bad_requests(self, server, payload, expected_status):
+        status, document = request(server, "POST", "/verify", payload)
+        assert status == expected_status
+        assert "error" in document
+
+    def test_malformed_json_body(self, server):
+        connection = http.client.HTTPConnection(server.host, server.port, timeout=30)
+        try:
+            connection.request("POST", "/verify", body="{not json")
+            response = connection.getresponse()
+            assert response.status == 400
+        finally:
+            connection.close()
+
+    def test_post_to_unknown_path(self, server):
+        status, _ = request(server, "POST", "/networks", {})
+        assert status == 404
+
+    def test_concurrent_requests(self, server):
+        import concurrent.futures
+
+        def ask(k):
+            return request(
+                server,
+                "POST",
+                "/verify",
+                {"network": "example", "query": f"<ip> [.#v0] .* [v3#.] <ip> {k}"},
+            )
+
+        with concurrent.futures.ThreadPoolExecutor(max_workers=4) as pool:
+            results = list(pool.map(ask, [0, 1, 2, 0]))
+        assert all(status == 200 for status, _doc in results)
+        assert all(doc["status"] == "satisfied" for _s, doc in results)

@@ -1,0 +1,77 @@
+"""The shipped data fixtures under examples/data/ must stay loadable and
+verify exactly like the in-code running example (artifact parity with
+the paper's released input files)."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.datasets.example import EXAMPLE_QUERIES, build_example_network
+from repro.io.json_format import read_network_json
+from repro.io.xml_format import read_network
+from repro.verification.engine import dual_engine
+
+DATA = os.path.join(os.path.dirname(__file__), "..", "examples", "data")
+
+
+def data(*parts):
+    return os.path.join(DATA, *parts)
+
+
+@pytest.fixture(scope="module")
+def reference():
+    return build_example_network()
+
+
+class TestShippedFiles:
+    def test_xml_pair_loads_and_verifies(self, reference):
+        network = read_network(
+            data("example-topo.xml"), data("example-route.xml")
+        )
+        for _name, query in EXAMPLE_QUERIES:
+            assert (
+                dual_engine(network).verify(query).status
+                == dual_engine(reference).verify(query).status
+            ), query
+
+    def test_json_loads_and_verifies(self, reference):
+        network = read_network_json(data("example.json"))
+        assert network.rule_count() == reference.rule_count()
+        result = dual_engine(network).verify(EXAMPLE_QUERIES[0][1])
+        assert result.satisfied
+
+    def test_nordunet_locations(self):
+        from repro.io.coords import read_coordinates
+
+        coordinates = read_coordinates(data("nordunet-locations.json"))
+        assert coordinates["cph1"].latitude == pytest.approx(55.68)
+        assert len(coordinates) >= 31
+
+    def test_isis_fixture_set_via_cli(self, tmp_path):
+        code = main(
+            [
+                "--isis",
+                data("isis", "mapping.txt"),
+                "--isis-dir",
+                data("isis"),
+                "--query",
+                EXAMPLE_QUERIES[0][1],
+            ]
+        )
+        assert code == 0
+
+    def test_query_suite_via_cli(self, capsys):
+        code = main(
+            [
+                "--builtin",
+                "example",
+                "--queries-file",
+                data("example-queries.txt"),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "phi0" in out and "phi4" in out
+        assert "satisfied:     4" in out
+        assert "unsatisfied:   1" in out

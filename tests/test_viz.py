@@ -1,0 +1,102 @@
+"""Tests for the DOT/text visualization module."""
+
+import pytest
+
+from repro.datasets.example import build_example_network, example_traces
+from repro.verification.engine import dual_engine
+from repro.viz import network_to_dot, result_to_dot, trace_timeline, trace_to_dot
+
+
+@pytest.fixture(scope="module")
+def network():
+    return build_example_network()
+
+
+@pytest.fixture(scope="module")
+def traces(network):
+    return example_traces(network)
+
+
+class TestNetworkDot:
+    def test_structure(self, network):
+        dot = network_to_dot(network.topology)
+        assert dot.startswith("digraph network {")
+        assert dot.rstrip().endswith("}")
+        for router in ("v0", "v3", "vIn"):
+            assert f'"{router}"' in dot
+
+    def test_every_link_rendered(self, network):
+        dot = network_to_dot(network.topology)
+        assert dot.count("->") >= len(network.topology.links)
+
+    def test_failed_links_marked(self, network):
+        e4 = network.topology.link("e4")
+        dot = network_to_dot(network.topology, failed={e4})
+        assert "style=dashed" in dot
+        assert "e4 ✗" in dot
+
+    def test_title(self, network):
+        dot = network_to_dot(network.topology, title="hello world")
+        assert 'label="hello world"' in dot
+
+    def test_duplex_merge(self):
+        from repro.datasets.synthesis import synthesize_network
+        from repro.datasets.zoo import abilene
+
+        zoo_network, _ = synthesize_network(abilene())
+        dot = network_to_dot(zoo_network.topology)
+        assert "dir=both" in dot
+
+    def test_quoting(self, network):
+        dot = network_to_dot(network.topology, title='quo"te')
+        assert '\\"' in dot
+
+
+class TestTraceDot:
+    def test_hops_annotated(self, network, traces):
+        dot = trace_to_dot(network, traces["sigma2"])
+        assert "color=blue" in dot
+        # First hop annotated with its number and header.
+        assert "1: ip1" in dot
+        assert "30 ∘ s21 ∘ ip1" in dot
+
+    def test_failed_and_highlight_together(self, network, traces):
+        e4 = network.topology.link("e4")
+        dot = trace_to_dot(network, traces["sigma2"], failed={e4})
+        assert "color=red" in dot and "color=blue" in dot
+
+    def test_result_wrapper_sat(self, network):
+        result = dual_engine(network).verify("<ip> [.#v0] .* [v3#.] <ip> 0")
+        dot = result_to_dot(network, result)
+        assert "satisfied" in dot
+        assert "color=blue" in dot
+
+    def test_result_wrapper_unsat(self, network):
+        result = dual_engine(network).verify(
+            "<s40 ip> [.#v0] .* [v3#.] <mpls+ smpls ip> 1"
+        )
+        dot = result_to_dot(network, result)
+        assert "unsatisfied" in dot
+        assert "color=blue" not in dot
+
+
+class TestTimeline:
+    def test_headers_shown(self, network, traces):
+        text = trace_timeline(network, traces["sigma2"])
+        lines = text.splitlines()
+        assert len(lines) == 5
+        assert "hop  1" in lines[0]
+        assert "stack: ip1" in lines[0]
+        assert "30 s21 ip1" in lines[2]
+
+    def test_operations_inferred(self, network, traces):
+        text = trace_timeline(network, traces["sigma2"])
+        # The failover rule at v2: swap(s21) ∘ push(30).
+        assert "swap(s21) ∘ push(30)" in text
+        assert "[pop]" in text
+
+    def test_dot_is_parseable_brackets(self, network, traces):
+        # Minimal syntactic sanity: balanced braces and quotes.
+        dot = trace_to_dot(network, traces["sigma3"])
+        assert dot.count("{") == dot.count("}")
+        assert dot.count('"') % 2 == 0

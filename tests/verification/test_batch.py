@@ -1,0 +1,111 @@
+"""Tests for batch verification and the query-file format."""
+
+import pytest
+
+from repro.datasets.example import EXAMPLE_QUERIES, build_example_network
+from repro.verification.batch import BatchVerifier, parse_query_file
+from repro.verification.engine import dual_engine
+
+
+@pytest.fixture(scope="module")
+def network():
+    return build_example_network()
+
+
+@pytest.fixture(scope="module")
+def verifier(network):
+    return BatchVerifier(dual_engine(network), timeout_per_query=60)
+
+
+class TestBatchVerifier:
+    def test_runs_every_query(self, verifier):
+        items, summary = verifier.run([text for _n, text in EXAMPLE_QUERIES])
+        assert len(items) == 5
+        assert summary.total == 5
+        assert summary.satisfied == 4  # φ3 is unsatisfiable
+        assert summary.unsatisfied == 1
+        assert summary.inconclusive == 0
+        assert summary.errors == 0
+
+    def test_named_queries(self, verifier):
+        items, _summary = verifier.run(list(EXAMPLE_QUERIES))
+        assert [item.name for item in items] == [n for n, _t in EXAMPLE_QUERIES]
+
+    def test_results_attached(self, verifier):
+        items, _ = verifier.run([EXAMPLE_QUERIES[0][1]])
+        assert items[0].result is not None
+        assert items[0].result.trace is not None
+        assert items[0].conclusive
+
+    def test_bad_query_becomes_error_item(self, verifier):
+        items, summary = verifier.run(["<ip .* garbage", EXAMPLE_QUERIES[0][1]])
+        assert items[0].outcome == "error"
+        assert items[0].error
+        # The batch keeps going after an error.
+        assert items[1].outcome == "satisfied"
+        assert summary.errors == 1
+
+    def test_summary_statistics(self, verifier):
+        _items, summary = verifier.run([text for _n, text in EXAMPLE_QUERIES])
+        assert summary.total_seconds > 0
+        assert summary.worst_query is not None
+        assert summary.inconclusive_rate == 0.0
+        rendered = summary.format()
+        assert "satisfied:     4" in rendered
+
+    def test_progress_callback(self, verifier):
+        seen = []
+        verifier.run(
+            [text for _n, text in EXAMPLE_QUERIES[:2]],
+            progress=lambda index, total, item: seen.append((index, total, item.name)),
+        )
+        assert seen == [(0, 2, "q0000"), (1, 2, "q0001")]
+
+    def test_inconclusive_rate(self, network):
+        from tests.verification.test_inconclusive import conflict_network
+
+        gadget = conflict_network()
+        verifier = BatchVerifier(dual_engine(gadget))
+        _items, summary = verifier.run(
+            ["<s1 ip> [.#A] [A#C] [C#A] [A#B] [B#.] <. ip> 1"]
+        )
+        assert summary.inconclusive == 1
+        assert summary.inconclusive_rate == 1.0
+
+
+class TestQueryFile:
+    def test_basic_lines(self):
+        text = "\n".join(
+            [
+                "# comment",
+                "",
+                "<ip> .* <ip> 0",
+                "reach_check: <ip> [.#v0] .* [v3#.] <ip> 1",
+            ]
+        )
+        queries = parse_query_file(text)
+        assert len(queries) == 2
+        assert queries[0] == ("line3", "<ip> .* <ip> 0")
+        assert queries[1] == ("reach_check", "<ip> [.#v0] .* [v3#.] <ip> 1")
+
+    def test_colon_inside_query_is_not_a_name(self):
+        # A query whose first token contains '<' keeps the whole line.
+        queries = parse_query_file("<ip> [a:b#c] <ip> 0")
+        assert queries[0][1] == "<ip> [a:b#c] <ip> 0"
+
+
+class TestCliIntegration:
+    def test_queries_file_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "suite.txt"
+        path.write_text(
+            "phi0: <ip> [.#v0] .* [v3#.] <ip> 0\n"
+            "phi3: <s40 ip> [.#v0] .* [v3#.] <mpls+ smpls ip> 1\n"
+        )
+        code = main(["--builtin", "example", "--queries-file", str(path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "phi0" in out and "satisfied" in out
+        assert "phi3" in out and "unsatisfied" in out
+        assert "queries:       2" in out

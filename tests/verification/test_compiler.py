@@ -1,0 +1,184 @@
+"""Unit tests for the query → PDA compiler."""
+
+import pytest
+
+from repro.datasets.example import build_example_network
+from repro.errors import VerificationError
+from repro.model.labels import BOTTOM
+from repro.pda.semiring import BOOLEAN
+from repro.query.parser import parse_query
+from repro.query.weights import parse_weight_vector
+from repro.verification.compiler import ACCEPT, START, QueryCompiler
+
+
+@pytest.fixture(scope="module")
+def network():
+    return build_example_network()
+
+
+@pytest.fixture(scope="module")
+def compiler(network):
+    return QueryCompiler(network)
+
+
+class TestCompilation:
+    def test_endpoints(self, compiler):
+        compiled = compiler.compile(parse_query("<ip> [.#v0] .* [v3#.] <ip> 0"))
+        assert compiled.initial == (START, BOTTOM)
+        assert compiled.target == (ACCEPT, BOTTOM)
+        assert compiled.mode == "over"
+        assert compiled.semiring is BOOLEAN
+
+    def test_rules_are_normal_form(self, compiler):
+        compiled = compiler.compile(parse_query("<ip> [.#v0] .* [v3#.] <ip> 2"))
+        assert all(len(rule.push) <= 2 for rule in compiled.pds.rules)
+
+    def test_unknown_mode_rejected(self, compiler):
+        with pytest.raises(VerificationError):
+            compiler.compile(parse_query("<ip> . <ip> 0"), mode="sideways")
+
+    def test_weighted_compilation_uses_vector_semiring(self, compiler):
+        vector = parse_weight_vector("hops, failures")
+        compiled = compiler.compile(
+            parse_query("<ip> [.#v0] .* [v3#.] <ip> 0"), weight_vector=vector
+        )
+        assert compiled.semiring.one == (0, 0)
+        forwarding = [
+            rule for rule in compiled.pds.rules if rule.tag and rule.tag[0] == "entry"
+        ]
+        assert forwarding
+        assert all(isinstance(rule.weight, tuple) for rule in forwarding)
+
+    def test_under_mode_threads_budget(self, compiler):
+        compiled = compiler.compile(parse_query("<ip> [.#v0] .* [v3#.] <ip> 1"), mode="under")
+        link_states = {
+            state
+            for rule in compiled.pds.rules
+            for state in (rule.from_state, rule.to_state)
+            if isinstance(state, tuple) and state[0] == "link"
+        }
+        assert link_states
+        # Under-approximation states carry (link, q_b, budget).
+        assert all(len(state) == 4 for state in link_states)
+        budgets = {state[3] for state in link_states}
+        assert budgets <= {0, 1}
+
+    def test_over_mode_prunes_expensive_groups(self, compiler, network):
+        """With k=0 the priority-2 rule at v2 must not be compiled."""
+        compiled_k0 = compiler.compile(parse_query("<ip> [.#v0] .* [v3#.] <ip> 0"))
+        compiled_k1 = compiler.compile(parse_query("<ip> [.#v0] .* [v3#.] <ip> 1"))
+
+        def uses_link(compiled, link_name):
+            return any(
+                isinstance(rule.from_state, tuple)
+                and rule.from_state[0] == "link"
+                and rule.from_state[1] == link_name
+                for rule in compiled.pds.rules
+            )
+
+        # e5 is only reachable for ip traffic via the backup rule.
+        e5_states_k0 = [
+            rule
+            for rule in compiled_k0.pds.rules
+            if isinstance(rule.to_state, tuple)
+            and rule.to_state[0] == "link"
+            and rule.to_state[1] == "e5"
+        ]
+        e5_states_k1 = [
+            rule
+            for rule in compiled_k1.pds.rules
+            if isinstance(rule.to_state, tuple)
+            and rule.to_state[0] == "link"
+            and rule.to_state[1] == "e5"
+        ]
+        assert len(e5_states_k1) > len(e5_states_k0)
+
+    def test_link_of_state(self, compiler, network):
+        compiled = compiler.compile(parse_query("<ip> [.#v0] .* [v3#.] <ip> 0"))
+        e1 = network.topology.link("e1")
+        state = ("link", "e1", 0)
+        assert compiled.link_of_state(state) == e1
+        assert compiled.link_of_state(START) is None
+        assert compiled.link_of_state(("chk", 0)) is None
+
+    def test_empty_header_language_gives_empty_phase1(self, compiler):
+        # 'mpls ip' is not a valid header (no bottom label), so no entry
+        # rules can be generated and the query compiles to an unsat PDS.
+        compiled = compiler.compile(parse_query("<mpls ip> . <ip> 0"))
+        entries = [
+            rule for rule in compiled.pds.rules if rule.tag and rule.tag[0] == "entry"
+        ]
+        assert entries == []
+
+    def test_distance_function_feeds_weights(self, network):
+        vector = parse_weight_vector("distance")
+        compiler = QueryCompiler(network, distance_of=lambda link: 42)
+        compiled = compiler.compile(
+            parse_query("<ip> [.#v0] .* [v3#.] <ip> 0"), weight_vector=vector
+        )
+        entry_rules = [
+            rule for rule in compiled.pds.rules if rule.tag and rule.tag[0] == "entry"
+        ]
+        assert entry_rules
+        assert all(rule.weight == (42,) for rule in entry_rules)
+
+
+class TestCompiledSizes:
+    """The compiler must stay frugal: dead-end entries are pruned."""
+
+    def test_entry_rules_pruned_by_routing(self, compiler, network):
+        compiled = compiler.compile(parse_query("<s40 ip> [.#v0] .* [v3#.] <smpls ip> 0"))
+        entries = {
+            rule.tag[1]
+            for rule in compiled.pds.rules
+            if rule.tag and rule.tag[0] == "entry"
+        }
+        # s40 is only routed when arriving on e0.
+        assert entries == {"e0"}
+
+    def test_one_step_traces_handled_in_closed_form(self, compiler, network):
+        # A query whose a ∩ c ∩ H is non-empty is satisfiable by a
+        # one-step trace on every link — handled outside the pushdown
+        # (find_one_step_witness), so the PDA only gets entries where
+        # routing continues.
+        from repro.verification.compiler import find_one_step_witness
+
+        query = parse_query("<ip> . <ip> 0")
+        compiled = compiler.compile(query)
+        entries = {
+            rule.tag[1]
+            for rule in compiled.pds.rules
+            if rule.tag and rule.tag[0] == "entry"
+        }
+        assert entries == {"e0"}  # only e0 routes ip traffic onward
+        witness = find_one_step_witness(network, query)
+        assert witness is not None
+        trace, weight = witness
+        assert len(trace) == 1
+        assert weight is None  # unweighted
+
+    def test_one_step_witness_minimizes_weight(self, network):
+        from repro.query.weights import parse_weight_vector
+        from repro.verification.compiler import find_one_step_witness
+
+        vector = parse_weight_vector("distance")
+        query = parse_query("<ip> . <ip> 0")
+        witness = find_one_step_witness(
+            network, query, vector, distance_of=lambda link: 5 if link.name == "e2" else 9
+        )
+        trace, weight = witness
+        assert trace.links[0].name == "e2"
+        assert weight == (5,)
+
+    def test_one_step_witness_absent_when_headers_clash(self, network):
+        from repro.verification.compiler import find_one_step_witness
+
+        # a ∩ c is empty: a one-step trace can never satisfy the query.
+        query = parse_query("<ip> . <smpls ip> 0")
+        assert find_one_step_witness(network, query) is None
+
+    def test_one_step_witness_absent_when_path_needs_two_links(self, network):
+        from repro.verification.compiler import find_one_step_witness
+
+        query = parse_query("<ip> . . <ip> 0")
+        assert find_one_step_witness(network, query) is None

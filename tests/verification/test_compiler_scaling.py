@@ -1,0 +1,58 @@
+"""Regression guards on the compiler's output size.
+
+Early versions of the compiler emitted |labels| × |links| entry rules
+and |states| × |labels| check-entry rules for loosely constrained
+queries (hundreds of thousands of rules on the NORDUnet substitute).
+The dead-end entry pruning and the TOS-guided check-phase generation
+keep the construction near-linear; these tests pin that behaviour so a
+future change cannot silently reintroduce the blowup.
+"""
+
+import pytest
+
+from repro.datasets.nordunet import build_nordunet
+from repro.query.parser import parse_query
+from repro.verification.compiler import QueryCompiler
+
+
+@pytest.fixture(scope="module")
+def network():
+    return build_nordunet()[0]
+
+
+@pytest.fixture(scope="module")
+def compiler(network):
+    return QueryCompiler(network)
+
+
+class TestCompiledSize:
+    def test_unconstrained_query_stays_linear(self, network, compiler):
+        """The paper's hardest query shape: both headers loose, path `.*`."""
+        compiled = compiler.compile(parse_query("<smpls? ip> .* <. smpls ip> 0"))
+        # Empirically ~9k rules for the ~2.4k-rule network; the broken
+        # construction produced ~190k. Allow generous slack.
+        assert compiled.pds.rule_count() < 12 * network.rule_count()
+
+    def test_targeted_query_is_small(self, network, compiler):
+        compiled = compiler.compile(
+            parse_query("<ip> [.#cph1] .* [.#sto1] <ip> 0")
+        )
+        assert compiled.pds.rule_count() < 6 * network.rule_count()
+
+    def test_under_approximation_scales_with_k(self, network, compiler):
+        """The under-approximation multiplies link states by ≤ (k+1)."""
+        query = parse_query("<smpls ip> [.#cph1] .* [.#sto1] <smpls ip> 2")
+        over = compiler.compile(query, mode="over")
+        under = compiler.compile(query, mode="under")
+        assert under.pds.rule_count() <= 3.5 * over.pds.rule_count()
+
+    def test_entry_rules_bounded_by_routing(self, network, compiler):
+        """Entry rules exist only where routing continues or a one-step
+        trace could finish — never |labels| × |links|."""
+        compiled = compiler.compile(parse_query("<smpls ip> .* <smpls ip> 1"))
+        entry_rules = sum(
+            1
+            for rule in compiled.pds.rules
+            if rule.tag and rule.tag[0] == "entry"
+        )
+        assert entry_rules <= 2 * network.rule_count()

@@ -1,0 +1,89 @@
+"""Unit tests for the explicit-state reference engine itself."""
+
+import pytest
+
+from repro.datasets.example import build_example_network, example_traces
+from repro.query.nfa import label_nfa, valid_header_nfa
+from repro.query.parser import QueryParser
+from repro.query.weights import parse_weight_vector
+from repro.verification.explicit import ExplicitEngine, enumerate_words
+
+
+@pytest.fixture(scope="module")
+def network():
+    return build_example_network()
+
+
+class TestEnumerateWords:
+    def test_enumerates_exact_language(self, network):
+        parser = QueryParser()
+        nfa = label_nfa(parser.parse_label_regex("smpls? ip"), network).intersect(
+            valid_header_nfa(network)
+        )
+        words = set(enumerate_words(nfa, max_length=3))
+        rendered = {tuple(str(l) for l in word) for word in words}
+        # One IP label, or any bottom-of-stack label over it.
+        assert ("ip1",) in rendered
+        assert ("s20", "ip1") in rendered
+        assert all(len(word) <= 2 for word in rendered)
+
+    def test_length_bound(self, network):
+        parser = QueryParser()
+        nfa = label_nfa(parser.parse_label_regex("mpls* smpls ip"), network).intersect(
+            valid_header_nfa(network)
+        )
+        words = list(enumerate_words(nfa, max_length=4))
+        assert all(len(word) <= 4 for word in words)
+        assert any(len(word) == 4 for word in words)
+
+    def test_empty_language(self, network):
+        parser = QueryParser()
+        # mpls directly over ip is never a valid header.
+        nfa = label_nfa(parser.parse_label_regex("mpls ip"), network).intersect(
+            valid_header_nfa(network)
+        )
+        assert list(enumerate_words(nfa, max_length=4)) == []
+
+
+class TestExplicitEngine:
+    def test_collects_all_witnesses(self, network):
+        traces = example_traces(network)
+        engine = ExplicitEngine(network, max_trace_length=6, max_header_depth=3)
+        result = engine.verify("<ip> [.#v0] .* [v3#.] <ip> 0")
+        assert traces["sigma0"] in result.witnesses
+        assert traces["sigma1"] in result.witnesses
+        assert traces["sigma2"] not in result.witnesses
+
+    def test_failure_budget_expands_witnesses(self, network):
+        traces = example_traces(network)
+        engine = ExplicitEngine(network, max_trace_length=6, max_header_depth=3)
+        result = engine.verify("<ip> [.#v0] .* [v3#.] <ip> 1")
+        assert traces["sigma2"] in result.witnesses
+
+    def test_best_weight(self, network):
+        engine = ExplicitEngine(network, max_trace_length=6, max_header_depth=3)
+        vector = parse_weight_vector("hops, failures + 3*tunnels")
+        result = engine.verify(
+            "<smpls? ip> [.#v0] . . . .* [v3#.] <smpls? ip> 1", weight_vector=vector
+        )
+        assert result.best_weight == (5, 0)
+        assert result.best_trace == example_traces(network)["sigma3"]
+
+    def test_unsatisfiable(self, network):
+        engine = ExplicitEngine(network, max_trace_length=6, max_header_depth=3)
+        result = engine.verify("<s40 ip> [.#v0] .* [v3#.] <mpls+ smpls ip> 1")
+        assert not result.satisfied
+        assert result.witnesses == ()
+        assert result.best_weight is None
+
+    def test_trace_length_bound_limits_findings(self, network):
+        tight = ExplicitEngine(network, max_trace_length=2, max_header_depth=3)
+        result = tight.verify("<ip> [.#v0] .* [v3#.] <ip> 0")
+        assert not result.satisfied  # real witnesses need 4 links
+
+    def test_witness_cap(self, network):
+        capped = ExplicitEngine(
+            network, max_trace_length=6, max_header_depth=3, max_witnesses=1
+        )
+        result = capped.verify("<ip> [.#v0] .* [v3#.] <ip> 1")
+        assert len(result.witnesses) == 1

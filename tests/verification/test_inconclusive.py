@@ -1,0 +1,129 @@
+"""Tests for the third verdict: INCONCLUSIVE (§4.2).
+
+The dual approximation admits queries where the over-approximation
+finds only spurious traces and the under-approximation finds none.
+These gadget networks trigger both known causes:
+
+* a *conflict* trace — the backup rule requires a link to be failed
+  that the same trace later traverses;
+* a *budget* trace — two routers each need their own local failure,
+  exceeding the global bound the over-approximation checks only
+  per-router.
+"""
+
+import pytest
+
+from repro.model.builder import NetworkBuilder
+from repro.verification.engine import dual_engine, moped_engine, weighted_engine
+from repro.verification.explicit import ExplicitEngine
+from repro.verification.results import Status
+
+
+def conflict_network():
+    """The only matching trace needs link p failed *and* traverses p.
+
+    X --e0--> A --p--> B --t--> Y          (primary at A)
+              A --q--> C --r--> A          (backup loops back to A)
+    The backup at A (priority 2) requires p failed; the continuation
+    from the loop then uses p itself.
+    """
+    builder = NetworkBuilder("conflict")
+    builder.link("e0", "X", "A")
+    builder.link("p", "A", "B")
+    builder.link("q", "A", "C")
+    builder.link("r", "C", "A")
+    builder.link("t", "B", "Y")
+    builder.rule("e0", "s1", "p", "swap(s2)")
+    builder.rule("e0", "s1", "q", "swap(s3)", priority=2)
+    builder.rule("q", "s3", "r", "swap(s4)")
+    builder.rule("r", "s4", "p", "swap(s5)")
+    builder.rule("p", "s5", "t", "swap(s6)")
+    builder.rule("p", "s2", "t", "swap(s6)")
+    builder.label("ip1")  # headers need an IP label below the stack
+    return builder.build()
+
+
+def budget_network():
+    """The only matching trace needs two distinct failures, but k=1.
+
+    X --e0--> A --p1--> B --p2--> C --t--> Y     (primaries)
+              A --b1--> B                        (backup 1: p1 failed)
+              B --b2--> C                        (backup 2: p2 failed)
+    Forcing the trace through both backups needs |F| = 2.
+    """
+    builder = NetworkBuilder("budget")
+    builder.link("e0", "X", "A")
+    builder.link("p1", "A", "B")
+    builder.link("b1", "A", "B")
+    builder.link("p2", "B", "C")
+    builder.link("b2", "B", "C")
+    builder.link("t", "C", "Y")
+    builder.rule("e0", "s1", "p1", "swap(s2)")
+    builder.rule("e0", "s1", "b1", "swap(s9)", priority=2)
+    builder.rule("b1", "s9", "p2", "swap(s3)")
+    builder.rule("b1", "s9", "b2", "swap(s8)", priority=2)
+    builder.rule("b2", "s8", "t", "swap(s7)")
+    builder.rule("p2", "s3", "t", "swap(s7)")
+    builder.rule("p1", "s2", "p2", "swap(s3)")
+    builder.label("ip1")  # headers need an IP label below the stack
+    return builder.build()
+
+
+class TestConflictGadget:
+    #: Force the route through C and back over p: only the spurious
+    #: conflict trace matches.
+    QUERY = "<s1 ip> [.#A] [A#C] [C#A] [A#B] [B#.] <. ip> 1"
+
+    def test_dual_engine_is_inconclusive(self):
+        network = conflict_network()
+        result = dual_engine(network).verify(self.QUERY)
+        assert result.status is Status.INCONCLUSIVE
+        assert result.trace is None
+        assert result.stats.used_under_approximation
+
+    def test_oracle_confirms_unsatisfiable(self):
+        """Ground truth: the query is actually UNSAT — inconclusiveness
+        is a sound (if unsatisfying) answer."""
+        network = conflict_network()
+        oracle = ExplicitEngine(network, max_trace_length=6, max_header_depth=2)
+        assert not oracle.verify(self.QUERY).satisfied
+
+    def test_moped_backend_also_inconclusive(self):
+        result = moped_engine(conflict_network()).verify(self.QUERY)
+        assert result.status is Status.INCONCLUSIVE
+
+    def test_weighted_engine_also_inconclusive(self):
+        engine = weighted_engine(conflict_network(), weight="failures")
+        assert engine.verify(self.QUERY).status is Status.INCONCLUSIVE
+
+    def test_satisfiable_variant_stays_conclusive(self):
+        """Without the forced loop the query is plainly satisfiable."""
+        network = conflict_network()
+        result = dual_engine(network).verify("<s1 ip> [.#A] .* [B#.] <. ip> 0")
+        assert result.status is Status.SATISFIED
+
+
+class TestBudgetGadget:
+    #: Force both backup links with only one failure allowed.
+    QUERY = "<s1 ip> [.#A] [A.b1#B.b1] [B.b2#C.b2] [C#.] <. ip> 1"
+
+    def test_dual_engine_is_inconclusive(self):
+        network = budget_network()
+        result = dual_engine(network).verify(self.QUERY)
+        assert result.status is Status.INCONCLUSIVE
+
+    def test_two_failures_make_it_satisfiable(self):
+        network = budget_network()
+        result = dual_engine(network).verify(self.QUERY.replace(" 1", " 2"))
+        assert result.status is Status.SATISFIED
+        assert {link.name for link in result.failure_set} == {"p1", "p2"}
+
+    def test_oracle_confirms_unsatisfiable_at_k1(self):
+        network = budget_network()
+        oracle = ExplicitEngine(network, max_trace_length=6, max_header_depth=2)
+        assert not oracle.verify(self.QUERY).satisfied
+
+    def test_failures_quantity_reports_two(self):
+        engine = weighted_engine(budget_network(), weight="failures")
+        result = engine.verify(self.QUERY.replace(" 1", " 2"))
+        assert result.weight == (2,)

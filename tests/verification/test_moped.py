@@ -1,0 +1,145 @@
+"""Tests for the Moped-baseline backend (remopla boundary + symbolic pre*)."""
+
+import pytest
+
+from repro.errors import FormatError
+from repro.pda.semiring import BOOLEAN
+from repro.pda.system import Configuration, PushdownSystem, run_rules
+from repro.verification.moped import (
+    MopedBackend,
+    SymbolicPrestar,
+    parse_remopla,
+    serialize_remopla,
+    solve_with_moped,
+)
+
+
+def tunnel_system():
+    pds = PushdownSystem()
+    pds.add_rule("in", "ip", "mid", ("lbl", "ip"), True, tag="enter")
+    pds.add_rule("mid", "lbl", "mid2", ("lbl2",), True, tag="swap")
+    pds.add_rule("mid2", "lbl2", "out", (), True, tag="leave")
+    return pds
+
+
+class TestRemoplaFormat:
+    def test_roundtrip(self):
+        pds = tunnel_system()
+        text, table = serialize_remopla(pds, ("in", "ip"), ("out", "ip"))
+        parsed = parse_remopla(text)
+        assert parsed.pds.rule_count() == 3
+        # Identifier spaces are disjoint from the original objects.
+        assert all(isinstance(state, str) for state in parsed.pds.states)
+        assert len(table) == 3
+
+    def test_rule_shapes_preserved(self):
+        pds = tunnel_system()
+        text, _ = serialize_remopla(pds, ("in", "ip"), ("out", "ip"))
+        parsed = parse_remopla(text)
+        shapes = sorted(len(rule.push) for rule in parsed.pds.rules)
+        assert shapes == [0, 1, 2]
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "garbage",
+            "r0: s0 <y0> s1 <y1>",  # missing arrow
+            "r0: s0 y0 --> s1 <y1>",  # malformed config
+            "rX: s0 <y0> --> s1 <y1>\ninit: s0 <y0>\nreach: s1 <y1>",
+            "init: s0 <y0>",  # missing reach
+        ],
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(FormatError):
+            parse_remopla(bad)
+
+    def test_comments_and_blank_lines_ignored(self):
+        text, _ = serialize_remopla(tunnel_system(), ("in", "ip"), ("out", "ip"))
+        padded = "\n# comment\n\n" + text + "\n\n"
+        assert parse_remopla(padded).pds.rule_count() == 3
+
+
+class TestSymbolicPrestar:
+    def test_reachable(self):
+        pds = tunnel_system()
+        symbolic = SymbolicPrestar(pds, ("in", "ip"), ("out", "ip"))
+        relation = symbolic.saturate()
+        assert symbolic.is_reachable(relation)
+
+    def test_unreachable(self):
+        pds = tunnel_system()
+        symbolic = SymbolicPrestar(pds, ("out", "ip"), ("in", "ip"))
+        relation = symbolic.saturate()
+        assert not symbolic.is_reachable(relation)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_agrees_with_explicit_prestar(self, seed):
+        """Symbolic and explicit saturation must compute the same answer
+        on random pushdown systems."""
+        import random
+
+        from repro.pda.prestar import prestar_single
+
+        rng = random.Random(seed)
+        states = ["p", "q", "r", "s", "t"]
+        symbols = ["a", "b", "c"]
+        pds = PushdownSystem()
+        for _ in range(30):
+            kind = rng.choice(["pop", "swap", "push"])
+            from_state = rng.choice(states)
+            pop = rng.choice(symbols)
+            to_state = rng.choice(states)
+            if kind == "pop":
+                push = ()
+            elif kind == "swap":
+                push = (rng.choice(symbols),)
+            else:
+                push = (rng.choice(symbols), rng.choice(symbols))
+            pds.add_rule(from_state, pop, to_state, push, True)
+        for target_state in states:
+            explicit = prestar_single(pds, BOOLEAN, target_state, "a")
+            expected = explicit.automaton.accepts("p", ("a",))
+            symbolic = SymbolicPrestar(pds, ("p", "a"), (target_state, "a"))
+            actual = symbolic.is_reachable(symbolic.saturate())
+            assert actual == expected, f"seed={seed}, target={target_state}"
+
+
+class TestMopedBackend:
+    def test_reachable_returns_trace(self):
+        text, table = serialize_remopla(tunnel_system(), ("in", "ip"), ("out", "ip"))
+        answer = MopedBackend().check(text)
+        lines = answer.splitlines()
+        assert lines[0] == "REACHABLE"
+        assert lines[1].startswith("TRACE: ")
+        ids = [int(token[1:]) for token in lines[1].split()[1:]]
+        rules = [table[i] for i in ids]
+        final = run_rules(Configuration("in", ("ip",)), rules)[-1]
+        assert final.state == "out" and final.stack == ("ip",)
+
+    def test_unreachable(self):
+        text, _ = serialize_remopla(tunnel_system(), ("out", "ip"), ("in", "ip"))
+        assert MopedBackend().check(text).strip() == "NOT REACHABLE"
+
+    def test_solve_with_moped_outcome(self):
+        outcome = solve_with_moped(tunnel_system(), ("in", "ip"), ("out", "ip"))
+        assert outcome.reachable
+        assert [rule.tag for rule in outcome.rules] == ["enter", "swap", "leave"]
+        assert outcome.stats.method == "moped"
+
+    def test_solve_without_reductions(self):
+        outcome = solve_with_moped(
+            tunnel_system(), ("in", "ip"), ("out", "ip"), use_reductions=False
+        )
+        assert outcome.reachable
+        assert outcome.stats.rules_after == outcome.stats.rules_before
+
+
+class TestEngineIntegration:
+    def test_weighted_moped_rejected(self):
+        from repro.datasets.example import build_example_network
+        from repro.errors import VerificationError
+        from repro.verification.engine import VerificationEngine
+
+        network = build_example_network()
+        with pytest.raises(VerificationError):
+            VerificationEngine(network, backend="moped", weight="failures")

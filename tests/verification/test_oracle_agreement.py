@@ -1,0 +1,77 @@
+"""Cross-validation of the PDA engines against the explicit oracle.
+
+The explicit engine enumerates failure sets, headers and traces within
+bounds; on the small running example its answers are exact ground
+truth, so every engine must agree with it — including on minimum
+witness weights.
+"""
+
+import pytest
+
+from repro.datasets.example import EXAMPLE_QUERIES, build_example_network
+from repro.query.weights import parse_weight_vector
+from repro.verification.engine import dual_engine, moped_engine, weighted_engine
+from repro.verification.explicit import ExplicitEngine
+from repro.verification.results import Status
+
+
+@pytest.fixture(scope="module")
+def network():
+    return build_example_network()
+
+
+@pytest.fixture(scope="module")
+def oracle(network):
+    return ExplicitEngine(network, max_trace_length=6, max_header_depth=3)
+
+
+QUERIES = [text for _name, text in EXAMPLE_QUERIES] + [
+    # Additional corner-probing queries on the example network.
+    "<ip> [.#v0] . <smpls ip> 0",  # single forwarding step into the LSP
+    "<ip> [vIn#v0] <ip> 0",  # one-link trace
+    "<s40 ip> [.#v0] <s40 ip> 0",  # one-link trace keeping the label
+    "<ip> [.#v0] [v0#v1] [v1#v3] [v3#.] <ip> 0",  # fully specified path
+    "<ip> [.#v0] [v0#v1] [v1#v3] [v3#.] <smpls ip> 0",  # wrong final header
+    "<30 smpls ip> .* <ip> 0",  # starts mid-tunnel
+    "<ip> [.#v0] .* [v3#.] <ip> 1",  # failures allowed but not needed
+    "<ip> [.#v0] [^v0#v1]* [v3#.] <ip> 1",  # complement path, k=1
+    "<mpls smpls ip> . . <smpls? ip> 1",  # pop chain from depth 2
+]
+
+
+class TestVerdictAgreement:
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_dual_matches_oracle(self, network, oracle, query):
+        expected = oracle.verify(query)
+        result = dual_engine(network).verify(query)
+        assert result.conclusive
+        assert result.satisfied == expected.satisfied, query
+
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_moped_matches_oracle(self, network, oracle, query):
+        expected = oracle.verify(query)
+        result = moped_engine(network).verify(query)
+        assert result.conclusive
+        assert result.satisfied == expected.satisfied, query
+
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_witness_is_an_oracle_witness(self, network, oracle, query):
+        result = dual_engine(network).verify(query)
+        if result.status is Status.SATISFIED:
+            expected = oracle.verify(query)
+            assert result.trace in expected.witnesses, query
+
+
+class TestMinimumWitnessAgreement:
+    VECTORS = ["links", "hops", "failures", "tunnels", "hops, failures + 3*tunnels"]
+
+    @pytest.mark.parametrize("vector_text", VECTORS)
+    @pytest.mark.parametrize("query", [text for _n, text in EXAMPLE_QUERIES])
+    def test_minimum_weight_matches_oracle(self, network, oracle, query, vector_text):
+        vector = parse_weight_vector(vector_text)
+        expected = oracle.verify(query, weight_vector=vector)
+        engine = weighted_engine(network, weight=vector)
+        result = engine.verify(query)
+        assert result.satisfied == expected.satisfied
+        if expected.satisfied and result.minimal_guaranteed:
+            assert result.weight == expected.best_weight, (query, vector_text)

@@ -1,0 +1,92 @@
+"""Unit tests for result types and the error-hierarchy contract."""
+
+import pytest
+
+from repro import errors
+from repro.datasets.example import build_example_network
+from repro.verification.engine import dual_engine, weighted_engine
+from repro.verification.results import Status
+
+
+@pytest.fixture(scope="module")
+def network():
+    return build_example_network()
+
+
+class TestResultSurface:
+    def test_summary_satisfied(self, network):
+        result = dual_engine(network).verify("<ip> [.#v0] .* [v3#.] <ip> 0")
+        summary = result.summary()
+        assert "SATISFIED" in summary
+        assert "trace-length=4" in summary
+        assert "time=" in summary
+
+    def test_summary_with_failures(self, network):
+        result = dual_engine(network).verify(
+            "<ip> [.#v0] [v0#v2] [v2#v4] .* <ip> 1"
+        )
+        assert result.satisfied
+        assert "failed-links={e4}" in result.summary()
+
+    def test_summary_weighted(self, network):
+        engine = weighted_engine(network, weight="hops")
+        result = engine.verify("<ip> [.#v0] .* [v3#.] <ip> 0")
+        assert "weight=(4,)" in result.summary()
+
+    def test_conclusive_flags(self, network):
+        sat = dual_engine(network).verify("<ip> [.#v0] .* [v3#.] <ip> 0")
+        unsat = dual_engine(network).verify(
+            "<s40 ip> [.#v0] .* [v3#.] <mpls+ smpls ip> 1"
+        )
+        assert sat.conclusive and sat.satisfied
+        assert unsat.conclusive and not unsat.satisfied
+
+    def test_status_values(self):
+        assert {status.value for status in Status} == {
+            "satisfied",
+            "unsatisfied",
+            "inconclusive",
+        }
+
+
+class TestErrorHierarchy:
+    """Callers catch ReproError to handle any library failure; the
+    subclass relationships below are part of the public contract."""
+
+    @pytest.mark.parametrize(
+        "subclass",
+        [
+            errors.ModelError,
+            errors.HeaderError,
+            errors.TopologyError,
+            errors.RoutingError,
+            errors.QueryError,
+            errors.QuerySyntaxError,
+            errors.QuerySemanticsError,
+            errors.WeightError,
+            errors.PdaError,
+            errors.VerificationError,
+            errors.VerificationTimeout,
+            errors.FormatError,
+        ],
+    )
+    def test_everything_is_a_repro_error(self, subclass):
+        assert issubclass(subclass, errors.ReproError)
+
+    def test_specific_parents(self):
+        assert issubclass(errors.HeaderError, errors.ModelError)
+        assert issubclass(errors.QuerySyntaxError, errors.QueryError)
+        assert issubclass(errors.QuerySemanticsError, errors.QueryError)
+        assert issubclass(errors.WeightError, errors.QueryError)
+        assert issubclass(errors.VerificationTimeout, errors.VerificationError)
+
+    def test_syntax_error_position(self):
+        error = errors.QuerySyntaxError("boom", position=7)
+        assert error.position == 7
+        assert errors.QuerySyntaxError("boom").position == -1
+
+    def test_single_catch_covers_the_pipeline(self, network):
+        with pytest.raises(errors.ReproError):
+            dual_engine(network).verify("<ip .*")  # syntax error
+        with pytest.raises(errors.ReproError):
+            dual_engine(network).verify("<nope> . <ip> 0")  # unknown label

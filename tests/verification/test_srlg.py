@@ -1,0 +1,132 @@
+"""Tests for the shared-risk link group (SRLG) extension."""
+
+import pytest
+
+from repro.datasets.example import build_example_network, example_traces
+from repro.errors import ModelError
+from repro.model.srlg import SharedRiskGroups, minimal_failure_groups
+from repro.verification.results import Status
+from repro.verification.srlg import SrlgEngine
+
+
+@pytest.fixture(scope="module")
+def network():
+    return build_example_network()
+
+
+@pytest.fixture(scope="module")
+def traces(network):
+    return example_traces(network)
+
+
+class TestSharedRiskGroups:
+    def test_links_and_groups(self, network):
+        srlg = SharedRiskGroups(network, {"trunk": ["e1", "e4"]})
+        e1 = network.topology.link("e1")
+        e2 = network.topology.link("e2")
+        assert srlg.groups_of(e1) == frozenset({"trunk"})
+        assert srlg.groups_of(e2) == frozenset({"link:e2"})
+        assert {l.name for l in srlg.links_of("trunk")} == {"e1", "e4"}
+        assert {l.name for l in srlg.links_of("link:e2")} == {"e2"}
+        assert srlg.max_group_size() == 2
+        assert len(srlg) == 1
+
+    def test_union_of_events(self, network):
+        srlg = SharedRiskGroups(network, {"trunk": ["e1", "e4"]})
+        failed = srlg.links_of_groups(["trunk", "link:e2"])
+        assert {l.name for l in failed} == {"e1", "e4", "e2"}
+
+    def test_validation(self, network):
+        with pytest.raises(ModelError):
+            SharedRiskGroups(network, {"empty": []})
+        with pytest.raises(ModelError):
+            SharedRiskGroups(network, {"link:x": ["e1"]})
+        with pytest.raises(ModelError):
+            SharedRiskGroups(network, {"g": ["nope"]})
+        srlg = SharedRiskGroups(network, {})
+        with pytest.raises(ModelError):
+            srlg.links_of("ghost")
+
+
+class TestMinimalFailureGroups:
+    def test_no_failures_needed(self, network, traces):
+        srlg = SharedRiskGroups(network, {})
+        assert minimal_failure_groups(network, traces["sigma0"], srlg, 0) == frozenset()
+
+    def test_singleton_event(self, network, traces):
+        """σ2 needs e4 failed; without explicit groups that is one
+        singleton event."""
+        srlg = SharedRiskGroups(network, {})
+        events = minimal_failure_groups(network, traces["sigma2"], srlg, 1)
+        assert events == frozenset({"link:e4"})
+
+    def test_group_covers_requirement(self, network, traces):
+        """e4 shares risk with e3 (a conduit the trace never uses):
+        failing that group enables σ2."""
+        srlg = SharedRiskGroups(network, {"conduit": ["e3", "e4"]})
+        events = minimal_failure_groups(network, traces["sigma2"], srlg, 1)
+        assert events == frozenset({"conduit"})
+
+    def test_group_conflicts_with_used_link(self, network, traces):
+        """e4 shares risk with e1 — but σ2 traverses e1, so the required
+        failure event would kill the trace itself: infeasible."""
+        srlg = SharedRiskGroups(network, {"trunk": ["e1", "e4"]})
+        assert minimal_failure_groups(network, traces["sigma2"], srlg, 2) is None
+
+    def test_budget_respected(self, network, traces):
+        srlg = SharedRiskGroups(network, {})
+        assert minimal_failure_groups(network, traces["sigma2"], srlg, 0) is None
+
+
+class TestSrlgEngine:
+    #: Forces the failover route of Figure 1 (v0 → v2 → v4 → v3).
+    FAILOVER_QUERY = "<ip> [.#v0] [v0#v2] [v2#v4] .* <ip> 0"
+
+    def test_satisfied_with_compatible_group(self, network):
+        srlg = SharedRiskGroups(network, {"conduit": ["e3", "e4"]})
+        engine = SrlgEngine(network, srlg)
+        result = engine.verify(self.FAILOVER_QUERY, max_group_failures=1)
+        assert result.status is Status.SATISFIED
+        assert result.failed_groups == frozenset({"conduit"})
+        assert [l.name for l in result.trace.links][:3] == ["e0", "e1", "e5"]
+
+    def test_zero_events_conclusively_unsat(self, network):
+        srlg = SharedRiskGroups(network, {})
+        engine = SrlgEngine(network, srlg)
+        result = engine.verify(self.FAILOVER_QUERY, max_group_failures=0)
+        assert result.status is Status.UNSATISFIED
+
+    def test_conflicting_group_is_inconclusive(self, network):
+        """With e1 and e4 sharing fate, no event set enables the failover
+        route; the over-approximation cannot prove that, and bounded
+        search cannot prove UNSAT — the honest answer is INCONCLUSIVE."""
+        srlg = SharedRiskGroups(network, {"trunk": ["e1", "e4"]})
+        engine = SrlgEngine(network, srlg)
+        result = engine.verify(self.FAILOVER_QUERY, max_group_failures=1)
+        assert result.status is Status.INCONCLUSIVE
+
+    def test_exact_fallback_finds_group_witness(self, network):
+        """A query satisfiable only under the group failure, where the
+        over-approximation's minimal witness is the no-failure path: the
+        event-enumeration fallback must still find it."""
+        srlg = SharedRiskGroups(network, {"conduit": ["e3", "e4"]})
+        engine = SrlgEngine(network, srlg)
+        # Route via v4 with 2+ tunnels — only the failover trace matches.
+        result = engine.verify(
+            "<ip> [.#v0] .* [v4#v3] [v3#.] <ip> 0", max_group_failures=1
+        )
+        assert result.status is Status.SATISFIED
+        assert result.failed_groups is not None
+
+    def test_fallback_can_be_disabled(self, network):
+        srlg = SharedRiskGroups(network, {"trunk": ["e1", "e4"]})
+        engine = SrlgEngine(network, srlg, exact_fallback=False)
+        result = engine.verify(self.FAILOVER_QUERY, max_group_failures=1)
+        assert result.status is Status.INCONCLUSIVE
+
+    def test_no_failure_query_still_works(self, network, traces):
+        srlg = SharedRiskGroups(network, {"trunk": ["e1", "e4"]})
+        engine = SrlgEngine(network, srlg)
+        result = engine.verify("<ip> [.#v0] .* [v3#.] <ip> 0", max_group_failures=0)
+        assert result.status is Status.SATISFIED
+        assert result.failed_groups == frozenset()

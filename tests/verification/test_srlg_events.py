@@ -1,0 +1,100 @@
+"""Tests for deterministic event what-if: degraded networks and
+``SrlgEngine.verify_under_event``."""
+
+import pytest
+
+from repro.datasets.example import build_example_network
+from repro.model.srlg import SharedRiskGroups, degrade_network
+from repro.verification.engine import dual_engine
+from repro.verification.results import Status
+from repro.verification.srlg import SrlgEngine
+
+
+@pytest.fixture(scope="module")
+def network():
+    return build_example_network()
+
+
+class TestDegradeNetwork:
+    def test_failed_links_removed(self, network):
+        e4 = network.topology.link("e4")
+        degraded = degrade_network(network, {e4})
+        assert not degraded.topology.has_link("e4")
+        assert degraded.topology.has_link("e1")
+
+    def test_failover_rule_becomes_primary(self, network):
+        e4 = network.topology.link("e4")
+        degraded = degrade_network(network, {e4})
+        e1 = degraded.topology.link("e1")
+        s20 = degraded.labels.require("s20")
+        groups = degraded.routing.lookup(e1, s20)
+        # Only the (formerly priority-2) bypass entry survives, as prio 1.
+        assert len(groups) == 1
+        entries = groups.active_entries(frozenset())
+        assert [entry.out_link.name for entry in entries] == ["e5"]
+
+    def test_unaffected_rules_keep_all_entries(self, network):
+        e4 = network.topology.link("e4")
+        degraded = degrade_network(network, {e4})
+        e0 = degraded.topology.link("e0")
+        ip1 = degraded.labels.require("ip1")
+        entries = degraded.routing.lookup(e0, ip1).active_entries(frozenset())
+        assert {entry.out_link.name for entry in entries} == {"e1", "e2"}
+
+    def test_verification_on_degraded_matches_failover_semantics(self, network):
+        """k=0 on the degraded network ≙ k=1 with e4 pinned failed."""
+        e4 = network.topology.link("e4")
+        degraded = degrade_network(network, {e4})
+        result = dual_engine(degraded).verify(
+            "<ip> [.#v0] [v0#v2] .* [v3#.] <ip> 0"
+        )
+        assert result.status is Status.SATISFIED
+        assert [l.name for l in result.trace.links] == ["e0", "e1", "e5", "e6", "e7"]
+
+    def test_labels_still_resolve(self, network):
+        e4 = network.topology.link("e4")
+        degraded = degrade_network(network, {e4})
+        # s21 only occurs via the removed rule's operations, but the
+        # label table carries the full universe so queries still parse.
+        assert degraded.labels.get("s21") is not None
+
+    def test_name_default(self, network):
+        e4 = network.topology.link("e4")
+        assert degrade_network(network, {e4}).name == "running-example@degraded"
+
+
+class TestVerifyUnderEvent:
+    QUERY = "<ip> [.#v0] .* [v3#.] <ip> 0"
+
+    def test_single_link_event_reroutes(self, network):
+        srlg = SharedRiskGroups(network, {})
+        engine = SrlgEngine(network, srlg)
+        result = engine.verify_under_event(self.QUERY, "link:e4")
+        assert result.status is Status.SATISFIED
+        assert result.failed_groups == frozenset({"link:e4"})
+        # The witness must avoid the failed link.
+        assert "e4" not in {l.name for l in result.trace.links}
+
+    def test_event_killing_one_path_leaves_other(self, network):
+        srlg = SharedRiskGroups(network, {"south": ["e2", "e3"]})
+        engine = SrlgEngine(network, srlg)
+        result = engine.verify_under_event(self.QUERY, "south")
+        assert result.status is Status.SATISFIED
+        assert {l.name for l in result.trace.links}.isdisjoint({"e2", "e3"})
+
+    def test_event_killing_both_paths_is_unsat(self, network):
+        srlg = SharedRiskGroups(network, {"chokepoint": ["e1", "e2"]})
+        engine = SrlgEngine(network, srlg)
+        result = engine.verify_under_event(self.QUERY, "chokepoint")
+        assert result.status is Status.UNSATISFIED
+        assert result.failed_groups is None
+
+    def test_k_in_query_is_pinned_to_zero(self, network):
+        """verify_under_event hypothesizes no failures beyond the event."""
+        srlg = SharedRiskGroups(network, {"chokepoint": ["e1", "e2"]})
+        engine = SrlgEngine(network, srlg)
+        # Even asking with k=2 in the text: no further failures assumed.
+        result = engine.verify_under_event(
+            "<ip> [.#v0] .* [v3#.] <ip> 2", "chokepoint"
+        )
+        assert result.status is Status.UNSATISFIED
