@@ -15,6 +15,11 @@ Typical usage::
     aalwines --topology topo.xml --routing route.xml \
         --coordinates loc.json --query "..." --engine moped
 
+    # Parallel what-if sweep: the query under every ≤2-link failure
+    # combination, fanned out over 4 farm workers.
+    aalwines --builtin example --query "<ip> [.#v0] .* [v3#.] <ip> 0" \
+        --sweep-failures 2 --jobs 4
+
     # Convert an IS-IS extract to the vendor-agnostic format
     # (Appendix A.1's --write-topology / --write-routing flow).
     aalwines --isis mapping.txt --isis-dir extracts/ \
@@ -32,6 +37,7 @@ import os
 import sys
 from typing import Dict, Optional
 
+from repro.datasets.builtins import BUILTIN_NETWORKS, load_builtin
 from repro.errors import ReproError, VerificationTimeout
 from repro.io.coords import read_coordinates
 from repro.io.isis import network_from_isis
@@ -40,8 +46,6 @@ from repro.io.xml_format import read_network, routing_to_xml, topology_to_xml
 from repro.model.network import MplsNetwork
 from repro.verification.engine import VerificationEngine
 from repro.verification.results import Status, VerificationResult
-
-_BUILTINS = ("example", "nordunet", "abilene", "nsfnet", "geant")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -56,7 +60,7 @@ def build_parser() -> argparse.ArgumentParser:
     source.add_argument("--network", help="single-file JSON network")
     source.add_argument(
         "--builtin",
-        choices=_BUILTINS,
+        choices=BUILTIN_NETWORKS,
         help="use a built-in network (running example / substitutes)",
     )
     source.add_argument(
@@ -92,6 +96,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--timeout", type=float, default=None, help="time budget in seconds"
     )
     query.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="verify on N parallel farm workers (batch and sweep modes)",
+    )
+    query.add_argument(
+        "--sweep-failures",
+        type=int,
+        default=None,
+        metavar="K",
+        help="what-if sweep: verify the query under every combination "
+        "of at most K failed links (each baked into a degraded network)",
+    )
+    query.add_argument(
+        "--sweep-limit",
+        type=int,
+        default=10_000,
+        metavar="J",
+        help="refuse failure sweeps generating more than J jobs "
+        "(default: 10000)",
+    )
+    query.add_argument(
         "--trace-json", action="store_true", help="print the witness trace as JSON"
     )
     query.add_argument("--stats", action="store_true", help="print engine statistics")
@@ -109,22 +136,6 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _load_builtin(name: str) -> MplsNetwork:
-    if name == "example":
-        from repro.datasets.example import build_example_network
-
-        return build_example_network()
-    if name == "nordunet":
-        from repro.datasets.nordunet import build_nordunet
-
-        return build_nordunet()[0]
-    from repro.datasets.synthesis import synthesize_network
-    from repro.datasets import zoo
-
-    graph = {"abilene": zoo.abilene, "nsfnet": zoo.nsfnet, "geant": zoo.geant}[name]()
-    return synthesize_network(graph)[0]
-
-
 def _load_network(args: argparse.Namespace) -> MplsNetwork:
     sources = [
         bool(args.builtin),
@@ -138,7 +149,7 @@ def _load_network(args: argparse.Namespace) -> MplsNetwork:
             "--topology/--routing, or --isis"
         )
     if args.builtin:
-        return _load_builtin(args.builtin)
+        return load_builtin(args.builtin)
     if args.network:
         return read_network_json(args.network)
     if args.isis:
@@ -159,14 +170,14 @@ def _load_network(args: argparse.Namespace) -> MplsNetwork:
     return read_network(args.topology, args.routing, coordinates=coordinates)
 
 
+def _backend_of(args: argparse.Namespace) -> str:
+    return "poststar" if args.engine == "dual" else args.engine
+
+
 def _make_engine(network: MplsNetwork, args: argparse.Namespace) -> VerificationEngine:
-    if args.engine == "dual":
-        backend = "poststar"
-    elif args.engine in ("poststar", "prestar", "moped"):
-        backend = args.engine
     return VerificationEngine(
         network,
-        backend=backend,
+        backend=_backend_of(args),
         use_reductions=not args.no_reductions,
         weight=args.weight,
     )
@@ -199,6 +210,10 @@ def _print_result(result: VerificationResult, args: argparse.Namespace) -> None:
             )
 
 
+def _print_item(item) -> None:
+    print(f"{item.name:<24} {item.outcome:<13} {item.seconds:8.3f}s  {item.query}")
+
+
 def _run_batch(network: MplsNetwork, args: argparse.Namespace) -> int:
     """Verify a whole query file; exit 0 when everything was answered."""
     from repro.verification.batch import BatchVerifier, parse_query_file
@@ -206,12 +221,59 @@ def _run_batch(network: MplsNetwork, args: argparse.Namespace) -> int:
     with open(args.queries_file, "r", encoding="utf-8") as handle:
         queries = parse_query_file(handle.read())
     engine = _make_engine(network, args)
-    verifier = BatchVerifier(engine, timeout_per_query=args.timeout)
+    verifier = BatchVerifier(engine, timeout_per_query=args.timeout, jobs=args.jobs)
 
     def progress(_index: int, _total: int, item) -> None:
-        print(f"{item.name:<16} {item.outcome:<13} {item.seconds:8.3f}s  {item.query}")
+        _print_item(item)
 
     _items, summary = verifier.run(queries, progress=progress)
+    print()
+    print(summary.format())
+    return 0 if summary.timeouts == 0 and summary.errors == 0 else 3
+
+
+def _run_sweep(network: MplsNetwork, args: argparse.Namespace) -> int:
+    """What-if failure sweep: every ≤K link-failure combination, on the
+    verification farm when --jobs asks for workers."""
+    from repro.farm.pool import EngineConfig, run_jobs
+    from repro.farm.scenarios import failure_scenarios, scenarios_to_jobs
+    from repro.verification.batch import parse_query_file, summarize
+
+    if args.queries_file:
+        with open(args.queries_file, "r", encoding="utf-8") as handle:
+            queries = parse_query_file(handle.read())
+    elif args.query:
+        queries = [("query", args.query)]
+    else:
+        raise ReproError("--sweep-failures needs --query or --queries-file")
+    if args.engine == "moped" and args.weight:
+        raise ReproError("the Moped backend does not support weighted verification")
+
+    config = EngineConfig(
+        backend=_backend_of(args),
+        use_reductions=not args.no_reductions,
+        weight=args.weight,
+    )
+    scenarios = failure_scenarios(
+        network, queries, max_failures=args.sweep_failures, limit=args.sweep_limit
+    )
+    jobs, payloads, prebuilt = scenarios_to_jobs(
+        scenarios, config, timeout=args.timeout
+    )
+    workers = max(1, args.jobs)
+    print(
+        f"sweep: {len(jobs)} scenarios "
+        f"(≤{args.sweep_failures} failed links × {len(queries)} queries) "
+        f"on {workers} worker{'s' if workers != 1 else ''}"
+    )
+    items = run_jobs(
+        jobs,
+        payloads,
+        max_workers=workers,
+        progress=lambda _i, _t, item: _print_item(item),
+        prebuilt=prebuilt,
+    )
+    summary = summarize(item for item in items if item is not None)
     print()
     print(summary.format())
     return 0 if summary.timeouts == 0 and summary.errors == 0 else 3
@@ -236,6 +298,8 @@ def main(argv: Optional[list] = None) -> int:
             with open(args.write_json, "w", encoding="utf-8") as handle:
                 handle.write(network_to_json(network))
             wrote_something = True
+        if args.sweep_failures is not None:
+            return _run_sweep(network, args)
         if args.queries_file:
             return _run_batch(network, args)
         if args.query is None:

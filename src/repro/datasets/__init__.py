@@ -1,6 +1,7 @@
 """Dataset generators: the running example, Topology-Zoo substitute,
 NORDUnet substitute, MPLS synthesis pipeline and query suites."""
 
+from repro.datasets.builtins import BUILTIN_NETWORKS, load_builtin
 from repro.datasets.example import (
     EXAMPLE_QUERIES,
     build_example_network,
@@ -31,6 +32,7 @@ from repro.datasets.zoo import (
 )
 
 __all__ = [
+    "BUILTIN_NETWORKS",
     "EXAMPLE_QUERIES",
     "EdgeSpec",
     "GeneratedQuery",
@@ -48,6 +50,7 @@ __all__ = [
     "exit_link_name",
     "geant",
     "generate_query_suite",
+    "load_builtin",
     "nordunet_graph",
     "nsfnet",
     "shortest_path",

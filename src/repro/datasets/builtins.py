@@ -1,0 +1,39 @@
+"""The built-in networks offered by the CLI and the HTTP service.
+
+One source of truth for the loadable built-ins (the GUI's
+predefined-network drop-down of §4): the running example of Figure 1,
+the NORDUnet substitute of §5, and the Topology-Zoo substitutes.
+Both :mod:`repro.cli` and :mod:`repro.server` import from here.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+from repro.model.network import MplsNetwork
+
+#: Names accepted by :func:`load_builtin`, in presentation order.
+BUILTIN_NETWORKS = ("example", "nordunet", "abilene", "nsfnet", "geant")
+
+
+def load_builtin(name: str) -> MplsNetwork:
+    """Build one of the :data:`BUILTIN_NETWORKS` by name.
+
+    Imports lazily so that ``aalwines --builtin example`` does not pay
+    for the synthesis pipeline, and raises :class:`ReproError` on an
+    unknown name (the CLI and server map that to a usage error).
+    """
+    if name == "example":
+        from repro.datasets.example import build_example_network
+
+        return build_example_network()
+    if name == "nordunet":
+        from repro.datasets.nordunet import build_nordunet
+
+        return build_nordunet()[0]
+    if name in ("abilene", "nsfnet", "geant"):
+        from repro.datasets import zoo
+        from repro.datasets.synthesis import synthesize_network
+
+        graph = getattr(zoo, name)()
+        return synthesize_network(graph)[0]
+    raise ReproError(f"unknown built-in network {name!r}")

@@ -71,3 +71,7 @@ class FormatError(ReproError):
 
 class VerificationTimeout(VerificationError):
     """A verification run exceeded its time budget."""
+
+
+class FarmError(ReproError):
+    """The verification farm was misconfigured or a sweep is malformed."""

@@ -1,0 +1,50 @@
+"""The verification farm: parallel what-if sweeps over one snapshot.
+
+The paper's workload is thousands of *independent* queries against one
+dataplane (§4.2); this package exploits that structure:
+
+* :mod:`repro.farm.scenarios` — turn one network into a sweep of
+  independent what-if jobs (failure combinations, per-link audits,
+  query suites);
+* :mod:`repro.farm.pool` — execute jobs on a process pool with
+  per-worker engine reuse and crash containment;
+* :mod:`repro.farm.cache` — the content-hash artifact cache that keeps
+  N workers from redoing identical network builds and compilations;
+* :mod:`repro.farm.jobs` — asynchronous runs with live progress and
+  cancellation (the server's job API).
+
+Entry points most callers want: ``BatchVerifier(engine, jobs=N)`` for
+plain suites, or ``scenarios → scenarios_to_jobs → run_jobs`` /
+``JobManager.submit`` for sweeps.
+"""
+
+from repro.farm.cache import ArtifactCache, CacheStats, hash_text, worker_cache
+from repro.farm.jobs import FarmRun, JobManager
+from repro.farm.pool import EngineConfig, FarmJob, execute_job, run_jobs
+from repro.farm.scenarios import (
+    Scenario,
+    failure_scenarios,
+    link_audit_scenarios,
+    scenarios_to_jobs,
+    suite_scenarios,
+    sweep_size,
+)
+
+__all__ = [
+    "ArtifactCache",
+    "CacheStats",
+    "EngineConfig",
+    "FarmJob",
+    "FarmRun",
+    "JobManager",
+    "Scenario",
+    "execute_job",
+    "failure_scenarios",
+    "hash_text",
+    "link_audit_scenarios",
+    "run_jobs",
+    "scenarios_to_jobs",
+    "suite_scenarios",
+    "sweep_size",
+    "worker_cache",
+]

@@ -1,0 +1,219 @@
+"""Asynchronous job management for the verification farm.
+
+Sweeps take minutes; HTTP requests should not. The
+:class:`JobManager` runs each submitted sweep on a background thread
+(which in turn fans out over the worker pool), tracks live progress,
+and supports cancellation — the mechanics behind the server's
+``POST /jobs`` / ``GET /jobs/<id>`` / ``DELETE /jobs/<id>`` endpoints,
+and equally usable as a library (``manager.submit(...)`` →
+``run.wait()``).
+
+A :class:`FarmRun` is the unit of tracking: it accumulates
+:class:`~repro.verification.batch.BatchItem`s and a running
+:class:`~repro.verification.batch.BatchSummary` as jobs complete, so a
+poll mid-run sees partial §4.2-style statistics, not just a counter.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.errors import FarmError
+from repro.model.network import MplsNetwork
+from repro.verification.batch import BatchItem, BatchSummary
+from repro.farm.pool import FarmJob, run_jobs
+
+#: Lifecycle: pending → running → done | failed | cancelled.
+PENDING = "pending"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+_FINISHED = (DONE, FAILED, CANCELLED)
+
+
+class FarmRun:
+    """One tracked sweep: live progress, partial summary, cancellation."""
+
+    def __init__(self, run_id: str, jobs: List[FarmJob], description: str = "") -> None:
+        self.id = run_id
+        self.description = description
+        self.jobs = jobs
+        self.total = len(jobs)
+        self.state = PENDING
+        self.error: Optional[str] = None
+        self.created = time.time()
+        self.finished_at: Optional[float] = None
+        self.items: List[Optional[BatchItem]] = [None] * self.total
+        self.summary = BatchSummary()
+        self.completed = 0
+        self._lock = threading.Lock()
+        self._cancel = threading.Event()
+        self._done = threading.Event()
+
+    # -- producer side (manager thread) --------------------------------
+    def _record(self, index: int, item: BatchItem) -> None:
+        with self._lock:
+            self.items[index] = item
+            self.summary.add(item)
+            self.completed += 1
+
+    def _finish(self, state: str, error: Optional[str] = None) -> None:
+        with self._lock:
+            self.state = state
+            self.error = error
+            self.finished_at = time.time()
+        self._done.set()
+
+    # -- consumer side --------------------------------------------------
+    @property
+    def finished(self) -> bool:
+        return self.state in _FINISHED
+
+    def cancel(self) -> None:
+        """Request cancellation; running jobs finish, queued ones don't."""
+        self._cancel.set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the run finishes; True when it did."""
+        return self._done.wait(timeout)
+
+    def snapshot(self, include_items: bool = True) -> Dict[str, Any]:
+        """JSON-ready view of the run's current state."""
+        with self._lock:
+            document: Dict[str, Any] = {
+                "id": self.id,
+                "description": self.description,
+                "state": self.state,
+                "total": self.total,
+                "completed": self.completed,
+                "summary": {
+                    "total": self.summary.total,
+                    "satisfied": self.summary.satisfied,
+                    "unsatisfied": self.summary.unsatisfied,
+                    "inconclusive": self.summary.inconclusive,
+                    "timeouts": self.summary.timeouts,
+                    "errors": self.summary.errors,
+                    "total_seconds": round(self.summary.total_seconds, 6),
+                    "worst_query": self.summary.worst_query,
+                },
+            }
+            if self.error is not None:
+                document["error"] = self.error
+            if include_items:
+                document["items"] = [
+                    {
+                        "name": item.name,
+                        "outcome": item.outcome,
+                        "seconds": round(item.seconds, 6),
+                        **({"error": item.error} if item.error else {}),
+                    }
+                    for item in self.items
+                    if item is not None
+                ]
+        return document
+
+
+class JobManager:
+    """Registry and executor of asynchronous farm runs."""
+
+    def __init__(self, max_kept: int = 100) -> None:
+        self.max_kept = max_kept
+        self._runs: "Dict[str, FarmRun]" = {}
+        self._threads: Dict[str, threading.Thread] = {}
+        self._lock = threading.Lock()
+        self._counter = itertools.count(1)
+
+    def submit(
+        self,
+        jobs: List[FarmJob],
+        networks: Dict[str, str],
+        max_workers: int = 1,
+        prebuilt: Optional[Dict[str, MplsNetwork]] = None,
+        description: str = "",
+    ) -> FarmRun:
+        """Register a sweep and start executing it in the background."""
+        if not jobs:
+            raise FarmError("cannot submit an empty job list")
+        run_id = f"job-{next(self._counter):04d}"
+        run = FarmRun(run_id, jobs, description=description)
+        thread = threading.Thread(
+            target=self._execute,
+            args=(run, networks, max_workers, prebuilt),
+            name=f"farm-{run_id}",
+            daemon=True,
+        )
+        with self._lock:
+            self._runs[run_id] = run
+            self._threads[run_id] = thread
+            self._evict_finished()
+        run.state = RUNNING
+        thread.start()
+        return run
+
+    def _execute(
+        self,
+        run: FarmRun,
+        networks: Dict[str, str],
+        max_workers: int,
+        prebuilt: Optional[Dict[str, MplsNetwork]],
+    ) -> None:
+        try:
+            run_jobs(
+                run.jobs,
+                networks,
+                max_workers=max_workers,
+                progress=lambda index, _total, item: run._record(index, item),
+                cancelled=run._cancel.is_set,
+                prebuilt=prebuilt,
+            )
+        except Exception as error:  # defensive: run_jobs shouldn't raise
+            run._finish(FAILED, error=str(error))
+            return
+        run._finish(CANCELLED if run._cancel.is_set() else DONE)
+
+    def _evict_finished(self) -> None:
+        # Called under self._lock: drop the oldest finished runs beyond
+        # the retention bound so a long-lived server doesn't accumulate
+        # every sweep it ever ran.
+        if len(self._runs) <= self.max_kept:
+            return
+        for run_id in list(self._runs):
+            run = self._runs[run_id]
+            if run.finished:
+                del self._runs[run_id]
+                self._threads.pop(run_id, None)
+                if len(self._runs) <= self.max_kept:
+                    break
+
+    # -- queries ---------------------------------------------------------
+    def get(self, run_id: str) -> Optional[FarmRun]:
+        """The run registered under ``run_id``, or None."""
+        with self._lock:
+            return self._runs.get(run_id)
+
+    def list(self) -> List[FarmRun]:
+        """Every retained run, oldest first."""
+        with self._lock:
+            return list(self._runs.values())
+
+    def cancel(self, run_id: str) -> Optional[FarmRun]:
+        """Cancel a run; returns it, or None when unknown."""
+        run = self.get(run_id)
+        if run is not None:
+            run.cancel()
+        return run
+
+    def shutdown(self, timeout: float = 5.0) -> None:
+        """Cancel everything and wait briefly for the threads to drain."""
+        for run in self.list():
+            run.cancel()
+        with self._lock:
+            threads = list(self._threads.values())
+        deadline = time.time() + timeout
+        for thread in threads:
+            thread.join(max(0.0, deadline - time.time()))

@@ -1,0 +1,272 @@
+"""The farm's worker pool: fan one sweep out over N processes.
+
+What-if sweeps are embarrassingly parallel — every job is one (network
+variant, query) pair verified independently — so the pool is a thin,
+careful layer over :class:`concurrent.futures.ProcessPoolExecutor`:
+
+* **Picklable job specs.** A :class:`FarmJob` carries only strings: a
+  query, a content-hash key naming its network, and an
+  :class:`EngineConfig`. The network JSON payloads travel once per
+  worker (through the pool initializer), not once per job.
+* **Per-worker artifact reuse.** Workers resolve the key through the
+  process-local :func:`~repro.farm.cache.worker_cache`, so a worker
+  builds each distinct network variant and engine exactly once no
+  matter how many of the sweep's jobs land on it. Under the ``fork``
+  start method, variants already built by the parent are inherited
+  outright and workers skip even the first build.
+* **Crash and timeout containment.** A job that times out or raises a
+  :class:`~repro.errors.ReproError` becomes a ``timeout``/``error``
+  :class:`~repro.verification.batch.BatchItem`; a worker process that
+  dies outright (OOM-kill, segfault) surfaces as ``error`` items for
+  the affected jobs — :func:`run_jobs` never raises for per-job
+  failures and always returns results aligned with its input order.
+
+The ``max_workers <= 1`` path executes the *same* worker function
+in-process, which is both the no-multiprocessing fallback and the
+anchor for the farm's serial-equivalence guarantee (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import FarmError
+from repro.farm.cache import worker_cache
+from repro.model.network import MplsNetwork
+from repro.verification.batch import BatchItem, run_single
+from repro.verification.engine import VerificationEngine
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Picklable engine settings — everything a worker needs to rebuild
+    a :class:`VerificationEngine` identical to the caller's."""
+
+    backend: str = "poststar"
+    use_reductions: bool = True
+    early_termination: bool = True
+    #: Weight vector in CLI text form (``"hops, failures + 3*tunnels"``).
+    weight: Optional[str] = None
+
+    @classmethod
+    def from_engine(cls, engine: VerificationEngine) -> "EngineConfig":
+        """Capture an engine's settings; raises :class:`FarmError` when
+        the engine carries state that cannot cross a process boundary."""
+        if engine.distance_of is not None:
+            raise FarmError(
+                "engines with a custom distance_of callable cannot be "
+                "shipped to farm workers; run with jobs=1"
+            )
+        weight = None
+        if engine.weight_vector is not None:
+            weight = ", ".join(str(e) for e in engine.weight_vector.expressions)
+        return cls(
+            backend=engine.backend,
+            use_reductions=engine.use_reductions,
+            early_termination=engine.early_termination,
+            weight=weight,
+        )
+
+    def build(self, network: MplsNetwork) -> VerificationEngine:
+        """Instantiate the configured engine for ``network``."""
+        return VerificationEngine(
+            network,
+            backend=self.backend,
+            use_reductions=self.use_reductions,
+            early_termination=self.early_termination,
+            weight=self.weight,
+        )
+
+
+@dataclass(frozen=True)
+class FarmJob:
+    """One unit of farm work: verify ``query`` on the network stored
+    under ``network_key`` with an engine built from ``config``."""
+
+    name: str
+    query: str
+    network_key: str
+    config: EngineConfig = EngineConfig()
+    timeout: Optional[float] = None
+
+
+# ----------------------------------------------------------------------
+# worker-side machinery
+# ----------------------------------------------------------------------
+
+#: Serialized networks this worker may build, keyed by content hash.
+#: Populated by the pool initializer (worker processes) or directly by
+#: the in-process path.
+_NETWORK_PAYLOADS: Dict[str, str] = {}
+
+#: Pre-built networks inherited from the parent under the ``fork``
+#: start method; lets workers skip deserialization entirely.
+_PREBUILT: Dict[str, MplsNetwork] = {}
+
+
+def _init_worker(payloads: Dict[str, str]) -> None:
+    """Pool initializer: receive the sweep's network payloads once."""
+    _NETWORK_PAYLOADS.update(payloads)
+
+
+def _network_for(key: str) -> MplsNetwork:
+    def build() -> MplsNetwork:
+        prebuilt = _PREBUILT.get(key)
+        if prebuilt is not None:
+            return prebuilt
+        payload = _NETWORK_PAYLOADS.get(key)
+        if payload is None:
+            raise FarmError(f"no network registered under key {key[:12]}…")
+        from repro.io.json_format import network_from_json
+
+        return network_from_json(payload)
+
+    return worker_cache().network(key, build)
+
+
+def execute_job(job: FarmJob) -> BatchItem:
+    """Run one job in this process, reusing cached artifacts.
+
+    This is the single verification code path of the farm: the process
+    pool calls it in workers, and the ``max_workers <= 1`` fallback
+    calls it inline.
+    """
+    network = _network_for(job.network_key)
+    engine = worker_cache().engine(
+        job.network_key, job.config, lambda: job.config.build(network)
+    )
+    return run_single(engine, job.name, job.query, job.timeout)
+
+
+def execute_chunk(chunk: List[FarmJob]) -> List[BatchItem]:
+    """Run a batch of jobs in this process, containing per-job errors.
+
+    The pool dispatches chunks grouped by network variant so that all
+    of a variant's queries reuse one worker's cached network and engine
+    instead of re-deriving them on whichever workers the scheduler
+    happens to pick.
+    """
+    return [_safe_execute(job) for job in chunk]
+
+
+# ----------------------------------------------------------------------
+# driver side
+# ----------------------------------------------------------------------
+
+#: Per-item progress callback (index, total, item) — called in
+#: *completion* order, which under parallelism differs from index order.
+ProgressCallback = Callable[[int, int, BatchItem], None]
+
+
+def run_jobs(
+    jobs: List[FarmJob],
+    networks: Dict[str, str],
+    max_workers: int = 1,
+    progress: Optional[ProgressCallback] = None,
+    cancelled: Optional[Callable[[], bool]] = None,
+    prebuilt: Optional[Dict[str, MplsNetwork]] = None,
+) -> List[Optional[BatchItem]]:
+    """Execute every job; returns items aligned with ``jobs``.
+
+    ``networks`` maps content-hash keys to network JSON; ``prebuilt``
+    optionally maps the same keys to already-built networks (shared
+    with forked workers for free, used directly in-process). A slot is
+    ``None`` only when ``cancelled()`` turned true before its job ran;
+    every executed job yields a :class:`BatchItem`, with worker crashes
+    recorded as ``error`` outcomes rather than raised.
+    """
+    total = len(jobs)
+    results: List[Optional[BatchItem]] = [None] * total
+    if total == 0:
+        return results
+
+    if max_workers <= 1:
+        _NETWORK_PAYLOADS.update(networks)
+        if prebuilt:
+            _PREBUILT.update(prebuilt)
+        try:
+            for index, job in enumerate(jobs):
+                if cancelled is not None and cancelled():
+                    break
+                item = _safe_execute(job)
+                results[index] = item
+                if progress is not None:
+                    progress(index, total, item)
+        finally:
+            for key in prebuilt or ():
+                _PREBUILT.pop(key, None)
+        return results
+
+    # Parent-side prebuilt networks become visible to fork()ed workers
+    # through module globals; under spawn the initializer payload is
+    # the (slower) fallback.
+    if prebuilt:
+        _PREBUILT.update(prebuilt)
+    try:
+        # Chunk by network variant: keeping all of a variant's queries
+        # on one worker means its network and engine are derived once
+        # there rather than once per scheduling slot.  Variant groups
+        # are then packed into ~4 chunks per worker — enough slack for
+        # load balancing without paying a dispatch round-trip per job.
+        variant_indices: Dict[str, List[int]] = {}
+        for index, job in enumerate(jobs):
+            variant_indices.setdefault(job.network_key, []).append(index)
+        groups = list(variant_indices.values())
+        chunk_count = min(len(groups), 4 * max_workers)
+        chunks = [
+            [index for group in groups[start::chunk_count] for index in group]
+            for start in range(chunk_count)
+        ]
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=max_workers,
+            initializer=_init_worker,
+            initargs=(networks,),
+        ) as pool:
+            futures = {
+                pool.submit(execute_chunk, [jobs[i] for i in indices]): indices
+                for indices in chunks
+            }
+            for future in concurrent.futures.as_completed(futures):
+                indices = futures[future]
+                try:
+                    items = future.result()
+                except concurrent.futures.CancelledError:
+                    continue
+                except Exception as error:  # worker crash / pickling failure
+                    items = [
+                        BatchItem(
+                            name=jobs[i].name,
+                            query=jobs[i].query,
+                            outcome="error",
+                            seconds=0.0,
+                            error=f"farm worker failed: {error}",
+                        )
+                        for i in indices
+                    ]
+                for index, item in zip(indices, items):
+                    results[index] = item
+                    if progress is not None:
+                        progress(index, total, item)
+                if cancelled is not None and cancelled():
+                    for pending in futures:
+                        pending.cancel()
+    finally:
+        for key in prebuilt or ():
+            _PREBUILT.pop(key, None)
+    return results
+
+
+def _safe_execute(job: FarmJob) -> BatchItem:
+    """In-process execution with the pool's never-raise contract."""
+    try:
+        return execute_job(job)
+    except Exception as error:
+        return BatchItem(
+            name=job.name,
+            query=job.query,
+            outcome="error",
+            seconds=0.0,
+            error=f"farm worker failed: {error}",
+        )

@@ -1,0 +1,227 @@
+"""What-if scenario generation: one network → a sweep of farm jobs.
+
+The paper's operators ask families of questions, not single queries:
+"does the policy still hold if any one link fails?", "under every pair
+of failures?", "for each of these 6,000 queries?". This module turns
+those families into explicit, independent :class:`Scenario`s —
+
+* :func:`failure_scenarios` — every ≤ k link-failure combination: each
+  combination is baked into a degraded network (the 𝓐 operator of
+  §2.4 partially evaluated, via
+  :func:`repro.model.srlg.degrade_network`) and the query's failure
+  bound is pinned to 0, answering the *deterministic* what-if question
+  "given exactly these links are down, does a matching trace exist?";
+* :func:`link_audit_scenarios` — the ``k = 1`` survivability audit:
+  one scenario per link, the sweep NetKAT-style tools run per
+  maintenance window;
+* :func:`suite_scenarios` — a query-file suite against the intact
+  network (the §4.2 operator workload).
+
+Scenarios sharing a failure combination share one degraded network
+object, so :func:`scenarios_to_jobs` serializes each distinct variant
+once and the farm's artifact cache deduplicates the build work.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from math import comb
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import FarmError
+from repro.model.network import MplsNetwork
+from repro.model.srlg import degrade_network
+from repro.query.ast import Query
+from repro.query.parser import parse_query
+
+#: Queries enter as one text, a list of texts, or (name, text) pairs.
+QueriesArg = Union[str, Iterable[Union[str, Tuple[str, str]]]]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One independent what-if instance: a query on a network variant."""
+
+    name: str
+    network: MplsNetwork
+    query: str
+    #: Links assumed failed in this variant (empty for the baseline).
+    failed_links: Tuple[str, ...] = ()
+
+    def __repr__(self) -> str:
+        failed = ",".join(self.failed_links) or "-"
+        return f"Scenario({self.name!r}, failed={failed})"
+
+
+def _named_queries(queries: QueriesArg) -> List[Tuple[str, str]]:
+    if isinstance(queries, str):
+        return [("query", queries)]
+    named: List[Tuple[str, str]] = []
+    for entry in queries:
+        if isinstance(entry, str):
+            named.append((f"q{len(named):04d}", entry))
+        else:
+            named.append((entry[0], entry[1]))
+    if not named:
+        raise FarmError("a scenario sweep needs at least one query")
+    return named
+
+
+def _pin_failures(query_text: str, max_failures: int = 0) -> str:
+    """Rewrite the query's trailing failure bound ``k``.
+
+    Failure combinations are made explicit in the degraded network, so
+    the query itself must stop hypothesizing further failures.
+    """
+    query = parse_query(query_text)
+    pinned = Query(query.initial_header, query.path, query.final_header, max_failures)
+    return str(pinned)
+
+
+def sweep_size(
+    link_count: int, max_failures: int, query_count: int = 1,
+    include_baseline: bool = True,
+) -> int:
+    """Number of jobs a failure sweep will generate (before building it)."""
+    combos = sum(comb(link_count, size) for size in range(1, max_failures + 1))
+    if include_baseline:
+        combos += 1
+    return combos * query_count
+
+
+def failure_scenarios(
+    network: MplsNetwork,
+    queries: QueriesArg,
+    max_failures: int = 1,
+    links: Optional[Sequence[str]] = None,
+    include_baseline: bool = True,
+    limit: Optional[int] = 10_000,
+) -> List[Scenario]:
+    """All ≤ ``max_failures`` link-failure combinations × queries.
+
+    ``links`` restricts the failure candidates (default: every link);
+    ``limit`` guards against combinatorial blow-up — the sweep size is
+    computed up front and a :class:`FarmError` names the excess instead
+    of silently truncating. ``include_baseline`` adds the zero-failure
+    scenario so a sweep also certifies the intact network.
+    """
+    named = _named_queries(queries)
+    if max_failures < 0:
+        raise FarmError("max_failures must be non-negative")
+    if links is None:
+        candidates = list(network.link_names())
+    else:
+        known = set(network.link_names())
+        candidates = list(links)
+        unknown = [name for name in candidates if name not in known]
+        if unknown:
+            raise FarmError(f"unknown links in sweep: {', '.join(unknown)}")
+
+    total = sweep_size(
+        len(candidates), max_failures, len(named), include_baseline
+    )
+    if limit is not None and total > limit:
+        raise FarmError(
+            f"failure sweep would generate {total} jobs (> limit {limit}); "
+            "restrict the links, lower max_failures, or raise the limit"
+        )
+
+    pinned = [(name, _pin_failures(text)) for name, text in named]
+    by_name = {link.name: link for link in network.topology.links}
+    scenarios: List[Scenario] = []
+
+    def add_combo(combo: Tuple[str, ...]) -> None:
+        if combo:
+            failed = {by_name[name] for name in combo}
+            tag = f"fail({'+'.join(combo)})"
+            variant = degrade_network(
+                network, failed, name=f"{network.name}@{tag}"
+            )
+        else:
+            tag = "baseline"
+            variant = network
+        for query_name, query_text in pinned:
+            scenarios.append(
+                Scenario(
+                    name=f"{query_name}@{tag}",
+                    network=variant,
+                    query=query_text,
+                    failed_links=combo,
+                )
+            )
+
+    if include_baseline:
+        add_combo(())
+    for size in range(1, max_failures + 1):
+        for combo in itertools.combinations(candidates, size):
+            add_combo(combo)
+    return scenarios
+
+
+def link_audit_scenarios(
+    network: MplsNetwork,
+    queries: QueriesArg,
+    links: Optional[Sequence[str]] = None,
+    limit: Optional[int] = 10_000,
+) -> List[Scenario]:
+    """The per-link ``k = 1`` audit: one scenario per single failed link."""
+    return failure_scenarios(
+        network,
+        queries,
+        max_failures=1,
+        links=links,
+        include_baseline=False,
+        limit=limit,
+    )
+
+
+def suite_scenarios(network: MplsNetwork, queries: QueriesArg) -> List[Scenario]:
+    """A query suite against the intact network, one scenario per query."""
+    return [
+        Scenario(name=name, network=network, query=text)
+        for name, text in _named_queries(queries)
+    ]
+
+
+def scenarios_to_jobs(
+    scenarios: Sequence[Scenario],
+    config: Optional["EngineConfig"] = None,
+    timeout: Optional[float] = None,
+) -> Tuple[List["FarmJob"], Dict[str, str], Dict[str, MplsNetwork]]:
+    """Lower scenarios to the pool's job representation.
+
+    Returns ``(jobs, payloads, prebuilt)``: the picklable job specs,
+    the distinct network JSON payloads keyed by content hash, and the
+    already-built network objects under the same keys (handed to forked
+    workers for free). Scenarios sharing a network object serialize it
+    once.
+    """
+    from repro.farm.cache import hash_text
+    from repro.farm.pool import EngineConfig, FarmJob
+    from repro.io.json_format import network_to_json
+
+    if config is None:
+        config = EngineConfig()
+    payloads: Dict[str, str] = {}
+    prebuilt: Dict[str, MplsNetwork] = {}
+    key_of: Dict[int, str] = {}
+    jobs: List[FarmJob] = []
+    for scenario in scenarios:
+        key = key_of.get(id(scenario.network))
+        if key is None:
+            payload = network_to_json(scenario.network)
+            key = hash_text(payload)
+            key_of[id(scenario.network)] = key
+            payloads[key] = payload
+            prebuilt[key] = scenario.network
+        jobs.append(
+            FarmJob(
+                name=scenario.name,
+                query=scenario.query,
+                network_key=key,
+                config=config,
+                timeout=timeout,
+            )
+        )
+    return jobs, payloads, prebuilt

@@ -56,6 +56,13 @@ class Label:
     def __setattr__(self, attribute: str, value: object) -> None:
         raise AttributeError("Label is immutable")
 
+    def __reduce__(self) -> Tuple[type, Tuple["LabelKind", str]]:
+        # The immutability guard above blocks pickle's slot-restoring
+        # default path; reconstruct through the constructor instead, so
+        # labels (and everything holding them: headers, traces, results)
+        # can cross process boundaries in the verification farm.
+        return (Label, (self.kind, self.name))
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Label):
             return NotImplemented

@@ -77,7 +77,9 @@ def prestar(
         if popped is None:
             return SaturationResult(automaton, iterations, early_terminated=False)
         iterations += 1
-        if deadline is not None and iterations % 512 == 0 and time.perf_counter() > deadline:
+        # Checked at iteration 1 and then every 512: an already-expired
+        # deadline must fire even on instances that saturate in a few steps.
+        if deadline is not None and iterations % 512 <= 1 and time.perf_counter() > deadline:
             raise VerificationTimeout("saturation exceeded its wall-clock deadline")
         if max_steps is not None and iterations > max_steps:
             raise PdaError(f"pre* exceeded the step budget of {max_steps}")

@@ -16,6 +16,19 @@ backend as a small stdlib-only JSON-over-HTTP service; any front end
   (steps + headers), the failure set, the minimal weight, and a
   Graphviz DOT visualization — everything the GUI renders.
 
+The asynchronous **job API** runs whole what-if sweeps on the
+verification farm (:mod:`repro.farm`) without holding a connection
+open:
+
+* ``POST /jobs`` — body ``{"network": ..., "queries": [...] or
+  "query": "...", "sweep_failures": K?, "jobs": N?, "engine": ...?,
+  "weight": ...?, "timeout": seconds?}``; returns ``{"id": ...}``
+  immediately while the sweep runs in the background;
+* ``GET /jobs`` / ``GET /jobs/<id>`` — live progress counts, partial
+  §4.2-style summary, and per-scenario outcomes;
+* ``DELETE /jobs/<id>`` — cancel (running scenarios finish, queued
+  ones are dropped).
+
 Use :class:`VerificationServer` programmatically (it picks a free port
 with ``port=0``, handy for tests) or run ``python -m repro.server``.
 """
@@ -25,16 +38,27 @@ from __future__ import annotations
 import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
+from repro.datasets.builtins import BUILTIN_NETWORKS, load_builtin
 from repro.datasets.example import EXAMPLE_QUERIES
 from repro.errors import ReproError, VerificationTimeout
+from repro.farm.jobs import JobManager
 from repro.io.json_format import network_from_json, network_to_json
 from repro.model.network import MplsNetwork
 from repro.verification.engine import VerificationEngine
 from repro.viz import result_to_dot
 
-_BUILTINS = ("example", "nordunet", "abilene", "nsfnet", "geant")
+#: Largest request body the service accepts (inline networks are big;
+#: this is a DoS guard, not a format limit).
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+#: Upper bound on the per-sweep worker count a request may ask for.
+MAX_SWEEP_WORKERS = 16
+
+
+class _BadRequest(Exception):
+    """A request body problem that must surface as a 400 JSON error."""
 
 
 class _NetworkCache:
@@ -45,34 +69,37 @@ class _NetworkCache:
         self._lock = threading.Lock()
 
     def get(self, name: str) -> MplsNetwork:
-        if name not in _BUILTINS:
+        if name not in BUILTIN_NETWORKS:
             raise ReproError(f"unknown built-in network {name!r}")
         with self._lock:
             if name not in self._cache:
-                from repro.cli import _load_builtin
-
-                self._cache[name] = _load_builtin(name)
+                self._cache[name] = load_builtin(name)
             return self._cache[name]
+
+
+def _resolve_network(field: Any, cache: _NetworkCache) -> MplsNetwork:
+    """A built-in name or an inline network object → built network."""
+    if isinstance(field, str):
+        return cache.get(field)
+    if isinstance(field, dict):
+        return network_from_json(json.dumps(field))
+    raise ReproError("'network' must be a built-in name or a network object")
+
+
+def _resolve_backend(payload: Dict[str, Any]) -> str:
+    engine_name = payload.get("engine", "dual")
+    if engine_name not in ("dual", "moped", "poststar", "prestar"):
+        raise ReproError(f"unknown engine {engine_name!r}")
+    return "poststar" if engine_name == "dual" else engine_name
 
 
 def _verify_payload(payload: Dict[str, Any], cache: _NetworkCache) -> Dict[str, Any]:
     """Handle one /verify request body; returns the response document."""
     if "query" not in payload:
         raise ReproError("request needs a 'query' field")
-    network_field = payload.get("network", "example")
-    if isinstance(network_field, str):
-        network = cache.get(network_field)
-    elif isinstance(network_field, dict):
-        network = network_from_json(json.dumps(network_field))
-    else:
-        raise ReproError("'network' must be a built-in name or a network object")
-
-    engine_name = payload.get("engine", "dual")
-    if engine_name not in ("dual", "moped", "poststar", "prestar"):
-        raise ReproError(f"unknown engine {engine_name!r}")
-    backend = "poststar" if engine_name == "dual" else engine_name
+    network = _resolve_network(payload.get("network", "example"), cache)
     engine = VerificationEngine(
-        network, backend=backend, weight=payload.get("weight")
+        network, backend=_resolve_backend(payload), weight=payload.get("weight")
     )
     result = engine.verify(
         payload["query"], timeout_seconds=payload.get("timeout")
@@ -103,6 +130,80 @@ def _verify_payload(payload: Dict[str, Any], cache: _NetworkCache) -> Dict[str, 
     return response
 
 
+def _submit_job(
+    payload: Dict[str, Any], cache: _NetworkCache, manager: JobManager
+) -> Dict[str, Any]:
+    """Handle one POST /jobs body: build the sweep, start it, return the id."""
+    from repro.farm.pool import EngineConfig
+    from repro.farm.scenarios import (
+        failure_scenarios,
+        scenarios_to_jobs,
+        suite_scenarios,
+    )
+
+    network = _resolve_network(payload.get("network", "example"), cache)
+
+    queries: List[Tuple[str, str]] = []
+    if "queries" in payload:
+        entries = payload["queries"]
+        if not isinstance(entries, list) or not entries:
+            raise ReproError("'queries' must be a non-empty list")
+        for entry in entries:
+            if isinstance(entry, str):
+                queries.append((f"q{len(queries):04d}", entry))
+            elif isinstance(entry, dict) and "text" in entry:
+                queries.append(
+                    (str(entry.get("name", f"q{len(queries):04d}")), entry["text"])
+                )
+            else:
+                raise ReproError(
+                    "each query must be a string or a {'name', 'text'} object"
+                )
+    elif "query" in payload:
+        queries.append(("query", payload["query"]))
+    else:
+        raise ReproError("request needs a 'query' or 'queries' field")
+
+    backend = _resolve_backend(payload)
+    weight = payload.get("weight")
+    if backend == "moped" and weight:
+        raise ReproError("the Moped backend does not support weighted verification")
+    config = EngineConfig(backend=backend, weight=weight)
+
+    sweep_failures = payload.get("sweep_failures")
+    if sweep_failures is not None:
+        if not isinstance(sweep_failures, int) or sweep_failures < 0:
+            raise ReproError("'sweep_failures' must be a non-negative integer")
+        scenarios = failure_scenarios(
+            network,
+            queries,
+            max_failures=sweep_failures,
+            links=payload.get("sweep_links"),
+            limit=payload.get("sweep_limit", 10_000),
+        )
+        description = f"failure sweep ≤{sweep_failures} on {network.name}"
+    else:
+        scenarios = suite_scenarios(network, queries)
+        description = f"query suite on {network.name}"
+
+    workers = payload.get("jobs", 1)
+    if not isinstance(workers, int) or workers < 1:
+        raise ReproError("'jobs' must be a positive integer")
+    workers = min(workers, MAX_SWEEP_WORKERS)
+
+    jobs, payloads, prebuilt = scenarios_to_jobs(
+        scenarios, config, timeout=payload.get("timeout")
+    )
+    run = manager.submit(
+        jobs,
+        payloads,
+        max_workers=workers,
+        prebuilt=prebuilt,
+        description=description,
+    )
+    return {"id": run.id, "state": run.state, "total": run.total}
+
+
 class _Handler(BaseHTTPRequestHandler):
     """Request handler; the server instance carries the shared cache."""
 
@@ -124,12 +225,43 @@ class _Handler(BaseHTTPRequestHandler):
         if getattr(self.server, "verbose", False):
             super().log_message(format, *args)
 
+    def _read_json_body(self) -> Dict[str, Any]:
+        """Read and validate a JSON-object request body.
+
+        Raises :class:`_BadRequest` (→ 400 JSON error, never a 500
+        traceback) for a missing or invalid ``Content-Length``, an
+        oversized, undecodable or non-JSON body, and non-object
+        payloads.
+        """
+        length_header = self.headers.get("Content-Length")
+        if length_header is None:
+            raise _BadRequest("request needs a Content-Length header")
+        try:
+            length = int(length_header)
+        except ValueError:
+            raise _BadRequest(f"invalid Content-Length {length_header!r}")
+        if length < 0:
+            raise _BadRequest(f"invalid Content-Length {length_header!r}")
+        if length > MAX_BODY_BYTES:
+            raise _BadRequest(
+                f"request body exceeds the {MAX_BODY_BYTES}-byte limit"
+            )
+        raw = self.rfile.read(length)
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            raise _BadRequest("request body is not valid JSON")
+        if not isinstance(payload, dict):
+            raise _BadRequest("request body must be a JSON object")
+        return payload
+
     # -- routes ----------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 (http.server naming)
         cache: _NetworkCache = self.server.cache  # type: ignore[attr-defined]
+        jobs: JobManager = self.server.jobs  # type: ignore[attr-defined]
         try:
             if self.path == "/networks":
-                self._send_json({"networks": list(_BUILTINS)})
+                self._send_json({"networks": list(BUILTIN_NETWORKS)})
             elif self.path.startswith("/networks/"):
                 name = self.path[len("/networks/") :]
                 network = cache.get(name)
@@ -138,31 +270,59 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_json(
                     {"queries": [{"name": n, "text": t} for n, t in EXAMPLE_QUERIES]}
                 )
+            elif self.path == "/jobs":
+                self._send_json(
+                    {
+                        "jobs": [
+                            run.snapshot(include_items=False)
+                            for run in jobs.list()
+                        ]
+                    }
+                )
+            elif self.path.startswith("/jobs/"):
+                run = jobs.get(self.path[len("/jobs/") :])
+                if run is None:
+                    self._send_error_json("no such job", 404)
+                else:
+                    self._send_json(run.snapshot())
             else:
                 self._send_error_json(f"no such endpoint {self.path!r}", 404)
         except ReproError as error:
             self._send_error_json(str(error), 404)
+        except Exception as error:  # pragma: no cover - defensive guard
+            self._send_error_json(f"internal error: {error}", 500)
 
     def do_POST(self) -> None:  # noqa: N802
         cache: _NetworkCache = self.server.cache  # type: ignore[attr-defined]
-        if self.path != "/verify":
-            self._send_error_json(f"no such endpoint {self.path!r}", 404)
-            return
+        jobs: JobManager = self.server.jobs  # type: ignore[attr-defined]
         try:
-            length = int(self.headers.get("Content-Length", "0"))
-            raw = self.rfile.read(length)
-            payload = json.loads(raw.decode("utf-8"))
-            if not isinstance(payload, dict):
-                raise ReproError("request body must be a JSON object")
-        except (ValueError, UnicodeDecodeError):
-            self._send_error_json("request body is not valid JSON", 400)
-            return
-        try:
-            self._send_json(_verify_payload(payload, cache))
+            if self.path == "/verify":
+                payload = self._read_json_body()
+                self._send_json(_verify_payload(payload, cache))
+            elif self.path == "/jobs":
+                payload = self._read_json_body()
+                self._send_json(_submit_job(payload, cache, jobs), status=202)
+            else:
+                self._send_error_json(f"no such endpoint {self.path!r}", 404)
+        except _BadRequest as error:
+            self._send_error_json(str(error), 400)
         except VerificationTimeout:
             self._send_error_json("verification timed out", 408)
         except ReproError as error:
             self._send_error_json(str(error), 400)
+        except Exception as error:  # pragma: no cover - defensive guard
+            self._send_error_json(f"internal error: {error}", 500)
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        jobs: JobManager = self.server.jobs  # type: ignore[attr-defined]
+        if not self.path.startswith("/jobs/"):
+            self._send_error_json(f"no such endpoint {self.path!r}", 404)
+            return
+        run = jobs.cancel(self.path[len("/jobs/") :])
+        if run is None:
+            self._send_error_json("no such job", 404)
+        else:
+            self._send_json({"id": run.id, "state": run.state})
 
 
 class VerificationServer:
@@ -177,8 +337,14 @@ class VerificationServer:
                  verbose: bool = False) -> None:
         self._httpd = ThreadingHTTPServer((host, port), _Handler)
         self._httpd.cache = _NetworkCache()  # type: ignore[attr-defined]
+        self._httpd.jobs = JobManager()  # type: ignore[attr-defined]
         self._httpd.verbose = verbose  # type: ignore[attr-defined]
         self._thread: Optional[threading.Thread] = None
+
+    @property
+    def jobs(self) -> JobManager:
+        """The farm job manager behind the /jobs endpoints."""
+        return self._httpd.jobs  # type: ignore[attr-defined]
 
     @property
     def port(self) -> int:
@@ -198,6 +364,7 @@ class VerificationServer:
 
     def stop(self) -> None:
         """Shut the server down and release the socket."""
+        self.jobs.shutdown()
         self._httpd.shutdown()
         self._httpd.server_close()
         if self._thread is not None:

@@ -7,7 +7,14 @@ runs a list of (named) queries through one engine, capturing per-query
 results, timeouts and errors, and aggregates the §4.2-style statistics
 (verdict counts, inconclusive rate, total/worst times).
 
-The CLI exposes it via ``aalwines --queries-file FILE``.
+With ``jobs=N`` the batch fans out over the verification farm
+(:mod:`repro.farm`): the queries are shipped to a pool of worker
+processes that share a content-hash artifact cache. The parallel path
+runs the exact same per-query code (:func:`run_single`) on an engine
+rebuilt from the same configuration, so it returns the same verdicts
+and summary counts as the serial loop — only the timing fields differ.
+
+The CLI exposes it via ``aalwines --queries-file FILE [--jobs N]``.
 """
 
 from __future__ import annotations
@@ -53,6 +60,24 @@ class BatchSummary:
     worst_seconds: float = 0.0
     worst_query: Optional[str] = None
 
+    def add(self, item: BatchItem) -> None:
+        """Fold one item into the aggregate."""
+        self.total += 1
+        self.total_seconds += item.seconds
+        if item.outcome == "satisfied":
+            self.satisfied += 1
+        elif item.outcome == "unsatisfied":
+            self.unsatisfied += 1
+        elif item.outcome == "inconclusive":
+            self.inconclusive += 1
+        elif item.outcome == "timeout":
+            self.timeouts += 1
+        else:
+            self.errors += 1
+        if item.seconds > self.worst_seconds:
+            self.worst_seconds = item.seconds
+            self.worst_query = item.name
+
     @property
     def inconclusive_rate(self) -> float:
         """Fraction of *answered* queries that were inconclusive (the
@@ -83,20 +108,77 @@ class BatchSummary:
         return "\n".join(lines)
 
 
-#: Optional per-item progress callback (index, total, item).
+def summarize(items: Iterable[BatchItem]) -> BatchSummary:
+    """Aggregate a finished item list into a :class:`BatchSummary`."""
+    summary = BatchSummary()
+    for item in items:
+        summary.add(item)
+    return summary
+
+
+def run_single(
+    engine: VerificationEngine,
+    name: str,
+    query: str,
+    timeout: Optional[float] = None,
+) -> BatchItem:
+    """Verify one query, capturing failures as items — never raises.
+
+    This is the per-query kernel shared verbatim by the serial loop and
+    the farm's worker processes, which is what makes the parallel path
+    verdict-equivalent to the serial one.
+    """
+    start = time.perf_counter()
+    try:
+        result = engine.verify(query, timeout_seconds=timeout)
+        return BatchItem(
+            name=name,
+            query=query,
+            outcome=result.status.value,
+            seconds=time.perf_counter() - start,
+            result=result,
+        )
+    except VerificationTimeout:
+        return BatchItem(
+            name=name,
+            query=query,
+            outcome="timeout",
+            seconds=time.perf_counter() - start,
+        )
+    except ReproError as error:
+        return BatchItem(
+            name=name,
+            query=query,
+            outcome="error",
+            seconds=time.perf_counter() - start,
+            error=str(error),
+        )
+
+
+#: Optional per-item progress callback (index, total, item). The serial
+#: path calls it in index order; with ``jobs=N`` it fires in completion
+#: order (the index argument stays correct).
 ProgressCallback = Callable[[int, int, BatchItem], None]
 
 
 class BatchVerifier:
-    """Runs many queries through one verification engine."""
+    """Runs many queries through one verification engine.
+
+    ``jobs`` selects the execution strategy: 1 (default) runs the
+    classic serial loop in-process; N > 1 fans the queries out over N
+    farm worker processes. Both paths produce the same items (order,
+    names, verdicts) and summary counts; only timings differ.
+    """
 
     def __init__(
         self,
         engine: VerificationEngine,
         timeout_per_query: Optional[float] = None,
+        jobs: int = 1,
     ) -> None:
         self.engine = engine
         self.timeout_per_query = timeout_per_query
+        self.jobs = max(1, int(jobs))
 
     def run(
         self,
@@ -114,56 +196,55 @@ class BatchVerifier:
             else:
                 named.append(entry)
 
+        if self.jobs > 1 and len(named) > 1 and self.engine.distance_of is None:
+            return self._run_parallel(named, progress)
+
         items: List[BatchItem] = []
         summary = BatchSummary()
         for index, (name, query) in enumerate(named):
             item = self._run_one(name, query)
             items.append(item)
-            summary.total += 1
-            summary.total_seconds += item.seconds
-            if item.outcome == "satisfied":
-                summary.satisfied += 1
-            elif item.outcome == "unsatisfied":
-                summary.unsatisfied += 1
-            elif item.outcome == "inconclusive":
-                summary.inconclusive += 1
-            elif item.outcome == "timeout":
-                summary.timeouts += 1
-            else:
-                summary.errors += 1
-            if item.seconds > summary.worst_seconds:
-                summary.worst_seconds = item.seconds
-                summary.worst_query = name
+            summary.add(item)
             if progress is not None:
                 progress(index, len(named), item)
         return items, summary
 
+    def _run_parallel(
+        self,
+        named: Sequence[Tuple[str, str]],
+        progress: Optional[ProgressCallback],
+    ) -> Tuple[List[BatchItem], BatchSummary]:
+        """Fan the suite out over the farm's worker pool."""
+        from repro.farm.cache import hash_text
+        from repro.farm.pool import EngineConfig, FarmJob, run_jobs
+        from repro.io.json_format import network_to_json
+
+        config = EngineConfig.from_engine(self.engine)
+        payload = network_to_json(self.engine.network)
+        key = hash_text(payload)
+        jobs = [
+            FarmJob(
+                name=name,
+                query=query,
+                network_key=key,
+                config=config,
+                timeout=self.timeout_per_query,
+            )
+            for name, query in named
+        ]
+        results = run_jobs(
+            jobs,
+            networks={key: payload},
+            max_workers=self.jobs,
+            progress=progress,
+            prebuilt={key: self.engine.network},
+        )
+        # Without a cancellation hook every slot is filled.
+        items = [item for item in results if item is not None]
+        return items, summarize(items)
+
     def _run_one(self, name: str, query: str) -> BatchItem:
-        start = time.perf_counter()
-        try:
-            result = self.engine.verify(query, timeout_seconds=self.timeout_per_query)
-            return BatchItem(
-                name=name,
-                query=query,
-                outcome=result.status.value,
-                seconds=time.perf_counter() - start,
-                result=result,
-            )
-        except VerificationTimeout:
-            return BatchItem(
-                name=name,
-                query=query,
-                outcome="timeout",
-                seconds=time.perf_counter() - start,
-            )
-        except ReproError as error:
-            return BatchItem(
-                name=name,
-                query=query,
-                outcome="error",
-                seconds=time.perf_counter() - start,
-                error=str(error),
-            )
+        return run_single(self.engine, name, query, self.timeout_per_query)
 
 
 def parse_query_file(text: str) -> List[Tuple[str, str]]:

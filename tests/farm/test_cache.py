@@ -1,0 +1,79 @@
+"""Tests for the farm's content-hash artifact cache."""
+
+import pytest
+
+from repro.datasets.example import build_example_network
+from repro.farm.cache import ArtifactCache, hash_text, worker_cache
+from repro.io.json_format import network_to_json
+
+
+def test_hash_text_is_stable_and_content_keyed():
+    network = build_example_network()
+    payload = network_to_json(network)
+    assert hash_text(payload) == hash_text(payload)
+    assert hash_text(payload) != hash_text(payload + " ")
+    assert len(hash_text(payload)) == 64  # sha256 hex
+
+
+class TestNetworkMemoization:
+    def test_builds_once(self):
+        cache = ArtifactCache()
+        builds = []
+
+        def build():
+            builds.append(1)
+            return build_example_network()
+
+        first = cache.network("k1", build)
+        second = cache.network("k1", build)
+        assert first is second
+        assert len(builds) == 1
+        assert cache.stats.network_misses == 1
+        assert cache.stats.network_hits == 1
+
+    def test_distinct_keys_build_separately(self):
+        cache = ArtifactCache()
+        a = cache.network("a", build_example_network)
+        b = cache.network("b", build_example_network)
+        assert a is not b
+        assert cache.stats.network_misses == 2
+
+    def test_lru_eviction(self):
+        cache = ArtifactCache(max_networks=2)
+        cache.network("a", build_example_network)
+        cache.network("b", build_example_network)
+        cache.network("a", build_example_network)  # refresh a
+        cache.network("c", build_example_network)  # evicts b (oldest)
+        assert cache.stats.evictions == 1
+        cache.network("a", build_example_network)
+        assert cache.stats.network_hits == 2  # a stayed cached
+
+
+class TestEngineMemoization:
+    def test_engine_reused_per_config(self):
+        from repro.farm.pool import EngineConfig
+
+        cache = ArtifactCache()
+        network = build_example_network()
+        dual = EngineConfig()
+        weighted = EngineConfig(weight="failures")
+        e1 = cache.engine("k", dual, lambda: dual.build(network))
+        e2 = cache.engine("k", dual, lambda: dual.build(network))
+        e3 = cache.engine("k", weighted, lambda: weighted.build(network))
+        assert e1 is e2
+        assert e1 is not e3
+        assert cache.stats.engine_hits == 1
+        assert cache.stats.engine_misses == 2
+
+    def test_clear_resets_everything(self):
+        cache = ArtifactCache()
+        cache.network("k", build_example_network)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.network_misses == 0
+        assert cache.stats.as_dict()["network_hits"] == 0
+
+
+def test_worker_cache_is_a_process_singleton():
+    assert worker_cache() is worker_cache()
+    assert isinstance(worker_cache(), ArtifactCache)

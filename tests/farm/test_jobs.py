@@ -1,0 +1,116 @@
+"""Tests for the asynchronous job manager."""
+
+import time
+
+import pytest
+
+from repro.datasets.example import EXAMPLE_QUERIES, build_example_network
+from repro.errors import FarmError
+from repro.farm.jobs import CANCELLED, DONE, JobManager
+from repro.farm.pool import EngineConfig
+from repro.farm.scenarios import (
+    failure_scenarios,
+    scenarios_to_jobs,
+    suite_scenarios,
+)
+
+
+@pytest.fixture(scope="module")
+def network():
+    return build_example_network()
+
+
+@pytest.fixture()
+def manager():
+    instance = JobManager()
+    yield instance
+    instance.shutdown(timeout=10)
+
+
+def _submit_suite(manager, network, queries, **kwargs):
+    jobs, payloads, prebuilt = scenarios_to_jobs(suite_scenarios(network, queries))
+    return manager.submit(jobs, payloads, prebuilt=prebuilt, **kwargs)
+
+
+class TestLifecycle:
+    def test_submit_runs_to_done(self, manager, network):
+        run = _submit_suite(manager, network, list(EXAMPLE_QUERIES))
+        assert run.wait(timeout=120)
+        assert run.state == DONE
+        assert run.completed == run.total == 5
+        assert run.summary.satisfied == 4
+        assert run.summary.unsatisfied == 1
+
+    def test_snapshot_shape(self, manager, network):
+        run = _submit_suite(manager, network, list(EXAMPLE_QUERIES[:2]))
+        assert run.wait(timeout=120)
+        document = run.snapshot()
+        assert document["id"] == run.id
+        assert document["state"] == DONE
+        assert document["summary"]["total"] == 2
+        assert [item["name"] for item in document["items"]] == ["phi0", "phi1"]
+        slim = run.snapshot(include_items=False)
+        assert "items" not in slim
+
+    def test_sweep_through_manager(self, manager, network):
+        scenarios = failure_scenarios(
+            network, EXAMPLE_QUERIES[0][1], max_failures=1
+        )
+        jobs, payloads, prebuilt = scenarios_to_jobs(scenarios)
+        run = manager.submit(jobs, payloads, prebuilt=prebuilt, max_workers=2)
+        assert run.wait(timeout=120)
+        assert run.state == DONE
+        # e0 (the only entry) and e7 (the only exit) are fatal failures.
+        assert run.summary.satisfied == 7
+        assert run.summary.unsatisfied == 2
+
+    def test_get_list_and_ids(self, manager, network):
+        run = _submit_suite(manager, network, list(EXAMPLE_QUERIES[:1]))
+        assert manager.get(run.id) is run
+        assert manager.get("missing") is None
+        assert run in manager.list()
+        run.wait(timeout=120)
+
+    def test_empty_submission_rejected(self, manager):
+        with pytest.raises(FarmError):
+            manager.submit([], {})
+
+
+class _SlowConfig(EngineConfig):
+    """Stalls the first engine build so tests can cancel mid-run."""
+
+    def build(self, network):
+        time.sleep(0.5)
+        return super().build(network)
+
+
+class TestCancellation:
+    def test_cancel_skips_queued_jobs(self, manager, network):
+        scenarios = suite_scenarios(network, list(EXAMPLE_QUERIES))
+        jobs, payloads, prebuilt = scenarios_to_jobs(scenarios, _SlowConfig())
+        run = manager.submit(jobs, payloads, prebuilt=prebuilt, max_workers=1)
+        run.cancel()  # lands during the stalled first build
+        assert run.wait(timeout=120)
+        assert run.state == CANCELLED
+        assert run.completed < run.total
+
+    def test_cancel_via_manager(self, manager, network):
+        scenarios = suite_scenarios(network, list(EXAMPLE_QUERIES))
+        jobs, payloads, prebuilt = scenarios_to_jobs(scenarios, _SlowConfig())
+        run = manager.submit(jobs, payloads, prebuilt=prebuilt, max_workers=1)
+        assert manager.cancel(run.id) is run
+        assert manager.cancel("missing") is None
+        run.wait(timeout=120)
+
+
+def test_finished_runs_are_evicted(network):
+    manager = JobManager(max_kept=2)
+    runs = [
+        _submit_suite(manager, network, list(EXAMPLE_QUERIES[:1]))
+        for _ in range(4)
+    ]
+    for run in runs:
+        run.wait(timeout=120)
+    _submit_suite(manager, network, list(EXAMPLE_QUERIES[:1])).wait(timeout=120)
+    assert len(manager.list()) <= 3
+    manager.shutdown(timeout=10)

@@ -1,0 +1,114 @@
+"""Tests for what-if scenario generation."""
+
+import pytest
+
+from repro.datasets.example import EXAMPLE_QUERIES, build_example_network
+from repro.errors import FarmError
+from repro.farm.scenarios import (
+    failure_scenarios,
+    link_audit_scenarios,
+    scenarios_to_jobs,
+    suite_scenarios,
+    sweep_size,
+)
+
+PHI0 = "<ip> [.#v0] .* [v3#.] <ip> 0"
+
+
+@pytest.fixture(scope="module")
+def network():
+    return build_example_network()
+
+
+class TestSweepSize:
+    def test_counts_combinations_and_queries(self):
+        # 8 links, ≤2 failures: 1 + 8 + 28 combos.
+        assert sweep_size(8, 2, query_count=1) == 37
+        assert sweep_size(8, 2, query_count=3) == 111
+        assert sweep_size(8, 1, query_count=1, include_baseline=False) == 8
+
+    def test_matches_generated_sweep(self, network):
+        scenarios = failure_scenarios(network, PHI0, max_failures=2)
+        assert len(scenarios) == sweep_size(8, 2)
+
+
+class TestFailureScenarios:
+    def test_single_failure_sweep(self, network):
+        scenarios = failure_scenarios(network, PHI0, max_failures=1)
+        assert len(scenarios) == 9  # baseline + one per link
+        names = [s.name for s in scenarios]
+        assert names[0] == "query@baseline"
+        assert "query@fail(e4)" in names
+
+    def test_failure_bound_is_pinned_to_zero(self, network):
+        scenarios = failure_scenarios(network, PHI0[:-1] + "2", max_failures=1)
+        assert all(s.query.endswith(" 0") for s in scenarios)
+
+    def test_degraded_network_lacks_failed_link(self, network):
+        scenarios = failure_scenarios(network, PHI0, max_failures=1)
+        for scenario in scenarios:
+            for failed in scenario.failed_links:
+                assert failed not in scenario.network.link_names()
+
+    def test_queries_share_variant_networks(self, network):
+        scenarios = failure_scenarios(
+            network, list(EXAMPLE_QUERIES[:2]), max_failures=1
+        )
+        assert len(scenarios) == 18
+        distinct = {id(s.network) for s in scenarios}
+        assert len(distinct) == 9  # one per combo, shared by both queries
+
+    def test_restricted_links(self, network):
+        scenarios = failure_scenarios(
+            network, PHI0, max_failures=1, links=["e1", "e4"]
+        )
+        assert [s.failed_links for s in scenarios] == [(), ("e1",), ("e4",)]
+
+    def test_unknown_link_rejected(self, network):
+        with pytest.raises(FarmError, match="unknown links"):
+            failure_scenarios(network, PHI0, max_failures=1, links=["nope"])
+
+    def test_limit_guards_blowup(self, network):
+        with pytest.raises(FarmError, match="limit"):
+            failure_scenarios(network, PHI0, max_failures=3, limit=10)
+
+    def test_empty_queries_rejected(self, network):
+        with pytest.raises(FarmError):
+            failure_scenarios(network, [], max_failures=1)
+
+
+class TestAuditAndSuite:
+    def test_link_audit_is_one_scenario_per_link(self, network):
+        scenarios = link_audit_scenarios(network, PHI0)
+        assert len(scenarios) == 8
+        assert all(len(s.failed_links) == 1 for s in scenarios)
+
+    def test_suite_scenarios_keep_queries_verbatim(self, network):
+        scenarios = suite_scenarios(network, list(EXAMPLE_QUERIES))
+        assert len(scenarios) == 5
+        assert scenarios[0].name == "phi0"
+        assert scenarios[0].query == EXAMPLE_QUERIES[0][1]
+        assert all(s.network is network for s in scenarios)
+
+
+class TestScenariosToJobs:
+    def test_distinct_networks_serialized_once(self, network):
+        scenarios = failure_scenarios(
+            network, list(EXAMPLE_QUERIES[:3]), max_failures=1
+        )
+        jobs, payloads, prebuilt = scenarios_to_jobs(scenarios)
+        assert len(jobs) == 27
+        assert len(payloads) == 9
+        assert set(payloads) == set(prebuilt)
+        assert {job.network_key for job in jobs} == set(payloads)
+
+    def test_timeout_and_config_propagate(self, network):
+        from repro.farm.pool import EngineConfig
+
+        config = EngineConfig(weight="failures")
+        scenarios = suite_scenarios(network, PHI0)
+        jobs, _payloads, _prebuilt = scenarios_to_jobs(
+            scenarios, config, timeout=2.5
+        )
+        assert jobs[0].config == config
+        assert jobs[0].timeout == 2.5

@@ -158,3 +158,65 @@ class TestErrors:
 
     def test_missing_routing_file(self, capsys):
         assert main(["--topology", "only.xml", "--query", PHI0]) == 3
+
+
+class TestFarmFlags:
+    def test_parallel_batch_matches_serial(self, tmp_path, capsys):
+        suite = tmp_path / "suite.txt"
+        suite.write_text(
+            "phi0: <ip> [.#v0] .* [v3#.] <ip> 0\n"
+            "phi3: <s40 ip> [.#v0] .* [v3#.] <mpls+ smpls ip> 1\n"
+        )
+        code = main(
+            ["--builtin", "example", "--queries-file", str(suite), "--jobs", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "phi0" in out and "satisfied" in out
+        assert "phi3" in out and "unsatisfied" in out
+
+    def test_sweep_failures(self, capsys):
+        code = main(
+            ["--builtin", "example", "--query", PHI0, "--sweep-failures", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        # baseline + 8 single-link scenarios; e0 and e7 are fatal.
+        assert "query@baseline" in out
+        assert "query@fail(e4)" in out
+        assert "satisfied:     7" in out
+        assert "unsatisfied:   2" in out
+
+    def test_sweep_with_queries_file(self, tmp_path, capsys):
+        suite = tmp_path / "suite.txt"
+        suite.write_text("phi0: <ip> [.#v0] .* [v3#.] <ip> 0\n")
+        code = main(
+            [
+                "--builtin",
+                "example",
+                "--queries-file",
+                str(suite),
+                "--sweep-failures",
+                "1",
+                "--jobs",
+                "2",
+            ]
+        )
+        assert code == 0
+        assert "phi0@fail(e1)" in capsys.readouterr().out
+
+    def test_sweep_limit_enforced(self, capsys):
+        code = main(
+            [
+                "--builtin",
+                "example",
+                "--query",
+                PHI0,
+                "--sweep-failures",
+                "3",
+                "--sweep-limit",
+                "10",
+            ]
+        )
+        assert code == 3
+        assert "limit" in capsys.readouterr().err

@@ -142,12 +142,79 @@ class TestVerify:
             connection.request("POST", "/verify", body="{not json")
             response = connection.getresponse()
             assert response.status == 400
+            assert "error" in json.loads(response.read().decode("utf-8"))
+        finally:
+            connection.close()
+
+    @pytest.mark.parametrize("body", ["[1, 2, 3]", '"a string"', "17", "null"])
+    def test_non_object_json_body(self, server, body):
+        # Valid JSON that is not an object must be a 400, not a traceback.
+        connection = http.client.HTTPConnection(server.host, server.port, timeout=30)
+        try:
+            connection.request("POST", "/verify", body=body)
+            response = connection.getresponse()
+            assert response.status == 400
+            assert "object" in json.loads(response.read())["error"]
+        finally:
+            connection.close()
+
+    def test_missing_content_length(self, server):
+        connection = http.client.HTTPConnection(server.host, server.port, timeout=30)
+        try:
+            # putrequest/endheaders with no header at all — http.client's
+            # request() would helpfully add Content-Length: 0.
+            connection.putrequest("POST", "/verify")
+            connection.endheaders()
+            response = connection.getresponse()
+            assert response.status == 400
+            assert "Content-Length" in json.loads(response.read())["error"]
+        finally:
+            connection.close()
+
+    @pytest.mark.parametrize("length", ["banana", "-5"])
+    def test_invalid_content_length(self, server, length):
+        connection = http.client.HTTPConnection(server.host, server.port, timeout=30)
+        try:
+            connection.putrequest("POST", "/verify")
+            connection.putheader("Content-Length", length)
+            connection.endheaders()
+            response = connection.getresponse()
+            assert response.status == 400
+            assert "Content-Length" in json.loads(response.read())["error"]
+        finally:
+            connection.close()
+
+    def test_oversized_content_length(self, server):
+        from repro.server import MAX_BODY_BYTES
+
+        connection = http.client.HTTPConnection(server.host, server.port, timeout=30)
+        try:
+            connection.putrequest("POST", "/verify")
+            connection.putheader("Content-Length", str(MAX_BODY_BYTES + 1))
+            connection.endheaders()
+            response = connection.getresponse()
+            assert response.status == 400
         finally:
             connection.close()
 
     def test_post_to_unknown_path(self, server):
         status, _ = request(server, "POST", "/networks", {})
         assert status == 404
+
+    def test_500_guard_returns_json(self, server, monkeypatch):
+        # Even a bug deep in verification must surface as a JSON 500,
+        # never a traceback over the socket.
+        import repro.server as server_module
+
+        def boom(payload, cache):
+            raise RuntimeError("injected bug")
+
+        monkeypatch.setattr(server_module, "_verify_payload", boom)
+        status, document = request(
+            server, "POST", "/verify", {"query": "<ip> . <ip> 0"}
+        )
+        assert status == 500
+        assert "internal error" in document["error"]
 
     def test_concurrent_requests(self, server):
         import concurrent.futures
@@ -164,3 +231,128 @@ class TestVerify:
             results = list(pool.map(ask, [0, 1, 2, 0]))
         assert all(status == 200 for status, _doc in results)
         assert all(doc["status"] == "satisfied" for _s, doc in results)
+
+
+class TestJobApi:
+    """The asynchronous sweep endpoints backed by the verification farm."""
+
+    def _wait_done(self, server, job_id, budget=120.0):
+        import time
+
+        deadline = time.time() + budget
+        while time.time() < deadline:
+            status, document = request(server, "GET", f"/jobs/{job_id}")
+            assert status == 200
+            if document["state"] in ("done", "failed", "cancelled"):
+                return document
+            time.sleep(0.05)
+        raise AssertionError(f"job {job_id} did not finish in {budget}s")
+
+    def test_suite_job_lifecycle(self, server):
+        status, document = request(
+            server,
+            "POST",
+            "/jobs",
+            {
+                "network": "example",
+                "queries": [
+                    {"name": "phi0", "text": "<ip> [.#v0] .* [v3#.] <ip> 0"},
+                    "<s40 ip> [.#v0] .* [v3#.] <mpls+ smpls ip> 1",
+                ],
+            },
+        )
+        assert status == 202
+        assert document["total"] == 2
+        final = self._wait_done(server, document["id"])
+        assert final["state"] == "done"
+        assert final["summary"]["satisfied"] == 1
+        assert final["summary"]["unsatisfied"] == 1
+        names = {item["name"] for item in final["items"]}
+        assert "phi0" in names
+
+    def test_failure_sweep_job(self, server):
+        status, document = request(
+            server,
+            "POST",
+            "/jobs",
+            {
+                "network": "example",
+                "query": "<ip> [.#v0] .* [v3#.] <ip> 0",
+                "sweep_failures": 1,
+                "jobs": 2,
+            },
+        )
+        assert status == 202
+        assert document["total"] == 9  # baseline + one per link
+        final = self._wait_done(server, document["id"])
+        assert final["state"] == "done"
+        # Only the entry link e0 and exit link e7 are fatal.
+        assert final["summary"]["satisfied"] == 7
+        assert final["summary"]["unsatisfied"] == 2
+
+    def test_jobs_listing(self, server):
+        status, document = request(
+            server,
+            "POST",
+            "/jobs",
+            {"network": "example", "query": "<ip> [.#v0] .* [v3#.] <ip> 0"},
+        )
+        job_id = document["id"]
+        status, listing = request(server, "GET", "/jobs")
+        assert status == 200
+        assert job_id in [entry["id"] for entry in listing["jobs"]]
+        assert all("items" not in entry for entry in listing["jobs"])
+        self._wait_done(server, job_id)
+
+    def test_cancel_job(self, server):
+        status, document = request(
+            server,
+            "POST",
+            "/jobs",
+            {
+                "network": "example",
+                "query": "<ip> [.#v0] .* [v3#.] <ip> 0",
+                "sweep_failures": 2,
+            },
+        )
+        job_id = document["id"]
+        status, cancelled = request(server, "DELETE", f"/jobs/{job_id}")
+        assert status == 200
+        assert cancelled["id"] == job_id
+        final = self._wait_done(server, job_id)
+        assert final["state"] in ("cancelled", "done")
+
+    def test_unknown_job(self, server):
+        assert request(server, "GET", "/jobs/nope")[0] == 404
+        assert request(server, "DELETE", "/jobs/nope")[0] == 404
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {"network": "example"},  # no query
+            {"network": "example", "queries": []},  # empty suite
+            {"network": "example", "queries": [{"name": "x"}]},  # no text
+            {"network": "example", "query": "<ip> . <ip> 0", "jobs": 0},
+            {
+                "network": "example",
+                "query": "<ip> . <ip> 0",
+                "sweep_failures": -1,
+            },
+            {
+                "network": "example",
+                "query": "<ip> . <ip> 0",
+                "sweep_failures": 2,
+                "sweep_limit": 3,
+            },  # over the job limit
+            {
+                "network": "example",
+                "query": "<ip> . <ip> 0",
+                "engine": "moped",
+                "weight": "hops",
+            },
+        ],
+    )
+    def test_bad_job_submissions(self, server, payload):
+        status, document = request(server, "POST", "/jobs", payload)
+        assert status == 400
+        assert "error" in document

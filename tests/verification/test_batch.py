@@ -3,7 +3,12 @@
 import pytest
 
 from repro.datasets.example import EXAMPLE_QUERIES, build_example_network
-from repro.verification.batch import BatchVerifier, parse_query_file
+from repro.verification.batch import (
+    BatchVerifier,
+    parse_query_file,
+    run_single,
+    summarize,
+)
 from repro.verification.engine import dual_engine
 
 
@@ -61,6 +66,34 @@ class TestBatchVerifier:
         )
         assert seen == [(0, 2, "q0000"), (1, 2, "q0001")]
 
+    def test_timeout_becomes_timeout_item(self, network):
+        # A zero budget expires before the saturation loop starts; the
+        # batch must record it, not raise.
+        verifier = BatchVerifier(dual_engine(network), timeout_per_query=0.0)
+        items, summary = verifier.run([EXAMPLE_QUERIES[0][1]])
+        assert items[0].outcome == "timeout"
+        assert summary.timeouts == 1
+        assert "timeouts" in summary.format()
+
+    def test_semantic_error_becomes_error_item(self, verifier):
+        # Parses fine but names a router the network doesn't have.
+        items, summary = verifier.run(["<ip> [.#nosuch] .* <ip> 0"])
+        assert items[0].outcome == "error"
+        assert items[0].error
+        assert summary.errors == 1
+
+    def test_run_single_never_raises(self, network):
+        item = run_single(dual_engine(network), "bad", "<ip .* garbage")
+        assert item.outcome == "error"
+
+    def test_summarize_matches_incremental_counts(self, verifier):
+        items, summary = verifier.run([text for _n, text in EXAMPLE_QUERIES])
+        rebuilt = summarize(items)
+        assert rebuilt.satisfied == summary.satisfied
+        assert rebuilt.unsatisfied == summary.unsatisfied
+        assert rebuilt.total == summary.total
+        assert rebuilt.worst_query == summary.worst_query
+
     def test_inconclusive_rate(self, network):
         from tests.verification.test_inconclusive import conflict_network
 
@@ -71,6 +104,96 @@ class TestBatchVerifier:
         )
         assert summary.inconclusive == 1
         assert summary.inconclusive_rate == 1.0
+
+
+class TestFarmEquivalence:
+    """The farm's serial-equivalence guarantee: ``jobs=N`` must return
+    the same verdicts and summary counts as the serial loop."""
+
+    def _counts(self, summary):
+        return (
+            summary.total,
+            summary.satisfied,
+            summary.unsatisfied,
+            summary.inconclusive,
+            summary.timeouts,
+            summary.errors,
+        )
+
+    @pytest.mark.parametrize("jobs", [2, 3])
+    def test_example_suite_parity(self, network, jobs):
+        serial_items, serial_summary = BatchVerifier(
+            dual_engine(network), timeout_per_query=60
+        ).run(list(EXAMPLE_QUERIES))
+        farm_items, farm_summary = BatchVerifier(
+            dual_engine(network), timeout_per_query=60, jobs=jobs
+        ).run(list(EXAMPLE_QUERIES))
+        assert [(i.name, i.outcome) for i in serial_items] == [
+            (i.name, i.outcome) for i in farm_items
+        ]
+        assert self._counts(serial_summary) == self._counts(farm_summary)
+
+    def test_parity_holds_with_failures_in_the_suite(self, network):
+        # Property over a mixed suite: good, unsatisfiable, syntactically
+        # broken and semantically broken queries all land in the same
+        # slots with the same outcomes on both paths.
+        suite = [
+            ("ok", EXAMPLE_QUERIES[0][1]),
+            ("broken", "<ip .* garbage"),
+            ("unsat", EXAMPLE_QUERIES[3][1]),
+            ("unknown", "<ip> [.#nosuch] .* <ip> 0"),
+        ]
+        serial_items, serial_summary = BatchVerifier(
+            dual_engine(network)
+        ).run(list(suite))
+        farm_items, farm_summary = BatchVerifier(
+            dual_engine(network), jobs=2
+        ).run(list(suite))
+        assert [(i.name, i.outcome) for i in serial_items] == [
+            (i.name, i.outcome) for i in farm_items
+        ]
+        assert self._counts(serial_summary) == self._counts(farm_summary)
+
+    def test_weighted_engine_parity(self, network):
+        from repro.verification.engine import weighted_engine
+
+        suite = [EXAMPLE_QUERIES[4][1]]
+        serial_items, _ = BatchVerifier(
+            weighted_engine(network, weight="hops, failures")
+        ).run(list(suite))
+        farm_items, _ = BatchVerifier(
+            weighted_engine(network, weight="hops, failures"), jobs=2
+        ).run(list(suite))
+        assert serial_items[0].outcome == farm_items[0].outcome
+        assert (
+            serial_items[0].result.weight == farm_items[0].result.weight
+        )
+
+    def test_sweep_parity_serial_vs_parallel_pool(self, network):
+        from repro.farm.scenarios import failure_scenarios, scenarios_to_jobs
+        from repro.farm.pool import run_jobs
+
+        scenarios = failure_scenarios(
+            network, list(EXAMPLE_QUERIES[:2]), max_failures=1
+        )
+        jobs, payloads, prebuilt = scenarios_to_jobs(scenarios)
+        serial = run_jobs(jobs, payloads, max_workers=1, prebuilt=prebuilt)
+        parallel = run_jobs(jobs, payloads, max_workers=2, prebuilt=prebuilt)
+        assert [(i.name, i.outcome) for i in serial] == [
+            (i.name, i.outcome) for i in parallel
+        ]
+        assert self._counts(summarize(serial)) == self._counts(
+            summarize(parallel)
+        )
+
+    def test_custom_distance_falls_back_to_serial(self, network):
+        # distance_of callables cannot cross process boundaries; the
+        # verifier must quietly take the serial path, not crash.
+        engine = dual_engine(network, distance_of=lambda link: 1)
+        items, summary = BatchVerifier(engine, jobs=4).run(
+            [EXAMPLE_QUERIES[0][1]] * 2
+        )
+        assert summary.satisfied == 2
 
 
 class TestQueryFile:
