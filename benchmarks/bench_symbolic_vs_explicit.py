@@ -11,9 +11,7 @@ the enumeration bounds).
 
 import pytest
 
-from benchmarks.common import zoo_networks
 from repro.datasets.example import EXAMPLE_QUERIES, build_example_network
-from repro.datasets.queries import generate_query_suite
 from repro.verification.engine import dual_engine
 from repro.verification.explicit import ExplicitEngine
 

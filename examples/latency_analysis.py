@@ -18,7 +18,7 @@ backbone:
 Run:  python examples/latency_analysis.py
 """
 
-from repro import dual_engine, weighted_engine
+from repro import weighted_engine
 from repro.datasets.queries import lsp_pairs, lsp_route
 from repro.datasets.synthesis import SynthesisOptions, synthesize_network
 from repro.datasets.zoo import abilene

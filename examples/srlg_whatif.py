@@ -91,7 +91,7 @@ def main() -> None:
           + (f", event {sorted(event_view.failed_groups)}"
              if event_view.failed_groups else ""))
     if at_risk:
-        print(f"\npairs needing attention (pair, first failing event):")
+        print("\npairs needing attention (pair, first failing event):")
         for ingress, egress, event in at_risk:
             print(f"  {ingress} -> {egress}: vulnerable to {event}")
     else:

@@ -1,0 +1,85 @@
+"""Dataplane linter: static analysis of MPLS routing tables.
+
+Many dataplane defects — black holes, forwarding loops, dead failover
+entries, operation chains that underflow the label stack — are visible
+in the routing tables alone, before any pushdown system is built. This
+package detects them with a rule-based static analysis over
+:mod:`repro.model` (and **only** over the model layer: nothing here
+imports :mod:`repro.pda` or :mod:`repro.verification`, so linting is
+instant even on networks where verification takes seconds).
+
+Quickstart::
+
+    from repro.analysis import analyze
+
+    report = analyze(network)
+    for diagnostic in report.diagnostics:
+        print(diagnostic.format())
+    print(report.exit_code)  # 0 clean, 1 warnings, 2 errors
+
+Rules (one module each, registered via :func:`repro.analysis.registry.rule`):
+
+========  ========  ===============================================
+code      severity  meaning
+========  ========  ===============================================
+DP001     error     black hole — traffic provably dropped
+DP002     warning   forwarding loop on the label-transition graph
+DP003     error     stack underflow / chain provably undefined
+DP004     warning   shadowed or unreachable failover entry
+DP005     info      label pushed but matched by no rule
+DP006     warning   nondeterministic overlap inside one group
+========  ========  ===============================================
+
+Lint findings are conservative: an *error* is provable from the tables,
+while warnings over-approximate — the engine's verdicts remain the
+ground truth (see DESIGN.md).
+"""
+
+from repro.analysis.context import AnalysisContext
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    LintReport,
+    Location,
+    Severity,
+    sort_diagnostics,
+)
+from repro.analysis.registry import (
+    LintConfig,
+    RuleInfo,
+    all_rules,
+    analyze,
+    rule,
+    rule_codes,
+)
+from repro.analysis.stacks import StackOutcome, interpret
+
+# Importing the rule modules registers them; keep the list in code order.
+from repro.analysis import dp001_black_hole  # noqa: E402
+from repro.analysis import dp002_forwarding_loop  # noqa: E402
+from repro.analysis import dp003_stack_underflow  # noqa: E402
+from repro.analysis import dp004_shadowed_entry  # noqa: E402
+from repro.analysis import dp005_unreferenced_label  # noqa: E402
+from repro.analysis import dp006_nondeterminism  # noqa: E402
+
+__all__ = [
+    "AnalysisContext",
+    "Diagnostic",
+    "LintConfig",
+    "LintReport",
+    "Location",
+    "RuleInfo",
+    "Severity",
+    "StackOutcome",
+    "all_rules",
+    "analyze",
+    "interpret",
+    "rule",
+    "rule_codes",
+    "sort_diagnostics",
+    "dp001_black_hole",
+    "dp002_forwarding_loop",
+    "dp003_stack_underflow",
+    "dp004_shadowed_entry",
+    "dp005_unreferenced_label",
+    "dp006_nondeterminism",
+]

@@ -1,0 +1,168 @@
+"""Shared state of one lint run.
+
+An :class:`AnalysisContext` is built once per :func:`repro.analysis.analyze`
+call and handed to every rule. It precomputes the things several rules
+need — the flattened rule list (respecting an assumed failure set), a
+memoized abstract interpretation of operation chains, and the static
+label-transition graph — so that a lint run stays linear in the size of
+the routing table no matter how many rules are enabled.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.errors import AnalysisError
+from repro.model.labels import Label
+from repro.model.network import MplsNetwork
+from repro.model.operations import Operation
+from repro.model.routing import GroupSequence, RoutingEntry
+from repro.model.topology import Link
+from repro.analysis.stacks import StackOutcome, interpret
+
+#: One flattened forwarding rule: (incoming link, matched label,
+#: 0-based priority index, entry).
+FlatRule = Tuple[Link, Label, int, RoutingEntry]
+
+#: A node of the static label-transition graph: (link name, label text).
+GraphNode = Tuple[str, str]
+
+
+class AnalysisContext:
+    """Everything the lint rules share for one network + failure set."""
+
+    def __init__(
+        self, network: MplsNetwork, failed_links: FrozenSet[str] = frozenset()
+    ) -> None:
+        unknown = failed_links - set(network.link_names())
+        if unknown:
+            raise AnalysisError(
+                f"cannot lint {network.name!r} with unknown failed links: "
+                + ", ".join(sorted(unknown))
+            )
+        self.network = network
+        self.failed_links = failed_links
+        self.failed = frozenset(
+            link for link in network.topology.links if link.name in failed_links
+        )
+        self._interpretations: Dict[
+            Tuple[Label, Tuple[Operation, ...]], StackOutcome
+        ] = {}
+        self._flat_rules: Optional[List[FlatRule]] = None
+        self._dead_cells: List[Tuple[Link, Label]] = []
+        self._egress: Dict[str, bool] = {}
+        self._routers_with_rules: Optional[FrozenSet[str]] = None
+        self._graph: Optional[Dict[GraphNode, List[GraphNode]]] = None
+
+    # ------------------------------------------------------------------
+    # rule iteration
+    # ------------------------------------------------------------------
+    def rules(self) -> List[FlatRule]:
+        """Every forwarding rule the analysis considers.
+
+        With an empty failure set this is the whole table (any group may
+        become active under *some* failure scenario). With an assumed
+        failure set, traffic cannot arrive over a failed incoming link
+        and only the highest-priority active group of each cell applies
+        — cells whose groups are all inactive are collected in
+        :meth:`dead_cells` instead.
+        """
+        if self._flat_rules is None:
+            self._flat_rules = list(self._compute_rules())
+        return self._flat_rules
+
+    def _compute_rules(self) -> Iterable[FlatRule]:
+        for in_link, label, groups in self.network.routing.items():
+            if not self.failed:
+                for priority, entry in groups.all_entries():
+                    yield (in_link, label, priority, entry)
+                continue
+            if in_link in self.failed:
+                continue
+            index = groups.active_group_index(self.failed)
+            if index is None:
+                self._dead_cells.append((in_link, label))
+                continue
+            for entry in groups.groups[index].active_entries(self.failed):
+                yield (in_link, label, index, entry)
+
+    def dead_cells(self) -> List[Tuple[Link, Label]]:
+        """Cells whose groups are all inactive under the failure set."""
+        self.rules()  # populate
+        return self._dead_cells
+
+    def group_sequences(self) -> Iterable[Tuple[Link, Label, GroupSequence]]:
+        """The raw (in_link, label, groups) triples of the routing table."""
+        return self.network.routing.items()
+
+    # ------------------------------------------------------------------
+    # shared analyses
+    # ------------------------------------------------------------------
+    def interpret(self, label: Label, operations: Tuple[Operation, ...]) -> StackOutcome:
+        """Memoized abstract interpretation of one operation chain."""
+        key = (label, operations)
+        outcome = self._interpretations.get(key)
+        if outcome is None:
+            outcome = interpret(label, operations)
+            self._interpretations[key] = outcome
+        return outcome
+
+    def has_rule(self, link: Link, label: Label) -> bool:
+        """Is τ(link, label) defined (and alive under the failure set)?"""
+        if not self.network.routing.has_rule(link, label):
+            return False
+        if not self.failed:
+            return True
+        groups = self.network.routing.lookup(link, label)
+        return groups.active_group_index(self.failed) is not None
+
+    def is_egress(self, router_name: str) -> bool:
+        """Is a router a point where traffic legitimately leaves the network?
+
+        Two shapes qualify: a router with no (active) outgoing links, and
+        a router whose routing table is empty — the latter models edge /
+        customer hand-off stubs that sit outside the MPLS dataplane, where
+        arriving packets are delivered rather than label-switched onward.
+        A router that forwards *some* labels but lacks a rule for an
+        arriving one is NOT an egress — that is the black-hole case.
+        """
+        cached = self._egress.get(router_name)
+        if cached is None:
+            if self._routers_with_rules is None:
+                self._routers_with_rules = frozenset(
+                    in_link.target.name
+                    for in_link, _label, _groups in self.network.routing.items()
+                )
+            if router_name not in self._routers_with_rules:
+                cached = True
+            else:
+                out = self.network.topology.out_links(router_name)
+                if self.failed:
+                    out = tuple(link for link in out if link not in self.failed)
+                cached = len(out) == 0
+            self._egress[router_name] = cached
+        return cached
+
+    def transition_graph(self) -> Dict[GraphNode, List[GraphNode]]:
+        """The static label-transition graph (stack-top abstraction).
+
+        Nodes are defined routing-table cells ``(link name, label text)``;
+        there is an edge for every entry whose rewritten top label is
+        exactly known and matched by a rule on the entry's outgoing link.
+        Edges through unknown tops are dropped, so reported cycles are
+        real cycles of the abstraction.
+        """
+        if self._graph is None:
+            graph: Dict[GraphNode, List[GraphNode]] = {}
+            for in_link, label, _priority, entry in self.rules():
+                node = (in_link.name, str(label))
+                successors = graph.setdefault(node, [])
+                outcome = self.interpret(label, entry.operations)
+                if not outcome.is_ok or outcome.top is None:
+                    continue
+                if self.failed and entry.out_link in self.failed:
+                    continue
+                if self.has_rule(entry.out_link, outcome.top):
+                    successors.append((entry.out_link.name, str(outcome.top)))
+            self._graph = graph
+        return self._graph

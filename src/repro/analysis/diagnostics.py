@@ -1,0 +1,217 @@
+"""Diagnostic types of the dataplane linter.
+
+A :class:`Diagnostic` is one finding of one rule: a stable code
+(``DP001`` …), a :class:`Severity`, a :class:`Location` pinning the
+finding to a routing-table cell, a human-readable message, and an
+optional fix hint. A :class:`LintReport` aggregates the findings of one
+:func:`repro.analysis.analyze` run and carries the CLI's exit-code
+contract (0 clean / 1 warnings / 2 errors).
+
+Everything in this module is plain data — picklable (diagnostics ride
+farm :class:`~repro.verification.batch.BatchItem`\\ s across process
+boundaries) and JSON-ready via :meth:`Diagnostic.to_dict`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Optional, Tuple
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings describe dataplane defects that drop or misroute
+    traffic; ``WARNING`` findings are conservative (the abstraction may
+    over-approximate — the engine's verdicts remain the ground truth);
+    ``INFO`` findings are hygiene notes.
+    """
+
+    INFO = "info"
+    WARNING = "warning"
+    ERROR = "error"
+
+    @property
+    def rank(self) -> int:
+        """Numeric ordering: info < warning < error."""
+        return _SEVERITY_RANKS[self.value]
+
+
+_SEVERITY_RANKS: Dict[str, int] = {"info": 0, "warning": 1, "error": 2}
+
+
+@dataclass(frozen=True, order=True)
+class Location:
+    """Where a finding lives in the routing table.
+
+    The four coordinates mirror the table's structure: the router whose
+    table holds the rule, the incoming link and matched label addressing
+    the cell, and the 1-based traffic-engineering priority of the entry.
+    Rules that flag network-wide conditions (e.g. an unreferenced label)
+    may leave coordinates unset.
+    """
+
+    router: Optional[str] = None
+    in_link: Optional[str] = None
+    label: Optional[str] = None
+    priority: Optional[int] = None
+
+    def __str__(self) -> str:
+        parts = []
+        if self.router is not None:
+            parts.append(self.router)
+        if self.in_link is not None and self.label is not None:
+            parts.append(f"τ({self.in_link}, {self.label})")
+        elif self.in_link is not None:
+            parts.append(self.in_link)
+        elif self.label is not None:
+            parts.append(str(self.label))
+        if self.priority is not None:
+            parts.append(f"priority {self.priority}")
+        return ", ".join(parts) if parts else "network"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready rendering, omitting unset coordinates."""
+        document: Dict[str, Any] = {}
+        if self.router is not None:
+            document["router"] = self.router
+        if self.in_link is not None:
+            document["in_link"] = self.in_link
+        if self.label is not None:
+            document["label"] = self.label
+        if self.priority is not None:
+            document["priority"] = self.priority
+        return document
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of one lint rule."""
+
+    code: str
+    severity: Severity
+    location: Location
+    message: str
+    hint: Optional[str] = None
+
+    def format(self) -> str:
+        """One-line rendering: ``DP001 error [v2, τ(e1, s20)]: message``."""
+        line = f"{self.code} {self.severity.value} [{self.location}]: {self.message}"
+        if self.hint:
+            line += f"  (hint: {self.hint})"
+        return line
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready rendering (the server's and CLI's wire format)."""
+        document: Dict[str, Any] = {
+            "code": self.code,
+            "severity": self.severity.value,
+            "location": self.location.to_dict(),
+            "message": self.message,
+        }
+        if self.hint:
+            document["hint"] = self.hint
+        return document
+
+    def sort_key(self) -> Tuple[str, Tuple[str, str, str, int], str]:
+        """Deterministic ordering key: code, then location, then message."""
+        loc = self.location
+        return (
+            self.code,
+            (loc.router or "", loc.in_link or "", loc.label or "", loc.priority or 0),
+            self.message,
+        )
+
+
+@dataclass
+class LintReport:
+    """The outcome of one :func:`repro.analysis.analyze` run."""
+
+    network_name: str
+    diagnostics: Tuple[Diagnostic, ...] = ()
+    #: Links the analysis assumed failed (names, sorted).
+    failed_links: Tuple[str, ...] = ()
+    elapsed_seconds: float = 0.0
+    #: Rule codes that actually ran (after enable/suppress config).
+    rules_run: Tuple[str, ...] = field(default_factory=tuple)
+
+    def count(self, severity: Severity) -> int:
+        """Number of findings of one severity."""
+        return sum(1 for d in self.diagnostics if d.severity is severity)
+
+    @property
+    def errors(self) -> int:
+        return self.count(Severity.ERROR)
+
+    @property
+    def warnings(self) -> int:
+        return self.count(Severity.WARNING)
+
+    @property
+    def infos(self) -> int:
+        return self.count(Severity.INFO)
+
+    @property
+    def clean(self) -> bool:
+        """True when there are no findings at all."""
+        return not self.diagnostics
+
+    @property
+    def worst_severity(self) -> Optional[Severity]:
+        """The highest severity among the findings, or None when clean."""
+        worst: Optional[Severity] = None
+        for diagnostic in self.diagnostics:
+            if worst is None or diagnostic.severity.rank > worst.rank:
+                worst = diagnostic.severity
+        return worst
+
+    @property
+    def exit_code(self) -> int:
+        """The CLI contract: 0 clean/info-only, 1 warnings, 2 errors."""
+        worst = self.worst_severity
+        if worst is Severity.ERROR:
+            return 2
+        if worst is Severity.WARNING:
+            return 1
+        return 0
+
+    def by_code(self, code: str) -> Tuple[Diagnostic, ...]:
+        """The findings of one rule."""
+        return tuple(d for d in self.diagnostics if d.code == code)
+
+    def codes(self) -> Tuple[str, ...]:
+        """The distinct codes present, sorted."""
+        return tuple(sorted({d.code for d in self.diagnostics}))
+
+    def format_text(self) -> str:
+        """The CLI's human-readable multi-line rendering."""
+        lines = [diagnostic.format() for diagnostic in self.diagnostics]
+        lines.append(
+            f"{self.network_name}: {self.errors} error(s), "
+            f"{self.warnings} warning(s), {self.infos} info(s) "
+            f"in {self.elapsed_seconds * 1000:.1f}ms"
+        )
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready rendering of the whole report."""
+        return {
+            "network": self.network_name,
+            "clean": self.clean,
+            "exit_code": self.exit_code,
+            "counts": {
+                "errors": self.errors,
+                "warnings": self.warnings,
+                "infos": self.infos,
+            },
+            "failed_links": list(self.failed_links),
+            "rules_run": list(self.rules_run),
+            "elapsed_seconds": round(self.elapsed_seconds, 6),
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+
+def sort_diagnostics(diagnostics: Iterable[Diagnostic]) -> Tuple[Diagnostic, ...]:
+    """Deterministic report order: by code, then location, then message."""
+    return tuple(sorted(diagnostics, key=Diagnostic.sort_key))

@@ -1,0 +1,81 @@
+"""DP001 — black hole: forwarded traffic arrives where no rule matches.
+
+A routing entry sends packets out a link to its target router with a
+statically-known new top label; if that router defines no rule for
+``(out link, new label)`` and is not an egress (it has outgoing links,
+so traffic is evidently meant to transit it), every packet using the
+entry is silently dropped. Packets whose rewritten top is an IP label
+are leaving the MPLS domain and are never flagged; entries whose new
+top is unknown (the chain pops into the unknown part of the stack) are
+skipped — a DP001 is only reported when the drop is provable.
+
+With an assumed failure set the rule additionally flags routing cells
+whose traffic-engineering groups are *all* inactive — the protection
+chain is exhausted and matching packets are dropped on the floor.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.analysis.context import AnalysisContext
+from repro.analysis.diagnostics import Diagnostic, Location, Severity
+from repro.analysis.registry import rule
+
+
+@rule("DP001", "black hole", Severity.ERROR)
+def check_black_holes(context: AnalysisContext) -> Iterable[Diagnostic]:
+    """Traffic provably dropped at a non-egress router."""
+    return _check(context)
+
+
+def _check(context: AnalysisContext) -> Iterator[Diagnostic]:
+    for in_link, label, priority, entry in context.rules():
+        outcome = context.interpret(label, entry.operations)
+        if not outcome.is_ok or outcome.top is None or outcome.top_is_ip:
+            continue
+        out_link = entry.out_link
+        if context.has_rule(out_link, outcome.top):
+            continue
+        next_router = out_link.target.name
+        if context.is_egress(next_router):
+            continue
+        yield Diagnostic(
+            code="DP001",
+            severity=Severity.ERROR,
+            location=Location(
+                router=in_link.target.name,
+                in_link=in_link.name,
+                label=str(label),
+                priority=priority + 1,
+            ),
+            message=(
+                f"black hole: packets forwarded via {out_link.name} arrive at "
+                f"{next_router} with top label {outcome.top}, but "
+                f"τ({out_link.name}, {outcome.top}) is undefined and "
+                f"{next_router} is not an egress"
+            ),
+            hint=(
+                f"add a rule matching label {outcome.top} on link "
+                f"{out_link.name} at {next_router}, or rewrite the chain to a "
+                "label that router forwards"
+            ),
+        )
+    for in_link, label in context.dead_cells():
+        yield Diagnostic(
+            code="DP001",
+            severity=Severity.ERROR,
+            location=Location(
+                router=in_link.target.name,
+                in_link=in_link.name,
+                label=str(label),
+            ),
+            message=(
+                f"black hole under failures "
+                f"{{{', '.join(sorted(context.failed_links))}}}: every "
+                f"traffic-engineering group of τ({in_link.name}, {label}) is "
+                "inactive — protection is exhausted and matching packets are "
+                "dropped"
+            ),
+            hint="add a further failover group with a disjoint outgoing link",
+        )

@@ -1,0 +1,115 @@
+"""DP002 — forwarding loop: a cycle in the static label-transition graph.
+
+The graph's nodes are defined routing-table cells ``(link, label)``;
+edges follow each entry to the cell its statically-known rewritten top
+label selects at the next router (stack-top abstraction, see
+:meth:`~repro.analysis.context.AnalysisContext.transition_graph`).
+A cycle means a packet whose top label enters the cycle is forwarded
+around it forever — classic swap-chain loops are caught exactly.
+
+The check is conservative in the warning direction: a reported cycle is
+a real cycle of the abstraction, but whether a concrete packet reaches
+it (and whether failover priorities ever steer traffic into it) is for
+the engine to decide, hence severity *warning* rather than error.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List
+
+from repro.analysis.context import AnalysisContext, GraphNode
+from repro.analysis.diagnostics import Diagnostic, Location, Severity
+from repro.analysis.registry import rule
+
+
+@rule("DP002", "forwarding loop", Severity.WARNING)
+def check_forwarding_loops(context: AnalysisContext) -> Iterable[Diagnostic]:
+    """Cycles on the static label-transition graph."""
+    return _check(context)
+
+
+def _strongly_connected_components(
+    graph: Dict[GraphNode, List[GraphNode]]
+) -> List[List[GraphNode]]:
+    """Tarjan's SCC algorithm, iteratively (tables can be deep)."""
+    index_of: Dict[GraphNode, int] = {}
+    low: Dict[GraphNode, int] = {}
+    on_stack: Dict[GraphNode, bool] = {}
+    stack: List[GraphNode] = []
+    components: List[List[GraphNode]] = []
+    counter = [0]
+
+    for root in graph:
+        if root in index_of:
+            continue
+        work = [(root, iter(graph.get(root, ())))]
+        index_of[root] = low[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack[root] = True
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for successor in successors:
+                if successor not in graph:
+                    continue
+                if successor not in index_of:
+                    index_of[successor] = low[successor] = counter[0]
+                    counter[0] += 1
+                    stack.append(successor)
+                    on_stack[successor] = True
+                    work.append((successor, iter(graph.get(successor, ()))))
+                    advanced = True
+                    break
+                if on_stack.get(successor):
+                    low[node] = min(low[node], index_of[successor])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index_of[node]:
+                component: List[GraphNode] = []
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = False
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(component)
+    return components
+
+
+def _check(context: AnalysisContext) -> Iterator[Diagnostic]:
+    graph = context.transition_graph()
+    topology = context.network.topology
+    for component in _strongly_connected_components(graph):
+        if len(component) == 1:
+            node = component[0]
+            if node not in graph.get(node, ()):
+                continue  # trivial SCC, no self-loop
+        ordered = sorted(component)
+        cycle = " → ".join(
+            f"{topology.link(link_name).target.name}[{link_name}, {label_text}]"
+            for link_name, label_text in ordered
+        )
+        first_link, first_label = ordered[0]
+        in_link = topology.link(first_link)
+        yield Diagnostic(
+            code="DP002",
+            severity=Severity.WARNING,
+            location=Location(
+                router=in_link.target.name,
+                in_link=first_link,
+                label=first_label,
+            ),
+            message=(
+                f"forwarding loop: the label-transition graph has a cycle "
+                f"{cycle} → … — packets entering it are forwarded forever"
+            ),
+            hint=(
+                "break the cycle by rewriting one hop to a label that "
+                "progresses toward an egress"
+            ),
+        )

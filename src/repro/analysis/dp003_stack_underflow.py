@@ -1,0 +1,54 @@
+"""DP003 — stack underflow: an operation chain provably undefined.
+
+The abstract interpretation of :mod:`repro.analysis.stacks` tracks the
+exactly-known part of the label stack implied by the matched top label.
+When it proves that a chain is undefined on *every* valid header
+matching the rule — typically a ``pop`` that hits the IP label at the
+bottom of the stack, or a swap/push that would produce an invalid
+header below the construction-time check's horizon — the entry is dead:
+the header rewrite function 𝓗 is undefined, so the entry can never
+forward a packet, and traffic that would have used it is dropped.
+
+This is strictly sharper than the permissive construction-time check
+(:func:`repro.model.operations.operations_well_formed`), which stops
+tracking once a pop consumes past the matched label; the linter knows
+the stack *shape* below it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.analysis.context import AnalysisContext
+from repro.analysis.diagnostics import Diagnostic, Location, Severity
+from repro.analysis.registry import rule
+from repro.model.operations import format_operations
+
+
+@rule("DP003", "stack underflow", Severity.ERROR)
+def check_stack_underflow(context: AnalysisContext) -> Iterable[Diagnostic]:
+    """Operation chains undefined on every matching header."""
+    return _check(context)
+
+
+def _check(context: AnalysisContext) -> Iterator[Diagnostic]:
+    for in_link, label, priority, entry in context.rules():
+        outcome = context.interpret(label, entry.operations)
+        if not outcome.is_undefined:
+            continue
+        yield Diagnostic(
+            code="DP003",
+            severity=Severity.ERROR,
+            location=Location(
+                router=in_link.target.name,
+                in_link=in_link.name,
+                label=str(label),
+                priority=priority + 1,
+            ),
+            message=(
+                f"operation chain {format_operations(entry.operations)} is "
+                f"undefined on every header with top label {label}: "
+                f"{outcome.reason}"
+            ),
+            hint="shorten the chain or match a label with a deeper stack",
+        )

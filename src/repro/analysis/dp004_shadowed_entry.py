@@ -1,0 +1,68 @@
+"""DP004 — shadowed failover entry: protection that can never activate.
+
+Group ``O_j`` of a routing cell is only consulted once every link of
+the higher-priority groups ``O_1 … O_{j-1}`` has failed
+(:meth:`~repro.model.routing.GroupSequence.required_failures`). An
+entry of ``O_j`` whose own outgoing link appears in that required
+failure set is unusable: by the time its group is reached, its link is
+already down. If *every* entry of a group is shadowed this way, the
+whole group is dead weight — the operator believes the cell has one
+more layer of protection than it actually does.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.analysis.context import AnalysisContext
+from repro.analysis.diagnostics import Diagnostic, Location, Severity
+from repro.analysis.registry import rule
+
+
+@rule("DP004", "shadowed failover entry", Severity.WARNING)
+def check_shadowed_entries(context: AnalysisContext) -> Iterable[Diagnostic]:
+    """Failover entries whose required failures kill their own link."""
+    return _check(context)
+
+
+def _check(context: AnalysisContext) -> Iterator[Diagnostic]:
+    for in_link, label, groups in context.group_sequences():
+        for index, group in enumerate(groups):
+            if index == 0:
+                continue  # the primary group has no activation precondition
+            required = groups.required_failures(index)
+            shadowed = [
+                entry for entry in group if entry.out_link in required
+            ]
+            if not shadowed:
+                continue
+            whole_group = len(shadowed) == len(group)
+            links = ", ".join(sorted(e.out_link.name for e in shadowed))
+            if whole_group:
+                message = (
+                    f"unreachable failover group: every outgoing link of "
+                    f"priority-{index + 1} ({links}) must already have failed "
+                    f"for the group to activate — it can never forward"
+                )
+            else:
+                message = (
+                    f"shadowed failover entr{'ies' if len(shadowed) > 1 else 'y'}: "
+                    f"outgoing link{'s' if len(shadowed) > 1 else ''} {links} of "
+                    f"priority-{index + 1} must already have failed for the "
+                    f"group to activate"
+                )
+            yield Diagnostic(
+                code="DP004",
+                severity=Severity.WARNING,
+                location=Location(
+                    router=in_link.target.name,
+                    in_link=in_link.name,
+                    label=str(label),
+                    priority=index + 1,
+                ),
+                message=message,
+                hint=(
+                    "protect the cell with a link disjoint from the "
+                    "higher-priority groups"
+                ),
+            )

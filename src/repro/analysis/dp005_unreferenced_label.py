@@ -1,0 +1,59 @@
+"""DP005 — unreferenced label: pushed but matched by no routing rule.
+
+A label that appears as a ``push`` target somewhere in the table but is
+matched by no rule anywhere is a hygiene smell: the moment it surfaces
+as top-of-stack at the next router, no table can forward it. Whether
+that actually drops traffic depends on where it surfaces (DP001 flags
+the provable per-entry cases); this network-wide check is therefore
+*info* severity — it typically points at a tunnel whose far end was
+decommissioned or renamed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Tuple
+
+from repro.analysis.context import AnalysisContext
+from repro.analysis.diagnostics import Diagnostic, Location, Severity
+from repro.analysis.registry import rule
+from repro.model.labels import Label
+from repro.model.operations import Push
+from repro.model.topology import Link
+
+
+@rule("DP005", "unreferenced label", Severity.INFO)
+def check_unreferenced_labels(context: AnalysisContext) -> Iterable[Diagnostic]:
+    """Push targets no routing rule matches."""
+    return _check(context)
+
+
+def _check(context: AnalysisContext) -> Iterator[Diagnostic]:
+    matched = {
+        str(label) for _link, label, _groups in context.group_sequences()
+    }
+    # First rule pushing each unmatched label, for a stable location.
+    pushed_at: Dict[str, Tuple[Link, Label, int]] = {}
+    for in_link, label, priority, entry in context.rules():
+        for op in entry.operations:
+            if isinstance(op, Push) and str(op.label) not in matched:
+                pushed_at.setdefault(str(op.label), (in_link, label, priority))
+    for pushed_text in sorted(pushed_at):
+        in_link, label, priority = pushed_at[pushed_text]
+        yield Diagnostic(
+            code="DP005",
+            severity=Severity.INFO,
+            location=Location(
+                router=in_link.target.name,
+                in_link=in_link.name,
+                label=str(label),
+                priority=priority + 1,
+            ),
+            message=(
+                f"label {pushed_text} is pushed here but no routing rule in "
+                f"the network matches it"
+            ),
+            hint=(
+                f"add rules matching {pushed_text} along the tunnel, or drop "
+                "the push"
+            ),
+        )

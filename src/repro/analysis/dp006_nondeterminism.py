@@ -1,0 +1,65 @@
+"""DP006 — nondeterministic overlap: several simultaneously-active entries.
+
+A traffic-engineering group with two or more entries forwards
+nondeterministically whenever more than one of its outgoing links is up
+(§2.4: *any* active link of the highest-priority active group may be
+used). That is sometimes intentional — ECMP-style splitting is modelled
+exactly this way — but it also widens every reachability answer to "on
+some nondeterministic choice", so the linter surfaces it as a warning
+the operator can suppress once acknowledged.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.analysis.context import AnalysisContext
+from repro.analysis.diagnostics import Diagnostic, Location, Severity
+from repro.analysis.registry import rule
+
+
+@rule("DP006", "nondeterministic overlap", Severity.WARNING)
+def check_nondeterminism(context: AnalysisContext) -> Iterable[Diagnostic]:
+    """Groups with more than one simultaneously-active entry."""
+    return _check(context)
+
+
+def _check(context: AnalysisContext) -> Iterator[Diagnostic]:
+    for in_link, label, groups in context.group_sequences():
+        for index, group in enumerate(groups):
+            entries = (
+                group.active_entries(context.failed)
+                if context.failed
+                else group.entries
+            )
+            if len(entries) < 2:
+                continue
+            links = sorted({entry.out_link.name for entry in entries})
+            if len(links) == 1:
+                detail = (
+                    f"{len(entries)} entries over the single link {links[0]} "
+                    "with different operation chains"
+                )
+            else:
+                detail = (
+                    f"{len(entries)} entries over links {', '.join(links)}"
+                )
+            yield Diagnostic(
+                code="DP006",
+                severity=Severity.WARNING,
+                location=Location(
+                    router=in_link.target.name,
+                    in_link=in_link.name,
+                    label=str(label),
+                    priority=index + 1,
+                ),
+                message=(
+                    f"nondeterministic forwarding: priority-{index + 1} group "
+                    f"has {detail}; when several links are up the choice is "
+                    "arbitrary"
+                ),
+                hint=(
+                    "split the entries into distinct priorities if a "
+                    "preference exists (or suppress DP006 for intended ECMP)"
+                ),
+            )

@@ -1,0 +1,199 @@
+"""Abstract interpretation of operation chains over label stacks.
+
+The linter never builds headers or pushdown systems; it reasons about a
+rule's operation chain ``ω`` against the *shape* every valid header with
+the matched top label must have (Definition 2.2 of the paper):
+
+* top label IP → the whole header is exactly ``[ip]``;
+* top label ``L_M^bot`` (bottom-of-stack MPLS) → exactly ``[smpls, ip]``;
+* top label plain ``L_M`` → ``[mpls] · mpls* · [smpls, ip]`` with an
+  *unknown* run of plain MPLS labels in the middle.
+
+The abstraction tracks the exactly-known prefix of the stack (concrete
+labels from the match and from pushes, kind-only markers for the cells
+the header shape guarantees) above the unknown ``mpls*`` run. Because
+operations only touch the top of the stack, the interpretation is exact
+until a ``pop`` consumes into the unknown run; from then on the result
+is :data:`UNKNOWN` and the rules report nothing (soundness: a lint
+*error* is only emitted for behaviour provable for **every** valid
+header matching the rule — see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Union
+
+from repro.model.labels import Label, LabelKind
+from repro.model.operations import Operation, Pop, Push, Swap
+
+#: A stack cell: a concrete label, or a kind-only marker for a cell whose
+#: existence (but not identity) the header shape guarantees.
+Cell = Union[Label, LabelKind]
+
+#: Interpretation outcomes.
+OK = "ok"
+UNDEFINED = "undefined"
+UNKNOWN = "unknown"
+
+
+@dataclass(frozen=True)
+class StackOutcome:
+    """Result of abstractly applying an operation chain.
+
+    ``status`` is :data:`OK` (chain defined on every matching header,
+    final top known), :data:`UNDEFINED` (chain provably undefined on
+    every matching header — ``reason`` names the failing operation), or
+    :data:`UNKNOWN` (the chain consumed into the unknown ``mpls*`` run;
+    nothing can be concluded).
+    """
+
+    status: str
+    #: The concrete top-of-stack label after the chain (OK status only,
+    #: and only when the final top is an exactly-known label).
+    top: Optional[Label] = None
+    #: True when the final top is known to be an IP label (concrete or
+    #: guaranteed by the header shape) — the packet leaves MPLS.
+    top_is_ip: bool = False
+    #: For UNDEFINED: which operation failed and why.
+    reason: Optional[str] = None
+
+    @property
+    def is_ok(self) -> bool:
+        return self.status == OK
+
+    @property
+    def is_undefined(self) -> bool:
+        return self.status == UNDEFINED
+
+
+def _kind_of(cell: Cell) -> LabelKind:
+    return cell.kind if isinstance(cell, Label) else cell
+
+
+def _initial_cells(top: Label) -> tuple:
+    """(cells, has_unknown_run) for the shape of headers topped by ``top``."""
+    if top.is_ip:
+        return [top], False
+    if top.is_bottom_mpls:
+        return [top, LabelKind.IP], False
+    # Plain MPLS: an unknown mpls* run (then smpls, ip) sits below.
+    return [top], True
+
+
+def _depth_below_is_at_least_two(cells: List[Cell], unknown_run: bool) -> bool:
+    """Is the stack below the top guaranteed to hold ≥ 2 more labels?
+
+    Decides what kind a swapped-in label must have: a top above ≥ 2 more
+    labels must be plain MPLS; above exactly one (the IP) it must be
+    bottom-of-stack MPLS; above nothing it must be IP.
+    """
+    if unknown_run:
+        # Below the explicit cells: mpls* · smpls · ip, i.e. ≥ 2 labels
+        # below the top whenever any explicit cell remains on top.
+        return True
+    return len(cells) >= 3
+
+
+def interpret(top: Label, operations: Sequence[Operation]) -> StackOutcome:
+    """Abstractly apply ``operations`` to every header topped by ``top``.
+
+    Exact as long as the chain stays within the known prefix of the
+    stack; returns :data:`UNKNOWN` the moment a pop consumes into the
+    header shape's ``mpls*`` run.
+    """
+    cells, unknown_run = _initial_cells(top)
+    for index, op in enumerate(operations):
+        if not cells:
+            if unknown_run:
+                # The chain dug into the unknown mpls* run: one pop there
+                # is always defined (≥ smpls · ip remains), but from now
+                # on nothing is exactly known.
+                return StackOutcome(UNKNOWN)
+            # Unreachable for valid headers: the IP cell is never removed
+            # without the chain being flagged undefined first.
+            return StackOutcome(UNKNOWN)
+        current = _kind_of(cells[0])
+        if isinstance(op, Swap):
+            outcome = _check_swap(op, current, cells, unknown_run, index)
+            if outcome is not None:
+                return outcome
+            cells[0] = op.label
+        elif isinstance(op, Push):
+            outcome = _check_push(op, current, index)
+            if outcome is not None:
+                return outcome
+            cells.insert(0, op.label)
+        elif isinstance(op, Pop):
+            if current is LabelKind.IP:
+                return StackOutcome(
+                    UNDEFINED,
+                    reason=f"operation {index + 1} (pop) hits the IP label at "
+                    "the bottom of every matching header — the stack is empty "
+                    "of MPLS labels at that point",
+                )
+            cells.pop(0)
+        else:  # pragma: no cover - the Operation union is closed
+            return StackOutcome(UNKNOWN)
+
+    if cells:
+        head = cells[0]
+        if isinstance(head, Label):
+            return StackOutcome(OK, top=head, top_is_ip=head.is_ip)
+        return StackOutcome(OK, top=None, top_is_ip=head is LabelKind.IP)
+    if unknown_run:
+        # Chain ended exactly at the unknown run: defined, top unknown.
+        return StackOutcome(UNKNOWN)
+    return StackOutcome(UNKNOWN)
+
+
+def _check_swap(
+    op: Swap, current: LabelKind, cells: List[Cell], unknown_run: bool, index: int
+) -> Optional[StackOutcome]:
+    """None when the swap is valid; an UNDEFINED outcome otherwise."""
+    below_deep = _depth_below_is_at_least_two(cells, unknown_run)
+    if current is LabelKind.IP:
+        if not op.label.is_ip:
+            return StackOutcome(
+                UNDEFINED,
+                reason=f"operation {index + 1} (swap({op.label})) replaces the "
+                "IP label with a non-IP label",
+            )
+        return None
+    if below_deep:
+        if not op.label.is_mpls:
+            return StackOutcome(
+                UNDEFINED,
+                reason=f"operation {index + 1} (swap({op.label})) puts a "
+                "non-plain-MPLS label above deeper stack entries",
+            )
+        return None
+    # Exactly one label (the IP) below: the top must stay bottom-of-stack.
+    if not op.label.is_bottom_mpls:
+        return StackOutcome(
+            UNDEFINED,
+            reason=f"operation {index + 1} (swap({op.label})) replaces the "
+            "bottom-of-stack label directly above the IP label with a label "
+            "of the wrong class",
+        )
+    return None
+
+
+def _check_push(op: Push, current: LabelKind, index: int) -> Optional[StackOutcome]:
+    """None when the push is valid; an UNDEFINED outcome otherwise."""
+    if current is LabelKind.IP:
+        if not op.label.is_bottom_mpls:
+            return StackOutcome(
+                UNDEFINED,
+                reason=f"operation {index + 1} (push({op.label})) pushes a "
+                "label without the bottom-of-stack bit directly onto the IP "
+                "label",
+            )
+        return None
+    if not op.label.is_mpls:
+        return StackOutcome(
+            UNDEFINED,
+            reason=f"operation {index + 1} (push({op.label})) pushes a "
+            "non-plain-MPLS label onto an MPLS stack",
+        )
+    return None

@@ -48,12 +48,8 @@ from repro.verification.engine import VerificationEngine
 from repro.verification.results import Status, VerificationResult
 
 
-def build_parser() -> argparse.ArgumentParser:
-    """The aalwines argument parser (exposed for doc generation)."""
-    parser = argparse.ArgumentParser(
-        prog="aalwines",
-        description="Fast quantitative what-if analysis for MPLS networks",
-    )
+def _add_network_arguments(parser: argparse.ArgumentParser) -> None:
+    """The network-source argument group shared by all subcommands."""
     source = parser.add_argument_group("network input")
     source.add_argument("--topology", help="topo.xml file (Appendix A)")
     source.add_argument("--routing", help="route.xml file (Appendix A)")
@@ -70,6 +66,15 @@ def build_parser() -> argparse.ArgumentParser:
     source.add_argument(
         "--isis-dir", help="directory containing the per-router IS-IS extracts"
     )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The aalwines argument parser (exposed for doc generation)."""
+    parser = argparse.ArgumentParser(
+        prog="aalwines",
+        description="Fast quantitative what-if analysis for MPLS networks",
+    )
+    _add_network_arguments(parser)
 
     query = parser.add_argument_group("verification")
     query.add_argument("--query", help="query <a> b <c> k (Definition 5)")
@@ -119,6 +124,12 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: 10000)",
     )
     query.add_argument(
+        "--preflight",
+        action="store_true",
+        help="lint each degraded sweep variant and report its diagnostics "
+        "alongside the verification verdicts",
+    )
+    query.add_argument(
         "--trace-json", action="store_true", help="print the witness trace as JSON"
     )
     query.add_argument("--stats", action="store_true", help="print engine statistics")
@@ -134,6 +145,90 @@ def build_parser() -> argparse.ArgumentParser:
         "--write-json", help="write the loaded network as single-file JSON here"
     )
     return parser
+
+
+def build_lint_parser() -> argparse.ArgumentParser:
+    """The ``aalwines lint`` argument parser (exposed for doc generation)."""
+    parser = argparse.ArgumentParser(
+        prog="aalwines lint",
+        description="Statically lint MPLS routing tables — black holes, "
+        "loops, stack underflows and failover defects, without building "
+        "any pushdown system. Exit code: 0 clean, 1 warnings, 2 errors, "
+        "3 usage/input error.",
+    )
+    _add_network_arguments(parser)
+    lint = parser.add_argument_group("linting")
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    lint.add_argument(
+        "--rules",
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all registered)",
+    )
+    lint.add_argument(
+        "--suppress",
+        metavar="CODES",
+        help="comma-separated rule codes to suppress",
+    )
+    lint.add_argument(
+        "--min-severity",
+        choices=("info", "warning", "error"),
+        default=None,
+        help="drop findings below this severity",
+    )
+    lint.add_argument(
+        "--failed-links",
+        metavar="LINKS",
+        help="comma-separated link names to assume failed (what-if lint)",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the registered rules and exit",
+    )
+    return parser
+
+
+def _split_codes(text: Optional[str]) -> Optional[list]:
+    if text is None:
+        return None
+    return [part.strip() for part in text.split(",") if part.strip()]
+
+
+def lint_main(argv: Optional[list] = None) -> int:
+    """Entry point of the ``aalwines lint`` subcommand."""
+    from repro.analysis import LintConfig, all_rules, analyze
+
+    parser = build_lint_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        for info in all_rules():
+            print(
+                f"{info.code}  {info.default_severity.value:<8} "
+                f"{info.title} — {info.description}"
+            )
+        return 0
+    try:
+        network = _load_network(args)
+        config = LintConfig.of(
+            enabled=_split_codes(args.rules),
+            suppressed=_split_codes(args.suppress) or (),
+            min_severity=args.min_severity,
+        )
+        failed = frozenset(_split_codes(args.failed_links) or ())
+        report = analyze(network, failed_links=failed, config=config)
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 3
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.format_text())
+    return report.exit_code
 
 
 def _load_network(args: argparse.Namespace) -> MplsNetwork:
@@ -221,12 +316,22 @@ def _run_batch(network: MplsNetwork, args: argparse.Namespace) -> int:
     with open(args.queries_file, "r", encoding="utf-8") as handle:
         queries = parse_query_file(handle.read())
     engine = _make_engine(network, args)
-    verifier = BatchVerifier(engine, timeout_per_query=args.timeout, jobs=args.jobs)
+    verifier = BatchVerifier(
+        engine,
+        timeout_per_query=args.timeout,
+        jobs=args.jobs,
+        preflight=args.preflight,
+    )
 
     def progress(_index: int, _total: int, item) -> None:
         _print_item(item)
 
-    _items, summary = verifier.run(queries, progress=progress)
+    items, summary = verifier.run(queries, progress=progress)
+    if args.preflight and items and items[0].diagnostics:
+        print()
+        print(f"preflight findings on {network.name}:")
+        for diagnostic in items[0].diagnostics:
+            print(f"  {diagnostic.format()}")
     print()
     print(summary.format())
     return 0 if summary.timeouts == 0 and summary.errors == 0 else 3
@@ -255,7 +360,11 @@ def _run_sweep(network: MplsNetwork, args: argparse.Namespace) -> int:
         weight=args.weight,
     )
     scenarios = failure_scenarios(
-        network, queries, max_failures=args.sweep_failures, limit=args.sweep_limit
+        network,
+        queries,
+        max_failures=args.sweep_failures,
+        limit=args.sweep_limit,
+        preflight=args.preflight,
     )
     jobs, payloads, prebuilt = scenarios_to_jobs(
         scenarios, config, timeout=args.timeout
@@ -273,6 +382,19 @@ def _run_sweep(network: MplsNetwork, args: argparse.Namespace) -> int:
         progress=lambda _i, _t, item: _print_item(item),
         prebuilt=prebuilt,
     )
+    for scenario, item in zip(scenarios, items):
+        if item is not None and scenario.diagnostics:
+            item.diagnostics = scenario.diagnostics
+    if args.preflight:
+        flagged = [s for s in scenarios if s.diagnostics]
+        print()
+        print(
+            f"preflight: {len(flagged)}/{len(scenarios)} scenarios "
+            "with lint findings"
+        )
+        for scenario in flagged:
+            codes = ", ".join(sorted({d.code for d in scenario.diagnostics}))
+            print(f"  {scenario.name}: {codes}")
     summary = summarize(item for item in items if item is not None)
     print()
     print(summary.format())
@@ -281,6 +403,9 @@ def _run_sweep(network: MplsNetwork, args: argparse.Namespace) -> int:
 
 def main(argv: Optional[list] = None) -> int:
     """CLI entry point; returns the process exit code."""
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "lint":
+        return lint_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     try:

@@ -1,0 +1,144 @@
+"""Seeded-defect fixture networks, one per linter rule.
+
+Each builder returns a minimal network exhibiting exactly one
+diagnostic code of :mod:`repro.analysis` — the linter tests assert that
+``analyze`` flags *precisely* the expected code on each fixture, and
+the README's "Linting your dataplane" section uses them as worked
+examples. A companion :func:`build_clean_network` yields a small
+network with no findings at all (the CLI exit-code-0 case).
+
+Naming convention: every fixture has an external source router ``X``
+feeding link ``e0`` into the first dataplane router, so queries and
+rules always have a well-defined incoming link.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.errors import ReproError
+from repro.model.builder import NetworkBuilder
+from repro.model.network import MplsNetwork
+
+#: The diagnostic codes with a seeded fixture, in code order.
+DEFECT_CODES: Tuple[str, ...] = (
+    "DP001",
+    "DP002",
+    "DP003",
+    "DP004",
+    "DP005",
+    "DP006",
+)
+
+
+def build_clean_network() -> MplsNetwork:
+    """A defect-free swap chain: X → A → B → C, C an egress."""
+    builder = NetworkBuilder("clean-chain")
+    builder.link("e0", "X", "A")
+    builder.link("e1", "A", "B")
+    builder.link("e2", "B", "C")
+    builder.rule("e0", "s10", "e1", "swap(s11)")
+    builder.rule("e1", "s11", "e2", "swap(s12)")
+    return builder.build()
+
+
+def build_dp001_black_hole() -> MplsNetwork:
+    """B forwards other labels but has no rule for the arriving s11.
+
+    A rewrites s10 → s11 toward B; B is a working MPLS router (it
+    forwards s99) yet τ(e1, s11) is undefined and B is no egress —
+    packets die at B.
+    """
+    builder = NetworkBuilder("defect-dp001")
+    builder.link("e0", "X", "A")
+    builder.link("e1", "A", "B")
+    builder.link("e2", "B", "C")
+    builder.rule("e0", "s10", "e1", "swap(s11)")
+    # B participates in the dataplane (so it is not an edge stub) but
+    # only for an unrelated label.
+    builder.rule("e1", "s99", "e2", "swap(s98)")
+    return builder.build()
+
+
+def build_dp002_forwarding_loop() -> MplsNetwork:
+    """A swap ring A → B → C → A that never progresses to an egress."""
+    builder = NetworkBuilder("defect-dp002")
+    builder.link("e0", "X", "A")
+    builder.link("e1", "A", "B")
+    builder.link("e2", "B", "C")
+    builder.link("e3", "C", "A")
+    builder.rule("e0", "s10", "e1", "swap(s11)")
+    builder.rule("e1", "s11", "e2", "swap(s12)")
+    builder.rule("e2", "s12", "e3", "swap(s13)")
+    builder.rule("e3", "s13", "e1", "swap(s11)")
+    return builder.build()
+
+
+def build_dp003_stack_underflow() -> MplsNetwork:
+    """A double pop on a bottom-of-stack label: the second pop always
+    hits the IP label, so the chain is undefined on every header."""
+    builder = NetworkBuilder("defect-dp003")
+    builder.link("e0", "X", "A")
+    builder.link("e1", "A", "B")
+    builder.rule("e0", "s10", "e1", "pop ∘ pop")
+    return builder.build()
+
+
+def build_dp004_shadowed_entry() -> MplsNetwork:
+    """A failover group protecting a link with itself.
+
+    The priority-2 group's only link e1 must already have failed for
+    the group to activate (required_failures = the priority-1 links),
+    so the "protection" can never forward anything.
+    """
+    builder = NetworkBuilder("defect-dp004")
+    builder.link("e0", "X", "A")
+    builder.link("e1", "A", "B")
+    builder.rule("e0", "s10", "e1", "swap(s11)")
+    builder.rule("e0", "s10", "e1", "swap(s12)", priority=2)
+    return builder.build()
+
+
+def build_dp005_unreferenced_label() -> MplsNetwork:
+    """A tunnel entry pushing a label no rule in the network matches."""
+    builder = NetworkBuilder("defect-dp005")
+    builder.link("e0", "X", "A")
+    builder.link("e1", "A", "B")
+    builder.rule("e0", "ip1", "e1", "push(s99)")
+    return builder.build()
+
+
+def build_dp006_nondeterminism() -> MplsNetwork:
+    """One group with two simultaneously-active entries (accidental ECMP)."""
+    builder = NetworkBuilder("defect-dp006")
+    builder.link("e0", "X", "A")
+    builder.link("e1", "A", "B")
+    builder.link("e2", "A", "C")
+    builder.rule("e0", "s10", "e1", "swap(s11)")
+    builder.rule("e0", "s10", "e2", "swap(s12)")
+    return builder.build()
+
+
+_BUILDERS: Dict[str, Callable[[], MplsNetwork]] = {
+    "DP001": build_dp001_black_hole,
+    "DP002": build_dp002_forwarding_loop,
+    "DP003": build_dp003_stack_underflow,
+    "DP004": build_dp004_shadowed_entry,
+    "DP005": build_dp005_unreferenced_label,
+    "DP006": build_dp006_nondeterminism,
+}
+
+
+def build_defect_network(code: str) -> MplsNetwork:
+    """The seeded-defect fixture for one diagnostic code (``"DP001"`` …)."""
+    builder = _BUILDERS.get(code.upper())
+    if builder is None:
+        raise ReproError(
+            f"no defect fixture for code {code!r} (have: {', '.join(DEFECT_CODES)})"
+        )
+    return builder()
+
+
+def defect_networks() -> Dict[str, MplsNetwork]:
+    """All fixtures, keyed by the code each one seeds."""
+    return {code: build_defect_network(code) for code in DEFECT_CODES}

@@ -13,8 +13,8 @@ never needs a graph package).
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.errors import ModelError
 from repro.model.topology import Link, Topology

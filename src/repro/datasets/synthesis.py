@@ -33,15 +33,14 @@ Concretely, the pipeline:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.errors import ModelError
 from repro.model.builder import NetworkBuilder
 from repro.model.labels import Label, ip, mpls, smpls
 from repro.model.network import MplsNetwork
 from repro.model.operations import Operation, Pop, Push, Swap
-from repro.model.topology import Link
 from repro.datasets.graphs import GraphSpec, shortest_path
 
 

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from repro.datasets.graphs import EdgeSpec, GraphSpec, NodeSpec
 

@@ -33,6 +33,32 @@ class RoutingError(ModelError):
     """A routing-table entry refers to unknown links or invalid operations."""
 
 
+class RuleValidationError(RoutingError):
+    """A forwarding rule failed builder/loader validation.
+
+    Raised at the point the rule is *declared* (builder call or input
+    file entry) rather than deep in network compilation, and carries the
+    offending coordinates so tooling can point at the routing-table cell.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        router: "str | None" = None,
+        in_link: "str | None" = None,
+        label: "str | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.router = router
+        self.in_link = in_link
+        self.label = label
+
+
+class AnalysisError(ReproError):
+    """The dataplane linter was misconfigured (unknown rule code, bad
+    failure set) — not a lint finding, a usage failure."""
+
+
 class QueryError(ReproError):
     """Base class for query-language problems."""
 

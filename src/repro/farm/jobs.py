@@ -37,12 +37,25 @@ _FINISHED = (DONE, FAILED, CANCELLED)
 
 
 class FarmRun:
-    """One tracked sweep: live progress, partial summary, cancellation."""
+    """One tracked sweep: live progress, partial summary, cancellation.
 
-    def __init__(self, run_id: str, jobs: List[FarmJob], description: str = "") -> None:
+    ``preflight`` maps job index → static lint findings of that job's
+    network variant (see :func:`repro.farm.scenarios.preflight_index`);
+    the findings are attached to the items as they complete and appear
+    in :meth:`snapshot`.
+    """
+
+    def __init__(
+        self,
+        run_id: str,
+        jobs: List[FarmJob],
+        description: str = "",
+        preflight: Optional[Dict[int, tuple]] = None,
+    ) -> None:
         self.id = run_id
         self.description = description
         self.jobs = jobs
+        self.preflight = preflight
         self.total = len(jobs)
         self.state = PENDING
         self.error: Optional[str] = None
@@ -58,6 +71,8 @@ class FarmRun:
     # -- producer side (manager thread) --------------------------------
     def _record(self, index: int, item: BatchItem) -> None:
         with self._lock:
+            if self.preflight:
+                item.diagnostics = self.preflight.get(index, ())
             self.items[index] = item
             self.summary.add(item)
             self.completed += 1
@@ -104,6 +119,11 @@ class FarmRun:
             }
             if self.error is not None:
                 document["error"] = self.error
+            if self.preflight is not None:
+                document["preflight"] = {
+                    "flagged": len(self.preflight),
+                    "diagnostics": sum(len(d) for d in self.preflight.values()),
+                }
             if include_items:
                 document["items"] = [
                     {
@@ -111,6 +131,15 @@ class FarmRun:
                         "outcome": item.outcome,
                         "seconds": round(item.seconds, 6),
                         **({"error": item.error} if item.error else {}),
+                        **(
+                            {
+                                "diagnostics": [
+                                    d.to_dict() for d in item.diagnostics
+                                ]
+                            }
+                            if item.diagnostics
+                            else {}
+                        ),
                     }
                     for item in self.items
                     if item is not None
@@ -135,12 +164,13 @@ class JobManager:
         max_workers: int = 1,
         prebuilt: Optional[Dict[str, MplsNetwork]] = None,
         description: str = "",
+        preflight: Optional[Dict[int, tuple]] = None,
     ) -> FarmRun:
         """Register a sweep and start executing it in the background."""
         if not jobs:
             raise FarmError("cannot submit an empty job list")
         run_id = f"job-{next(self._counter):04d}"
-        run = FarmRun(run_id, jobs, description=description)
+        run = FarmRun(run_id, jobs, description=description, preflight=preflight)
         thread = threading.Thread(
             target=self._execute,
             args=(run, networks, max_workers, prebuilt),

@@ -25,15 +25,18 @@ once and the farm's artifact cache deduplicates the build work.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass, replace
 from math import comb
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import FarmError
 from repro.model.network import MplsNetwork
 from repro.model.srlg import degrade_network
 from repro.query.ast import Query
 from repro.query.parser import parse_query
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.analysis.diagnostics import Diagnostic
 
 #: Queries enter as one text, a list of texts, or (name, text) pairs.
 QueriesArg = Union[str, Iterable[Union[str, Tuple[str, str]]]]
@@ -48,10 +51,52 @@ class Scenario:
     query: str
     #: Links assumed failed in this variant (empty for the baseline).
     failed_links: Tuple[str, ...] = ()
+    #: Pre-flight lint findings for the variant (see :func:`analyze`);
+    #: populated only when the sweep was built with ``preflight=True``.
+    diagnostics: Tuple["Diagnostic", ...] = ()
 
     def __repr__(self) -> str:
         failed = ",".join(self.failed_links) or "-"
         return f"Scenario({self.name!r}, failed={failed})"
+
+
+def preflight_scenarios(scenarios: List[Scenario]) -> List[Scenario]:
+    """Lint every distinct network variant and attach the findings.
+
+    Scenarios sharing a variant (the common case: one degraded network
+    × many queries) are linted once — the lint cost of a sweep is per
+    *variant*, not per job. Failure combinations are already baked into
+    the variants, so each is linted with an empty assumed-failure set.
+    """
+    from repro.analysis import analyze
+
+    by_variant: Dict[int, Tuple["Diagnostic", ...]] = {}
+    attached: List[Scenario] = []
+    for scenario in scenarios:
+        key = id(scenario.network)
+        if key not in by_variant:
+            by_variant[key] = analyze(scenario.network).diagnostics
+        findings = by_variant[key]
+        attached.append(
+            replace(scenario, diagnostics=findings) if findings else scenario
+        )
+    return attached
+
+
+def preflight_index(
+    scenarios: Sequence[Scenario],
+) -> Dict[int, Tuple["Diagnostic", ...]]:
+    """Map scenario index → findings, for scenarios that have any.
+
+    The farm's job lists are index-aligned with their scenario lists,
+    so this is the handoff format :meth:`repro.farm.jobs.JobManager.submit`
+    accepts to surface pre-flight findings in run snapshots.
+    """
+    return {
+        index: scenario.diagnostics
+        for index, scenario in enumerate(scenarios)
+        if scenario.diagnostics
+    }
 
 
 def _named_queries(queries: QueriesArg) -> List[Tuple[str, str]]:
@@ -97,6 +142,7 @@ def failure_scenarios(
     links: Optional[Sequence[str]] = None,
     include_baseline: bool = True,
     limit: Optional[int] = 10_000,
+    preflight: bool = False,
 ) -> List[Scenario]:
     """All ≤ ``max_failures`` link-failure combinations × queries.
 
@@ -104,7 +150,10 @@ def failure_scenarios(
     ``limit`` guards against combinatorial blow-up — the sweep size is
     computed up front and a :class:`FarmError` names the excess instead
     of silently truncating. ``include_baseline`` adds the zero-failure
-    scenario so a sweep also certifies the intact network.
+    scenario so a sweep also certifies the intact network. With
+    ``preflight=True`` each degraded variant is statically linted
+    (:func:`repro.analysis.analyze`) and the findings are attached to
+    its scenarios.
     """
     named = _named_queries(queries)
     if max_failures < 0:
@@ -156,7 +205,7 @@ def failure_scenarios(
     for size in range(1, max_failures + 1):
         for combo in itertools.combinations(candidates, size):
             add_combo(combo)
-    return scenarios
+    return preflight_scenarios(scenarios) if preflight else scenarios
 
 
 def link_audit_scenarios(
@@ -164,6 +213,7 @@ def link_audit_scenarios(
     queries: QueriesArg,
     links: Optional[Sequence[str]] = None,
     limit: Optional[int] = 10_000,
+    preflight: bool = False,
 ) -> List[Scenario]:
     """The per-link ``k = 1`` audit: one scenario per single failed link."""
     return failure_scenarios(
@@ -173,15 +223,19 @@ def link_audit_scenarios(
         links=links,
         include_baseline=False,
         limit=limit,
+        preflight=preflight,
     )
 
 
-def suite_scenarios(network: MplsNetwork, queries: QueriesArg) -> List[Scenario]:
+def suite_scenarios(
+    network: MplsNetwork, queries: QueriesArg, preflight: bool = False
+) -> List[Scenario]:
     """A query suite against the intact network, one scenario per query."""
-    return [
+    scenarios = [
         Scenario(name=name, network=network, query=text)
         for name, text in _named_queries(queries)
     ]
+    return preflight_scenarios(scenarios) if preflight else scenarios
 
 
 def scenarios_to_jobs(

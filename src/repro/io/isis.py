@@ -50,14 +50,14 @@ Schema (one document set per router ``R``):
 from __future__ import annotations
 
 import xml.etree.ElementTree as ET
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import FormatError
 from repro.model.builder import NetworkBuilder
 from repro.model.labels import parse_label
 from repro.model.network import MplsNetwork
-from repro.model.operations import format_operations, parse_operation_sequence
+from repro.model.operations import format_operations
 
 
 @dataclass

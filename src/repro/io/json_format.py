@@ -27,7 +27,6 @@ from typing import Any, Dict, List
 from repro.errors import FormatError
 from repro.model.builder import NetworkBuilder
 from repro.model.network import MplsNetwork
-from repro.model.operations import format_operations
 from repro.model.trace import Trace
 
 
@@ -109,12 +108,20 @@ def network_from_json(text: str) -> MplsNetwork:
         builder.label(label_text)
     for rule in payload["routing"]:
         try:
+            priority = int(rule.get("priority", 1))
+        except (TypeError, ValueError):
+            raise FormatError(
+                f"routing entry τ({rule.get('in_link')}, "
+                f"{rule.get('label')}): priority "
+                f"{rule.get('priority')!r} is not an integer"
+            ) from None
+        try:
             builder.rule(
                 rule["in_link"],
                 rule["label"],
                 rule["out_link"],
                 " ∘ ".join(rule.get("ops", [])),
-                priority=int(rule.get("priority", 1)),
+                priority=priority,
             )
         except KeyError as error:
             raise FormatError(f"routing entry lacks {error}") from None

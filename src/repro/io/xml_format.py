@@ -45,7 +45,7 @@ from __future__ import annotations
 import xml.etree.ElementTree as ET
 from typing import Dict, List, Optional, Tuple
 
-from repro.errors import FormatError
+from repro.errors import FormatError, RuleValidationError, TopologyError
 from repro.model.builder import NetworkBuilder
 from repro.model.labels import parse_label
 from repro.model.network import MplsNetwork
@@ -259,23 +259,43 @@ def network_from_xml(
             label_text = destination_el.get("label")
             if not in_interface or not label_text:
                 raise FormatError("<destination> needs from and label attributes")
-            in_link = topology.link_by_in_interface(router_name, in_interface)
+            try:
+                in_link = topology.link_by_in_interface(router_name, in_interface)
+            except TopologyError:
+                raise RuleValidationError(
+                    f"routing at {router_name}: destination "
+                    f"({in_interface}, {label_text}) references an unknown "
+                    f"incoming interface {in_interface!r}",
+                    router=router_name,
+                    in_link=in_interface,
+                    label=label_text,
+                ) from None
             te_groups_el = destination_el.find("te-groups")
             if te_groups_el is None:
                 continue
             groups = sorted(
                 te_groups_el.findall("te-group"),
-                key=lambda el: int(el.get("priority", "1")),
+                key=lambda el: _parse_priority(el, router_name, label_text),
             )
             for group_el in groups:
-                priority = int(group_el.get("priority", "1"))
+                priority = _parse_priority(group_el, router_name, label_text)
                 for route_el in group_el.findall("route"):
                     out_interface = route_el.get("to")
                     if not out_interface:
                         raise FormatError("<route> needs a to attribute")
-                    out_link = topology.link_by_out_interface(
-                        router_name, out_interface
-                    )
+                    try:
+                        out_link = topology.link_by_out_interface(
+                            router_name, out_interface
+                        )
+                    except TopologyError:
+                        raise RuleValidationError(
+                            f"routing at {router_name}: rule "
+                            f"τ({in_interface}, {label_text}) references an "
+                            f"unknown outgoing interface {out_interface!r}",
+                            router=router_name,
+                            in_link=in_interface,
+                            label=label_text,
+                        ) from None
                     operations = []
                     actions_el = route_el.find("actions")
                     if actions_el is not None:
@@ -289,6 +309,18 @@ def network_from_xml(
                         priority=priority,
                     )
     return builder.build()
+
+
+def _parse_priority(group_el: ET.Element, router: str, label: str) -> int:
+    """A ``<te-group>``'s priority attribute as an int, or a clear error."""
+    raw = group_el.get("priority", "1")
+    try:
+        return int(raw)
+    except ValueError:
+        raise FormatError(
+            f"routing at {router}, label {label}: te-group priority "
+            f"{raw!r} is not an integer"
+        ) from None
 
 
 def _parse_action(action_el: ET.Element):

@@ -20,7 +20,7 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.errors import ModelError
+from repro.errors import RuleValidationError, TopologyError
 from repro.model.labels import Label, LabelTable, parse_label
 from repro.model.network import MplsNetwork
 from repro.model.operations import (
@@ -32,12 +32,17 @@ from repro.model.routing import (
     RoutingTable,
     TrafficEngineeringGroup,
 )
-from repro.model.topology import Coordinates, Link, Topology
+from repro.model.topology import Coordinates, Topology
 
 #: Operations may be given as a pre-parsed tuple or as text like
 #: ``"swap(s21) ∘ push(30)"``.
 OperationsLike = Union[str, Sequence[Operation]]
 LabelLike = Union[str, Label]
+
+#: Largest accepted traffic-engineering priority. Real tables carry a
+#: handful of protection levels; a priority beyond this bound is a
+#: loader bug (e.g. a byte offset parsed as a priority), not intent.
+MAX_PRIORITY = 100
 
 
 class NetworkBuilder:
@@ -125,11 +130,46 @@ class NetworkBuilder:
         traffic-engineering group; lower ``priority`` numbers are tried
         first (priority 1 is the primary path), matching the table
         rendering of Figure 1b in the paper.
+
+        Both links must already exist and ``priority`` must lie in
+        ``1..MAX_PRIORITY``; violations raise
+        :class:`~repro.errors.RuleValidationError` at the declaration
+        site, carrying the router/label coordinates of the bad rule.
         """
-        if priority < 1:
-            raise ModelError("priorities are 1-based (1 = highest)")
         matched = self.label(label)
-        out = self._topology.link(out_link)
+        if not isinstance(priority, int) or isinstance(priority, bool):
+            raise RuleValidationError(
+                f"rule τ({in_link}, {matched}): priority must be an "
+                f"integer, got {priority!r}",
+                in_link=in_link,
+                label=str(matched),
+            )
+        if not 1 <= priority <= MAX_PRIORITY:
+            raise RuleValidationError(
+                f"rule τ({in_link}, {matched}): priority {priority} out "
+                f"of range 1..{MAX_PRIORITY} (1 = highest)",
+                in_link=in_link,
+                label=str(matched),
+            )
+        try:
+            incoming = self._topology.link(in_link)
+        except TopologyError:
+            raise RuleValidationError(
+                f"rule τ({in_link}, {matched}): unknown incoming link "
+                f"{in_link!r}",
+                in_link=in_link,
+                label=str(matched),
+            ) from None
+        try:
+            out = self._topology.link(out_link)
+        except TopologyError:
+            raise RuleValidationError(
+                f"rule τ({in_link}, {matched}) at {incoming.target.name}: "
+                f"unknown outgoing link {out_link!r}",
+                router=incoming.target.name,
+                in_link=in_link,
+                label=str(matched),
+            ) from None
         entry = RoutingEntry(out, self._resolve_operations(operations))
         key = (in_link, matched)
         self._pending.setdefault(key, defaultdict(list))[priority].append(entry)

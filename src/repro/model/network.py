@@ -8,12 +8,12 @@ simulator and the trace validity checker.
 
 from __future__ import annotations
 
-from typing import AbstractSet, FrozenSet, Iterable, Optional, Tuple
+from typing import AbstractSet, FrozenSet, Tuple
 
 from repro.errors import ModelError
 from repro.model.header import Header
 from repro.model.labels import Label, LabelTable
-from repro.model.operations import Operation, try_apply_operations
+from repro.model.operations import try_apply_operations
 from repro.model.routing import GroupSequence, RoutingEntry, RoutingTable
 from repro.model.topology import Link, Topology
 

@@ -18,7 +18,7 @@ test-suite cross-checks the two.
 from __future__ import annotations
 
 import enum
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Optional
 
 from repro.errors import WeightError
 from repro.model.network import MplsNetwork

@@ -21,18 +21,7 @@ The verification layer builds on this in
 
 from __future__ import annotations
 
-from typing import (
-    AbstractSet,
-    Dict,
-    FrozenSet,
-    Iterable,
-    List,
-    Mapping,
-    Optional,
-    Sequence,
-    Set,
-    Tuple,
-)
+from typing import AbstractSet, Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
 
 from repro.errors import ModelError
 from repro.model.network import MplsNetwork

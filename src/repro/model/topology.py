@@ -14,8 +14,8 @@ is how the query syntax ``[v.in1#u.in2]`` addresses individual links.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import TopologyError
 

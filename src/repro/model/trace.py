@@ -16,18 +16,7 @@ provides:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import (
-    AbstractSet,
-    Dict,
-    FrozenSet,
-    Iterable,
-    Iterator,
-    List,
-    Optional,
-    Sequence,
-    Set,
-    Tuple,
-)
+from typing import AbstractSet, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.errors import ModelError
 from repro.model.header import Header

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Any, Hashable, Iterable, Optional, Sequence, Tuple
+from typing import Any, Iterable, Optional, Sequence, Tuple
 
 from repro.errors import PdaError, VerificationTimeout
 from repro.pda.automaton import EPSILON, Key, State, WeightedPAutomaton

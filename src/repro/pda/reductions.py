@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Any, Dict, Hashable, Optional, Set, Tuple
+from typing import Dict, Hashable, Optional, Set, Tuple
 
 from repro.pda.system import PushdownSystem, Rule
 

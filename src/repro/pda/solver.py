@@ -11,11 +11,10 @@ weighted-PDS library.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Hashable, Optional, Tuple
 
 from repro.errors import PdaError
-from repro.pda.automaton import WeightedPAutomaton
 from repro.pda.poststar import poststar_single
 from repro.pda.prestar import prestar_single
 from repro.pda.reductions import ReductionReport, reduce_pushdown

@@ -15,19 +15,7 @@ verification layer to map PDA runs back to network traces.
 
 from __future__ import annotations
 
-from typing import (
-    Any,
-    Dict,
-    FrozenSet,
-    Hashable,
-    Iterable,
-    Iterator,
-    List,
-    Optional,
-    Sequence,
-    Set,
-    Tuple,
-)
+from typing import Any, Dict, FrozenSet, Hashable, Iterable, Iterator, List, Sequence, Set, Tuple
 
 from repro.errors import PdaError
 

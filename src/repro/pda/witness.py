@@ -24,7 +24,7 @@ Witness shapes (pre*): ``("init",)`` or ``("rule", rule, partners)``.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, List, Sequence, Tuple
+from typing import Deque, List, Sequence, Tuple
 
 from repro.errors import PdaError
 from repro.pda.automaton import Key, WeightedPAutomaton

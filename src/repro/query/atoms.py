@@ -24,7 +24,7 @@ by :func:`resolve_label_atom` / :func:`resolve_link_atom`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import FrozenSet, Optional, Tuple
 
 from repro.errors import QuerySemanticsError

@@ -18,21 +18,9 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import (
-    Callable,
-    Dict,
-    FrozenSet,
-    Hashable,
-    Iterable,
-    List,
-    Optional,
-    Sequence,
-    Set,
-    Tuple,
-)
+from typing import Callable, Dict, FrozenSet, Hashable, Iterable, List, Sequence, Set, Tuple
 
 from repro.errors import QuerySemanticsError
-from repro.model.labels import Label, LabelKind
 from repro.model.network import MplsNetwork
 from repro.query import ast
 from repro.query.atoms import (

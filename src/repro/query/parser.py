@@ -29,20 +29,7 @@ import string
 from typing import List, Optional
 
 from repro.errors import QuerySyntaxError
-from repro.query.ast import (
-    Concat,
-    Epsilon,
-    Leaf,
-    Option,
-    Plus,
-    Query,
-    Regex,
-    Repeat,
-    Star,
-    Union_,
-    concat,
-    union,
-)
+from repro.query.ast import Epsilon, Leaf, Option, Plus, Query, Regex, Repeat, Star, concat, union
 from repro.query.atoms import AnyLabel, AnyLink, LabelAtom, LinkAtom, LinkEndpoint
 
 _NAME_CHARS = frozenset(string.ascii_letters + string.digits + "$_-/:")

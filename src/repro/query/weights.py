@@ -26,7 +26,7 @@ evaluator keeps the exact set semantics.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence, Tuple
+from typing import Callable, Optional, Tuple
 
 from repro.errors import WeightError
 from repro.model.network import MplsNetwork

@@ -14,7 +14,12 @@ backend as a small stdlib-only JSON-over-HTTP service; any front end
   "query": "...", "weight": "...?", "engine": "dual|moped"?,
   "timeout": seconds?}``; responds with the verdict, the witness trace
   (steps + headers), the failure set, the minimal weight, and a
-  Graphviz DOT visualization — everything the GUI renders.
+  Graphviz DOT visualization — everything the GUI renders;
+* ``POST /lint`` — body ``{"network": <name or inline JSON network>,
+  "failed_links": [...]?, "rules": [...]?, "suppress": [...]?,
+  "min_severity": "info|warning|error"?}``; statically lints the
+  routing tables (:mod:`repro.analysis` — no pushdown system is built)
+  and responds with the full diagnostic report.
 
 The asynchronous **job API** runs whole what-if sweeps on the
 verification farm (:mod:`repro.farm`) without holding a connection
@@ -130,6 +135,41 @@ def _verify_payload(payload: Dict[str, Any], cache: _NetworkCache) -> Dict[str, 
     return response
 
 
+def _lint_payload(payload: Dict[str, Any], cache: _NetworkCache) -> Dict[str, Any]:
+    """Handle one POST /lint request body; returns the lint report.
+
+    Body: ``{"network": <name or inline JSON network>, "failed_links":
+    [...]?, "rules": [...]?, "suppress": [...]?, "min_severity": ...?}``.
+    """
+    from repro.analysis import LintConfig, analyze
+
+    network = _resolve_network(payload.get("network", "example"), cache)
+    for key in ("failed_links", "rules", "suppress"):
+        value = payload.get(key)
+        if value is not None and (
+            not isinstance(value, list)
+            or not all(isinstance(item, str) for item in value)
+        ):
+            raise ReproError(f"'{key}' must be a list of strings")
+    try:
+        config = LintConfig.of(
+            enabled=payload.get("rules"),
+            suppressed=payload.get("suppress") or (),
+            min_severity=payload.get("min_severity"),
+        )
+    except ValueError:  # bad min_severity string
+        raise ReproError(
+            f"unknown min_severity {payload.get('min_severity')!r} "
+            "(use: info, warning, error)"
+        )
+    report = analyze(
+        network,
+        failed_links=frozenset(payload.get("failed_links") or ()),
+        config=config,
+    )
+    return report.to_dict()
+
+
 def _submit_job(
     payload: Dict[str, Any], cache: _NetworkCache, manager: JobManager
 ) -> Dict[str, Any]:
@@ -137,6 +177,7 @@ def _submit_job(
     from repro.farm.pool import EngineConfig
     from repro.farm.scenarios import (
         failure_scenarios,
+        preflight_index,
         scenarios_to_jobs,
         suite_scenarios,
     )
@@ -170,6 +211,7 @@ def _submit_job(
         raise ReproError("the Moped backend does not support weighted verification")
     config = EngineConfig(backend=backend, weight=weight)
 
+    preflight = bool(payload.get("preflight"))
     sweep_failures = payload.get("sweep_failures")
     if sweep_failures is not None:
         if not isinstance(sweep_failures, int) or sweep_failures < 0:
@@ -180,10 +222,11 @@ def _submit_job(
             max_failures=sweep_failures,
             links=payload.get("sweep_links"),
             limit=payload.get("sweep_limit", 10_000),
+            preflight=preflight,
         )
         description = f"failure sweep ≤{sweep_failures} on {network.name}"
     else:
-        scenarios = suite_scenarios(network, queries)
+        scenarios = suite_scenarios(network, queries, preflight=preflight)
         description = f"query suite on {network.name}"
 
     workers = payload.get("jobs", 1)
@@ -200,6 +243,7 @@ def _submit_job(
         max_workers=workers,
         prebuilt=prebuilt,
         description=description,
+        preflight=preflight_index(scenarios) if preflight else None,
     )
     return {"id": run.id, "state": run.state, "total": run.total}
 
@@ -299,6 +343,9 @@ class _Handler(BaseHTTPRequestHandler):
             if self.path == "/verify":
                 payload = self._read_json_body()
                 self._send_json(_verify_payload(payload, cache))
+            elif self.path == "/lint":
+                payload = self._read_json_body()
+                self._send_json(_lint_payload(payload, cache))
             elif self.path == "/jobs":
                 payload = self._read_json_body()
                 self._send_json(_submit_job(payload, cache, jobs), status=202)

@@ -20,13 +20,24 @@ The CLI exposes it via ``aalwines --queries-file FILE [--jobs N]``.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.errors import ReproError, VerificationTimeout
-from repro.model.network import MplsNetwork
 from repro.verification.engine import VerificationEngine
-from repro.verification.results import Status, VerificationResult
+from repro.verification.results import VerificationResult
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.analysis.diagnostics import Diagnostic
 
 
 @dataclass
@@ -40,6 +51,9 @@ class BatchItem:
     seconds: float
     result: Optional[VerificationResult] = None
     error: Optional[str] = None
+    #: Static pre-flight lint findings for the network variant this item
+    #: ran against (empty unless the run asked for ``preflight``).
+    diagnostics: Tuple["Diagnostic", ...] = ()
 
     @property
     def conclusive(self) -> bool:
@@ -168,6 +182,11 @@ class BatchVerifier:
     classic serial loop in-process; N > 1 fans the queries out over N
     farm worker processes. Both paths produce the same items (order,
     names, verdicts) and summary counts; only timings differ.
+
+    With ``preflight=True`` the network is statically linted once
+    (:func:`repro.analysis.analyze` — no pushdown system) before any
+    verification runs, and the findings are attached to every item's
+    ``diagnostics``.
     """
 
     def __init__(
@@ -175,10 +194,12 @@ class BatchVerifier:
         engine: VerificationEngine,
         timeout_per_query: Optional[float] = None,
         jobs: int = 1,
+        preflight: bool = False,
     ) -> None:
         self.engine = engine
         self.timeout_per_query = timeout_per_query
         self.jobs = max(1, int(jobs))
+        self.preflight = preflight
 
     def run(
         self,
@@ -196,13 +217,23 @@ class BatchVerifier:
             else:
                 named.append(entry)
 
+        diagnostics: Tuple["Diagnostic", ...] = ()
+        if self.preflight:
+            from repro.analysis import analyze
+
+            diagnostics = analyze(self.engine.network).diagnostics
+
         if self.jobs > 1 and len(named) > 1 and self.engine.distance_of is None:
-            return self._run_parallel(named, progress)
+            items, summary = self._run_parallel(named, progress)
+            for item in items:
+                item.diagnostics = diagnostics
+            return items, summary
 
         items: List[BatchItem] = []
         summary = BatchSummary()
         for index, (name, query) in enumerate(named):
             item = self._run_one(name, query)
+            item.diagnostics = diagnostics
             items.append(item)
             summary.add(item)
             if progress is not None:

@@ -40,24 +40,13 @@ from __future__ import annotations
 
 import itertools
 from collections import deque
-from dataclasses import dataclass, field
-from typing import (
-    Any,
-    Callable,
-    Dict,
-    FrozenSet,
-    Iterable,
-    List,
-    Optional,
-    Sequence,
-    Set,
-    Tuple,
-)
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import VerificationError
-from repro.model.labels import BOTTOM, Label, LabelKind
+from repro.model.labels import BOTTOM, Label
 from repro.model.network import MplsNetwork
-from repro.model.operations import Operation, Pop, Push, Swap, stack_growth
+from repro.model.operations import Operation, Push, Swap, stack_growth
 from repro.model.topology import Link
 from repro.pda.semiring import BOOLEAN, Semiring, vector_semiring
 from repro.pda.system import PushdownSystem

@@ -14,12 +14,11 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple, Union
+from typing import FrozenSet, Iterator, List, Optional, Set, Tuple, Union
 
 from repro.model.header import Header
 from repro.model.labels import Label
 from repro.model.network import MplsNetwork
-from repro.model.topology import Link
 from repro.model.trace import Trace, TraceStep, enumerate_traces
 from repro.query.ast import Query
 from repro.query.nfa import Nfa, label_nfa, link_nfa, valid_header_nfa

@@ -12,7 +12,7 @@ over-approximation's answers trustworthy (§4.2).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, Optional, Sequence, Tuple
+from typing import FrozenSet, Optional, Sequence
 
 from repro.errors import VerificationError
 from repro.model.header import Header

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import FrozenSet, List, Optional, Tuple, Union
+from typing import FrozenSet, List, Optional, Union
 
 from repro.model.header import Header
 from repro.model.network import MplsNetwork

@@ -19,7 +19,7 @@ the library remains dependency-free:
 
 from __future__ import annotations
 
-from typing import AbstractSet, Dict, Iterable, List, Optional, Tuple
+from typing import AbstractSet, Dict, List, Optional
 
 from repro.model.network import MplsNetwork
 from repro.model.topology import Link, Topology

@@ -1,0 +1,103 @@
+"""Tests for the ``aalwines lint`` subcommand and its exit-code contract.
+
+Exit codes: 0 clean (or info-only), 1 warnings, 2 errors, 3 usage or
+input error — the contract CI scripts rely on.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.datasets.defects import (
+    build_clean_network,
+    build_defect_network,
+)
+from repro.io.json_format import write_network_json
+
+
+@pytest.fixture
+def network_file(tmp_path):
+    """Write a fixture network to disk, return a path factory."""
+
+    def write(network):
+        path = tmp_path / f"{network.name}.json"
+        write_network_json(network, str(path))
+        return str(path)
+
+    return write
+
+
+class TestExitCodes:
+    def test_clean_network_exits_zero(self, network_file, capsys):
+        path = network_file(build_clean_network())
+        assert main(["lint", "--network", path]) == 0
+        assert "0 error(s), 0 warning(s)" in capsys.readouterr().out
+
+    def test_info_findings_exit_zero(self, network_file, capsys):
+        path = network_file(build_defect_network("DP005"))
+        assert main(["lint", "--network", path]) == 0
+        assert "DP005" in capsys.readouterr().out
+
+    def test_warnings_exit_one(self, network_file, capsys):
+        path = network_file(build_defect_network("DP006"))
+        assert main(["lint", "--network", path]) == 1
+        assert "DP006 warning" in capsys.readouterr().out
+
+    def test_errors_exit_two(self, network_file, capsys):
+        path = network_file(build_defect_network("DP001"))
+        assert main(["lint", "--network", path]) == 2
+        assert "DP001 error" in capsys.readouterr().out
+
+    def test_unknown_rule_code_exits_three(self, network_file, capsys):
+        path = network_file(build_clean_network())
+        assert main(["lint", "--network", path, "--rules", "DP042"]) == 3
+        assert "unknown lint rule" in capsys.readouterr().err
+
+    def test_missing_network_file_exits_three(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.json")
+        assert main(["lint", "--network", missing]) == 3
+
+    def test_builtin_example_warns(self, capsys):
+        # The running example carries a deliberate DP006 overlap.
+        assert main(["lint", "--builtin", "example"]) == 1
+
+
+class TestOutputFormats:
+    def test_json_format_is_machine_readable(self, network_file, capsys):
+        path = network_file(build_defect_network("DP003"))
+        assert main(["lint", "--network", path, "--format", "json"]) == 2
+        document = json.loads(capsys.readouterr().out)
+        assert document["exit_code"] == 2
+        assert document["counts"]["errors"] >= 1
+        assert document["diagnostics"][0]["code"] == "DP003"
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("DP001", "DP006"):
+            assert code in out
+
+
+class TestSelectionFlags:
+    def test_suppress_downgrades_exit(self, network_file, capsys):
+        path = network_file(build_defect_network("DP006"))
+        code = main(["lint", "--network", path, "--suppress", "DP006"])
+        assert code == 0
+
+    def test_rules_subset(self, network_file, capsys):
+        path = network_file(build_defect_network("DP001"))
+        code = main(["lint", "--network", path, "--rules", "DP002,DP006"])
+        assert code == 0
+
+    def test_min_severity(self, network_file, capsys):
+        path = network_file(build_defect_network("DP005"))
+        assert main(["lint", "--network", path, "--min-severity", "warning"]) == 0
+        out = capsys.readouterr().out
+        assert "DP005" not in out
+
+    def test_failed_links_what_if(self, capsys):
+        # Failing e5 on the example exhausts protection: lint escalates
+        # from the DP006 warning to a DP001 black-hole error.
+        assert main(["lint", "--builtin", "example", "--failed-links", "e5"]) == 2
+        assert "DP001" in capsys.readouterr().out

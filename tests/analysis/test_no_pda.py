@@ -1,0 +1,64 @@
+"""The linter's headline guarantee: no pushdown system is ever built.
+
+Lint must stay instant on networks where verification takes seconds,
+which it can only do by never leaving the model layer. These tests
+enforce that both dynamically (a poisoned PDA constructor) and
+statically (no analysis module may import the pda/verification layers).
+"""
+
+import pathlib
+import re
+import time
+
+import pytest
+
+import repro.analysis
+from repro.analysis import analyze
+from repro.datasets.builtins import load_builtin
+from repro.datasets.defects import DEFECT_CODES, build_defect_network
+
+
+@pytest.fixture
+def poisoned_pda(monkeypatch):
+    """Make any PDA construction blow up loudly."""
+    from repro.pda.system import PushdownSystem
+
+    def boom(self, *args, **kwargs):
+        raise AssertionError("the linter constructed a PushdownSystem")
+
+    monkeypatch.setattr(PushdownSystem, "__init__", boom)
+
+
+def test_analyze_builds_no_pda(poisoned_pda):
+    report = analyze(load_builtin("example"))
+    assert report.codes() == ("DP006",)
+
+
+@pytest.mark.parametrize("code", DEFECT_CODES)
+def test_defect_fixtures_lint_without_pda(poisoned_pda, code):
+    assert analyze(build_defect_network(code)).codes() == (code,)
+
+
+def test_analysis_package_never_imports_heavy_layers():
+    package_dir = pathlib.Path(repro.analysis.__file__).parent
+    forbidden = re.compile(r"^\s*(from|import)\s+repro\.(pda|verification)\b")
+    offenders = []
+    for source in sorted(package_dir.glob("*.py")):
+        for number, line in enumerate(source.read_text().splitlines(), 1):
+            if forbidden.match(line):
+                offenders.append(f"{source.name}:{number}: {line.strip()}")
+    assert not offenders, "\n".join(offenders)
+
+
+def test_lint_is_fast_relative_to_verification():
+    """Linting a builtin should be orders of magnitude under a second.
+
+    A loose wall-clock bound (not a benchmark): if lint ever starts
+    compiling automata the runtime jumps by >100x and this trips.
+    """
+    network = load_builtin("nordunet")
+    start = time.perf_counter()
+    report = analyze(network)
+    elapsed = time.perf_counter() - start
+    assert report.errors == 0
+    assert elapsed < 1.0, f"lint took {elapsed:.2f}s — did it build a PDA?"

@@ -1,0 +1,208 @@
+"""Tests for the dataplane linter's rules and configuration.
+
+The seeded-defect fixtures of :mod:`repro.datasets.defects` are the
+rule-level ground truth: each one must be flagged by exactly its own
+rule, and the clean fixture by none.
+"""
+
+import pytest
+
+from repro.analysis import (
+    Diagnostic,
+    LintConfig,
+    Location,
+    Severity,
+    analyze,
+    all_rules,
+    rule_codes,
+)
+from repro.datasets.builtins import BUILTIN_NETWORKS, load_builtin
+from repro.datasets.defects import (
+    DEFECT_CODES,
+    build_clean_network,
+    build_defect_network,
+    defect_networks,
+)
+from repro.errors import AnalysisError, ReproError
+
+EXPECTED_SEVERITY = {
+    "DP001": Severity.ERROR,
+    "DP002": Severity.WARNING,
+    "DP003": Severity.ERROR,
+    "DP004": Severity.WARNING,
+    "DP005": Severity.INFO,
+    "DP006": Severity.WARNING,
+}
+
+
+class TestRegistry:
+    def test_all_six_rules_registered(self):
+        assert rule_codes() == DEFECT_CODES == tuple(sorted(EXPECTED_SEVERITY))
+
+    def test_registry_metadata(self):
+        for info in all_rules():
+            assert info.default_severity is EXPECTED_SEVERITY[info.code]
+            assert info.title
+            assert info.description
+
+
+class TestSeededDefects:
+    def test_clean_network_has_no_findings(self):
+        report = analyze(build_clean_network())
+        assert report.clean
+        assert report.exit_code == 0
+        assert report.rules_run == rule_codes()
+
+    @pytest.mark.parametrize("code", DEFECT_CODES)
+    def test_each_fixture_flags_exactly_its_code(self, code):
+        report = analyze(build_defect_network(code))
+        assert report.codes() == (code,), (
+            f"{code} fixture produced {report.codes()}"
+        )
+        for diagnostic in report.diagnostics:
+            assert diagnostic.severity is EXPECTED_SEVERITY[code]
+            assert diagnostic.message
+
+    def test_defect_networks_covers_every_code(self):
+        assert tuple(sorted(defect_networks())) == DEFECT_CODES
+
+    def test_unknown_defect_code(self):
+        with pytest.raises(ReproError):
+            build_defect_network("DP999")
+
+    @pytest.mark.parametrize("code", DEFECT_CODES)
+    def test_exit_code_matches_severity(self, code):
+        report = analyze(build_defect_network(code))
+        expected = {
+            Severity.ERROR: 2,
+            Severity.WARNING: 1,
+            Severity.INFO: 0,
+        }[EXPECTED_SEVERITY[code]]
+        assert report.exit_code == expected
+
+
+class TestBuiltins:
+    @pytest.mark.parametrize("name", BUILTIN_NETWORKS)
+    def test_builtin_networks_have_no_errors(self, name):
+        """The shipped datasets must never trip an *error*-level rule."""
+        report = analyze(load_builtin(name))
+        assert report.errors == 0, report.format_text()
+
+    def test_example_network_nondeterminism(self):
+        # The running example's τ(e1, s20) group deliberately carries
+        # two entries (Figure 1b), which DP006 surfaces as a warning.
+        report = analyze(load_builtin("example"))
+        assert report.codes() == ("DP006",)
+        assert report.exit_code == 1
+
+
+class TestFailedLinkAssumptions:
+    def test_exhausted_protection_becomes_black_hole(self):
+        # Failing e5 on the running example exhausts a protection chain:
+        # what was a live failover is now a provable drop.
+        report = analyze(load_builtin("example"), failed_links=["e5"])
+        assert "DP001" in report.codes()
+        assert report.failed_links == ("e5",)
+        assert report.exit_code == 2
+
+    def test_link_objects_accepted(self):
+        network = load_builtin("example")
+        link = next(iter(network.topology.links))
+        report = analyze(network, failed_links=[link])
+        assert report.failed_links == (link.name,)
+
+
+class TestLintConfig:
+    def test_enable_subset(self):
+        report = analyze(
+            build_defect_network("DP001"),
+            config=LintConfig.of(enabled=["DP002"]),
+        )
+        assert report.clean
+        assert report.rules_run == ("DP002",)
+
+    def test_suppress(self):
+        report = analyze(
+            build_defect_network("DP006"),
+            config=LintConfig.of(suppressed=["DP006"]),
+        )
+        assert report.clean
+        assert "DP006" not in report.rules_run
+
+    def test_suppress_wins_over_enable(self):
+        config = LintConfig.of(enabled=["DP001", "DP006"], suppressed=["DP006"])
+        assert tuple(info.code for info in config.selected()) == ("DP001",)
+
+    @pytest.mark.parametrize(
+        "config",
+        [
+            LintConfig.of(enabled=["DP042"]),
+            LintConfig.of(suppressed=["nope"]),
+        ],
+    )
+    def test_unknown_codes_fail_loudly(self, config):
+        with pytest.raises(AnalysisError, match="unknown lint rule"):
+            analyze(build_clean_network(), config=config)
+
+    def test_min_severity_floor(self):
+        network = build_defect_network("DP005")  # info-level finding
+        assert not analyze(network).clean
+        report = analyze(
+            network, config=LintConfig.of(min_severity="warning")
+        )
+        assert report.clean
+
+    def test_min_severity_keeps_errors(self):
+        report = analyze(
+            build_defect_network("DP001"),
+            config=LintConfig.of(min_severity="error"),
+        )
+        assert report.codes() == ("DP001",)
+
+    def test_bad_min_severity(self):
+        with pytest.raises(ValueError):
+            LintConfig.of(min_severity="fatal")
+
+
+class TestDiagnosticData:
+    def test_report_to_dict_shape(self):
+        report = analyze(build_defect_network("DP001"))
+        document = report.to_dict()
+        assert document["network"]
+        assert document["clean"] is False
+        assert document["exit_code"] == 2
+        assert document["counts"]["errors"] >= 1
+        assert document["rules_run"] == list(rule_codes())
+        entry = document["diagnostics"][0]
+        assert entry["code"] == "DP001"
+        assert entry["severity"] == "error"
+        assert "message" in entry
+
+    def test_diagnostic_format_mentions_code_and_location(self):
+        report = analyze(build_defect_network("DP003"))
+        line = report.diagnostics[0].format()
+        assert line.startswith("DP003 error [")
+        assert "τ(" in line
+
+    def test_deterministic_order(self):
+        network = load_builtin("example")
+        first = analyze(network, failed_links=["e5"]).diagnostics
+        second = analyze(network, failed_links=["e5"]).diagnostics
+        assert [d.to_dict() for d in first] == [d.to_dict() for d in second]
+
+    def test_location_rendering(self):
+        assert str(Location()) == "network"
+        assert str(Location(router="v2", in_link="e1", label="s20")) == (
+            "v2, τ(e1, s20)"
+        )
+        spot = Location(router="v2", priority=2)
+        assert "priority 2" in str(spot)
+        assert spot.to_dict() == {"router": "v2", "priority": 2}
+
+    def test_diagnostics_are_picklable(self):
+        import pickle
+
+        report = analyze(build_defect_network("DP001"))
+        clone = pickle.loads(pickle.dumps(report.diagnostics))
+        assert clone == report.diagnostics
+        assert isinstance(clone[0], Diagnostic)

@@ -1,6 +1,5 @@
 """Tests for the farm's content-hash artifact cache."""
 
-import pytest
 
 from repro.datasets.example import build_example_network
 from repro.farm.cache import ArtifactCache, hash_text, worker_cache

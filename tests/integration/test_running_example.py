@@ -11,7 +11,6 @@ from repro.datasets.example import (
     build_example_network,
     example_traces,
 )
-from repro.query.weights import parse_weight_vector
 from repro.verification.engine import dual_engine, moped_engine, weighted_engine
 from repro.verification.results import Status
 

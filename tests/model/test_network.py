@@ -5,7 +5,7 @@ import pytest
 from repro.datasets.example import build_example_network
 from repro.errors import ModelError
 from repro.model.header import Header
-from repro.model.labels import LabelTable, ip, mpls, smpls
+from repro.model.labels import LabelTable, smpls
 from repro.model.network import MplsNetwork
 from repro.model.routing import RoutingTable
 from repro.model.topology import Topology

@@ -1,0 +1,193 @@
+"""Tests for forwarding-rule validation at declaration time.
+
+A bad rule must fail where it is *declared* — in the builder call or
+at the input-file entry — with a :class:`RuleValidationError` carrying
+the routing-table coordinates, not deep inside network compilation.
+"""
+
+import pytest
+
+from repro.errors import FormatError, RuleValidationError, RoutingError
+from repro.model.builder import MAX_PRIORITY, NetworkBuilder
+
+
+def chain_builder():
+    builder = NetworkBuilder("chain")
+    builder.link("e0", "A", "B")
+    builder.link("e1", "B", "C")
+    return builder
+
+
+class TestBuilderValidation:
+    def test_unknown_in_link(self):
+        with pytest.raises(RuleValidationError, match="unknown incoming link"):
+            chain_builder().rule("e9", "s10", "e1", "swap(s11)")
+
+    def test_unknown_out_link(self):
+        with pytest.raises(RuleValidationError, match="unknown outgoing link"):
+            chain_builder().rule("e0", "s10", "e9", "swap(s11)")
+
+    def test_error_carries_coordinates(self):
+        with pytest.raises(RuleValidationError) as info:
+            chain_builder().rule("e0", "s10", "e9")
+        error = info.value
+        # e0 targets B, whose table would hold the bad rule.
+        assert error.router == "B"
+        assert error.in_link == "e0"
+        assert error.label == "s10"
+        assert "τ(e0, s10)" in str(error)
+
+    def test_unknown_in_link_has_no_router_yet(self):
+        with pytest.raises(RuleValidationError) as info:
+            chain_builder().rule("e9", "s10", "e1")
+        assert info.value.router is None
+        assert info.value.in_link == "e9"
+
+    @pytest.mark.parametrize("priority", [0, -1, MAX_PRIORITY + 1])
+    def test_priority_out_of_range(self, priority):
+        with pytest.raises(RuleValidationError, match="out of range"):
+            chain_builder().rule("e0", "s10", "e1", priority=priority)
+
+    @pytest.mark.parametrize("priority", ["1", 1.5, None, True])
+    def test_priority_must_be_an_integer(self, priority):
+        with pytest.raises(RuleValidationError, match="must be an integer"):
+            chain_builder().rule("e0", "s10", "e1", priority=priority)
+
+    @pytest.mark.parametrize("priority", [1, 2, MAX_PRIORITY])
+    def test_priority_in_range_accepted(self, priority):
+        builder = chain_builder()
+        builder.rule("e0", "s10", "e1", "swap(s11)", priority=priority)
+        network = builder.build()
+        assert network.name == "chain"
+
+    def test_validation_error_is_a_routing_error(self):
+        # Callers catching the pre-existing RoutingError keep working.
+        assert issubclass(RuleValidationError, RoutingError)
+
+
+class TestJsonLoaderValidation:
+    def _payload(self, **overrides):
+        entry = {
+            "in_link": "e0",
+            "label": "s10",
+            "priority": 1,
+            "out_link": "e1",
+            "ops": ["swap(s11)"],
+        }
+        entry.update(overrides)
+        return {
+            "name": "chain",
+            "routers": [{"name": "A"}, {"name": "B"}, {"name": "C"}],
+            "links": [
+                {"name": "e0", "from": "A", "to": "B"},
+                {"name": "e1", "from": "B", "to": "C"},
+            ],
+            "routing": [entry],
+        }
+
+    def _load(self, payload):
+        import json
+
+        from repro.io.json_format import network_from_json
+
+        return network_from_json(json.dumps(payload))
+
+    def test_well_formed_payload_loads(self):
+        assert self._load(self._payload()).name == "chain"
+
+    @pytest.mark.parametrize("priority", ["high", None, [1]])
+    def test_non_integer_priority(self, priority):
+        with pytest.raises(FormatError, match="not an integer"):
+            self._load(self._payload(priority=priority))
+
+    def test_out_of_range_priority(self):
+        with pytest.raises(RuleValidationError, match="out of range"):
+            self._load(self._payload(priority=0))
+
+    def test_unknown_in_link(self):
+        with pytest.raises(RuleValidationError) as info:
+            self._load(self._payload(in_link="e9"))
+        assert info.value.in_link == "e9"
+
+    def test_unknown_out_link(self):
+        with pytest.raises(RuleValidationError) as info:
+            self._load(self._payload(out_link="e9"))
+        assert info.value.router == "B"
+
+
+class TestXmlLoaderValidation:
+    def _document(self, in_interface="iB0", out_interface="oB1", priority="1"):
+        topology = """<network>
+          <links>
+            <link>
+              <sides>
+                <shared_interface interface="oA0" router="A"/>
+                <shared_interface interface="iB0" router="B"/>
+              </sides>
+            </link>
+            <link>
+              <sides>
+                <shared_interface interface="oB1" router="B"/>
+                <shared_interface interface="iC1" router="C"/>
+              </sides>
+            </link>
+          </links>
+          <routers>
+            <router name="A"/><router name="B"/><router name="C"/>
+          </routers>
+        </network>"""
+        routing = f"""<routes>
+          <routings>
+            <routing for="B">
+              <destinations>
+                <destination from="{in_interface}" label="s10">
+                  <te-groups>
+                    <te-group priority="{priority}">
+                      <route to="{out_interface}">
+                        <actions>
+                          <action type="swap" label="s11"/>
+                        </actions>
+                      </route>
+                    </te-group>
+                  </te-groups>
+                </destination>
+              </destinations>
+            </routing>
+          </routings>
+        </routes>"""
+        return topology, routing
+
+    def _load(self, topology, routing):
+        from repro.io.xml_format import network_from_xml
+
+        return network_from_xml(topology, routing)
+
+    def test_well_formed_document_loads(self):
+        network = self._load(*self._document())
+        assert {router.name for router in network.topology.routers} == {
+            "A",
+            "B",
+            "C",
+        }
+
+    def test_unknown_incoming_interface(self):
+        with pytest.raises(RuleValidationError) as info:
+            self._load(*self._document(in_interface="nope"))
+        assert info.value.router == "B"
+        assert info.value.in_link == "nope"
+        assert "unknown incoming interface" in str(info.value)
+
+    def test_unknown_outgoing_interface(self):
+        with pytest.raises(RuleValidationError) as info:
+            self._load(*self._document(out_interface="nope"))
+        assert info.value.router == "B"
+        assert info.value.label == "s10"
+        assert "unknown outgoing interface" in str(info.value)
+
+    def test_non_integer_te_group_priority(self):
+        with pytest.raises(FormatError, match="not an integer"):
+            self._load(*self._document(priority="soon"))
+
+    def test_out_of_range_te_group_priority(self):
+        with pytest.raises(RuleValidationError, match="out of range"):
+            self._load(*self._document(priority="0"))

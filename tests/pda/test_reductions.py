@@ -1,6 +1,5 @@
 """Tests for the static reduction pass (top-of-stack analysis, pruning)."""
 
-import pytest
 
 from repro.pda.reductions import analyze_top_of_stack, reduce_pushdown
 from repro.pda.semiring import BOOLEAN, MIN_PLUS

@@ -13,8 +13,7 @@ from repro.pda.automaton import EPSILON
 from repro.pda.poststar import poststar, poststar_single
 from repro.pda.prestar import prestar, prestar_single
 from repro.pda.semiring import BOOLEAN, MIN_PLUS, vector_semiring
-from repro.pda.solver import solve_reachability
-from repro.pda.system import Configuration, PushdownSystem, run_rules
+from repro.pda.system import PushdownSystem
 
 
 def counter_system(weight_one=True):

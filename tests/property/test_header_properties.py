@@ -1,6 +1,6 @@
 """Property-based tests for headers and the rewrite function 𝓗."""
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.errors import HeaderError

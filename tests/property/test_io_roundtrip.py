@@ -2,7 +2,6 @@
 semantically (same routers, same interface-keyed rules, same verdicts).
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -7,7 +7,6 @@ reconstructed witness must replay correctly.
 """
 
 import heapq
-import math
 
 from hypothesis import given, settings
 from hypothesis import strategies as st

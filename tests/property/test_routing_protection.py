@@ -1,0 +1,100 @@
+"""Property-based tests for the 𝓐 operator and protection monotonicity.
+
+The paper's §2.4 semantics: τ(e, ℓ) is a priority-ordered sequence of
+traffic-engineering groups, a group is *active* when at least one of
+its links is up, and the 𝓐 operator forwards along the active entries
+of the *highest-priority* active group. These tests re-derive that
+specification independently over arbitrary group shapes and failure
+sets and check :class:`repro.model.routing.GroupSequence` against it.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.model.routing import (
+    GroupSequence,
+    RoutingEntry,
+    TrafficEngineeringGroup,
+)
+from repro.model.topology import Topology
+
+
+def _topology() -> Topology:
+    topo = Topology("prop")
+    topo.add_router("A")
+    topo.add_router("B")
+    for index in range(6):
+        topo.add_link(f"l{index}", "A", "B")
+    return topo
+
+
+TOPO = _topology()
+LINKS = [TOPO.link(f"l{index}") for index in range(6)]
+
+#: One group as its (possibly repeating) out-link list.
+group_shapes = st.lists(st.sampled_from(LINKS), min_size=1, max_size=4)
+sequence_shapes = st.lists(group_shapes, min_size=1, max_size=4)
+failure_sets = st.frozensets(st.sampled_from(LINKS), max_size=6)
+
+
+def _sequence(shapes) -> GroupSequence:
+    return GroupSequence(
+        [
+            TrafficEngineeringGroup([RoutingEntry(link, ()) for link in links])
+            for links in shapes
+        ]
+    )
+
+
+@given(sequence_shapes, failure_sets)
+def test_active_entries_come_from_first_active_group(shapes, failed):
+    """𝓐 returns the live entries of the first group with a live link."""
+    sequence = _sequence(shapes)
+    expected = ()
+    for links in shapes:
+        # Groups have set semantics: duplicate entries collapse, first
+        # occurrence preserved.
+        unique = tuple(dict.fromkeys(links))
+        alive = tuple(link for link in unique if link not in failed)
+        if alive:
+            expected = alive
+            break
+    actual = tuple(entry.out_link for entry in sequence.active_entries(failed))
+    assert actual == expected
+
+
+@given(sequence_shapes, failure_sets)
+def test_active_group_is_highest_priority_with_required_failures(shapes, failed):
+    """The chosen index is the least j with required_failures(j) ⊆ failed
+    and a live link — and None exactly when every group is fully failed."""
+    sequence = _sequence(shapes)
+    candidates = [
+        j
+        for j, group in enumerate(sequence.groups)
+        if sequence.required_failures(j) <= failed and (group.links - failed)
+    ]
+    index = sequence.active_group_index(failed)
+    if index is None:
+        assert not candidates
+        for group in sequence.groups:
+            assert group.links <= failed
+    else:
+        assert candidates and index == min(candidates)
+        assert sequence.required_failures(index) <= failed
+        for j in range(index):
+            assert sequence.groups[j].links <= failed
+
+
+@given(sequence_shapes)
+def test_required_failures_monotone_over_priority(shapes):
+    """required_failures grows monotonically with the priority index and
+    equals the union of all strictly higher-priority groups' links."""
+    sequence = _sequence(shapes)
+    previous = frozenset()
+    union = frozenset()
+    for j, group in enumerate(sequence.groups):
+        required = sequence.required_failures(j)
+        assert previous <= required
+        assert required == union
+        previous = required
+        union = union | group.links

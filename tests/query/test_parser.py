@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import QuerySemanticsError, QuerySyntaxError
+from repro.errors import QuerySyntaxError
 from repro.query.ast import (
     Concat,
     Epsilon,

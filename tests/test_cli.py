@@ -1,9 +1,7 @@
 """Tests for the command-line interface."""
 
 import json
-import os
 
-import pytest
 
 from repro.cli import main
 from repro.datasets.example import build_example_network

@@ -356,3 +356,115 @@ class TestJobApi:
         status, document = request(server, "POST", "/jobs", payload)
         assert status == 400
         assert "error" in document
+
+
+class TestLint:
+    """The POST /lint endpoint (static analysis, no verification)."""
+
+    def test_lint_builtin_example(self, server):
+        status, document = request(
+            server, "POST", "/lint", {"network": "example"}
+        )
+        assert status == 200
+        assert document["exit_code"] == 1  # the deliberate DP006 overlap
+        assert document["counts"]["errors"] == 0
+        assert [d["code"] for d in document["diagnostics"]] == ["DP006"]
+
+    def test_lint_inline_network(self, server):
+        import repro.io.json_format as json_format
+        from repro.datasets.defects import build_defect_network
+
+        payload = json.loads(
+            json_format.network_to_json(build_defect_network("DP001"))
+        )
+        status, document = request(
+            server, "POST", "/lint", {"network": payload}
+        )
+        assert status == 200
+        assert document["exit_code"] == 2
+        assert document["diagnostics"][0]["code"] == "DP001"
+
+    def test_lint_with_failed_links(self, server):
+        status, document = request(
+            server,
+            "POST",
+            "/lint",
+            {"network": "example", "failed_links": ["e5"]},
+        )
+        assert status == 200
+        assert document["failed_links"] == ["e5"]
+        assert "DP001" in {d["code"] for d in document["diagnostics"]}
+
+    def test_lint_suppress_and_rules(self, server):
+        status, document = request(
+            server,
+            "POST",
+            "/lint",
+            {"network": "example", "suppress": ["DP006"]},
+        )
+        assert status == 200
+        assert document["clean"] is True
+        assert "DP006" not in document["rules_run"]
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {"network": "example", "rules": ["DP042"]},  # unknown code
+            {"network": "example", "min_severity": "fatal"},
+            {"network": "example", "failed_links": "e5"},  # not a list
+            {"network": "example", "rules": [1, 2]},  # not strings
+            {"network": "arpanet"},  # unknown network
+        ],
+    )
+    def test_lint_bad_requests(self, server, payload):
+        status, document = request(server, "POST", "/lint", payload)
+        assert status == 400
+        assert "error" in document
+
+
+class TestJobPreflight:
+    """Pre-flight lint findings surfaced through the async job API."""
+
+    def _wait_done(self, server, job_id, budget=120.0):
+        import time
+
+        deadline = time.time() + budget
+        while time.time() < deadline:
+            status, document = request(server, "GET", f"/jobs/{job_id}")
+            assert status == 200
+            if document["state"] in ("done", "failed", "cancelled"):
+                return document
+            time.sleep(0.05)
+        raise AssertionError(f"job {job_id} did not finish in {budget}s")
+
+    def test_sweep_with_preflight(self, server):
+        status, document = request(
+            server,
+            "POST",
+            "/jobs",
+            {
+                "network": "example",
+                "query": "<ip> [.#v0] .* [v3#.] <ip> 0",
+                "sweep_failures": 1,
+                "preflight": True,
+            },
+        )
+        assert status == 202
+        final = self._wait_done(server, document["id"])
+        assert final["state"] == "done"
+        assert final["preflight"]["flagged"] >= 1
+        flagged = [item for item in final["items"] if "diagnostics" in item]
+        assert flagged, "no item carried diagnostics"
+        codes = {d["code"] for item in flagged for d in item["diagnostics"]}
+        assert codes <= {"DP001", "DP002", "DP003", "DP004", "DP005", "DP006"}
+
+    def test_suite_without_preflight_has_no_section(self, server):
+        status, document = request(
+            server,
+            "POST",
+            "/jobs",
+            {"network": "example", "query": "<ip> [.#v0] .* [v3#.] <ip> 0"},
+        )
+        final = self._wait_done(server, document["id"])
+        assert "preflight" not in final
+        assert all("diagnostics" not in item for item in final["items"])

@@ -11,7 +11,6 @@ These gadget networks trigger both known causes:
   per-router.
 """
 
-import pytest
 
 from repro.model.builder import NetworkBuilder
 from repro.verification.engine import dual_engine, moped_engine, weighted_engine
