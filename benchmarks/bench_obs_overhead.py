@@ -1,0 +1,79 @@
+"""pytest-benchmark entry points for the observability overhead claim.
+
+The layer's contract (DESIGN.md, "observational soundness") is that
+instrumentation is *observational*: with the switch off the engine pays
+one attribute read per call site (~0% overhead), and with it on the
+per-phase recording stays under a few percent because hot saturation
+loops accumulate locally and report once per phase.
+
+Two benchmarks verify the same query with observation off and on;
+compare their medians (``pytest benchmarks/bench_obs_overhead.py
+--benchmark-only --benchmark-group-by=func``) to read the overhead
+directly. A standalone sanity run is available too::
+
+    python -m benchmarks.bench_obs_overhead
+"""
+
+import pytest
+
+from benchmarks.common import nordunet_network
+from repro import obs
+from repro.verification.engine import dual_engine
+
+#: A query that exercises compile → reduce → saturate → reconstruct
+#: (settled by the PDA, not by the one-step fast path).
+QUERY = "<ip> [.#esb1] .* [.#oul1] <ip> 1"
+
+
+@pytest.fixture(scope="module")
+def network():
+    return nordunet_network()
+
+
+def test_obs_disabled(benchmark, network):
+    engine = dual_engine(network)
+    obs.disable()
+    result = benchmark(lambda: engine.verify(QUERY))
+    assert result.conclusive
+
+
+def test_obs_enabled(benchmark, network):
+    engine = dual_engine(network)
+
+    def run():
+        with obs.recording():
+            return engine.verify(QUERY)
+
+    result = benchmark(run)
+    assert result.conclusive
+
+
+def main() -> int:
+    """Standalone overhead measurement (no pytest-benchmark needed)."""
+    import time
+
+    network = nordunet_network()
+    engine = dual_engine(network)
+    rounds = 20
+
+    engine.verify(QUERY)  # warm the compiler caches
+    obs.disable()
+    start = time.perf_counter()
+    for _ in range(rounds):
+        engine.verify(QUERY)
+    off = time.perf_counter() - start
+
+    start = time.perf_counter()
+    with obs.recording():
+        for _ in range(rounds):
+            engine.verify(QUERY)
+    on = time.perf_counter() - start
+
+    overhead = 100.0 * (on - off) / off
+    print(f"observation off: {off / rounds:.4f}s/query")
+    print(f"observation on:  {on / rounds:.4f}s/query  ({overhead:+.1f}%)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,6 +18,7 @@ from __future__ import annotations
 import argparse
 from typing import Dict, List, Optional, Sequence
 
+from repro import obs
 from repro.datasets.queries import generate_query_suite
 from benchmarks.common import (
     RunRecord,
@@ -37,21 +38,26 @@ def run_sweep(
     timeout: Optional[float] = 30.0,
     verbose: bool = False,
 ) -> List[RunRecord]:
-    """The Figure 4 sweep: all networks × generated suite × 3 engines."""
+    """The Figure 4 sweep: all networks × generated suite × 3 engines.
+
+    Observability is on for the duration, so every record carries its
+    per-phase time breakdown and solver counter deltas.
+    """
     records: List[RunRecord] = []
-    for network in zoo_networks(sizes=sizes, seeds=seeds):
-        suite = generate_query_suite(network, count=queries_per_network, seed=5)
-        engines = standard_engines(network)
-        for query in suite:
-            for engine_name, engine in engines:
-                record = run_one(engine, query, network.name, engine_name, timeout)
-                records.append(record)
-                if verbose:
-                    print(
-                        f"  {network.name:<16} {query.name:<26} {engine_name:<9}"
-                        f" {record.status:<13} {record.seconds:8.3f}s",
-                        flush=True,
-                    )
+    with obs.recording():
+        for network in zoo_networks(sizes=sizes, seeds=seeds):
+            suite = generate_query_suite(network, count=queries_per_network, seed=5)
+            engines = standard_engines(network)
+            for query in suite:
+                for engine_name, engine in engines:
+                    record = run_one(engine, query, network.name, engine_name, timeout)
+                    records.append(record)
+                    if verbose:
+                        print(
+                            f"  {network.name:<16} {query.name:<26} {engine_name:<9}"
+                            f" {record.status:<13} {record.seconds:8.3f}s",
+                            flush=True,
+                        )
     return records
 
 

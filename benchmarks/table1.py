@@ -21,6 +21,7 @@ from __future__ import annotations
 import argparse
 from typing import Dict, List, Optional
 
+from repro import obs
 from repro.datasets.queries import generate_query_suite, table1_queries
 from benchmarks.common import (
     RunRecord,
@@ -36,14 +37,19 @@ ENGINE_ORDER = ("moped", "dual", "failures")
 def run_table1(
     density: int = 1, timeout: Optional[float] = 300.0
 ) -> List[RunRecord]:
-    """Run the six operator queries on all three engines."""
+    """Run the six operator queries on all three engines.
+
+    Observability is on for the duration, so every record carries its
+    per-phase time breakdown and solver counter deltas.
+    """
     network = nordunet_network(density)
     records: List[RunRecord] = []
-    for query in table1_queries(network):
-        for engine_name, engine in standard_engines(network):
-            records.append(
-                run_one(engine, query, network.name, engine_name, timeout)
-            )
+    with obs.recording():
+        for query in table1_queries(network):
+            for engine_name, engine in standard_engines(network):
+                records.append(
+                    run_one(engine, query, network.name, engine_name, timeout)
+                )
     return records
 
 
@@ -90,6 +96,37 @@ def format_table(records: List[RunRecord]) -> str:
     return "\n".join(lines)
 
 
+def format_phase_breakdown(records: List[RunRecord]) -> str:
+    """Per-engine "where the time goes": the verify root's direct child
+    spans aggregated over all of an engine's runs."""
+    totals: Dict[str, Dict[str, float]] = {}
+    for record in records:
+        if not record.phases:
+            continue
+        bucket = totals.setdefault(record.engine, {})
+        for path, seconds in record.phases.items():
+            if path.count("/") != 1:  # direct children of the root only
+                continue
+            phase = path.split("/", 1)[1]
+            bucket[phase] = bucket.get(phase, 0.0) + seconds
+    lines = [
+        f"{'engine':<10} {'phase':<18} {'seconds':>9}  share",
+        "-" * 48,
+    ]
+    for engine in ENGINE_ORDER:
+        bucket = totals.get(engine)
+        if not bucket:
+            continue
+        whole = sum(bucket.values()) or 1.0
+        for phase in sorted(bucket, key=bucket.__getitem__, reverse=True):
+            seconds = bucket[phase]
+            lines.append(
+                f"{engine:<10} {phase:<18} {seconds:>9.3f}  "
+                f"{100.0 * seconds / whole:5.1f}%"
+            )
+    return "\n".join(lines)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--density", type=int, default=1)
@@ -105,6 +142,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     records = run_table1(density=args.density, timeout=args.timeout)
     print("Table 1 — query verification time (seconds)")
     print(format_table(records))
+    print()
+    print("Per-phase breakdown (aggregated over the table's runs)")
+    print(format_phase_breakdown(records))
 
     counts = run_inconclusiveness(
         density=args.density, count=args.inconclusive_count, timeout=args.timeout

@@ -37,6 +37,7 @@ import os
 import sys
 from typing import Dict, Optional
 
+from repro import obs
 from repro.datasets.builtins import BUILTIN_NETWORKS, load_builtin
 from repro.errors import ReproError, VerificationTimeout
 from repro.io.coords import read_coordinates
@@ -133,6 +134,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-json", action="store_true", help="print the witness trace as JSON"
     )
     query.add_argument("--stats", action="store_true", help="print engine statistics")
+    query.add_argument(
+        "--profile",
+        action="store_true",
+        help="record tracing spans and solver counters during verification "
+        "and print the per-phase time table afterwards (repro.obs)",
+    )
+    query.add_argument(
+        "--profile-trace",
+        metavar="FILE",
+        help="with --profile: also export the recorded spans as a JSON "
+        "trace file",
+    )
 
     convert = parser.add_argument_group("conversion")
     convert.add_argument(
@@ -406,8 +419,23 @@ def main(argv: Optional[list] = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "lint":
         return lint_main(argv[1:])
+    if argv and argv[0] == "verify":
+        # Explicit subcommand form; verification is also the default.
+        argv = argv[1:]
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.profile:
+        with obs.recording():
+            code = _verify_main(args)
+            print()
+            print(obs.summary())
+            if args.profile_trace:
+                obs.write_trace(args.profile_trace)
+        return code
+    return _verify_main(args)
+
+
+def _verify_main(args: argparse.Namespace) -> int:
     try:
         network = _load_network(args)
         wrote_something = False

@@ -23,6 +23,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Dict, Hashable, Tuple
 
+from repro import obs
 from repro.model.network import MplsNetwork
 
 
@@ -81,13 +82,16 @@ class ArtifactCache:
             if cached is not None:
                 self._networks.move_to_end(key)
                 self.stats.network_hits += 1
+                obs.add("farm.cache.network_hits")
                 return cached
             self.stats.network_misses += 1
+            obs.add("farm.cache.network_misses")
             network = build()
             self._networks[key] = network
             while len(self._networks) > self.max_networks:
                 self._networks.popitem(last=False)
                 self.stats.evictions += 1
+                obs.add("farm.cache.evictions")
             return network
 
     def engine(
@@ -103,13 +107,16 @@ class ArtifactCache:
             if cached is not None:
                 self._engines.move_to_end(slot)
                 self.stats.engine_hits += 1
+                obs.add("farm.cache.engine_hits")
                 return cached
             self.stats.engine_misses += 1
+            obs.add("farm.cache.engine_misses")
             engine = build()
             self._engines[slot] = engine
             while len(self._engines) > self.max_engines:
                 self._engines.popitem(last=False)
                 self.stats.evictions += 1
+                obs.add("farm.cache.evictions")
             return engine
 
     def clear(self) -> None:

@@ -21,6 +21,7 @@ import threading
 import time
 from typing import Any, Dict, List, Optional
 
+from repro import obs
 from repro.errors import FarmError
 from repro.model.network import MplsNetwork
 from repro.verification.batch import BatchItem, BatchSummary
@@ -182,6 +183,9 @@ class JobManager:
             self._threads[run_id] = thread
             self._evict_finished()
         run.state = RUNNING
+        if obs.enabled():
+            obs.add("farm.runs_submitted")
+            obs.add("farm.jobs_submitted", len(jobs))
         thread.start()
         return run
 
@@ -204,7 +208,10 @@ class JobManager:
         except Exception as error:  # defensive: run_jobs shouldn't raise
             run._finish(FAILED, error=str(error))
             return
-        run._finish(CANCELLED if run._cancel.is_set() else DONE)
+        state = CANCELLED if run._cancel.is_set() else DONE
+        run._finish(state)
+        if obs.enabled():
+            obs.add(f"farm.runs_{state}")
 
     def _evict_finished(self) -> None:
         # Called under self._lock: drop the oldest finished runs beyond

@@ -30,8 +30,9 @@ from __future__ import annotations
 
 import concurrent.futures
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.errors import FarmError
 from repro.farm.cache import worker_cache
 from repro.model.network import MplsNetwork
@@ -106,9 +107,15 @@ _NETWORK_PAYLOADS: Dict[str, str] = {}
 _PREBUILT: Dict[str, MplsNetwork] = {}
 
 
-def _init_worker(payloads: Dict[str, str]) -> None:
-    """Pool initializer: receive the sweep's network payloads once."""
+def _init_worker(payloads: Dict[str, str], observe: bool = False) -> None:
+    """Pool initializer: receive the sweep's network payloads once.
+
+    ``observe`` mirrors the parent's observability switch into the
+    worker process so chunk executions measure their metric deltas.
+    """
     _NETWORK_PAYLOADS.update(payloads)
+    if observe:
+        obs.enable()
 
 
 def _network_for(key: str) -> MplsNetwork:
@@ -140,15 +147,26 @@ def execute_job(job: FarmJob) -> BatchItem:
     return run_single(engine, job.name, job.query, job.timeout)
 
 
-def execute_chunk(chunk: List[FarmJob]) -> List[BatchItem]:
+def execute_chunk(
+    chunk: List[FarmJob],
+) -> Tuple[List[BatchItem], Optional[Mapping[str, Any]]]:
     """Run a batch of jobs in this process, containing per-job errors.
 
     The pool dispatches chunks grouped by network variant so that all
     of a variant's queries reuse one worker's cached network and engine
     instead of re-deriving them on whichever workers the scheduler
     happens to pick.
+
+    Returns the items plus, when observation is on in this process, the
+    metric delta the chunk produced (``None`` otherwise) so the driver
+    can fold worker-side counters into the parent registry.
     """
-    return [_safe_execute(job) for job in chunk]
+    before = obs.snapshot() if obs.enabled() else None
+    items = [_safe_execute(job) for job in chunk]
+    delta = None
+    if before is not None:
+        delta = obs.diff_snapshots(obs.snapshot(), before)
+    return items, delta
 
 
 # ----------------------------------------------------------------------
@@ -158,6 +176,38 @@ def execute_chunk(chunk: List[FarmJob]) -> List[BatchItem]:
 #: Per-item progress callback (index, total, item) — called in
 #: *completion* order, which under parallelism differs from index order.
 ProgressCallback = Callable[[int, int, BatchItem], None]
+
+
+def plan_chunks(network_keys: Sequence[str], max_workers: int) -> List[List[int]]:
+    """Group job indices (one per entry of ``network_keys``) into
+    dispatch chunks.
+
+    Jobs sharing a network variant stay together so one worker derives
+    the variant's network and engine once for all of them; variant
+    groups are then packed into ~4 chunks per worker — enough slack for
+    load balancing without a dispatch round-trip per job. A variant
+    whose group alone exceeds the per-chunk budget is *split* first:
+    without the split, a sweep over a single variant collapses into one
+    chunk and serializes on one worker no matter how many were asked
+    for (a regression the farm cache-counter tests pin down).
+    """
+    total = len(network_keys)
+    if total == 0:
+        return []
+    target = max(1, 4 * max_workers)
+    variant_indices: Dict[str, List[int]] = {}
+    for index, key in enumerate(network_keys):
+        variant_indices.setdefault(key, []).append(index)
+    size_cap = max(1, -(-total // target))  # ceil(total / target)
+    groups: List[List[int]] = []
+    for group in variant_indices.values():
+        for start in range(0, len(group), size_cap):
+            groups.append(group[start : start + size_cap])
+    chunk_count = min(len(groups), target)
+    return [
+        [index for group in groups[start::chunk_count] for index in group]
+        for start in range(chunk_count)
+    ]
 
 
 def run_jobs(
@@ -205,24 +255,11 @@ def run_jobs(
     if prebuilt:
         _PREBUILT.update(prebuilt)
     try:
-        # Chunk by network variant: keeping all of a variant's queries
-        # on one worker means its network and engine are derived once
-        # there rather than once per scheduling slot.  Variant groups
-        # are then packed into ~4 chunks per worker — enough slack for
-        # load balancing without paying a dispatch round-trip per job.
-        variant_indices: Dict[str, List[int]] = {}
-        for index, job in enumerate(jobs):
-            variant_indices.setdefault(job.network_key, []).append(index)
-        groups = list(variant_indices.values())
-        chunk_count = min(len(groups), 4 * max_workers)
-        chunks = [
-            [index for group in groups[start::chunk_count] for index in group]
-            for start in range(chunk_count)
-        ]
+        chunks = plan_chunks([job.network_key for job in jobs], max_workers)
         with concurrent.futures.ProcessPoolExecutor(
             max_workers=max_workers,
             initializer=_init_worker,
-            initargs=(networks,),
+            initargs=(networks, obs.enabled()),
         ) as pool:
             futures = {
                 pool.submit(execute_chunk, [jobs[i] for i in indices]): indices
@@ -231,7 +268,9 @@ def run_jobs(
             for future in concurrent.futures.as_completed(futures):
                 indices = futures[future]
                 try:
-                    items = future.result()
+                    items, delta = future.result()
+                    if delta is not None:
+                        obs.merge(delta)
                 except concurrent.futures.CancelledError:
                     continue
                 except Exception as error:  # worker crash / pickling failure

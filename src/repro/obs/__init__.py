@@ -1,0 +1,184 @@
+"""Observability: tracing spans, solver counters, and metric sinks.
+
+The paper's headline claims are *quantitative* — Table 1 and Figure 4
+compare where verification time goes across backends — so the
+reproduction instruments every layer with this zero-dependency
+subsystem: hierarchical timed spans, named counters/gauges, and sinks
+that render them as a phase table (``aalwines verify --profile``),
+Prometheus text (``GET /metrics``), or a JSON trace file.
+
+Usage — module-level functions act on one process-wide registry::
+
+    from repro import obs
+
+    obs.enable()
+    with obs.span("verify", engine="dual"):
+        with obs.span("compile.over"):
+            ...
+        obs.add("pda.saturation_iterations", result.iterations)
+    print(obs.summary())
+
+**The switch is off by default** and instrumentation is strictly
+observational: with it off, call sites pay one attribute read; with it
+on, verdicts, traces and every other engine output are identical —
+enforced by the regression tests in ``tests/obs/``.
+
+Cross-process: farm workers measure their counter/span deltas per work
+chunk and ship them back with the results; the parent folds them in
+with :func:`merge` (see :mod:`repro.farm.pool`).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, Mapping, Optional
+
+from repro.obs.core import (
+    NULL_SPAN,
+    MetricRegistry,
+    NullSpan,
+    Span,
+    SpanRecord,
+    diff_counters,
+    diff_snapshots,
+)
+from repro.obs.sinks import (
+    PROMETHEUS_CONTENT_TYPE,
+    json_trace_document,
+    prometheus_text,
+    text_summary,
+    write_json_trace,
+)
+
+__all__ = [
+    "MetricRegistry",
+    "NullSpan",
+    "NULL_SPAN",
+    "Span",
+    "SpanRecord",
+    "PROMETHEUS_CONTENT_TYPE",
+    "add",
+    "counter",
+    "counters",
+    "diff_counters",
+    "diff_snapshots",
+    "disable",
+    "enable",
+    "enabled",
+    "gauge",
+    "gauges",
+    "json_trace_document",
+    "merge",
+    "metrics_text",
+    "prometheus_text",
+    "recording",
+    "registry",
+    "reset",
+    "snapshot",
+    "span",
+    "summary",
+    "text_summary",
+    "write_json_trace",
+    "write_trace",
+]
+
+#: The process-wide registry every instrumented layer reports to.
+_REGISTRY = MetricRegistry()
+
+
+def registry() -> MetricRegistry:
+    """The process-wide :class:`MetricRegistry`."""
+    return _REGISTRY
+
+
+def enabled() -> bool:
+    """Is observation currently on?"""
+    return _REGISTRY.enabled
+
+
+def enable() -> None:
+    """Turn observation on (it is off by default)."""
+    _REGISTRY.enabled = True
+
+
+def disable() -> None:
+    """Turn observation off; recorded metrics are kept."""
+    _REGISTRY.enabled = False
+
+
+def span(name: str, **attributes: Any):
+    """Open a timed region on the global registry (no-op while off)."""
+    return _REGISTRY.span(name, **attributes)
+
+
+def add(name: str, value: int = 1) -> None:
+    """Increment a global counter (no-op while off)."""
+    _REGISTRY.add(name, value)
+
+
+def gauge(name: str, value: float) -> None:
+    """Record a global gauge level (no-op while off)."""
+    _REGISTRY.gauge(name, value)
+
+
+def counter(name: str) -> int:
+    """One global counter's current value."""
+    return _REGISTRY.counter(name)
+
+
+def counters() -> Dict[str, int]:
+    """A copy of every global counter."""
+    return _REGISTRY.counters()
+
+
+def gauges() -> Dict[str, float]:
+    """A copy of every global gauge."""
+    return _REGISTRY.gauges()
+
+
+def snapshot() -> Dict[str, Any]:
+    """A mergeable snapshot of the global registry."""
+    return _REGISTRY.snapshot()
+
+
+def merge(delta: Mapping[str, Any]) -> None:
+    """Fold a worker's snapshot delta into the global registry."""
+    _REGISTRY.merge(delta)
+
+
+def reset() -> None:
+    """Drop every global metric and span (the switch is untouched)."""
+    _REGISTRY.reset()
+
+
+def summary(title: str = "phase profile") -> str:
+    """The global registry rendered as the --profile phase table."""
+    return text_summary(_REGISTRY, title=title)
+
+
+def metrics_text() -> str:
+    """The global registry in Prometheus text exposition format."""
+    return prometheus_text(_REGISTRY)
+
+
+def write_trace(path: str, metadata: Optional[Dict[str, Any]] = None) -> str:
+    """Export the global registry's spans as a JSON trace file."""
+    return write_json_trace(path, _REGISTRY, metadata)
+
+
+@contextmanager
+def recording(fresh: bool = True) -> Iterator[MetricRegistry]:
+    """Observation enabled for a scope, restoring the switch afterwards.
+
+    ``fresh=True`` (the default) resets the registry on entry so the
+    scope observes only its own work — the idiom of ``--profile``, the
+    benchmarks, and most tests.
+    """
+    previous = _REGISTRY.enabled
+    if fresh:
+        _REGISTRY.reset()
+    _REGISTRY.enabled = True
+    try:
+        yield _REGISTRY
+    finally:
+        _REGISTRY.enabled = previous

@@ -1,0 +1,341 @@
+"""Core of the observability layer: the metric registry and spans.
+
+A :class:`MetricRegistry` owns three kinds of instruments —
+
+* **counters** — monotone named integers ("how many saturation
+  iterations ran", "how many cache hits");
+* **gauges** — last-written level samples ("BDD nodes allocated by the
+  most recent symbolic run");
+* **spans** — hierarchical timed regions opened with a context manager;
+  each completed span is folded into per-path aggregates (count, total
+  seconds) and, up to a bound, kept as an individual record for the
+  JSON trace exporter.
+
+Everything is guarded by the registry's ``enabled`` switch, which is
+**off by default**: a disabled registry's :meth:`~MetricRegistry.span`
+returns a shared no-op object and :meth:`~MetricRegistry.add` returns
+before taking any lock, so instrumented code pays one attribute read
+per call site. Instrumentation sites in the hot saturation loops
+accumulate into local variables and report once per phase, so even the
+enabled overhead stays bounded (see ``benchmarks/bench_obs_overhead``).
+
+Thread-safety: counter/gauge/aggregate mutation happens under one lock;
+the span stack tracking the current hierarchy is thread-local, so
+concurrent server requests or farm threads nest their spans
+independently. Process-safety is by *merge*: a worker process computes
+the delta of its counters over a work item (:meth:`snapshot_counters` /
+:func:`diff_counters`) and the parent folds it in with
+:meth:`MetricRegistry.merge`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping
+
+__all__ = [
+    "MetricRegistry",
+    "NullSpan",
+    "NULL_SPAN",
+    "Span",
+    "SpanRecord",
+    "diff_counters",
+]
+
+
+@dataclass
+class SpanRecord:
+    """One completed span, kept for the JSON trace exporter."""
+
+    #: Slash-joined hierarchy, e.g. ``"verify/solve.over/saturate"``.
+    path: str
+    #: The leaf name the span was opened with.
+    name: str
+    #: Registry-relative start time (``time.perf_counter`` seconds).
+    start: float
+    #: Wall-clock duration in seconds.
+    elapsed: float
+    #: Free-form key/value annotations attached at open or via ``set``.
+    attributes: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready rendering (used by the trace-file sink)."""
+        document: Dict[str, Any] = {
+            "path": self.path,
+            "name": self.name,
+            "start": round(self.start, 9),
+            "elapsed": round(self.elapsed, 9),
+        }
+        if self.attributes:
+            document["attributes"] = {
+                key: value for key, value in sorted(self.attributes.items())
+            }
+        return document
+
+
+class NullSpan:
+    """The shared do-nothing span returned while observation is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, *_exc: object) -> bool:
+        return False
+
+    def set(self, **_attributes: Any) -> "NullSpan":
+        """Discard the attributes; chainable like ``Span.set``."""
+        return self
+
+
+#: Singleton no-op span: entering/exiting it allocates nothing.
+NULL_SPAN = NullSpan()
+
+
+class Span:
+    """A live timed region; use as a context manager.
+
+    The span's path is determined at ``__enter__`` from the calling
+    thread's current span stack, so nesting is purely dynamic — a
+    ``saturate`` span opened inside ``verify/solve.over`` lands at
+    ``verify/solve.over/saturate`` with no cooperation between layers.
+    """
+
+    __slots__ = ("_registry", "name", "path", "attributes", "_start")
+
+    def __init__(
+        self, registry: "MetricRegistry", name: str, attributes: Dict[str, Any]
+    ) -> None:
+        self._registry = registry
+        self.name = name
+        self.path = name
+        self.attributes = attributes
+        self._start = 0.0
+
+    def set(self, **attributes: Any) -> "Span":
+        """Attach/overwrite attributes; chainable."""
+        self.attributes.update(attributes)
+        return self
+
+    def __enter__(self) -> "Span":
+        stack = self._registry._span_stack()
+        self.path = f"{stack[-1].path}/{self.name}" if stack else self.name
+        stack.append(self)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *_exc: object) -> bool:
+        elapsed = time.perf_counter() - self._start
+        stack = self._registry._span_stack()
+        # Tolerate exits out of order (a span kept across threads or a
+        # generator suspension); drop this span from wherever it sits.
+        if self in stack:
+            stack.remove(self)
+        self._registry._record_span(self, elapsed)
+        return False
+
+
+class MetricRegistry:
+    """Named counters, gauges, and span aggregates behind one switch."""
+
+    def __init__(self, max_span_records: int = 10_000) -> None:
+        #: The global on/off switch — **off by default**. Reading it is
+        #: the only cost instrumented code pays while observation is off.
+        self.enabled = False
+        self.max_span_records = max_span_records
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._epoch = time.perf_counter()
+        self._counters: Dict[str, int] = {}
+        self._gauges: Dict[str, float] = {}
+        self._span_seconds: Dict[str, float] = {}
+        self._span_counts: Dict[str, int] = {}
+        self._span_records: List[SpanRecord] = []
+        self._dropped_spans = 0
+
+    # ------------------------------------------------------------------
+    # instruments
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attributes: Any):
+        """A context-managed timed region (no-op while disabled)."""
+        if not self.enabled:
+            return NULL_SPAN
+        return Span(self, name, attributes)
+
+    def add(self, name: str, value: int = 1) -> None:
+        """Increment counter ``name`` (no-op while disabled)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Record the current level of gauge ``name`` (no-op while off)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._gauges[name] = value
+
+    # ------------------------------------------------------------------
+    # span bookkeeping
+    # ------------------------------------------------------------------
+    def _span_stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _record_span(self, span: Span, elapsed: float) -> None:
+        record = SpanRecord(
+            path=span.path,
+            name=span.name,
+            start=span._start - self._epoch,
+            elapsed=elapsed,
+            attributes=span.attributes,
+        )
+        with self._lock:
+            self._span_seconds[span.path] = (
+                self._span_seconds.get(span.path, 0.0) + elapsed
+            )
+            self._span_counts[span.path] = self._span_counts.get(span.path, 0) + 1
+            if len(self._span_records) < self.max_span_records:
+                self._span_records.append(record)
+            else:
+                self._dropped_spans += 1
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def counters(self) -> Dict[str, int]:
+        """A point-in-time copy of every counter."""
+        with self._lock:
+            return dict(self._counters)
+
+    def counter(self, name: str) -> int:
+        """One counter's current value (0 when never incremented)."""
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def gauges(self) -> Dict[str, float]:
+        """A point-in-time copy of every gauge."""
+        with self._lock:
+            return dict(self._gauges)
+
+    def span_aggregates(self) -> Dict[str, Dict[str, float]]:
+        """Per-path ``{"count": n, "seconds": s}`` aggregates."""
+        with self._lock:
+            return {
+                path: {
+                    "count": float(self._span_counts.get(path, 0)),
+                    "seconds": self._span_seconds[path],
+                }
+                for path in sorted(self._span_seconds)
+            }
+
+    def span_records(self) -> List[SpanRecord]:
+        """The retained individual span records, in completion order."""
+        with self._lock:
+            return list(self._span_records)
+
+    @property
+    def dropped_spans(self) -> int:
+        """Spans discarded past :attr:`max_span_records` (aggregates
+        still include them)."""
+        with self._lock:
+            return self._dropped_spans
+
+    def snapshot_counters(self) -> Dict[str, int]:
+        """Alias of :meth:`counters`, named for the worker delta idiom."""
+        return self.counters()
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Everything mergeable, as one JSON-ready document."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "span_seconds": dict(self._span_seconds),
+                "span_counts": dict(self._span_counts),
+            }
+
+    # ------------------------------------------------------------------
+    # lifecycle and cross-process merge
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Drop every metric and span (the switch is left as-is)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._span_seconds.clear()
+            self._span_counts.clear()
+            self._span_records.clear()
+            self._dropped_spans = 0
+            self._epoch = time.perf_counter()
+
+    def merge(self, delta: Mapping[str, Any]) -> None:
+        """Fold a :meth:`snapshot`-shaped delta from another process in.
+
+        Counters, span seconds and span counts are summed; gauges take
+        the maximum (they are level samples — "largest BDD ever built"
+        is the meaningful cross-worker aggregate). Unknown sections are
+        ignored so snapshots stay forward-compatible.
+        """
+        counters = delta.get("counters", delta if _is_flat(delta) else {})
+        with self._lock:
+            for name, value in counters.items():
+                self._counters[name] = self._counters.get(name, 0) + int(value)
+            for name, value in delta.get("gauges", {}).items():
+                current = self._gauges.get(name)
+                self._gauges[name] = (
+                    float(value) if current is None else max(current, float(value))
+                )
+            for path, value in delta.get("span_seconds", {}).items():
+                self._span_seconds[path] = (
+                    self._span_seconds.get(path, 0.0) + float(value)
+                )
+            for path, value in delta.get("span_counts", {}).items():
+                self._span_counts[path] = self._span_counts.get(path, 0) + int(value)
+
+
+def _is_flat(delta: Mapping[str, Any]) -> bool:
+    """True when ``delta`` is a bare counter mapping (name → int)."""
+    return all(isinstance(value, int) for value in delta.values())
+
+
+def diff_counters(
+    after: Mapping[str, int], before: Mapping[str, int]
+) -> Dict[str, int]:
+    """The counter increments between two snapshots (``after - before``)."""
+    delta: Dict[str, int] = {}
+    for name, value in after.items():
+        change = value - before.get(name, 0)
+        if change:
+            delta[name] = change
+    return delta
+
+
+def diff_snapshots(
+    after: Mapping[str, Any], before: Mapping[str, Any]
+) -> Dict[str, Any]:
+    """The mergeable delta between two :meth:`MetricRegistry.snapshot`
+    documents — what a worker sends back to its parent."""
+    delta: Dict[str, Any] = {
+        "counters": diff_counters(
+            after.get("counters", {}), before.get("counters", {})
+        ),
+        "gauges": dict(after.get("gauges", {})),
+        "span_counts": diff_counters(
+            after.get("span_counts", {}), before.get("span_counts", {})
+        ),
+        "span_seconds": {},
+    }
+    before_seconds = before.get("span_seconds", {})
+    for path, value in after.get("span_seconds", {}).items():
+        change = value - before_seconds.get(path, 0.0)
+        if change > 0.0:
+            delta["span_seconds"][path] = change
+    return delta

@@ -1,0 +1,160 @@
+"""Sinks: render a :class:`~repro.obs.core.MetricRegistry` for humans,
+Prometheus scrapers, and trace viewers.
+
+Three output shapes:
+
+* :func:`text_summary` — the ``aalwines verify --profile`` phase table:
+  one row per span path (indented by hierarchy) with call count, total
+  seconds and share of the root span, followed by the non-zero counters;
+* :func:`prometheus_text` — Prometheus text exposition (version 0.0.4):
+  counters as ``aalwines_<name>_total``, gauges as ``aalwines_<name>``,
+  span aggregates as ``aalwines_span_seconds_total{span="..."}`` /
+  ``aalwines_span_count_total{span="..."}``;
+* :func:`json_trace_document` / :func:`write_json_trace` — the retained
+  individual span records plus the counter/gauge state, as a JSON
+  document (one file = one trace).
+
+All three are pure readers: rendering a registry never mutates it, so
+exporting metrics cannot perturb the measurements (see DESIGN.md's
+observational-soundness guarantee).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.obs.core import MetricRegistry
+
+_METRIC_NAME = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _sanitize(name: str) -> str:
+    """A legal Prometheus metric-name fragment."""
+    return _METRIC_NAME.sub("_", name)
+
+
+def _escape_label(value: str) -> str:
+    """Escape a Prometheus label value (backslash, quote, newline)."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+# ----------------------------------------------------------------------
+# human-readable summary (the --profile table)
+# ----------------------------------------------------------------------
+
+
+def text_summary(registry: "MetricRegistry", title: str = "phase profile") -> str:
+    """The per-phase timing/counter table the CLI prints for --profile."""
+    aggregates = registry.span_aggregates()
+    counters = registry.counters()
+    gauges = registry.gauges()
+    lines: List[str] = [title, "-" * max(len(title), 58)]
+    if aggregates:
+        roots = {path.split("/", 1)[0] for path in aggregates}
+        root_seconds = sum(
+            aggregates[root]["seconds"] for root in roots if root in aggregates
+        )
+        lines.append(f"{'phase':<38} {'calls':>6} {'seconds':>10} {'share':>7}")
+        for path in sorted(aggregates):
+            depth = path.count("/")
+            name = ("  " * depth) + path.rsplit("/", 1)[-1]
+            seconds = aggregates[path]["seconds"]
+            count = int(aggregates[path]["count"])
+            share = 100.0 * seconds / root_seconds if root_seconds > 0 else 0.0
+            lines.append(f"{name:<38} {count:>6} {seconds:>10.4f} {share:>6.1f}%")
+    else:
+        lines.append("(no spans recorded)")
+    if counters:
+        lines.append("")
+        lines.append("counters:")
+        width = max(len(name) for name in counters)
+        for name in sorted(counters):
+            lines.append(f"  {name:<{width}}  {counters[name]}")
+    if gauges:
+        lines.append("")
+        lines.append("gauges:")
+        width = max(len(name) for name in gauges)
+        for name in sorted(gauges):
+            value = gauges[name]
+            rendered = f"{value:g}"
+            lines.append(f"  {name:<{width}}  {rendered}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+
+#: Content type of the exposition format served at GET /metrics.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def prometheus_text(registry: "MetricRegistry", prefix: str = "aalwines") -> str:
+    """Prometheus text exposition of every counter, gauge and span."""
+    lines: List[str] = []
+    for name, value in sorted(registry.counters().items()):
+        metric = f"{prefix}_{_sanitize(name)}_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {value}")
+    for name, value in sorted(registry.gauges().items()):
+        metric = f"{prefix}_{_sanitize(name)}"
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {value:g}")
+    aggregates = registry.span_aggregates()
+    if aggregates:
+        seconds_metric = f"{prefix}_span_seconds_total"
+        count_metric = f"{prefix}_span_count_total"
+        lines.append(f"# TYPE {seconds_metric} counter")
+        for path in sorted(aggregates):
+            label = _escape_label(path)
+            lines.append(
+                f'{seconds_metric}{{span="{label}"}} '
+                f"{aggregates[path]['seconds']:.9f}"
+            )
+        lines.append(f"# TYPE {count_metric} counter")
+        for path in sorted(aggregates):
+            label = _escape_label(path)
+            lines.append(
+                f'{count_metric}{{span="{label}"}} {int(aggregates[path]["count"])}'
+            )
+    enabled_metric = f"{prefix}_observability_enabled"
+    lines.append(f"# TYPE {enabled_metric} gauge")
+    lines.append(f"{enabled_metric} {1 if registry.enabled else 0}")
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# JSON trace export
+# ----------------------------------------------------------------------
+
+
+def json_trace_document(
+    registry: "MetricRegistry", metadata: Optional[Dict[str, Any]] = None
+) -> Dict[str, Any]:
+    """The registry's spans + metrics as one JSON-ready document."""
+    document: Dict[str, Any] = {
+        "format": "aalwines-trace/1",
+        "spans": [record.to_dict() for record in registry.span_records()],
+        "dropped_spans": registry.dropped_spans,
+        "counters": registry.counters(),
+        "gauges": registry.gauges(),
+        "span_aggregates": registry.span_aggregates(),
+    }
+    if metadata:
+        document["metadata"] = metadata
+    return document
+
+
+def write_json_trace(
+    path: str,
+    registry: "MetricRegistry",
+    metadata: Optional[Dict[str, Any]] = None,
+) -> str:
+    """Write :func:`json_trace_document` to ``path``; returns ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(json_trace_document(registry, metadata), handle, indent=2)
+        handle.write("\n")
+    return path

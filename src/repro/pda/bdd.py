@@ -87,6 +87,21 @@ class Bdd:
         """Total allocated nodes (a size/leak diagnostic)."""
         return len(self._nodes)
 
+    def stats(self) -> Dict[str, int]:
+        """Size diagnostics for the observability layer.
+
+        Reading them never mutates the manager, so exporting BDD
+        metrics cannot perturb a symbolic run.
+        """
+        return {
+            "nodes": len(self._nodes),
+            "and_cache": len(self._and_cache),
+            "or_cache": len(self._or_cache),
+            "not_cache": len(self._not_cache),
+            "exists_cache": len(self._exists_cache),
+            "rename_cache": len(self._rename_cache),
+        }
+
     # ------------------------------------------------------------------
     # boolean operations
     # ------------------------------------------------------------------

@@ -20,6 +20,7 @@ import time
 from dataclasses import dataclass
 from typing import Any, Iterable, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.errors import PdaError, VerificationTimeout
 from repro.pda.automaton import EPSILON, Key, State, WeightedPAutomaton
 from repro.pda.semiring import Semiring
@@ -47,6 +48,22 @@ class SaturationResult:
     @property
     def transition_count(self) -> int:
         return self.automaton.transition_count()
+
+
+def observed(result: SaturationResult, method: str) -> SaturationResult:
+    """Fold a finished saturation into the global metrics.
+
+    Purely observational — the result passes through untouched, and all
+    accounting happens *after* the saturation loop so the hot path pays
+    nothing (one branch here) while observation is off.
+    """
+    if obs.enabled():
+        obs.add(f"pda.{method}.runs")
+        obs.add("pda.saturation_iterations", result.iterations)
+        obs.add("pda.transitions_added", result.automaton.transition_count())
+        if result.early_terminated:
+            obs.add("pda.early_terminations")
+    return result
 
 
 def poststar(
@@ -82,7 +99,10 @@ def poststar(
     while True:
         popped = automaton.pop()
         if popped is None:
-            return SaturationResult(automaton, iterations, early_terminated=False)
+            return observed(
+                SaturationResult(automaton, iterations, early_terminated=False),
+                "poststar",
+            )
         iterations += 1
         # Checked at iteration 1 and then every 512: an already-expired
         # deadline must fire even on instances that saturate in a few steps.
@@ -114,7 +134,10 @@ def poststar(
             and symbol == target[1]
             and target_state in final_set
         ):
-            return SaturationResult(automaton, iterations, early_terminated=True)
+            return observed(
+                SaturationResult(automaton, iterations, early_terminated=True),
+                "poststar",
+            )
 
         # Apply every rule whose head matches the popped transition.
         for rule in pds.rules_from(source, symbol):

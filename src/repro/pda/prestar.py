@@ -20,7 +20,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import PdaError, VerificationTimeout
 from repro.pda.automaton import EPSILON, Key, State, WeightedPAutomaton
-from repro.pda.poststar import SaturationResult
+from repro.pda.poststar import SaturationResult, observed
 from repro.pda.semiring import Semiring
 from repro.pda.system import PushdownSystem, Rule
 
@@ -75,7 +75,10 @@ def prestar(
     while True:
         popped = automaton.pop()
         if popped is None:
-            return SaturationResult(automaton, iterations, early_terminated=False)
+            return observed(
+                SaturationResult(automaton, iterations, early_terminated=False),
+                "prestar",
+            )
         iterations += 1
         # Checked at iteration 1 and then every 512: an already-expired
         # deadline must fire even on instances that saturate in a few steps.
@@ -92,7 +95,10 @@ def prestar(
             and symbol == target[1]
             and target_state in final_set
         ):
-            return SaturationResult(automaton, iterations, early_terminated=True)
+            return observed(
+                SaturationResult(automaton, iterations, early_terminated=True),
+                "prestar",
+            )
 
         # Swap rules ⟨p, γ⟩ → ⟨p', γ1⟩ with (p', γ1) = (source, symbol).
         for rule in swap_rules.get((source, symbol), ()):

@@ -14,6 +14,7 @@ import time
 from dataclasses import dataclass
 from typing import Any, Hashable, Optional, Tuple
 
+from repro import obs
 from repro.errors import PdaError
 from repro.pda.poststar import poststar_single
 from repro.pda.prestar import prestar_single
@@ -80,41 +81,50 @@ def solve_reachability(
     reduction_report: Optional[ReductionReport] = None
     system = pds
     if use_reductions:
-        system, reduction_report = reduce_pushdown(
-            pds, initial_state, initial_symbol, target_state
-        )
+        with obs.span("reduce"):
+            system, reduction_report = reduce_pushdown(
+                pds, initial_state, initial_symbol, target_state
+            )
+        if obs.enabled():
+            obs.add("pda.rules_removed", pds.rule_count() - system.rule_count())
 
-    if method == "poststar":
-        result = poststar_single(
-            system,
-            semiring,
-            initial_state,
-            initial_symbol,
-            target=(target_state, target_symbol) if early_termination else None,
-            max_steps=max_steps,
-            deadline=deadline,
-        )
-        weight, path = result.automaton.accept_weight(target_state, (target_symbol,))
-    else:
-        result = prestar_single(
-            system,
-            semiring,
-            target_state,
-            target_symbol,
-            source=(initial_state, initial_symbol) if early_termination else None,
-            max_steps=max_steps,
-            deadline=deadline,
-        )
-        weight, path = result.automaton.accept_weight(initial_state, (initial_symbol,))
+    with obs.span("saturate", method=method):
+        if method == "poststar":
+            result = poststar_single(
+                system,
+                semiring,
+                initial_state,
+                initial_symbol,
+                target=(target_state, target_symbol) if early_termination else None,
+                max_steps=max_steps,
+                deadline=deadline,
+            )
+            weight, path = result.automaton.accept_weight(
+                target_state, (target_symbol,)
+            )
+        else:
+            result = prestar_single(
+                system,
+                semiring,
+                target_state,
+                target_symbol,
+                source=(initial_state, initial_symbol) if early_termination else None,
+                max_steps=max_steps,
+                deadline=deadline,
+            )
+            weight, path = result.automaton.accept_weight(
+                initial_state, (initial_symbol,)
+            )
 
     reachable = not semiring.is_zero(weight)
     rules: Optional[Tuple[Rule, ...]] = None
     if reachable and want_witness and path is not None:
-        if method == "poststar":
-            rules = reconstruct_poststar_run(result.automaton, path)
-        else:
-            rules = reconstruct_prestar_run(result.automaton, path)
-        _check_replay(rules, initial, target)
+        with obs.span("reconstruct"):
+            if method == "poststar":
+                rules = reconstruct_poststar_run(result.automaton, path)
+            else:
+                rules = reconstruct_prestar_run(result.automaton, path)
+            _check_replay(rules, initial, target)
 
     stats = SolverStats(
         method=method,

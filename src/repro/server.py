@@ -34,6 +34,13 @@ open:
 * ``DELETE /jobs/<id>`` — cancel (running scenarios finish, queued
   ones are dropped).
 
+Observability: ``GET /metrics`` exposes the process's solver counters,
+gauges, and span timings in the Prometheus text exposition format
+(:mod:`repro.obs`). The server enables observation on construction by
+default (``observe=False`` opts out); recording is strictly
+observational, so responses are unaffected — pinned by the regression
+tests in ``tests/obs/``.
+
 Use :class:`VerificationServer` programmatically (it picks a free port
 with ``port=0``, handy for tests) or run ``python -m repro.server``.
 """
@@ -45,6 +52,7 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.datasets.builtins import BUILTIN_NETWORKS, load_builtin
 from repro.datasets.example import EXAMPLE_QUERIES
 from repro.errors import ReproError, VerificationTimeout
@@ -304,7 +312,14 @@ class _Handler(BaseHTTPRequestHandler):
         cache: _NetworkCache = self.server.cache  # type: ignore[attr-defined]
         jobs: JobManager = self.server.jobs  # type: ignore[attr-defined]
         try:
-            if self.path == "/networks":
+            if self.path == "/metrics":
+                body = obs.metrics_text().encode("utf-8")
+                self.send_response(200)
+                self.send_header("Content-Type", obs.PROMETHEUS_CONTENT_TYPE)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+            elif self.path == "/networks":
                 self._send_json({"networks": list(BUILTIN_NETWORKS)})
             elif self.path.startswith("/networks/"):
                 name = self.path[len("/networks/") :]
@@ -381,12 +396,14 @@ class VerificationServer:
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8080,
-                 verbose: bool = False) -> None:
+                 verbose: bool = False, observe: bool = True) -> None:
         self._httpd = ThreadingHTTPServer((host, port), _Handler)
         self._httpd.cache = _NetworkCache()  # type: ignore[attr-defined]
         self._httpd.jobs = JobManager()  # type: ignore[attr-defined]
         self._httpd.verbose = verbose  # type: ignore[attr-defined]
         self._thread: Optional[threading.Thread] = None
+        if observe:
+            obs.enable()
 
     @property
     def jobs(self) -> JobManager:

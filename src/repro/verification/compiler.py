@@ -43,6 +43,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro import obs
 from repro.errors import VerificationError
 from repro.model.labels import BOTTOM, Label
 from repro.model.network import MplsNetwork
@@ -185,8 +186,18 @@ class QueryCompiler:
         semiring: Semiring = (
             BOOLEAN if weight_vector is None else vector_semiring(weight_vector.arity)
         )
-        builder = _Builder(self, query, mode, weight_vector, semiring)
-        pds = builder.build()
+        with obs.span("compile", mode=mode):
+            builder = _Builder(self, query, mode, weight_vector, semiring)
+            pds = builder.build()
+        if obs.enabled():
+            obs.add("compiler.compilations")
+            obs.add(f"compiler.{mode}_rules", pds.rule_count())
+            obs.add(
+                "compiler.nfa_states",
+                builder.a_nfa.state_count
+                + builder.b_nfa.state_count
+                + builder.c_nfa.state_count,
+            )
         return CompiledQuery(
             network=self.network,
             query=query,

@@ -42,6 +42,7 @@ from __future__ import annotations
 import time
 from typing import Callable, Optional, Union
 
+from repro import obs
 from repro.errors import VerificationError
 from repro.model.network import MplsNetwork
 from repro.model.topology import Link
@@ -114,21 +115,36 @@ class VerificationEngine:
     ) -> VerificationResult:
         """Answer one query; raises
         :class:`repro.errors.VerificationTimeout` past the time budget."""
+        with obs.span("verify", engine=self.name):
+            result = self._verify(query, timeout_seconds)
+        if obs.enabled():
+            obs.add("engine.queries")
+            obs.add(f"engine.verdicts.{result.status.value}")
+        return result
+
+    def _verify(
+        self,
+        query: Union[Query, str],
+        timeout_seconds: Optional[float],
+    ) -> VerificationResult:
         if isinstance(query, str):
-            query = parse_query(query)
+            with obs.span("parse"):
+                query = parse_query(query)
         start = time.perf_counter()
         deadline = start + timeout_seconds if timeout_seconds is not None else None
         stats = EngineStats()
 
         # Phase 0: one-step traces in closed form (the pushdown encoding
         # only covers traces of length ≥ 2 — see find_one_step_witness).
-        one_step = find_one_step_witness(
-            self.network, query, self.weight_vector, self.distance_of
-        )
+        with obs.span("one_step"):
+            one_step = find_one_step_witness(
+                self.network, query, self.weight_vector, self.distance_of
+            )
         if one_step is not None and self.weight_vector is None:
             # Unweighted: any witness settles the query; skip the PDA.
             trace, _ = one_step
             stats.total_seconds = time.perf_counter() - start
+            obs.add("engine.one_step_hits")
             return self._satisfied(
                 query,
                 ReconstructedWitness(trace, frozenset()),
@@ -172,6 +188,7 @@ class VerificationEngine:
 
         # Phase B: under-approximation.
         stats.used_under_approximation = True
+        obs.add("engine.under_phase_runs")
         compile_start = time.perf_counter()
         under = self.compiler.compile(
             query, mode="under", weight_vector=self.weight_vector

@@ -28,6 +28,7 @@ import time
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.errors import FormatError, PdaError
 from repro.pda.bdd import FALSE, Bdd, bits_needed
 from repro.pda.prestar import prestar_single
@@ -228,6 +229,7 @@ class SymbolicPrestar:
     def saturate(self, deadline: Optional[float] = None) -> int:
         """Run the fixpoint; returns the BDD of the final relation T."""
         bdd = self.bdd
+        rounds = 0
         swap_relation = FALSE
         push_relation = FALSE
         relation = self._transition(self.target[0], self.target[1], self.FINAL)
@@ -265,6 +267,7 @@ class SymbolicPrestar:
 
         delta = relation
         while delta != FALSE:
+            rounds += 1
             if deadline is not None and time.perf_counter() > deadline:
                 from repro.errors import VerificationTimeout
 
@@ -292,6 +295,21 @@ class SymbolicPrestar:
             updated = bdd.apply_or(relation, new)
             delta = bdd.apply_and(new, bdd.apply_not(relation))
             relation = updated
+        if obs.enabled():
+            # All accounting sits after the fixpoint: the loop itself
+            # pays nothing for instrumentation.
+            stats = bdd.stats()
+            obs.add("moped.symbolic_rounds", rounds)
+            obs.add("bdd.nodes_allocated", stats["nodes"])
+            obs.gauge("bdd.nodes", stats["nodes"])
+            obs.gauge(
+                "bdd.cache_entries",
+                stats["and_cache"]
+                + stats["or_cache"]
+                + stats["not_cache"]
+                + stats["exists_cache"]
+                + stats["rename_cache"],
+            )
         return relation
 
     def is_reachable(self, relation: int) -> bool:
@@ -312,27 +330,31 @@ class MopedBackend:
 
     def check(self, text: str, deadline: Optional[float] = None) -> str:
         """Model-check one serialized instance; returns the textual verdict."""
-        parsed = parse_remopla(text)
-        symbolic = SymbolicPrestar(parsed.pds, parsed.initial, parsed.target)
-        relation = symbolic.saturate(deadline=deadline)
+        obs.add("moped.instances")
+        with obs.span("moped.parse"):
+            parsed = parse_remopla(text)
+        with obs.span("moped.symbolic"):
+            symbolic = SymbolicPrestar(parsed.pds, parsed.initial, parsed.target)
+            relation = symbolic.saturate(deadline=deadline)
         if not symbolic.is_reachable(relation):
             return "NOT REACHABLE\n"
         # Trace regeneration (Moped's witness pass): an explicit pre*
         # with witness bookkeeping, guided to the initial configuration.
-        result = prestar_single(
-            parsed.pds,
-            BOOLEAN,
-            parsed.target[0],
-            parsed.target[1],
-            source=parsed.initial,
-            deadline=deadline,
-        )
-        weight, path = result.automaton.accept_weight(
-            parsed.initial[0], (parsed.initial[1],)
-        )
-        if not weight:
-            raise PdaError("moped trace pass disagrees with the symbolic check")
-        rules = reconstruct_prestar_run(result.automaton, path)
+        with obs.span("moped.trace"):
+            result = prestar_single(
+                parsed.pds,
+                BOOLEAN,
+                parsed.target[0],
+                parsed.target[1],
+                source=parsed.initial,
+                deadline=deadline,
+            )
+            weight, path = result.automaton.accept_weight(
+                parsed.initial[0], (parsed.initial[1],)
+            )
+            if not weight:
+                raise PdaError("moped trace pass disagrees with the symbolic check")
+            rules = reconstruct_prestar_run(result.automaton, path)
         trace = " ".join(f"r{rule.tag}" for rule in rules)
         return f"REACHABLE\nTRACE: {trace}\n"
 
@@ -354,10 +376,14 @@ def solve_with_moped(
     system = pds
     reduction_report = None
     if use_reductions:
-        system, reduction_report = reduce_pushdown(
-            pds, initial[0], initial[1], target[0]
-        )
-    text, rule_table = serialize_remopla(system, initial, target)
+        with obs.span("reduce"):
+            system, reduction_report = reduce_pushdown(
+                pds, initial[0], initial[1], target[0]
+            )
+        if obs.enabled():
+            obs.add("pda.rules_removed", pds.rule_count() - system.rule_count())
+    with obs.span("moped.serialize"):
+        text, rule_table = serialize_remopla(system, initial, target)
     answer = MopedBackend().check(text, deadline=deadline)
 
     lines = answer.splitlines()

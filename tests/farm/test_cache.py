@@ -1,6 +1,7 @@
 """Tests for the farm's content-hash artifact cache."""
 
 
+from repro import obs
 from repro.datasets.example import build_example_network
 from repro.farm.cache import ArtifactCache, hash_text, worker_cache
 from repro.io.json_format import network_to_json
@@ -76,3 +77,39 @@ class TestEngineMemoization:
 def test_worker_cache_is_a_process_singleton():
     assert worker_cache() is worker_cache()
     assert isinstance(worker_cache(), ArtifactCache)
+
+
+class TestObservedCounters:
+    """The cache reports hits/misses to the observability registry."""
+
+    def test_hit_and_miss_counters(self):
+        cache = ArtifactCache()
+        with obs.recording():
+            cache.network("k", build_example_network)
+            cache.network("k", build_example_network)
+            assert obs.counter("farm.cache.network_misses") == 1
+            assert obs.counter("farm.cache.network_hits") == 1
+
+    def test_repeated_sweep_records_cache_hits(self):
+        """One sweep, same variant, many queries → the engine compiles
+        once and every later job is a cache hit. Before the farm's
+        chunk planner learned to split single-variant groups, the
+        equivalent multi-worker sweep also silently serialized on one
+        worker — tests/obs/test_farm_merge.py pins that fix."""
+        from repro.farm.pool import FarmJob, run_jobs
+
+        network = build_example_network()
+        payload = network_to_json(network)
+        key = hash_text(payload)
+        jobs = [
+            FarmJob(name=f"q{i}", query="<ip> [.#v0] .* [v3#.] <ip> 0", network_key=key)
+            for i in range(5)
+        ]
+        worker_cache().clear()
+        with obs.recording():
+            results = run_jobs(jobs, {key: payload}, max_workers=1)
+            assert all(item.outcome == "satisfied" for item in results)
+            assert obs.counter("farm.cache.engine_misses") == 1
+            assert obs.counter("farm.cache.engine_hits") >= 1
+            assert obs.counter("farm.cache.engine_hits") == len(jobs) - 1
+        worker_cache().clear()

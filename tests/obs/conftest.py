@@ -1,0 +1,20 @@
+"""Shared fixtures: isolate the process-wide obs registry per test."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def isolate_obs_registry():
+    """Start each test with a clean global registry and restore the
+    on/off switch afterwards, so no test leaks observation state."""
+    previous = obs.enabled()
+    obs.disable()
+    obs.reset()
+    yield
+    obs.reset()
+    if previous:
+        obs.enable()
+    else:
+        obs.disable()

@@ -1,0 +1,71 @@
+"""The ``aalwines verify --profile`` surface: phase table, trace export,
+and the regression that profiling does not perturb the result."""
+
+import json
+import re
+
+from repro import obs
+from repro.cli import main
+
+
+def _normalize(text: str) -> str:
+    """Blank out wall-clock figures — the one legitimately varying part."""
+    return re.sub(r"time=\d+\.\d+s", "time=_s", text)
+
+PHI0 = "<ip> [.#v0] .* [v3#.] <ip> 0"
+PHI3 = "<s40 ip> [.#v0] .* [v3#.] <mpls+ smpls ip> 1"
+
+
+class TestProfileFlag:
+    def test_profile_prints_phase_table(self, capsys):
+        assert main(["--builtin", "example", "--query", PHI0, "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "phase profile" in out
+        assert "verify" in out
+        assert "counters:" in out
+        assert "engine.queries" in out
+
+    def test_verify_subcommand_alias(self, capsys):
+        code = main(
+            ["verify", "--builtin", "example", "--query", PHI0, "--profile"]
+        )
+        assert code == 0
+        assert "phase profile" in capsys.readouterr().out
+
+    def test_profile_trace_export(self, capsys, tmp_path):
+        path = tmp_path / "trace.json"
+        code = main(
+            [
+                "--builtin",
+                "example",
+                "--query",
+                PHI0,
+                "--profile",
+                "--profile-trace",
+                str(path),
+            ]
+        )
+        assert code == 0
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+        assert document["format"] == "aalwines-trace/1"
+        assert any(span["path"] == "verify" for span in document["spans"])
+
+    def test_profile_restores_switch(self, capsys):
+        obs.disable()
+        main(["--builtin", "example", "--query", PHI0, "--profile"])
+        assert not obs.enabled()
+
+    def test_profile_does_not_change_output_or_exit_code(self, capsys):
+        """The verification report must be identical with and without
+        --profile; only the appended profile differs."""
+        for query, expected in ((PHI0, 0), (PHI3, 1)):
+            assert main(["--builtin", "example", "--query", query]) == expected
+            plain = _normalize(capsys.readouterr().out)
+            code = main(
+                ["--builtin", "example", "--query", query, "--profile"]
+            )
+            assert code == expected
+            profiled = _normalize(capsys.readouterr().out)
+            assert profiled.startswith(plain)
+            assert "phase profile" in profiled[len(plain) :]

@@ -1,0 +1,219 @@
+"""Unit tests of the metric registry: switch semantics, spans,
+counters/gauges, bounded records, snapshots and cross-process merge."""
+
+import threading
+
+import pytest
+
+from repro.obs.core import (
+    NULL_SPAN,
+    MetricRegistry,
+    diff_counters,
+    diff_snapshots,
+)
+
+
+@pytest.fixture
+def registry():
+    reg = MetricRegistry()
+    reg.enabled = True
+    return reg
+
+
+class TestSwitch:
+    def test_disabled_by_default(self):
+        assert MetricRegistry().enabled is False
+
+    def test_disabled_add_records_nothing(self):
+        reg = MetricRegistry()
+        reg.add("n", 5)
+        reg.gauge("g", 1.0)
+        assert reg.counters() == {}
+        assert reg.gauges() == {}
+
+    def test_disabled_span_is_shared_null_object(self):
+        reg = MetricRegistry()
+        span = reg.span("phase")
+        assert span is NULL_SPAN
+        with span as inner:
+            inner.set(key="ignored")
+        assert reg.span_aggregates() == {}
+
+    def test_disable_keeps_recorded_metrics(self, registry):
+        registry.add("kept")
+        registry.enabled = False
+        registry.add("dropped")
+        assert registry.counters() == {"kept": 1}
+
+
+class TestCountersAndGauges:
+    def test_add_accumulates(self, registry):
+        registry.add("iterations", 3)
+        registry.add("iterations", 4)
+        assert registry.counter("iterations") == 7
+
+    def test_unknown_counter_reads_zero(self, registry):
+        assert registry.counter("never") == 0
+
+    def test_gauge_keeps_last_value(self, registry):
+        registry.gauge("nodes", 10.0)
+        registry.gauge("nodes", 4.0)
+        assert registry.gauges() == {"nodes": 4.0}
+
+    def test_thread_safety_of_add(self, registry):
+        def work():
+            for _ in range(1000):
+                registry.add("n")
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert registry.counter("n") == 8000
+
+
+class TestSpans:
+    def test_nesting_builds_slash_paths(self, registry):
+        with registry.span("verify"):
+            with registry.span("solve"):
+                with registry.span("saturate"):
+                    pass
+        aggregates = registry.span_aggregates()
+        assert set(aggregates) == {
+            "verify",
+            "verify/solve",
+            "verify/solve/saturate",
+        }
+        assert aggregates["verify"]["count"] == 1.0
+
+    def test_sibling_spans_share_parent_path(self, registry):
+        with registry.span("verify"):
+            with registry.span("compile"):
+                pass
+            with registry.span("compile"):
+                pass
+        assert registry.span_aggregates()["verify/compile"]["count"] == 2.0
+
+    def test_elapsed_is_positive_and_summed(self, registry):
+        for _ in range(3):
+            with registry.span("phase"):
+                pass
+        aggregate = registry.span_aggregates()["phase"]
+        assert aggregate["count"] == 3.0
+        assert aggregate["seconds"] >= 0.0
+
+    def test_attributes_recorded(self, registry):
+        with registry.span("saturate", method="poststar") as span:
+            span.set(iterations=17)
+        (record,) = registry.span_records()
+        assert record.attributes == {"method": "poststar", "iterations": 17}
+        assert record.to_dict()["attributes"]["method"] == "poststar"
+
+    def test_threads_nest_independently(self, registry):
+        seen = []
+
+        def work(name):
+            with registry.span(name):
+                with registry.span("inner"):
+                    pass
+            seen.append(name)
+
+        threads = [
+            threading.Thread(target=work, args=(f"t{i}",)) for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        paths = set(registry.span_aggregates())
+        # Each thread's inner span nests under its own root, never under
+        # another thread's.
+        assert paths == {f"t{i}" for i in range(4)} | {
+            f"t{i}/inner" for i in range(4)
+        }
+
+    def test_record_bound_drops_but_keeps_aggregates(self):
+        registry = MetricRegistry(max_span_records=2)
+        registry.enabled = True
+        for _ in range(5):
+            with registry.span("phase"):
+                pass
+        assert len(registry.span_records()) == 2
+        assert registry.dropped_spans == 3
+        assert registry.span_aggregates()["phase"]["count"] == 5.0
+
+    def test_exception_inside_span_still_records(self, registry):
+        with pytest.raises(ValueError):
+            with registry.span("phase"):
+                raise ValueError("boom")
+        assert registry.span_aggregates()["phase"]["count"] == 1.0
+
+
+class TestSnapshotAndMerge:
+    def test_reset_clears_everything(self, registry):
+        registry.add("n")
+        registry.gauge("g", 1.0)
+        with registry.span("phase"):
+            pass
+        registry.reset()
+        assert registry.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "span_seconds": {},
+            "span_counts": {},
+        }
+        assert registry.enabled is True  # the switch is untouched
+
+    def test_diff_counters(self):
+        before = {"a": 1, "b": 5}
+        after = {"a": 4, "b": 5, "c": 2}
+        assert diff_counters(after, before) == {"a": 3, "c": 2}
+
+    def test_diff_snapshots_structure(self, registry):
+        before = registry.snapshot()
+        registry.add("n", 2)
+        with registry.span("phase"):
+            pass
+        delta = diff_snapshots(registry.snapshot(), before)
+        assert delta["counters"] == {"n": 2}
+        assert delta["span_counts"] == {"phase": 1}
+        assert "phase" in delta["span_seconds"]
+
+    def test_merge_sums_counters_and_spans(self, registry):
+        registry.add("n", 1)
+        registry.merge(
+            {
+                "counters": {"n": 4, "m": 2},
+                "span_seconds": {"phase": 0.5},
+                "span_counts": {"phase": 3},
+            }
+        )
+        assert registry.counters() == {"n": 5, "m": 2}
+        assert registry.span_aggregates()["phase"] == {
+            "count": 3.0,
+            "seconds": 0.5,
+        }
+
+    def test_merge_takes_gauge_maximum(self, registry):
+        registry.gauge("nodes", 10.0)
+        registry.merge({"gauges": {"nodes": 4.0, "other": 7.0}})
+        assert registry.gauges() == {"nodes": 10.0, "other": 7.0}
+
+    def test_merge_accepts_flat_counter_mapping(self, registry):
+        registry.merge({"hits": 3})
+        assert registry.counter("hits") == 3
+
+    def test_merge_roundtrip_equals_local_recording(self):
+        """parent.merge(diff(worker)) == recording locally."""
+        worker = MetricRegistry()
+        worker.enabled = True
+        before = worker.snapshot()
+        worker.add("n", 3)
+        with worker.span("phase"):
+            pass
+        parent = MetricRegistry()
+        parent.enabled = True
+        parent.merge(diff_snapshots(worker.snapshot(), before))
+        assert parent.counters() == {"n": 3}
+        assert parent.span_aggregates()["phase"]["count"] == 1.0

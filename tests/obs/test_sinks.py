@@ -1,0 +1,134 @@
+"""Sink tests: the --profile table, Prometheus exposition, JSON traces."""
+
+import json
+
+import pytest
+
+from repro.obs.core import MetricRegistry
+from repro.obs.sinks import (
+    PROMETHEUS_CONTENT_TYPE,
+    json_trace_document,
+    prometheus_text,
+    text_summary,
+    write_json_trace,
+)
+
+
+@pytest.fixture
+def registry():
+    reg = MetricRegistry()
+    reg.enabled = True
+    with reg.span("verify", engine="dual"):
+        with reg.span("compile"):
+            pass
+        with reg.span("solve"):
+            with reg.span("saturate"):
+                pass
+    reg.add("pda.saturation_iterations", 42)
+    reg.add("engine.queries")
+    reg.gauge("bdd.nodes", 128.0)
+    return reg
+
+
+class TestTextSummary:
+    def test_phase_rows_indented_by_depth(self, registry):
+        text = text_summary(registry)
+        lines = text.splitlines()
+        assert any(line.startswith("verify ") for line in lines)
+        assert any(line.startswith("  compile") for line in lines)
+        assert any(line.startswith("    saturate") for line in lines)
+
+    def test_counters_and_gauges_sections(self, registry):
+        text = text_summary(registry)
+        assert "pda.saturation_iterations" in text
+        assert "42" in text
+        assert "gauges:" in text
+        assert "bdd.nodes" in text
+
+    def test_root_share_is_100_percent(self, registry):
+        for line in text_summary(registry).splitlines():
+            if line.startswith("verify "):
+                assert line.rstrip().endswith("100.0%")
+                break
+        else:
+            pytest.fail("no verify row in the summary")
+
+    def test_empty_registry_renders(self):
+        text = text_summary(MetricRegistry(), title="t")
+        assert "(no spans recorded)" in text
+
+
+class TestPrometheus:
+    def test_counters_get_total_suffix_and_type(self, registry):
+        text = prometheus_text(registry)
+        assert "# TYPE aalwines_engine_queries_total counter" in text
+        assert "aalwines_engine_queries_total 1" in text
+
+    def test_names_are_sanitized(self, registry):
+        text = prometheus_text(registry)
+        # Dots become underscores; no raw dots in any metric name.
+        assert "aalwines_pda_saturation_iterations_total 42" in text
+        for line in text.splitlines():
+            if not line.startswith("#"):
+                assert "." not in line.split("{")[0].split(" ")[0]
+
+    def test_gauges_rendered_without_suffix(self, registry):
+        assert "aalwines_bdd_nodes 128" in prometheus_text(registry)
+
+    def test_span_series_carry_path_label(self, registry):
+        text = prometheus_text(registry)
+        assert 'aalwines_span_count_total{span="verify/solve/saturate"} 1' in text
+        assert 'aalwines_span_seconds_total{span="verify"}' in text
+
+    def test_enabled_flag_exported(self, registry):
+        assert "aalwines_observability_enabled 1" in prometheus_text(registry)
+        registry.enabled = False
+        assert "aalwines_observability_enabled 0" in prometheus_text(registry)
+
+    def test_label_values_escaped(self):
+        reg = MetricRegistry()
+        reg.enabled = True
+        with reg.span('we"ird'):
+            pass
+        assert 'span="we\\"ird"' in prometheus_text(reg)
+
+    def test_content_type_names_version(self):
+        assert "version=0.0.4" in PROMETHEUS_CONTENT_TYPE
+
+    def test_ends_with_newline(self, registry):
+        assert prometheus_text(registry).endswith("\n")
+
+    def test_custom_prefix(self, registry):
+        assert "repro_engine_queries_total" in prometheus_text(
+            registry, prefix="repro"
+        )
+
+
+class TestJsonTrace:
+    def test_document_shape(self, registry):
+        document = json_trace_document(registry, metadata={"query": "q"})
+        assert document["format"] == "aalwines-trace/1"
+        assert document["metadata"] == {"query": "q"}
+        paths = [span["path"] for span in document["spans"]]
+        assert "verify/solve/saturate" in paths
+        assert document["counters"]["engine.queries"] == 1
+
+    def test_span_order_is_completion_order(self, registry):
+        paths = [s["path"] for s in json_trace_document(registry)["spans"]]
+        # Children complete before their parents.
+        assert paths.index("verify/compile") < paths.index("verify")
+
+    def test_write_and_reload(self, registry, tmp_path):
+        path = str(tmp_path / "trace.json")
+        assert write_json_trace(path, registry) == path
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+        assert document["format"] == "aalwines-trace/1"
+        assert document["gauges"]["bdd.nodes"] == 128.0
+
+    def test_rendering_does_not_mutate(self, registry):
+        before = registry.snapshot()
+        text_summary(registry)
+        prometheus_text(registry)
+        json_trace_document(registry)
+        assert registry.snapshot() == before

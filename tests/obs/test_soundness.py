@@ -1,0 +1,124 @@
+"""Observational soundness: recording must never change what the
+engines compute.
+
+The layer's contract (DESIGN.md) is that instrumentation is strictly
+*observational* — the same verdicts, the same witness traces (byte for
+byte in their JSON form), the same weights, whether the switch is on or
+off. These regressions run every φ query of the running example through
+every engine both ways and diff the complete result documents; the
+server variant checks the HTTP boundary the same way.
+"""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.datasets.builtins import load_builtin
+from repro.datasets.example import EXAMPLE_QUERIES
+from repro.io.json_format import trace_to_json
+from repro.verification.engine import dual_engine, moped_engine, weighted_engine
+
+ENGINES = {
+    "dual": dual_engine,
+    "moped": moped_engine,
+    "weighted": lambda network: weighted_engine(network, weight="failures"),
+}
+
+
+@pytest.fixture(scope="module")
+def network():
+    return load_builtin("example")
+
+
+def result_document(result):
+    """Everything an engine produces, JSON-canonical — traces byte-level."""
+    document = {"status": result.status.value, "query": str(result.query)}
+    if result.trace is not None:
+        document["trace_json"] = trace_to_json(result.trace)
+        document["failure_set"] = sorted(
+            link.name for link in (result.failure_set or frozenset())
+        )
+    if result.weight is not None:
+        document["weight"] = list(result.weight)
+        document["minimal_guaranteed"] = result.minimal_guaranteed
+    return document
+
+
+@pytest.mark.parametrize("engine_name", sorted(ENGINES))
+@pytest.mark.parametrize("query_name,query_text", EXAMPLE_QUERIES)
+def test_results_identical_with_observation_on(
+    network, engine_name, query_name, query_text
+):
+    engine = ENGINES[engine_name](network)
+    obs.disable()
+    baseline = result_document(engine.verify(query_text))
+    with obs.recording():
+        observed = result_document(engine.verify(query_text))
+        # Observation really was on and really recorded the run.
+        assert obs.counter("engine.queries") == 1
+    assert observed == baseline
+
+
+def test_disabled_run_records_nothing(network):
+    obs.disable()
+    obs.reset()
+    dual_engine(network).verify(EXAMPLE_QUERIES[0][1])
+    assert obs.counters() == {}
+    assert obs.registry().span_aggregates() == {}
+
+
+def test_repeated_recorded_runs_are_deterministic(network):
+    """Counter deltas (not timings) of identical runs must be equal —
+    the property the differential suite relies on."""
+    engine = dual_engine(network)
+    deltas = []
+    for _ in range(2):
+        with obs.recording():
+            engine.verify(EXAMPLE_QUERIES[1][1])
+            deltas.append(obs.counters())
+    assert deltas[0] == deltas[1]
+
+
+class TestServerNotPerturbed:
+    """GET /metrics exposure must not change POST /verify responses."""
+
+    @staticmethod
+    def _verify_response(server, body):
+        import urllib.request
+
+        request = urllib.request.Request(
+            f"http://{server.host}:{server.port}/verify",
+            data=json.dumps(body).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(request) as response:
+            return json.loads(response.read())
+
+    def test_verify_responses_identical_modulo_timing(self):
+        from repro.server import VerificationServer
+
+        body = {"network": "example", "query": EXAMPLE_QUERIES[3][1]}
+        try:
+            with VerificationServer(port=0, observe=False) as plain:
+                obs.disable()  # observe=False leaves the switch alone
+                response_off = self._verify_response(plain, body)
+            with VerificationServer(port=0, observe=True) as observed:
+                response_on = self._verify_response(observed, body)
+                import urllib.request
+
+                with urllib.request.urlopen(
+                    f"http://{observed.host}:{observed.port}/metrics"
+                ) as metrics:
+                    text = metrics.read().decode("utf-8")
+                assert "aalwines_engine_queries_total 1" in text
+        finally:
+            obs.disable()
+        # Wall-clock timing legitimately varies; everything else —
+        # verdict, trace steps, headers, DOT, weights — must be
+        # byte-identical once serialized canonically.
+        response_off.pop("time_seconds")
+        response_on.pop("time_seconds")
+        assert json.dumps(response_on, sort_keys=True) == json.dumps(
+            response_off, sort_keys=True
+        )

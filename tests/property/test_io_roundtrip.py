@@ -35,6 +35,24 @@ def test_xml_roundtrip(seed):
 
 @settings(max_examples=25, deadline=None)
 @given(st.integers(min_value=0, max_value=5000))
+def test_json_xml_json_chain_preserves_routing_label_by_label(seed):
+    """Converting JSON → XML → JSON must keep every routing entry: the
+    signature is keyed (router, in-interface, label), so a single label
+    remapped or dropped anywhere in the chain fails the comparison."""
+    network = build_random_network(seed)
+    via_xml = network_from_xml(
+        topology_to_xml(network.topology), routing_to_xml(network)
+    )
+    back = network_from_json(network_to_json(via_xml))
+    original = routing_signature(network)
+    final = routing_signature(back)
+    assert set(original) == set(final)
+    for key in original:
+        assert original[key] == final[key], f"routing diverged at {key}"
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=5000))
 def test_isis_roundtrip(seed):
     network = build_random_network(seed)
     mapping, documents = network_to_isis(network)

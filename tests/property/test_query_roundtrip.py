@@ -42,7 +42,11 @@ def link_atoms(draw):
 def regexes(draw, atoms, depth=2):
     if depth == 0:
         return ast.Leaf(draw(atoms))
-    kind = draw(st.sampled_from(["leaf", "concat", "union", "star", "plus", "option"]))
+    kind = draw(
+        st.sampled_from(
+            ["leaf", "concat", "union", "star", "plus", "option", "repeat"]
+        )
+    )
     if kind == "leaf":
         return ast.Leaf(draw(atoms))
     if kind in ("concat", "union"):
@@ -52,6 +56,12 @@ def regexes(draw, atoms, depth=2):
         )
         return ast.concat(*parts) if kind == "concat" else ast.union(*parts)
     inner = draw(regexes(atoms, depth=depth - 1))
+    if kind == "repeat":
+        minimum = draw(st.integers(0, 3))
+        maximum = draw(
+            st.one_of(st.none(), st.integers(minimum, minimum + 3))
+        )
+        return ast.Repeat(inner, minimum, maximum)
     return {"star": ast.Star, "plus": ast.Plus, "option": ast.Option}[kind](inner)
 
 

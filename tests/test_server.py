@@ -468,3 +468,46 @@ class TestJobPreflight:
         final = self._wait_done(server, document["id"])
         assert "preflight" not in final
         assert all("diagnostics" not in item for item in final["items"])
+
+
+class TestMetrics:
+    """GET /metrics — the Prometheus exposition of repro.obs."""
+
+    def _metrics_text(self, server):
+        connection = http.client.HTTPConnection(
+            server.host, server.port, timeout=60
+        )
+        try:
+            connection.request("GET", "/metrics")
+            response = connection.getresponse()
+            return (
+                response.status,
+                response.getheader("Content-Type"),
+                response.read().decode("utf-8"),
+            )
+        finally:
+            connection.close()
+
+    def test_metrics_served_as_prometheus_text(self, server):
+        status, content_type, text = self._metrics_text(server)
+        assert status == 200
+        assert content_type == "text/plain; version=0.0.4; charset=utf-8"
+        assert "aalwines_observability_enabled 1" in text
+
+    def test_verification_shows_up_in_metrics(self, server):
+        from repro import obs
+
+        before = obs.counter("engine.queries")
+        request(
+            server,
+            "POST",
+            "/verify",
+            {"network": "example", "query": "<ip> [.#v0] .* [v3#.] <ip> 0"},
+        )
+        _status, _ctype, text = self._metrics_text(server)
+        for line in text.splitlines():
+            if line.startswith("aalwines_engine_queries_total "):
+                assert int(line.split()[-1]) >= before + 1
+                break
+        else:
+            pytest.fail("engine.queries counter missing from /metrics")

@@ -1,0 +1,109 @@
+"""Differential conformance: the Dual engine against the Moped baseline
+over every built-in network × a generated query corpus.
+
+This is the paper's core correctness claim in test form (§5 compares
+engines on *time* precisely because their answers agree): the network-
+tailored dual-approximation engine and the generic symbolic baseline
+must return the same verdict — and, on SATISFIED, each witness must be
+independently feasible.
+
+The observability counters are the saturation oracle: each backend's
+run must prove it actually did its work (``pda.saturation_iterations``
+for the explicit engine, ``moped.symbolic_rounds`` for the symbolic
+one) unless the one-step fast path legitimately settled the query
+before any pushdown was built — so a conformance "pass" can never come
+from two engines both silently skipping the analysis.
+"""
+
+import pytest
+
+from repro import obs
+from repro.datasets.builtins import BUILTIN_NETWORKS, load_builtin
+from repro.datasets.queries import generate_query_suite
+from repro.verification.engine import dual_engine, moped_engine
+from repro.verification.results import Status
+
+#: Unconstrained-path queries are the hard instances (Table 1's last
+#: row); the symbolic baseline takes seconds on the larger builtins, so
+#: tier-1 keeps them to the small networks.
+UNCONSTRAINED_OK = ("example", "abilene", "nsfnet")
+
+
+def corpus(network, name):
+    return generate_query_suite(
+        network,
+        count=5,
+        seed=1009,
+        include_unconstrained=name in UNCONSTRAINED_OK,
+    )
+
+
+def _cases():
+    for name in BUILTIN_NETWORKS:
+        network = load_builtin(name)
+        for query in corpus(network, name):
+            yield pytest.param(name, query, id=f"{name}-{query.name}")
+
+
+@pytest.fixture(scope="module")
+def networks():
+    return {name: load_builtin(name) for name in BUILTIN_NETWORKS}
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    previous = obs.enabled()
+    obs.disable()
+    obs.reset()
+    yield
+    obs.reset()
+    if previous:
+        obs.enable()
+
+
+@pytest.mark.parametrize("name,query", _cases())
+def test_dual_and_moped_agree(networks, name, query):
+    network = networks[name]
+    with obs.recording():
+        dual_result = dual_engine(network).verify(query.text)
+        dual_counters = obs.counters()
+    with obs.recording():
+        moped_result = moped_engine(network).verify(query.text)
+        moped_counters = obs.counters()
+
+    assert dual_result.status == moped_result.status, (
+        f"{name}/{query.name}: dual={dual_result.status} "
+        f"moped={moped_result.status}"
+    )
+
+    # Saturation oracle: unless the one-step fast path answered, each
+    # backend must have actually saturated its pushdown.
+    if not dual_counters.get("engine.one_step_hits"):
+        assert dual_counters.get("pda.saturation_iterations", 0) > 0
+    if not moped_counters.get("engine.one_step_hits"):
+        assert moped_counters.get("moped.symbolic_rounds", 0) > 0
+        assert moped_counters.get("bdd.nodes_allocated", 0) > 0
+
+    # On SATISFIED both traces were already feasibility-checked by
+    # their engines; they must also satisfy the same failure bound.
+    if dual_result.status is Status.SATISFIED:
+        for result in (dual_result, moped_result):
+            assert result.trace is not None
+            failures = result.failure_set or frozenset()
+            assert len(failures) <= query.max_failures
+
+
+def test_corpus_is_not_degenerate(networks):
+    """The sweep must exercise both the PDA pipeline and, somewhere,
+    each verdict the engines can produce — otherwise the differential
+    test would be vacuous."""
+    statuses = set()
+    pda_runs = 0
+    with obs.recording():
+        for name, network in networks.items():
+            for query in corpus(network, name):
+                statuses.add(dual_engine(network).verify(query.text).status)
+        pda_runs = obs.counter("pda.poststar.runs")
+    assert Status.SATISFIED in statuses
+    assert Status.UNSATISFIED in statuses
+    assert pda_runs > 0
