@@ -119,6 +119,25 @@ class ArtifactCache:
                 obs.add("farm.cache.evictions")
             return engine
 
+    def compile_memo_stats(self) -> Dict[str, int]:
+        """Aggregate compile-memo counters over the cached engines.
+
+        Cached engines keep a :class:`~repro.verification.compiler
+        .QueryCompiler` whose per-(query, mode, weight) memo is where a
+        sweep's repeated compilations actually get amortized; summing its
+        hit/miss counters here makes that visible next to the engine-level
+        hit rate. Duck-typed so non-engine artifacts (or engines without
+        a compiler) simply contribute nothing.
+        """
+        with self._lock:
+            engines = list(self._engines.values())
+        hits = misses = 0
+        for engine in engines:
+            compiler = getattr(engine, "compiler", None)
+            hits += getattr(compiler, "memo_hits", 0)
+            misses += getattr(compiler, "memo_misses", 0)
+        return {"compile_memo_hits": hits, "compile_memo_misses": misses}
+
     def clear(self) -> None:
         """Drop every cached artifact and reset the counters."""
         with self._lock:

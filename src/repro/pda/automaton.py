@@ -12,9 +12,22 @@ Weighted transitions carry a semiring weight and a *witness* — a small
 tuple describing how the transition arose, from which
 :mod:`repro.pda.witness` reconstructs actual PDS rule sequences.
 
-The class also implements the Dijkstra-style worklist shared by both
-saturators: :meth:`relax` inserts/improves transitions, :meth:`pop`
-finalizes the best pending one.
+Two implementations share the Dijkstra-style worklist design
+(:meth:`relax` inserts/improves transitions, :meth:`pop` finalizes the
+best pending one):
+
+* :class:`WeightedPAutomaton` — transition keys are ``(source, symbol,
+  target)`` tuples over arbitrary hashables. This is the reference
+  (tuple) core, kept as the differential oracle and benchmark baseline.
+* :class:`IntPAutomaton` — transition keys are single packed ints over
+  the dense ids of a :class:`~repro.pda.intern.SymbolTable` pair; the
+  symbolic values only reappear at the acceptance boundary.
+
+Successor sets and ε-source sets are stored as insertion-ordered dicts
+(value None) rather than sets in both cores: iteration order then
+depends only on relaxation order, never on hash seeds, which is what
+makes equal-weight witness tie-breaking — and therefore traces —
+reproducible across processes.
 """
 
 from __future__ import annotations
@@ -33,30 +46,21 @@ from typing import (
 )
 
 from repro.errors import PdaError
+from repro.pda.intern import EPSILON, EPSILON_ID, MASK, SHIFT, SymbolTable
 from repro.pda.semiring import Semiring
+
+__all__ = [
+    "EPSILON",
+    "Key",
+    "WeightedPAutomaton",
+    "IntPAutomaton",
+]
 
 State = Hashable
 Symbol = Hashable
 
 #: Transition key: (source, symbol, target). ``symbol`` may be EPSILON.
 Key = Tuple[State, Any, State]
-
-
-class _Epsilon:
-    """Singleton ε marker for post*'s intermediate transitions."""
-
-    _instance: Optional["_Epsilon"] = None
-
-    def __new__(cls) -> "_Epsilon":
-        if cls._instance is None:
-            cls._instance = super().__new__(cls)
-        return cls._instance
-
-    def __repr__(self) -> str:
-        return "ε"
-
-
-EPSILON = _Epsilon()
 
 
 def _heap_key(weight: Any) -> Any:
@@ -80,10 +84,12 @@ class WeightedPAutomaton:
         self.weights: Dict[Key, Any] = {}
         #: Witness (provenance) tuple per transition key.
         self.witnesses: Dict[Key, Tuple[Any, ...]] = {}
-        #: Non-ε out-edges per state: symbol -> set of targets.
-        self.out_edges: Dict[State, Dict[Any, Set[State]]] = {}
-        #: ε-transition sources per target state (post* bookkeeping).
-        self.eps_by_target: Dict[State, Set[State]] = {}
+        #: Non-ε out-edges per state: symbol -> ordered target set
+        #: (a dict with None values, keyed in insertion order).
+        self.out_edges: Dict[State, Dict[Any, Dict[State, None]]] = {}
+        #: ε-transition sources per target state (post* bookkeeping),
+        #: insertion-ordered like ``out_edges``.
+        self.eps_by_target: Dict[State, Dict[State, None]] = {}
         self._finalized: Set[Key] = set()
         self._heap: List[Tuple[Any, int, Key]] = []
         self._counter = 0
@@ -108,9 +114,9 @@ class WeightedPAutomaton:
         self.relaxations += 1
         source, symbol, target = key
         if symbol is EPSILON:
-            self.eps_by_target.setdefault(target, set()).add(source)
+            self.eps_by_target.setdefault(target, {})[source] = None
         else:
-            self.out_edges.setdefault(source, {}).setdefault(symbol, set()).add(target)
+            self.out_edges.setdefault(source, {}).setdefault(symbol, {})[target] = None
         self._counter += 1
         heapq.heappush(self._heap, (_heap_key(weight), self._counter, key))
         return True
@@ -140,6 +146,10 @@ class WeightedPAutomaton:
     def targets(self, state: State, symbol: Any) -> FrozenSet[State]:
         """Non-ε successors of ``state`` under ``symbol``."""
         return frozenset(self.out_edges.get(state, {}).get(symbol, ()))
+
+    def iter_targets(self, state: State, symbol: Any) -> Tuple[State, ...]:
+        """Like :meth:`targets`, but in deterministic insertion order."""
+        return tuple(self.out_edges.get(state, {}).get(symbol, ()))
 
     def accept_weight(
         self, state: State, stack: Tuple[Any, ...]
@@ -176,7 +186,7 @@ class WeightedPAutomaton:
                     break
                 continue
             symbol = stack[position]
-            for target in self.targets(current_state, symbol):
+            for target in self.iter_targets(current_state, symbol):
                 key = (current_state, symbol, target)
                 weight = semiring.extend(best[node], self.weights[key])
                 successor = (target, position + 1)
@@ -211,5 +221,231 @@ class WeightedPAutomaton:
     def __repr__(self) -> str:
         return (
             f"WeightedPAutomaton(transitions={len(self.weights)}, "
+            f"finalized={len(self._finalized)})"
+        )
+
+
+class IntPAutomaton:
+    """The interned core's P-automaton: packed-int transition keys.
+
+    A transition ``(source, symbol, target)`` is one int,
+    ``(source_id << 42) | (symbol_id << 21) | target_id``, over the ids
+    of the pushdown system's shared symbol tables; ε-transitions are the
+    keys whose symbol field is :data:`~repro.pda.intern.EPSILON_ID`.
+    The worklist, weight map and witness map therefore hash nothing but
+    machine ints on the hot path. Acceptance queries take *symbolic*
+    states and stacks and translate at the boundary, so callers (the
+    solver, tests, the Moped trace pass) are agnostic to which core
+    produced the automaton; the returned path keys stay packed, which is
+    what :mod:`repro.pda.witness` consumes.
+    """
+
+    __slots__ = (
+        "semiring",
+        "state_table",
+        "symbol_table",
+        "final_ids",
+        "weights",
+        "witnesses",
+        "out_edges",
+        "eps_by_target",
+        "_finalized",
+        "_heap",
+        "_counter",
+        "relaxations",
+    )
+
+    def __init__(
+        self,
+        semiring: Semiring,
+        state_table: SymbolTable,
+        symbol_table: SymbolTable,
+        final_ids: Iterable[int],
+    ) -> None:
+        self.semiring = semiring
+        self.state_table = state_table
+        self.symbol_table = symbol_table
+        self.final_ids: Set[int] = set(final_ids)
+        #: Best known weight per packed transition key.
+        self.weights: Dict[int, Any] = {}
+        #: Witness (provenance) tuple per packed transition key.
+        self.witnesses: Dict[int, Tuple[Any, ...]] = {}
+        #: source id → symbol id → ordered target-id set (dict of None).
+        self.out_edges: Dict[int, Dict[int, Dict[int, None]]] = {}
+        #: target id → ordered ε-source-id set (dict of None).
+        self.eps_by_target: Dict[int, Dict[int, None]] = {}
+        self._finalized: Set[int] = set()
+        self._heap: List[Tuple[Any, int, int]] = []
+        self._counter = 0
+        #: Number of relaxations that actually improved a weight.
+        self.relaxations = 0
+
+    # ------------------------------------------------------------------
+    # worklist
+    # ------------------------------------------------------------------
+    def relax(self, key: int, weight: Any, witness: Tuple[Any, ...]) -> bool:
+        """Insert or improve a packed transition; True when it changed."""
+        semiring = self.semiring
+        if semiring.is_zero(weight):
+            return False
+        current = self.weights.get(key)
+        if current is not None and not semiring.less(weight, current):
+            return False
+        if key in self._finalized:
+            # Monotone weights guarantee finalized transitions are optimal.
+            raise PdaError(
+                f"non-monotone weight improvement on finalized {self.resolve_key(key)}"
+            )
+        self.weights[key] = weight
+        self.witnesses[key] = witness
+        self.relaxations += 1
+        target = key & MASK
+        head = key >> SHIFT
+        symbol = head & MASK
+        source = head >> SHIFT
+        if symbol == EPSILON_ID:
+            self.eps_by_target.setdefault(target, {})[source] = None
+        else:
+            self.out_edges.setdefault(source, {}).setdefault(symbol, {})[target] = None
+        self._counter += 1
+        heapq.heappush(self._heap, (_heap_key(weight), self._counter, key))
+        return True
+
+    def pop(self) -> Optional[Tuple[int, Any]]:
+        """Finalize and return the best pending transition, or None."""
+        finalized = self._finalized
+        heap = self._heap
+        while heap:
+            _, _, key = heapq.heappop(heap)
+            if key in finalized:
+                continue
+            finalized.add(key)
+            return key, self.weights[key]
+        return None
+
+    def is_finalized(self, key: int) -> bool:
+        """Has this transition's weight been fixed by a pop?"""
+        return key in self._finalized
+
+    # ------------------------------------------------------------------
+    # boundary helpers
+    # ------------------------------------------------------------------
+    def resolve_key(self, key: int) -> Key:
+        """The symbolic ``(source, symbol, target)`` behind a packed key."""
+        target = key & MASK
+        head = key >> SHIFT
+        symbol_id = head & MASK
+        return (
+            self.state_table.resolve(head >> SHIFT),
+            EPSILON if symbol_id == EPSILON_ID else self.symbol_table.resolve(symbol_id),
+            self.state_table.resolve(target),
+        )
+
+    @property
+    def final_states(self) -> FrozenSet[State]:
+        """The final states, resolved to their symbolic values."""
+        resolve = self.state_table.resolve
+        return frozenset(resolve(i) for i in self.final_ids)
+
+    # ------------------------------------------------------------------
+    # acceptance (symbolic in, packed path out)
+    # ------------------------------------------------------------------
+    def transition_weight(self, key: int) -> Any:
+        """Best known weight of one packed transition (zero if absent)."""
+        return self.weights.get(key, self.semiring.zero)
+
+    def targets(self, state: State, symbol: Any) -> FrozenSet[State]:
+        """Non-ε successors of ``state`` under ``symbol`` (symbolic)."""
+        source = self.state_table.id_of(state)
+        symbol_id = self.symbol_table.id_of(symbol)
+        if source is None or symbol_id is None or symbol_id == EPSILON_ID:
+            return frozenset()
+        resolve = self.state_table.resolve
+        return frozenset(
+            resolve(t) for t in self.out_edges.get(source, {}).get(symbol_id, ())
+        )
+
+    def accept_weight(
+        self, state: State, stack: Tuple[Any, ...]
+    ) -> Tuple[Any, Optional[Tuple[int, ...]]]:
+        """Minimal weight of an accepting path for ``⟨state, stack⟩``.
+
+        Arguments are symbolic; the returned path is a sequence of
+        *packed* keys (what the witness reconstruction consumes), or
+        ``(zero, None)`` when the configuration is not accepted.
+        """
+        if not stack:
+            raise PdaError("empty-stack acceptance is not supported")
+        semiring = self.semiring
+        state_id = self.state_table.id_of(state)
+        if state_id is None:
+            return semiring.zero, None
+        symbol_ids: List[int] = []
+        for symbol in stack:
+            symbol_id = self.symbol_table.id_of(symbol)
+            if symbol_id is None:
+                return semiring.zero, None
+            symbol_ids.append(symbol_id)
+        length = len(symbol_ids)
+        # Dijkstra over (automaton state id, stack position).
+        start = (state_id, 0)
+        best: Dict[Tuple[int, int], Any] = {start: semiring.one}
+        back: Dict[Tuple[int, int], Tuple[Tuple[int, int], int]] = {}
+        heap: List[Tuple[Any, int, Tuple[int, int]]] = [
+            (_heap_key(semiring.one), 0, start)
+        ]
+        counter = 0
+        done: Set[Tuple[int, int]] = set()
+        goal: Optional[Tuple[int, int]] = None
+        final_ids = self.final_ids
+        out_edges = self.out_edges
+        weights = self.weights
+        while heap:
+            _, _, node = heapq.heappop(heap)
+            if node in done:
+                continue
+            done.add(node)
+            current_id, position = node
+            if position == length:
+                if current_id in final_ids:
+                    goal = node
+                    break
+                continue
+            symbol_id = symbol_ids[position]
+            for target in out_edges.get(current_id, {}).get(symbol_id, ()):
+                key = (((current_id << SHIFT) | symbol_id) << SHIFT) | target
+                weight = semiring.extend(best[node], weights[key])
+                successor = (target, position + 1)
+                known = best.get(successor)
+                if known is None or semiring.less(weight, known):
+                    best[successor] = weight
+                    back[successor] = (node, key)
+                    counter += 1
+                    heapq.heappush(heap, (_heap_key(weight), counter, successor))
+        if goal is None:
+            return semiring.zero, None
+        path: List[int] = []
+        node = goal
+        while node != start:
+            node, key = back[node]
+            path.append(key)
+        path.reverse()
+        return best[goal], tuple(path)
+
+    def accepts(self, state: State, stack: Tuple[Any, ...]) -> bool:
+        """Boolean acceptance of a configuration."""
+        weight, _ = self.accept_weight(state, stack)
+        return not self.semiring.is_zero(weight)
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    def transition_count(self) -> int:
+        """Number of distinct transitions (including ε ones)."""
+        return len(self.weights)
+
+    def __repr__(self) -> str:
+        return (
+            f"IntPAutomaton(transitions={len(self.weights)}, "
             f"finalized={len(self._finalized)})"
         )

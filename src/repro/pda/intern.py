@@ -1,0 +1,137 @@
+"""Interning arena for the dense-integer PDA core.
+
+The saturation loops are the hot path of the whole engine, and their
+cost is dominated by hashing: control states are nested tuples
+(``("link", "r3#r7", 4)``) and stack symbols are :class:`Label` objects,
+so every rule lookup and every automaton relaxation re-hashes arbitrary
+Python structures. The interned core removes that cost by compiling
+both alphabets to dense integer ids at :class:`PushdownSystem`
+construction time:
+
+* a :class:`SymbolTable` is an append-only arena mapping hashable
+  values to dense ids (``intern``) and back (``resolve``);
+* transitions of the saturation automaton become single packed ints —
+  ``(source << 42) | (symbol << 21) | target`` — so the worklist, the
+  weight map and the witness map all hash machine ints;
+* ids never escape: witness reconstruction and every user-facing
+  boundary (traces, server JSON, Remopla text) resolve ids back to the
+  symbolic values.
+
+The 21-bit id space (2,097,152 states or symbols per table) is far
+beyond any instance this engine targets; :meth:`SymbolTable.intern`
+raises :class:`~repro.errors.PdaError` on overflow rather than silently
+corrupting packed keys.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+
+from repro.errors import PdaError
+
+#: Bits per field of a packed transition key.
+SHIFT = 21
+#: Mask extracting one field.
+MASK = (1 << SHIFT) - 1
+#: Exclusive upper bound of the id space.
+MAX_ID = 1 << SHIFT
+
+
+class _Epsilon:
+    """Singleton ε marker for post*'s intermediate transitions."""
+
+    _instance: Optional["_Epsilon"] = None
+
+    def __new__(cls) -> "_Epsilon":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "ε"
+
+
+EPSILON = _Epsilon()
+
+#: ε is reserved as symbol id 0 in every symbol table, so packed keys
+#: with a zero symbol field are exactly the ε-transitions.
+EPSILON_ID = 0
+
+
+class SymbolTable:
+    """An append-only value ↔ dense-id arena.
+
+    Interning is idempotent (equal values share one id) and ids are
+    assigned in first-intern order, which keeps every id-derived
+    iteration deterministic. Tables are meant to be *shared*: a reduced
+    pushdown system reuses its parent's tables, so rule objects keep
+    their ids and no re-interning happens.
+    """
+
+    __slots__ = ("_ids", "_values", "_lock")
+
+    def __init__(self, reserve: Iterable[Hashable] = ()) -> None:
+        self._ids: Dict[Hashable, int] = {}
+        self._values: List[Hashable] = []
+        self._lock = threading.Lock()
+        for value in reserve:
+            self.intern(value)
+
+    def intern(self, value: Hashable) -> int:
+        """The id of ``value``, assigning the next free one on first use.
+
+        Thread-safe: compiled systems (and hence their tables) are shared
+        across farm workers via the compile memo, and concurrent
+        saturations of the same system intern their mid-states here. The
+        hit path stays lock-free; only first-use assignment locks.
+        """
+        ident = self._ids.get(value)
+        if ident is None:
+            with self._lock:
+                ident = self._ids.get(value)
+                if ident is not None:
+                    return ident
+                ident = len(self._values)
+                if ident >= MAX_ID:
+                    raise PdaError(
+                        f"symbol table overflow: more than {MAX_ID} distinct values"
+                    )
+                self._values.append(value)
+                self._ids[value] = ident
+        return ident
+
+    def id_of(self, value: Hashable) -> Optional[int]:
+        """The id of ``value`` if already interned, else None."""
+        return self._ids.get(value)
+
+    def resolve(self, ident: int) -> Hashable:
+        """The value behind an id (raises :class:`PdaError` on a bad id)."""
+        try:
+            return self._values[ident]
+        except IndexError:
+            raise PdaError(f"unknown interned id {ident}") from None
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __contains__(self, value: Hashable) -> bool:
+        return value in self._ids
+
+    def __repr__(self) -> str:
+        return f"SymbolTable(size={len(self._values)})"
+
+
+def pack_head(state_id: int, symbol_id: int) -> int:
+    """Pack a rule head ``⟨state, symbol⟩`` into one int."""
+    return (state_id << SHIFT) | symbol_id
+
+
+def pack_key(source_id: int, symbol_id: int, target_id: int) -> int:
+    """Pack an automaton transition ``(source, symbol, target)``."""
+    return (((source_id << SHIFT) | symbol_id) << SHIFT) | target_id
+
+
+def unpack_key(key: int) -> Tuple[int, int, int]:
+    """Invert :func:`pack_key`."""
+    return key >> (2 * SHIFT), (key >> SHIFT) & MASK, key & MASK

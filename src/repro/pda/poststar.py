@@ -1,4 +1,4 @@
-"""Weighted post* saturation (forward reachability).
+"""Weighted post* saturation (forward reachability), interned core.
 
 Implements the generalized post* algorithm of Reps–Schwoon–Jha–Melski
 [33] / Schwoon's thesis [35], run Dijkstra-style: the worklist is a
@@ -12,17 +12,26 @@ transition is finalized.
 Given a PDS and an initial P-automaton ``A`` (no transitions into
 control states, no ε-transitions), the saturated automaton accepts
 exactly ``post*(L(A))`` with meet-over-all-runs weights.
+
+The loop runs on the dense-integer representation: symbolic arguments
+are interned at entry, rule lookup goes through the system's CSR-style
+:meth:`~repro.pda.system.PushdownSystem.head_index`, and every automaton
+transition is a packed int (see :mod:`repro.pda.intern`). The tuple
+twin of this loop lives in :mod:`repro.pda.reference`; both must relax
+in the same order so their equal-weight tie-breaking — and hence their
+witnesses — coincide exactly.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Any, Iterable, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, Optional, Sequence, Tuple, Union
 
 from repro import obs
 from repro.errors import PdaError, VerificationTimeout
-from repro.pda.automaton import EPSILON, Key, State, WeightedPAutomaton
+from repro.pda.automaton import EPSILON, IntPAutomaton, State, WeightedPAutomaton
+from repro.pda.intern import EPSILON_ID, MASK, SHIFT
 from repro.pda.semiring import Semiring
 from repro.pda.system import PushdownSystem
 
@@ -39,7 +48,7 @@ def mid_state(to_state: State, symbol: Any) -> Tuple[str, State, Any]:
 class SaturationResult:
     """Outcome of a saturation run."""
 
-    automaton: WeightedPAutomaton
+    automaton: Union[IntPAutomaton, WeightedPAutomaton]
     #: Number of transitions finalized.
     iterations: int
     #: True when the run stopped early because the target was finalized.
@@ -79,22 +88,50 @@ def poststar(
     automaton.
 
     ``initial_transitions`` and ``final_states`` describe the automaton
-    ``A`` of initial configurations. If ``target = (state, symbol)`` is
+    ``A`` of initial configurations (symbolic values — they are interned
+    into the system's tables here). If ``target = (state, symbol)`` is
     given, saturation stops as soon as a transition ``(state, symbol,
     final)`` is finalized — its weight is then already minimal.
     """
-    control_states = pds.states
-    automaton = WeightedPAutomaton(semiring, final_states)
+    state_table = pds.state_table
+    symbol_table = pds.symbol_table
+    control_ids = pds.control_state_ids
+    final_ids = [state_table.intern(f) for f in final_states]
+    automaton = IntPAutomaton(semiring, state_table, symbol_table, final_ids)
+    one = semiring.one
     for source, symbol, target_state in initial_transitions:
-        if target_state in control_states:
+        source_id = state_table.intern(source)
+        symbol_id = symbol_table.intern(symbol)
+        target_id = state_table.intern(target_state)
+        if target_id in control_ids:
             raise PdaError(
                 "initial automaton must not have transitions into control states"
             )
-        if symbol is EPSILON:
+        if symbol_id == EPSILON_ID:
             raise PdaError("initial automaton must be ε-free")
-        automaton.relax((source, symbol, target_state), semiring.one, ("init",))
+        automaton.relax(
+            (((source_id << SHIFT) | symbol_id) << SHIFT) | target_id,
+            one,
+            ("init",),
+        )
 
-    final_set = automaton.final_states
+    head_index = pds.head_index()
+    head_rows = len(head_index)
+    target_head = -1
+    if target is not None:
+        target_sid = state_table.id_of(target[0])
+        target_yid = symbol_table.id_of(target[1])
+        if target_sid is not None and target_yid is not None:
+            target_head = (target_sid << SHIFT) | target_yid
+
+    final_id_set = automaton.final_ids
+    #: packed push head ``(to_id << SHIFT) | top_id`` → interned mid id.
+    mid_ids: Dict[int, int] = {}
+    extend = semiring.extend
+    relax = automaton.relax
+    out_edges = automaton.out_edges
+    eps_by_target = automaton.eps_by_target
+    weights = automaton.weights
     iterations = 0
     while True:
         popped = automaton.pop()
@@ -111,68 +148,83 @@ def poststar(
         if max_steps is not None and iterations > max_steps:
             raise PdaError(f"post* exceeded the step budget of {max_steps}")
         key, weight = popped
-        source, symbol, target_state = key
+        target_id = key & MASK
+        head = key >> SHIFT
+        symbol_id = head & MASK
+        source_id = head >> SHIFT
 
-        if symbol is EPSILON:
+        if symbol_id == EPSILON_ID:
             # Combine the ε-transition with every edge leaving its target.
-            for out_symbol, out_targets in (
-                automaton.out_edges.get(target_state, {}).items()
-            ):
-                for out_target in out_targets:
-                    partner: Key = (target_state, out_symbol, out_target)
-                    combined = semiring.extend(weight, automaton.weights[partner])
-                    automaton.relax(
-                        (source, out_symbol, out_target),
-                        combined,
-                        ("eps", key, partner),
-                    )
+            edges = out_edges.get(target_id)
+            if edges is not None:
+                source_shifted = source_id << SHIFT
+                target_shifted = target_id << SHIFT
+                for out_symbol, out_targets in edges.items():
+                    for out_target in out_targets:
+                        partner = ((target_shifted | out_symbol) << SHIFT) | out_target
+                        combined = extend(weight, weights[partner])
+                        relax(
+                            ((source_shifted | out_symbol) << SHIFT) | out_target,
+                            combined,
+                            ("eps", key, partner),
+                        )
             continue
 
-        if (
-            target is not None
-            and source == target[0]
-            and symbol == target[1]
-            and target_state in final_set
-        ):
+        if head == target_head and target_id in final_id_set:
             return observed(
                 SaturationResult(automaton, iterations, early_terminated=True),
                 "poststar",
             )
 
         # Apply every rule whose head matches the popped transition.
-        for rule in pds.rules_from(source, symbol):
-            extended = semiring.extend(weight, rule.weight)
-            if rule.is_swap:
-                automaton.relax(
-                    (rule.to_state, rule.push[0], target_state),
-                    extended,
-                    ("step", rule, key),
-                )
-            elif rule.is_pop:
-                automaton.relax(
-                    (rule.to_state, EPSILON, target_state),
-                    extended,
-                    ("step", rule, key),
-                )
-            else:  # push
-                top, below = rule.push
-                middle = mid_state(rule.to_state, top)
-                automaton.relax(
-                    (rule.to_state, top, middle), semiring.one, ("push-head", rule)
-                )
-                automaton.relax(
-                    (middle, below, target_state),
-                    extended,
-                    ("push-tail", rule, key),
-                )
+        row = head_index[source_id] if source_id < head_rows else None
+        rules = row.get(symbol_id) if row is not None else None
+        if rules is not None:
+            for rule in rules:
+                extended = extend(weight, rule.weight)
+                push_ids = rule.push_ids
+                if len(push_ids) == 1:  # swap
+                    relax(
+                        (((rule.to_id << SHIFT) | push_ids[0]) << SHIFT) | target_id,
+                        extended,
+                        ("step", rule, key),
+                    )
+                elif not push_ids:  # pop
+                    relax(
+                        ((rule.to_id << SHIFT) | EPSILON_ID) << SHIFT | target_id,
+                        extended,
+                        ("step", rule, key),
+                    )
+                else:  # push
+                    top_id, below_id = push_ids
+                    push_head = (rule.to_id << SHIFT) | top_id
+                    middle = mid_ids.get(push_head)
+                    if middle is None:
+                        middle = state_table.intern(
+                            (_MID, rule.to_state, rule.push[0])
+                        )
+                        mid_ids[push_head] = middle
+                    relax(
+                        (push_head << SHIFT) | middle, one, ("push-head", rule)
+                    )
+                    relax(
+                        (((middle << SHIFT) | below_id) << SHIFT) | target_id,
+                        extended,
+                        ("push-tail", rule, key),
+                    )
 
         # Combine with finalized-or-pending ε-transitions ending at `source`.
-        for eps_source in automaton.eps_by_target.get(source, ()):
-            eps_key: Key = (eps_source, EPSILON, source)
-            combined = semiring.extend(automaton.weights[eps_key], weight)
-            automaton.relax(
-                (eps_source, symbol, target_state), combined, ("eps", eps_key, key)
-            )
+        eps_sources = eps_by_target.get(source_id)
+        if eps_sources is not None:
+            suffix = (symbol_id << SHIFT) | target_id
+            for eps_source in eps_sources:
+                eps_key = ((eps_source << SHIFT) | EPSILON_ID) << SHIFT | source_id
+                combined = extend(weights[eps_key], weight)
+                relax(
+                    (eps_source << (2 * SHIFT)) | suffix,
+                    combined,
+                    ("eps", eps_key, key),
+                )
 
 
 def poststar_single(

@@ -1,4 +1,4 @@
-"""Weighted pre* saturation (backward reachability).
+"""Weighted pre* saturation (backward reachability), interned core.
 
 Implements the generalized pre* algorithm of Bouajjani–Esparza–Maler
 [9] with weights per Reps–Schwoon–Jha–Melski [33]. Given a PDS and a
@@ -11,6 +11,12 @@ This is the algorithm a *generic* pushdown model checker such as Moped
 runs; the Moped-baseline backend of the verification layer uses it
 as-is, exhaustively (no early termination), which reproduces the
 performance relationship the paper evaluates.
+
+Like :mod:`repro.pda.poststar`, the loop runs on dense integer ids with
+packed-int automaton transitions; the rule indexes of the two
+saturation directions are keyed by packed ``(state, symbol)`` heads.
+The tuple twin lives in :mod:`repro.pda.reference` and must stay in
+relax-order lockstep with this one.
 """
 
 from __future__ import annotations
@@ -19,7 +25,8 @@ import time
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import PdaError, VerificationTimeout
-from repro.pda.automaton import EPSILON, Key, State, WeightedPAutomaton
+from repro.pda.automaton import IntPAutomaton, State
+from repro.pda.intern import EPSILON_ID, MASK, SHIFT
 from repro.pda.poststar import SaturationResult, observed
 from repro.pda.semiring import Semiring
 from repro.pda.system import PushdownSystem, Rule
@@ -41,36 +48,64 @@ def prestar(
     of the reachability question), saturation may stop as soon as the
     transition ``(state, symbol, final)`` is finalized.
     """
-    control_states = pds.states
-    automaton = WeightedPAutomaton(semiring, final_states)
+    state_table = pds.state_table
+    symbol_table = pds.symbol_table
+    control_ids = pds.control_state_ids
+    final_ids = [state_table.intern(f) for f in final_states]
+    automaton = IntPAutomaton(semiring, state_table, symbol_table, final_ids)
+    one = semiring.one
     for source, symbol, target_state in target_transitions:
-        if target_state in control_states:
+        source_id = state_table.intern(source)
+        symbol_id = symbol_table.intern(symbol)
+        target_id = state_table.intern(target_state)
+        if target_id in control_ids:
             raise PdaError(
                 "target automaton must not have transitions into control states"
             )
-        if symbol is EPSILON:
+        if symbol_id == EPSILON_ID:
             raise PdaError("target automaton must be ε-free")
-        automaton.relax((source, symbol, target_state), semiring.one, ("init",))
+        automaton.relax(
+            (((source_id << SHIFT) | symbol_id) << SHIFT) | target_id,
+            one,
+            ("init",),
+        )
 
-    # Rule indexes for the two saturation directions.
-    swap_rules: Dict[Tuple[State, Any], List[Rule]] = {}
-    push_rules_head: Dict[Tuple[State, Any], List[Rule]] = {}
-    push_rules_below: Dict[Any, List[Rule]] = {}
+    # Rule indexes for the two saturation directions, keyed by packed
+    # heads ``(state_id << SHIFT) | symbol_id`` (below: by symbol id).
+    swap_rules: Dict[int, List[Rule]] = {}
+    push_rules_head: Dict[int, List[Rule]] = {}
+    push_rules_below: Dict[int, List[Rule]] = {}
     for rule in pds.rules:
-        if rule.is_pop:
+        push_ids = rule.push_ids
+        if not push_ids:
             # ⟨p, γ⟩ → ⟨p', ε⟩: (p, γ, p') holds unconditionally.
             automaton.relax(
-                (rule.from_state, rule.pop, rule.to_state),
+                (((rule.from_id << SHIFT) | rule.pop_id) << SHIFT) | rule.to_id,
                 rule.weight,
                 ("rule", rule, ()),
             )
-        elif rule.is_swap:
-            swap_rules.setdefault((rule.to_state, rule.push[0]), []).append(rule)
+        elif len(push_ids) == 1:
+            swap_rules.setdefault(
+                (rule.to_id << SHIFT) | push_ids[0], []
+            ).append(rule)
         else:
-            push_rules_head.setdefault((rule.to_state, rule.push[0]), []).append(rule)
-            push_rules_below.setdefault(rule.push[1], []).append(rule)
+            push_rules_head.setdefault(
+                (rule.to_id << SHIFT) | push_ids[0], []
+            ).append(rule)
+            push_rules_below.setdefault(push_ids[1], []).append(rule)
 
-    final_set = automaton.final_states
+    target_head = -1
+    if target is not None:
+        target_sid = state_table.id_of(target[0])
+        target_yid = symbol_table.id_of(target[1])
+        if target_sid is not None and target_yid is not None:
+            target_head = (target_sid << SHIFT) | target_yid
+
+    final_id_set = automaton.final_ids
+    extend = semiring.extend
+    relax = automaton.relax
+    out_edges = automaton.out_edges
+    weights = automaton.weights
     iterations = 0
     while True:
         popped = automaton.pop()
@@ -87,54 +122,63 @@ def prestar(
         if max_steps is not None and iterations > max_steps:
             raise PdaError(f"pre* exceeded the step budget of {max_steps}")
         key, weight = popped
-        source, symbol, target_state = key
+        target_id = key & MASK
+        head = key >> SHIFT
+        symbol_id = head & MASK
+        source_id = head >> SHIFT
 
-        if (
-            target is not None
-            and source == target[0]
-            and symbol == target[1]
-            and target_state in final_set
-        ):
+        if head == target_head and target_id in final_id_set:
             return observed(
                 SaturationResult(automaton, iterations, early_terminated=True),
                 "prestar",
             )
 
         # Swap rules ⟨p, γ⟩ → ⟨p', γ1⟩ with (p', γ1) = (source, symbol).
-        for rule in swap_rules.get((source, symbol), ()):
-            automaton.relax(
-                (rule.from_state, rule.pop, target_state),
-                semiring.extend(rule.weight, weight),
-                ("rule", rule, (key,)),
-            )
+        rules = swap_rules.get(head)
+        if rules is not None:
+            for rule in rules:
+                relax(
+                    (((rule.from_id << SHIFT) | rule.pop_id) << SHIFT) | target_id,
+                    extend(rule.weight, weight),
+                    ("rule", rule, (key,)),
+                )
 
         # Push rules where the popped transition reads the *first* pushed
         # symbol: ⟨p, γ⟩ → ⟨source, symbol · γ2⟩; need (target_state, γ2, q2).
-        for rule in push_rules_head.get((source, symbol), ()):
-            below = rule.push[1]
-            for q2 in automaton.targets(target_state, below):
-                partner: Key = (target_state, below, q2)
-                automaton.relax(
-                    (rule.from_state, rule.pop, q2),
-                    semiring.extend(
-                        rule.weight,
-                        semiring.extend(weight, automaton.weights[partner]),
-                    ),
-                    ("rule", rule, (key, partner)),
-                )
+        rules = push_rules_head.get(head)
+        if rules is not None:
+            target_edges = out_edges.get(target_id)
+            for rule in rules:
+                below = rule.push_ids[1]
+                q2_set = target_edges.get(below) if target_edges is not None else None
+                if q2_set is None:
+                    continue
+                partner_head = ((target_id << SHIFT) | below) << SHIFT
+                rule_head = ((rule.from_id << SHIFT) | rule.pop_id) << SHIFT
+                for q2 in q2_set:
+                    partner = partner_head | q2
+                    relax(
+                        rule_head | q2,
+                        extend(rule.weight, extend(weight, weights[partner])),
+                        ("rule", rule, (key, partner)),
+                    )
 
         # Push rules where the popped transition reads the *second* pushed
         # symbol: need an existing (p', γ1, source).
-        for rule in push_rules_below.get(symbol, ()):
-            head: Key = (rule.to_state, rule.push[0], source)
-            head_weight = automaton.weights.get(head)
-            if head_weight is None:
-                continue
-            automaton.relax(
-                (rule.from_state, rule.pop, target_state),
-                semiring.extend(rule.weight, semiring.extend(head_weight, weight)),
-                ("rule", rule, (head, key)),
-            )
+        rules = push_rules_below.get(symbol_id)
+        if rules is not None:
+            for rule in rules:
+                partner = (
+                    ((rule.to_id << SHIFT) | rule.push_ids[0]) << SHIFT
+                ) | source_id
+                head_weight = weights.get(partner)
+                if head_weight is None:
+                    continue
+                relax(
+                    (((rule.from_id << SHIFT) | rule.pop_id) << SHIFT) | target_id,
+                    extend(rule.weight, extend(head_weight, weight)),
+                    ("rule", rule, (partner, key)),
+                )
 
 
 def prestar_single(

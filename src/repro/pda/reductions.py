@@ -17,14 +17,23 @@ decrease its size". This module implements that pass:
 All reductions are over-approximations: they never remove a rule that
 some real run could fire, so reachability answers are unchanged — only
 the saturation workload shrinks.
+
+The fixpoint itself runs on the interned representation: ``S(p)`` and
+``U(p)`` are per-state-id Python-int *bitmasks* over symbol ids, so the
+transfer functions are a few bitwise ops instead of set algebra, and
+rule pruning tests one bit per rule. :func:`analyze_top_of_stack`
+resolves the masks back to symbolic sets at the boundary — its result
+shape is unchanged from the set-based original (preserved verbatim in
+:mod:`repro.pda.reference` as the differential baseline).
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, Hashable, Optional, Set, Tuple
+from typing import Dict, Hashable, List, Optional, Set, Tuple
 
+from repro.pda.intern import SymbolTable
 from repro.pda.system import PushdownSystem, Rule
 
 State = Hashable
@@ -43,6 +52,81 @@ class TopOfStackAnalysis:
         return rule.pop in self.tops.get(rule.from_state, ())
 
 
+def _analyze_masks(
+    pds: PushdownSystem, initial_sid: int, initial_yid: int
+) -> Tuple[Dict[int, int], Dict[int, int]]:
+    """The top-of-stack fixpoint over (state id → symbol-id bitmask).
+
+    Mirrors the set-based transfer functions exactly; entries appear for
+    the initial state and for every target of a potentially-firing rule
+    (possibly with an empty mask), matching the original's dict shape.
+    """
+    tops: Dict[int, int] = {initial_sid: 1 << initial_yid}
+    below: Dict[int, int] = {initial_sid: 0}
+    head_index = pds.head_index()
+    head_rows = len(head_index)
+    worklist = deque([initial_sid])
+    queued = {initial_sid}
+
+    while worklist:
+        sid = worklist.popleft()
+        queued.discard(sid)
+        row = head_index[sid] if sid < head_rows else None
+        if row is None:
+            continue
+        # Snapshot: self-loop growth re-enqueues rather than extending
+        # the current pass (same fixpoint, monotone transfer functions).
+        state_tops = tops.get(sid, 0)
+        state_below = below.setdefault(sid, 0)
+        remaining = state_tops
+        while remaining:
+            bit = remaining & -remaining
+            remaining ^= bit
+            rules = row.get(bit.bit_length() - 1)
+            if rules is None:
+                continue
+            for rule in rules:
+                tid = rule.to_id
+                push_ids = rule.push_ids
+                if len(push_ids) == 1:  # swap
+                    new_tops = 1 << push_ids[0]
+                    new_below = state_below
+                elif push_ids:  # push
+                    new_tops = 1 << push_ids[0]
+                    new_below = state_below | (1 << push_ids[1])
+                else:  # pop: anything below may surface
+                    new_tops = state_below
+                    new_below = state_below
+                target_tops = tops.get(tid)
+                if target_tops is None:
+                    target_tops = tops[tid] = 0
+                target_below = below.get(tid)
+                if target_below is None:
+                    target_below = below[tid] = 0
+                changed = False
+                if new_tops & ~target_tops:
+                    tops[tid] = target_tops | new_tops
+                    changed = True
+                if new_below & ~target_below:
+                    below[tid] = target_below | new_below
+                    changed = True
+                if changed and tid not in queued:
+                    queued.add(tid)
+                    worklist.append(tid)
+    return tops, below
+
+
+def _mask_symbols(table: SymbolTable, mask: int) -> Set[Symbol]:
+    """Resolve a symbol-id bitmask back to the set of symbols."""
+    symbols: Set[Symbol] = set()
+    resolve = table.resolve
+    while mask:
+        bit = mask & -mask
+        mask ^= bit
+        symbols.add(resolve(bit.bit_length() - 1))
+    return symbols
+
+
 def analyze_top_of_stack(
     pds: PushdownSystem, initial_state: State, initial_symbol: Symbol
 ) -> TopOfStackAnalysis:
@@ -50,60 +134,36 @@ def analyze_top_of_stack(
 
     Starts from the single initial head ``⟨initial_state, initial_symbol⟩``
     and propagates through the rules; a pop rule exposes any symbol of the
-    source state's below-set.
+    source state's below-set. The result is symbolic — the id-level
+    fixpoint is internal.
     """
-    tops: Dict[State, Set[Symbol]] = {initial_state: {initial_symbol}}
-    below: Dict[State, Set[Symbol]] = {initial_state: set()}
-    worklist = deque([initial_state])
-    queued = {initial_state}
-
-    def enqueue(state: State) -> None:
-        if state not in queued:
-            queued.add(state)
-            worklist.append(state)
-
-    while worklist:
-        state = worklist.popleft()
-        queued.discard(state)
-        state_tops = tuple(tops.get(state, ()))
-        state_below = below.setdefault(state, set())
-        for symbol in state_tops:
-            for rule in pds.rules_from(state, symbol):
-                target = rule.to_state
-                target_tops = tops.setdefault(target, set())
-                target_below = below.setdefault(target, set())
-                changed = False
-                if rule.is_swap:
-                    new_tops = {rule.push[0]}
-                    new_below = state_below
-                elif rule.is_push:
-                    new_tops = {rule.push[0]}
-                    new_below = state_below | {rule.push[1]}
-                else:  # pop: anything below may surface
-                    new_tops = set(state_below)
-                    new_below = state_below
-                if not new_tops <= target_tops:
-                    target_tops.update(new_tops)
-                    changed = True
-                if not new_below <= target_below:
-                    target_below.update(new_below)
-                    changed = True
-                if changed:
-                    enqueue(target)
+    initial_sid = pds.state_table.intern(initial_state)
+    initial_yid = pds.symbol_table.intern(initial_symbol)
+    tops_masks, below_masks = _analyze_masks(pds, initial_sid, initial_yid)
+    resolve_state = pds.state_table.resolve
+    symbol_table = pds.symbol_table
+    tops = {
+        resolve_state(sid): _mask_symbols(symbol_table, mask)
+        for sid, mask in tops_masks.items()
+    }
+    below = {
+        resolve_state(sid): _mask_symbols(symbol_table, mask)
+        for sid, mask in below_masks.items()
+    }
     return TopOfStackAnalysis(tops, below)
 
 
-def _coreachable_states(pds: PushdownSystem, target_state: State) -> Set[State]:
-    """Control states from which ``target_state`` is reachable in the
-    rule graph (ignoring stack contents — an over-approximation)."""
-    predecessors: Dict[State, Set[State]] = {}
+def _coreachable_ids(pds: PushdownSystem, target_sid: int) -> Set[int]:
+    """Ids of control states from which ``target_sid`` is reachable in
+    the rule graph (ignoring stack contents — an over-approximation)."""
+    predecessors: Dict[int, List[int]] = {}
     for rule in pds.rules:
-        predecessors.setdefault(rule.to_state, set()).add(rule.from_state)
-    seen = {target_state}
-    frontier = deque([target_state])
+        predecessors.setdefault(rule.to_id, []).append(rule.from_id)
+    seen = {target_sid}
+    frontier = deque([target_sid])
     while frontier:
-        state = frontier.popleft()
-        for predecessor in predecessors.get(state, ()):
+        sid = frontier.popleft()
+        for predecessor in predecessors.get(sid, ()):
             if predecessor not in seen:
                 seen.add(predecessor)
                 frontier.append(predecessor)
@@ -135,18 +195,34 @@ def reduce_pushdown(
 
     ``passes`` bounds how often the (analysis → prune) round-trip runs;
     pruning can make the next analysis strictly more precise, and two
-    rounds capture almost all of the benefit in practice.
+    rounds capture almost all of the benefit in practice. The reduced
+    system shares the input's symbol tables, so downstream saturation
+    sees the exact same ids.
     """
+    initial_sid = pds.state_table.intern(initial_state)
+    initial_yid = pds.symbol_table.intern(initial_symbol)
+    target_sid = (
+        pds.state_table.intern(target_state) if target_state is not None else None
+    )
     current = pds
-    states_before = len(pds.states)
+    states_before = pds.state_count()
     for _ in range(max(1, passes)):
-        analysis = analyze_top_of_stack(current, initial_state, initial_symbol)
-        kept = [rule for rule in current.rules if analysis.may_fire(rule)]
-        if target_state is not None:
-            filtered = current if len(kept) == len(current) else current.replace_rules(kept)
-            coreachable = _coreachable_states(filtered, target_state)
-            kept = [rule for rule in kept if rule.to_state in coreachable or
-                    rule.to_state == target_state]
+        tops_masks, _ = _analyze_masks(current, initial_sid, initial_yid)
+        kept = [
+            rule
+            for rule in current.rules
+            if (tops_masks.get(rule.from_id, 0) >> rule.pop_id) & 1
+        ]
+        if target_sid is not None:
+            filtered = (
+                current if len(kept) == len(current) else current.replace_rules(kept)
+            )
+            coreachable = _coreachable_ids(filtered, target_sid)
+            kept = [
+                rule
+                for rule in kept
+                if rule.to_id in coreachable or rule.to_id == target_sid
+            ]
         if len(kept) == len(current):
             break
         current = current.replace_rules(kept)
@@ -154,6 +230,6 @@ def reduce_pushdown(
         rules_before=pds.rule_count(),
         rules_after=current.rule_count(),
         states_before=states_before,
-        states_after=len(current.states),
+        states_after=current.state_count(),
     )
     return current, report

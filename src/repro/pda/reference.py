@@ -1,0 +1,423 @@
+"""The reference (tuple) PDA core: pre-interning saturation and reductions.
+
+This module preserves the engine's original data representation — rule
+indexes keyed by ``(state, symbol)`` tuples, automaton transitions keyed
+by ``(source, symbol, target)`` tuples, reductions over symbolic sets —
+exactly as it ran before the interned core landed. It exists for two
+reasons:
+
+* **differential oracle** — the fuzz and property suites solve every
+  instance with both cores and assert bit-identical verdicts, weights
+  and witness runs (``core="tuple"`` on
+  :func:`repro.pda.solver.solve_reachability` selects this module);
+* **benchmark baseline** — ``benchmarks/bench_interning.py`` measures
+  the interned core's speedup against this implementation, which is
+  what ``BENCH_interning.json`` records.
+
+The only deliberate deviation from the historical code is determinism:
+successor iteration goes through the automaton's insertion-ordered
+structures instead of frozensets, so equal-weight tie-breaking matches
+the interned core step for step — a prerequisite for the byte-identical
+trace guarantee (hash-ordered iteration made traces vary across
+processes; see DESIGN.md, "Interned core").
+
+Both saturators here mirror their interned twins line for line: the
+same relax order, the same worklist, the same witness shapes. Keep them
+in lockstep when changing either.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import PdaError, VerificationTimeout
+from repro.pda.automaton import EPSILON, Key, WeightedPAutomaton
+from repro.pda.semiring import Semiring
+from repro.pda.system import PushdownSystem, Rule
+
+State = Hashable
+Symbol = Hashable
+
+
+def _result(automaton, iterations, early_terminated, method):
+    """Build and record a SaturationResult (late import avoids a cycle)."""
+    from repro.pda.poststar import SaturationResult, observed
+
+    return observed(
+        SaturationResult(automaton, iterations, early_terminated), method
+    )
+
+
+def _mid_state(to_state: State, symbol: Any) -> Tuple[str, State, Any]:
+    from repro.pda.poststar import mid_state
+
+    return mid_state(to_state, symbol)
+
+
+# ----------------------------------------------------------------------
+# saturation (tuple-keyed)
+# ----------------------------------------------------------------------
+
+
+def reference_poststar(
+    pds: PushdownSystem,
+    semiring: Semiring,
+    initial_transitions: Sequence[Tuple[State, Any, State]],
+    final_states: Iterable[State],
+    target: Optional[Tuple[State, Any]] = None,
+    max_steps: Optional[int] = None,
+    deadline: Optional[float] = None,
+):
+    """Tuple-keyed post* — the pre-interning implementation."""
+    control_states = pds.states
+    automaton = WeightedPAutomaton(semiring, final_states)
+    for source, symbol, target_state in initial_transitions:
+        if target_state in control_states:
+            raise PdaError(
+                "initial automaton must not have transitions into control states"
+            )
+        if symbol is EPSILON:
+            raise PdaError("initial automaton must be ε-free")
+        automaton.relax((source, symbol, target_state), semiring.one, ("init",))
+
+    final_set = automaton.final_states
+    iterations = 0
+    while True:
+        popped = automaton.pop()
+        if popped is None:
+            return _result(automaton, iterations, False, "poststar")
+        iterations += 1
+        # Checked at iteration 1 and then every 512: an already-expired
+        # deadline must fire even on instances that saturate in a few steps.
+        if deadline is not None and iterations % 512 <= 1 and time.perf_counter() > deadline:
+            raise VerificationTimeout("saturation exceeded its wall-clock deadline")
+        if max_steps is not None and iterations > max_steps:
+            raise PdaError(f"post* exceeded the step budget of {max_steps}")
+        key, weight = popped
+        source, symbol, target_state = key
+
+        if symbol is EPSILON:
+            # Combine the ε-transition with every edge leaving its target.
+            for out_symbol, out_targets in (
+                automaton.out_edges.get(target_state, {}).items()
+            ):
+                for out_target in out_targets:
+                    partner: Key = (target_state, out_symbol, out_target)
+                    combined = semiring.extend(weight, automaton.weights[partner])
+                    automaton.relax(
+                        (source, out_symbol, out_target),
+                        combined,
+                        ("eps", key, partner),
+                    )
+            continue
+
+        if (
+            target is not None
+            and source == target[0]
+            and symbol == target[1]
+            and target_state in final_set
+        ):
+            return _result(automaton, iterations, True, "poststar")
+
+        # Apply every rule whose head matches the popped transition.
+        for rule in pds.rules_from(source, symbol):
+            extended = semiring.extend(weight, rule.weight)
+            if rule.is_swap:
+                automaton.relax(
+                    (rule.to_state, rule.push[0], target_state),
+                    extended,
+                    ("step", rule, key),
+                )
+            elif rule.is_pop:
+                automaton.relax(
+                    (rule.to_state, EPSILON, target_state),
+                    extended,
+                    ("step", rule, key),
+                )
+            else:  # push
+                top, below = rule.push
+                middle = _mid_state(rule.to_state, top)
+                automaton.relax(
+                    (rule.to_state, top, middle), semiring.one, ("push-head", rule)
+                )
+                automaton.relax(
+                    (middle, below, target_state),
+                    extended,
+                    ("push-tail", rule, key),
+                )
+
+        # Combine with finalized-or-pending ε-transitions ending at `source`.
+        for eps_source in automaton.eps_by_target.get(source, ()):
+            eps_key: Key = (eps_source, EPSILON, source)
+            combined = semiring.extend(automaton.weights[eps_key], weight)
+            automaton.relax(
+                (eps_source, symbol, target_state), combined, ("eps", eps_key, key)
+            )
+
+
+def reference_poststar_single(
+    pds: PushdownSystem,
+    semiring: Semiring,
+    initial_state: State,
+    initial_symbol: Any,
+    target: Optional[Tuple[State, Any]] = None,
+    max_steps: Optional[int] = None,
+    deadline: Optional[float] = None,
+):
+    """post* from a single configuration, tuple-keyed."""
+    final = ("__final__", initial_state)
+    return reference_poststar(
+        pds,
+        semiring,
+        initial_transitions=[(initial_state, initial_symbol, final)],
+        final_states=[final],
+        target=target,
+        max_steps=max_steps,
+        deadline=deadline,
+    )
+
+
+def reference_prestar(
+    pds: PushdownSystem,
+    semiring: Semiring,
+    target_transitions: Sequence[Tuple[State, Any, State]],
+    final_states: Iterable[State],
+    target: Optional[Tuple[State, Any]] = None,
+    max_steps: Optional[int] = None,
+    deadline: Optional[float] = None,
+):
+    """Tuple-keyed pre* — the pre-interning implementation."""
+    control_states = pds.states
+    automaton = WeightedPAutomaton(semiring, final_states)
+    for source, symbol, target_state in target_transitions:
+        if target_state in control_states:
+            raise PdaError(
+                "target automaton must not have transitions into control states"
+            )
+        if symbol is EPSILON:
+            raise PdaError("target automaton must be ε-free")
+        automaton.relax((source, symbol, target_state), semiring.one, ("init",))
+
+    # Rule indexes for the two saturation directions.
+    swap_rules: Dict[Tuple[State, Any], List[Rule]] = {}
+    push_rules_head: Dict[Tuple[State, Any], List[Rule]] = {}
+    push_rules_below: Dict[Any, List[Rule]] = {}
+    for rule in pds.rules:
+        if rule.is_pop:
+            # ⟨p, γ⟩ → ⟨p', ε⟩: (p, γ, p') holds unconditionally.
+            automaton.relax(
+                (rule.from_state, rule.pop, rule.to_state),
+                rule.weight,
+                ("rule", rule, ()),
+            )
+        elif rule.is_swap:
+            swap_rules.setdefault((rule.to_state, rule.push[0]), []).append(rule)
+        else:
+            push_rules_head.setdefault((rule.to_state, rule.push[0]), []).append(rule)
+            push_rules_below.setdefault(rule.push[1], []).append(rule)
+
+    final_set = automaton.final_states
+    iterations = 0
+    while True:
+        popped = automaton.pop()
+        if popped is None:
+            return _result(automaton, iterations, False, "prestar")
+        iterations += 1
+        # Checked at iteration 1 and then every 512: an already-expired
+        # deadline must fire even on instances that saturate in a few steps.
+        if deadline is not None and iterations % 512 <= 1 and time.perf_counter() > deadline:
+            raise VerificationTimeout("saturation exceeded its wall-clock deadline")
+        if max_steps is not None and iterations > max_steps:
+            raise PdaError(f"pre* exceeded the step budget of {max_steps}")
+        key, weight = popped
+        source, symbol, target_state = key
+
+        if (
+            target is not None
+            and source == target[0]
+            and symbol == target[1]
+            and target_state in final_set
+        ):
+            return _result(automaton, iterations, True, "prestar")
+
+        # Swap rules ⟨p, γ⟩ → ⟨p', γ1⟩ with (p', γ1) = (source, symbol).
+        for rule in swap_rules.get((source, symbol), ()):
+            automaton.relax(
+                (rule.from_state, rule.pop, target_state),
+                semiring.extend(rule.weight, weight),
+                ("rule", rule, (key,)),
+            )
+
+        # Push rules where the popped transition reads the *first* pushed
+        # symbol: ⟨p, γ⟩ → ⟨source, symbol · γ2⟩; need (target_state, γ2, q2).
+        for rule in push_rules_head.get((source, symbol), ()):
+            below = rule.push[1]
+            for q2 in automaton.iter_targets(target_state, below):
+                partner: Key = (target_state, below, q2)
+                automaton.relax(
+                    (rule.from_state, rule.pop, q2),
+                    semiring.extend(
+                        rule.weight,
+                        semiring.extend(weight, automaton.weights[partner]),
+                    ),
+                    ("rule", rule, (key, partner)),
+                )
+
+        # Push rules where the popped transition reads the *second* pushed
+        # symbol: need an existing (p', γ1, source).
+        for rule in push_rules_below.get(symbol, ()):
+            head: Key = (rule.to_state, rule.push[0], source)
+            head_weight = automaton.weights.get(head)
+            if head_weight is None:
+                continue
+            automaton.relax(
+                (rule.from_state, rule.pop, target_state),
+                semiring.extend(rule.weight, semiring.extend(head_weight, weight)),
+                ("rule", rule, (head, key)),
+            )
+
+
+def reference_prestar_single(
+    pds: PushdownSystem,
+    semiring: Semiring,
+    target_state: State,
+    target_symbol: Any,
+    source: Optional[Tuple[State, Any]] = None,
+    max_steps: Optional[int] = None,
+    deadline: Optional[float] = None,
+):
+    """pre* of a single configuration, tuple-keyed."""
+    final = ("__final__", target_state)
+    return reference_prestar(
+        pds,
+        semiring,
+        target_transitions=[(target_state, target_symbol, final)],
+        final_states=[final],
+        target=source,
+        max_steps=max_steps,
+        deadline=deadline,
+    )
+
+
+# ----------------------------------------------------------------------
+# reductions (symbolic sets, fresh-system replace)
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _SymbolicAnalysis:
+    """Per-state top / below symbol sets (the pre-interning analysis)."""
+
+    tops: Dict[State, Set[Symbol]]
+    below: Dict[State, Set[Symbol]]
+
+    def may_fire(self, rule: Rule) -> bool:
+        return rule.pop in self.tops.get(rule.from_state, ())
+
+
+def reference_analyze_top_of_stack(
+    pds: PushdownSystem, initial_state: State, initial_symbol: Symbol
+) -> _SymbolicAnalysis:
+    """The set-based top-of-stack fixpoint, as it ran before interning."""
+    tops: Dict[State, Set[Symbol]] = {initial_state: {initial_symbol}}
+    below: Dict[State, Set[Symbol]] = {initial_state: set()}
+    worklist = deque([initial_state])
+    queued = {initial_state}
+
+    def enqueue(state: State) -> None:
+        if state not in queued:
+            queued.add(state)
+            worklist.append(state)
+
+    while worklist:
+        state = worklist.popleft()
+        queued.discard(state)
+        state_tops = tuple(tops.get(state, ()))
+        state_below = below.setdefault(state, set())
+        for symbol in state_tops:
+            for rule in pds.rules_from(state, symbol):
+                target = rule.to_state
+                target_tops = tops.setdefault(target, set())
+                target_below = below.setdefault(target, set())
+                changed = False
+                if rule.is_swap:
+                    new_tops = {rule.push[0]}
+                    new_below = state_below
+                elif rule.is_push:
+                    new_tops = {rule.push[0]}
+                    new_below = state_below | {rule.push[1]}
+                else:  # pop: anything below may surface
+                    new_tops = set(state_below)
+                    new_below = state_below
+                if not new_tops <= target_tops:
+                    target_tops.update(new_tops)
+                    changed = True
+                if not new_below <= target_below:
+                    target_below.update(new_below)
+                    changed = True
+                if changed:
+                    enqueue(target)
+    return _SymbolicAnalysis(tops, below)
+
+
+def _coreachable_states(pds: PushdownSystem, target_state: State) -> Set[State]:
+    """Control states from which ``target_state`` is reachable in the
+    rule graph (ignoring stack contents — an over-approximation)."""
+    predecessors: Dict[State, Set[State]] = {}
+    for rule in pds.rules:
+        predecessors.setdefault(rule.to_state, set()).add(rule.from_state)
+    seen = {target_state}
+    frontier = deque([target_state])
+    while frontier:
+        state = frontier.popleft()
+        for predecessor in predecessors.get(state, ()):
+            if predecessor not in seen:
+                seen.add(predecessor)
+                frontier.append(predecessor)
+    return seen
+
+
+def _fresh_replace(rules: Iterable[Rule]) -> PushdownSystem:
+    """Old-style replace: a brand-new system with its own tables,
+    re-creating (and re-interning) every rule."""
+    reduced = PushdownSystem()
+    for rule in rules:
+        reduced.add_rule(
+            rule.from_state, rule.pop, rule.to_state, rule.push, rule.weight, rule.tag
+        )
+    return reduced
+
+
+def reference_reduce_pushdown(
+    pds: PushdownSystem,
+    initial_state: State,
+    initial_symbol: Symbol,
+    target_state: Optional[State] = None,
+    passes: int = 2,
+):
+    """The pre-interning reduction pipeline (symbolic sets throughout)."""
+    from repro.pda.reductions import ReductionReport
+
+    current = pds
+    states_before = pds.state_count()
+    for _ in range(max(1, passes)):
+        analysis = reference_analyze_top_of_stack(current, initial_state, initial_symbol)
+        kept = [rule for rule in current.rules if analysis.may_fire(rule)]
+        if target_state is not None:
+            filtered = current if len(kept) == len(current) else _fresh_replace(kept)
+            coreachable = _coreachable_states(filtered, target_state)
+            kept = [rule for rule in kept if rule.to_state in coreachable or
+                    rule.to_state == target_state]
+        if len(kept) == len(current):
+            break
+        current = _fresh_replace(kept)
+    report = ReductionReport(
+        rules_before=pds.rule_count(),
+        rules_after=current.rule_count(),
+        states_before=states_before,
+        states_after=current.state_count(),
+    )
+    return current, report

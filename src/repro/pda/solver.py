@@ -19,6 +19,11 @@ from repro.errors import PdaError
 from repro.pda.poststar import poststar_single
 from repro.pda.prestar import prestar_single
 from repro.pda.reductions import ReductionReport, reduce_pushdown
+from repro.pda.reference import (
+    reference_poststar_single,
+    reference_prestar_single,
+    reference_reduce_pushdown,
+)
 from repro.pda.semiring import Semiring
 from repro.pda.system import Configuration, PushdownSystem, Rule, run_rules
 from repro.pda.witness import reconstruct_poststar_run, reconstruct_prestar_run
@@ -64,6 +69,7 @@ def solve_reachability(
     want_witness: bool = True,
     max_steps: Optional[int] = None,
     deadline: Optional[float] = None,
+    core: str = "interned",
 ) -> ReachabilityOutcome:
     """Decide ``⟨initial⟩ →* ⟨target⟩`` and return weight plus witness run.
 
@@ -71,9 +77,18 @@ def solve_reachability(
     the AalWiNes engine's choice — supports guided search and early
     termination toward the single target) or ``"prestar"`` (backward, the
     generic model-checker strategy used by the Moped baseline).
+
+    ``core`` selects the saturation implementation: ``"interned"`` (the
+    dense-integer-id engine, default) or ``"tuple"`` (the symbolic
+    reference twin in :mod:`repro.pda.reference`). Both must produce
+    identical outcomes — the differential tests and the interning
+    benchmark rely on this switch.
     """
     if method not in ("poststar", "prestar"):
         raise PdaError(f"unknown solver method {method!r}")
+    if core not in ("interned", "tuple"):
+        raise PdaError(f"unknown solver core {core!r}")
+    interned = core == "interned"
     start_time = time.perf_counter()
     initial_state, initial_symbol = initial
     target_state, target_symbol = target
@@ -82,15 +97,18 @@ def solve_reachability(
     system = pds
     if use_reductions:
         with obs.span("reduce"):
-            system, reduction_report = reduce_pushdown(
+            reducer = reduce_pushdown if interned else reference_reduce_pushdown
+            system, reduction_report = reducer(
                 pds, initial_state, initial_symbol, target_state
             )
         if obs.enabled():
             obs.add("pda.rules_removed", pds.rule_count() - system.rule_count())
 
+    poststar_fn = poststar_single if interned else reference_poststar_single
+    prestar_fn = prestar_single if interned else reference_prestar_single
     with obs.span("saturate", method=method):
         if method == "poststar":
-            result = poststar_single(
+            result = poststar_fn(
                 system,
                 semiring,
                 initial_state,
@@ -103,7 +121,7 @@ def solve_reachability(
                 target_state, (target_symbol,)
             )
         else:
-            result = prestar_single(
+            result = prestar_fn(
                 system,
                 semiring,
                 target_state,

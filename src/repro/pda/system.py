@@ -11,13 +11,34 @@ form the saturation algorithms require. The three shapes are:
 
 Every rule carries a semiring weight and an opaque ``tag`` used by the
 verification layer to map PDA runs back to network traces.
+
+Control states and stack symbols are *interned* on insertion: the
+system owns (or shares) a pair of :class:`~repro.pda.intern.SymbolTable`
+arenas, every rule carries the dense ids of its head and body next to
+the symbolic values, and rule lookup is indexed by packed int heads.
+The saturators run entirely on those ids; the symbolic fields exist so
+witnesses, traces and serializations can resolve back to names at the
+boundary without any reverse lookups.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, FrozenSet, Hashable, Iterable, Iterator, List, Sequence, Set, Tuple
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.errors import PdaError
+from repro.pda.intern import EPSILON, MASK, SHIFT, SymbolTable
 
 State = Hashable
 Symbol = Hashable
@@ -28,9 +49,22 @@ class Rule:
 
     ``push`` is a tuple of 0, 1 or 2 stack symbols; for a push rule
     ``push[0]`` is the new top of stack and ``push[1]`` sits below it.
+    The ``*_id`` slots hold the dense ids of the owning system's symbol
+    tables (-1 / empty until the rule is adopted by a system).
     """
 
-    __slots__ = ("from_state", "pop", "to_state", "push", "weight", "tag")
+    __slots__ = (
+        "from_state",
+        "pop",
+        "to_state",
+        "push",
+        "weight",
+        "tag",
+        "from_id",
+        "pop_id",
+        "to_id",
+        "push_ids",
+    )
 
     def __init__(
         self,
@@ -49,6 +83,10 @@ class Rule:
         self.push = push
         self.weight = weight
         self.tag = tag
+        self.from_id = -1
+        self.pop_id = -1
+        self.to_id = -1
+        self.push_ids: Tuple[int, ...] = ()
 
     @property
     def is_pop(self) -> bool:
@@ -71,13 +109,29 @@ class Rule:
 
 
 class PushdownSystem:
-    """A weighted pushdown system with head-indexed rule lookup."""
+    """A weighted pushdown system with id-indexed rule lookup.
 
-    def __init__(self) -> None:
+    ``state_table`` / ``symbol_table`` default to fresh arenas; passing
+    existing ones creates a system in the *same id space* — which is how
+    :meth:`replace_rules` makes reduced systems share their parent's
+    interning (rule objects are adopted as-is, no re-interning).
+    """
+
+    def __init__(
+        self,
+        state_table: Optional[SymbolTable] = None,
+        symbol_table: Optional[SymbolTable] = None,
+    ) -> None:
+        self.state_table = state_table if state_table is not None else SymbolTable()
+        self.symbol_table = (
+            symbol_table if symbol_table is not None else SymbolTable(reserve=(EPSILON,))
+        )
         self._rules: List[Rule] = []
-        self._by_head: Dict[Tuple[State, Symbol], List[Rule]] = {}
-        self._states: Set[State] = set()
-        self._symbols: Set[Symbol] = set()
+        #: packed head ``(from_id << SHIFT) | pop_id`` → rules.
+        self._by_head: Dict[int, List[Rule]] = {}
+        self._state_ids: Set[int] = set()
+        self._symbol_ids: Set[int] = set()
+        self._head_index: Optional[List[Optional[Dict[int, List[Rule]]]]] = None
 
     def add_rule(
         self,
@@ -88,43 +142,107 @@ class PushdownSystem:
         weight: Any,
         tag: Any = None,
     ) -> Rule:
-        """Create, index and return a rule."""
+        """Create, intern, index and return a rule."""
         rule = Rule(from_state, pop, to_state, push, weight, tag)
-        self._rules.append(rule)
-        self._by_head.setdefault((from_state, pop), []).append(rule)
-        self._states.add(from_state)
-        self._states.add(to_state)
-        self._symbols.add(pop)
-        self._symbols.update(push)
+        states = self.state_table
+        symbols = self.symbol_table
+        rule.from_id = states.intern(from_state)
+        rule.pop_id = symbols.intern(pop)
+        rule.to_id = states.intern(to_state)
+        rule.push_ids = tuple(symbols.intern(s) for s in push)
+        self._index_rule(rule)
         return rule
 
+    def _index_rule(self, rule: Rule) -> None:
+        self._rules.append(rule)
+        self._by_head.setdefault((rule.from_id << SHIFT) | rule.pop_id, []).append(rule)
+        self._state_ids.add(rule.from_id)
+        self._state_ids.add(rule.to_id)
+        self._symbol_ids.add(rule.pop_id)
+        self._symbol_ids.update(rule.push_ids)
+        self._head_index = None
+
     def rules_from(self, state: State, symbol: Symbol) -> Sequence[Rule]:
-        """All rules with head ``⟨state, symbol⟩``."""
-        return self._by_head.get((state, symbol), ())
+        """All rules with head ``⟨state, symbol⟩`` (symbolic lookup)."""
+        from_id = self.state_table.id_of(state)
+        pop_id = self.symbol_table.id_of(symbol)
+        if from_id is None or pop_id is None:
+            return ()
+        return self._by_head.get((from_id << SHIFT) | pop_id, ())
+
+    def head_index(self) -> List[Optional[Dict[int, List[Rule]]]]:
+        """Per-state rule rows, indexed by state id (the CSR-style view).
+
+        ``head_index()[from_id][pop_id]`` is the rule list of one head;
+        states without rules hold None. The list covers the state table
+        as of the build — ids interned later (saturation mid-states,
+        automaton finals) simply index past the end, which callers guard
+        with a length check. Rebuilt lazily after any ``add_rule``.
+        """
+        index = self._head_index
+        if index is None:
+            index = [None] * len(self.state_table)
+            for packed, rules in self._by_head.items():
+                from_id = packed >> SHIFT
+                row = index[from_id]
+                if row is None:
+                    row = index[from_id] = {}
+                row[packed & MASK] = rules
+            self._head_index = index
+        return index
 
     @property
     def rules(self) -> Tuple[Rule, ...]:
         return tuple(self._rules)
 
     @property
+    def control_state_ids(self) -> Set[int]:
+        """Ids of all control states (read-only view; do not mutate)."""
+        return self._state_ids
+
+    @property
     def states(self) -> FrozenSet[State]:
-        return frozenset(self._states)
+        resolve = self.state_table.resolve
+        return frozenset(resolve(i) for i in self._state_ids)
 
     @property
     def symbols(self) -> FrozenSet[Symbol]:
-        return frozenset(self._symbols)
+        resolve = self.symbol_table.resolve
+        return frozenset(resolve(i) for i in self._symbol_ids)
+
+    def state_count(self) -> int:
+        """Number of control states (without materializing them)."""
+        return len(self._state_ids)
 
     def rule_count(self) -> int:
         """Number of rules in Δ."""
         return len(self._rules)
 
     def replace_rules(self, rules: Iterable[Rule]) -> "PushdownSystem":
-        """A new system containing only the given rules (used by reductions)."""
-        reduced = PushdownSystem()
+        """A new system containing only the given rules (used by reductions).
+
+        The new system shares this one's symbol tables, so rules that
+        were interned here are adopted without copying; foreign rules
+        (different tables, or never interned) are re-created.
+        """
+        reduced = PushdownSystem(self.state_table, self.symbol_table)
+        states = self.state_table
+        symbols = self.symbol_table
         for rule in rules:
-            reduced.add_rule(
-                rule.from_state, rule.pop, rule.to_state, rule.push, rule.weight, rule.tag
-            )
+            if (
+                states.id_of(rule.from_state) == rule.from_id
+                and symbols.id_of(rule.pop) == rule.pop_id
+            ):
+                reduced._index_rule(rule)
+            else:
+                reduced.add_rule(
+                    rule.from_state,
+                    rule.pop,
+                    rule.to_state,
+                    rule.push,
+                    rule.weight,
+                    rule.tag,
+                )
         return reduced
 
     def __len__(self) -> int:
@@ -135,8 +253,8 @@ class PushdownSystem:
 
     def __repr__(self) -> str:
         return (
-            f"PushdownSystem(states={len(self._states)}, "
-            f"symbols={len(self._symbols)}, rules={len(self._rules)})"
+            f"PushdownSystem(states={len(self._state_ids)}, "
+            f"symbols={len(self._symbol_ids)}, rules={len(self._rules)})"
         )
 
 

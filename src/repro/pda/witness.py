@@ -24,18 +24,26 @@ Witness shapes (pre*): ``("init",)`` or ``("rule", rule, partners)``.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List, Sequence, Tuple
+from typing import Deque, Hashable, List, Sequence, Tuple, Union
 
 from repro.errors import PdaError
-from repro.pda.automaton import Key, WeightedPAutomaton
+from repro.pda.automaton import IntPAutomaton, WeightedPAutomaton
 from repro.pda.system import Rule
+
+#: A transition identifier in either automaton core: a packed int for
+#: :class:`IntPAutomaton`, a ``(source, symbol, target)`` tuple for the
+#: reference :class:`WeightedPAutomaton`. The unfolding below never looks
+#: inside a key — it only uses it to index the witness map — so the same
+#: code serves both cores.
+Key = Hashable
+Automaton = Union[IntPAutomaton, WeightedPAutomaton]
 
 #: Hard cap on unfolding work; generous, purely an anti-loop guard.
 _MAX_UNFOLD_STEPS = 10_000_000
 
 
 def reconstruct_poststar_run(
-    automaton: WeightedPAutomaton, path: Sequence[Key]
+    automaton: Automaton, path: Sequence[Key]
 ) -> Tuple[Rule, ...]:
     """Rules of a PDS run from an initial configuration to the
     configuration accepted by ``path`` in a post*-saturated automaton.
@@ -104,7 +112,7 @@ def reconstruct_poststar_run(
 
 
 def reconstruct_prestar_run(
-    automaton: WeightedPAutomaton, path: Sequence[Key]
+    automaton: Automaton, path: Sequence[Key]
 ) -> Tuple[Rule, ...]:
     """Rules of a PDS run from the configuration accepted by ``path`` to
     a target configuration, in a pre*-saturated automaton."""

@@ -39,7 +39,8 @@ step is attached to the first rule of its operation chain.
 from __future__ import annotations
 
 import itertools
-from collections import deque
+import threading
+from collections import OrderedDict, deque
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
@@ -144,7 +145,9 @@ def _shortest_word(nfa: "Nfa") -> Optional[Tuple[Label, ...]]:
         for edge in nfa.edges_from(state):
             if edge.target not in seen and edge.symbols:
                 seen.add(edge.target)
-                symbol = next(iter(edge.symbols))
+                # min over the symbol set keeps the chosen word independent
+                # of set iteration order (i.e. of PYTHONHASHSEED).
+                symbol = min(edge.symbols, key=str)
                 frontier.append((edge.target, word + (symbol,)))
     return None
 
@@ -154,17 +157,34 @@ class QueryCompiler:
 
     ``distance_of`` feeds the *Distance* atomic quantity; it defaults to
     the topology's link distance (geographic when coordinates exist).
+
+    Compilations are memoized per ``(query, mode, weight vector)``:
+    queries and weight vectors are frozen dataclasses, compilation is a
+    pure function of them plus the fixed network, and a compiled system
+    is safe to share — reductions build *new* systems and the interning
+    tables are append-only arenas (with a thread-safe ``intern``), so
+    concurrent solves over one memoized instance never interfere. This is
+    what lets the farm's engine cache amortize compilation across a
+    whole what-if sweep. ``memo_capacity=0`` disables memoization.
     """
 
     def __init__(
         self,
         network: MplsNetwork,
         distance_of: Optional[Callable[[Link], int]] = None,
+        memo_capacity: int = 128,
     ) -> None:
         self.network = network
         self.distance_of = (
             distance_of if distance_of is not None else network.topology.link_distance
         )
+        self.memo_capacity = memo_capacity
+        self.memo_hits = 0
+        self.memo_misses = 0
+        self._memo: "OrderedDict[Tuple[Query, str, Optional[WeightVector]], CompiledQuery]" = (
+            OrderedDict()
+        )
+        self._memo_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # public API
@@ -183,6 +203,35 @@ class QueryCompiler:
         """
         if mode not in ("over", "under"):
             raise VerificationError(f"unknown compilation mode {mode!r}")
+        if self.memo_capacity <= 0:
+            return self._compile(query, mode, weight_vector)
+        memo_key = (query, mode, weight_vector)
+        # Like the farm's ArtifactCache, the build runs *under* the lock:
+        # compilation is deterministic, and compile-once keeps the
+        # observability counters independent of thread scheduling.
+        with self._memo_lock:
+            cached = self._memo.get(memo_key)
+            if cached is not None:
+                self._memo.move_to_end(memo_key)
+                self.memo_hits += 1
+                if obs.enabled():
+                    obs.add("compiler.memo_hits")
+                return cached
+            compiled = self._compile(query, mode, weight_vector)
+            self.memo_misses += 1
+            if obs.enabled():
+                obs.add("compiler.memo_misses")
+            self._memo[memo_key] = compiled
+            while len(self._memo) > self.memo_capacity:
+                self._memo.popitem(last=False)
+            return compiled
+
+    def _compile(
+        self,
+        query: Query,
+        mode: str,
+        weight_vector: Optional[WeightVector],
+    ) -> CompiledQuery:
         semiring: Semiring = (
             BOOLEAN if weight_vector is None else vector_semiring(weight_vector.arity)
         )
@@ -238,11 +287,13 @@ class _Builder:
         self.b_nfa = link_nfa(query.path, network)
         self.c_nfa = label_nfa(query.final_header, network)
         self.reversed_a = self.a_nfa.reverse().trim()
-        # Label pools for unknown-top op expansion.
+        # Label pools for unknown-top op expansion. Sorted so rule order —
+        # and therefore interned ids and equal-weight tie-breaking — is
+        # identical across processes regardless of PYTHONHASHSEED.
         labels = network.labels
-        self.plain_labels = tuple(labels.mpls_labels)
-        self.bottom_labels = tuple(labels.bottom_mpls_labels)
-        self.ip_labels = tuple(labels.ip_labels)
+        self.plain_labels = tuple(sorted(labels.mpls_labels, key=str))
+        self.bottom_labels = tuple(sorted(labels.bottom_mpls_labels, key=str))
+        self.ip_labels = tuple(sorted(labels.ip_labels, key=str))
 
     # ------------------------------------------------------------------
     # weights
@@ -284,7 +335,7 @@ class _Builder:
             if q in reversed_a.accepting and top is not BOTTOM:
                 accepting_pairs.append((q, top))
             for edge in reversed_a.edges_from(q):
-                for label in edge.symbols:
+                for label in sorted(edge.symbols, key=str):
                     source_state = ("hdr", q, top) if top is not BOTTOM else START
                     self.pds.add_rule(
                         source_state,
@@ -341,11 +392,13 @@ class _Builder:
         [, budget]) control state; returns all discovered link states."""
         routing = self.network.routing
         b_nfa = self.b_nfa
-        seen: Set[Tuple[Any, ...]] = set()
+        # Insertion-ordered (dict-as-set) so the returned state list is
+        # discovery-ordered, not hash-ordered.
+        seen: Dict[Tuple[Any, ...], None] = {}
         frontier: deque = deque()
         for state, _top in entry_states:
             if state not in seen:
-                seen.add(state)
+                seen[state] = None
                 frontier.append(state)
         while frontier:
             state = frontier.popleft()
@@ -379,7 +432,7 @@ class _Builder:
                             state, label, entry.operations, target, costs
                         )
                         if target not in seen:
-                            seen.add(target)
+                            seen[target] = None
                             frontier.append(target)
         return list(seen)
 
@@ -496,7 +549,7 @@ class _Builder:
         }
         for state in sorted(interior):
             for edge in c_nfa.edges_from(state):
-                for label in edge.symbols:
+                for label in sorted(edge.symbols, key=str):
                     self.pds.add_rule(
                         ("chk", state),
                         label,
@@ -524,8 +577,8 @@ class _Builder:
             if state[2] not in accepting_b:
                 continue
             possible_tops = analysis.tops.get(state, ())
-            for label in possible_tops:
-                for target_state in first_targets.get(label, ()):
+            for label in sorted(possible_tops, key=str):
+                for target_state in sorted(first_targets.get(label, ())):
                     self.pds.add_rule(
                         state,
                         label,

@@ -68,7 +68,10 @@ class VerificationEngine:
     * ``use_reductions`` — run the static PDA reductions first;
     * ``early_termination`` — stop saturation at the target transition;
     * ``weight`` — a :class:`WeightVector` (or its textual form) enabling
-      the quantitative engine; None keeps the boolean engine.
+      the quantitative engine; None keeps the boolean engine;
+    * ``core`` — saturation representation: the dense-id ``"interned"``
+      core (default) or the symbolic ``"tuple"`` reference core (used by
+      the differential tests and as the benchmark baseline).
     """
 
     def __init__(
@@ -80,11 +83,13 @@ class VerificationEngine:
         weight: Union[WeightVector, str, None] = None,
         distance_of: Optional[Callable[[Link], int]] = None,
         name: Optional[str] = None,
+        core: str = "interned",
     ) -> None:
         self.network = network
         self.backend = backend
         self.use_reductions = use_reductions
         self.early_termination = early_termination
+        self.core = core
         if isinstance(weight, str):
             weight = parse_weight_vector(weight)
         if weight is not None and backend == "moped":
@@ -244,6 +249,7 @@ class VerificationEngine:
             early_termination=self.early_termination,
             want_witness=True,
             deadline=deadline,
+            core=self.core,
         )
 
     def _satisfied(

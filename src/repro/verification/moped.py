@@ -50,31 +50,46 @@ def serialize_remopla(
     (``s<i>`` / ``y<i>``), exactly like a Remopla export would; the rule
     table maps the per-line rule ids back to the caller's rule objects
     (needed to interpret the checker's textual witness).
+
+    The local identifier maps are keyed by the system's *interned* ids —
+    within one system id ↔ value is a bijection and rules are walked in
+    the same order either way, so the emitted text is byte-identical to
+    the historical value-keyed serializer while hashing only machine
+    ints.
     """
-    state_ids: Dict[Any, str] = {}
-    symbol_ids: Dict[Any, str] = {}
+    state_names: Dict[int, str] = {}
+    symbol_names: Dict[int, str] = {}
 
-    def state_id(state: Any) -> str:
-        if state not in state_ids:
-            state_ids[state] = f"s{len(state_ids)}"
-        return state_ids[state]
+    def state_id(ident: int) -> str:
+        name = state_names.get(ident)
+        if name is None:
+            name = state_names[ident] = f"s{len(state_names)}"
+        return name
 
-    def symbol_id(symbol: Any) -> str:
-        if symbol not in symbol_ids:
-            symbol_ids[symbol] = f"y{len(symbol_ids)}"
-        return symbol_ids[symbol]
+    def symbol_id(ident: int) -> str:
+        name = symbol_names.get(ident)
+        if name is None:
+            name = symbol_names[ident] = f"y{len(symbol_names)}"
+        return name
 
     lines: List[str] = [_HEADER]
     rule_table: Dict[int, Rule] = {}
     for index, rule in enumerate(pds.rules):
         rule_table[index] = rule
-        push = " ".join(symbol_id(s) for s in rule.push)
+        push = " ".join(symbol_id(s) for s in rule.push_ids)
         lines.append(
-            f"r{index}: {state_id(rule.from_state)} <{symbol_id(rule.pop)}> --> "
-            f"{state_id(rule.to_state)} <{push}>"
+            f"r{index}: {state_id(rule.from_id)} <{symbol_id(rule.pop_id)}> --> "
+            f"{state_id(rule.to_id)} <{push}>"
         )
-    lines.append(f"init: {state_id(initial[0])} <{symbol_id(initial[1])}>")
-    lines.append(f"reach: {state_id(target[0])} <{symbol_id(target[1])}>")
+    states, symbols = pds.state_table, pds.symbol_table
+    lines.append(
+        f"init: {state_id(states.intern(initial[0]))} "
+        f"<{symbol_id(symbols.intern(initial[1]))}>"
+    )
+    lines.append(
+        f"reach: {state_id(states.intern(target[0]))} "
+        f"<{symbol_id(symbols.intern(target[1]))}>"
+    )
     return "\n".join(lines) + "\n", rule_table
 
 

@@ -16,7 +16,7 @@ from typing import FrozenSet, Optional, Sequence
 
 from repro.errors import VerificationError
 from repro.model.header import Header
-from repro.model.labels import BOTTOM
+from repro.model.labels import BOTTOM, Label
 from repro.model.topology import Link
 from repro.model.trace import Trace, TraceStep, minimal_failure_set
 from repro.pda.system import Configuration, Rule, run_rules
@@ -59,6 +59,14 @@ def trace_from_rules(
             raise VerificationError(
                 f"malformed PDA stack during replay: {configuration!r}"
             )
+        # Boundary guard of the interned core: everything that reaches a
+        # user-facing Trace must be symbolic — a bare int here means an
+        # interned id escaped the PDA layer unresolved.
+        for symbol in stack[:-1]:
+            if not isinstance(symbol, Label):
+                raise VerificationError(
+                    f"non-symbolic stack content leaked into a trace: {symbol!r}"
+                )
         steps.append(TraceStep(link, Header(stack[:-1])))
     if not steps:
         raise VerificationError("PDA run visited no network link states")

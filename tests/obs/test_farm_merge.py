@@ -86,9 +86,11 @@ class TestWorkerDeltaMerge:
             counted[workers] = {
                 name: value
                 for name, value in counters.items()
-                # Cache hit/miss split depends on how jobs land on
-                # workers; the verification work itself must match.
-                if not name.startswith("farm.cache.")
+                # Cache and compile-memo hit/miss splits depend on how
+                # jobs land on workers (each worker's engine compiles a
+                # shared query once); the verification work itself —
+                # saturation, verdicts, witnesses — must match.
+                if not name.startswith(("farm.cache.", "compiler."))
             }
         assert counted[1] == counted[2]
 

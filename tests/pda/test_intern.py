@@ -1,0 +1,97 @@
+"""Unit tests for the interning arena and packed transition keys."""
+
+import pytest
+
+from repro.errors import PdaError
+from repro.pda.intern import (
+    EPSILON,
+    EPSILON_ID,
+    MASK,
+    MAX_ID,
+    SHIFT,
+    SymbolTable,
+    pack_head,
+    pack_key,
+    unpack_key,
+)
+
+
+class TestSymbolTable:
+    def test_intern_is_idempotent_and_dense(self):
+        table = SymbolTable()
+        assert table.intern("a") == 0
+        assert table.intern("b") == 1
+        assert table.intern("a") == 0
+        assert len(table) == 2
+
+    def test_resolve_inverts_intern(self):
+        table = SymbolTable()
+        values = ["x", ("link", "e1", 3), 42, frozenset({"y"})]
+        ids = [table.intern(value) for value in values]
+        assert [table.resolve(i) for i in ids] == values
+
+    def test_id_of_misses_are_none_and_do_not_intern(self):
+        table = SymbolTable()
+        assert table.id_of("ghost") is None
+        assert "ghost" not in table
+        assert len(table) == 0
+
+    def test_resolve_rejects_unknown_ids(self):
+        table = SymbolTable()
+        table.intern("a")
+        with pytest.raises(PdaError):
+            table.resolve(7)
+
+    def test_reserved_values_take_the_first_ids(self):
+        table = SymbolTable(reserve=(EPSILON,))
+        assert table.id_of(EPSILON) == EPSILON_ID == 0
+        assert table.intern("first-real") == 1
+
+    def test_overflow_raises(self):
+        table = SymbolTable()
+        table._values = [None] * MAX_ID  # simulate a full arena
+        with pytest.raises(PdaError):
+            table.intern("one too many")
+
+    def test_concurrent_intern_assigns_one_id(self):
+        import threading
+
+        table = SymbolTable()
+        results = []
+
+        def worker(start):
+            local = [table.intern(f"v{i}") for i in range(start, start + 200)]
+            results.append(local)
+
+        threads = [
+            threading.Thread(target=worker, args=(base,)) for base in (0, 100, 0, 100)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # Every value has exactly one id and resolves back.
+        assert len(table) == 300
+        for i in range(300):
+            assert table.resolve(table.id_of(f"v{i}")) == f"v{i}"
+
+
+class TestPacking:
+    def test_pack_unpack_round_trip(self):
+        for triple in [(0, 0, 0), (1, 2, 3), (MASK, MASK, MASK), (5, 0, MASK)]:
+            assert unpack_key(pack_key(*triple)) == triple
+
+    def test_pack_head_matches_key_prefix(self):
+        assert pack_key(3, 4, 5) >> SHIFT == pack_head(3, 4)
+
+    def test_fields_do_not_overlap(self):
+        key = pack_key(MASK, 0, 0)
+        assert key & MASK == 0
+        assert (key >> SHIFT) & MASK == 0
+        assert key >> (2 * SHIFT) == MASK
+
+    def test_epsilon_is_id_zero(self):
+        # post* depends on this: packed keys with a zero symbol field are
+        # exactly the ε-transitions.
+        assert EPSILON_ID == 0
+        assert repr(EPSILON) == "ε"

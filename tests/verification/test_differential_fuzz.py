@@ -1,0 +1,203 @@
+"""Differential fuzzing over *synthesized* networks: dual vs Moped vs
+the explicit oracle, and the interned core vs its tuple reference twin.
+
+The conformance suite (:mod:`tests.verification
+.test_differential_conformance`) pins the builtin networks; this one
+fuzzes the same three-way agreement over seeded
+:mod:`repro.datasets.synthesis` dataplanes — fresh topology, LSP mesh,
+failover priorities and service tunnels per seed — crossed with a
+generated query corpus. Every case asserts:
+
+* the dual engine and the Moped baseline return the same verdict;
+* the interned solver core and the tuple reference core return
+  *byte-identical* results (status, weight, and every trace hop);
+* the weighted engine's guaranteed-minimal weights match exhaustive
+  enumeration within the oracle's bounds;
+* the observability counters prove each backend actually saturated its
+  pushdown (non-vacuity: a "pass" can never come from engines silently
+  skipping the analysis).
+"""
+
+import pytest
+
+from repro import obs
+from repro.datasets.graphs import EdgeSpec, GraphSpec, NodeSpec
+from repro.datasets.queries import generate_query_suite
+from repro.datasets.synthesis import SynthesisOptions, synthesize_network
+from repro.verification.engine import dual_engine, moped_engine, weighted_engine
+from repro.verification.explicit import ExplicitEngine
+from repro.verification.results import Status
+
+SEEDS = (11, 23, 47)
+
+#: Oracle bounds — on these small networks the enumeration is exact up
+#: to this trace length / header depth.
+ORACLE_TRACE_LENGTH = 6
+ORACLE_HEADER_DEPTH = 3
+ORACLE_INITIAL_HEADER = 3
+
+
+def _small_graph(seed: int) -> GraphSpec:
+    """A 6-node ring with seed-dependent chords (deterministic)."""
+    names = [f"n{i}" for i in range(6)]
+    nodes = tuple(
+        NodeSpec(name, latitude=float(i), longitude=float((i * 7) % 5))
+        for i, name in enumerate(names)
+    )
+    edges = [
+        EdgeSpec(names[i], names[(i + 1) % len(names)]) for i in range(len(names))
+    ]
+    # Two chords chosen by the seed, avoiding duplicates of ring edges.
+    chords = [(0, 2), (1, 4), (2, 5), (0, 3), (1, 3)]
+    for offset in range(2):
+        source, target = chords[(seed + offset) % len(chords)]
+        edges.append(EdgeSpec(names[source], names[target]))
+    return GraphSpec(name=f"fuzz{seed}", nodes=nodes, edges=tuple(edges))
+
+
+def _network(seed: int):
+    network, _report = synthesize_network(
+        _small_graph(seed),
+        SynthesisOptions(seed=seed, service_tunnels=1, max_lsp_pairs=6),
+    )
+    return network
+
+
+def _corpus(network, seed: int):
+    return generate_query_suite(
+        network,
+        count=4,
+        seed=seed,
+        failure_bounds=(0, 1),
+        include_unconstrained=False,
+    )
+
+
+def _cases():
+    for seed in SEEDS:
+        network = _network(seed)
+        for query in _corpus(network, seed):
+            yield pytest.param(seed, query, id=f"s{seed}-{query.name}")
+
+
+@pytest.fixture(scope="module")
+def networks():
+    return {seed: _network(seed) for seed in SEEDS}
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    previous = obs.enabled()
+    obs.disable()
+    obs.reset()
+    yield
+    obs.reset()
+    if previous:
+        obs.enable()
+
+
+@pytest.mark.parametrize("seed,query", _cases())
+def test_dual_moped_and_cores_agree(networks, seed, query):
+    network = networks[seed]
+    with obs.recording():
+        dual_result = dual_engine(network).verify(query.text)
+        dual_counters = obs.counters()
+    with obs.recording():
+        tuple_result = dual_engine(network, core="tuple").verify(query.text)
+    with obs.recording():
+        moped_result = moped_engine(network).verify(query.text)
+        moped_counters = obs.counters()
+
+    assert dual_result.status == moped_result.status, (
+        f"s{seed}/{query.name}: dual={dual_result.status} "
+        f"moped={moped_result.status}"
+    )
+
+    # The two solver cores must be indistinguishable from the outside:
+    # same verdict, same weight, and the same trace hop for hop.
+    assert dual_result.status == tuple_result.status
+    assert dual_result.weight == tuple_result.weight
+    assert str(dual_result.trace) == str(tuple_result.trace)
+    if dual_result.trace is not None:
+        hops = [step.link.name for step in dual_result.trace.steps]
+        tuple_hops = [step.link.name for step in tuple_result.trace.steps]
+        assert hops == tuple_hops
+
+    # Non-vacuity: unless the one-step fast path answered, each backend
+    # must have actually saturated its pushdown.
+    if not dual_counters.get("engine.one_step_hits"):
+        assert dual_counters.get("pda.saturation_iterations", 0) > 0
+    if not moped_counters.get("engine.one_step_hits"):
+        assert moped_counters.get("moped.symbolic_rounds", 0) > 0
+
+    if dual_result.status is Status.SATISFIED:
+        for result in (dual_result, moped_result):
+            assert result.trace is not None
+            failures = result.failure_set or frozenset()
+            assert len(failures) <= query.max_failures
+
+
+@pytest.mark.parametrize("seed,query", _cases())
+def test_verdicts_match_explicit_enumeration(networks, seed, query):
+    network = networks[seed]
+    oracle = ExplicitEngine(
+        network,
+        max_trace_length=ORACLE_TRACE_LENGTH,
+        max_header_depth=ORACLE_HEADER_DEPTH,
+        max_initial_header=ORACLE_INITIAL_HEADER,
+    )
+    expected = oracle.verify(query.text)
+    result = dual_engine(network).verify(query.text)
+    if not result.conclusive:
+        return  # the dual approximation is allowed to be inconclusive
+    if expected.satisfied:
+        assert result.satisfied, (seed, query.text)
+    elif result.satisfied:
+        # A positive beyond the oracle's bounds must actually exceed them.
+        trace = result.trace
+        assert (
+            len(trace) > ORACLE_TRACE_LENGTH
+            or max(h.depth for h in trace.headers) > ORACLE_HEADER_DEPTH
+            or len(trace.first_header) > ORACLE_INITIAL_HEADER
+        ), (seed, query.text)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_minimal_weights_match_enumeration(networks, seed):
+    """Guaranteed-minimal weighted answers equal the oracle's best weight."""
+    network = networks[seed]
+    oracle = ExplicitEngine(
+        network,
+        max_trace_length=ORACLE_TRACE_LENGTH,
+        max_header_depth=ORACLE_HEADER_DEPTH,
+        max_initial_header=ORACLE_INITIAL_HEADER,
+    )
+    engine = weighted_engine(network, weight="hops")
+    checked = 0
+    for query in _corpus(network, seed):
+        result = engine.verify(query.text)
+        if not result.satisfied or not result.minimal_guaranteed:
+            continue
+        expected = oracle.verify(query.text, engine.weight_vector)
+        if not expected.satisfied or expected.best_weight is None:
+            continue
+        # Within the oracle's bounds its minimum is exact; the engine's
+        # guaranteed minimum can only beat it via out-of-bounds traces.
+        assert result.weight <= expected.best_weight, (seed, query.text)
+        if len(result.trace) <= ORACLE_TRACE_LENGTH:
+            assert result.weight == expected.best_weight, (seed, query.text)
+        checked += 1
+    assert checked > 0, f"seed {seed}: no weighted query was conclusively minimal"
+
+
+def test_fuzz_corpus_is_not_degenerate(networks):
+    """The sweep must produce both verdicts somewhere and run the PDA."""
+    statuses = set()
+    with obs.recording():
+        for seed, network in networks.items():
+            for query in _corpus(network, seed):
+                statuses.add(dual_engine(network).verify(query.text).status)
+        pda_runs = obs.counter("pda.poststar.runs")
+    assert Status.SATISFIED in statuses
+    assert Status.UNSATISFIED in statuses
+    assert pda_runs > 0

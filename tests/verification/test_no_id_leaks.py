@@ -1,0 +1,127 @@
+"""No interned id may leak into user-facing output.
+
+The interned core works on dense integers and packed transition keys
+internally; every boundary — traces, CLI text and JSON, the Prometheus
+endpoint, lint diagnostics — must present *symbolic* names only. These
+tests pin that invariant, plus the replay-time guard in
+:mod:`repro.verification.reconstruction` that enforces it structurally.
+
+Packed keys and raw ids are easy to spot: a packed transition key is at
+least 2**42, so any 7+ digit integer token in rendered output is a red
+flag (real outputs use label names like ``s40``/``129`` and link names
+like ``e12``).
+"""
+
+import dataclasses
+import json
+import re
+
+import pytest
+
+from repro import obs
+from repro.analysis import analyze
+from repro.cli import main
+from repro.datasets.example import build_example_network
+from repro.errors import VerificationError
+from repro.model.labels import BOTTOM
+from repro.verification.compiler import QueryCompiler
+from repro.verification.engine import dual_engine
+from repro.verification.reconstruction import trace_from_rules
+
+PHI0 = "<ip> [.#v0] .* [v3#.] <ip> 0"
+
+#: Anything this long is not a label/link name on the builtin networks.
+_SUSPICIOUS_INT = re.compile(r"\d{7,}")
+
+
+@pytest.fixture(scope="module")
+def network():
+    return build_example_network()
+
+
+class TestTraceRendering:
+    def test_trace_str_is_fully_symbolic(self, network):
+        result = dual_engine(network).verify(PHI0)
+        assert result.trace is not None
+        rendered = str(result.trace) + repr(result.trace)
+        assert not _SUSPICIOUS_INT.search(rendered), rendered
+        # Real symbolic content is present: link names and labels.
+        assert "e0" in rendered
+        for step in result.trace.steps:
+            assert isinstance(step.link.name, str)
+            for label in step.header.labels:
+                assert not isinstance(label, int)
+
+    def test_replay_guard_rejects_unresolved_ids(self, network):
+        """A bare int where a Label belongs must raise, not render."""
+        compiled = QueryCompiler(network).compile(
+            dual_engine(network).verify(PHI0).query
+        )
+        link_state = next(
+            rule.from_state
+            for rule in compiled.pds.rules
+            if compiled.link_of_state(rule.from_state) is not None
+        )
+        broken = dataclasses.replace(compiled)
+        broken.initial = (("start-stub",), BOTTOM)
+        # One rule smuggles the raw id 7 above the bottom marker; the
+        # replay reaches stack (7, BOTTOM) at a link state and the
+        # boundary guard must refuse to build a Trace from it.
+        smuggle = broken.pds.add_rule(
+            ("start-stub",), BOTTOM, link_state, (7, BOTTOM), True
+        )
+        with pytest.raises(VerificationError, match="non-symbolic"):
+            trace_from_rules(broken, (smuggle,))
+
+
+class TestCliOutput:
+    def test_text_output_is_symbolic(self, network, capsys):
+        assert main(["--builtin", "example", "--query", PHI0]) == 0
+        out = capsys.readouterr().out
+        assert "SATISFIED" in out
+        assert "e0" in out
+        assert not _SUSPICIOUS_INT.search(out), out
+
+    def test_json_output_is_symbolic(self, network, capsys):
+        assert main(["--builtin", "example", "--query", PHI0, "--trace-json"]) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{") :])
+
+        def walk(value):
+            if isinstance(value, dict):
+                for key, item in value.items():
+                    assert not _SUSPICIOUS_INT.search(str(key))
+                    walk(item)
+            elif isinstance(value, list):
+                for item in value:
+                    walk(item)
+            elif isinstance(value, str):
+                assert not _SUSPICIOUS_INT.search(value), value
+
+        walk(payload)
+        assert payload["trace"][0]["link"] == "e0"
+        for step in payload["trace"]:
+            assert all(isinstance(label, str) for label in step["header"])
+
+
+class TestMetricsEndpoint:
+    def test_metric_and_label_names_are_symbolic(self, network):
+        with obs.recording():
+            dual_engine(network).verify(PHI0)
+            text = obs.metrics_text()
+        for line in text.splitlines():
+            if line.startswith("#"):
+                name = line.split()[2]
+            else:
+                name = line.split(" ", 1)[0]
+            # Metric name plus optional {span="..."} label: both symbolic.
+            assert not _SUSPICIOUS_INT.search(name), line
+            assert re.match(r"^[A-Za-z_][A-Za-z0-9_.]*(\{[^}]*\})?$", name), line
+
+
+class TestLintDiagnostics:
+    def test_diagnostic_payloads_are_symbolic(self, network):
+        report = analyze(network)
+        for diagnostic in report.diagnostics:
+            rendered = str(diagnostic) + json.dumps(diagnostic.to_dict())
+            assert not _SUSPICIOUS_INT.search(rendered), rendered
