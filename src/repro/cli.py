@@ -125,6 +125,38 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: 10000)",
     )
     query.add_argument(
+        "--prob-threshold",
+        type=float,
+        default=None,
+        metavar="P",
+        help="probabilistic what-if: decide whether the query holds with "
+        "probability ≥ P over independent link failures, ranking "
+        "scenarios by likelihood and stopping as soon as the verdict "
+        "cannot flip (exit 0 holds / 1 fails / 2 undecided)",
+    )
+    query.add_argument(
+        "--sweep-prob",
+        action="store_true",
+        help="probabilistic what-if without a threshold: report bounds "
+        "on P(query holds) over the most likely failure scenarios",
+    )
+    query.add_argument(
+        "--prob-default",
+        type=float,
+        default=None,
+        metavar="P",
+        help="failure probability assumed for links that do not declare "
+        "one (default: 1e-3)",
+    )
+    query.add_argument(
+        "--prob-limit",
+        type=int,
+        default=512,
+        metavar="N",
+        help="enumerate at most N failure scenarios, most likely first "
+        "(default: 512)",
+    )
+    query.add_argument(
         "--preflight",
         action="store_true",
         help="lint each degraded sweep variant and report its diagnostics "
@@ -414,6 +446,64 @@ def _run_sweep(network: MplsNetwork, args: argparse.Namespace) -> int:
     return 0 if summary.timeouts == 0 and summary.errors == 0 else 3
 
 
+def _run_prob_sweep(network: MplsNetwork, args: argparse.Namespace) -> int:
+    """Probabilistic what-if: bounds on P(query holds), ranked scenarios.
+
+    Exit codes mirror the plain verdict codes: 0 the query holds with
+    the requested probability, 1 it does not, 2 undecided (no threshold
+    given, or the scenario budget ran out before the verdict settled).
+    """
+    from repro.farm.pool import EngineConfig
+    from repro.model.quantities import DEFAULT_FAILURE_PROBABILITY
+    from repro.prob import ProbVerdict, run_probabilistic_sweep
+
+    if not args.query:
+        raise ReproError("--prob-threshold/--sweep-prob need --query")
+    if args.engine == "moped" and args.weight:
+        raise ReproError("the Moped backend does not support weighted verification")
+    config = EngineConfig(
+        backend=_backend_of(args),
+        use_reductions=not args.no_reductions,
+        weight=args.weight,
+    )
+    default = (
+        args.prob_default
+        if args.prob_default is not None
+        else DEFAULT_FAILURE_PROBABILITY
+    )
+    result = run_probabilistic_sweep(
+        network,
+        args.query,
+        threshold=args.prob_threshold,
+        default=default,
+        max_scenarios=args.prob_limit,
+        config=config,
+        max_workers=max(1, args.jobs),
+        timeout=args.timeout,
+    )
+    print(result.summary())
+    if result.most_likely_witness is not None:
+        print(
+            "most likely witness scenario "
+            f"(p={result.most_likely_witness_probability:.6g}):"
+        )
+        print(result.most_likely_witness.pretty())
+        if args.trace_json:
+            print(trace_to_json(result.most_likely_witness), end="")
+    if result.most_likely_counterexample is not None:
+        failed = ", ".join(result.most_likely_counterexample) or "none"
+        print(
+            "most likely counterexample "
+            f"(p={result.most_likely_counterexample_probability:.6g}): "
+            f"failed links {{{failed}}}"
+        )
+    if result.verdict is ProbVerdict.HOLDS:
+        return 0
+    if result.verdict is ProbVerdict.FAILS:
+        return 1
+    return 2
+
+
 def main(argv: Optional[list] = None) -> int:
     """CLI entry point; returns the process exit code."""
     argv = list(sys.argv[1:]) if argv is None else list(argv)
@@ -451,6 +541,8 @@ def _verify_main(args: argparse.Namespace) -> int:
             with open(args.write_json, "w", encoding="utf-8") as handle:
                 handle.write(network_to_json(network))
             wrote_something = True
+        if args.prob_threshold is not None or args.sweep_prob:
+            return _run_prob_sweep(network, args)
         if args.sweep_failures is not None:
             return _run_sweep(network, args)
         if args.queries_file:

@@ -101,3 +101,8 @@ class VerificationTimeout(VerificationError):
 
 class FarmError(ReproError):
     """The verification farm was misconfigured or a sweep is malformed."""
+
+
+class ProbError(ReproError):
+    """A probabilistic what-if analysis was misconfigured (bad failure
+    probabilities, oversized exhaustive enumeration, …)."""

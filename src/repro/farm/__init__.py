@@ -25,6 +25,7 @@ from repro.farm.scenarios import (
     Scenario,
     failure_scenarios,
     link_audit_scenarios,
+    probabilistic_scenarios,
     scenarios_to_jobs,
     suite_scenarios,
     sweep_size,
@@ -42,6 +43,7 @@ __all__ = [
     "failure_scenarios",
     "hash_text",
     "link_audit_scenarios",
+    "probabilistic_scenarios",
     "run_jobs",
     "scenarios_to_jobs",
     "suite_scenarios",

@@ -19,9 +19,12 @@ from __future__ import annotations
 import itertools
 import threading
 import time
-from typing import Any, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
 
 from repro import obs
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.prob.mass import MassTracker
 from repro.errors import FarmError
 from repro.model.network import MplsNetwork
 from repro.verification.batch import BatchItem, BatchSummary
@@ -52,6 +55,8 @@ class FarmRun:
         jobs: List[FarmJob],
         description: str = "",
         preflight: Optional[Dict[int, tuple]] = None,
+        probabilities: Optional[List[float]] = None,
+        prob_threshold: Optional[float] = None,
     ) -> None:
         self.id = run_id
         self.description = description
@@ -65,6 +70,18 @@ class FarmRun:
         self.items: List[Optional[BatchItem]] = [None] * self.total
         self.summary = BatchSummary()
         self.completed = 0
+        self.probabilities = probabilities
+        self.prob_early_exit = False
+        self.mass: Optional["MassTracker"] = None
+        if probabilities is not None:
+            if len(probabilities) != len(jobs):
+                raise FarmError(
+                    "scenario probabilities must align with the job list "
+                    f"({len(probabilities)} != {len(jobs)})"
+                )
+            from repro.prob.mass import MassTracker
+
+            self.mass = MassTracker(threshold=prob_threshold)
         self._lock = threading.Lock()
         self._cancel = threading.Event()
         self._done = threading.Event()
@@ -77,6 +94,15 @@ class FarmRun:
             self.items[index] = item
             self.summary.add(item)
             self.completed += 1
+            if self.mass is not None and self.probabilities is not None:
+                self.mass.record(item.outcome, self.probabilities[index])
+                # Early exit: once the threshold verdict cannot flip,
+                # stop dispatching the remaining (less likely) scenarios.
+                if self.mass.decided and self.completed < self.total:
+                    if not self.prob_early_exit:
+                        self.prob_early_exit = True
+                        obs.add("prob.early_exits")
+                    self._cancel.set()
 
     def _finish(self, state: str, error: Optional[str] = None) -> None:
         with self._lock:
@@ -120,6 +146,16 @@ class FarmRun:
             }
             if self.error is not None:
                 document["error"] = self.error
+            if self.mass is not None:
+                document["prob"] = {
+                    "threshold": self.mass.threshold,
+                    "verdict": self.mass.verdict.value,
+                    "lower": self.mass.lower,
+                    "upper": self.mass.upper,
+                    "covered": self.mass.covered,
+                    "residual": self.mass.residual,
+                    "early_exit": self.prob_early_exit,
+                }
             if self.preflight is not None:
                 document["preflight"] = {
                     "flagged": len(self.preflight),
@@ -166,12 +202,28 @@ class JobManager:
         prebuilt: Optional[Dict[str, MplsNetwork]] = None,
         description: str = "",
         preflight: Optional[Dict[int, tuple]] = None,
+        probabilities: Optional[List[float]] = None,
+        prob_threshold: Optional[float] = None,
     ) -> FarmRun:
-        """Register a sweep and start executing it in the background."""
+        """Register a sweep and start executing it in the background.
+
+        ``probabilities`` (index-aligned with ``jobs``, see
+        :func:`repro.farm.scenarios.probabilistic_scenarios`) turns the
+        run into a probabilistic sweep: the snapshot carries running
+        bounds on P(query holds), and with ``prob_threshold`` the run
+        self-cancels once the verdict is decided.
+        """
         if not jobs:
             raise FarmError("cannot submit an empty job list")
         run_id = f"job-{next(self._counter):04d}"
-        run = FarmRun(run_id, jobs, description=description, preflight=preflight)
+        run = FarmRun(
+            run_id,
+            jobs,
+            description=description,
+            preflight=preflight,
+            probabilities=probabilities,
+            prob_threshold=prob_threshold,
+        )
         thread = threading.Thread(
             target=self._execute,
             args=(run, networks, max_workers, prebuilt),
@@ -208,7 +260,10 @@ class JobManager:
         except Exception as error:  # defensive: run_jobs shouldn't raise
             run._finish(FAILED, error=str(error))
             return
-        state = CANCELLED if run._cancel.is_set() else DONE
+        # A probabilistic early exit is a *successful* completion — the
+        # verdict is decided — not a user cancellation.
+        cancelled = run._cancel.is_set() and not run.prob_early_exit
+        state = CANCELLED if cancelled else DONE
         run._finish(state)
         if obs.enabled():
             obs.add(f"farm.runs_{state}")

@@ -37,6 +37,7 @@ from repro.query.parser import parse_query
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
     from repro.analysis.diagnostics import Diagnostic
+    from repro.prob.enumerate import FailureScenario
 
 #: Queries enter as one text, a list of texts, or (name, text) pairs.
 QueriesArg = Union[str, Iterable[Union[str, Tuple[str, str]]]]
@@ -225,6 +226,55 @@ def link_audit_scenarios(
         limit=limit,
         preflight=preflight,
     )
+
+
+def probabilistic_scenarios(
+    network: MplsNetwork,
+    query: str,
+    failure_scenarios: Sequence["FailureScenario"],
+    query_name: str = "query",
+) -> Tuple[List[Scenario], List[float]]:
+    """Lower probability-ordered failure scenarios to farm scenarios.
+
+    Several enumerated scenarios can fail the *same* link set
+    (overlapping SRLGs fire in different combinations); the query's
+    verdict only depends on the link set, so each distinct set becomes
+    one farm scenario carrying the **sum** of its scenarios'
+    probabilities. Returns ``(scenarios, masses)`` index-aligned, with
+    distinct link sets in first-seen (i.e. most-likely-first) order —
+    the format :func:`repro.prob.sweep.run_probabilistic_sweep` and
+    :meth:`repro.farm.jobs.JobManager.submit` consume.
+    """
+    pinned = _pin_failures(query)
+    by_name = {link.name: link for link in network.topology.links}
+    index_of: Dict[frozenset, int] = {}
+    scenarios: List[Scenario] = []
+    masses: List[float] = []
+    for outcome in failure_scenarios:
+        key = outcome.failed_links
+        existing = index_of.get(key)
+        if existing is not None:
+            masses[existing] += outcome.probability
+            continue
+        combo = tuple(sorted(key))
+        if combo:
+            failed = {by_name[name] for name in combo}
+            tag = f"fail({'+'.join(combo)})"
+            variant = degrade_network(network, failed, name=f"{network.name}@{tag}")
+        else:
+            tag = "baseline"
+            variant = network
+        index_of[key] = len(scenarios)
+        scenarios.append(
+            Scenario(
+                name=f"{query_name}@{tag}",
+                network=variant,
+                query=pinned,
+                failed_links=combo,
+            )
+        )
+        masses.append(outcome.probability)
+    return scenarios, masses
 
 
 def suite_scenarios(

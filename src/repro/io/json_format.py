@@ -40,8 +40,9 @@ def network_to_json(network: MplsNetwork) -> str:
             entry["lat"] = router.coordinates.latitude
             entry["lng"] = router.coordinates.longitude
         routers.append(entry)
-    links = [
-        {
+    links = []
+    for link in topology.links:
+        link_entry: Dict[str, Any] = {
             "name": link.name,
             "from": link.source.name,
             "to": link.target.name,
@@ -49,8 +50,11 @@ def network_to_json(network: MplsNetwork) -> str:
             "to_interface": link.target_interface,
             "weight": link.weight,
         }
-        for link in topology.links
-    ]
+        # Emitted only when set, so networks without probabilities
+        # serialize byte-identically to previous releases.
+        if link.failure_probability is not None:
+            link_entry["failure_probability"] = link.failure_probability
+        links.append(link_entry)
     routing = []
     for in_link, label, groups in network.routing.items():
         for priority, group in enumerate(groups, start=1):
@@ -93,6 +97,16 @@ def network_from_json(text: str) -> MplsNetwork:
             raise FormatError("router entry without a name")
         builder.router(router["name"], router.get("lat"), router.get("lng"))
     for link in payload["links"]:
+        raw_probability = link.get("failure_probability")
+        if raw_probability is not None:
+            if isinstance(raw_probability, bool) or not isinstance(
+                raw_probability, (int, float)
+            ):
+                raise FormatError(
+                    f"link {link.get('name')!r}: failure_probability must be "
+                    f"a number, got {raw_probability!r}"
+                )
+            raw_probability = float(raw_probability)
         try:
             builder.link(
                 link["name"],
@@ -101,6 +115,7 @@ def network_from_json(text: str) -> MplsNetwork:
                 source_interface=link.get("from_interface"),
                 target_interface=link.get("to_interface"),
                 weight=int(link.get("weight", 1)),
+                failure_probability=raw_probability,
             )
         except KeyError as error:
             raise FormatError(f"link entry lacks {error}") from None

@@ -71,6 +71,9 @@ def _links_as_sides(topology: Topology) -> List[Tuple]:
             and reverse.name not in paired
             and reverse.source_interface == link.target_interface
             and reverse.target_interface == link.source_interface
+            # A <sides> element carries one failure probability for the
+            # whole physical link, so asymmetric directions stay directed.
+            and reverse.failure_probability == link.failure_probability
         ):
             paired.add(link.name)
             paired.add(reverse.name)
@@ -95,6 +98,8 @@ def topology_to_xml(topology: Topology) -> str:
         attributes = {"weight": str(link.weight)}
         if directed:
             attributes["directed"] = "true"
+        if link.failure_probability is not None:
+            attributes["failure_probability"] = repr(link.failure_probability)
         sides_el = ET.SubElement(links_el, "sides", **attributes)
         ET.SubElement(
             sides_el,
@@ -224,6 +229,16 @@ def network_from_xml(
             raise FormatError("<shared_interface> needs router and interface")
         weight = int(sides_el.get("weight", "1"))
         directed = sides_el.get("directed", "false").lower() == "true"
+        raw_probability = sides_el.get("failure_probability")
+        failure_probability: Optional[float] = None
+        if raw_probability is not None:
+            try:
+                failure_probability = float(raw_probability)
+            except ValueError:
+                raise FormatError(
+                    f"<sides> between {first_router} and {second_router}: "
+                    f"failure_probability {raw_probability!r} is not a number"
+                ) from None
         builder.link(
             f"link{link_counter}_fw",
             first_router,
@@ -231,6 +246,7 @@ def network_from_xml(
             source_interface=first_if,
             target_interface=second_if,
             weight=weight,
+            failure_probability=failure_probability,
         )
         if not directed:
             builder.link(
@@ -240,6 +256,7 @@ def network_from_xml(
                 source_interface=second_if,
                 target_interface=first_if,
                 weight=weight,
+                failure_probability=failure_probability,
             )
         link_counter += 1
 

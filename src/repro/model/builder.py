@@ -78,22 +78,87 @@ class NetworkBuilder:
         source_interface: Optional[str] = None,
         target_interface: Optional[str] = None,
         weight: int = 1,
+        failure_probability: Optional[float] = None,
     ) -> "NetworkBuilder":
-        """Add a directed link (routers are created on demand)."""
+        """Add a directed link (routers are created on demand).
+
+        Duplicate definitions — reusing a link name, or wiring a second
+        link through an interface pair that already carries one — raise
+        :class:`~repro.errors.RuleValidationError` naming the earlier
+        link, so input files that paste the same link twice fail at the
+        declaration site instead of surfacing as a confusing topology
+        state downstream.
+        """
         self._topology.add_router(source)
         self._topology.add_router(target)
+        self._validate_new_link(name, source, target, source_interface, target_interface)
         self._topology.add_link(
-            name, source, target, source_interface, target_interface, weight
+            name,
+            source,
+            target,
+            source_interface,
+            target_interface,
+            weight,
+            failure_probability,
         )
         return self
 
+    def _validate_new_link(
+        self,
+        name: str,
+        source: str,
+        target: str,
+        source_interface: Optional[str],
+        target_interface: Optional[str],
+    ) -> None:
+        """Reject duplicate link definitions with declaration-site context."""
+        if self._topology.has_link(name):
+            existing = self._topology.link(name)
+            raise RuleValidationError(
+                f"duplicate link definition {name!r}: already declared as "
+                f"{existing.source.name}.{existing.source_interface} -> "
+                f"{existing.target.name}.{existing.target_interface}",
+                router=source,
+                in_link=name,
+            )
+        out_if = source_interface if source_interface is not None else name
+        in_if = target_interface if target_interface is not None else name
+        for router, interface, lookup, direction in (
+            (source, out_if, self._topology.link_by_out_interface, "outgoing"),
+            (target, in_if, self._topology.link_by_in_interface, "incoming"),
+        ):
+            try:
+                existing = lookup(router, interface)
+            except TopologyError:
+                continue
+            raise RuleValidationError(
+                f"duplicate link definition {name!r}: {direction} interface "
+                f"{interface!r} on router {router!r} already carries link "
+                f"{existing.name!r} "
+                f"({existing.source.name}.{existing.source_interface} -> "
+                f"{existing.target.name}.{existing.target_interface})",
+                router=router,
+                in_link=name,
+            )
+
     def duplex_link(
-        self, source: str, target: str, weight: int = 1, name: Optional[str] = None
+        self,
+        source: str,
+        target: str,
+        weight: int = 1,
+        name: Optional[str] = None,
+        failure_probability: Optional[float] = None,
     ) -> "NetworkBuilder":
         """Add a physical (bidirectional) link as two directed links."""
         self._topology.add_router(source)
         self._topology.add_router(target)
-        self._topology.add_duplex_link(source, target, weight, name)
+        base = name if name is not None else f"{source}--{target}"
+        for link_name, src, dst in (
+            (f"{base}_fw", source, target),
+            (f"{base}_bw", target, source),
+        ):
+            self._validate_new_link(link_name, src, dst, None, None)
+        self._topology.add_duplex_link(source, target, weight, name, failure_probability)
         return self
 
     # ------------------------------------------------------------------

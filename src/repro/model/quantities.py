@@ -18,13 +18,58 @@ test-suite cross-checks the two.
 from __future__ import annotations
 
 import enum
-from typing import Callable, Optional
+import math
+from typing import Callable, Iterable, Optional
 
 from repro.errors import WeightError
 from repro.model.network import MplsNetwork
 from repro.model.operations import try_apply_operations
 from repro.model.topology import Link
 from repro.model.trace import Trace
+
+#: Fixed-point scale for the *Likelihood* quantity: one unit is one
+#: nano-nat of negative log-probability. Costs stay integers, so the
+#: existing lexicographic min-plus vector semiring (which assumes a
+#: finite integer domain) carries likelihood ranking unchanged.
+LIKELIHOOD_SCALE = 10**9
+
+#: Failure probability assumed for links that do not declare one, when a
+#: probabilistic analysis needs a number. Purely-boolean analyses never
+#: touch it.
+DEFAULT_FAILURE_PROBABILITY = 1e-3
+
+#: Floor applied before taking logs. A link with failure probability 0
+#: can never fail in the exact enumerator, but as a *ranking* cost it
+#: must stay finite (the semiring domain is finite integers), so it is
+#: clamped to this floor — far below any realistic likelihood.
+_PROBABILITY_FLOOR = 1e-30
+
+
+def link_failure_probability(
+    link: Link, default: float = DEFAULT_FAILURE_PROBABILITY
+) -> float:
+    """The link's failure probability, substituting ``default`` when unset."""
+    p = link.failure_probability
+    return default if p is None else p
+
+
+def link_failure_cost(
+    link: Link, default: float = DEFAULT_FAILURE_PROBABILITY
+) -> int:
+    """Scaled negative log-probability of this link failing.
+
+    ``round(-ln(p) * LIKELIHOOD_SCALE)`` with ``p`` floored at
+    ``_PROBABILITY_FLOOR``; smaller cost = more likely failure.
+    """
+    p = max(link_failure_probability(link, default), _PROBABILITY_FLOOR)
+    return round(-math.log(p) * LIKELIHOOD_SCALE)
+
+
+def failure_set_cost(
+    links_required: Iterable[Link], default: float = DEFAULT_FAILURE_PROBABILITY
+) -> int:
+    """Scaled neg-log-probability of an independent set of link failures."""
+    return sum(link_failure_cost(link, default) for link in links_required)
 
 
 class Quantity(enum.Enum):
@@ -35,6 +80,7 @@ class Quantity(enum.Enum):
     DISTANCE = "distance"
     FAILURES = "failures"
     TUNNELS = "tunnels"
+    LIKELIHOOD = "likelihood"
 
     @classmethod
     def parse(cls, text: str) -> "Quantity":
@@ -99,6 +145,54 @@ def failures(network: MplsNetwork, trace: Trace) -> int:
     return sum(step_failures(network, trace, i) for i in range(len(trace) - 1))
 
 
+def step_likelihood(
+    network: MplsNetwork,
+    trace: Trace,
+    index: int,
+    default: float = DEFAULT_FAILURE_PROBABILITY,
+) -> int:
+    """Scaled neg-log-probability of the cheapest failure set for step i.
+
+    The *Likelihood* analogue of :func:`step_failures`: instead of the
+    minimal *count* of failed links, the minimal *neg-log-probability*
+    of the failure set that justifies the step. A step served by the
+    primary (priority-1) entry costs 0 — no failure needs to happen.
+    """
+    current = trace[index]
+    following = trace[index + 1]
+    groups = network.group_sequence(current.link, current.header.top)
+    best: Optional[int] = None
+    for priority_index, entry in groups.all_entries():
+        if entry.out_link != following.link:
+            continue
+        if try_apply_operations(current.header, entry.operations) != following.header:
+            continue
+        required = groups.required_failures(priority_index)
+        if entry.out_link in required:
+            continue
+        cost = failure_set_cost(required, default)
+        if best is None or cost < best:
+            best = cost
+    if best is None:
+        raise WeightError(
+            f"trace step {index} is not justified by any routing entry; "
+            "Likelihood is undefined on invalid traces"
+        )
+    return best
+
+
+def likelihood(
+    network: MplsNetwork,
+    trace: Trace,
+    default: float = DEFAULT_FAILURE_PROBABILITY,
+) -> int:
+    """``Likelihood(σ)`` — total scaled neg-log-probability of the failures
+    the trace relies on (0 for a trace along primary paths only)."""
+    return sum(
+        step_likelihood(network, trace, i, default) for i in range(len(trace) - 1)
+    )
+
+
 def tunnels(trace: Trace) -> int:
     """``Tunnels(σ)`` — total positive growth of the label stack."""
     total = 0
@@ -125,4 +219,6 @@ def evaluate_quantity(
         return failures(network, trace)
     if quantity is Quantity.TUNNELS:
         return tunnels(trace)
+    if quantity is Quantity.LIKELIHOOD:
+        return likelihood(network, trace)
     raise WeightError(f"unhandled quantity {quantity}")

@@ -138,6 +138,7 @@ def degrade_network(
             source_interface=link.source_interface,
             target_interface=link.target_interface,
             weight=link.weight,
+            failure_probability=link.failure_probability,
         )
     for label in network.labels:
         builder.label(label)

@@ -66,6 +66,13 @@ class Link:
     and ``target_interface`` the incoming interface on the target router.
     ``weight`` is the value of the distance function ``d(e)`` used by the
     *Distance* atomic quantity (latency, kilometres, inverse bandwidth, …).
+
+    ``failure_probability`` is the link's independent failure likelihood
+    used by the probabilistic what-if layer (:mod:`repro.prob`). ``None``
+    means "not specified": the network behaves exactly as before, and
+    probabilistic analyses substitute their configured default. When
+    given, it must lie in ``[0, 1)`` — a link that *always* fails should
+    simply be removed from the topology.
     """
 
     name: str
@@ -74,12 +81,25 @@ class Link:
     source_interface: str
     target_interface: str
     weight: int = 1
+    failure_probability: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not self.name:
             raise TopologyError("link name must be non-empty")
         if self.weight < 0:
             raise TopologyError(f"link {self.name}: weight must be non-negative")
+        p = self.failure_probability
+        if p is not None:
+            if not isinstance(p, (int, float)) or isinstance(p, bool):
+                raise TopologyError(
+                    f"link {self.name}: failure_probability must be a number, "
+                    f"got {p!r}"
+                )
+            if not (0.0 <= p < 1.0) or math.isnan(p):
+                raise TopologyError(
+                    f"link {self.name}: failure_probability {p!r} out of "
+                    "range [0, 1)"
+                )
 
     @property
     def is_self_loop(self) -> bool:
@@ -140,6 +160,7 @@ class Topology:
         source_interface: Optional[str] = None,
         target_interface: Optional[str] = None,
         weight: int = 1,
+        failure_probability: Optional[float] = None,
     ) -> Link:
         """Add a directed link from ``source`` to ``target``.
 
@@ -167,7 +188,7 @@ class Topology:
             raise TopologyError(
                 f"incoming interface {in_if!r} already in use on router {target!r}"
             )
-        link = Link(name, src, dst, out_if, in_if, weight)
+        link = Link(name, src, dst, out_if, in_if, weight, failure_probability)
         self._links[name] = link
         self._out[source].append(link)
         self._in[target].append(link)
@@ -181,16 +202,24 @@ class Topology:
         target: str,
         weight: int = 1,
         name: Optional[str] = None,
+        failure_probability: Optional[float] = None,
     ) -> Tuple[Link, Link]:
         """Add a pair of opposite directed links modelling one physical link.
 
         Physical MPLS links are bidirectional, but the model (and failure
         semantics) is directional, so a physical link becomes two ``Link``
-        objects named ``{name}_fw`` / ``{name}_bw``.
+        objects named ``{name}_fw`` / ``{name}_bw``. A failure probability
+        applies to both directions (one physical span, one likelihood).
         """
         base = name if name is not None else f"{source}--{target}"
-        forward = self.add_link(f"{base}_fw", source, target, weight=weight)
-        backward = self.add_link(f"{base}_bw", target, source, weight=weight)
+        forward = self.add_link(
+            f"{base}_fw", source, target, weight=weight,
+            failure_probability=failure_probability,
+        )
+        backward = self.add_link(
+            f"{base}_bw", target, source, weight=weight,
+            failure_probability=failure_probability,
+        )
         return forward, backward
 
     # ------------------------------------------------------------------

@@ -1,0 +1,52 @@
+"""Probabilistic what-if analysis: failure likelihoods over the engine.
+
+AalWiNes answers "*can* the policy break under ≤ k failures"; this
+package answers "*how likely* is it to break" when links fail with
+individual probabilities:
+
+* :mod:`repro.prob.semiring` — the probability semiring as
+  min-neg-log-prob over the existing min-plus machinery, powering
+  likelihood-ranked witnesses (``likelihood_engine``);
+* :mod:`repro.prob.model` — independent failure events from per-link
+  probabilities and SRLGs (one group = one event);
+* :mod:`repro.prob.enumerate` — best-first scenario enumeration in
+  non-increasing probability order, plus the exhaustive oracle;
+* :mod:`repro.prob.mass` — sound lower/upper bounds on P(query holds)
+  and the early-exit criterion;
+* :mod:`repro.prob.sweep` — the driver tying it to the verification
+  farm: ``run_probabilistic_sweep(network, query, threshold)``.
+"""
+
+from repro.prob.enumerate import (
+    FailureScenario,
+    best_first_scenarios,
+    exhaustive_scenarios,
+)
+from repro.prob.mass import MassTracker, ProbVerdict
+from repro.prob.model import FailureEvent, FailureModel
+from repro.prob.semiring import (
+    NEG_LOG_PROB,
+    NegLogProbSemiring,
+    likelihood_vector,
+)
+from repro.prob.sweep import (
+    ProbSweepResult,
+    ScenarioOutcome,
+    run_probabilistic_sweep,
+)
+
+__all__ = [
+    "FailureEvent",
+    "FailureModel",
+    "FailureScenario",
+    "MassTracker",
+    "NEG_LOG_PROB",
+    "NegLogProbSemiring",
+    "ProbSweepResult",
+    "ProbVerdict",
+    "ScenarioOutcome",
+    "best_first_scenarios",
+    "exhaustive_scenarios",
+    "likelihood_vector",
+    "run_probabilistic_sweep",
+]

@@ -1,0 +1,157 @@
+"""Probability-ordered enumeration of failure scenarios.
+
+Given an independent-event :class:`~repro.prob.model.FailureModel`,
+this module enumerates complete outcomes (*scenarios*) in
+non-increasing probability order without materializing the ``2^n``
+sample space:
+
+* the **base** scenario puts every event in its more likely state
+  (fired iff ``p > 1/2``) and is therefore the global maximum;
+* flipping event *i* away from its likely state multiplies the
+  probability by ``min(p_i, 1−p_i) / max(p_i, 1−p_i)`` ≤ 1, i.e. adds
+  a non-negative neg-log *delta* ``d_i``;
+* a scenario is a subset of flips, its cost the sum of its deltas —
+  so enumeration is the classic best-first walk over subsets in
+  increasing sum order: with deltas sorted ascending, the successors
+  of subset ``F`` ending at index ``j`` are ``F ∪ {j+1}`` ("extend")
+  and ``F \\ {j} ∪ {j+1}`` ("substitute"). Every subset is generated
+  exactly once and the heap never holds more than O(#popped) entries.
+
+Ties are broken on the flip-index tuple, so the order is deterministic
+across runs and hash seeds. Scenario probabilities are recomputed as
+exact float products (not ``exp(−cost)``), which is what lets the
+best-first and exhaustive enumerators agree to 1e-9.
+
+:func:`exhaustive_scenarios` is the brute-force oracle used by the
+tests and benchmarks; it refuses models large enough to blow up.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from repro.errors import ProbError
+from repro.prob.model import FailureModel
+
+#: Largest model :func:`exhaustive_scenarios` will expand (2^18 ≈ 262k).
+MAX_EXHAUSTIVE_EVENTS = 18
+
+
+@dataclass(frozen=True)
+class FailureScenario:
+    """One complete outcome of a failure model."""
+
+    #: Names of the events that fired, sorted.
+    fired: Tuple[str, ...]
+    #: Union of the links those events fail.
+    failed_links: frozenset
+    #: Exact probability ``∏ p_e · ∏ (1 − p_e)`` over fired/unfired events.
+    probability: float
+
+    def __repr__(self) -> str:
+        fired = ",".join(self.fired) or "-"
+        return f"FailureScenario(fired={fired}, p={self.probability:.3g})"
+
+
+def _scenario(model: FailureModel, fired_flags: List[bool]) -> FailureScenario:
+    probability = 1.0
+    fired_names: List[str] = []
+    failed: set = set()
+    for event, fired in zip(model.events, fired_flags):
+        if fired:
+            probability *= event.probability
+            fired_names.append(event.name)
+            failed.update(event.links)
+        else:
+            probability *= 1.0 - event.probability
+    return FailureScenario(
+        tuple(sorted(fired_names)), frozenset(failed), probability
+    )
+
+
+def best_first_scenarios(
+    model: FailureModel,
+    limit: Optional[int] = None,
+    min_probability: float = 0.0,
+) -> Iterator[FailureScenario]:
+    """Yield scenarios in non-increasing probability order.
+
+    ``limit`` bounds how many scenarios are yielded; ``min_probability``
+    stops as soon as the next-best scenario falls below it (everything
+    after it is at most as likely). Events with probability 0 never
+    fire, so the generator covers exactly the scenarios of non-zero
+    probability: their masses sum to 1.
+    """
+    events = model.events
+    base_fired = [event.probability > 0.5 for event in events]
+    # Flippable events, by ascending flip delta; p == 0 events cannot
+    # fire, so flipping them is off the table (their only state is the
+    # base "unfired" one).
+    deltas: List[Tuple[float, int]] = []
+    for index, event in enumerate(events):
+        p = event.probability
+        if p == 0.0:
+            continue
+        delta = abs(math.log(p) - math.log1p(-p))
+        deltas.append((delta, index))
+    deltas.sort()
+
+    count = 0
+
+    def emit(flips: Tuple[int, ...]) -> FailureScenario:
+        fired = list(base_fired)
+        for position in flips:
+            _, event_index = deltas[position]
+            fired[event_index] = not fired[event_index]
+        return _scenario(model, fired)
+
+    # Heap of (cost, flips) over positions into the sorted delta list.
+    heap: List[Tuple[float, Tuple[int, ...]]] = [(0.0, ())]
+    while heap:
+        cost, flips = heapq.heappop(heap)
+        scenario = emit(flips)
+        if scenario.probability < min_probability:
+            return
+        yield scenario
+        count += 1
+        if limit is not None and count >= limit:
+            return
+        last = flips[-1] if flips else -1
+        if last + 1 < len(deltas):
+            next_delta = deltas[last + 1][0]
+            heapq.heappush(heap, (cost + next_delta, flips + (last + 1,)))
+            if flips:
+                heapq.heappush(
+                    heap,
+                    (cost - deltas[last][0] + next_delta, flips[:-1] + (last + 1,)),
+                )
+
+
+def exhaustive_scenarios(model: FailureModel) -> List[FailureScenario]:
+    """Every scenario of non-zero probability, sorted most likely first.
+
+    The brute-force oracle: materializes all ``2^n`` outcomes (over the
+    events that *can* fire) and sorts. Refuses models beyond
+    :data:`MAX_EXHAUSTIVE_EVENTS` events.
+    """
+    fireable = [
+        index for index, event in enumerate(model.events) if event.probability > 0.0
+    ]
+    if len(fireable) > MAX_EXHAUSTIVE_EVENTS:
+        raise ProbError(
+            f"exhaustive enumeration over {len(fireable)} events "
+            f"(> {MAX_EXHAUSTIVE_EVENTS}) would expand 2^{len(fireable)} "
+            "scenarios; use best_first_scenarios"
+        )
+    scenarios: List[FailureScenario] = []
+    for flags in itertools.product((False, True), repeat=len(fireable)):
+        fired = [False] * len(model.events)
+        for index, flag in zip(fireable, flags):
+            fired[index] = flag
+        scenarios.append(_scenario(model, fired))
+    scenarios.sort(key=lambda s: (-s.probability, s.fired))
+    return scenarios

@@ -1,0 +1,179 @@
+"""Probabilistic failure models: independent events over links and SRLGs.
+
+A :class:`FailureModel` is the sample space of a probabilistic what-if
+analysis: a set of *independent* failure events, each firing with its
+own probability and taking down a fixed set of links. Shared-risk link
+groups (:class:`~repro.model.srlg.SharedRiskGroups`) map naturally —
+one group is **one** event (a cut conduit is a single coin flip, not
+one per fibre inside it); links outside every group become singleton
+events.
+
+A *scenario* is one complete outcome: every event either fired or did
+not. Its probability is the product ``∏ p_e · ∏ (1 − p_e)`` over fired
+and unfired events, so scenario probabilities over the full model sum
+to exactly 1 — the accounting the early-exit argument in
+:mod:`repro.prob.sweep` relies on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+from repro.errors import ProbError
+from repro.model.network import MplsNetwork
+from repro.model.quantities import (
+    DEFAULT_FAILURE_PROBABILITY,
+    link_failure_probability,
+)
+from repro.model.srlg import SharedRiskGroups
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """One independent failure event: ``links`` fail together with
+    probability ``probability``."""
+
+    name: str
+    links: Tuple[str, ...]
+    probability: float
+
+    def __post_init__(self) -> None:
+        if not self.links:
+            raise ProbError(f"failure event {self.name!r} fails no links")
+        p = self.probability
+        if isinstance(p, bool) or not isinstance(p, (int, float)):
+            raise ProbError(
+                f"failure event {self.name!r}: probability must be a "
+                f"number, got {p!r}"
+            )
+        if not (0.0 <= p < 1.0) or math.isnan(p):
+            raise ProbError(
+                f"failure event {self.name!r}: probability {p!r} out of "
+                "range [0, 1)"
+            )
+
+
+class FailureModel:
+    """An independent-event failure model over one network."""
+
+    def __init__(self, network: MplsNetwork, events: Iterable[FailureEvent]) -> None:
+        self.network = network
+        self.events: Tuple[FailureEvent, ...] = tuple(events)
+        names = [event.name for event in self.events]
+        if len(set(names)) != len(names):
+            raise ProbError("failure events must have distinct names")
+        known = set(network.link_names())
+        for event in self.events:
+            unknown = [name for name in event.links if name not in known]
+            if unknown:
+                raise ProbError(
+                    f"failure event {event.name!r} names unknown links: "
+                    f"{', '.join(unknown)}"
+                )
+
+    @classmethod
+    def from_network(
+        cls,
+        network: MplsNetwork,
+        groups: Optional[SharedRiskGroups] = None,
+        group_probabilities: Optional[Mapping[str, float]] = None,
+        default: float = DEFAULT_FAILURE_PROBABILITY,
+        links: Optional[Iterable[str]] = None,
+    ) -> "FailureModel":
+        """Build the model from per-link probabilities and optional SRLGs.
+
+        Each explicit shared-risk group becomes one event; its
+        probability comes from ``group_probabilities`` when given there,
+        otherwise it is the *maximum* member-link probability (the group
+        fails when its most fragile shared resource does). Links in no
+        group become singleton events with their own probability
+        (``default`` when the link does not declare one). ``links``
+        optionally restricts which links may fail at all — others are
+        treated as reliable.
+        """
+        topology = network.topology
+        if links is None:
+            candidates = [link.name for link in topology.links]
+        else:
+            known = set(network.link_names())
+            candidates = list(links)
+            unknown = [name for name in candidates if name not in known]
+            if unknown:
+                raise ProbError(
+                    f"unknown links in failure model: {', '.join(unknown)}"
+                )
+        candidate_set = set(candidates)
+        events: list = []
+        grouped: set = set()
+        if groups is not None:
+            for group_name in groups.group_names():
+                member_links = sorted(
+                    link.name
+                    for link in groups.links_of(group_name)
+                    if link.name in candidate_set
+                )
+                if not member_links:
+                    continue
+                grouped.update(member_links)
+                if group_probabilities and group_name in group_probabilities:
+                    probability = group_probabilities[group_name]
+                else:
+                    probability = max(
+                        link_failure_probability(topology.link(name), default)
+                        for name in member_links
+                    )
+                events.append(
+                    FailureEvent(group_name, tuple(member_links), probability)
+                )
+        if group_probabilities:
+            unknown_groups = set(group_probabilities) - {
+                event.name for event in events
+            }
+            if groups is None:
+                raise ProbError(
+                    "group_probabilities given without shared-risk groups"
+                )
+            if unknown_groups:
+                raise ProbError(
+                    "group_probabilities names unknown groups: "
+                    f"{', '.join(sorted(unknown_groups))}"
+                )
+        for name in candidates:
+            if name in grouped:
+                continue
+            probability = link_failure_probability(topology.link(name), default)
+            events.append(
+                FailureEvent(
+                    SharedRiskGroups.SINGLETON_PREFIX + name, (name,), probability
+                )
+            )
+        return cls(network, events)
+
+    # ------------------------------------------------------------------
+    def event(self, name: str) -> FailureEvent:
+        """Event by name (raises :class:`ProbError` on a miss)."""
+        for candidate in self.events:
+            if candidate.name == name:
+                return candidate
+        raise ProbError(f"unknown failure event {name!r}")
+
+    def failed_links(self, fired: Iterable[str]) -> frozenset:
+        """The union of links failed by a set of fired events."""
+        by_name: Dict[str, FailureEvent] = {e.name: e for e in self.events}
+        failed: set = set()
+        for name in fired:
+            event = by_name.get(name)
+            if event is None:
+                raise ProbError(f"unknown failure event {name!r}")
+            failed.update(event.links)
+        return frozenset(failed)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:
+        return (
+            f"FailureModel({self.network.name!r}, events={len(self.events)})"
+        )

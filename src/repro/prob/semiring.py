@@ -1,0 +1,83 @@
+"""The probability semiring, realized as min-neg-log-prob.
+
+The Viterbi semiring ``([0, 1], max, ×, 0, 1)`` ranks paths by
+likelihood but maximizes and multiplies, which the saturation engines
+(built around Dijkstra-style *min*-plus search) do not speak. Taking
+negative logarithms is a semiring isomorphism onto
+``([0, ∞], min, +, ∞, 0)`` — exactly :class:`~repro.pda.semiring.
+MinPlusSemiring` — so likelihood ranking needs **no changes to the
+saturation core**: multiply probabilities ⇔ add neg-log costs, prefer
+the more probable ⇔ prefer the smaller cost.
+
+Costs are kept as *integers* in fixed-point "scaled nats"
+(:data:`~repro.model.quantities.LIKELIHOOD_SCALE` units per nat), the
+same domain every other atomic quantity uses, so the *Likelihood*
+quantity composes with the lexicographic vector semiring like any
+other component. The rounding error of the fixed point (≤ half a
+nano-nat per rule) only affects *ranking* between traces whose true
+likelihoods agree to ~1e-9 relative; reported probabilities are always
+recomputed exactly from the witness's failure set.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ProbError
+from repro.model.quantities import (
+    DEFAULT_FAILURE_PROBABILITY,
+    LIKELIHOOD_SCALE,
+    Quantity,
+    failure_set_cost,
+    link_failure_cost,
+    link_failure_probability,
+)
+from repro.pda.semiring import MinPlusSemiring
+from repro.query.weights import WeightVector
+
+
+class NegLogProbSemiring(MinPlusSemiring):
+    """``([0, ∞], min, +, ∞, 0)`` over neg-log-probabilities.
+
+    Behaviourally identical to :class:`~repro.pda.semiring.
+    MinPlusSemiring`; the subclass exists to name the probability
+    reading of the weights and to host the conversion helpers.
+    """
+
+    @staticmethod
+    def cost(probability: float, scale: int = LIKELIHOOD_SCALE) -> int:
+        """Scaled neg-log cost of a probability in ``(0, 1]``."""
+        if not 0.0 < probability <= 1.0:
+            raise ProbError(
+                f"probability {probability!r} outside (0, 1] has no "
+                "finite neg-log cost"
+            )
+        return round(-math.log(probability) * scale)
+
+    @staticmethod
+    def probability(cost: float, scale: int = LIKELIHOOD_SCALE) -> float:
+        """The probability a scaled neg-log cost represents."""
+        if cost < 0:
+            raise ProbError(f"neg-log cost must be non-negative, got {cost!r}")
+        return math.exp(-cost / scale)
+
+
+#: Shared stateless instance.
+NEG_LOG_PROB = NegLogProbSemiring()
+
+
+def likelihood_vector() -> WeightVector:
+    """The weight vector that ranks witnesses by failure likelihood."""
+    return WeightVector.of(Quantity.LIKELIHOOD)
+
+
+__all__ = [
+    "DEFAULT_FAILURE_PROBABILITY",
+    "LIKELIHOOD_SCALE",
+    "NEG_LOG_PROB",
+    "NegLogProbSemiring",
+    "failure_set_cost",
+    "likelihood_vector",
+    "link_failure_cost",
+    "link_failure_probability",
+]

@@ -48,6 +48,9 @@ class StepCosts:
     distance: int = 0
     failures: int = 0
     tunnels: int = 0
+    #: Scaled neg-log-probability of the failure set the step relies on
+    #: (see :data:`repro.model.quantities.LIKELIHOOD_SCALE`).
+    likelihood: int = 0
 
     def get(self, quantity: Quantity) -> int:
         """This step's contribution to one atomic quantity."""
@@ -60,6 +63,7 @@ class StepCosts:
         distance_of: Callable[[Link], int],
         failures: int = 0,
         tunnels: int = 0,
+        likelihood: int = 0,
     ) -> "StepCosts":
         """Costs of a step that traverses ``link``."""
         return cls(
@@ -68,6 +72,7 @@ class StepCosts:
             distance=distance_of(link),
             failures=failures,
             tunnels=tunnels,
+            likelihood=likelihood,
         )
 
 

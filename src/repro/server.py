@@ -14,7 +14,14 @@ backend as a small stdlib-only JSON-over-HTTP service; any front end
   "query": "...", "weight": "...?", "engine": "dual|moped"?,
   "timeout": seconds?}``; responds with the verdict, the witness trace
   (steps + headers), the failure set, the minimal weight, and a
-  Graphviz DOT visualization — everything the GUI renders;
+  Graphviz DOT visualization — everything the GUI renders. With
+  ``"prob_threshold": p`` (or ``"sweep_prob": true``) the request
+  becomes a probabilistic sweep (:mod:`repro.prob`): the response
+  carries the verdict for "holds with probability ≥ p", the
+  ``[lower, upper]`` bounds on P(query holds), and the most likely
+  witness/counterexample with their probabilities
+  (``prob_default`` / ``prob_limit`` tune the failure model and the
+  scenario budget);
 * ``POST /lint`` — body ``{"network": <name or inline JSON network>,
   "failed_links": [...]?, "rules": [...]?, "suppress": [...]?,
   "min_severity": "info|warning|error"?}``; statically lints the
@@ -28,7 +35,11 @@ open:
 * ``POST /jobs`` — body ``{"network": ..., "queries": [...] or
   "query": "...", "sweep_failures": K?, "jobs": N?, "engine": ...?,
   "weight": ...?, "timeout": seconds?}``; returns ``{"id": ...}``
-  immediately while the sweep runs in the background;
+  immediately while the sweep runs in the background. A single query
+  plus ``prob_threshold`` / ``sweep_prob`` submits a probabilistic
+  sweep instead; its snapshots carry a ``"prob"`` block with the live
+  probability bounds and the run self-cancels once the threshold
+  verdict is decided;
 * ``GET /jobs`` / ``GET /jobs/<id>`` — live progress counts, partial
   §4.2-style summary, and per-scenario outcomes;
 * ``DELETE /jobs/<id>`` — cancel (running scenarios finish, queued
@@ -36,7 +47,9 @@ open:
 
 Observability: ``GET /metrics`` exposes the process's solver counters,
 gauges, and span timings in the Prometheus text exposition format
-(:mod:`repro.obs`). The server enables observation on construction by
+(:mod:`repro.obs`), plus the farm artifact-cache hit/miss counters and
+the per-engine compile-memo statistics
+(:meth:`repro.farm.cache.ArtifactCache.compile_memo_stats`). The server enables observation on construction by
 default (``observe=False`` opts out); recording is strictly
 observational, so responses are unaffected — pinned by the regression
 tests in ``tests/obs/``.
@@ -59,6 +72,7 @@ from repro.errors import ReproError, VerificationTimeout
 from repro.farm.jobs import JobManager
 from repro.io.json_format import network_from_json, network_to_json
 from repro.model.network import MplsNetwork
+from repro.model.quantities import DEFAULT_FAILURE_PROBABILITY
 from repro.verification.engine import VerificationEngine
 from repro.viz import result_to_dot
 
@@ -99,6 +113,39 @@ def _resolve_network(field: Any, cache: _NetworkCache) -> MplsNetwork:
     raise ReproError("'network' must be a built-in name or a network object")
 
 
+def _cache_metrics_text(exposition: str) -> str:
+    """Farm artifact-cache and compile-memo counters as Prometheus lines.
+
+    Appended to the ``repro.obs`` exposition at ``GET /metrics`` so the
+    cache effectiveness of in-process sweeps is scrapeable alongside the
+    solver counters. The obs registry already exports a ``farm.cache.*``
+    counter once it has been incremented while enabled; any metric name
+    that is present in ``exposition`` is skipped here so the combined
+    body never declares the same series twice. (Counters of forked pool
+    workers live in their own processes and are not aggregated here.)
+    """
+    from repro.farm.cache import worker_cache
+
+    cache = worker_cache()
+    pairs = [
+        (f"aalwines_farm_cache_{name}_total", value)
+        for name, value in sorted(cache.stats.as_dict().items())
+    ]
+    pairs.extend(
+        (f"aalwines_{name}_total", value)
+        for name, value in sorted(cache.compile_memo_stats().items())
+    )
+    lines: List[str] = []
+    for metric, value in pairs:
+        if f"\n{metric} " in f"\n{exposition}":
+            continue
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {value}")
+    if not lines:
+        return ""
+    return "\n".join(lines) + "\n"
+
+
 def _resolve_backend(payload: Dict[str, Any]) -> str:
     engine_name = payload.get("engine", "dual")
     if engine_name not in ("dual", "moped", "poststar", "prestar"):
@@ -106,11 +153,100 @@ def _resolve_backend(payload: Dict[str, Any]) -> str:
     return "poststar" if engine_name == "dual" else engine_name
 
 
+def _trace_steps(trace: Any) -> List[Dict[str, Any]]:
+    """A witness trace as the JSON step list the GUI renders."""
+    return [
+        {
+            "link": step.link.name,
+            "from": step.link.source.name,
+            "to": step.link.target.name,
+            "header": [str(label) for label in step.header],
+        }
+        for step in trace
+    ]
+
+
+def _prob_requested(payload: Dict[str, Any]) -> bool:
+    """True when the body asks for a probabilistic sweep."""
+    return payload.get("prob_threshold") is not None or bool(
+        payload.get("sweep_prob")
+    )
+
+
+def _prob_params(
+    payload: Dict[str, Any]
+) -> Tuple[Optional[float], float, int]:
+    """Validated ``(threshold, default, limit)`` probability parameters."""
+    threshold = payload.get("prob_threshold")
+    if threshold is not None:
+        if isinstance(threshold, bool) or not isinstance(threshold, (int, float)):
+            raise ReproError("'prob_threshold' must be a number")
+        threshold = float(threshold)
+    default = payload.get("prob_default", DEFAULT_FAILURE_PROBABILITY)
+    if isinstance(default, bool) or not isinstance(default, (int, float)):
+        raise ReproError("'prob_default' must be a number")
+    limit = payload.get("prob_limit", 512)
+    if isinstance(limit, bool) or not isinstance(limit, int) or limit < 1:
+        raise ReproError("'prob_limit' must be a positive integer")
+    return threshold, float(default), limit
+
+
+def _prob_verify(
+    payload: Dict[str, Any], network: MplsNetwork
+) -> Dict[str, Any]:
+    """Handle a probabilistic /verify body; returns the response document."""
+    from repro.farm.pool import EngineConfig
+    from repro.prob import run_probabilistic_sweep
+
+    backend = _resolve_backend(payload)
+    weight = payload.get("weight")
+    if backend == "moped" and weight:
+        raise ReproError("the Moped backend does not support weighted verification")
+    threshold, default, limit = _prob_params(payload)
+    result = run_probabilistic_sweep(
+        network,
+        payload["query"],
+        threshold=threshold,
+        default=default,
+        max_scenarios=limit,
+        config=EngineConfig(backend=backend, weight=weight),
+        timeout=payload.get("timeout"),
+    )
+    response: Dict[str, Any] = {
+        "status": result.verdict.value,
+        "query": payload["query"],
+        "prob": {
+            "threshold": result.threshold,
+            "verdict": result.verdict.value,
+            "lower": result.lower,
+            "upper": result.upper,
+            "covered": result.covered,
+            "residual": result.residual,
+            "scenarios_enumerated": result.scenarios_enumerated,
+            "scenarios_verified": result.scenarios_verified,
+            "early_exit": result.early_exit,
+        },
+    }
+    if result.most_likely_witness is not None:
+        response["most_likely_witness"] = {
+            "probability": result.most_likely_witness_probability,
+            "trace": _trace_steps(result.most_likely_witness),
+        }
+    if result.most_likely_counterexample is not None:
+        response["most_likely_counterexample"] = {
+            "probability": result.most_likely_counterexample_probability,
+            "failed_links": list(result.most_likely_counterexample),
+        }
+    return response
+
+
 def _verify_payload(payload: Dict[str, Any], cache: _NetworkCache) -> Dict[str, Any]:
     """Handle one /verify request body; returns the response document."""
     if "query" not in payload:
         raise ReproError("request needs a 'query' field")
     network = _resolve_network(payload.get("network", "example"), cache)
+    if _prob_requested(payload):
+        return _prob_verify(payload, network)
     engine = VerificationEngine(
         network, backend=_resolve_backend(payload), weight=payload.get("weight")
     )
@@ -127,16 +263,10 @@ def _verify_payload(payload: Dict[str, Any], cache: _NetworkCache) -> Dict[str, 
     if result.weight is not None:
         response["weight"] = list(result.weight)
         response["minimal_guaranteed"] = result.minimal_guaranteed
+    if result.witness_probability is not None:
+        response["witness_probability"] = result.witness_probability
     if result.trace is not None:
-        response["trace"] = [
-            {
-                "link": step.link.name,
-                "from": step.link.source.name,
-                "to": step.link.target.name,
-                "header": [str(label) for label in step.header],
-            }
-            for step in result.trace
-        ]
+        response["trace"] = _trace_steps(result.trace)
         response["failure_set"] = sorted(
             link.name for link in (result.failure_set or frozenset())
         )
@@ -186,6 +316,7 @@ def _submit_job(
     from repro.farm.scenarios import (
         failure_scenarios,
         preflight_index,
+        probabilistic_scenarios,
         scenarios_to_jobs,
         suite_scenarios,
     )
@@ -221,7 +352,37 @@ def _submit_job(
 
     preflight = bool(payload.get("preflight"))
     sweep_failures = payload.get("sweep_failures")
-    if sweep_failures is not None:
+    probabilities: Optional[List[float]] = None
+    prob_threshold: Optional[float] = None
+    if _prob_requested(payload):
+        if sweep_failures is not None:
+            raise ReproError(
+                "'sweep_failures' cannot be combined with a probabilistic sweep"
+            )
+        if preflight:
+            raise ReproError(
+                "'preflight' is not supported for probabilistic sweeps"
+            )
+        if len(queries) != 1:
+            raise ReproError("a probabilistic sweep takes exactly one query")
+        from repro.prob import FailureModel, best_first_scenarios
+
+        prob_threshold, prob_default, prob_limit = _prob_params(payload)
+        model = FailureModel.from_network(network, default=prob_default)
+        enumerated = []
+        mass_seen = 0.0
+        for failure_scenario in best_first_scenarios(model, limit=prob_limit):
+            enumerated.append(failure_scenario)
+            mass_seen += failure_scenario.probability
+            if 1.0 - mass_seen <= 1e-9:
+                break
+        obs.add("prob.scenarios_enumerated", len(enumerated))
+        name, text = queries[0]
+        scenarios, probabilities = probabilistic_scenarios(
+            network, text, enumerated, query_name=name
+        )
+        description = f"probabilistic sweep on {network.name}"
+    elif sweep_failures is not None:
         if not isinstance(sweep_failures, int) or sweep_failures < 0:
             raise ReproError("'sweep_failures' must be a non-negative integer")
         scenarios = failure_scenarios(
@@ -252,6 +413,8 @@ def _submit_job(
         prebuilt=prebuilt,
         description=description,
         preflight=preflight_index(scenarios) if preflight else None,
+        probabilities=probabilities,
+        prob_threshold=prob_threshold,
     )
     return {"id": run.id, "state": run.state, "total": run.total}
 
@@ -313,7 +476,10 @@ class _Handler(BaseHTTPRequestHandler):
         jobs: JobManager = self.server.jobs  # type: ignore[attr-defined]
         try:
             if self.path == "/metrics":
-                body = obs.metrics_text().encode("utf-8")
+                exposition = obs.metrics_text()
+                body = (
+                    exposition + _cache_metrics_text(exposition)
+                ).encode("utf-8")
                 self.send_response(200)
                 self.send_header("Content-Type", obs.PROMETHEUS_CONTENT_TYPE)
                 self.send_header("Content-Length", str(len(body)))

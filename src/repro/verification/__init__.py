@@ -4,6 +4,7 @@ from repro.verification.compiler import ACCEPT, START, CompiledQuery, QueryCompi
 from repro.verification.engine import (
     VerificationEngine,
     dual_engine,
+    likelihood_engine,
     moped_engine,
     weighted_engine,
 )
@@ -39,6 +40,7 @@ __all__ = [
     "VerificationResult",
     "check_witness",
     "dual_engine",
+    "likelihood_engine",
     "moped_engine",
     "trace_from_rules",
     "parse_query_file",

@@ -49,6 +49,7 @@ from repro.errors import VerificationError
 from repro.model.labels import BOTTOM, Label
 from repro.model.network import MplsNetwork
 from repro.model.operations import Operation, Push, Swap, stack_growth
+from repro.model.quantities import failure_set_cost
 from repro.model.topology import Link
 from repro.pda.semiring import BOOLEAN, Semiring, vector_semiring
 from repro.pda.system import PushdownSystem
@@ -427,6 +428,7 @@ class _Builder:
                             self.distance_of,
                             failures=failures_needed,
                             tunnels=max(0, stack_growth(entry.operations)),
+                            likelihood=failure_set_cost(required),
                         )
                         self._compile_chain(
                             state, label, entry.operations, target, costs

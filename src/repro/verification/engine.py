@@ -45,6 +45,7 @@ from typing import Callable, Optional, Union
 from repro import obs
 from repro.errors import VerificationError
 from repro.model.network import MplsNetwork
+from repro.model.quantities import Quantity, link_failure_probability
 from repro.model.topology import Link
 from repro.pda.solver import solve_reachability
 from repro.query.ast import Query
@@ -260,10 +261,18 @@ class VerificationEngine:
         minimal: bool,
     ) -> VerificationResult:
         weight = None
+        witness_probability = None
         if self.weight_vector is not None:
             weight = self.weight_vector.evaluate_trace(
                 self.network, witness.trace, self.distance_of
             )
+            if (
+                Quantity.LIKELIHOOD in self.weight_vector.quantities()
+                and witness.failure_set is not None
+            ):
+                witness_probability = 1.0
+                for link in witness.failure_set:
+                    witness_probability *= link_failure_probability(link)
         return VerificationResult(
             query,
             Status.SATISFIED,
@@ -271,6 +280,7 @@ class VerificationEngine:
             failure_set=witness.failure_set,
             weight=weight,
             minimal_guaranteed=minimal and self.weight_vector is not None,
+            witness_probability=witness_probability,
             stats=stats,
         )
 
@@ -293,6 +303,19 @@ def weighted_engine(
     """The quantitative engine (the paper's "Failures" column defaults to
     minimizing the number of failed links)."""
     return VerificationEngine(network, weight=weight, name="weighted", **kwargs)
+
+
+def likelihood_engine(network: MplsNetwork, **kwargs) -> VerificationEngine:
+    """The probability-ranking engine: minimizes the scaled
+    neg-log-probability of the failures a trace relies on, so the minimal
+    witness is the *most likely* way the queried behaviour can occur
+    (see :mod:`repro.prob`). Results carry ``witness_probability``."""
+    return VerificationEngine(
+        network,
+        weight=WeightVector.of(Quantity.LIKELIHOOD),
+        name="likelihood",
+        **kwargs,
+    )
 
 
 def moped_engine(network: MplsNetwork, **kwargs) -> VerificationEngine:

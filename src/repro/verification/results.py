@@ -61,6 +61,10 @@ class VerificationResult:
     #: weight vector (it came from the over-approximation and is real, so
     #: its weight coincides with the true minimum — see engine docs).
     minimal_guaranteed: bool = False
+    #: Exact probability of the witness's enabling failure set (product
+    #: of the member links' failure probabilities), populated by
+    #: likelihood-ranking engines. 1.0 means "needs no failures at all".
+    witness_probability: Optional[float] = None
     stats: EngineStats = field(default_factory=EngineStats)
 
     @property
@@ -81,5 +85,7 @@ class VerificationResult:
         if self.failure_set:
             failed = ", ".join(sorted(link.name for link in self.failure_set))
             parts.append(f"failed-links={{{failed}}}")
+        if self.witness_probability is not None:
+            parts.append(f"witness-probability={self.witness_probability:.3g}")
         parts.append(f"time={self.stats.total_seconds:.3f}s")
         return "  ".join(parts)

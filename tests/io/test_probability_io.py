@@ -1,0 +1,142 @@
+"""Round-trip tests for per-link failure probabilities in both formats.
+
+Backwards compatibility is the point: a network that declares no
+probabilities must serialize byte-identically to the pre-probabilistic
+format, and declared probabilities must survive JSON and XML round
+trips exactly.
+"""
+
+import json
+
+import pytest
+
+from repro.datasets.example import build_example_network
+from repro.errors import FormatError
+from repro.io.json_format import network_from_json, network_to_json
+from repro.io.xml_format import network_from_xml, routing_to_xml, topology_to_xml
+from repro.model.builder import NetworkBuilder
+
+
+def probed_network():
+    builder = NetworkBuilder("probed")
+    builder.duplex_link("A", "B", name="ab", failure_probability=0.125)
+    builder.link(
+        "bc",
+        "B",
+        "C",
+        source_interface="oB",
+        target_interface="iC",
+        failure_probability=1e-3,
+    )
+    builder.link("ca", "C", "A", source_interface="oC", target_interface="iA")
+    builder.label("s10")
+    builder.rule("ab_fw", "s10", "bc", "swap(s10)")
+    return builder.build()
+
+
+class TestJsonRoundTrip:
+    def test_probabilities_survive_exactly(self):
+        network = probed_network()
+        reloaded = network_from_json(network_to_json(network))
+        for name, expected in [
+            ("ab_fw", 0.125),
+            ("ab_bw", 0.125),
+            ("bc", 1e-3),
+            ("ca", None),
+        ]:
+            assert reloaded.topology.link(name).failure_probability == expected
+
+    def test_second_round_trip_is_stable(self):
+        network = probed_network()
+        once = network_to_json(network)
+        twice = network_to_json(network_from_json(once))
+        assert once == twice
+
+    def test_unset_probability_is_not_serialized(self):
+        document = json.loads(network_to_json(probed_network()))
+        by_name = {link["name"]: link for link in document["links"]}
+        assert by_name["bc"]["failure_probability"] == 1e-3
+        assert "failure_probability" not in by_name["ca"]
+
+    def test_probability_free_network_serializes_identically(self):
+        """No probabilities declared → the output carries no trace of
+        the probabilistic extension at all."""
+        text = network_to_json(build_example_network())
+        assert "failure_probability" not in text
+
+    @pytest.mark.parametrize("bad", ["0.1", True, [0.1]])
+    def test_malformed_probability_rejected(self, bad):
+        document = json.loads(network_to_json(probed_network()))
+        document["links"][0]["failure_probability"] = bad
+        with pytest.raises(FormatError, match="failure_probability"):
+            network_from_json(json.dumps(document))
+
+
+class TestXmlRoundTrip:
+    def test_probabilities_survive_exactly(self):
+        network = probed_network()
+        reloaded = network_from_xml(
+            topology_to_xml(network.topology),
+            routing_to_xml(network),
+            name=network.name,
+        )
+        probabilities = sorted(
+            link.failure_probability
+            for link in reloaded.topology.links
+            if link.failure_probability is not None
+        )
+        assert probabilities == [1e-3, 0.125, 0.125]
+        unset = [
+            link.failure_probability
+            for link in reloaded.topology.links
+            if link.failure_probability is None
+        ]
+        assert len(unset) == 1
+
+    def test_symmetric_pair_collapses_to_one_attribute(self):
+        """Opposite links with mirrored interfaces and equal probability
+        collapse to one undirected <sides> carrying one attribute."""
+        builder = NetworkBuilder("sym")
+        builder.link(
+            "fw", "A", "B", source_interface="x", target_interface="y",
+            failure_probability=0.125,
+        )
+        builder.link(
+            "bw", "B", "A", source_interface="y", target_interface="x",
+            failure_probability=0.125,
+        )
+        xml = topology_to_xml(builder.build().topology)
+        assert xml.count('failure_probability="0.125"') == 1
+        assert 'directed="true"' not in xml
+
+    def test_probability_free_network_serializes_identically(self):
+        xml = topology_to_xml(build_example_network().topology)
+        assert "failure_probability" not in xml
+
+    def test_malformed_probability_rejected(self):
+        network = probed_network()
+        xml = topology_to_xml(network.topology).replace(
+            'failure_probability="0.125"', 'failure_probability="often"'
+        )
+        with pytest.raises(FormatError, match="not a number"):
+            network_from_xml(xml, routing_to_xml(network), name="probed")
+
+    def test_asymmetric_probabilities_stay_directed(self):
+        """Opposite links with different probabilities must not collapse
+        into one undirected <sides> (which could only carry one value)."""
+        builder = NetworkBuilder("asym")
+        builder.link(
+            "fw", "A", "B", source_interface="x", target_interface="y",
+            failure_probability=0.1,
+        )
+        builder.link(
+            "bw", "B", "A", source_interface="y", target_interface="x",
+            failure_probability=0.2,
+        )
+        network = builder.build()
+        reloaded = network_from_xml(
+            topology_to_xml(network.topology), "<routes><routings/></routes>"
+        )
+        assert sorted(
+            link.failure_probability for link in reloaded.topology.links
+        ) == [0.1, 0.2]

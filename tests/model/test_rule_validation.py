@@ -191,3 +191,113 @@ class TestXmlLoaderValidation:
     def test_out_of_range_te_group_priority(self):
         with pytest.raises(RuleValidationError, match="out of range"):
             self._load(*self._document(priority="0"))
+
+
+class TestDuplicateLinkValidation:
+    """Duplicate link declarations fail loudly at declaration time.
+
+    Regression: the loaders used to silently accept two link
+    definitions between the same interface pair — the second one
+    shadowed the first in interface lookups while both stayed in the
+    topology, so failure sweeps double-counted the pair.
+    """
+
+    def _pair_builder(self):
+        builder = NetworkBuilder("pair")
+        builder.link(
+            "e0", "A", "B", source_interface="iA", target_interface="iB"
+        )
+        return builder
+
+    def test_duplicate_link_name(self):
+        with pytest.raises(RuleValidationError, match="duplicate link"):
+            self._pair_builder().link("e0", "A", "C")
+
+    def test_duplicate_outgoing_interface(self):
+        with pytest.raises(
+            RuleValidationError, match="outgoing interface 'iA'"
+        ) as info:
+            self._pair_builder().link(
+                "e1", "A", "C", source_interface="iA"
+            )
+        assert info.value.router == "A"
+        assert "e0" in str(info.value)
+
+    def test_duplicate_incoming_interface(self):
+        with pytest.raises(
+            RuleValidationError, match="incoming interface 'iB'"
+        ) as info:
+            self._pair_builder().link(
+                "e1", "C", "B", target_interface="iB"
+            )
+        assert info.value.router == "B"
+
+    def test_distinct_interfaces_between_same_routers_allowed(self):
+        # Parallel links are legitimate — only *interface* collisions
+        # are duplicates.
+        builder = self._pair_builder()
+        builder.link(
+            "e1", "A", "B", source_interface="iA2", target_interface="iB2"
+        )
+        assert len(builder.build().topology.links) == 2
+
+    def test_duplex_link_checks_both_directions(self):
+        builder = NetworkBuilder("pair")
+        builder.duplex_link("A", "B", name="d")
+        with pytest.raises(RuleValidationError, match="duplicate link"):
+            builder.duplex_link("A", "B", name="d")
+
+    def test_json_loader_rejects_duplicate_interface_pair(self):
+        import json
+
+        from repro.io.json_format import network_from_json
+
+        payload = {
+            "name": "pair",
+            "routers": [{"name": "A"}, {"name": "B"}],
+            "links": [
+                {
+                    "name": "e0",
+                    "from": "A",
+                    "from_interface": "i1",
+                    "to": "B",
+                    "to_interface": "i1",
+                },
+                {
+                    "name": "e1",
+                    "from": "A",
+                    "from_interface": "i1",
+                    "to": "B",
+                    "to_interface": "i1",
+                },
+            ],
+            "routing": [],
+        }
+        with pytest.raises(RuleValidationError, match="already carries"):
+            network_from_json(json.dumps(payload))
+
+    def test_xml_loader_rejects_duplicate_sides(self):
+        from repro.io.xml_format import network_from_xml
+
+        topology = """<network>
+          <links>
+            <link>
+              <sides>
+                <shared_interface interface="iA" router="A"/>
+                <shared_interface interface="iB" router="B"/>
+              </sides>
+            </link>
+            <link>
+              <sides>
+                <shared_interface interface="iA" router="A"/>
+                <shared_interface interface="iB" router="B"/>
+              </sides>
+            </link>
+          </links>
+          <routers>
+            <router name="A"/><router name="B"/>
+          </routers>
+        </network>"""
+        routing = "<routes><routings/></routes>"
+        with pytest.raises(RuleValidationError, match="already carries"):
+            network_from_xml(topology, routing)

@@ -1,0 +1,163 @@
+"""Tests for best-first scenario enumeration against the exhaustive oracle."""
+
+import pytest
+
+from repro.errors import ProbError
+from repro.model.builder import NetworkBuilder
+from repro.model.srlg import SharedRiskGroups
+from repro.prob import (
+    FailureEvent,
+    FailureModel,
+    best_first_scenarios,
+    exhaustive_scenarios,
+)
+from repro.prob.enumerate import MAX_EXHAUSTIVE_EVENTS
+
+ORACLE_TOLERANCE = 1e-9
+
+
+def chain_network(n=5):
+    builder = NetworkBuilder("chain")
+    for index in range(n):
+        builder.link(f"e{index}", f"R{index}", f"R{index + 1}")
+    return builder.build()
+
+
+def model_with(probabilities):
+    network = chain_network(len(probabilities))
+    events = [
+        FailureEvent(f"link:e{index}", (f"e{index}",), p)
+        for index, p in enumerate(probabilities)
+    ]
+    return FailureModel(network, events)
+
+
+class TestOracleAgreement:
+    @pytest.mark.parametrize(
+        "probabilities",
+        [
+            [0.01] * 5,
+            [0.1, 0.2, 0.3, 0.4],
+            [0.5, 0.5, 0.5],
+            [0.9, 0.05, 0.6, 0.001],  # events more likely to fire than not
+            [0.3],
+            [],
+        ],
+    )
+    def test_same_scenarios_same_probabilities(self, probabilities):
+        model = model_with(probabilities)
+        oracle = exhaustive_scenarios(model)
+        ranked = list(best_first_scenarios(model))
+        assert len(ranked) == len(oracle) == 2 ** len(probabilities)
+        by_fired = {scenario.fired: scenario.probability for scenario in oracle}
+        for scenario in ranked:
+            assert scenario.fired in by_fired
+            assert scenario.probability == pytest.approx(
+                by_fired[scenario.fired], abs=ORACLE_TOLERANCE
+            )
+
+    @pytest.mark.parametrize(
+        "probabilities", [[0.01] * 6, [0.1, 0.2, 0.3, 0.4, 0.45]]
+    )
+    def test_masses_sum_to_one(self, probabilities):
+        model = model_with(probabilities)
+        ranked_mass = sum(s.probability for s in best_first_scenarios(model))
+        oracle_mass = sum(s.probability for s in exhaustive_scenarios(model))
+        assert ranked_mass == pytest.approx(1.0, abs=ORACLE_TOLERANCE)
+        assert oracle_mass == pytest.approx(1.0, abs=ORACLE_TOLERANCE)
+
+
+class TestOrdering:
+    def test_non_increasing_probability(self):
+        model = model_with([0.1, 0.25, 0.4, 0.05])
+        probabilities = [s.probability for s in best_first_scenarios(model)]
+        assert probabilities == sorted(probabilities, reverse=True)
+
+    def test_first_scenario_is_the_mode(self):
+        """The base scenario puts every event in its likelier state."""
+        model = model_with([0.1, 0.8, 0.3])
+        first = next(iter(best_first_scenarios(model)))
+        assert first.fired == ("link:e1",)
+        assert first.probability == pytest.approx(0.9 * 0.8 * 0.7)
+
+    def test_deterministic_across_runs(self):
+        model = model_with([0.2, 0.2, 0.2])
+        first = [s.fired for s in best_first_scenarios(model)]
+        second = [s.fired for s in best_first_scenarios(model)]
+        assert first == second
+
+
+class TestBudgets:
+    def test_limit(self):
+        model = model_with([0.1] * 6)
+        assert len(list(best_first_scenarios(model, limit=5))) == 5
+
+    def test_min_probability_cutoff(self):
+        model = model_with([0.1] * 4)
+        scenarios = list(best_first_scenarios(model, min_probability=1e-3))
+        assert scenarios
+        assert all(s.probability >= 1e-3 for s in scenarios)
+        full = list(best_first_scenarios(model))
+        assert len(scenarios) < len(full)
+
+    def test_exhaustive_refuses_large_models(self):
+        model = model_with([0.1] * (MAX_EXHAUSTIVE_EVENTS + 1))
+        with pytest.raises(ProbError, match="exhaustive enumeration"):
+            exhaustive_scenarios(model)
+
+
+class TestZeroProbabilityEvents:
+    def test_never_fire_and_mass_still_sums_to_one(self):
+        model = model_with([0.2, 0.0, 0.3])
+        scenarios = list(best_first_scenarios(model))
+        assert len(scenarios) == 4  # 2^2 over the fireable events
+        assert all("link:e1" not in s.fired for s in scenarios)
+        assert sum(s.probability for s in scenarios) == pytest.approx(
+            1.0, abs=ORACLE_TOLERANCE
+        )
+        oracle = exhaustive_scenarios(model)
+        assert len(oracle) == 4
+
+
+class TestSrlgScenarios:
+    def test_group_fires_as_one_event(self):
+        network = chain_network(3)
+        groups = SharedRiskGroups(network, {"span": ["e0", "e1"]})
+        model = FailureModel.from_network(
+            network, groups=groups, default=0.1
+        )
+        scenarios = {s.fired: s for s in best_first_scenarios(model)}
+        # 2 events (span, link:e2) → 4 scenarios, not 2^3.
+        assert len(scenarios) == 4
+        span_only = scenarios[("span",)]
+        assert span_only.failed_links == frozenset({"e0", "e1"})
+        assert span_only.probability == pytest.approx(0.1 * 0.9)
+
+    def test_overlapping_groups_can_fail_the_same_link(self):
+        network = chain_network(3)
+        groups = SharedRiskGroups(
+            network, {"a": ["e0", "e1"], "b": ["e1", "e2"]}
+        )
+        model = FailureModel.from_network(network, groups=groups, default=0.1)
+        both = next(
+            s for s in best_first_scenarios(model) if s.fired == ("a", "b")
+        )
+        assert both.failed_links == frozenset({"e0", "e1", "e2"})
+
+
+class TestScenarioArithmetic:
+    def test_probability_is_the_exact_product(self):
+        model = model_with([0.25, 0.125])
+        scenarios = {s.fired: s.probability for s in best_first_scenarios(model)}
+        assert scenarios[()] == 0.75 * 0.875
+        assert scenarios[("link:e0",)] == 0.25 * 0.875
+        assert scenarios[("link:e0", "link:e1")] == 0.25 * 0.125
+
+    def test_probabilities_are_products_not_exp_of_costs(self):
+        # Guard against an exp(−cost) implementation: a probability with
+        # an irrational neg-log must still come back bit-exact.
+        p = 1 / 3
+        model = model_with([p])
+        fired = {s.fired: s.probability for s in best_first_scenarios(model)}
+        assert fired[("link:e0",)] == p
+        assert fired[()] == 1 - p

@@ -1,0 +1,97 @@
+"""Tests for the probability-mass bounds behind the early-exit criterion."""
+
+import pytest
+
+from repro.prob import MassTracker, ProbVerdict
+
+
+class TestBounds:
+    def test_starts_maximally_uncertain(self):
+        tracker = MassTracker()
+        assert tracker.lower == 0.0
+        assert tracker.upper == 1.0
+        assert tracker.covered == 0.0
+        assert tracker.residual == 1.0
+
+    def test_satisfied_raises_the_lower_bound(self):
+        tracker = MassTracker()
+        tracker.record("satisfied", 0.7)
+        assert tracker.lower == 0.7
+        assert tracker.upper == 1.0
+
+    def test_unsatisfied_lowers_the_upper_bound(self):
+        tracker = MassTracker()
+        tracker.record("unsatisfied", 0.3)
+        assert tracker.lower == 0.0
+        assert tracker.upper == pytest.approx(0.7)
+
+    @pytest.mark.parametrize("outcome", ["inconclusive", "timeout", "error"])
+    def test_uncertain_mass_widens_neither_bound(self, outcome):
+        tracker = MassTracker()
+        tracker.record(outcome, 0.4)
+        assert tracker.lower == 0.0
+        assert tracker.upper == 1.0
+        assert tracker.covered == pytest.approx(0.4)
+        assert tracker.uncertain == pytest.approx(0.4)
+
+    def test_interval_always_contains_the_truth(self):
+        tracker = MassTracker()
+        tracker.record("satisfied", 0.5)
+        tracker.record("unsatisfied", 0.2)
+        tracker.record("timeout", 0.1)
+        # True P(holds) ∈ [0.5, 0.5 + 0.1 + residual 0.2] = [0.5, 0.8].
+        assert tracker.lower == pytest.approx(0.5)
+        assert tracker.upper == pytest.approx(0.8)
+        assert tracker.residual == pytest.approx(0.2)
+
+    def test_upper_clamped_against_float_drift(self):
+        tracker = MassTracker()
+        # Many small masses whose float sum can exceed the exact one.
+        for _ in range(1000):
+            tracker.record("satisfied", 0.000999)
+        for _ in range(2):
+            tracker.record("unsatisfied", 0.0005)
+        assert tracker.upper >= tracker.lower
+        assert tracker.upper <= 1.0
+        assert tracker.residual >= 0.0
+
+
+class TestVerdicts:
+    def test_no_threshold_never_decides(self):
+        tracker = MassTracker()
+        tracker.record("satisfied", 1.0)
+        assert tracker.verdict is ProbVerdict.UNDECIDED
+        assert not tracker.decided
+
+    def test_holds_once_lower_reaches_threshold(self):
+        tracker = MassTracker(threshold=0.9)
+        tracker.record("satisfied", 0.85)
+        assert not tracker.decided
+        tracker.record("satisfied", 0.06)
+        assert tracker.verdict is ProbVerdict.HOLDS
+        assert tracker.decided
+
+    def test_fails_once_upper_drops_under_threshold(self):
+        tracker = MassTracker(threshold=0.9)
+        tracker.record("unsatisfied", 0.05)
+        assert not tracker.decided
+        tracker.record("unsatisfied", 0.06)
+        assert tracker.verdict is ProbVerdict.FAILS
+        assert tracker.decided
+
+    def test_uncertain_mass_blocks_both_verdicts(self):
+        tracker = MassTracker(threshold=0.5)
+        tracker.record("timeout", 1.0)
+        assert tracker.verdict is ProbVerdict.UNDECIDED
+
+    def test_threshold_zero_holds_immediately(self):
+        # lower ≥ 0 from the start: the empty property of thresholds.
+        tracker = MassTracker(threshold=0.0)
+        assert tracker.verdict is ProbVerdict.HOLDS
+
+    def test_threshold_one_needs_full_satisfied_mass(self):
+        tracker = MassTracker(threshold=1.0)
+        tracker.record("satisfied", 0.5)
+        assert tracker.verdict is ProbVerdict.UNDECIDED
+        tracker.record("satisfied", 0.5)
+        assert tracker.verdict is ProbVerdict.HOLDS

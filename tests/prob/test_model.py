@@ -1,0 +1,151 @@
+"""Tests for the independent-event failure model (links and SRLGs)."""
+
+import pytest
+
+from repro.datasets.example import build_example_network
+from repro.errors import ProbError
+from repro.model.builder import NetworkBuilder
+from repro.model.quantities import DEFAULT_FAILURE_PROBABILITY
+from repro.model.srlg import SharedRiskGroups
+from repro.prob import FailureEvent, FailureModel
+
+
+def probed_network():
+    """A triangle with explicit per-link probabilities on two links."""
+    builder = NetworkBuilder("triangle")
+    builder.link("e0", "A", "B", failure_probability=0.1)
+    builder.link("e1", "B", "C", failure_probability=0.2)
+    builder.link("e2", "C", "A")
+    return builder.build()
+
+
+class TestFailureEvent:
+    def test_requires_links(self):
+        with pytest.raises(ProbError, match="fails no links"):
+            FailureEvent("empty", (), 0.1)
+
+    @pytest.mark.parametrize("p", [-0.1, 1.0, 1.5, float("nan"), True, "p"])
+    def test_rejects_bad_probability(self, p):
+        with pytest.raises(ProbError):
+            FailureEvent("bad", ("e0",), p)
+
+    def test_zero_probability_is_allowed(self):
+        # A never-failing event is a valid (if inert) part of the model.
+        assert FailureEvent("inert", ("e0",), 0.0).probability == 0.0
+
+
+class TestFromNetwork:
+    def test_singleton_events_with_declared_probabilities(self):
+        model = FailureModel.from_network(probed_network())
+        by_name = {event.name: event for event in model.events}
+        assert by_name["link:e0"].probability == 0.1
+        assert by_name["link:e1"].probability == 0.2
+        assert by_name["link:e2"].probability == DEFAULT_FAILURE_PROBABILITY
+
+    def test_default_override(self):
+        model = FailureModel.from_network(probed_network(), default=0.5)
+        assert model.event("link:e2").probability == 0.5
+
+    def test_links_restriction(self):
+        model = FailureModel.from_network(probed_network(), links=["e0"])
+        assert [event.name for event in model.events] == ["link:e0"]
+
+    def test_unknown_link_rejected(self):
+        with pytest.raises(ProbError, match="unknown links"):
+            FailureModel.from_network(probed_network(), links=["e9"])
+
+    def test_group_probabilities_require_groups(self):
+        with pytest.raises(ProbError, match="without shared-risk groups"):
+            FailureModel.from_network(
+                probed_network(), group_probabilities={"conduit": 0.1}
+            )
+
+    def test_distinct_event_names_enforced(self):
+        network = probed_network()
+        event = FailureEvent("dup", ("e0",), 0.1)
+        with pytest.raises(ProbError, match="distinct names"):
+            FailureModel(network, [event, event])
+
+    def test_event_lookup_and_failed_links(self):
+        model = FailureModel.from_network(probed_network())
+        assert model.event("link:e0").links == ("e0",)
+        assert model.failed_links(["link:e0", "link:e1"]) == frozenset(
+            {"e0", "e1"}
+        )
+        with pytest.raises(ProbError, match="unknown failure event"):
+            model.failed_links(["link:e9"])
+
+
+class TestSrlgEvents:
+    """One shared-risk group = ONE probabilistic event."""
+
+    def test_group_is_a_single_event(self):
+        network = probed_network()
+        groups = SharedRiskGroups(network, {"conduit": ["e0", "e1"]})
+        model = FailureModel.from_network(network, groups=groups)
+        conduit = model.event("conduit")
+        assert conduit.links == ("e0", "e1")
+        # Exactly one event for the pair, plus the leftover singleton.
+        assert sorted(event.name for event in model.events) == [
+            "conduit",
+            "link:e2",
+        ]
+
+    def test_group_probability_is_max_of_members(self):
+        network = probed_network()
+        groups = SharedRiskGroups(network, {"conduit": ["e0", "e1"]})
+        model = FailureModel.from_network(network, groups=groups)
+        # e0 fails with 0.1, e1 with 0.2: the shared resource is as
+        # fragile as its most fragile member.
+        assert model.event("conduit").probability == 0.2
+
+    def test_explicit_group_probability_wins(self):
+        network = probed_network()
+        groups = SharedRiskGroups(network, {"conduit": ["e0", "e1"]})
+        model = FailureModel.from_network(
+            network, groups=groups, group_probabilities={"conduit": 0.05}
+        )
+        assert model.event("conduit").probability == 0.05
+
+    def test_unknown_group_probability_rejected(self):
+        network = probed_network()
+        groups = SharedRiskGroups(network, {"conduit": ["e0", "e1"]})
+        with pytest.raises(ProbError, match="unknown groups"):
+            FailureModel.from_network(
+                network, groups=groups, group_probabilities={"duct": 0.05}
+            )
+
+    def test_group_firing_fails_all_members_together(self):
+        network = probed_network()
+        groups = SharedRiskGroups(network, {"conduit": ["e0", "e1"]})
+        model = FailureModel.from_network(network, groups=groups)
+        assert model.failed_links(["conduit"]) == frozenset({"e0", "e1"})
+
+    def test_overlapping_groups_share_links(self):
+        network = probed_network()
+        groups = SharedRiskGroups(
+            network, {"duct_ab": ["e0", "e1"], "card_b": ["e1", "e2"]}
+        )
+        model = FailureModel.from_network(network, groups=groups)
+        assert sorted(event.name for event in model.events) == [
+            "card_b",
+            "duct_ab",
+        ]
+        assert model.failed_links(["duct_ab", "card_b"]) == frozenset(
+            {"e0", "e1", "e2"}
+        )
+
+    def test_links_restriction_filters_group_members(self):
+        network = probed_network()
+        groups = SharedRiskGroups(network, {"conduit": ["e0", "e1"]})
+        model = FailureModel.from_network(
+            network, groups=groups, links=["e0"]
+        )
+        assert model.event("conduit").links == ("e0",)
+
+    def test_srlg_works_on_example_network(self):
+        network = build_example_network()
+        groups = SharedRiskGroups(network, {"span": ["e3", "e4"]})
+        model = FailureModel.from_network(network, groups=groups)
+        # 8 links, two grouped: 1 group event + 6 singletons.
+        assert len(model) == 7

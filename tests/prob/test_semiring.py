@@ -1,0 +1,113 @@
+"""Tests for the min-neg-log-prob semiring and the Likelihood quantity."""
+
+import math
+
+import pytest
+
+from repro.datasets.example import build_example_network
+from repro.errors import ProbError
+from repro.model.quantities import (
+    DEFAULT_FAILURE_PROBABILITY,
+    LIKELIHOOD_SCALE,
+    Quantity,
+    link_failure_cost,
+    link_failure_probability,
+)
+from repro.prob import NEG_LOG_PROB, NegLogProbSemiring, likelihood_vector
+from repro.verification import likelihood_engine
+
+PHI_PROTECTED = "<ip> [.#v0] .* [v3#.] <ip> 2"
+
+
+class TestConversions:
+    @pytest.mark.parametrize("p", [1.0, 0.5, 0.1, 1e-3, 1e-9])
+    def test_round_trip(self, p):
+        cost = NegLogProbSemiring.cost(p)
+        assert NegLogProbSemiring.probability(cost) == pytest.approx(p, rel=1e-6)
+
+    def test_certainty_costs_nothing(self):
+        assert NegLogProbSemiring.cost(1.0) == 0
+        assert NegLogProbSemiring.probability(0) == 1.0
+
+    def test_cost_is_monotone_decreasing_in_probability(self):
+        probabilities = [1.0, 0.9, 0.5, 0.1, 1e-3]
+        costs = [NegLogProbSemiring.cost(p) for p in probabilities]
+        assert costs == sorted(costs)
+
+    def test_cost_is_scaled_nats(self):
+        assert NegLogProbSemiring.cost(math.exp(-1)) == LIKELIHOOD_SCALE
+
+    @pytest.mark.parametrize("p", [0.0, -0.1, 1.5])
+    def test_out_of_range_probability(self, p):
+        with pytest.raises(ProbError, match="neg-log cost"):
+            NegLogProbSemiring.cost(p)
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ProbError, match="non-negative"):
+            NegLogProbSemiring.probability(-1)
+
+
+class TestSemiringLaws:
+    def test_is_min_plus(self):
+        """Multiply probabilities ⇔ add costs; prefer likely ⇔ prefer small."""
+        a = NegLogProbSemiring.cost(0.1)
+        b = NegLogProbSemiring.cost(0.02)
+        # combine picks the *more probable* alternative — the smaller cost.
+        assert NEG_LOG_PROB.combine(a, b) == a
+        product = NegLogProbSemiring.probability(NEG_LOG_PROB.extend(a, b))
+        assert product == pytest.approx(0.1 * 0.02, rel=1e-6)
+
+    def test_identities(self):
+        assert NEG_LOG_PROB.one == 0
+        assert NEG_LOG_PROB.zero == math.inf
+
+
+class TestLinkCosts:
+    def test_default_when_unset(self):
+        network = build_example_network()
+        link = network.topology.link("e0")
+        assert link.failure_probability is None
+        assert (
+            link_failure_probability(link) == DEFAULT_FAILURE_PROBABILITY
+        )
+        assert link_failure_cost(link) == NegLogProbSemiring.cost(
+            DEFAULT_FAILURE_PROBABILITY
+        )
+
+    def test_declared_probability_wins(self):
+        from repro.model.builder import NetworkBuilder
+
+        builder = NetworkBuilder("pair")
+        builder.link("e0", "A", "B", failure_probability=0.25)
+        link = builder.build().topology.link("e0")
+        assert link_failure_probability(link) == 0.25
+        assert link_failure_cost(link) == NegLogProbSemiring.cost(0.25)
+
+
+class TestLikelihoodEngine:
+    def test_vector_names_the_quantity(self):
+        assert likelihood_vector().quantities() == (Quantity.LIKELIHOOD,)
+
+    def test_ranks_witnesses_and_reports_probability(self):
+        network = build_example_network()
+        engine = likelihood_engine(network)
+        result = engine.verify(PHI_PROTECTED)
+        assert result.satisfied
+        assert result.weight is not None
+        # The witness's exact probability is recomputed from its
+        # failure set, not decoded from the fixed-point cost.
+        expected = 1.0
+        for link in result.failure_set or frozenset():
+            expected *= link_failure_probability(link)
+        assert result.witness_probability == pytest.approx(expected, rel=1e-12)
+
+    def test_prefers_the_zero_failure_witness(self):
+        """With 0 failures allowed the witness needs nothing to fail —
+        the most likely world — so its probability is exactly 1."""
+        network = build_example_network()
+        result = likelihood_engine(network).verify(
+            "<ip> [.#v0] .* [v3#.] <ip> 0"
+        )
+        assert result.satisfied
+        assert result.witness_probability == 1.0
+        assert "witness-probability" in result.summary()

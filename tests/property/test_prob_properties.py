@@ -1,0 +1,73 @@
+"""Property tests for best-first scenario enumeration.
+
+Random independent-event models, checking the two properties the
+early-exit soundness argument leans on: the enumerator yields scenarios
+in non-increasing probability order, and the enumerated mass plus the
+residual accounts for the whole sample space (≈ 1.0).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.prob import best_first_scenarios, exhaustive_scenarios
+from tests.prob.test_enumerate import model_with
+
+#: Event probabilities stay in [0, 1): an almost-sure event is fine, a
+#: certain one is excluded by the model layer (remove the link instead).
+probabilities = st.lists(
+    st.floats(min_value=0.0, max_value=0.999, allow_nan=False, width=64),
+    min_size=0,
+    max_size=8,
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(probabilities)
+def test_order_is_non_increasing(values):
+    model = model_with(values)
+    previous = None
+    for scenario in best_first_scenarios(model):
+        if previous is not None:
+            assert scenario.probability <= previous + 1e-12
+        previous = scenario.probability
+
+
+@settings(max_examples=150, deadline=None)
+@given(probabilities)
+def test_enumerated_plus_residual_mass_is_one(values):
+    model = model_with(values)
+    enumerated = 0.0
+    count = 0
+    for scenario in best_first_scenarios(model):
+        assert scenario.probability >= 0.0
+        enumerated += scenario.probability
+        count += 1
+        # The running residual 1 − enumerated is never meaningfully
+        # negative: the prefix mass cannot exceed the sample space.
+        assert enumerated <= 1.0 + 1e-9
+    # Fully drained, the enumerated mass accounts for everything.
+    assert abs(enumerated - 1.0) <= 1e-9
+    fireable = sum(1 for p in values if p > 0.0)
+    assert count == 2**fireable
+
+
+@settings(max_examples=100, deadline=None)
+@given(probabilities)
+def test_agrees_with_the_exhaustive_oracle(values):
+    model = model_with(values)
+    oracle = {s.fired: s.probability for s in exhaustive_scenarios(model)}
+    ranked = list(best_first_scenarios(model))
+    assert len(ranked) == len(oracle)
+    for scenario in ranked:
+        assert scenario.fired in oracle
+        assert abs(scenario.probability - oracle[scenario.fired]) <= 1e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(probabilities, st.integers(min_value=1, max_value=16))
+def test_limited_prefix_is_the_top_of_the_full_order(values, limit):
+    model = model_with(values)
+    full = [s.fired for s in best_first_scenarios(model)]
+    prefix = [s.fired for s in best_first_scenarios(model, limit=limit)]
+    assert prefix == full[: len(prefix)]
+    assert len(prefix) == min(limit, len(full))

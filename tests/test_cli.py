@@ -2,6 +2,7 @@
 
 import json
 
+import pytest
 
 from repro.cli import main
 from repro.datasets.example import build_example_network
@@ -218,3 +219,71 @@ class TestFarmFlags:
         )
         assert code == 3
         assert "limit" in capsys.readouterr().err
+
+
+class TestProbabilisticSweep:
+    PHI_PROTECTED = "<ip> [.#v0] .* [v3#.] <ip> 2"
+    PHI_FRAGILE = "<ip> [.#vIn] .* <ip> 1"
+
+    def test_holds_exits_zero(self, capsys):
+        code = main(
+            [
+                "--builtin", "example", "--query", self.PHI_PROTECTED,
+                "--prob-threshold", "0.9", "--prob-default", "0.01",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "HOLDS" in out
+        assert "P(holds)" in out
+        assert "most likely witness" in out
+
+    def test_fails_exits_one(self, capsys):
+        code = main(
+            [
+                "--builtin", "example", "--query", self.PHI_FRAGILE,
+                "--prob-threshold", "0.9", "--prob-default", "0.01",
+            ]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "FAILS" in out
+        assert "most likely counterexample" in out
+
+    def test_sweep_without_threshold_is_undecided(self, capsys):
+        code = main(
+            [
+                "--builtin", "example", "--query", self.PHI_PROTECTED,
+                "--sweep-prob", "--prob-limit", "16",
+            ]
+        )
+        assert code == 2
+        assert "P(holds)" in capsys.readouterr().out
+
+    @pytest.mark.parametrize(
+        "builtin", ["example", "nordunet", "abilene", "nsfnet", "geant"]
+    )
+    def test_all_builtin_networks(self, builtin, capsys):
+        # A topology-agnostic query: every builtin has *some* route.
+        code = main(
+            [
+                "--builtin", builtin, "--query", "<ip> .* <ip> 2",
+                "--prob-threshold", "0.5", "--prob-limit", "64",
+            ]
+        )
+        assert code in (0, 1)
+        out = capsys.readouterr().out
+        assert "P(holds)" in out
+        assert "most likely witness" in out
+
+    def test_requires_a_query(self):
+        assert main(["--builtin", "example", "--prob-threshold", "0.5"]) == 3
+
+    def test_rejects_bad_threshold(self):
+        code = main(
+            [
+                "--builtin", "example", "--query", self.PHI_PROTECTED,
+                "--prob-threshold", "1.5",
+            ]
+        )
+        assert code == 3

@@ -511,3 +511,223 @@ class TestMetrics:
                 break
         else:
             pytest.fail("engine.queries counter missing from /metrics")
+
+
+class TestProbabilisticVerify:
+    PHI_PROTECTED = "<ip> [.#v0] .* [v3#.] <ip> 2"
+    PHI_FRAGILE = "<ip> [.#vIn] .* <ip> 1"
+
+    def test_threshold_holds(self, server):
+        status, document = request(
+            server,
+            "POST",
+            "/verify",
+            {
+                "network": "example",
+                "query": self.PHI_PROTECTED,
+                "prob_threshold": 0.9,
+                "prob_default": 0.01,
+            },
+        )
+        assert status == 200
+        assert document["status"] == "holds"
+        prob = document["prob"]
+        assert prob["verdict"] == "holds"
+        assert prob["lower"] >= 0.9
+        assert prob["upper"] <= 1.0
+        assert prob["early_exit"] is True
+        witness = document["most_likely_witness"]
+        assert witness["probability"] > 0.9
+        assert witness["trace"][0]["link"]
+
+    def test_threshold_fails_with_counterexample(self, server):
+        status, document = request(
+            server,
+            "POST",
+            "/verify",
+            {
+                "network": "example",
+                "query": self.PHI_FRAGILE,
+                "prob_threshold": 0.9,
+                "prob_default": 0.01,
+            },
+        )
+        assert status == 200
+        assert document["status"] == "fails"
+        counterexample = document["most_likely_counterexample"]
+        assert counterexample["failed_links"] == []
+        assert counterexample["probability"] > 0.9
+
+    def test_sweep_without_threshold(self, server):
+        status, document = request(
+            server,
+            "POST",
+            "/verify",
+            {
+                "network": "example",
+                "query": self.PHI_PROTECTED,
+                "sweep_prob": True,
+                "prob_limit": 16,
+            },
+        )
+        assert status == 200
+        assert document["status"] == "undecided"
+        assert document["prob"]["threshold"] is None
+        assert document["prob"]["scenarios_enumerated"] == 16
+
+    def test_weighted_verify_reports_witness_probability(self, server):
+        status, document = request(
+            server,
+            "POST",
+            "/verify",
+            {
+                "network": "example",
+                "query": self.PHI_PROTECTED,
+                "weight": "likelihood",
+            },
+        )
+        assert status == 200
+        assert document["status"] == "satisfied"
+        assert 0.0 < document["witness_probability"] <= 1.0
+
+    def test_plain_verify_has_no_probability_fields(self, server):
+        status, document = request(
+            server,
+            "POST",
+            "/verify",
+            {"network": "example", "query": self.PHI_PROTECTED},
+        )
+        assert status == 200
+        assert "witness_probability" not in document
+        assert "prob" not in document
+
+    def test_bad_threshold_type(self, server):
+        status, document = request(
+            server,
+            "POST",
+            "/verify",
+            {"network": "example", "query": self.PHI_PROTECTED,
+             "prob_threshold": "high"},
+        )
+        assert status == 400
+        assert "prob_threshold" in document["error"]
+
+    def test_out_of_range_threshold(self, server):
+        status, document = request(
+            server,
+            "POST",
+            "/verify",
+            {"network": "example", "query": self.PHI_PROTECTED,
+             "prob_threshold": 1.5},
+        )
+        assert status == 400
+        assert "out of range" in document["error"]
+
+
+class TestProbabilisticJobs:
+    PHI_PROTECTED = "<ip> [.#v0] .* [v3#.] <ip> 2"
+
+    def test_submit_and_poll(self, server):
+        status, document = request(
+            server,
+            "POST",
+            "/jobs",
+            {
+                "network": "example",
+                "query": self.PHI_PROTECTED,
+                "prob_threshold": 0.9,
+                "prob_default": 0.01,
+            },
+        )
+        assert status == 202
+        run = server.jobs.get(document["id"])
+        assert run.wait(60)
+        status, snapshot = request(server, "GET", f"/jobs/{document['id']}")
+        assert status == 200
+        assert snapshot["state"] == "done"
+        prob = snapshot["prob"]
+        assert prob["verdict"] == "holds"
+        assert prob["early_exit"] is True
+        assert prob["lower"] >= 0.9
+
+    def test_conflicts_with_failure_sweep(self, server):
+        status, document = request(
+            server,
+            "POST",
+            "/jobs",
+            {
+                "network": "example",
+                "query": self.PHI_PROTECTED,
+                "prob_threshold": 0.9,
+                "sweep_failures": 1,
+            },
+        )
+        assert status == 400
+        assert "sweep_failures" in document["error"]
+
+    def test_needs_exactly_one_query(self, server):
+        status, document = request(
+            server,
+            "POST",
+            "/jobs",
+            {
+                "network": "example",
+                "queries": [self.PHI_PROTECTED, self.PHI_PROTECTED],
+                "prob_threshold": 0.9,
+            },
+        )
+        assert status == 400
+        assert "exactly one query" in document["error"]
+
+
+class TestCacheMetrics:
+    def test_metrics_expose_cache_counters(self, server):
+        connection = http.client.HTTPConnection(
+            server.host, server.port, timeout=60
+        )
+        try:
+            connection.request("GET", "/metrics")
+            response = connection.getresponse()
+            body = response.read().decode("utf-8")
+        finally:
+            connection.close()
+        assert response.status == 200
+        for metric in (
+            "aalwines_farm_cache_network_hits_total",
+            "aalwines_farm_cache_network_misses_total",
+            "aalwines_farm_cache_engine_hits_total",
+            "aalwines_farm_cache_evictions_total",
+            "aalwines_compile_memo_hits_total",
+            "aalwines_compile_memo_misses_total",
+        ):
+            assert f"# TYPE {metric} counter" in body
+            assert f"\n{metric} " in body
+
+    def test_no_metric_is_declared_twice(self, server):
+        """The obs registry exports farm.cache.* counters of its own once
+        they tick while enabled; the appended cache block must skip those
+        so the combined exposition never repeats a series."""
+        request(
+            server,
+            "POST",
+            "/verify",
+            {
+                "network": "example",
+                "query": "<ip> [.#v0] .* [v3#.] <ip> 0",
+                "prob_threshold": 0.5,
+            },
+        )
+        connection = http.client.HTTPConnection(
+            server.host, server.port, timeout=60
+        )
+        try:
+            connection.request("GET", "/metrics")
+            body = connection.getresponse().read().decode("utf-8")
+        finally:
+            connection.close()
+        names = [
+            line.split(" ", 1)[0]
+            for line in body.splitlines()
+            if line and not line.startswith("#")
+        ]
+        assert len(names) == len(set(names))
