@@ -28,7 +28,12 @@ DP003     error     stack underflow / chain provably undefined
 DP004     warning   shadowed or unreachable failover entry
 DP005     info      label pushed but matched by no rule
 DP006     warning   nondeterministic overlap inside one group
+DP007     warning   statically unsatisfiable query
 ========  ========  ===============================================
+
+DP007 is query-aware: it only fires when the lint run is handed queries
+(``analyze(network, queries=[...])``, ``aalwines lint --query``, or a
+preflighted farm sweep).
 
 Lint findings are conservative: an *error* is provable from the tables,
 while warnings over-approximate — the engine's verdicts remain the
@@ -60,6 +65,7 @@ from repro.analysis import dp003_stack_underflow  # noqa: E402
 from repro.analysis import dp004_shadowed_entry  # noqa: E402
 from repro.analysis import dp005_unreferenced_label  # noqa: E402
 from repro.analysis import dp006_nondeterminism  # noqa: E402
+from repro.analysis import dp007_unsat_query  # noqa: E402
 
 __all__ = [
     "AnalysisContext",
@@ -82,4 +88,5 @@ __all__ = [
     "dp004_shadowed_entry",
     "dp005_unreferenced_label",
     "dp006_nondeterminism",
+    "dp007_unsat_query",
 ]

@@ -32,7 +32,10 @@ class AnalysisContext:
     """Everything the lint rules share for one network + failure set."""
 
     def __init__(
-        self, network: MplsNetwork, failed_links: FrozenSet[str] = frozenset()
+        self,
+        network: MplsNetwork,
+        failed_links: FrozenSet[str] = frozenset(),
+        queries: Tuple[Tuple[str, str], ...] = (),
     ) -> None:
         unknown = failed_links - set(network.link_names())
         if unknown:
@@ -42,6 +45,9 @@ class AnalysisContext:
             )
         self.network = network
         self.failed_links = failed_links
+        #: (name, text) pairs for query-aware rules (DP007); empty when
+        #: the lint run was not handed any queries.
+        self.queries = queries
         self.failed = frozenset(
             link for link in network.topology.links if link.name in failed_links
         )

@@ -1,0 +1,70 @@
+"""DP007 — statically unsatisfiable query.
+
+A query whose initial or final header constraint intersects the valid
+header language ``H`` to nothing — or whose path expression admits no
+non-empty link sequence — can never be satisfied on this network, no
+matter what the routing tables do. Verification would grind through the
+full pipeline only to answer UNSATISFIED; worse, a sweep repeats that
+for every variant. The check reuses the triage tier's over-approximate
+emptiness analysis (:func:`repro.analysis.triage.overapprox.unsatisfiable_reason`),
+so it also catches constraints that resolve to an empty label set
+(e.g. a label class the network simply does not use).
+
+Queries naming labels or routers unknown to the network are flagged
+too: the engine raises a :class:`~repro.errors.QuerySemanticsError` for
+those, so surfacing them pre-flight saves a guaranteed error later.
+
+The rule only fires when the lint run is handed queries
+(``aalwines lint --query …`` or a preflighted farm sweep); a plain
+network lint is unaffected.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.analysis.context import AnalysisContext
+from repro.analysis.diagnostics import Diagnostic, Location, Severity
+from repro.analysis.registry import rule
+from repro.analysis.triage.overapprox import unsatisfiable_reason
+from repro.errors import QueryError
+from repro.query.parser import parse_query
+
+
+@rule("DP007", "statically unsatisfiable query", Severity.WARNING)
+def check_unsatisfiable_queries(
+    context: AnalysisContext,
+) -> Iterable[Diagnostic]:
+    """Queries that can never be satisfied against this network."""
+    return _check(context)
+
+
+def _check(context: AnalysisContext) -> Iterator[Diagnostic]:
+    for name, text in context.queries:
+        try:
+            query = parse_query(text)
+            reason = unsatisfiable_reason(context.network, query)
+        except QueryError as error:
+            yield Diagnostic(
+                code="DP007",
+                severity=Severity.WARNING,
+                location=Location(),
+                message=(
+                    f"query {name!r} cannot be verified against "
+                    f"{context.network.name!r}: {error}"
+                ),
+                hint="fix the query text before running the engine",
+            )
+            continue
+        if reason is None:
+            continue
+        yield Diagnostic(
+            code="DP007",
+            severity=Severity.WARNING,
+            location=Location(),
+            message=f"query {name!r} is statically unsatisfiable: {reason}",
+            hint=(
+                "the engine will always answer UNSATISFIED; drop the "
+                "query from the sweep or fix its constraints"
+            ),
+        )

@@ -139,6 +139,9 @@ class LintConfig:
 #: Links may be given as Link objects or names.
 LinksArg = Iterable[Union[str, Link]]
 
+#: Queries may be given as bare texts or (name, text) pairs.
+QueryArg = Iterable[Union[str, Tuple[str, str]]]
+
 
 def _link_names(failed_links: LinksArg) -> FrozenSet[str]:
     return frozenset(
@@ -146,10 +149,21 @@ def _link_names(failed_links: LinksArg) -> FrozenSet[str]:
     )
 
 
+def _named_queries(queries: QueryArg) -> Tuple[Tuple[str, str], ...]:
+    named: List[Tuple[str, str]] = []
+    for entry in queries:
+        if isinstance(entry, str):
+            named.append((f"q{len(named):04d}", entry))
+        else:
+            named.append((entry[0], entry[1]))
+    return tuple(named)
+
+
 def analyze(
     network: MplsNetwork,
     failed_links: LinksArg = frozenset(),
     config: Optional[LintConfig] = None,
+    queries: QueryArg = (),
 ) -> LintReport:
     """Statically lint a network's routing tables.
 
@@ -159,12 +173,17 @@ def analyze(
     ``failed_links`` the analysis assumes those links are down: only the
     then-active traffic-engineering groups are considered, and cells
     whose protection is exhausted surface as black holes (DP001).
+    ``queries`` (bare texts or (name, text) pairs) feeds the
+    query-aware rules: DP007 flags queries that can never be satisfied
+    against this network's label alphabet and topology.
     """
     if config is None:
         config = LintConfig()
     selected = config.selected()
     start = time.perf_counter()
-    context = AnalysisContext(network, _link_names(failed_links))
+    context = AnalysisContext(
+        network, _link_names(failed_links), queries=_named_queries(queries)
+    )
     findings: List[Diagnostic] = []
     for info in selected:
         findings.extend(info.func(context))

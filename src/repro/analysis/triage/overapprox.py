@@ -1,0 +1,526 @@
+"""Over-approximate label-flow analysis: a sound UNREACHABLE prover.
+
+The analysis runs a fixpoint over abstract states ``(link, q_b)`` — a
+network link crossed with a state of the query's path automaton — whose
+abstract value is an :class:`AbstractHeader`: the set of labels that may
+be on top of the stack when a packet arrives on that link with the path
+automaton in that state, plus an interval bounding the header's length
+(number of labels, IP included).
+
+Soundness argument (the only property that matters here): every concrete
+trace ``(e1, h1) … (en, hn)`` satisfying the query induces a run of this
+abstraction —
+
+* ``(e1, q)`` is seeded for every ``q ∈ δ_b(initial, e1)`` with an
+  abstraction of ``Lang(a) ∩ H`` (h1 must lie in it),
+* each forwarding step uses a routing entry whose traffic-engineering
+  group needs ``required_failures ⊆ F`` with ``|F| ≤ k`` and whose
+  out-link carried traffic (so is not itself required-failed); the
+  abstract transfer keeps every entry satisfying those *necessary*
+  conditions, and the new top-label set / length interval contain the
+  concrete rewrite because :func:`repro.analysis.stacks.interpret` is
+  exact-or-wider and :func:`repro.model.operations.stack_growth` is the
+  exact length delta,
+* the final configuration ``(en, q ∈ accepting)`` has ``hn ∈ Lang(c) ∩ H``,
+  so the acceptance check — "does some word of ``Lang(c) ∩ H`` start with
+  a label in ``tops`` and have a length inside the interval?" — passes.
+
+Contrapositive: if no reached accepting state passes the acceptance
+check, no satisfying trace exists — ``PROVEN_NO``. Widening only ever
+*enlarges* abstract values (length upper bound jumps to unbounded past a
+fixed cap), so it cannot break the covering argument, and makes the
+chaotic iteration a finite-height monotone fixpoint (the hypothesis
+tests pin down monotonicity under rule removal).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.stacks import OK, UNDEFINED, StackOutcome, interpret
+from repro.model.labels import Label
+from repro.model.network import MplsNetwork
+from repro.model.operations import Operation, stack_growth
+from repro.model.topology import Link
+from repro.query.ast import Query
+from repro.query.nfa import Nfa, label_nfa, link_nfa, valid_header_nfa
+
+#: An abstract state: (link name, path-automaton state).
+FlowState = Tuple[str, int]
+
+
+@dataclass(frozen=True)
+class AbstractHeader:
+    """Top-of-stack label set × header-length interval.
+
+    ``max_len is None`` means unbounded. Lengths count labels including
+    the terminating IP, so every valid header has length ≥ 1.
+    """
+
+    tops: FrozenSet[Label]
+    min_len: int
+    max_len: Optional[int]
+
+    def join(self, other: "AbstractHeader") -> "AbstractHeader":
+        """Least upper bound of the two abstractions."""
+        if self.max_len is None or other.max_len is None:
+            max_len = None
+        else:
+            max_len = max(self.max_len, other.max_len)
+        # Identity fast path: transfer results share canonical label sets
+        # (the full alphabet, the IP set), making joins against them free.
+        if self.tops is other.tops:
+            tops = self.tops
+        else:
+            tops = self.tops | other.tops
+        return AbstractHeader(
+            tops=tops,
+            min_len=min(self.min_len, other.min_len),
+            max_len=max_len,
+        )
+
+    def subsumes(self, other: "AbstractHeader") -> bool:
+        """True when ``other ⊑ self`` (every header other admits, self does)."""
+        if self.tops is not other.tops and not other.tops <= self.tops:
+            return False
+        if self.min_len > other.min_len:
+            return False
+        if self.max_len is None:
+            return True
+        return other.max_len is not None and other.max_len <= self.max_len
+
+
+@dataclass(frozen=True)
+class FlowAnalysis:
+    """Result of the label-flow fixpoint.
+
+    ``values`` maps every *reached* abstract state to its final abstract
+    value; ``accepting_states`` lists the reached states where the
+    acceptance check passed. An empty ``accepting_states`` is the proof:
+    ``reason`` then explains which constraint could never be met.
+    """
+
+    values: Dict[FlowState, AbstractHeader]
+    accepting_states: Tuple[FlowState, ...]
+    reason: Optional[str]
+
+    @property
+    def proven_unreachable(self) -> bool:
+        return not self.accepting_states
+
+
+# ----------------------------------------------------------------------
+# NFA word-length helpers
+# ----------------------------------------------------------------------
+
+
+def _min_word_length(nfa: Nfa) -> Optional[int]:
+    """Length of a shortest accepted word, or None when the language is
+    empty."""
+    if nfa.initial & nfa.accepting:
+        return 0
+    distance: Dict[int, int] = {state: 0 for state in nfa.initial}
+    frontier: Deque[int] = deque(nfa.initial)
+    while frontier:
+        state = frontier.popleft()
+        step = distance[state] + 1
+        for edge in nfa.edges_from(state):
+            if not edge.symbols or edge.target in distance:
+                continue
+            if edge.target in nfa.accepting:
+                return step
+            distance[edge.target] = step
+            frontier.append(edge.target)
+    return None
+
+
+def _cycle_states(nfa: Nfa, alive: Iterable[int]) -> FrozenSet[int]:
+    """States lying on a (nonempty-symbol) cycle, via iterative DFS."""
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color: Dict[int, int] = {state: WHITE for state in alive}
+    on_cycle: Set[int] = set()
+    for root in color:
+        if color[root] != WHITE:
+            continue
+        stack: List[Tuple[int, int]] = [(root, 0)]
+        color[root] = GRAY
+        path: List[int] = [root]
+        while stack:
+            state, edge_index = stack[-1]
+            edges = nfa.edges_from(state)
+            if edge_index < len(edges):
+                stack[-1] = (state, edge_index + 1)
+                target = edges[edge_index].target
+                if target not in color or not edges[edge_index].symbols:
+                    continue
+                if color[target] == WHITE:
+                    color[target] = GRAY
+                    stack.append((target, 0))
+                    path.append(target)
+                elif color[target] == GRAY:
+                    # Every state on the stack from `target` onward loops.
+                    start = path.index(target)
+                    on_cycle.update(path[start:])
+            else:
+                color[state] = BLACK
+                stack.pop()
+                path.pop()
+    return frozenset(on_cycle)
+
+
+class _SuffixLengths:
+    """Per-state accepted-suffix length bounds of a *trimmed* NFA.
+
+    For a trimmed automaton every state reaches acceptance, so
+    ``min_to_accept`` is total; ``max_to_accept`` is None for states
+    from which arbitrarily long suffixes are accepted (a cycle is
+    reachable).
+    """
+
+    def __init__(self, nfa: Nfa) -> None:
+        self._nfa = nfa
+        alive = self._alive_states()
+        self.min_to_accept = self._min_distances(alive)
+        cycles = _cycle_states(nfa, alive)
+        self.unbounded = self._can_reach(cycles, alive)
+        self.max_to_accept = self._max_distances(alive)
+
+    def _alive_states(self) -> FrozenSet[int]:
+        states: Set[int] = set(self._nfa.initial) | set(self._nfa.accepting)
+        for state in range(self._nfa.state_count):
+            states.add(state)
+        return frozenset(states)
+
+    def _predecessors(self, alive: FrozenSet[int]) -> Dict[int, List[int]]:
+        backward: Dict[int, List[int]] = {}
+        for state in alive:
+            for edge in self._nfa.edges_from(state):
+                if edge.symbols:
+                    backward.setdefault(edge.target, []).append(state)
+        return backward
+
+    def _min_distances(self, alive: FrozenSet[int]) -> Dict[int, int]:
+        backward = self._predecessors(alive)
+        distance: Dict[int, int] = {state: 0 for state in self._nfa.accepting}
+        frontier: Deque[int] = deque(self._nfa.accepting)
+        while frontier:
+            state = frontier.popleft()
+            for source in backward.get(state, ()):
+                if source not in distance:
+                    distance[source] = distance[state] + 1
+                    frontier.append(source)
+        return distance
+
+    def _can_reach(
+        self, targets: FrozenSet[int], alive: FrozenSet[int]
+    ) -> FrozenSet[int]:
+        backward = self._predecessors(alive)
+        reached: Set[int] = set(targets)
+        frontier: Deque[int] = deque(targets)
+        while frontier:
+            state = frontier.popleft()
+            for source in backward.get(state, ()):
+                if source not in reached:
+                    reached.add(source)
+                    frontier.append(source)
+        return frozenset(reached)
+
+    def _max_distances(self, alive: FrozenSet[int]) -> Dict[int, int]:
+        # Longest path to acceptance over the cycle-free states (a DAG).
+        memo: Dict[int, int] = {}
+
+        def longest(state: int) -> int:
+            cached = memo.get(state)
+            if cached is not None:
+                return cached
+            best = 0 if state in self._nfa.accepting else -1
+            for edge in self._nfa.edges_from(state):
+                if not edge.symbols or edge.target in self.unbounded:
+                    continue
+                if edge.target not in self.min_to_accept:
+                    continue  # dead state (possible in untrimmed automata)
+                below = longest(edge.target)
+                if below >= 0:
+                    best = max(best, below + 1)
+            memo[state] = best
+            return best
+
+        for state in alive:
+            if state not in self.unbounded and state in self.min_to_accept:
+                longest(state)
+        return memo
+
+    def range_from(
+        self, states: Iterable[int]
+    ) -> Optional[Tuple[int, Optional[int]]]:
+        """(min, max-or-None) accepted-suffix lengths from a state set,
+        or None when no member reaches acceptance."""
+        lo: Optional[int] = None
+        hi: Optional[int] = 0
+        seen = False
+        for state in states:
+            min_here = self.min_to_accept.get(state)
+            if min_here is None:
+                continue
+            seen = True
+            lo = min_here if lo is None else min(lo, min_here)
+            if state in self.unbounded:
+                hi = None
+            elif hi is not None:
+                hi = max(hi, self.max_to_accept.get(state, 0))
+        if not seen or lo is None:
+            return None
+        return lo, hi
+
+
+def _accepts_some_nonempty(nfa: Nfa) -> bool:
+    """Does the automaton accept any word of length ≥ 1?"""
+    seen: Set[int] = set()
+    frontier: Deque[int] = deque()
+    for state in nfa.initial:
+        for edge in nfa.edges_from(state):
+            if edge.symbols and edge.target not in seen:
+                seen.add(edge.target)
+                frontier.append(edge.target)
+    while frontier:
+        state = frontier.popleft()
+        if state in nfa.accepting:
+            return True
+        for edge in nfa.edges_from(state):
+            if edge.symbols and edge.target not in seen:
+                seen.add(edge.target)
+                frontier.append(edge.target)
+    return False
+
+
+# ----------------------------------------------------------------------
+# the fixpoint
+# ----------------------------------------------------------------------
+
+
+def _initial_abstraction(aH: Nfa) -> AbstractHeader:
+    """Abstraction of ``Lang(a) ∩ H``: its first-symbol set and the
+    interval of its word lengths. ``aH`` must be non-empty."""
+    tops: Set[Label] = set()
+    for state in aH.initial:
+        for edge in aH.edges_from(state):
+            for symbol in edge.symbols:
+                if isinstance(symbol, Label):
+                    tops.add(symbol)
+    lengths = _SuffixLengths(aH)
+    rng = lengths.range_from(aH.initial)
+    if rng is None:  # pragma: no cover - caller checked emptiness
+        return AbstractHeader(frozenset(), 1, 0)
+    return AbstractHeader(frozenset(tops), max(1, rng[0]), rng[1])
+
+
+def _tops_after(
+    outcome: StackOutcome, ip_labels: FrozenSet[Label], all_labels: FrozenSet[Label]
+) -> FrozenSet[Label]:
+    """Over-approximate top-of-stack set after an operation chain."""
+    if outcome.status == OK:
+        if outcome.top is not None:
+            return frozenset((outcome.top,))
+        if outcome.top_is_ip:
+            return ip_labels
+    # UNKNOWN (or an OK kind-marker the stacks module never emits):
+    # anything the network knows could be on top.
+    return all_labels
+
+
+def unsatisfiable_reason(network: MplsNetwork, query: Query) -> Optional[str]:
+    """The over-approximation's closed-form emptiness checks alone.
+
+    Returns a reason when the query is *statically* unsatisfiable — its
+    initial or final header constraint intersects the valid-header
+    language to nothing, or its path expression admits no non-empty link
+    sequence — and None otherwise. This is the cheap prefix of
+    :func:`analyze_flow` (no fixpoint), shared with the DP007 lint rule;
+    raises :class:`repro.errors.QuerySemanticsError` for queries naming
+    unknown labels or routers, like the engine does.
+    """
+    a_nfa = label_nfa(query.initial_header, network)
+    b_nfa = link_nfa(query.path, network)
+    c_nfa = label_nfa(query.final_header, network)
+    valid = valid_header_nfa(network)
+    if _min_word_length(a_nfa.intersect(valid)) is None:
+        return "initial-header constraint matches no valid header"
+    if _min_word_length(c_nfa.intersect(valid)) is None:
+        return "final-header constraint matches no valid header"
+    if not _accepts_some_nonempty(b_nfa.trim()):
+        return "path expression matches no non-empty link sequence"
+    return None
+
+
+def analyze_flow(
+    network: MplsNetwork,
+    query: Query,
+    a_nfa: Optional[Nfa] = None,
+    b_nfa: Optional[Nfa] = None,
+    c_nfa: Optional[Nfa] = None,
+) -> FlowAnalysis:
+    """Run the label-flow fixpoint; see the module docstring for the
+    soundness argument. The NFAs may be passed in to share work with the
+    under-approximate search."""
+    if a_nfa is None:
+        a_nfa = label_nfa(query.initial_header, network)
+    if b_nfa is None:
+        b_nfa = link_nfa(query.path, network)
+    if c_nfa is None:
+        c_nfa = label_nfa(query.final_header, network)
+    valid = valid_header_nfa(network)
+    aH = a_nfa.intersect(valid)
+    cH = c_nfa.intersect(valid)
+    b = b_nfa.trim()
+
+    if _min_word_length(aH) is None:
+        return FlowAnalysis(
+            {}, (), "initial-header constraint matches no valid header"
+        )
+    if _min_word_length(cH) is None:
+        return FlowAnalysis(
+            {}, (), "final-header constraint matches no valid header"
+        )
+    if not _accepts_some_nonempty(b):
+        return FlowAnalysis(
+            {}, (), "path expression matches no non-empty link sequence"
+        )
+
+    k = query.max_failures
+    ip_labels = frozenset(network.labels.ip_labels)
+    all_labels = frozenset(network.labels.all_labels())
+    initial = _initial_abstraction(aH)
+    # Value-based widening cap: once a length upper bound climbs past
+    # every bound the acceptance check can distinguish, jump to
+    # unbounded. Being a function of the value alone (not of iteration
+    # order), the widened transfer stays monotone.
+    widen_cap = (initial.max_len or 0) + cH.state_count + 8
+
+    def widen(value: AbstractHeader) -> AbstractHeader:
+        if value.max_len is not None and value.max_len > widen_cap:
+            return AbstractHeader(value.tops, value.min_len, None)
+        return value
+
+    values: Dict[FlowState, AbstractHeader] = {}
+    queue: Deque[FlowState] = deque()
+    queued: Set[FlowState] = set()
+    links_by_name = {link.name: link for link in network.topology.links}
+
+    def join_into(state: FlowState, value: AbstractHeader) -> None:
+        current = values.get(state)
+        if current is not None and current.subsumes(value):
+            return
+        value = widen(value)
+        joined = value if current is None else widen(current.join(value))
+        if current is not None and current.subsumes(joined):
+            return
+        values[state] = joined
+        if state not in queued:
+            queued.add(state)
+            queue.append(state)
+
+    # Memoized path-automaton steps: the fixpoint re-reads the same
+    # (state, link) transitions once per abstract update.
+    b_steps: Dict[Tuple[int, str], Tuple[int, ...]] = {}
+
+    def b_step(q: int, link: Link) -> Tuple[int, ...]:
+        key = (q, link.name)
+        cached = b_steps.get(key)
+        if cached is None:
+            cached = tuple(sorted(b.step_set((q,), link)))
+            b_steps[key] = cached
+        return cached
+
+    for link_name in sorted(links_by_name):
+        link = links_by_name[link_name]
+        targets = b.step_set(b.initial, link)
+        for q in sorted(targets):
+            join_into((link_name, q), initial)
+
+    suffix = _SuffixLengths(cH)
+    # Per-top acceptance bounds over cH: word length = 1 + suffix length.
+    accept_range: Dict[Label, Optional[Tuple[int, Optional[int]]]] = {}
+
+    def acceptance_possible(value: AbstractHeader) -> bool:
+        for top in value.tops:
+            if top not in accept_range:
+                after = cH.step_set(cH.initial, top)
+                accept_range[top] = suffix.range_from(after) if after else None
+            rng = accept_range[top]
+            if rng is None:
+                continue
+            word_lo = 1 + rng[0]
+            word_hi = None if rng[1] is None else 1 + rng[1]
+            lo = max(value.min_len, word_lo)
+            if word_hi is None and value.max_len is None:
+                return True
+            hi = (
+                word_hi
+                if value.max_len is None
+                else value.max_len
+                if word_hi is None
+                else min(value.max_len, word_hi)
+            )
+            if hi is not None and lo <= hi:
+                return True
+        return False
+
+    interp_memo: Dict[Tuple[Label, Tuple[Operation, ...]], StackOutcome] = {}
+
+    def interp(label: Label, operations: Tuple[Operation, ...]) -> StackOutcome:
+        key = (label, operations)
+        outcome = interp_memo.get(key)
+        if outcome is None:
+            outcome = interpret(label, operations)
+            interp_memo[key] = outcome
+        return outcome
+
+    while queue:
+        link_name, q = queue.popleft()
+        queued.discard((link_name, q))
+        value = values[(link_name, q)]
+        link = links_by_name[link_name]
+        for label in network.routing.labels_for_link(link):
+            if label not in value.tops:
+                continue
+            groups = network.routing.lookup(link, label)
+            for priority, entry in groups.all_entries():
+                required = groups.required_failures(priority)
+                if len(required) > k or entry.out_link in required:
+                    continue
+                outcome = interp(label, entry.operations)
+                if outcome.status == UNDEFINED:
+                    continue  # chain undefined on every matching header
+                growth = stack_growth(entry.operations)
+                new_min = max(1, value.min_len + growth)
+                new_max = (
+                    None if value.max_len is None else value.max_len + growth
+                )
+                if new_max is not None and new_max < 1:
+                    continue  # would underflow every admissible header
+                targets = b_step(q, entry.out_link)
+                if not targets:
+                    continue
+                new_value = AbstractHeader(
+                    _tops_after(outcome, ip_labels, all_labels),
+                    new_min,
+                    new_max,
+                )
+                for q2 in targets:
+                    join_into((entry.out_link.name, q2), new_value)
+
+    accepting = tuple(
+        state
+        for state in sorted(values)
+        if state[1] in b.accepting and acceptance_possible(values[state])
+    )
+    reason = None
+    if not accepting:
+        reason = (
+            "label-flow fixpoint covered every reachable configuration; "
+            "none satisfies the final-header constraint at an accepting "
+            "path state"
+        )
+    return FlowAnalysis(values, accepting, reason)

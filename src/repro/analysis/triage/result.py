@@ -1,0 +1,61 @@
+"""The triage tier's three-verdict contract.
+
+Triage may answer a query only when the answer is *provable* without
+building a pushdown system:
+
+* ``PROVEN_YES`` carries a real, replayable :class:`~repro.model.trace.Trace`
+  found by the under-approximate concrete search — a certificate any
+  caller can check with :func:`repro.model.trace.check_trace`;
+* ``PROVEN_NO`` carries a human-readable reason from the over-approximate
+  label-flow analysis — the abstraction covered every reachable
+  configuration and none satisfied the query;
+* ``INCONCLUSIVE`` means neither proof succeeded and the full dual
+  pipeline must run. Triage is allowed to be inconclusive often; it is
+  never allowed to be wrong (see the differential tests).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import AnalysisError
+from repro.model.trace import Trace
+
+
+class TriageVerdict(enum.Enum):
+    """Outcome of the static triage pipeline."""
+
+    PROVEN_YES = "proven_yes"
+    PROVEN_NO = "proven_no"
+    INCONCLUSIVE = "inconclusive"
+
+
+@dataclass(frozen=True)
+class TriageResult:
+    """One triage answer, with its certificate.
+
+    The invariants are part of the contract: a ``PROVEN_YES`` always
+    carries a witness trace, a ``PROVEN_NO`` always carries a reason.
+    """
+
+    verdict: TriageVerdict
+    #: Concrete witness trace (PROVEN_YES only) — valid under the empty
+    #: failure set, hence under every failure bound k ≥ 0.
+    trace: Optional[Trace] = None
+    #: Why the query is unsatisfiable (PROVEN_NO only).
+    reason: Optional[str] = None
+    #: Wall-clock seconds the triage pipeline spent.
+    elapsed_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.verdict is TriageVerdict.PROVEN_YES and self.trace is None:
+            raise AnalysisError("PROVEN_YES requires a witness trace")
+        if self.verdict is TriageVerdict.PROVEN_NO and self.reason is None:
+            raise AnalysisError("PROVEN_NO requires a reason")
+
+    @property
+    def settled(self) -> bool:
+        """True when triage answered the query (either proof succeeded)."""
+        return self.verdict is not TriageVerdict.INCONCLUSIVE

@@ -1,0 +1,84 @@
+"""Process-wide triage counters, for ``GET /metrics`` and benchmarks.
+
+The obs registry (:mod:`repro.obs`) is off by default and per-process;
+the server and benchmark tooling additionally want a cheap, always-on
+account of what triage did — how many queries each verdict settled and
+how much solver work that skipped. A tiny lock-guarded accumulator
+(mirroring the compile-memo counters on
+:class:`repro.verification.compiler.QueryCompiler`) provides that
+without coupling triage to the obs switch.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Union
+
+from repro.analysis.triage.result import TriageResult, TriageVerdict
+
+
+class TriageStats:
+    """Thread-safe verdict counters for one process."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.runs = 0
+        self.proven_yes = 0
+        self.proven_no = 0
+        self.inconclusive = 0
+        #: Full pipeline runs (compile + saturate) skipped by a settled
+        #: verdict — the unit the benchmark reports as the hit count.
+        self.saved_pipelines = 0
+        self.elapsed_seconds = 0.0
+
+    def record(self, result: TriageResult) -> None:
+        """Fold one triage outcome into the counters."""
+        with self._lock:
+            self.runs += 1
+            self.elapsed_seconds += result.elapsed_seconds
+            if result.verdict is TriageVerdict.PROVEN_YES:
+                self.proven_yes += 1
+                self.saved_pipelines += 1
+            elif result.verdict is TriageVerdict.PROVEN_NO:
+                self.proven_no += 1
+                self.saved_pipelines += 1
+            else:
+                self.inconclusive += 1
+
+    def reset(self) -> None:
+        """Zero every counter (tests and benchmark runs start fresh)."""
+        with self._lock:
+            self.runs = 0
+            self.proven_yes = 0
+            self.proven_no = 0
+            self.inconclusive = 0
+            self.saved_pipelines = 0
+            self.elapsed_seconds = 0.0
+
+    def as_dict(self) -> Dict[str, Union[int, float]]:
+        """JSON-ready snapshot of the counters."""
+        with self._lock:
+            return {
+                "runs": self.runs,
+                "proven_yes": self.proven_yes,
+                "proven_no": self.proven_no,
+                "inconclusive": self.inconclusive,
+                "saved_pipelines": self.saved_pipelines,
+                "elapsed_seconds": self.elapsed_seconds,
+            }
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of triage runs that settled their query."""
+        with self._lock:
+            if self.runs == 0:
+                return 0.0
+            return (self.proven_yes + self.proven_no) / self.runs
+
+
+_GLOBAL = TriageStats()
+
+
+def triage_stats() -> TriageStats:
+    """The process-wide accumulator every triage run reports into."""
+    return _GLOBAL

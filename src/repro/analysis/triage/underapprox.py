@@ -1,0 +1,173 @@
+"""Under-approximate concrete witness search: a sound REACHABLE prover.
+
+A bounded breadth-first simulation over the network's *failure-free*
+forwarding relation (𝓐 restricted to defined rewrites — exactly
+:meth:`repro.model.network.MplsNetwork.forwarding_alternatives` with an
+empty failure set). Every state it explores is a real packet
+configuration ``(link, header, path-automaton states)``, so any
+accepting state reached yields a real trace:
+
+* its headers are rewritten by actual routing entries (Definition 2.3),
+* it is valid under the empty failure set, hence under every failure
+  bound ``k ≥ 0`` — no feasibility check can refute it,
+* its link word is accepted by the path automaton and its first/last
+  headers match the query's header constraints by construction.
+
+The search is bounded (initial headers enumerated shortest-first, caps
+on header depth, trace length and visited states), so exhausting it
+proves nothing — the caller falls through to the over-approximation or
+the full solver. Found witnesses are re-checked with
+:func:`repro.model.trace.check_trace` before being returned; a failure
+there would be a bug, and the hypothesis replay property keeps it honest.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.model.header import Header
+from repro.model.labels import Label
+from repro.model.network import MplsNetwork
+from repro.model.topology import Link
+from repro.model.trace import Trace, TraceStep, check_trace
+from repro.query.ast import Query
+from repro.query.nfa import Nfa, label_nfa, link_nfa, valid_header_nfa
+
+
+@dataclass(frozen=True)
+class SearchLimits:
+    """Bounds of the concrete search; defaults keep triage instant."""
+
+    #: Distinct initial headers drawn from Lang(a) ∩ H, shortest first.
+    max_initial_headers: int = 32
+    #: Maximum witness trace length (links traversed).
+    max_steps: int = 64
+    #: Maximum number of distinct configurations explored.
+    max_visited: int = 5000
+    #: Maximum header length (labels, IP included) during the search.
+    max_header_len: int = 16
+
+
+#: A search node: (link, header, reachable path-automaton states).
+_Node = Tuple[Link, Header, FrozenSet[int]]
+
+
+def _initial_headers(aH: Nfa, limits: SearchLimits) -> List[Header]:
+    """Shortest-first enumeration of words of ``Lang(a) ∩ H``.
+
+    Deterministic: symbols are explored in sorted textual order, words
+    deduplicated, lengths capped by the search limits.
+    """
+    words: List[Tuple[Label, ...]] = []
+    seen_words: Set[Tuple[Label, ...]] = set()
+    frontier: Deque[Tuple[FrozenSet[int], Tuple[Label, ...]]] = deque(
+        [(aH.initial, ())]
+    )
+    seen_states: Set[Tuple[FrozenSet[int], Tuple[Label, ...]]] = set()
+    while frontier and len(words) < limits.max_initial_headers:
+        states, word = frontier.popleft()
+        if states & aH.accepting and word and word not in seen_words:
+            seen_words.add(word)
+            words.append(word)
+            if len(words) >= limits.max_initial_headers:
+                break
+        if len(word) >= limits.max_header_len:
+            continue
+        symbols: Set[Label] = set()
+        for state in states:
+            for edge in aH.edges_from(state):
+                for symbol in edge.symbols:
+                    if isinstance(symbol, Label):
+                        symbols.add(symbol)
+        for symbol in sorted(symbols, key=str):
+            nxt = aH.step_set(states, symbol)
+            if not nxt:
+                continue
+            key = (nxt, word + (symbol,))
+            if key not in seen_states:
+                seen_states.add(key)
+                frontier.append(key)
+    return [Header(word) for word in words]
+
+
+def find_witness(
+    network: MplsNetwork,
+    query: Query,
+    a_nfa: Optional[Nfa] = None,
+    b_nfa: Optional[Nfa] = None,
+    c_nfa: Optional[Nfa] = None,
+    limits: Optional[SearchLimits] = None,
+) -> Optional[Trace]:
+    """Search for a concrete failure-free witness trace; None when the
+    bounded search exhausts without finding one (which proves nothing)."""
+    if limits is None:
+        limits = SearchLimits()
+    if a_nfa is None:
+        a_nfa = label_nfa(query.initial_header, network)
+    if b_nfa is None:
+        b_nfa = link_nfa(query.path, network)
+    if c_nfa is None:
+        c_nfa = label_nfa(query.final_header, network)
+    valid = valid_header_nfa(network)
+    aH = a_nfa.intersect(valid)
+
+    headers = _initial_headers(aH, limits)
+    if not headers:
+        return None
+
+    no_failures: FrozenSet[Link] = frozenset()
+    #: parent pointers for trace reconstruction; roots map to None.
+    parents: Dict[_Node, Optional[_Node]] = {}
+    depth: Dict[_Node, int] = {}
+    queue: Deque[_Node] = deque()
+
+    for link in sorted(network.topology.links, key=lambda l: l.name):
+        states = b_nfa.step_set(b_nfa.initial, link)
+        if not states:
+            continue
+        for header in headers:
+            node: _Node = (link, header, states)
+            if node not in parents:
+                parents[node] = None
+                depth[node] = 1
+                queue.append(node)
+
+    while queue:
+        node = queue.popleft()
+        link, header, states = node
+        if states & b_nfa.accepting and c_nfa.accepts(header.labels):
+            trace = _rebuild(parents, node)
+            # Belt and braces: the certificate must replay concretely.
+            if check_trace(network, trace, no_failures):
+                return trace
+            return None  # pragma: no cover - would be a search bug
+        if depth[node] >= limits.max_steps:
+            continue
+        if len(parents) >= limits.max_visited:
+            continue
+        for entry, next_header in network.forwarding_alternatives(
+            link, header, no_failures
+        ):
+            if len(next_header.labels) > limits.max_header_len:
+                continue
+            next_states = b_nfa.step_set(states, entry.out_link)
+            if not next_states:
+                continue
+            child: _Node = (entry.out_link, next_header, next_states)
+            if child not in parents:
+                parents[child] = node
+                depth[child] = depth[node] + 1
+                queue.append(child)
+    return None
+
+
+def _rebuild(parents: Dict[_Node, Optional[_Node]], node: _Node) -> Trace:
+    steps: List[TraceStep] = []
+    current: Optional[_Node] = node
+    while current is not None:
+        steps.append(TraceStep(current[0], current[1]))
+        current = parents[current]
+    steps.reverse()
+    return Trace(steps)

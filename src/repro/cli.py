@@ -99,6 +99,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the static PDA reductions (§4.2)",
     )
     query.add_argument(
+        "--triage",
+        choices=("auto", "off", "only"),
+        default="off",
+        help="static triage tier: 'auto' tries to prove the verdict by "
+        "abstract interpretation before building any pushdown system "
+        "(falling back to the full engine when inconclusive), 'only' "
+        "answers from triage alone and reports INCONCLUSIVE otherwise "
+        "(exit 0/1/2, lint-style), 'off' disables it (default)",
+    )
+    query.add_argument(
         "--timeout", type=float, default=None, help="time budget in seconds"
     )
     query.add_argument(
@@ -231,6 +241,21 @@ def build_lint_parser() -> argparse.ArgumentParser:
         help="comma-separated link names to assume failed (what-if lint)",
     )
     lint.add_argument(
+        "--query",
+        action="append",
+        default=[],
+        metavar="QUERY",
+        dest="queries",
+        help="also lint this query against the network (DP007 flags "
+        "statically unsatisfiable queries; repeatable)",
+    )
+    lint.add_argument(
+        "--queries-file",
+        metavar="FILE",
+        help="lint every query in a file (one per line, optional "
+        "'name:' prefix) against the network",
+    )
+    lint.add_argument(
         "--list-rules",
         action="store_true",
         help="list the registered rules and exit",
@@ -265,7 +290,15 @@ def lint_main(argv: Optional[list] = None) -> int:
             min_severity=args.min_severity,
         )
         failed = frozenset(_split_codes(args.failed_links) or ())
-        report = analyze(network, failed_links=failed, config=config)
+        queries: list = list(args.queries)
+        if args.queries_file:
+            from repro.verification.batch import parse_query_file
+
+            with open(args.queries_file, "r", encoding="utf-8") as handle:
+                queries.extend(parse_query_file(handle.read()))
+        report = analyze(
+            network, failed_links=failed, config=config, queries=queries
+        )
     except (ReproError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 3
@@ -320,6 +353,7 @@ def _make_engine(network: MplsNetwork, args: argparse.Namespace) -> Verification
         backend=_backend_of(args),
         use_reductions=not args.no_reductions,
         weight=args.weight,
+        triage=args.triage,
     )
 
 
@@ -332,6 +366,11 @@ def _print_result(result: VerificationResult, args: argparse.Namespace) -> None:
             print(trace_to_json(result.trace), end="")
     if args.stats:
         stats = result.stats
+        if stats.triage_verdict is not None:
+            print(
+                f"triage:         {stats.triage_seconds:.3f}s  "
+                f"verdict={stats.triage_verdict}"
+            )
         print(f"compile(over):  {stats.compile_over_seconds:.3f}s "
               f"({stats.over_rules} rules)")
         if stats.used_under_approximation:
@@ -403,6 +442,7 @@ def _run_sweep(network: MplsNetwork, args: argparse.Namespace) -> int:
         backend=_backend_of(args),
         use_reductions=not args.no_reductions,
         weight=args.weight,
+        triage=args.triage,
     )
     scenarios = failure_scenarios(
         network,
@@ -465,6 +505,7 @@ def _run_prob_sweep(network: MplsNetwork, args: argparse.Namespace) -> int:
         backend=_backend_of(args),
         use_reductions=not args.no_reductions,
         weight=args.weight,
+        triage=args.triage,
     )
     default = (
         args.prob_default

@@ -140,6 +140,7 @@ class FarmRun:
                     "inconclusive": self.summary.inconclusive,
                     "timeouts": self.summary.timeouts,
                     "errors": self.summary.errors,
+                    "triaged": self.summary.triaged,
                     "total_seconds": round(self.summary.total_seconds, 6),
                     "worst_query": self.summary.worst_query,
                 },
@@ -168,6 +169,7 @@ class FarmRun:
                         "outcome": item.outcome,
                         "seconds": round(item.seconds, 6),
                         **({"error": item.error} if item.error else {}),
+                        **({"triage": item.triage} if item.triage else {}),
                         **(
                             {
                                 "diagnostics": [

@@ -50,6 +50,9 @@ class EngineConfig:
     early_termination: bool = True
     #: Weight vector in CLI text form (``"hops, failures + 3*tunnels"``).
     weight: Optional[str] = None
+    #: Static triage mode ("auto" / "off" / "only"); settled scenarios
+    #: skip compilation entirely on the worker.
+    triage: str = "off"
 
     @classmethod
     def from_engine(cls, engine: VerificationEngine) -> "EngineConfig":
@@ -68,6 +71,7 @@ class EngineConfig:
             use_reductions=engine.use_reductions,
             early_termination=engine.early_termination,
             weight=weight,
+            triage=engine.triage,
         )
 
     def build(self, network: MplsNetwork) -> VerificationEngine:
@@ -78,6 +82,7 @@ class EngineConfig:
             use_reductions=self.use_reductions,
             early_termination=self.early_termination,
             weight=self.weight,
+            triage=self.triage,
         )
 
 

@@ -61,23 +61,87 @@ class Scenario:
         return f"Scenario({self.name!r}, failed={failed})"
 
 
+#: Cross-call preflight memo: (rule-set hash, variant content hash) →
+#: network-level findings. Degraded variants are rebuilt per sweep, so
+#: an id()-keyed memo re-lints content-identical networks on every call;
+#: keying by content (and by the registered rule set, so registering or
+#: unregistering a rule invalidates naturally) makes repeated sweeps
+#: over the same topology lint-free.
+_NETWORK_LINT_MEMO: Dict[Tuple[str, str], Tuple["Diagnostic", ...]] = {}
+
+#: (rule-set hash, variant content hash, query text) → DP007 findings.
+#: Keyed by the query *text* — scenario names vary per sweep and must
+#: not break the memo.
+_QUERY_LINT_MEMO: Dict[Tuple[str, str, str], Tuple["Diagnostic", ...]] = {}
+
+#: Memo size caps; oldest entries are evicted first (insertion order).
+_MEMO_CAP = 256
+
+
+def _memo_put(memo: Dict, key: object, value: object) -> None:
+    if len(memo) >= _MEMO_CAP:
+        memo.pop(next(iter(memo)))
+    memo[key] = value
+
+
+def clear_preflight_memo() -> None:
+    """Drop the cross-call preflight memos (test isolation hook)."""
+    _NETWORK_LINT_MEMO.clear()
+    _QUERY_LINT_MEMO.clear()
+
+
 def preflight_scenarios(scenarios: List[Scenario]) -> List[Scenario]:
     """Lint every distinct network variant and attach the findings.
 
     Scenarios sharing a variant (the common case: one degraded network
     × many queries) are linted once — the lint cost of a sweep is per
-    *variant*, not per job. Failure combinations are already baked into
-    the variants, so each is linted with an empty assumed-failure set.
+    *variant*, not per job — and the results are memoized across calls
+    by variant *content*, so re-running a sweep (or sweeping overlapping
+    link sets) never re-lints a network whose diagnostics cannot have
+    changed. Failure combinations are already baked into the variants,
+    so each is linted with an empty assumed-failure set. Each scenario
+    additionally gets the query-aware findings (DP007) for its own
+    query, memoized per (variant, query text).
     """
-    from repro.analysis import analyze
+    from repro import obs
+    from repro.analysis import LintConfig, analyze, rule_codes
+    from repro.farm.cache import hash_text
+    from repro.io.json_format import network_to_json
 
-    by_variant: Dict[int, Tuple["Diagnostic", ...]] = {}
+    ruleset = hash_text(",".join(rule_codes()))
+    fingerprint_of: Dict[int, str] = {}
     attached: List[Scenario] = []
     for scenario in scenarios:
-        key = id(scenario.network)
-        if key not in by_variant:
-            by_variant[key] = analyze(scenario.network).diagnostics
-        findings = by_variant[key]
+        fingerprint = fingerprint_of.get(id(scenario.network))
+        if fingerprint is None:
+            fingerprint = hash_text(network_to_json(scenario.network))
+            fingerprint_of[id(scenario.network)] = fingerprint
+
+        network_key = (ruleset, fingerprint)
+        network_findings = _NETWORK_LINT_MEMO.get(network_key)
+        if network_findings is None:
+            obs.add("farm.preflight.lint_runs")
+            network_findings = analyze(scenario.network).diagnostics
+            _memo_put(_NETWORK_LINT_MEMO, network_key, network_findings)
+        else:
+            obs.add("farm.preflight.memo_hits")
+
+        query_findings: Tuple["Diagnostic", ...] = ()
+        if "DP007" in rule_codes():
+            query_key = (ruleset, fingerprint, scenario.query)
+            query_findings = _QUERY_LINT_MEMO.get(query_key)  # type: ignore[assignment]
+            if query_findings is None:
+                obs.add("farm.preflight.lint_runs")
+                query_findings = analyze(
+                    scenario.network,
+                    config=LintConfig.of(enabled=["DP007"]),
+                    queries=[("query", scenario.query)],
+                ).diagnostics
+                _memo_put(_QUERY_LINT_MEMO, query_key, query_findings)
+            else:
+                obs.add("farm.preflight.memo_hits")
+
+        findings = network_findings + query_findings
         attached.append(
             replace(scenario, diagnostics=findings) if findings else scenario
         )

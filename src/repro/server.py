@@ -12,9 +12,12 @@ backend as a small stdlib-only JSON-over-HTTP service; any front end
 * ``GET  /queries/example`` — the φ0–φ4 demo queries of Figure 1;
 * ``POST /verify`` — body ``{"network": <name or inline JSON network>,
   "query": "...", "weight": "...?", "engine": "dual|moped"?,
-  "timeout": seconds?}``; responds with the verdict, the witness trace
-  (steps + headers), the failure set, the minimal weight, and a
-  Graphviz DOT visualization — everything the GUI renders. With
+  "triage": "auto|off|only"?, "timeout": seconds?}``; responds with
+  the verdict, the witness trace (steps + headers), the failure set,
+  the minimal weight, and a Graphviz DOT visualization — everything
+  the GUI renders. With ``"triage"`` the static triage tier
+  (:mod:`repro.analysis.triage`) runs first and the response carries a
+  ``"triage"`` block with its verdict and time. With
   ``"prob_threshold": p`` (or ``"sweep_prob": true``) the request
   becomes a probabilistic sweep (:mod:`repro.prob`): the response
   carries the verdict for "holds with probability ≥ p", the
@@ -34,7 +37,7 @@ open:
 
 * ``POST /jobs`` — body ``{"network": ..., "queries": [...] or
   "query": "...", "sweep_failures": K?, "jobs": N?, "engine": ...?,
-  "weight": ...?, "timeout": seconds?}``; returns ``{"id": ...}``
+  "weight": ...?, "triage": ...?, "timeout": seconds?}``; returns ``{"id": ...}``
   immediately while the sweep runs in the background. A single query
   plus ``prob_threshold`` / ``sweep_prob`` submits a probabilistic
   sweep instead; its snapshots carry a ``"prob"`` block with the live
@@ -153,6 +156,41 @@ def _resolve_backend(payload: Dict[str, Any]) -> str:
     return "poststar" if engine_name == "dual" else engine_name
 
 
+def _resolve_triage(payload: Dict[str, Any]) -> str:
+    """Validated ``"triage"`` field (default off, matching the CLI)."""
+    mode = payload.get("triage", "off")
+    if mode not in ("auto", "off", "only"):
+        raise ReproError(f"unknown triage mode {mode!r} (use: auto, off, only)")
+    return mode
+
+
+def _triage_metrics_text(exposition: str) -> str:
+    """The triage tier's counters as Prometheus lines (``GET /metrics``).
+
+    The obs registry already exports ``triage.*`` counters once the
+    triage spans ran while observation was enabled; like
+    :func:`_cache_metrics_text`, any metric name already present in
+    ``exposition`` is skipped so the combined body never declares the
+    same series twice.
+    """
+    from repro.analysis.triage import triage_stats
+
+    stats = triage_stats().as_dict()
+    lines: List[str] = []
+    for name in sorted(stats):
+        value = stats[name]
+        if not isinstance(value, int):
+            continue  # elapsed_seconds / hit_rate are not counters
+        metric = f"aalwines_triage_{name}_total"
+        if f"\n{metric} " in f"\n{exposition}":
+            continue
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {value}")
+    if not lines:
+        return ""
+    return "\n".join(lines) + "\n"
+
+
 def _trace_steps(trace: Any) -> List[Dict[str, Any]]:
     """A witness trace as the JSON step list the GUI renders."""
     return [
@@ -248,7 +286,10 @@ def _verify_payload(payload: Dict[str, Any], cache: _NetworkCache) -> Dict[str, 
     if _prob_requested(payload):
         return _prob_verify(payload, network)
     engine = VerificationEngine(
-        network, backend=_resolve_backend(payload), weight=payload.get("weight")
+        network,
+        backend=_resolve_backend(payload),
+        weight=payload.get("weight"),
+        triage=_resolve_triage(payload),
     )
     result = engine.verify(
         payload["query"], timeout_seconds=payload.get("timeout")
@@ -260,6 +301,11 @@ def _verify_payload(payload: Dict[str, Any], cache: _NetworkCache) -> Dict[str, 
         "time_seconds": round(result.stats.total_seconds, 6),
         "dot": result_to_dot(network, result),
     }
+    if result.stats.triage_verdict is not None:
+        response["triage"] = {
+            "verdict": result.stats.triage_verdict,
+            "seconds": round(result.stats.triage_seconds, 6),
+        }
     if result.weight is not None:
         response["weight"] = list(result.weight)
         response["minimal_guaranteed"] = result.minimal_guaranteed
@@ -277,7 +323,10 @@ def _lint_payload(payload: Dict[str, Any], cache: _NetworkCache) -> Dict[str, An
     """Handle one POST /lint request body; returns the lint report.
 
     Body: ``{"network": <name or inline JSON network>, "failed_links":
-    [...]?, "rules": [...]?, "suppress": [...]?, "min_severity": ...?}``.
+    [...]?, "rules": [...]?, "suppress": [...]?, "min_severity": ...?,
+    "queries": [...]?}``. ``queries`` (strings or ``{"name", "text"}``
+    objects) feeds the query-aware rules — DP007 flags statically
+    unsatisfiable queries.
     """
     from repro.analysis import LintConfig, analyze
 
@@ -289,6 +338,18 @@ def _lint_payload(payload: Dict[str, Any], cache: _NetworkCache) -> Dict[str, An
             or not all(isinstance(item, str) for item in value)
         ):
             raise ReproError(f"'{key}' must be a list of strings")
+    queries: List[Tuple[str, str]] = []
+    for entry in payload.get("queries") or ():
+        if isinstance(entry, str):
+            queries.append((f"q{len(queries):04d}", entry))
+        elif isinstance(entry, dict) and "text" in entry:
+            queries.append(
+                (str(entry.get("name", f"q{len(queries):04d}")), entry["text"])
+            )
+        else:
+            raise ReproError(
+                "each query must be a string or a {'name', 'text'} object"
+            )
     try:
         config = LintConfig.of(
             enabled=payload.get("rules"),
@@ -304,6 +365,7 @@ def _lint_payload(payload: Dict[str, Any], cache: _NetworkCache) -> Dict[str, An
         network,
         failed_links=frozenset(payload.get("failed_links") or ()),
         config=config,
+        queries=queries,
     )
     return report.to_dict()
 
@@ -348,7 +410,9 @@ def _submit_job(
     weight = payload.get("weight")
     if backend == "moped" and weight:
         raise ReproError("the Moped backend does not support weighted verification")
-    config = EngineConfig(backend=backend, weight=weight)
+    config = EngineConfig(
+        backend=backend, weight=weight, triage=_resolve_triage(payload)
+    )
 
     preflight = bool(payload.get("preflight"))
     sweep_failures = payload.get("sweep_failures")
@@ -477,9 +541,9 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             if self.path == "/metrics":
                 exposition = obs.metrics_text()
-                body = (
-                    exposition + _cache_metrics_text(exposition)
-                ).encode("utf-8")
+                exposition += _cache_metrics_text(exposition)
+                exposition += _triage_metrics_text(exposition)
+                body = exposition.encode("utf-8")
                 self.send_response(200)
                 self.send_header("Content-Type", obs.PROMETHEUS_CONTENT_TYPE)
                 self.send_header("Content-Length", str(len(body)))

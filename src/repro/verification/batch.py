@@ -54,10 +54,18 @@ class BatchItem:
     #: Static pre-flight lint findings for the network variant this item
     #: ran against (empty unless the run asked for ``preflight``).
     diagnostics: Tuple["Diagnostic", ...] = ()
+    #: Triage outcome ("proven_yes" / "proven_no" / "inconclusive") when
+    #: the engine ran the static triage tier; None otherwise.
+    triage: Optional[str] = None
 
     @property
     def conclusive(self) -> bool:
         return self.outcome in ("satisfied", "unsatisfied")
+
+    @property
+    def triaged(self) -> bool:
+        """True when the static triage tier settled this query."""
+        return self.triage in ("proven_yes", "proven_no")
 
 
 @dataclass
@@ -70,6 +78,8 @@ class BatchSummary:
     inconclusive: int = 0
     timeouts: int = 0
     errors: int = 0
+    #: Queries the static triage tier settled without compilation.
+    triaged: int = 0
     total_seconds: float = 0.0
     worst_seconds: float = 0.0
     worst_query: Optional[str] = None
@@ -78,6 +88,8 @@ class BatchSummary:
         """Fold one item into the aggregate."""
         self.total += 1
         self.total_seconds += item.seconds
+        if item.triaged:
+            self.triaged += 1
         if item.outcome == "satisfied":
             self.satisfied += 1
         elif item.outcome == "unsatisfied":
@@ -114,6 +126,8 @@ class BatchSummary:
             lines.append(f"timeouts:      {self.timeouts}")
         if self.errors:
             lines.append(f"errors:        {self.errors}")
+        if self.triaged:
+            lines.append(f"triaged:       {self.triaged} (settled statically)")
         lines.append(f"total time:    {self.total_seconds:.2f}s")
         if self.worst_query is not None:
             lines.append(
@@ -151,6 +165,7 @@ def run_single(
             outcome=result.status.value,
             seconds=time.perf_counter() - start,
             result=result,
+            triage=result.stats.triage_verdict,
         )
     except VerificationTimeout:
         return BatchItem(

@@ -72,7 +72,12 @@ class VerificationEngine:
       the quantitative engine; None keeps the boolean engine;
     * ``core`` — saturation representation: the dense-id ``"interned"``
       core (default) or the symbolic ``"tuple"`` reference core (used by
-      the differential tests and as the benchmark baseline).
+      the differential tests and as the benchmark baseline);
+    * ``triage`` — the static triage tier (:mod:`repro.analysis.triage`):
+      ``"off"`` (default) never runs it, ``"auto"`` runs it as a fast
+      path and falls through to the full pipeline when inconclusive,
+      ``"only"`` answers from triage alone (INCONCLUSIVE when it cannot
+      prove either way) and never compiles a pushdown system.
     """
 
     def __init__(
@@ -85,12 +90,18 @@ class VerificationEngine:
         distance_of: Optional[Callable[[Link], int]] = None,
         name: Optional[str] = None,
         core: str = "interned",
+        triage: str = "off",
     ) -> None:
         self.network = network
         self.backend = backend
         self.use_reductions = use_reductions
         self.early_termination = early_termination
         self.core = core
+        if triage not in ("auto", "off", "only"):
+            raise VerificationError(
+                f"unknown triage mode {triage!r} (expected auto, off or only)"
+            )
+        self.triage = triage
         if isinstance(weight, str):
             weight = parse_weight_vector(weight)
         if weight is not None and backend == "moped":
@@ -139,6 +150,34 @@ class VerificationEngine:
         start = time.perf_counter()
         deadline = start + timeout_seconds if timeout_seconds is not None else None
         stats = EngineStats()
+
+        # Static triage tier: prove the verdict before any PDA is built.
+        if self.triage != "off":
+            from repro.analysis.triage import TriageVerdict, run_triage
+
+            with obs.span("triage", engine=self.name):
+                triaged = run_triage(self.network, query)
+            stats.triage_seconds = triaged.elapsed_seconds
+            stats.triage_verdict = triaged.verdict.value
+            if triaged.verdict is TriageVerdict.PROVEN_NO:
+                # Sound even for weighted engines: no trace exists, so
+                # there is no minimum to report either.
+                stats.total_seconds = time.perf_counter() - start
+                return VerificationResult(query, Status.UNSATISFIED, stats=stats)
+            if triaged.verdict is TriageVerdict.PROVEN_YES and triaged.trace is not None:
+                # Weighted "auto" engines must keep going: the triage
+                # witness is real but not necessarily minimal.
+                if self.weight_vector is None or self.triage == "only":
+                    stats.total_seconds = time.perf_counter() - start
+                    return self._satisfied(
+                        query,
+                        ReconstructedWitness(triaged.trace, frozenset()),
+                        stats,
+                        minimal=False,
+                    )
+            if self.triage == "only":
+                stats.total_seconds = time.perf_counter() - start
+                return VerificationResult(query, Status.INCONCLUSIVE, stats=stats)
 
         # Phase 0: one-step traces in closed form (the pushdown encoding
         # only covers traces of length ≥ 2 — see find_one_step_witness).

@@ -43,6 +43,11 @@ class EngineStats:
     under_rules: int = 0
     #: Whether the under-approximation phase was needed at all.
     used_under_approximation: bool = False
+    #: Seconds spent in the static triage tier (0 when triage was off).
+    triage_seconds: float = 0.0
+    #: Triage outcome ("proven_yes" / "proven_no" / "inconclusive"),
+    #: None when triage did not run.
+    triage_verdict: Optional[str] = None
 
 
 @dataclass

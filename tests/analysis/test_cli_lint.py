@@ -101,3 +101,49 @@ class TestSelectionFlags:
         # from the DP006 warning to a DP001 black-hole error.
         assert main(["lint", "--builtin", "example", "--failed-links", "e5"]) == 2
         assert "DP001" in capsys.readouterr().out
+
+
+class TestQueryLint:
+    SAT = "<ip> [.#v0] .* [v3#.] <ip> 0"
+    UNSAT = "<ip ip> .* <ip> 0"
+
+    def test_satisfiable_query_stays_clean(self, capsys):
+        # The example builtin already warns (DP006); restrict to DP007.
+        code = main(
+            ["lint", "--builtin", "example", "--rules", "DP007",
+             "--query", self.SAT]
+        )
+        assert code == 0
+
+    def test_unsatisfiable_query_warns(self, capsys):
+        code = main(
+            ["lint", "--builtin", "example", "--rules", "DP007",
+             "--query", self.UNSAT]
+        )
+        assert code == 1
+        assert "DP007" in capsys.readouterr().out
+
+    def test_repeatable_query_flag(self, capsys):
+        code = main(
+            ["lint", "--builtin", "example", "--rules", "DP007",
+             "--query", self.SAT, "--query", self.UNSAT]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert out.count("DP007") == 1
+
+    def test_queries_file(self, tmp_path, capsys):
+        path = tmp_path / "queries.txt"
+        path.write_text(f"good: {self.SAT}\nbad: {self.UNSAT}\n")
+        code = main(
+            ["lint", "--builtin", "example", "--rules", "DP007",
+             "--queries-file", str(path)]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "'bad'" in out
+        assert "'good'" not in out
+
+    def test_dp007_in_rule_listing(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        assert "DP007" in capsys.readouterr().out

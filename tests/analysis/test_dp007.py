@@ -1,0 +1,69 @@
+"""DP007: statically unsatisfiable queries, flagged before any engine runs."""
+
+import pytest
+
+from repro.analysis import Severity, analyze, rule_codes
+from repro.datasets.example import build_example_network
+
+
+@pytest.fixture(scope="module")
+def network():
+    return build_example_network()
+
+
+def test_dp007_is_registered():
+    assert "DP007" in rule_codes()
+
+
+def test_silent_without_queries(network):
+    assert not analyze(network).by_code("DP007")
+
+
+def test_silent_on_satisfiable_query(network):
+    report = analyze(network, queries=["<ip> [.#v0] .* [v3#.] <ip> 0"])
+    assert not report.by_code("DP007")
+
+
+def test_flags_empty_header_constraint(network):
+    report = analyze(network, queries=[("broken", "<ip ip> .* <ip> 2")])
+    findings = report.by_code("DP007")
+    assert len(findings) == 1
+    assert findings[0].severity is Severity.WARNING
+    assert "'broken'" in findings[0].message
+    assert "initial-header" in findings[0].message
+    assert report.exit_code == 1
+
+
+def test_flags_unknown_label(network):
+    report = analyze(network, queries=["<s999> .* <ip> 0"])
+    findings = report.by_code("DP007")
+    assert len(findings) == 1
+    assert "cannot be verified" in findings[0].message
+
+
+def test_flags_syntax_error(network):
+    report = analyze(network, queries=["<<<"])
+    findings = report.by_code("DP007")
+    assert len(findings) == 1
+    assert "cannot be verified" in findings[0].message
+
+
+def test_bare_strings_get_stable_names(network):
+    report = analyze(network, queries=["<ip ip> .* <ip> 0", "<smpls smpls ip> .* <ip> 0"])
+    messages = [d.message for d in report.by_code("DP007")]
+    assert len(messages) == 2
+    assert any("'q0000'" in message for message in messages)
+    assert any("'q0001'" in message for message in messages)
+
+
+def test_mixed_verdicts_flag_only_the_unsatisfiable(network):
+    report = analyze(
+        network,
+        queries=[
+            ("good", "<ip> [.#v0] .* [v3#.] <ip> 0"),
+            ("bad", "<ip ip> .* <ip> 0"),
+        ],
+    )
+    findings = report.by_code("DP007")
+    assert len(findings) == 1
+    assert "'bad'" in findings[0].message

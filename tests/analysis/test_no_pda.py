@@ -34,6 +34,18 @@ def test_analyze_builds_no_pda(poisoned_pda):
     assert report.codes() == ("DP006",)
 
 
+def test_triage_builds_no_pda(poisoned_pda):
+    """The triage tier shares the linter's guarantee: both passes (and
+    both proof directions) settle queries without any pushdown system."""
+    from repro.analysis.triage import TriageVerdict, run_triage
+
+    network = load_builtin("example")
+    yes = run_triage(network, "<ip> [.#v0] .* [v3#.] <ip> 0")
+    assert yes.verdict is TriageVerdict.PROVEN_YES
+    no = run_triage(network, "<ip ip> .* <ip> 0")
+    assert no.verdict is TriageVerdict.PROVEN_NO
+
+
 @pytest.mark.parametrize("code", DEFECT_CODES)
 def test_defect_fixtures_lint_without_pda(poisoned_pda, code):
     assert analyze(build_defect_network(code)).codes() == (code,)
@@ -43,7 +55,7 @@ def test_analysis_package_never_imports_heavy_layers():
     package_dir = pathlib.Path(repro.analysis.__file__).parent
     forbidden = re.compile(r"^\s*(from|import)\s+repro\.(pda|verification)\b")
     offenders = []
-    for source in sorted(package_dir.glob("*.py")):
+    for source in sorted(package_dir.rglob("*.py")):
         for number, line in enumerate(source.read_text().splitlines(), 1):
             if forbidden.match(line):
                 offenders.append(f"{source.name}:{number}: {line.strip()}")

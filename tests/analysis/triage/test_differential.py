@@ -1,0 +1,101 @@
+"""The triage tier's soundness contract, differentially enforced.
+
+Triage may *settle* a query the dual engine finds inconclusive (that is
+an improvement — the engines over/under-approximate too), but it must
+never contradict the engine: ``PROVEN_YES`` against UNSATISFIED or
+``PROVEN_NO`` against SATISFIED would mean one of the static passes is
+unsound. This harness sweeps every built-in network × the generated
+query corpus — the same corpus the dual/Moped conformance tests use —
+and additionally replays every triage witness concretely.
+"""
+
+import pytest
+
+from repro import obs
+from repro.analysis.triage import TriageVerdict, run_triage
+from repro.datasets.builtins import BUILTIN_NETWORKS, load_builtin
+from repro.datasets.queries import generate_query_suite
+from repro.model.trace import check_trace
+from repro.query.nfa import label_nfa, link_nfa
+from repro.query.parser import parse_query
+from repro.verification.engine import dual_engine
+from repro.verification.results import Status
+
+
+def corpus(network):
+    return generate_query_suite(
+        network, count=8, seed=1009, include_unconstrained=True
+    )
+
+
+def _cases():
+    for name in BUILTIN_NETWORKS:
+        network = load_builtin(name)
+        for query in corpus(network):
+            yield pytest.param(name, query, id=f"{name}-{query.name}")
+
+
+@pytest.fixture(scope="module")
+def networks():
+    return {name: load_builtin(name) for name in BUILTIN_NETWORKS}
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    previous = obs.enabled()
+    obs.disable()
+    obs.reset()
+    yield
+    obs.reset()
+    if previous:
+        obs.enable()
+
+
+@pytest.mark.parametrize("name,query", _cases())
+def test_triage_never_contradicts_dual(networks, name, query):
+    network = networks[name]
+    triaged = run_triage(network, query.text)
+    verdict = triaged.verdict
+    if verdict is TriageVerdict.INCONCLUSIVE:
+        return  # nothing claimed, nothing to contradict
+    dual = dual_engine(network).verify(query.text)
+    if verdict is TriageVerdict.PROVEN_YES:
+        assert dual.status is not Status.UNSATISFIED, (
+            f"{name}/{query.name}: triage proved YES, dual says UNSATISFIED"
+        )
+    else:
+        assert dual.status is not Status.SATISFIED, (
+            f"{name}/{query.name}: triage proved NO, dual says SATISFIED"
+        )
+
+
+@pytest.mark.parametrize("name,query", _cases())
+def test_proven_yes_witnesses_replay(networks, name, query):
+    """Every PROVEN_YES trace must be a valid failure-free trace that
+    matches the query's three expressions — checked here independently
+    of the search that produced it."""
+    network = networks[name]
+    triaged = run_triage(network, query.text)
+    if triaged.verdict is not TriageVerdict.PROVEN_YES:
+        return
+    trace = triaged.trace
+    assert trace is not None
+    assert check_trace(network, trace, frozenset())
+    parsed = parse_query(query.text)
+    a_nfa = label_nfa(parsed.initial_header, network)
+    b_nfa = link_nfa(parsed.path, network)
+    c_nfa = label_nfa(parsed.final_header, network)
+    assert a_nfa.accepts(trace.first_header.labels)
+    assert c_nfa.accepts(trace.last_header.labels)
+    assert b_nfa.accepts(trace.links)
+
+
+def test_corpus_settles_both_verdicts(networks):
+    """The sweep must exercise both proof directions — otherwise the
+    differential harness would be vacuous."""
+    verdicts = set()
+    for network in networks.values():
+        for query in corpus(network):
+            verdicts.add(run_triage(network, query.text).verdict)
+    assert TriageVerdict.PROVEN_YES in verdicts
+    assert TriageVerdict.PROVEN_NO in verdicts

@@ -1,0 +1,139 @@
+"""Unit tests of the over-approximate label-flow analysis."""
+
+import pytest
+
+from repro.analysis.triage import AbstractHeader, analyze_flow, unsatisfiable_reason
+from repro.analysis.triage.overapprox import _min_word_length
+from repro.datasets.example import build_example_network
+from repro.errors import QuerySemanticsError
+from repro.query.nfa import label_nfa
+from repro.query.parser import parse_query
+
+
+@pytest.fixture(scope="module")
+def network():
+    return build_example_network()
+
+
+# ----------------------------------------------------------------------
+# the abstract domain
+# ----------------------------------------------------------------------
+def _labels(network, *names):
+    by_text = {str(label): label for label in network.labels.all_labels()}
+    return frozenset(by_text[name] for name in names)
+
+
+def test_join_unions_tops_and_widens_interval(network):
+    a = AbstractHeader(_labels(network, "s10"), 1, 3)
+    b = AbstractHeader(_labels(network, "s11"), 2, 5)
+    joined = a.join(b)
+    assert joined.tops == _labels(network, "s10", "s11")
+    assert joined.min_len == 1
+    assert joined.max_len == 5
+
+
+def test_join_treats_none_as_unbounded(network):
+    a = AbstractHeader(_labels(network, "s10"), 1, None)
+    b = AbstractHeader(_labels(network, "s10"), 2, 4)
+    assert a.join(b).max_len is None
+
+
+def test_subsumes_is_interval_and_set_containment(network):
+    small = AbstractHeader(_labels(network, "s10"), 2, 3)
+    big = AbstractHeader(_labels(network, "s10", "s11"), 1, 4)
+    unbounded = AbstractHeader(_labels(network, "s10"), 2, None)
+    assert big.subsumes(small)
+    assert not small.subsumes(big)
+    assert unbounded.subsumes(small)
+    assert not small.subsumes(unbounded)
+    assert big.subsumes(big)
+
+
+def test_min_word_length():
+    net = build_example_network()
+    assert _min_word_length(label_nfa(parse_query("<ip> .* <ip> 0").initial_header, net)) == 1
+    assert (
+        _min_word_length(
+            label_nfa(parse_query("<mpls+ smpls ip> .* <ip> 0").initial_header, net)
+        )
+        == 3
+    )
+    # `ip ip` intersected with the valid-header language is empty, but
+    # the raw constraint NFA itself still has a shortest word of 2.
+    assert (
+        _min_word_length(
+            label_nfa(parse_query("<ip ip> .* <ip> 0").initial_header, net)
+        )
+        == 2
+    )
+
+
+# ----------------------------------------------------------------------
+# emptiness checks (shared with DP007)
+# ----------------------------------------------------------------------
+def test_unsatisfiable_reason_none_for_satisfiable(network):
+    assert unsatisfiable_reason(network, parse_query("<ip> .* <ip> 0")) is None
+
+
+def test_unsatisfiable_reason_empty_initial(network):
+    reason = unsatisfiable_reason(network, parse_query("<ip ip> .* <ip> 0"))
+    assert reason is not None and "initial-header" in reason
+
+
+def test_unsatisfiable_reason_empty_final(network):
+    reason = unsatisfiable_reason(network, parse_query("<ip> .* <smpls smpls ip> 0"))
+    assert reason is not None and "final-header" in reason
+
+
+def test_unsatisfiable_reason_empty_path(network):
+    # A path regex matching only the empty link word: a trace has ≥1 link.
+    reason = unsatisfiable_reason(network, parse_query("<ip> [v0#v1]* [v1#v0] [v0#v1] <ip> 0"))
+    if reason is not None:
+        assert "path expression" in reason
+
+
+def test_unsatisfiable_reason_raises_on_unknown_atoms(network):
+    with pytest.raises(QuerySemanticsError):
+        unsatisfiable_reason(network, parse_query("<s999> .* <ip> 0"))
+
+
+# ----------------------------------------------------------------------
+# the fixpoint
+# ----------------------------------------------------------------------
+def test_flow_proves_unreachable(network):
+    flow = analyze_flow(network, parse_query("<ip ip> .* <ip> 0"))
+    assert flow.proven_unreachable
+    assert flow.reason
+
+
+def test_flow_covers_satisfiable_query(network):
+    flow = analyze_flow(network, parse_query("<ip> [.#v0] .* [v3#.] <ip> 0"))
+    assert not flow.proven_unreachable
+    assert flow.accepting_states
+
+
+def test_flow_honors_failure_budget(network):
+    # A ≥3-deep stack needs a protection push, which needs a failure:
+    # with k=0 no protection group can activate, so it is unreachable...
+    flow_k0 = analyze_flow(
+        network, parse_query("<ip> [.#v0] .* <mpls smpls ip> 0")
+    )
+    assert flow_k0.proven_unreachable
+    # ...but with k=1 the tunnel entries are admitted (the dual engine
+    # answers SATISFIED here): the analysis must not claim
+    # unreachability it can no longer prove.
+    flow_k1 = analyze_flow(
+        network, parse_query("<ip> [.#v0] .* <mpls smpls ip> 1")
+    )
+    assert not flow_k1.proven_unreachable
+
+
+def test_flow_values_are_per_interface_abstractions(network):
+    flow = analyze_flow(network, parse_query("<ip> [.#v0] .* [v3#.] <ip> 0"))
+    link_names = set(network.link_names())
+    for (link_name, _state), value in flow.values.items():
+        assert link_name in link_names
+        assert isinstance(value, AbstractHeader)
+        assert value.min_len >= 1
+        if value.max_len is not None:
+            assert value.max_len >= value.min_len

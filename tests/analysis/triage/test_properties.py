@@ -1,0 +1,90 @@
+"""Hypothesis properties of the triage tier.
+
+Two guarantees the differential harness cannot pin down by example
+alone:
+
+* **Monotonicity under rule removal** — removing routing-table cells
+  can only shrink what the over-approximate flow analysis reaches:
+  every abstract value computed on the smaller network must be subsumed
+  by the full network's value at the same state. (Cell granularity is
+  the right one: removing a single entry from a non-final priority
+  group *shrinks* the failure sets lower-priority groups require, which
+  can legitimately enable behavior — concretely as well as abstractly.)
+* **PROVEN_YES traces replay** — every witness the triage pipeline
+  emits on a random network must be a valid failure-free trace matching
+  all three query expressions, re-checked here from first principles.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.triage import TriageVerdict, analyze_flow, run_triage
+from repro.errors import QueryError
+from repro.model.network import MplsNetwork
+from repro.model.routing import RoutingTable
+from repro.model.trace import check_trace
+from repro.query.nfa import label_nfa, link_nfa
+from repro.query.parser import parse_query
+from tests.property.test_engine_vs_oracle import (
+    build_random_network,
+    build_random_query,
+)
+
+
+def drop_cells(network, drop_fraction, rng_seed):
+    """A copy of ``network`` with a deterministic subset of τ cells removed."""
+    import random
+
+    rng = random.Random(rng_seed)
+    table = RoutingTable(network.topology)
+    for in_link, label, groups in network.routing.items():
+        if rng.random() < drop_fraction:
+            continue
+        table.set_groups(in_link, label, list(groups.groups))
+    return MplsNetwork(network.topology, network.labels, table)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=10_000),
+    st.sampled_from([0.2, 0.5, 0.8]),
+)
+def test_flow_monotone_under_cell_removal(seed, drop_fraction):
+    network = build_random_network(seed)
+    query_text = build_random_query(network, seed + 1)
+    smaller = drop_cells(network, drop_fraction, seed + 2)
+    try:
+        full = analyze_flow(network, parse_query(query_text))
+        sub = analyze_flow(smaller, parse_query(query_text))
+    except QueryError:
+        return  # a random atom missed the network's alphabet
+    for state, value in sub.values.items():
+        assert state in full.values, (seed, query_text, state)
+        assert full.values[state].subsumes(value), (seed, query_text, state)
+    # Reachability of an accepting configuration is monotone too: what
+    # the full network cannot reach, no sub-network can.
+    if full.proven_unreachable:
+        assert sub.proven_unreachable, (seed, query_text)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_proven_yes_traces_replay(seed):
+    network = build_random_network(seed)
+    query_text = build_random_query(network, seed + 1)
+    try:
+        result = run_triage(network, query_text)
+    except QueryError:
+        return
+    if result.verdict is not TriageVerdict.PROVEN_YES:
+        return
+    trace = result.trace
+    assert check_trace(network, trace, frozenset()), (seed, query_text)
+    query = parse_query(query_text)
+    assert label_nfa(query.initial_header, network).accepts(
+        trace.first_header.labels
+    ), (seed, query_text)
+    assert label_nfa(query.final_header, network).accepts(
+        trace.last_header.labels
+    ), (seed, query_text)
+    assert link_nfa(query.path, network).accepts(trace.links), (seed, query_text)

@@ -1,0 +1,59 @@
+"""Unit tests of the bounded concrete witness search."""
+
+import pytest
+
+from repro.analysis.triage import SearchLimits, find_witness
+from repro.datasets.example import build_example_network
+from repro.model.trace import check_trace
+from repro.query.nfa import label_nfa, link_nfa
+from repro.query.parser import parse_query
+
+
+@pytest.fixture(scope="module")
+def network():
+    return build_example_network()
+
+
+def test_finds_and_validates_witness(network):
+    query = parse_query("<ip> [.#v0] .* [v3#.] <ip> 0")
+    trace = find_witness(network, query)
+    assert trace is not None
+    assert check_trace(network, trace, frozenset())
+    assert label_nfa(query.initial_header, network).accepts(trace.first_header.labels)
+    assert label_nfa(query.final_header, network).accepts(trace.last_header.labels)
+    assert link_nfa(query.path, network).accepts(trace.links)
+
+
+def test_no_witness_for_unsatisfiable(network):
+    assert find_witness(network, parse_query("<ip ip> .* <ip> 0")) is None
+
+
+def test_no_witness_when_failures_required(network):
+    """The search simulates the failure-free network only: a query
+    satisfiable solely via protection tunnels must come back empty, not
+    with an infeasible trace."""
+    query = parse_query("<ip> [.#v0] .* <mpls smpls ip> 1")
+    assert find_witness(network, query) is None
+
+
+def test_limits_bound_the_search(network):
+    query = parse_query("<ip> [.#v0] .* [v3#.] <ip> 0")
+    # The shortest witness has 4 hops; a 1-step budget cannot reach it.
+    starved = SearchLimits(max_steps=1)
+    assert find_witness(network, query, limits=starved) is None
+    assert find_witness(network, query, limits=SearchLimits()) is not None
+
+
+def test_single_step_witness(network):
+    """Prefix-trace semantics: a query matched by the very first hop."""
+    query = parse_query("<ip> [.#v0] <ip> 0")
+    trace = find_witness(network, query)
+    assert trace is not None
+    assert len(trace) == 1
+
+
+def test_search_is_deterministic(network):
+    query = parse_query("<ip> [.#v0] .* [v3#.] <ip> 0")
+    first = find_witness(network, query)
+    second = find_witness(network, query)
+    assert first == second

@@ -10,6 +10,7 @@ import pytest
 from repro.datasets.example import EXAMPLE_QUERIES, build_example_network
 from repro.farm.jobs import DONE, JobManager
 from repro.farm.scenarios import (
+    clear_preflight_memo,
     failure_scenarios,
     preflight_index,
     preflight_scenarios,
@@ -20,6 +21,15 @@ from repro.verification.batch import BatchVerifier
 from repro.verification.engine import VerificationEngine
 
 PHI0 = EXAMPLE_QUERIES[0][1]
+
+
+@pytest.fixture(autouse=True)
+def fresh_memo():
+    """The preflight lint memo is process-global and content-keyed, so
+    earlier tests' runs would satisfy later counts; start each clean."""
+    clear_preflight_memo()
+    yield
+    clear_preflight_memo()
 
 
 @pytest.fixture(scope="module")
@@ -62,7 +72,10 @@ class TestScenarioPreflight:
             network, queries, max_failures=1, preflight=True
         )
         variants = {id(s.network) for s in scenarios}
-        assert len(calls) == len(variants)
+        # One network lint per variant, plus one DP007 query lint per
+        # (variant, query) pair — each memoized by content, so no
+        # variant or query pays twice.
+        assert len(calls) == len(variants) * (1 + len(queries))
         assert len(scenarios) == len(variants) * len(queries)
 
     def test_suite_preflight(self, network):

@@ -287,3 +287,64 @@ class TestProbabilisticSweep:
             ]
         )
         assert code == 3
+
+
+class TestTriage:
+    UNSAT = "<ip ip> .* <ip> 0"
+    NEEDS_FAILURE = "<ip> [.#v0] .* <mpls smpls ip> 1"
+
+    def test_auto_settles_and_reports(self, capsys):
+        code = main(
+            ["--builtin", "example", "--query", PHI0, "--triage", "auto", "--stats"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SATISFIED" in out
+        assert "verdict=proven_yes" in out
+
+    def test_auto_matches_plain_verdicts(self, capsys):
+        for query, expected in ((PHI0, 0), (PHI3, 1), (self.NEEDS_FAILURE, 0)):
+            plain = main(["--builtin", "example", "--query", query])
+            triaged = main(
+                ["--builtin", "example", "--query", query, "--triage", "auto"]
+            )
+            assert plain == triaged == expected
+
+    def test_only_mode_exit_codes(self, capsys):
+        assert main(
+            ["--builtin", "example", "--query", PHI0, "--triage", "only"]
+        ) == 0
+        assert main(
+            ["--builtin", "example", "--query", self.UNSAT, "--triage", "only"]
+        ) == 1
+        # Needs a failure: triage alone cannot settle it — exit 2,
+        # mirroring the lint-style inconclusive contract.
+        assert main(
+            ["--builtin", "example", "--query", self.NEEDS_FAILURE,
+             "--triage", "only"]
+        ) == 2
+        assert "INCONCLUSIVE" in capsys.readouterr().out
+
+    def test_rejects_unknown_mode(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--builtin", "example", "--query", PHI0, "--triage", "later"])
+
+    def test_sweep_reports_triaged_scenarios(self, capsys):
+        code = main(
+            [
+                "--builtin", "example", "--query", PHI0,
+                "--sweep-failures", "1", "--triage", "auto",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "triaged:" in out
+
+    def test_profile_shows_triage_spans(self, capsys):
+        code = main(
+            ["--builtin", "example", "--query", PHI0, "--triage", "auto",
+             "--profile"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "triage" in out

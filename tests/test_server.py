@@ -456,7 +456,11 @@ class TestJobPreflight:
         flagged = [item for item in final["items"] if "diagnostics" in item]
         assert flagged, "no item carried diagnostics"
         codes = {d["code"] for item in flagged for d in item["diagnostics"]}
-        assert codes <= {"DP001", "DP002", "DP003", "DP004", "DP005", "DP006"}
+        # DP007 joins the set: on a degraded variant the pinned k=0 query
+        # can become statically unsatisfiable, which is a preflight finding.
+        assert codes <= {
+            "DP001", "DP002", "DP003", "DP004", "DP005", "DP006", "DP007"
+        }
 
     def test_suite_without_preflight_has_no_section(self, server):
         status, document = request(
@@ -731,3 +735,98 @@ class TestCacheMetrics:
             if line and not line.startswith("#")
         ]
         assert len(names) == len(set(names))
+
+
+class TestTriage:
+    PHI0 = "<ip> [.#v0] .* [v3#.] <ip> 0"
+    UNSAT = "<ip ip> .* <ip> 0"
+    NEEDS_FAILURE = "<ip> [.#v0] .* <mpls smpls ip> 1"
+
+    def test_verify_reports_triage_block(self, server):
+        status, document = request(
+            server, "POST", "/verify",
+            {"network": "example", "query": self.PHI0, "triage": "auto"},
+        )
+        assert status == 200
+        assert document["status"] == "satisfied"
+        assert document["triage"]["verdict"] == "proven_yes"
+        assert document["triage"]["seconds"] >= 0.0
+        assert document["trace"]  # the witness is still rendered
+
+    def test_verify_without_triage_has_no_block(self, server):
+        status, document = request(
+            server, "POST", "/verify",
+            {"network": "example", "query": self.PHI0},
+        )
+        assert status == 200
+        assert "triage" not in document
+
+    def test_only_mode_inconclusive(self, server):
+        status, document = request(
+            server, "POST", "/verify",
+            {"network": "example", "query": self.NEEDS_FAILURE,
+             "triage": "only"},
+        )
+        assert status == 200
+        assert document["status"] == "inconclusive"
+        assert document["triage"]["verdict"] == "inconclusive"
+
+    def test_unknown_mode_is_a_400(self, server):
+        status, document = request(
+            server, "POST", "/verify",
+            {"network": "example", "query": self.PHI0, "triage": "later"},
+        )
+        assert status == 400
+        assert "triage" in document["error"]
+
+    def test_lint_queries_surface_dp007(self, server):
+        status, document = request(
+            server, "POST", "/lint",
+            {"network": "example", "rules": ["DP007"],
+             "queries": [{"name": "bad", "text": self.UNSAT}]},
+        )
+        assert status == 200
+        codes = [d["code"] for d in document["diagnostics"]]
+        assert codes == ["DP007"]
+        assert "'bad'" in document["diagnostics"][0]["message"]
+
+    def test_job_snapshot_counts_triaged(self, server):
+        import time
+
+        status, document = request(
+            server, "POST", "/jobs",
+            {"network": "example", "query": self.PHI0,
+             "sweep_failures": 1, "triage": "auto"},
+        )
+        assert status == 202
+        job_id = document["id"]
+        for _ in range(200):
+            status, snapshot = request(server, "GET", f"/jobs/{job_id}")
+            if snapshot["state"] in ("done", "failed", "cancelled"):
+                break
+            time.sleep(0.05)
+        assert snapshot["state"] == "done"
+        assert snapshot["summary"]["triaged"] > 0
+        triaged = [item for item in snapshot["items"] if "triage" in item]
+        assert triaged
+        assert all(
+            item["triage"] in ("proven_yes", "proven_no") for item in triaged
+        )
+
+    def test_metrics_expose_triage_counters_once(self, server):
+        # The verifications above populated the counters.
+        connection = http.client.HTTPConnection(
+            server.host, server.port, timeout=60
+        )
+        try:
+            connection.request("GET", "/metrics")
+            body = connection.getresponse().read().decode("utf-8")
+        finally:
+            connection.close()
+        assert "aalwines_triage_runs_total" in body
+        names = [
+            line.split()[0]
+            for line in body.splitlines()
+            if line and not line.startswith("#") and "{" not in line
+        ]
+        assert len(names) == len(set(names)), "duplicate metric series"

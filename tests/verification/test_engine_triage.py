@@ -1,0 +1,101 @@
+"""The engine's triage fast path: mode semantics and stats plumbing."""
+
+import pytest
+
+from repro.datasets.builtins import load_builtin
+from repro.datasets.example import build_example_network
+from repro.errors import VerificationError
+from repro.model.trace import check_trace
+from repro.verification.engine import VerificationEngine, weighted_engine
+from repro.verification.results import Status
+
+SAT = "<ip> [.#v0] .* [v3#.] <ip> 0"
+UNSAT = "<ip ip> .* <ip> 0"
+#: Satisfiable only via a protection tunnel — triage stays inconclusive.
+NEEDS_FAILURE = "<ip> [.#v0] .* <mpls smpls ip> 1"
+
+
+@pytest.fixture(scope="module")
+def network():
+    return build_example_network()
+
+
+def test_invalid_mode_raises(network):
+    with pytest.raises(VerificationError):
+        VerificationEngine(network, triage="sometimes")
+
+
+def test_off_by_default(network):
+    result = VerificationEngine(network).verify(SAT)
+    assert result.stats.triage_verdict is None
+    assert result.stats.triage_seconds == 0.0
+
+
+def test_auto_settles_without_compiling(network):
+    engine = VerificationEngine(network, triage="auto")
+    satisfied = engine.verify(SAT)
+    assert satisfied.status is Status.SATISFIED
+    assert satisfied.stats.triage_verdict == "proven_yes"
+    assert satisfied.stats.over_rules == 0  # no PDA was compiled
+    assert satisfied.trace is not None
+    assert check_trace(network, satisfied.trace, frozenset())
+
+    unsatisfied = engine.verify(UNSAT)
+    assert unsatisfied.status is Status.UNSATISFIED
+    assert unsatisfied.stats.triage_verdict == "proven_no"
+    assert unsatisfied.stats.over_rules == 0
+
+
+def test_auto_falls_back_to_the_full_pipeline(network):
+    engine = VerificationEngine(network, triage="auto")
+    result = engine.verify(NEEDS_FAILURE)
+    assert result.stats.triage_verdict == "inconclusive"
+    assert result.status is Status.SATISFIED  # the dual engine finishes the job
+    assert result.stats.over_rules > 0  # and really compiled
+
+
+def test_auto_agrees_with_off(network):
+    plain = VerificationEngine(network)
+    triaged = VerificationEngine(network, triage="auto")
+    for query in (SAT, UNSAT, NEEDS_FAILURE):
+        assert plain.verify(query).status is triaged.verify(query).status
+
+
+def test_only_mode_answers_from_triage_alone(network):
+    engine = VerificationEngine(network, triage="only")
+    assert engine.verify(SAT).status is Status.SATISFIED
+    assert engine.verify(UNSAT).status is Status.UNSATISFIED
+    inconclusive = engine.verify(NEEDS_FAILURE)
+    assert inconclusive.status is Status.INCONCLUSIVE
+    assert inconclusive.stats.over_rules == 0  # never compiled anything
+
+
+def test_only_mode_inconclusive_on_larger_builtin():
+    network = load_builtin("nordunet")
+    engine = VerificationEngine(network, triage="only")
+    result = engine.verify("<smpls ip> [.#odn1] .* [.#nyc1] <smpls ip> 1")
+    assert result.status is Status.INCONCLUSIVE
+
+
+def test_weighted_auto_does_not_shortcut_proven_yes(network):
+    """A triage witness is real but not necessarily weight-minimal: the
+    weighted engine must fall through to the full pipeline on
+    PROVEN_YES (and may still shortcut PROVEN_NO, which is weight-free)."""
+    engine = weighted_engine(network, weight="hops", triage="auto")
+    plain = weighted_engine(network, weight="hops")
+
+    satisfied = engine.verify(SAT)
+    assert satisfied.stats.triage_verdict == "proven_yes"
+    assert satisfied.status is Status.SATISFIED
+    assert satisfied.weight == plain.verify(SAT).weight
+    assert satisfied.stats.over_rules > 0  # full weighted pipeline ran
+
+    unsatisfied = engine.verify(UNSAT)
+    assert unsatisfied.status is Status.UNSATISFIED
+    assert unsatisfied.stats.over_rules == 0  # PROVEN_NO needs no weights
+
+
+def test_triage_time_is_accounted(network):
+    result = VerificationEngine(network, triage="auto").verify(SAT)
+    assert result.stats.triage_seconds > 0.0
+    assert result.stats.total_seconds >= result.stats.triage_seconds
