@@ -1,0 +1,320 @@
+"""Incremental delta-saturation vs from-scratch solving: the sweep
+ablation.
+
+A what-if sweep verifies the *same* query on many small perturbations
+of one baseline network. The scratch path fully saturates every
+variant's pushdown; ``core="incremental"`` saturates the baseline once,
+diffs each variant's rule multiset against the current one (an integer
+spec-id bincount — the variants compile against the family's shared
+symbol tables) and repairs only the invalidated region. This bench
+quantifies that delta on the two workloads the paper's evaluation shape
+calls for:
+
+* the **106-job per-link audit** of NORDUnet (``k = 1``: every link
+  failed alone), and
+* a **k = 2 combinatorial sweep** over a 16-link Copenhagen/Oresund
+  cluster of NORDUnet (120 failure pairs), where lexicographically
+  consecutive variants share their first failed link and the deltas are
+  genuinely small — the setting incremental re-saturation targets.
+
+Triage is off throughout, so every number is a real solve. What is
+timed, honestly:
+
+* **solve** (the gated comparison): retarget-diff + repair for the
+  incremental core vs full interned saturation — the phase the core
+  swap actually changes. Both cores pay an identical per-variant query
+  *compilation* (the variant's rules must exist to be diffed), so it is
+  measured separately and excluded from the solve ratio, exactly as the
+  interning ablation excludes it.
+* **end-to-end walls**: compilation, the baseline's one-off saturation
+  (also reported on its own) and every solve — nothing excluded.
+
+Correctness is part of the measurement: per variant the two cores must
+agree on verdict and minimal weight; divergence fails the run. (Full
+witness-trace identity across cores is pinned by the differential and
+golden-sweep suites.)
+
+Run standalone::
+
+    python -m benchmarks.bench_incremental           # full sweep + JSON dump
+    python -m benchmarks.bench_incremental --quick   # CI perf smoke (exits 1
+                                                     # if incremental loses)
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+import json
+import os
+import statistics
+import sys
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from benchmarks.common import RESULTS_DIR, save_results
+from repro.datasets.builtins import load_builtin
+from repro.datasets.queries import generate_query_suite
+from repro.model.srlg import degrade_network
+from repro.pda.incremental import IncrementalSolver
+from repro.pda.intern import EPSILON, SymbolTable
+from repro.pda.solver import solve_reachability
+from repro.query.parser import parse_query
+from repro.verification.compiler import QueryCompiler
+
+BASELINE_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_incremental.json",
+)
+
+#: The k=2 sweep's link cluster: Copenhagen/Oresund plus the Frankfurt
+#: and external-Geneva attachments — 16 links, C(16,2) = 120 variants.
+SWEEP_PREFIXES = ("cph", "ore1", "ffm1--gen1", "ext_gen1")
+
+#: The audit/sweep query: label-stack transparency under one failure
+#: (q004 of the seed-99 generated suite; 105/106 audit variants UNSAT,
+#: so scratch cannot hide behind witness extraction).
+SWEEP_QUERY = "q004_transparency_k1"
+
+QUICK_SWEEP_LINKS = 7  # C(7,2) = 21 variants
+QUICK_AUDIT_LINKS = 16
+QUICK_GATE = 2.0  # median solve speedup the CI smoke must clear
+
+
+def _sweep_links(network, limit: Optional[int] = None) -> List[str]:
+    names = sorted(
+        link.name
+        for link in network.topology.links
+        if link.name.startswith(SWEEP_PREFIXES)
+    )
+    return names[:limit] if limit is not None else names
+
+
+def _audit_query(network):
+    suite = generate_query_suite(network, count=8, seed=99, include_unconstrained=True)
+    return next(g for g in suite if g.name == SWEEP_QUERY)
+
+
+def _shared_tables() -> Tuple[SymbolTable, SymbolTable, SymbolTable]:
+    """One id space for a whole variant family — states, symbols and
+    rule specs — mirroring :class:`repro.verification.IncrementalFamily`."""
+    return SymbolTable(), SymbolTable(reserve=(EPSILON,)), SymbolTable()
+
+
+def _run_sweep(network, query, variants) -> Dict[str, Any]:
+    """Solve ``query`` on every variant with both cores.
+
+    ``variants`` is a list of ``(label, degraded_network)``. Returns
+    per-phase timings, the separately-reported baseline setup cost,
+    end-to-end walls, and any answer mismatches.
+    """
+    mismatches: List[str] = []
+    rows: List[Dict[str, Any]] = []
+
+    # Incremental: one shared-table family, saturated once, retargeted
+    # per variant (production path: engine core="incremental").
+    states, symbols, specs = _shared_tables()
+    setup_start = time.perf_counter()
+    base = QueryCompiler(
+        network, state_table=states, symbol_table=symbols, spec_table=specs
+    ).compile(query, mode="over")
+    solver = IncrementalSolver(base.pds, base.semiring, base.initial, base.target)
+    solver.reachable()
+    baseline_setup = time.perf_counter() - setup_start
+
+    incremental: List[tuple] = []
+    incremental_wall_start = time.perf_counter()
+    for label, variant in variants:
+        compile_start = time.perf_counter()
+        compiled = QueryCompiler(
+            variant, state_table=states, symbol_table=symbols, spec_table=specs
+        ).compile(query, mode="over")
+        solve_start = time.perf_counter()
+        solver.retarget(compiled.pds)
+        reachable, weight = solver.reachable()
+        done = time.perf_counter()
+        incremental.append(
+            (
+                label,
+                solve_start - compile_start,
+                done - solve_start,
+                f"{reachable}|{weight}",
+            )
+        )
+    incremental_wall = time.perf_counter() - incremental_wall_start
+
+    scratch: List[tuple] = []
+    scratch_wall_start = time.perf_counter()
+    for label, variant in variants:
+        compile_start = time.perf_counter()
+        compiled = QueryCompiler(variant).compile(query, mode="over")
+        solve_start = time.perf_counter()
+        outcome = solve_reachability(
+            compiled.pds,
+            compiled.semiring,
+            compiled.initial,
+            compiled.target,
+            core="interned",
+        )
+        done = time.perf_counter()
+        scratch.append(
+            (
+                label,
+                solve_start - compile_start,
+                done - solve_start,
+                f"{outcome.reachable}|{outcome.weight}",
+            )
+        )
+    scratch_wall = time.perf_counter() - scratch_wall_start
+
+    for (label, inc_c, inc_s, inc_fp), (_, scr_c, scr_s, scr_fp) in zip(
+        incremental, scratch
+    ):
+        if inc_fp != scr_fp:
+            mismatches.append(
+                f"{label}: cores disagree "
+                f"(incremental {inc_fp} vs scratch {scr_fp})"
+            )
+        rows.append(
+            {
+                "variant": label,
+                "compile_seconds": round(inc_c, 6),
+                "incremental_solve_seconds": round(inc_s, 6),
+                "scratch_solve_seconds": round(scr_s, 6),
+                "solve_speedup": round(scr_s / inc_s, 3) if inc_s > 0 else None,
+            }
+        )
+
+    speedups = sorted(
+        row["solve_speedup"] for row in rows if row["solve_speedup"] is not None
+    )
+    return {
+        "variants": len(rows),
+        "baseline_setup_seconds": round(baseline_setup, 6),
+        "median_compile_seconds": round(
+            statistics.median(r["compile_seconds"] for r in rows), 6
+        ),
+        "median_incremental_solve_seconds": round(
+            statistics.median(r["incremental_solve_seconds"] for r in rows), 6
+        ),
+        "median_scratch_solve_seconds": round(
+            statistics.median(r["scratch_solve_seconds"] for r in rows), 6
+        ),
+        "median_solve_speedup": round(statistics.median(speedups), 3)
+        if speedups
+        else None,
+        "min_solve_speedup": speedups[0] if speedups else None,
+        "max_solve_speedup": speedups[-1] if speedups else None,
+        "incremental_wall_seconds": round(incremental_wall, 6),
+        "incremental_wall_with_setup_seconds": round(
+            incremental_wall + baseline_setup, 6
+        ),
+        "scratch_wall_seconds": round(scratch_wall, 6),
+        "mismatches": mismatches,
+        "rows": rows,
+    }
+
+
+def run(quick: bool = False) -> Dict[str, Any]:
+    network = load_builtin("nordunet")
+    generated = _audit_query(network)
+    query = parse_query(generated.text)
+
+    # -- k=2 combinatorial sweep ---------------------------------------
+    links = _sweep_links(network, QUICK_SWEEP_LINKS if quick else None)
+    link_of = {name: network.topology.link(name) for name in links}
+    variants = [
+        (
+            "+".join(pair),
+            degrade_network(network, frozenset(link_of[name] for name in pair)),
+        )
+        for pair in itertools.combinations(links, 2)
+    ]
+    sweep = _run_sweep(network, query, variants)
+
+    # -- per-link audit (k=1, every link alone) ------------------------
+    audit_links = sorted(link.name for link in network.topology.links)
+    if quick:
+        audit_links = audit_links[:QUICK_AUDIT_LINKS]
+    audit_variants = [
+        (name, degrade_network(network, frozenset((network.topology.link(name),))))
+        for name in audit_links
+    ]
+    audit = _run_sweep(network, query, audit_variants)
+    for section in (sweep, audit):
+        section.pop("rows")  # keep the committed JSON reviewable
+
+    payload = {
+        "benchmark": "incremental",
+        "mode": "quick" if quick else "full",
+        "network": "nordunet",
+        "query": {"name": generated.name, "text": generated.text},
+        "k2_sweep": sweep,
+        "link_audit": audit,
+        "answers_identical": not (sweep["mismatches"] or audit["mismatches"]),
+    }
+    return payload
+
+
+def _print_section(title: str, section: Dict[str, Any]) -> None:
+    print(
+        f"{title}: {section['variants']} variants | "
+        f"baseline setup {section['baseline_setup_seconds']:.3f}s | "
+        f"compile/variant {section['median_compile_seconds']*1e3:.1f}ms | "
+        f"solve/variant incremental "
+        f"{section['median_incremental_solve_seconds']*1e3:.2f}ms "
+        f"vs scratch {section['median_scratch_solve_seconds']*1e3:.2f}ms | "
+        f"median solve speedup {section['median_solve_speedup']}x "
+        f"(min {section['min_solve_speedup']}x, "
+        f"max {section['max_solve_speedup']}x)"
+    )
+    print(
+        f"  end-to-end wall: incremental {section['incremental_wall_seconds']:.3f}s "
+        f"(+setup = {section['incremental_wall_with_setup_seconds']:.3f}s) "
+        f"vs scratch {section['scratch_wall_seconds']:.3f}s"
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller link slices; nonzero exit when the incremental "
+        f"solve phase is not at least {QUICK_GATE}x faster than scratch",
+    )
+    args = parser.parse_args(argv)
+
+    payload = run(quick=args.quick)
+    _print_section("k=2 sweep", payload["k2_sweep"])
+    _print_section("link audit", payload["link_audit"])
+
+    mismatches = payload["k2_sweep"]["mismatches"] + payload["link_audit"]["mismatches"]
+    if mismatches:
+        print("\nANSWER MISMATCHES:", file=sys.stderr)
+        for mismatch in mismatches:
+            print(f"  {mismatch}", file=sys.stderr)
+        return 2
+
+    save_results("bench_incremental", payload)
+    print(f"results: {os.path.join(RESULTS_DIR, 'bench_incremental.json')}")
+    if not args.quick:
+        with open(BASELINE_PATH, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"baseline: {BASELINE_PATH}")
+
+    if args.quick:
+        median = payload["k2_sweep"]["median_solve_speedup"]
+        if median is None or median < QUICK_GATE:
+            print(
+                f"PERF SMOKE FAILURE: incremental solve phase not at least "
+                f"{QUICK_GATE}x faster than scratch (median {median}x)",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -53,6 +53,15 @@ class EngineConfig:
     #: Static triage mode ("auto" / "off" / "only"); settled scenarios
     #: skip compilation entirely on the worker.
     triage: str = "off"
+    #: Saturation core ("interned" / "tuple" / "incremental"). Part of
+    #: the config — and hence of the worker cache's engine slot — so
+    #: switching cores can never serve a result computed by another one.
+    core: str = "interned"
+    #: Content-hash key of the sweep's baseline network, required by the
+    #: incremental core: workers resolve it through the same artifact
+    #: cache as variant networks and share one saturated solver family
+    #: across all of the baseline's variant jobs.
+    baseline_key: Optional[str] = None
 
     @classmethod
     def from_engine(cls, engine: VerificationEngine) -> "EngineConfig":
@@ -72,9 +81,12 @@ class EngineConfig:
             early_termination=engine.early_termination,
             weight=weight,
             triage=engine.triage,
+            core=engine.core,
         )
 
-    def build(self, network: MplsNetwork) -> VerificationEngine:
+    def build(
+        self, network: MplsNetwork, baseline: Optional[MplsNetwork] = None
+    ) -> VerificationEngine:
         """Instantiate the configured engine for ``network``."""
         return VerificationEngine(
             network,
@@ -83,6 +95,9 @@ class EngineConfig:
             early_termination=self.early_termination,
             weight=self.weight,
             triage=self.triage,
+            core=self.core,
+            baseline=baseline,
+            baseline_key=self.baseline_key if baseline is not None else None,
         )
 
 
@@ -146,9 +161,19 @@ def execute_job(job: FarmJob) -> BatchItem:
     calls it inline.
     """
     network = _network_for(job.network_key)
-    engine = worker_cache().engine(
-        job.network_key, job.config, lambda: job.config.build(network)
-    )
+    baseline: Optional[MplsNetwork] = None
+    if job.config.baseline_key is not None:
+        # The baseline travels like any other network artifact; the
+        # worker resolves it once and every variant job shares the
+        # resulting saturated solver family.
+        baseline = _network_for(job.config.baseline_key)
+    if baseline is not None:
+        build = lambda: job.config.build(network, baseline)  # noqa: E731
+    else:
+        # Keep the no-baseline call unary: EngineConfig subclasses (and
+        # older pickled configs) override build(network) without it.
+        build = lambda: job.config.build(network)  # noqa: E731
+    engine = worker_cache().engine(job.network_key, job.config, build)
     return run_single(engine, job.name, job.query, job.timeout)
 
 

@@ -1,0 +1,1129 @@
+"""Incremental delta-saturation: reuse a baseline fixpoint across variants.
+
+A what-if sweep solves hundreds of pushdown systems that differ from a
+baseline by a handful of rules (a failed link retracts its failover
+entries and promotes others). Saturating each variant from scratch
+re-derives the entire automaton; this module keeps the **baseline
+saturated automaton** alive and, per variant, runs a
+*delete-then-repropagate* repair:
+
+1. **Diff.** Rule sets are compared *symbolically* — a rule's identity
+   is ``(from_state, pop, to_state, push, weight, tag)`` — so the delta
+   between two independently compiled systems is exactly the rules that
+   changed, regardless of interning order. (The compiler's chain states
+   are content-addressed for precisely this reason.) New rules are
+   interned into the baseline's shared
+   :class:`~repro.pda.intern.SymbolTable` arenas, so packed keys remain
+   comparable across deltas.
+
+   When the variant was compiled in the *same id space* as the baseline
+   (a shared ``spec_table`` — see
+   :class:`~repro.pda.system.PushdownSystem`), the diff instead runs on
+   the per-rule dense spec-id streams as a flat integer bincount
+   subtraction. That path never hashes a tuple and costs well under a
+   millisecond for tens of thousands of rules — essential, because the
+   diff is on every variant's critical path while the repair itself is
+   usually near-free. Spec ids deliberately exclude the rule ``tag``:
+   tags never influence saturation weights, so a variant that only
+   re-tags a rule is (correctly) an empty delta; the automaton's
+   internal witnesses may then cite a rule object whose tag differs
+   from the variant's equivalent rule, which is sound because
+   user-facing traces are always re-extracted by a scratch solve of the
+   variant (see below).
+
+2. **Delete.** Every automaton transition whose recorded best
+   derivation (its witness) references a retracted rule — or,
+   transitively, a deleted transition — is removed. This over-deletes:
+   a transition may still be derivable another way. The closure is
+   computed over reverse dependency indexes (rule → dependent
+   transitions, transition → dependent transitions) maintained next to
+   the witness map. Soundness of keeping everything else untouched is
+   an induction over the witness DAG: a surviving transition's recorded
+   derivation uses only surviving premises, whose weights are exact
+   minimal by the hypothesis, so its own recorded weight is still
+   realized; and no *better* derivation can have appeared, because
+   deletion only removes derivations.
+
+3. **Repropagate.** Deleted transitions are re-seeded by one-step
+   backward derivation from surviving facts, added rules are applied to
+   all matching surviving facts, and the ordinary Dijkstra-style
+   saturation loop (the same body as :mod:`repro.pda.poststar` /
+   :mod:`repro.pda.prestar`) runs until the worklist drains. Added
+   rules may *improve* a previously finalized transition, so the repair
+   relax re-opens finalized keys on strict improvement — heap order
+   stays valid because extend is monotone.
+
+The repaired automaton reaches the same unique least fixpoint as a
+from-scratch saturation of the variant, which makes the full weight map
+(:meth:`IncrementalSolver.digest`) a strong differential oracle:
+applying deltas in any order, or retracting and re-adding a delta,
+must produce byte-identical digests.
+
+Witness *traces*, by contrast, are tie-break artifacts of relaxation
+order and are **not** preserved by repair; callers that need the
+scratch-identical trace (the verification engine) re-run the ordinary
+interned solve on the variant for witness extraction only, using the
+incremental weight as a cross-check (see
+:mod:`repro.verification.incremental`).
+
+The solver always saturates the baseline **fully** (no early
+termination — a partially saturated automaton is not reusable) and runs
+**without** the §4.2 reductions: reduction output depends globally on
+the rule set, so reduced systems of two near-identical variants can
+differ in many rules, destroying the small delta. The reductions'
+purpose — skipping work that cannot matter — is subsumed here by only
+re-running the fixpoint on dirtied transitions. Reductions provably
+never change the saturated weight map (they only drop rules that can
+never fire), so answers agree with the reduced scratch cores.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import time
+from collections import Counter, deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple, Union
+
+try:  # the fast integer diff wants numpy; everything else works without
+    import numpy as _np
+except Exception:  # pragma: no cover - numpy is present in the dev image
+    _np = None
+
+from repro import obs
+from repro.errors import PdaError
+from repro.pda.automaton import EPSILON, IntPAutomaton, _heap_key
+from repro.pda.intern import EPSILON_ID, MASK, SHIFT, pack_key
+from repro.pda.poststar import _MID, poststar
+from repro.pda.prestar import prestar
+from repro.pda.semiring import Semiring
+from repro.pda.system import PushdownSystem, Rule
+
+State = Hashable
+Symbol = Hashable
+
+#: Symbolic rule identity: (from_state, pop, to_state, push, weight, tag).
+RuleSpec = Tuple[Any, Any, Any, Tuple[Any, ...], Any, Any]
+
+
+def rule_spec(rule: Rule) -> RuleSpec:
+    """The symbolic identity of a rule, independent of interning."""
+    return (rule.from_state, rule.pop, rule.to_state, rule.push, rule.weight, rule.tag)
+
+
+@dataclass
+class DeltaReport:
+    """Accounting for one :meth:`IncrementalSolver.apply_delta`."""
+
+    rules_removed: int = 0
+    rules_added: int = 0
+    #: Transitions deleted by the dirty closure.
+    invalidated: int = 0
+    #: Successful relaxations during re-seeding and repair.
+    recomputed: int = 0
+    #: Finalized transitions re-opened by an improving relax.
+    reopened: int = 0
+    #: Worklist iterations of the repair loop.
+    repair_iterations: int = 0
+    #: Transitions carried over untouched from before the delta.
+    reused: int = 0
+    elapsed_seconds: float = 0.0
+
+    @property
+    def reuse_ratio(self) -> float:
+        """Fraction of the pre-delta automaton that survived the delta."""
+        total = self.reused + self.invalidated
+        return self.reused / total if total else 1.0
+
+
+@dataclass
+class IncrementalStats:
+    """Cumulative accounting across a solver's lifetime."""
+
+    deltas_applied: int = 0
+    invalidated: int = 0
+    recomputed: int = 0
+    reused: int = 0
+    reports: List[DeltaReport] = field(default_factory=list)
+
+
+class IncrementalSolver:
+    """One reachability question, kept saturated across rule deltas.
+
+    ``pds`` is the baseline system; ``initial`` / ``target`` are the
+    ``(state, symbol)`` endpoints of the reachability question (the
+    compiled query's ``(START, BOTTOM)`` → ``(ACCEPT, BOTTOM)``).
+    ``method`` selects the saturation direction. The constructor runs
+    one full (never early-terminated, unreduced) saturation; afterwards
+    :meth:`retarget` / :meth:`apply_delta` repair the automaton to any
+    nearby rule set and :meth:`accept` answers the question from the
+    repaired fixpoint.
+    """
+
+    def __init__(
+        self,
+        pds: PushdownSystem,
+        semiring: Semiring,
+        initial: Tuple[State, Symbol],
+        target: Tuple[State, Symbol],
+        method: str = "poststar",
+        max_steps: Optional[int] = None,
+        deadline: Optional[float] = None,
+    ) -> None:
+        if method not in ("poststar", "prestar"):
+            raise PdaError(f"unknown incremental method {method!r}")
+        self.method = method
+        self.semiring = semiring
+        self.initial = initial
+        self.target = target
+        self.max_steps = max_steps
+        self.stats = IncrementalStats()
+        #: True after an interrupted repair left the automaton torn;
+        #: every public entry point then refuses until rebuilt.
+        self.poisoned = False
+
+        self._states = pds.state_table
+        self._symbols = pds.symbol_table
+        # Own, mutable rule store (the baseline system is shared and
+        # immutable): symbolic multiset + live Rule objects per spec.
+        self._current_specs: Counter = Counter()
+        self._rules_by_spec: Dict[RuleSpec, List[Rule]] = {}
+        # Saturation-direction rule indexes, all maintained on delta:
+        self._by_head: Dict[int, List[Rule]] = {}
+        self._swap_by_result: Dict[int, List[Rule]] = {}
+        self._push_by_result: Dict[int, List[Rule]] = {}
+        self._push_by_below: Dict[int, List[Rule]] = {}
+        self._pop_by_to: Dict[int, List[Rule]] = {}
+        # Integer-diff store, active when the baseline carries a spec-id
+        # stream (shared spec table) and numpy is importable: live Rule
+        # objects per spec id plus a dense multiplicity vector of the
+        # *current* rule multiset, indexed by spec id.
+        self._spec_table = pds.spec_table if _np is not None else None
+        self._rules_by_sid: Optional[Dict[int, List[Rule]]] = (
+            {} if self._spec_table is not None else None
+        )
+        self._current_counts: Optional[Any] = None
+        rules_view = pds.rule_sequence()
+        if self._rules_by_sid is not None:
+            by_sid = self._rules_by_sid
+            for sid, rule in zip(pds.spec_ids, rules_view):
+                bucket = by_sid.get(sid)
+                if bucket is None:
+                    by_sid[sid] = bucket = []
+                bucket.append(rule)
+            self._current_counts = _np.bincount(
+                _np.frombuffer(pds.spec_ids, dtype=_np.int64)
+                if len(pds.spec_ids)
+                else _np.zeros(0, dtype=_np.int64),
+                minlength=len(self._spec_table),
+            )
+        for rule in rules_view:
+            self._rules_by_spec.setdefault(rule_spec(rule), []).append(rule)
+            self._index_rule(rule)
+        self._current_specs = Counter(
+            {spec: len(bucket) for spec, bucket in self._rules_by_spec.items()}
+        )
+        self._baseline_specs = Counter(self._current_specs)
+
+        # Reverse dependency indexes over the witness DAG.
+        self._rule_deps: Dict[Rule, Dict[int, None]] = {}
+        self._key_deps: Dict[int, Dict[int, None]] = {}
+        self._eps_by_source: Dict[int, Dict[int, None]] = {}
+        #: packed push head → interned mid-state id (post* loop cache).
+        self._mid_ids: Dict[int, int] = {}
+        self._reopened = 0
+        self._recomputed = 0
+
+        # The initial/target automaton of the *_single shape.
+        if method == "poststar":
+            anchor_state, anchor_symbol = initial
+        else:
+            anchor_state, anchor_symbol = target
+        final = ("__final__", anchor_state)
+        saturate = poststar if method == "poststar" else prestar
+        result = saturate(
+            pds,
+            semiring,
+            [(anchor_state, anchor_symbol, final)],
+            [final],
+            target=None,  # full saturation: the automaton must be reusable
+            max_steps=max_steps,
+            deadline=deadline,
+        )
+        self._automaton: IntPAutomaton = result.automaton
+        self.baseline_iterations = result.iterations
+        self._init_keys: Dict[int, Any] = {
+            pack_key(
+                self._states.intern(anchor_state),
+                self._symbols.intern(anchor_symbol),
+                self._states.intern(final),
+            ): semiring.one
+        }
+        for key, witness in self._automaton.witnesses.items():
+            self._register_deps(key, witness)
+        for key in self._automaton.weights:
+            if (key >> SHIFT) & MASK == EPSILON_ID:
+                self._eps_by_source.setdefault(key >> (2 * SHIFT), {})[
+                    key & MASK
+                ] = None
+
+    # ------------------------------------------------------------------
+    # rule store
+    # ------------------------------------------------------------------
+    def _index_rule(self, rule: Rule) -> None:
+        self._by_head.setdefault((rule.from_id << SHIFT) | rule.pop_id, []).append(rule)
+        push_ids = rule.push_ids
+        if not push_ids:
+            self._pop_by_to.setdefault(rule.to_id, []).append(rule)
+        elif len(push_ids) == 1:
+            self._swap_by_result.setdefault(
+                (rule.to_id << SHIFT) | push_ids[0], []
+            ).append(rule)
+        else:
+            self._push_by_result.setdefault(
+                (rule.to_id << SHIFT) | push_ids[0], []
+            ).append(rule)
+            self._push_by_below.setdefault(push_ids[1], []).append(rule)
+
+    def _unindex_rule(self, rule: Rule) -> None:
+        def drop(index: Dict[int, List[Rule]], key: int) -> None:
+            bucket = index.get(key)
+            if bucket is not None:
+                bucket.remove(rule)
+                if not bucket:
+                    del index[key]
+
+        drop(self._by_head, (rule.from_id << SHIFT) | rule.pop_id)
+        push_ids = rule.push_ids
+        if not push_ids:
+            drop(self._pop_by_to, rule.to_id)
+        elif len(push_ids) == 1:
+            drop(self._swap_by_result, (rule.to_id << SHIFT) | push_ids[0])
+        else:
+            drop(self._push_by_result, (rule.to_id << SHIFT) | push_ids[0])
+            drop(self._push_by_below, push_ids[1])
+
+    def _make_rule(self, spec: RuleSpec) -> Rule:
+        from_state, pop, to_state, push, weight, tag = spec
+        rule = Rule(from_state, pop, to_state, push, weight, tag)
+        rule.from_id = self._states.intern(from_state)
+        rule.pop_id = self._symbols.intern(pop)
+        rule.to_id = self._states.intern(to_state)
+        rule.push_ids = tuple(self._symbols.intern(s) for s in push)
+        return rule
+
+    def _sid_of(self, rule: Rule) -> int:
+        return self._spec_table.intern(
+            (rule.from_id, rule.pop_id, rule.to_id, rule.push_ids, rule.weight)
+        )
+
+    def _adopt_rule(self, rule: Rule) -> None:
+        """Full bookkeeping for one rule entering the current set."""
+        spec = rule_spec(rule)
+        self._rules_by_spec.setdefault(spec, []).append(rule)
+        self._current_specs[spec] += 1
+        self._index_rule(rule)
+        if self._rules_by_sid is not None:
+            sid = self._sid_of(rule)
+            self._rules_by_sid.setdefault(sid, []).append(rule)
+            counts = self._current_counts
+            if sid >= len(counts):
+                counts = _np.concatenate(
+                    [counts, _np.zeros(sid + 1 - len(counts), dtype=counts.dtype)]
+                )
+                self._current_counts = counts
+            counts[sid] += 1
+
+    def _forget_rule(self, rule: Rule) -> None:
+        """Full bookkeeping for one (currently held) rule leaving."""
+        spec = rule_spec(rule)
+        bucket = self._rules_by_spec[spec]
+        bucket.remove(rule)
+        if not bucket:
+            del self._rules_by_spec[spec]
+        self._current_specs[spec] -= 1
+        if not self._current_specs[spec]:
+            del self._current_specs[spec]
+        self._unindex_rule(rule)
+        if self._rules_by_sid is not None:
+            sid = self._sid_of(rule)
+            sid_bucket = self._rules_by_sid[sid]
+            sid_bucket.remove(rule)
+            if not sid_bucket:
+                del self._rules_by_sid[sid]
+            self._current_counts[sid] -= 1
+
+    # ------------------------------------------------------------------
+    # dependency bookkeeping
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _witness_deps(witness: Tuple[Any, ...]) -> Tuple[List[Rule], List[int]]:
+        """Premise rules and transition keys a witness references.
+
+        Shape-agnostic over both directions' witness tuples: post*'s
+        ``("step"/"eps"/"push-head"/"push-tail", …)`` and pre*'s
+        ``("rule", rule, partners)``. ``("init",)`` has no premises.
+        """
+        rules: List[Rule] = []
+        keys: List[int] = []
+        for part in witness[1:]:
+            if isinstance(part, Rule):
+                rules.append(part)
+            elif isinstance(part, int):
+                keys.append(part)
+            elif isinstance(part, tuple):
+                keys.extend(part)
+        return rules, keys
+
+    def _register_deps(self, key: int, witness: Tuple[Any, ...]) -> None:
+        rules, keys = self._witness_deps(witness)
+        for rule in rules:
+            self._rule_deps.setdefault(rule, {})[key] = None
+        for premise in keys:
+            self._key_deps.setdefault(premise, {})[key] = None
+
+    def _unregister_deps(self, key: int, witness: Tuple[Any, ...]) -> None:
+        rules, keys = self._witness_deps(witness)
+        for rule in rules:
+            bucket = self._rule_deps.get(rule)
+            if bucket is not None:
+                bucket.pop(key, None)
+                if not bucket:
+                    del self._rule_deps[rule]
+        for premise in keys:
+            bucket = self._key_deps.get(premise)
+            if bucket is not None:
+                bucket.pop(key, None)
+                if not bucket:
+                    del self._key_deps[premise]
+
+    # ------------------------------------------------------------------
+    # repair relax: like IntPAutomaton.relax, plus re-open + dep upkeep
+    # ------------------------------------------------------------------
+    def _relax(self, key: int, weight: Any, witness: Tuple[Any, ...]) -> bool:
+        automaton = self._automaton
+        semiring = self.semiring
+        if semiring.is_zero(weight):
+            return False
+        current = automaton.weights.get(key)
+        if current is not None and not semiring.less(weight, current):
+            return False
+        finalized = automaton._finalized
+        if key in finalized:
+            # An added rule improved an already-finalized transition;
+            # un-finalize and let the worklist repropagate. Monotone
+            # extend keeps the Dijkstra invariant valid for the rest.
+            finalized.discard(key)
+            self._reopened += 1
+        old = automaton.witnesses.get(key)
+        if old is not None:
+            self._unregister_deps(key, old)
+        self._register_deps(key, witness)
+        automaton.weights[key] = weight
+        automaton.witnesses[key] = witness
+        automaton.relaxations += 1
+        target = key & MASK
+        head = key >> SHIFT
+        symbol = head & MASK
+        source = head >> SHIFT
+        if symbol == EPSILON_ID:
+            automaton.eps_by_target.setdefault(target, {})[source] = None
+            self._eps_by_source.setdefault(source, {})[target] = None
+        else:
+            automaton.out_edges.setdefault(source, {}).setdefault(symbol, {})[
+                target
+            ] = None
+        automaton._counter += 1
+        heapq.heappush(
+            automaton._heap, (_heap_key(weight), automaton._counter, key)
+        )
+        self._recomputed += 1
+        return True
+
+    def _delete_key(self, key: int) -> None:
+        automaton = self._automaton
+        automaton.weights.pop(key)
+        witness = automaton.witnesses.pop(key)
+        self._unregister_deps(key, witness)
+        automaton._finalized.discard(key)
+        target = key & MASK
+        head = key >> SHIFT
+        symbol = head & MASK
+        source = head >> SHIFT
+        if symbol == EPSILON_ID:
+            bucket = automaton.eps_by_target.get(target)
+            if bucket is not None:
+                bucket.pop(source, None)
+                if not bucket:
+                    del automaton.eps_by_target[target]
+            bucket = self._eps_by_source.get(source)
+            if bucket is not None:
+                bucket.pop(target, None)
+                if not bucket:
+                    del self._eps_by_source[source]
+        else:
+            row = automaton.out_edges.get(source)
+            if row is not None:
+                targets = row.get(symbol)
+                if targets is not None:
+                    targets.pop(target, None)
+                    if not targets:
+                        del row[symbol]
+                        if not row:
+                            del automaton.out_edges[source]
+
+    # ------------------------------------------------------------------
+    # public delta API
+    # ------------------------------------------------------------------
+    def retarget(
+        self,
+        variant: Union[PushdownSystem, Sequence[Rule]],
+        deadline: Optional[float] = None,
+    ) -> DeltaReport:
+        """Repair the automaton to match ``variant``'s rule set.
+
+        ``variant`` may be a whole system (typically an independently
+        compiled variant of the same query) or a bare rule sequence; it
+        is diffed against the *current* rule set, so consecutive sweep
+        variants pay only for their mutual delta. When the variant was
+        compiled over the solver's own shared tables (including the
+        spec table) the diff is a flat integer bincount subtraction;
+        otherwise it falls back to the symbolic multiset diff.
+        """
+        if (
+            self._rules_by_sid is not None
+            and isinstance(variant, PushdownSystem)
+            and variant.spec_table is self._spec_table
+            and variant.state_table is self._states
+            and variant.symbol_table is self._symbols
+            and variant.spec_ids is not None
+        ):
+            removed_rules, added_rules = self._diff_fast(variant)
+            return self._apply_rule_delta(removed_rules, added_rules, deadline)
+        rules = variant.rules if isinstance(variant, PushdownSystem) else variant
+        target_specs = Counter(rule_spec(r) for r in rules)
+        removed = self._current_specs - target_specs
+        added = target_specs - self._current_specs
+        return self.apply_delta(
+            list(removed.elements()), list(added.elements()), deadline=deadline
+        )
+
+    def _diff_fast(
+        self, variant: PushdownSystem
+    ) -> Tuple[List[Rule], List[Rule]]:
+        """Integer diff current → variant over shared spec-id streams.
+
+        Returns (removed, added) as resolved Rule objects: removals are
+        taken from the tail of the per-sid bucket (deterministic), and
+        additions are the variant's *own* rule objects, found by their
+        positions in its spec-id stream — no full-rule scan, no tuple
+        hashing anywhere on this path.
+        """
+        stream = variant.spec_ids
+        var_sids = (
+            _np.frombuffer(stream, dtype=_np.int64)
+            if len(stream)
+            else _np.zeros(0, dtype=_np.int64)
+        )
+        size = max(len(self._spec_table), len(self._current_counts))
+        var_counts = _np.bincount(var_sids, minlength=size)
+        cur_counts = self._current_counts
+        if len(cur_counts) < len(var_counts):
+            cur_counts = _np.concatenate(
+                [
+                    cur_counts,
+                    _np.zeros(len(var_counts) - len(cur_counts), dtype=cur_counts.dtype),
+                ]
+            )
+            self._current_counts = cur_counts
+        delta = var_counts - cur_counts
+        removed_rules: List[Rule] = []
+        for sid in _np.nonzero(delta < 0)[0].tolist():
+            bucket = self._rules_by_sid[sid]
+            removed_rules.extend(bucket[int(delta[sid]) :])
+        added_sids = _np.nonzero(delta > 0)[0]
+        added_rules: List[Rule] = []
+        if len(added_sids):
+            need = {int(sid): int(delta[sid]) for sid in added_sids.tolist()}
+            variant_rules = variant.rule_sequence()
+            for index in _np.nonzero(_np.isin(var_sids, added_sids))[0].tolist():
+                sid = int(var_sids[index])
+                if need[sid] > 0:
+                    need[sid] -= 1
+                    added_rules.append(variant_rules[index])
+        return removed_rules, added_rules
+
+    def revert(self, deadline: Optional[float] = None) -> DeltaReport:
+        """Repair back to the baseline rule set."""
+        removed = self._current_specs - self._baseline_specs
+        added = self._baseline_specs - self._current_specs
+        return self.apply_delta(
+            list(removed.elements()), list(added.elements()), deadline=deadline
+        )
+
+    def apply_delta(
+        self,
+        removed_specs: Sequence[RuleSpec],
+        added_specs: Sequence[RuleSpec],
+        deadline: Optional[float] = None,
+    ) -> DeltaReport:
+        """Retract ``removed_specs``, add ``added_specs``, re-saturate.
+
+        Raises :class:`~repro.errors.PdaError` when a removed spec is
+        not present. An exception mid-repair (deadline, step budget)
+        poisons the solver — the automaton is torn — and every later
+        call refuses until the owner rebuilds it.
+        """
+        if self.poisoned:
+            raise PdaError("incremental solver is poisoned by an aborted repair")
+        removed_rules: List[Rule] = []
+        for spec, count in Counter(removed_specs).items():
+            bucket = self._rules_by_spec.get(spec, [])
+            if len(bucket) < count:
+                raise PdaError(f"cannot retract unknown rule {spec!r}")
+            removed_rules.extend(bucket[len(bucket) - count :])
+        added_rules = [self._make_rule(spec) for spec in added_specs]
+        return self._apply_rule_delta(removed_rules, added_rules, deadline)
+
+    def _apply_rule_delta(
+        self,
+        removed_rules: List[Rule],
+        added_rules: List[Rule],
+        deadline: Optional[float],
+    ) -> DeltaReport:
+        """Shared delta engine: bookkeeping, delete, re-seed, repair."""
+        if self.poisoned:
+            raise PdaError("incremental solver is poisoned by an aborted repair")
+        started = time.perf_counter()
+        report = DeltaReport(
+            rules_removed=len(removed_rules), rules_added=len(added_rules)
+        )
+        before = self._automaton.transition_count()
+        self._reopened = 0
+        self._recomputed = 0
+        try:
+            for rule in removed_rules:
+                self._forget_rule(rule)
+            for rule in added_rules:
+                self._adopt_rule(rule)
+
+            deleted = self._delete_phase(removed_rules)
+            report.invalidated = len(deleted)
+            for key in deleted:
+                self._rederive(key)
+            for rule in added_rules:
+                self._seed_added_rule(rule)
+            report.repair_iterations = self._repair(deadline)
+        except Exception:
+            self.poisoned = True
+            raise
+        report.recomputed = self._recomputed
+        report.reopened = self._reopened
+        report.reused = before - report.invalidated
+        report.elapsed_seconds = time.perf_counter() - started
+        self.stats.deltas_applied += 1
+        self.stats.invalidated += report.invalidated
+        self.stats.recomputed += report.recomputed
+        self.stats.reused += report.reused
+        self.stats.reports.append(report)
+        if obs.enabled():
+            obs.add("pda.incremental.deltas")
+            obs.add("pda.incremental.invalidated", report.invalidated)
+            obs.add("pda.incremental.recomputed", report.recomputed)
+            obs.add("pda.incremental.reused", report.reused)
+            obs.gauge("pda.incremental.reuse_ratio", report.reuse_ratio)
+        return report
+
+    # ------------------------------------------------------------------
+    # phase 1: dirty closure + deletion
+    # ------------------------------------------------------------------
+    def _delete_phase(self, removed_rules: Sequence[Rule]) -> List[int]:
+        automaton = self._automaton
+        weights = automaton.weights
+        dirty: Dict[int, None] = {}
+        queue: deque = deque()
+
+        def mark(key: int) -> None:
+            if key not in dirty and key in weights:
+                dirty[key] = None
+                queue.append(key)
+
+        for rule in removed_rules:
+            for key in list(self._rule_deps.get(rule, ())):
+                mark(key)
+            self._rule_deps.pop(rule, None)
+
+        deleted: List[int] = []
+        post = self.method == "poststar"
+        while queue:
+            key = queue.popleft()
+            for dependent in list(self._key_deps.get(key, ())):
+                mark(dependent)
+            self._delete_key(key)
+            deleted.append(key)
+            if post and (key >> SHIFT) & MASK != EPSILON_ID:
+                # post*'s push-head transitions record only their rule,
+                # not the popped premise that triggered them: when the
+                # last transition with a push rule's head disappears,
+                # the rule's push-head conclusion loses its implicit
+                # existential premise and must be dirtied explicitly.
+                head = key >> SHIFT
+                source = head >> SHIFT
+                row = automaton.out_edges.get(source)
+                if row is None or (head & MASK) not in row:
+                    for rule in self._by_head.get(head, ()):
+                        if len(rule.push_ids) == 2:
+                            mid = self._states.id_of(
+                                (_MID, rule.to_state, rule.push[0])
+                            )
+                            if mid is not None:
+                                mark(
+                                    pack_key(rule.to_id, rule.push_ids[0], mid)
+                                )
+        return deleted
+
+    # ------------------------------------------------------------------
+    # phase 2: re-seed deleted conclusions and added rules
+    # ------------------------------------------------------------------
+    def _rederive(self, key: int) -> None:
+        """Re-relax ``key`` from every surviving one-step derivation."""
+        init_weight = self._init_keys.get(key)
+        if init_weight is not None:
+            self._relax(key, init_weight, ("init",))
+        if self.method == "poststar":
+            self._rederive_post(key)
+        else:
+            self._rederive_pre(key)
+
+    def _rederive_post(self, key: int) -> None:
+        weights = self._automaton.weights
+        out_edges = self._automaton.out_edges
+        extend = self.semiring.extend
+        relax = self._relax
+        states = self._states
+        target = key & MASK
+        head = key >> SHIFT
+        symbol = head & MASK
+        source = head >> SHIFT
+        if symbol == EPSILON_ID:
+            # Only pop rules conclude ε-transitions.
+            for rule in self._pop_by_to.get(source, ()):
+                premise = pack_key(rule.from_id, rule.pop_id, target)
+                weight = weights.get(premise)
+                if weight is not None:
+                    relax(key, extend(weight, rule.weight), ("step", rule, premise))
+            return
+        for rule in self._swap_by_result.get(head, ()):
+            premise = pack_key(rule.from_id, rule.pop_id, target)
+            weight = weights.get(premise)
+            if weight is not None:
+                relax(key, extend(weight, rule.weight), ("step", rule, premise))
+        resolved_target = states.resolve(target)
+        if (
+            isinstance(resolved_target, tuple)
+            and len(resolved_target) == 3
+            and resolved_target[0] == _MID
+        ):
+            # Push-head conclusion (p', γ1, q_{p',γ1}): justified by any
+            # push rule with that result head that can fire at all.
+            for rule in self._push_by_result.get(head, ()):
+                if states.id_of((_MID, rule.to_state, rule.push[0])) != target:
+                    continue
+                row = out_edges.get(rule.from_id)
+                if row and row.get(rule.pop_id):
+                    relax(key, self.semiring.one, ("push-head", rule))
+        resolved_source = states.resolve(source)
+        if (
+            isinstance(resolved_source, tuple)
+            and len(resolved_source) == 3
+            and resolved_source[0] == _MID
+        ):
+            # Push-tail conclusion (q_{p',γ1}, γ2, q): premise is the
+            # popped transition the push rule fired on.
+            _, mid_to, mid_top = resolved_source
+            to_id = states.id_of(mid_to)
+            top_id = self._symbols.id_of(mid_top)
+            if to_id is not None and top_id is not None:
+                for rule in self._push_by_result.get((to_id << SHIFT) | top_id, ()):
+                    if rule.push_ids[1] != symbol:
+                        continue
+                    premise = pack_key(rule.from_id, rule.pop_id, target)
+                    weight = weights.get(premise)
+                    if weight is not None:
+                        relax(
+                            key,
+                            extend(weight, rule.weight),
+                            ("push-tail", rule, premise),
+                        )
+        for eps_target in self._eps_by_source.get(source, ()):
+            eps_key = pack_key(source, EPSILON_ID, eps_target)
+            partner = pack_key(eps_target, symbol, target)
+            partner_weight = weights.get(partner)
+            eps_weight = weights.get(eps_key)
+            if partner_weight is not None and eps_weight is not None:
+                relax(
+                    key,
+                    extend(eps_weight, partner_weight),
+                    ("eps", eps_key, partner),
+                )
+
+    def _rederive_pre(self, key: int) -> None:
+        weights = self._automaton.weights
+        out_edges = self._automaton.out_edges
+        extend = self.semiring.extend
+        relax = self._relax
+        target = key & MASK
+        head = key >> SHIFT
+        for rule in self._by_head.get(head, ()):
+            push_ids = rule.push_ids
+            if not push_ids:
+                if rule.to_id == target:
+                    relax(key, rule.weight, ("rule", rule, ()))
+            elif len(push_ids) == 1:
+                partner = pack_key(rule.to_id, push_ids[0], target)
+                weight = weights.get(partner)
+                if weight is not None:
+                    relax(key, extend(rule.weight, weight), ("rule", rule, (partner,)))
+            else:
+                row = out_edges.get(rule.to_id)
+                mids = row.get(push_ids[0]) if row is not None else None
+                if not mids:
+                    continue
+                for middle in list(mids):
+                    first = pack_key(rule.to_id, push_ids[0], middle)
+                    second = pack_key(middle, push_ids[1], target)
+                    second_weight = weights.get(second)
+                    if second_weight is None:
+                        continue
+                    relax(
+                        key,
+                        extend(rule.weight, extend(weights[first], second_weight)),
+                        ("rule", rule, (first, second)),
+                    )
+
+    def _seed_added_rule(self, rule: Rule) -> None:
+        """Apply a freshly added rule to every surviving matching fact."""
+        automaton = self._automaton
+        weights = automaton.weights
+        out_edges = automaton.out_edges
+        extend = self.semiring.extend
+        relax = self._relax
+        push_ids = rule.push_ids
+        if self.method == "poststar":
+            row = out_edges.get(rule.from_id)
+            targets = row.get(rule.pop_id) if row is not None else None
+            if not targets:
+                return
+            for target in list(targets):
+                premise = pack_key(rule.from_id, rule.pop_id, target)
+                weight = weights[premise]
+                extended = extend(weight, rule.weight)
+                if len(push_ids) == 1:
+                    relax(
+                        pack_key(rule.to_id, push_ids[0], target),
+                        extended,
+                        ("step", rule, premise),
+                    )
+                elif not push_ids:
+                    relax(
+                        pack_key(rule.to_id, EPSILON_ID, target),
+                        extended,
+                        ("step", rule, premise),
+                    )
+                else:
+                    middle = self._mid_id(rule)
+                    relax(
+                        pack_key(rule.to_id, push_ids[0], middle),
+                        self.semiring.one,
+                        ("push-head", rule),
+                    )
+                    relax(
+                        pack_key(middle, push_ids[1], target),
+                        extended,
+                        ("push-tail", rule, premise),
+                    )
+            return
+        # pre*
+        if not push_ids:
+            relax(
+                pack_key(rule.from_id, rule.pop_id, rule.to_id),
+                rule.weight,
+                ("rule", rule, ()),
+            )
+            return
+        row = out_edges.get(rule.to_id)
+        firsts = row.get(push_ids[0]) if row is not None else None
+        if not firsts:
+            return
+        if len(push_ids) == 1:
+            for target in list(firsts):
+                partner = pack_key(rule.to_id, push_ids[0], target)
+                relax(
+                    pack_key(rule.from_id, rule.pop_id, target),
+                    extend(rule.weight, weights[partner]),
+                    ("rule", rule, (partner,)),
+                )
+            return
+        for middle in list(firsts):
+            first = pack_key(rule.to_id, push_ids[0], middle)
+            middle_row = out_edges.get(middle)
+            seconds = middle_row.get(push_ids[1]) if middle_row is not None else None
+            if not seconds:
+                continue
+            first_weight = weights[first]
+            for target in list(seconds):
+                second = pack_key(middle, push_ids[1], target)
+                relax(
+                    pack_key(rule.from_id, rule.pop_id, target),
+                    extend(rule.weight, extend(first_weight, weights[second])),
+                    ("rule", rule, (first, second)),
+                )
+
+    def _mid_id(self, rule: Rule) -> int:
+        push_head = (rule.to_id << SHIFT) | rule.push_ids[0]
+        middle = self._mid_ids.get(push_head)
+        if middle is None:
+            middle = self._states.intern((_MID, rule.to_state, rule.push[0]))
+            self._mid_ids[push_head] = middle
+        return middle
+
+    # ------------------------------------------------------------------
+    # phase 3: the repair worklist (same body as the scratch loops)
+    # ------------------------------------------------------------------
+    def _repair(self, deadline: Optional[float]) -> int:
+        if self.method == "poststar":
+            return self._repair_post(deadline)
+        return self._repair_pre(deadline)
+
+    def _check_budgets(self, iterations: int, deadline: Optional[float]) -> None:
+        from repro.errors import VerificationTimeout
+
+        if (
+            deadline is not None
+            and iterations % 512 <= 1
+            and time.perf_counter() > deadline
+        ):
+            raise VerificationTimeout("incremental repair exceeded its deadline")
+        if self.max_steps is not None and iterations > self.max_steps:
+            raise PdaError(
+                f"incremental repair exceeded the step budget of {self.max_steps}"
+            )
+
+    def _repair_post(self, deadline: Optional[float]) -> int:
+        automaton = self._automaton
+        semiring = self.semiring
+        extend = semiring.extend
+        one = semiring.one
+        relax = self._relax
+        out_edges = automaton.out_edges
+        eps_by_target = automaton.eps_by_target
+        weights = automaton.weights
+        by_head = self._by_head
+        iterations = 0
+        while True:
+            popped = automaton.pop()
+            if popped is None:
+                return iterations
+            iterations += 1
+            self._check_budgets(iterations, deadline)
+            key, weight = popped
+            target_id = key & MASK
+            head = key >> SHIFT
+            symbol_id = head & MASK
+            source_id = head >> SHIFT
+
+            if symbol_id == EPSILON_ID:
+                edges = out_edges.get(target_id)
+                if edges is not None:
+                    for out_symbol, out_targets in list(edges.items()):
+                        for out_target in list(out_targets):
+                            partner = pack_key(target_id, out_symbol, out_target)
+                            relax(
+                                pack_key(source_id, out_symbol, out_target),
+                                extend(weight, weights[partner]),
+                                ("eps", key, partner),
+                            )
+                continue
+
+            rules = by_head.get(head)
+            if rules is not None:
+                for rule in rules:
+                    extended = extend(weight, rule.weight)
+                    push_ids = rule.push_ids
+                    if len(push_ids) == 1:
+                        relax(
+                            pack_key(rule.to_id, push_ids[0], target_id),
+                            extended,
+                            ("step", rule, key),
+                        )
+                    elif not push_ids:
+                        relax(
+                            pack_key(rule.to_id, EPSILON_ID, target_id),
+                            extended,
+                            ("step", rule, key),
+                        )
+                    else:
+                        middle = self._mid_id(rule)
+                        relax(
+                            pack_key(rule.to_id, push_ids[0], middle),
+                            one,
+                            ("push-head", rule),
+                        )
+                        relax(
+                            pack_key(middle, push_ids[1], target_id),
+                            extended,
+                            ("push-tail", rule, key),
+                        )
+
+            eps_sources = eps_by_target.get(source_id)
+            if eps_sources is not None:
+                for eps_source in list(eps_sources):
+                    eps_key = pack_key(eps_source, EPSILON_ID, source_id)
+                    relax(
+                        pack_key(eps_source, symbol_id, target_id),
+                        extend(weights[eps_key], weight),
+                        ("eps", eps_key, key),
+                    )
+
+    def _repair_pre(self, deadline: Optional[float]) -> int:
+        automaton = self._automaton
+        extend = self.semiring.extend
+        relax = self._relax
+        out_edges = automaton.out_edges
+        weights = automaton.weights
+        iterations = 0
+        while True:
+            popped = automaton.pop()
+            if popped is None:
+                return iterations
+            iterations += 1
+            self._check_budgets(iterations, deadline)
+            key, weight = popped
+            target_id = key & MASK
+            head = key >> SHIFT
+            symbol_id = head & MASK
+            source_id = head >> SHIFT
+
+            rules = self._swap_by_result.get(head)
+            if rules is not None:
+                for rule in rules:
+                    relax(
+                        pack_key(rule.from_id, rule.pop_id, target_id),
+                        extend(rule.weight, weight),
+                        ("rule", rule, (key,)),
+                    )
+
+            rules = self._push_by_result.get(head)
+            if rules is not None:
+                target_edges = out_edges.get(target_id)
+                for rule in rules:
+                    below = rule.push_ids[1]
+                    q2_set = (
+                        target_edges.get(below) if target_edges is not None else None
+                    )
+                    if q2_set is None:
+                        continue
+                    for q2 in list(q2_set):
+                        partner = pack_key(target_id, below, q2)
+                        relax(
+                            pack_key(rule.from_id, rule.pop_id, q2),
+                            extend(rule.weight, extend(weight, weights[partner])),
+                            ("rule", rule, (key, partner)),
+                        )
+
+            rules = self._push_by_below.get(symbol_id)
+            if rules is not None:
+                for rule in rules:
+                    partner = pack_key(rule.to_id, rule.push_ids[0], source_id)
+                    head_weight = weights.get(partner)
+                    if head_weight is None:
+                        continue
+                    relax(
+                        pack_key(rule.from_id, rule.pop_id, target_id),
+                        extend(rule.weight, extend(head_weight, weight)),
+                        ("rule", rule, (partner, key)),
+                    )
+
+    # ------------------------------------------------------------------
+    # answers and oracles
+    # ------------------------------------------------------------------
+    @property
+    def automaton(self) -> IntPAutomaton:
+        return self._automaton
+
+    def accept(self) -> Tuple[Any, Optional[Tuple[int, ...]]]:
+        """Weight and packed path of the reachability question."""
+        if self.poisoned:
+            raise PdaError("incremental solver is poisoned by an aborted repair")
+        if self.method == "poststar":
+            state, symbol = self.target
+        else:
+            state, symbol = self.initial
+        return self._automaton.accept_weight(state, (symbol,))
+
+    def reachable(self) -> Tuple[bool, Any]:
+        """Convenience: (is the target reachable, minimal weight)."""
+        weight, _ = self.accept()
+        return not self.semiring.is_zero(weight), weight
+
+    def witness_run(self) -> Optional[Tuple[Rule, ...]]:
+        """A valid minimal-weight rule run from the repaired automaton.
+
+        The run replays correctly but its equal-weight tie-breaking
+        depends on repair order — callers needing the scratch-identical
+        trace re-solve the variant with the interned core instead.
+        """
+        from repro.pda.witness import (
+            reconstruct_poststar_run,
+            reconstruct_prestar_run,
+        )
+
+        weight, path = self.accept()
+        if self.semiring.is_zero(weight) or path is None:
+            return None
+        if self.method == "poststar":
+            return reconstruct_poststar_run(self._automaton, path)
+        return reconstruct_prestar_run(self._automaton, path)
+
+    def weight_map(self) -> Dict[Tuple[Any, Any, Any], Any]:
+        """The full fixpoint, resolved to symbolic transition triples.
+
+        Saturation fixpoints are unique regardless of derivation order,
+        so this map — unlike witnesses — must match a from-scratch
+        saturation of the current rule set exactly. The differential
+        harness leans on that.
+        """
+        resolve_state = self._states.resolve
+        resolve_symbol = self._symbols.resolve
+        result: Dict[Tuple[Any, Any, Any], Any] = {}
+        for key, weight in self._automaton.weights.items():
+            target = key & MASK
+            head = key >> SHIFT
+            symbol_id = head & MASK
+            symbol = EPSILON if symbol_id == EPSILON_ID else resolve_symbol(symbol_id)
+            result[(resolve_state(head >> SHIFT), symbol, resolve_state(target))] = (
+                weight
+            )
+        return result
+
+    def digest(self) -> str:
+        """Canonical SHA-256 of the symbolic weight map.
+
+        Two solvers over the same rule multiset must produce identical
+        digests no matter which delta sequence got them there — the
+        commutativity and revert-idempotence properties pin this.
+        """
+        lines = sorted(
+            f"{source!r}|{symbol!r}|{target!r}|{weight!r}"
+            for (source, symbol, target), weight in self.weight_map().items()
+        )
+        return hashlib.sha256("\n".join(lines).encode("utf-8")).hexdigest()
+
+    def __repr__(self) -> str:
+        return (
+            f"IncrementalSolver(method={self.method!r}, "
+            f"rules={sum(self._current_specs.values())}, "
+            f"transitions={self._automaton.transition_count()}, "
+            f"deltas={self.stats.deltas_applied})"
+        )

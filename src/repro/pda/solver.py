@@ -44,6 +44,8 @@ class SolverStats:
     early_terminated: bool = False
     elapsed_seconds: float = 0.0
     reduction: Optional[ReductionReport] = None
+    #: Delta accounting when the incremental core answered (else None).
+    incremental: Optional[Any] = None
 
 
 @dataclass
@@ -79,15 +81,32 @@ def solve_reachability(
     generic model-checker strategy used by the Moped baseline).
 
     ``core`` selects the saturation implementation: ``"interned"`` (the
-    dense-integer-id engine, default) or ``"tuple"`` (the symbolic
-    reference twin in :mod:`repro.pda.reference`). Both must produce
-    identical outcomes — the differential tests and the interning
-    benchmark rely on this switch.
+    dense-integer-id engine, default), ``"tuple"`` (the symbolic
+    reference twin in :mod:`repro.pda.reference`), or ``"incremental"``
+    (a fresh :class:`~repro.pda.incremental.IncrementalSolver` answering
+    from its fully saturated automaton — the conformance path for the
+    delta-saturation machinery; sweeps reuse solvers across variants via
+    :mod:`repro.verification.incremental` instead). All three must
+    produce identical outcomes — the differential tests and the
+    benchmarks rely on this switch.
     """
     if method not in ("poststar", "prestar"):
         raise PdaError(f"unknown solver method {method!r}")
-    if core not in ("interned", "tuple"):
+    if core not in ("interned", "tuple", "incremental"):
         raise PdaError(f"unknown solver core {core!r}")
+    if core == "incremental":
+        return _solve_incremental(
+            pds,
+            semiring,
+            initial,
+            target,
+            method=method,
+            use_reductions=use_reductions,
+            early_termination=early_termination,
+            want_witness=want_witness,
+            max_steps=max_steps,
+            deadline=deadline,
+        )
     interned = core == "interned"
     start_time = time.perf_counter()
     initial_state, initial_symbol = initial
@@ -153,6 +172,117 @@ def solve_reachability(
         early_terminated=result.early_terminated,
         elapsed_seconds=time.perf_counter() - start_time,
         reduction=reduction_report,
+    )
+    return ReachabilityOutcome(reachable, weight, rules, stats)
+
+
+def _solve_incremental(
+    pds: PushdownSystem,
+    semiring: Semiring,
+    initial: Tuple[State, Symbol],
+    target: Tuple[State, Symbol],
+    method: str,
+    use_reductions: bool,
+    early_termination: bool,
+    want_witness: bool,
+    max_steps: Optional[int],
+    deadline: Optional[float],
+) -> ReachabilityOutcome:
+    """One-shot incremental solve: the system is its own baseline.
+
+    This is the conformance path for ``core="incremental"`` — it
+    exercises the same answer extraction as sweep reuse, just without a
+    delta to apply.
+    """
+    from repro.pda.incremental import IncrementalSolver
+
+    start_time = time.perf_counter()
+    with obs.span("saturate", method=method):
+        solver = IncrementalSolver(
+            pds,
+            semiring,
+            initial,
+            target,
+            method=method,
+            max_steps=max_steps,
+            deadline=deadline,
+        )
+    return incremental_outcome(
+        solver,
+        pds,
+        use_reductions=use_reductions,
+        early_termination=early_termination,
+        want_witness=want_witness,
+        max_steps=max_steps,
+        deadline=deadline,
+        start_time=start_time,
+    )
+
+
+def incremental_outcome(
+    solver: Any,
+    variant: PushdownSystem,
+    use_reductions: bool,
+    early_termination: bool,
+    want_witness: bool,
+    max_steps: Optional[int] = None,
+    deadline: Optional[float] = None,
+    start_time: Optional[float] = None,
+) -> ReachabilityOutcome:
+    """Answer a reachability question from a repaired incremental solver.
+
+    The verdict and minimal weight come straight from the solver's
+    persistent automaton. Witness *traces*, however, are tie-break
+    artifacts of relaxation order, and a repaired automaton's recorded
+    witnesses need not match a from-scratch solve's — so when the target
+    is reachable and a witness is wanted, the variant is re-solved with
+    the ordinary interned core purely for trace extraction (the exact
+    code path every other core runs, hence byte-identical traces), and
+    the two weights are asserted equal. Unreachable variants — the bulk
+    of a what-if sweep — skip that scratch pass entirely, which is where
+    the incremental speedup comes from.
+    """
+    if start_time is None:
+        start_time = time.perf_counter()
+    weight, _ = solver.accept()
+    semiring = solver.semiring
+    reachable = not semiring.is_zero(weight)
+    rules: Optional[Tuple[Rule, ...]] = None
+    scratch_stats: Optional[SolverStats] = None
+    if reachable and want_witness:
+        scratch = solve_reachability(
+            variant,
+            semiring,
+            solver.initial,
+            solver.target,
+            method=solver.method,
+            use_reductions=use_reductions,
+            early_termination=early_termination,
+            want_witness=True,
+            max_steps=max_steps,
+            deadline=deadline,
+            core="interned",
+        )
+        if scratch.weight != weight:
+            raise PdaError(
+                "incremental/scratch weight disagreement: "
+                f"{weight!r} (incremental) vs {scratch.weight!r} (scratch)"
+            )
+        rules = scratch.rules
+        scratch_stats = scratch.stats
+    last = solver.stats.reports[-1] if solver.stats.reports else None
+    stats = SolverStats(
+        method=solver.method,
+        rules_before=variant.rule_count(),
+        rules_after=variant.rule_count(),
+        saturation_iterations=(
+            last.repair_iterations if last is not None else solver.baseline_iterations
+        ),
+        automaton_transitions=solver.automaton.transition_count(),
+        early_terminated=False,
+        elapsed_seconds=time.perf_counter() - start_time,
+        reduction=scratch_stats.reduction if scratch_stats is not None else None,
+        incremental=last,
     )
     return ReachabilityOutcome(reachable, weight, rules, stats)
 

@@ -38,7 +38,6 @@ step is attached to the first rule of its operation chain.
 
 from __future__ import annotations
 
-import itertools
 import threading
 from collections import OrderedDict, deque
 from dataclasses import dataclass
@@ -51,6 +50,7 @@ from repro.model.network import MplsNetwork
 from repro.model.operations import Operation, Push, Swap, stack_growth
 from repro.model.quantities import failure_set_cost
 from repro.model.topology import Link
+from repro.pda.intern import SymbolTable
 from repro.pda.semiring import BOOLEAN, Semiring, vector_semiring
 from repro.pda.system import PushdownSystem
 from repro.query.ast import Query
@@ -174,11 +174,23 @@ class QueryCompiler:
         network: MplsNetwork,
         distance_of: Optional[Callable[[Link], int]] = None,
         memo_capacity: int = 128,
+        state_table: Optional[SymbolTable] = None,
+        symbol_table: Optional[SymbolTable] = None,
+        spec_table: Optional[SymbolTable] = None,
     ) -> None:
         self.network = network
         self.distance_of = (
             distance_of if distance_of is not None else network.topology.link_distance
         )
+        # Optional shared interning arenas: an incremental sweep compiles
+        # the baseline and every variant into ONE id space (plus a rule
+        # spec table) so rule sets diff as flat integer multisets. All
+        # three tables must travel together — spec ids quote state and
+        # symbol ids. Defaults (None) give every compiled system fresh
+        # private tables, exactly as before.
+        self.state_table = state_table
+        self.symbol_table = symbol_table
+        self.spec_table = spec_table
         self.memo_capacity = memo_capacity
         self.memo_hits = 0
         self.memo_misses = 0
@@ -278,8 +290,9 @@ class _Builder:
         self.weight_vector = weight_vector
         self.semiring = semiring
         self.max_failures = query.max_failures
-        self.pds = PushdownSystem()
-        self._chain_counter = itertools.count()
+        self.pds = PushdownSystem(
+            compiler.state_table, compiler.symbol_table, spec_table=compiler.spec_table
+        )
         # Compiled NFAs.
         network = self.network
         self.a_nfa = label_nfa(query.initial_header, network).intersect(
@@ -457,13 +470,19 @@ class _Builder:
                 source, matched_label, target, (matched_label,), weight, tag=("fwd",)
             )
             return
-        chain_id = next(self._chain_counter)
+        # Chain states are *content-addressed*: two compilations of the
+        # same entry (even across network variants) name their
+        # intermediate states identically, so the incremental solver can
+        # diff baseline and variant rule sets symbolically and see only
+        # the rules that actually changed. A per-run counter here would
+        # renumber every chain after the first differing entry.
+        chain_key = (source, matched_label, operations, target)
         current_state = source
         # Known top symbol, or None once a pop uncovered unknown content.
         known_top: Optional[Label] = matched_label
         for index, op in enumerate(operations):
             is_last = index == len(operations) - 1
-            next_state = target if is_last else ("op", chain_id, index)
+            next_state = target if is_last else ("op", chain_key, index)
             rule_weight = weight if index == 0 else self._one()
             self._compile_op(current_state, known_top, op, next_state, rule_weight)
             known_top = self._next_known_top(known_top, op)

@@ -71,8 +71,13 @@ class VerificationEngine:
     * ``weight`` — a :class:`WeightVector` (or its textual form) enabling
       the quantitative engine; None keeps the boolean engine;
     * ``core`` — saturation representation: the dense-id ``"interned"``
-      core (default) or the symbolic ``"tuple"`` reference core (used by
-      the differential tests and as the benchmark baseline);
+      core (default), the symbolic ``"tuple"`` reference core (used by
+      the differential tests and as the benchmark baseline), or
+      ``"incremental"`` — solve against a persistent baseline-saturated
+      automaton repaired per variant (see
+      :mod:`repro.verification.incremental`); ``baseline`` optionally
+      names the network the sweep varies around (defaults to this
+      engine's own network);
     * ``triage`` — the static triage tier (:mod:`repro.analysis.triage`):
       ``"off"`` (default) never runs it, ``"auto"`` runs it as a fast
       path and falls through to the full pipeline when inconclusive,
@@ -91,12 +96,40 @@ class VerificationEngine:
         name: Optional[str] = None,
         core: str = "interned",
         triage: str = "off",
+        baseline: Optional[MplsNetwork] = None,
+        baseline_key: Optional[str] = None,
     ) -> None:
         self.network = network
         self.backend = backend
         self.use_reductions = use_reductions
         self.early_termination = early_termination
+        if core not in ("interned", "tuple", "incremental"):
+            raise VerificationError(
+                f"unknown solver core {core!r} "
+                "(expected interned, tuple or incremental)"
+            )
         self.core = core
+        self._family = None
+        if core == "incremental":
+            if backend == "moped":
+                raise VerificationError(
+                    "the Moped backend cannot use the incremental core"
+                )
+            if distance_of is not None:
+                # A custom distance function is not part of the baseline
+                # family's cache key, so sharing solvers would be unsound.
+                raise VerificationError(
+                    "the incremental core does not support a custom distance_of"
+                )
+            from repro.verification.incremental import incremental_family
+
+            self._family = incremental_family(
+                baseline if baseline is not None else network, key=baseline_key
+            )
+        elif baseline is not None or baseline_key is not None:
+            raise VerificationError(
+                "baseline networks are only meaningful with core='incremental'"
+            )
         if triage not in ("auto", "off", "only"):
             raise VerificationError(
                 f"unknown triage mode {triage!r} (expected auto, off or only)"
@@ -112,7 +145,12 @@ class VerificationEngine:
             )
         self.weight_vector = weight
         self.distance_of = distance_of
-        self.compiler = QueryCompiler(network, distance_of)
+        if self._family is not None:
+            # Compile in the family's shared id space so variant solves
+            # diff rule sets as flat integer multisets (fast path).
+            self.compiler = self._family.compiler_for(network)
+        else:
+            self.compiler = QueryCompiler(network, distance_of)
         self.name = name if name is not None else self._default_name()
 
     def _default_name(self) -> str:
@@ -277,6 +315,15 @@ class VerificationEngine:
                 compiled.initial,
                 compiled.target,
                 use_reductions=self.use_reductions,
+                deadline=deadline,
+            )
+        if self._family is not None:
+            return self._family.solve(
+                compiled,
+                method=self.backend,
+                use_reductions=self.use_reductions,
+                early_termination=self.early_termination,
+                want_witness=True,
                 deadline=deadline,
             )
         return solve_reachability(

@@ -1,0 +1,234 @@
+"""Baseline-anchored incremental solving for sweep variants.
+
+A what-if sweep asks the *same queries* of many networks that differ
+from one baseline by a few failed links. The PDA-level machinery for
+exploiting that lives in :mod:`repro.pda.incremental`; this module owns
+the verification-layer bookkeeping around it:
+
+* :class:`IncrementalFamily` — one baseline network plus a cache of
+  :class:`~repro.pda.incremental.IncrementalSolver` instances, one per
+  ``(query, mode, weight vector, method)``. Solving a variant's
+  compiled query retargets the matching solver to the variant's rule
+  set (paying only for the delta) and answers from the repaired
+  automaton.
+
+* :func:`incremental_family` — a process-global registry keyed by the
+  baseline network's content hash, so farm workers that receive the
+  baseline artifact once (via the content-hash cache) share saturated
+  state across every variant job they execute.
+
+The family compiles queries against the **baseline** with its own
+:class:`~repro.verification.compiler.QueryCompiler`; variants arrive
+already compiled by the engine. Because the compiler's op-chain states
+are content-addressed, the two compilations agree on every state name
+and the symbolic rule diff is exactly the entries that changed.
+
+Solvers whose repair is interrupted (deadline, step budget) poison
+themselves; the family drops and rebuilds them on next use, so one
+timed-out variant cannot corrupt answers for its siblings.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Dict, Hashable, Optional, Tuple
+
+from repro import obs
+from repro.model.network import MplsNetwork
+from repro.pda.incremental import IncrementalSolver
+from repro.pda.intern import EPSILON, SymbolTable
+from repro.pda.solver import ReachabilityOutcome, incremental_outcome
+from repro.verification.compiler import CompiledQuery, QueryCompiler
+
+#: Solver cache key inside one family.
+SolverKey = Tuple[Hashable, str, Hashable, str]
+
+
+class IncrementalFamily:
+    """Incremental solvers for one baseline network.
+
+    ``max_solvers`` bounds the per-family solver cache (LRU): each
+    solver holds a fully saturated automaton, which for large networks
+    is the dominant memory cost of a sweep.
+    """
+
+    def __init__(self, baseline: MplsNetwork, max_solvers: int = 16) -> None:
+        self.baseline = baseline
+        # One id space for the whole family: the baseline and every
+        # variant compile into these shared arenas, so a variant's rule
+        # set diffs against a solver's current one as a flat integer
+        # multiset (see PushdownSystem.spec_ids) instead of by hashing
+        # tens of thousands of symbolic tuples per sweep job.
+        self.state_table = SymbolTable()
+        self.symbol_table = SymbolTable(reserve=(EPSILON,))
+        self.spec_table = SymbolTable()
+        self.compiler = self.compiler_for(baseline)
+        self.max_solvers = max_solvers
+        self._solvers: "OrderedDict[SolverKey, IncrementalSolver]" = OrderedDict()
+        self._lock = threading.RLock()
+        #: Baseline saturations performed (== solver cache misses).
+        self.baseline_solves = 0
+        #: Variant solves answered by delta repair.
+        self.variant_solves = 0
+
+    def compiler_for(self, network: MplsNetwork) -> QueryCompiler:
+        """A compiler for ``network`` in the family's shared id space.
+
+        Engines verifying a variant against this family's baseline must
+        compile through this (the engine constructor does), or variant
+        solves lose the integer-diff fast path and fall back to the
+        symbolic one.
+        """
+        if network is self.baseline and getattr(self, "compiler", None) is not None:
+            return self.compiler
+        return QueryCompiler(
+            network,
+            state_table=self.state_table,
+            symbol_table=self.symbol_table,
+            spec_table=self.spec_table,
+        )
+
+    def _solver_for(
+        self,
+        compiled: CompiledQuery,
+        method: str,
+        deadline: Optional[float],
+    ) -> IncrementalSolver:
+        key: SolverKey = (compiled.query, compiled.mode, compiled.weight_vector, method)
+        solver = self._solvers.get(key)
+        if solver is not None and not solver.poisoned:
+            self._solvers.move_to_end(key)
+            return solver
+        base = self.compiler.compile(
+            compiled.query, mode=compiled.mode, weight_vector=compiled.weight_vector
+        )
+        solver = IncrementalSolver(
+            base.pds,
+            base.semiring,
+            base.initial,
+            base.target,
+            method=method,
+            deadline=deadline,
+        )
+        self.baseline_solves += 1
+        if obs.enabled():
+            obs.add("pda.incremental.baseline_solves")
+        self._solvers[key] = solver
+        self._solvers.move_to_end(key)
+        while len(self._solvers) > self.max_solvers:
+            self._solvers.popitem(last=False)
+        return solver
+
+    def solve(
+        self,
+        compiled: CompiledQuery,
+        method: str = "poststar",
+        use_reductions: bool = True,
+        early_termination: bool = True,
+        want_witness: bool = True,
+        deadline: Optional[float] = None,
+    ) -> ReachabilityOutcome:
+        """Answer ``compiled`` (a variant's instance) by delta repair.
+
+        ``use_reductions`` / ``early_termination`` only steer the
+        scratch witness-extraction pass on reachable outcomes — the
+        persistent automaton itself is always fully saturated and
+        unreduced (see the module docs of :mod:`repro.pda.incremental`).
+        """
+        started = time.perf_counter()
+        with self._lock:
+            solver = self._solver_for(compiled, method, deadline)
+            solver.retarget(compiled.pds, deadline=deadline)
+            self.variant_solves += 1
+            if obs.enabled():
+                obs.add("pda.incremental.variant_solves")
+            return incremental_outcome(
+                solver,
+                compiled.pds,
+                use_reductions=use_reductions,
+                early_termination=early_termination,
+                want_witness=want_witness,
+                deadline=deadline,
+                start_time=started,
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"IncrementalFamily(solvers={len(self._solvers)}, "
+            f"baseline_solves={self.baseline_solves}, "
+            f"variant_solves={self.variant_solves})"
+        )
+
+
+# ----------------------------------------------------------------------
+# process-global registry
+# ----------------------------------------------------------------------
+
+_FAMILIES: "OrderedDict[str, IncrementalFamily]" = OrderedDict()
+_FAMILY_IDS: Dict[int, str] = {}
+_FAMILIES_LOCK = threading.Lock()
+_MAX_FAMILIES = 8
+
+
+def network_key(network: MplsNetwork) -> str:
+    """Content hash identifying a baseline network across processes."""
+    from repro.farm.cache import hash_text
+    from repro.io.json_format import network_to_json
+
+    key = _FAMILY_IDS.get(id(network))
+    if key is None:
+        key = hash_text(network_to_json(network))
+        _FAMILY_IDS[id(network)] = key
+    return key
+
+
+def incremental_family(
+    network: MplsNetwork, key: Optional[str] = None
+) -> IncrementalFamily:
+    """The process-wide family for ``network`` (created on first use).
+
+    ``key`` may pass a precomputed content hash (farm workers already
+    have one); otherwise the network is hashed. Families are shared by
+    content, so two engines over equal baselines reuse one set of
+    saturated solvers.
+    """
+    if key is None:
+        key = network_key(network)
+    with _FAMILIES_LOCK:
+        family = _FAMILIES.get(key)
+        if family is None:
+            family = IncrementalFamily(network)
+            _FAMILIES[key] = family
+            while len(_FAMILIES) > _MAX_FAMILIES:
+                _FAMILIES.popitem(last=False)
+        else:
+            _FAMILIES.move_to_end(key)
+        return family
+
+
+def clear_incremental_families() -> None:
+    """Drop all cached families (test isolation hook)."""
+    with _FAMILIES_LOCK:
+        _FAMILIES.clear()
+        _FAMILY_IDS.clear()
+
+
+def family_stats() -> Dict[str, int]:
+    """Aggregate counters across live families (for metrics surfaces)."""
+    with _FAMILIES_LOCK:
+        return {
+            "families": len(_FAMILIES),
+            "baseline_solves": sum(f.baseline_solves for f in _FAMILIES.values()),
+            "variant_solves": sum(f.variant_solves for f in _FAMILIES.values()),
+        }
+
+
+__all__ = [
+    "IncrementalFamily",
+    "incremental_family",
+    "clear_incremental_families",
+    "family_stats",
+    "network_key",
+]

@@ -13,31 +13,31 @@ import pytest
 
 from repro import obs
 from repro.analysis.triage import TriageVerdict, run_triage
-from repro.datasets.builtins import BUILTIN_NETWORKS, load_builtin
-from repro.datasets.queries import generate_query_suite
+from repro.datasets.builtins import BUILTIN_NETWORKS
 from repro.model.trace import check_trace
 from repro.query.nfa import label_nfa, link_nfa
 from repro.query.parser import parse_query
 from repro.verification.engine import dual_engine
 from repro.verification.results import Status
+from tests.pda.conftest import builtin_network, query_corpus
 
 
 def corpus(network):
-    return generate_query_suite(
-        network, count=8, seed=1009, include_unconstrained=True
-    )
+    # Shared generator (tests/pda/conftest.py); same parameters the
+    # dual/Moped conformance suite sweeps.
+    return query_corpus(network, seed=1009, count=8, include_unconstrained=True)
 
 
 def _cases():
     for name in BUILTIN_NETWORKS:
-        network = load_builtin(name)
+        network = builtin_network(name)
         for query in corpus(network):
             yield pytest.param(name, query, id=f"{name}-{query.name}")
 
 
 @pytest.fixture(scope="module")
 def networks():
-    return {name: load_builtin(name) for name in BUILTIN_NETWORKS}
+    return {name: builtin_network(name) for name in BUILTIN_NETWORKS}
 
 
 @pytest.fixture(autouse=True)

@@ -1,0 +1,202 @@
+"""Shared corpus generators for the PDA-level differential harnesses.
+
+Three suites used to carry private copies of the same generators — the
+dual/Moped fuzz harness (synthesized ring networks), the triage
+differential (builtin networks × generated queries) and the interning
+properties (builtin subset, different seed). This module is the single
+source for all of them, plus the delta-sequence machinery the
+incremental-saturation mutation harness adds:
+
+* :func:`small_fuzz_graph` / :func:`synthesized_network` — seeded
+  6-node ring-with-chords dataplanes (topology, LSP mesh, failover
+  priorities and service tunnels all derive from the seed);
+* :func:`query_corpus` — the generated query suite for any network,
+  memoized per (network identity, parameters);
+* :func:`builtin_network` — memoized builtin loading;
+* :func:`link_failure_variants` — seeded network variants (failure sets
+  baked in via ``degrade_network``), the network-level mutation source;
+* :func:`random_rule_delta` — a seeded retract/add mutation over a
+  pushdown system's symbolic rule multiset, the PDA-level mutation
+  source for the incremental solver's differential tests.
+
+Everything is deterministic in its seed arguments so CI's fixed seed
+matrix (``REPRO_FUZZ_SEEDS``) reproduces failures exactly.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro import obs
+from repro.datasets.builtins import load_builtin
+from repro.datasets.graphs import EdgeSpec, GraphSpec, NodeSpec
+from repro.datasets.queries import generate_query_suite
+from repro.datasets.synthesis import SynthesisOptions, synthesize_network
+from repro.model.srlg import degrade_network
+from repro.pda.incremental import RuleSpec, rule_spec
+
+#: Default seeds of the synthesized-network fuzz corpus. Overridable via
+#: the REPRO_FUZZ_SEEDS env var ("11,23,47") so CI can run a seed matrix
+#: without touching the code.
+DEFAULT_FUZZ_SEEDS = (11, 23, 47)
+
+
+def fuzz_seeds():
+    import os
+
+    raw = os.environ.get("REPRO_FUZZ_SEEDS")
+    if not raw:
+        return DEFAULT_FUZZ_SEEDS
+    return tuple(int(part) for part in raw.split(",") if part.strip())
+
+
+def small_fuzz_graph(seed: int) -> GraphSpec:
+    """A 6-node ring with two seed-chosen chords (deterministic)."""
+    names = [f"n{i}" for i in range(6)]
+    nodes = tuple(
+        NodeSpec(name, latitude=float(i), longitude=float((i * 7) % 5))
+        for i, name in enumerate(names)
+    )
+    edges = [
+        EdgeSpec(names[i], names[(i + 1) % len(names)]) for i in range(len(names))
+    ]
+    chords = [(0, 2), (1, 4), (2, 5), (0, 3), (1, 3)]
+    for offset in range(2):
+        source, target = chords[(seed + offset) % len(chords)]
+        edges.append(EdgeSpec(names[source], names[target]))
+    return GraphSpec(name=f"fuzz{seed}", nodes=nodes, edges=tuple(edges))
+
+
+_SYNTHESIZED = {}
+
+
+def synthesized_network(seed: int):
+    """The synthesized dataplane for one fuzz seed (memoized)."""
+    if seed not in _SYNTHESIZED:
+        network, _report = synthesize_network(
+            small_fuzz_graph(seed),
+            SynthesisOptions(seed=seed, service_tunnels=1, max_lsp_pairs=6),
+        )
+        _SYNTHESIZED[seed] = network
+    return _SYNTHESIZED[seed]
+
+
+_BUILTINS = {}
+
+
+def builtin_network(name: str):
+    """One shared instance per builtin (loading parses fixture files)."""
+    if name not in _BUILTINS:
+        _BUILTINS[name] = load_builtin(name)
+    return _BUILTINS[name]
+
+
+_CORPORA = {}
+
+
+def query_corpus(
+    network,
+    seed: int,
+    count: int = 4,
+    failure_bounds=(0, 1),
+    include_unconstrained: bool = False,
+):
+    """The generated query suite for ``network`` (memoized)."""
+    key = (id(network), seed, count, failure_bounds, include_unconstrained)
+    if key not in _CORPORA:
+        _CORPORA[key] = generate_query_suite(
+            network,
+            count=count,
+            seed=seed,
+            failure_bounds=failure_bounds,
+            include_unconstrained=include_unconstrained,
+        )
+    return _CORPORA[key]
+
+
+def link_failure_variants(network, seed: int, rounds: int, max_failures: int = 2):
+    """Seeded network variants for mutation sequences.
+
+    Returns ``rounds`` networks, each the baseline degraded under a
+    random failure set of 1..``max_failures`` links. Consecutive
+    entries differ from each other (and the baseline) by small rule
+    deltas — exactly the shape a sweep retargets through.
+    """
+    rng = random.Random(seed)
+    links = sorted(network.topology.links, key=lambda link: link.name)
+    variants = []
+    for _ in range(rounds):
+        size = rng.randint(1, min(max_failures, len(links)))
+        failed = frozenset(rng.sample(links, size))
+        variants.append(degrade_network(network, failed))
+    return variants
+
+
+def random_rule_delta(rng: random.Random, current, max_removed=3, max_added=3):
+    """One random retract/add mutation over a symbolic rule multiset.
+
+    ``current`` is the list of :data:`RuleSpec` tuples the system holds
+    right now; returns ``(removed, added)`` where ``removed`` is a
+    sample of current specs and ``added`` contains fresh rules over the
+    states/symbols the system already mentions (plus occasionally a new
+    symbol, to exercise interning growth during repair).
+    """
+    removed = rng.sample(current, rng.randint(0, min(max_removed, len(current))))
+    states = sorted({s[0] for s in current} | {s[2] for s in current}, key=repr)
+    symbols = sorted(
+        {s[1] for s in current} | {sym for s in current for sym in s[3]}, key=repr
+    )
+    added = []
+    if states and symbols:
+        for index in range(rng.randint(0, max_added)):
+            pop = rng.choice(symbols)
+            pushes = {
+                "pop": (),
+                "swap": (rng.choice(symbols),),
+                "push": (rng.choice(symbols), rng.choice(symbols)),
+            }
+            push = pushes[rng.choice(["pop", "swap", "push"])]
+            if rng.random() < 0.1:
+                push = (("fresh", rng.randint(0, 9)),) + push[1:]
+            added.append(
+                (
+                    rng.choice(states),
+                    pop,
+                    rng.choice(states),
+                    push,
+                    True,
+                    ("mut", rng.randrange(1 << 30), index),
+                )
+            )
+    return removed, added
+
+
+__all__ = [
+    "DEFAULT_FUZZ_SEEDS",
+    "fuzz_seeds",
+    "small_fuzz_graph",
+    "synthesized_network",
+    "builtin_network",
+    "query_corpus",
+    "link_failure_variants",
+    "random_rule_delta",
+    "RuleSpec",
+    "rule_spec",
+]
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_registry():
+    """Metric isolation for every test in this package."""
+    previous = obs.enabled()
+    obs.disable()
+    obs.reset()
+    yield
+    obs.reset()
+    if previous:
+        obs.enable()
+
+
+# Imported for re-export; keep linters quiet about "unused".
+_ = (itertools, RuleSpec, rule_spec)

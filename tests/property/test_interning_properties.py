@@ -17,36 +17,21 @@ from collections import Counter
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.datasets.builtins import BUILTIN_NETWORKS, load_builtin
-from repro.datasets.queries import generate_query_suite
 from repro.query.parser import parse_query
 from repro.verification.compiler import QueryCompiler
 from repro.verification.engine import dual_engine
+from tests.pda.conftest import builtin_network, query_corpus
 
 #: The larger builtins make single examples too slow for a property
 #: sweep; these three still cover tunnels, failover and service labels.
 NETWORK_NAMES = ("example", "abilene", "nsfnet")
 
-_NETWORKS = {}
-_CORPORA = {}
-
-
-def _network(name):
-    if name not in _NETWORKS:
-        _NETWORKS[name] = load_builtin(name)
-    return _NETWORKS[name]
+_network = builtin_network
 
 
 def _corpus(name):
-    if name not in _CORPORA:
-        _CORPORA[name] = generate_query_suite(
-            _network(name),
-            count=6,
-            seed=513,
-            failure_bounds=(0, 1),
-            include_unconstrained=False,
-        )
-    return _CORPORA[name]
+    # Shared generator (tests/pda/conftest.py), memoized per network.
+    return query_corpus(_network(name), seed=513, count=6)
 
 
 @settings(max_examples=30, deadline=None)

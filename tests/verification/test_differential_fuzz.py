@@ -21,14 +21,12 @@ generated query corpus. Every case asserts:
 import pytest
 
 from repro import obs
-from repro.datasets.graphs import EdgeSpec, GraphSpec, NodeSpec
-from repro.datasets.queries import generate_query_suite
-from repro.datasets.synthesis import SynthesisOptions, synthesize_network
 from repro.verification.engine import dual_engine, moped_engine, weighted_engine
 from repro.verification.explicit import ExplicitEngine
 from repro.verification.results import Status
+from tests.pda.conftest import fuzz_seeds, query_corpus, synthesized_network
 
-SEEDS = (11, 23, 47)
+SEEDS = fuzz_seeds()
 
 #: Oracle bounds — on these small networks the enumeration is exact up
 #: to this trace length / header depth.
@@ -36,41 +34,14 @@ ORACLE_TRACE_LENGTH = 6
 ORACLE_HEADER_DEPTH = 3
 ORACLE_INITIAL_HEADER = 3
 
-
-def _small_graph(seed: int) -> GraphSpec:
-    """A 6-node ring with seed-dependent chords (deterministic)."""
-    names = [f"n{i}" for i in range(6)]
-    nodes = tuple(
-        NodeSpec(name, latitude=float(i), longitude=float((i * 7) % 5))
-        for i, name in enumerate(names)
-    )
-    edges = [
-        EdgeSpec(names[i], names[(i + 1) % len(names)]) for i in range(len(names))
-    ]
-    # Two chords chosen by the seed, avoiding duplicates of ring edges.
-    chords = [(0, 2), (1, 4), (2, 5), (0, 3), (1, 3)]
-    for offset in range(2):
-        source, target = chords[(seed + offset) % len(chords)]
-        edges.append(EdgeSpec(names[source], names[target]))
-    return GraphSpec(name=f"fuzz{seed}", nodes=nodes, edges=tuple(edges))
-
-
-def _network(seed: int):
-    network, _report = synthesize_network(
-        _small_graph(seed),
-        SynthesisOptions(seed=seed, service_tunnels=1, max_lsp_pairs=6),
-    )
-    return network
+# Shared corpus generators live in tests/pda/conftest.py: one seeded
+# ring-with-chords dataplane and one generated query suite per seed,
+# memoized across every differential harness in the tree.
+_network = synthesized_network
 
 
 def _corpus(network, seed: int):
-    return generate_query_suite(
-        network,
-        count=4,
-        seed=seed,
-        failure_bounds=(0, 1),
-        include_unconstrained=False,
-    )
+    return query_corpus(network, seed)
 
 
 def _cases():
