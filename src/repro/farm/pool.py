@@ -53,7 +53,8 @@ class EngineConfig:
     #: Static triage mode ("auto" / "off" / "only"); settled scenarios
     #: skip compilation entirely on the worker.
     triage: str = "off"
-    #: Saturation core ("interned" / "tuple" / "incremental"). Part of
+    #: Saturation core ("interned" / "tuple" / "vectorized" /
+    #: "incremental"). Part of
     #: the config — and hence of the worker cache's engine slot — so
     #: switching cores can never serve a result computed by another one.
     core: str = "interned"

@@ -82,6 +82,7 @@ from __future__ import annotations
 import hashlib
 import heapq
 import time
+import warnings
 from collections import Counter, deque
 from dataclasses import dataclass, field
 from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple, Union
@@ -92,7 +93,7 @@ except Exception:  # pragma: no cover - numpy is present in the dev image
     _np = None
 
 from repro import obs
-from repro.errors import PdaError
+from repro.errors import NumpyFallbackWarning, PdaError
 from repro.pda.automaton import EPSILON, IntPAutomaton, _heap_key
 from repro.pda.intern import EPSILON_ID, MASK, SHIFT, pack_key
 from repro.pda.poststar import _MID, poststar
@@ -199,6 +200,17 @@ class IncrementalSolver:
         # stream (shared spec table) and numpy is importable: live Rule
         # objects per spec id plus a dense multiplicity vector of the
         # *current* rule multiset, indexed by spec id.
+        if pds.spec_table is not None and _np is None:
+            # The baseline *wants* the fast integer diff but cannot have
+            # it — say so (symbolic diffs are correct, just slower).
+            if obs.enabled():
+                obs.add("pda.incremental.fast_diff_unavailable")
+            warnings.warn(
+                "numpy is not importable; the incremental core is using "
+                "symbolic rule diffs instead of the fast integer diff",
+                NumpyFallbackWarning,
+                stacklevel=3,
+            )
         self._spec_table = pds.spec_table if _np is not None else None
         self._rules_by_sid: Optional[Dict[int, List[Rule]]] = (
             {} if self._spec_table is not None else None

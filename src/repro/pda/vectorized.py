@@ -1,0 +1,1291 @@
+"""Frontier-batched (vectorized) saturation core — ``core="vectorized"``.
+
+The interned core (:mod:`repro.pda.poststar` / :mod:`repro.pda.prestar`)
+still finalizes one transition per interpreted-Python loop iteration.
+This module batches that worklist: automaton transitions live in a
+*sorted* numpy ``int64`` array of the existing packed keys
+``(source << 21 | symbol) << 21 | target``, rule heads become CSR-style
+sorted arrays joined against the frontier with ``searchsorted``, and the
+whole frontier of changed transitions is processed one *generation* at a
+time with vectorized joins and masks. Weighted queries run as a
+vectorized semiring min-relaxation (chaotic-iteration Bellman–Ford):
+candidate weights are lexicographically min-reduced per key, compared
+against the table, and any key whose weight *improves* re-enters the
+frontier ("reopen on improvement").
+
+Soundness story (see DESIGN.md): saturation computes the least fixpoint
+of a monotone operator over a bounded semiring, and that fixpoint is
+*unique* — independent of relaxation order, batching, or frontier
+chunking. A full (non-early-terminated) vectorized saturation therefore
+produces the exact same weight map as the interned core's
+Dijkstra-ordered loop, which makes :func:`automaton_digest` equality the
+differential oracle. What is *not* order-independent is equal-weight
+witness tie-breaking, so (like the incremental core) the vectorized
+solve path answers verdict/weight from its own fixpoint and re-solves
+with the interned core only when a witness trace is actually wanted.
+
+The §4.2 reductions run here as bit-packed array fixpoints: the
+top-of-stack masks of :func:`repro.pda.reductions._analyze_masks` become
+``uint64`` bitset matrices updated with ``np.bitwise_or.at``, reaching
+the identical least fixpoint and hence keeping the identical rule list.
+
+Everything degrades cleanly without numpy (or on weights the codecs
+cannot represent): :func:`unsupported_reason` names the reason, and the
+solver falls back to the interned core with a
+:class:`~repro.errors.NumpyFallbackWarning` plus an obs counter — never
+silently.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+import warnings
+import weakref
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
+
+try:  # pragma: no cover - numpy is present in the dev image
+    import numpy as np
+except Exception:  # pragma: no cover
+    np = None  # type: ignore[assignment]
+
+from repro import obs
+from repro.errors import NumpyFallbackWarning, PdaError, VerificationTimeout
+from repro.pda.automaton import IntPAutomaton
+from repro.pda.intern import EPSILON_ID, MASK, SHIFT
+from repro.pda.poststar import _MID
+from repro.pda.reductions import ReductionReport
+from repro.pda.semiring import (
+    BooleanSemiring,
+    MinPlusSemiring,
+    MinPlusVectorSemiring,
+    Semiring,
+)
+from repro.pda.system import PushdownSystem
+
+State = Hashable
+
+#: Mask of the low (symbol, target) fields of a packed key.
+_LOW42 = (1 << (2 * SHIFT)) - 1
+
+#: Rule weights beyond this magnitude fall back to the interned core —
+#: keeps every relaxation sum far away from int64 overflow.
+_WEIGHT_CAP = 1 << 40
+
+_POP, _SWAP, _PUSH = 0, 1, 2
+
+
+def available() -> bool:
+    """Is the numpy backing for this core importable?"""
+    return np is not None
+
+
+def fallback(reason: str) -> None:
+    """Record (warning + obs counter) one fallback to the interned core."""
+    if obs.enabled():
+        obs.add("pda.vectorized.fallbacks")
+    warnings.warn(
+        f"vectorized core unavailable ({reason}); "
+        "falling back to the interned core",
+        NumpyFallbackWarning,
+        stacklevel=3,
+    )
+
+
+# ----------------------------------------------------------------------
+# weight codecs
+# ----------------------------------------------------------------------
+
+
+class _Codec:
+    """Encodes semiring weights as fixed-arity rows of ``int64``.
+
+    ``arity == 0`` is pure set mode (the boolean semiring: every stored
+    weight is ``True``, so no weight columns exist at all).
+    """
+
+    __slots__ = ("arity", "key")
+
+    def __init__(self, arity: int, key: Tuple[Any, ...]) -> None:
+        self.arity = arity
+        self.key = key
+
+    def encode_rules(self, weights: Sequence[Any]) -> Optional[Tuple[Any, Any]]:
+        """``(rows, keep_mask)`` for the rule weights, or None when some
+        weight is not representable (the caller then falls back)."""
+        raise NotImplementedError
+
+    def decode(self, row: Any) -> Any:
+        raise NotImplementedError
+
+
+class _BoolCodec(_Codec):
+    def __init__(self) -> None:
+        super().__init__(0, ("bool",))
+
+    def encode_rules(self, weights: Sequence[Any]) -> Optional[Tuple[Any, Any]]:
+        keep = None
+        for index, weight in enumerate(weights):
+            if weight is True:
+                continue
+            if weight is False:
+                # Zero-weight rules can never relax anything: drop them.
+                if keep is None:
+                    keep = np.ones(len(weights), dtype=bool)
+                keep[index] = False
+            else:
+                return None
+        return None, keep
+
+    def decode(self, row: Any) -> Any:
+        return True
+
+
+class _ScalarCodec(_Codec):
+    def __init__(self) -> None:
+        super().__init__(1, ("scalar",))
+
+    def encode_rules(self, weights: Sequence[Any]) -> Optional[Tuple[Any, Any]]:
+        try:
+            rows = np.array(list(weights), dtype=object)
+            rows = rows.astype(np.int64, casting="unsafe")
+        except (TypeError, ValueError, OverflowError):
+            return None
+        for weight in weights:
+            if not isinstance(weight, int) or isinstance(weight, bool):
+                return None
+        if rows.size and int(np.abs(rows).max()) > _WEIGHT_CAP:
+            return None
+        return rows.reshape(-1, 1), None
+
+    def decode(self, row: Any) -> Any:
+        return int(row[0])
+
+
+class _VectorCodec(_Codec):
+    def __init__(self, arity: int) -> None:
+        super().__init__(arity, ("vector", arity))
+
+    def encode_rules(self, weights: Sequence[Any]) -> Optional[Tuple[Any, Any]]:
+        arity = self.arity
+        for weight in weights:
+            if not isinstance(weight, tuple) or len(weight) != arity:
+                return None
+            for part in weight:
+                if not isinstance(part, int) or isinstance(part, bool):
+                    return None
+        rows = np.array(list(weights), dtype=np.int64).reshape(-1, arity)
+        if rows.size and int(np.abs(rows).max()) > _WEIGHT_CAP:
+            return None
+        return rows, None
+
+    def decode(self, row: Any) -> Any:
+        return tuple(int(part) for part in row)
+
+
+def _codec_for(semiring: Semiring) -> Optional[_Codec]:
+    if isinstance(semiring, BooleanSemiring):
+        return _BoolCodec()
+    if isinstance(semiring, MinPlusVectorSemiring):
+        return _VectorCodec(semiring.arity)
+    if isinstance(semiring, MinPlusSemiring):  # includes NegLogProbSemiring
+        return _ScalarCodec()
+    return None
+
+
+# ----------------------------------------------------------------------
+# cached array views of a pushdown system
+# ----------------------------------------------------------------------
+
+
+class _RuleArrays:
+    """Columnar view of a system's rule list (plus per-codec weights)."""
+
+    __slots__ = (
+        "count",
+        "from_ids",
+        "pop_ids",
+        "to_ids",
+        "kinds",
+        "p0",
+        "p1",
+        "weight_values",
+        "_encoded",
+    )
+
+    def __init__(self, pds: PushdownSystem) -> None:
+        rules = pds.rule_sequence()
+        n = len(rules)
+        self.count = n
+        self.from_ids = np.fromiter((r.from_id for r in rules), np.int64, n)
+        self.pop_ids = np.fromiter((r.pop_id for r in rules), np.int64, n)
+        self.to_ids = np.fromiter((r.to_id for r in rules), np.int64, n)
+        self.kinds = np.fromiter((len(r.push_ids) for r in rules), np.int64, n)
+        self.p0 = np.fromiter(
+            (r.push_ids[0] if r.push_ids else 0 for r in rules), np.int64, n
+        )
+        self.p1 = np.fromiter(
+            (r.push_ids[1] if len(r.push_ids) == 2 else 0 for r in rules),
+            np.int64,
+            n,
+        )
+        self.weight_values: List[Any] = [r.weight for r in rules]
+        #: codec key → (rows, keep_mask) | None (unencodable).
+        self._encoded: Dict[Tuple[Any, ...], Any] = {}
+
+    def encoded(self, codec: _Codec) -> Optional[Tuple[Any, Any]]:
+        cached = self._encoded.get(codec.key, _MISSING)
+        if cached is _MISSING:
+            cached = codec.encode_rules(self.weight_values)
+            self._encoded[codec.key] = cached
+        return cached
+
+
+_MISSING = object()
+
+_ARRAY_CACHE: "weakref.WeakKeyDictionary[PushdownSystem, _RuleArrays]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _rule_arrays(pds: PushdownSystem) -> _RuleArrays:
+    cached = _ARRAY_CACHE.get(pds)
+    if cached is None or cached.count != pds.rule_count():
+        cached = _RuleArrays(pds)
+        _ARRAY_CACHE[pds] = cached
+    return cached
+
+
+def unsupported_reason(pds: PushdownSystem, semiring: Semiring) -> Optional[str]:
+    """Why this solve cannot run vectorized (None = it can)."""
+    if np is None:
+        return "numpy is not importable"
+    codec = _codec_for(semiring)
+    if codec is None:
+        return f"no vectorized codec for {type(semiring).__name__}"
+    if _rule_arrays(pds).encoded(codec) is None:
+        return "rule weights are not representable as small integers"
+    return None
+
+
+# ----------------------------------------------------------------------
+# §4.2 reductions as bit-packed array fixpoints
+# ----------------------------------------------------------------------
+
+
+def _tops_fixpoint(
+    from_ids: Any,
+    pop_ids: Any,
+    to_ids: Any,
+    kinds: Any,
+    p0: Any,
+    p1: Any,
+    n_states: int,
+    n_words: int,
+    initial_sid: int,
+    initial_yid: int,
+) -> Tuple[Any, Any]:
+    """The top-of-stack / below-set least fixpoint over bitset matrices.
+
+    ``T[s]`` / ``B[s]`` are ``uint64`` bitset rows over symbol ids —
+    the array twin of the Python-int masks in
+    :func:`repro.pda.reductions._analyze_masks`. Monotone transfers over
+    a finite lattice have a unique least fixpoint, so any fair iteration
+    order (here: a batched worklist of changed states) lands on exactly
+    the masks the scalar version computes.
+    """
+    tops = np.zeros((n_states, n_words), dtype=np.uint64)
+    below = np.zeros((n_states, n_words), dtype=np.uint64)
+    tops[initial_sid, initial_yid >> 6] = np.uint64(1 << (initial_yid & 63))
+
+    order = np.argsort(from_ids, kind="stable")
+    sorted_from = from_ids[order]
+    unique_from, starts = np.unique(sorted_from, return_index=True)
+    ends = np.append(starts[1:], len(sorted_from))
+
+    pop_word = pop_ids >> 6
+    pop_bit = (np.uint64(1) << (pop_ids & 63).astype(np.uint64))
+    p0_word = p0 >> 6
+    p0_bit = (np.uint64(1) << (p0 & 63).astype(np.uint64))
+    p1_word = p1 >> 6
+    p1_bit = (np.uint64(1) << (p1 & 63).astype(np.uint64))
+
+    changed = np.array([initial_sid], dtype=np.int64)
+    while changed.size:
+        pos = np.searchsorted(unique_from, changed)
+        pos_c = np.minimum(pos, max(len(unique_from) - 1, 0))
+        has_rules = (
+            (pos < len(unique_from)) & (unique_from[pos_c] == changed)
+            if len(unique_from)
+            else np.zeros(len(changed), dtype=bool)
+        )
+        if not has_rules.any():
+            break
+        row_starts = starts[pos_c[has_rules]]
+        row_ends = ends[pos_c[has_rules]]
+        counts = row_ends - row_starts
+        total = int(counts.sum())
+        base = np.repeat(row_starts, counts)
+        offsets = np.arange(total, dtype=np.int64) - np.repeat(
+            np.cumsum(counts) - counts, counts
+        )
+        ridx = order[base + offsets]
+        active = (tops[from_ids[ridx], pop_word[ridx]] & pop_bit[ridx]) != 0
+        ridx = ridx[active]
+        if not ridx.size:
+            break
+        targets = to_ids[ridx]
+        candidates = np.unique(targets)
+        snap_tops = tops[candidates].copy()
+        snap_below = below[candidates].copy()
+
+        rule_kinds = kinds[ridx]
+        nonpop = ridx[rule_kinds != _POP]
+        if nonpop.size:
+            to_np = to_ids[nonpop]
+            np.bitwise_or.at(tops, (to_np, p0_word[nonpop]), p0_bit[nonpop])
+            np.bitwise_or.at(below, to_np, below[from_ids[nonpop]])
+            push = nonpop[kinds[nonpop] == _PUSH]
+            if push.size:
+                np.bitwise_or.at(
+                    below, (to_ids[push], p1_word[push]), p1_bit[push]
+                )
+        pops = ridx[rule_kinds == _POP]
+        if pops.size:
+            source_below = below[from_ids[pops]]
+            np.bitwise_or.at(tops, to_ids[pops], source_below)
+            np.bitwise_or.at(below, to_ids[pops], source_below)
+
+        row_changed = np.any(tops[candidates] != snap_tops, axis=1) | np.any(
+            below[candidates] != snap_below, axis=1
+        )
+        changed = candidates[row_changed]
+    return tops, below
+
+
+def _coreachable_array(
+    from_ids: Any, to_ids: Any, target_sid: int, n_states: int
+) -> Any:
+    """Bool array over state ids: can ``target_sid`` be reached from here
+    in the rule graph? (The array twin of ``_coreachable_ids``.)"""
+    reached = np.zeros(n_states, dtype=bool)
+    if target_sid < n_states:
+        reached[target_sid] = True
+    order = np.argsort(to_ids, kind="stable")
+    sorted_to = to_ids[order]
+    unique_to, starts = np.unique(sorted_to, return_index=True)
+    ends = np.append(starts[1:], len(sorted_to))
+    frontier = np.array([target_sid], dtype=np.int64)
+    while frontier.size:
+        pos = np.searchsorted(unique_to, frontier)
+        pos_c = np.minimum(pos, max(len(unique_to) - 1, 0))
+        has = (
+            (pos < len(unique_to)) & (unique_to[pos_c] == frontier)
+            if len(unique_to)
+            else np.zeros(len(frontier), dtype=bool)
+        )
+        if not has.any():
+            break
+        row_starts = starts[pos_c[has]]
+        counts = ends[pos_c[has]] - row_starts
+        total = int(counts.sum())
+        base = np.repeat(row_starts, counts)
+        offsets = np.arange(total, dtype=np.int64) - np.repeat(
+            np.cumsum(counts) - counts, counts
+        )
+        predecessors = from_ids[order[base + offsets]]
+        fresh = np.unique(predecessors[~reached[predecessors]])
+        reached[fresh] = True
+        frontier = fresh
+    return reached
+
+
+def reduce_rule_indices(
+    pds: PushdownSystem,
+    initial_state: State,
+    initial_symbol: Any,
+    target_state: Optional[State] = None,
+    passes: int = 2,
+) -> Tuple[Any, ReductionReport]:
+    """The §4.2 reduction pipeline, returning *kept rule indices*.
+
+    Mirrors :func:`repro.pda.reductions.reduce_pushdown` exactly — same
+    analysis fixpoint, same pruning predicate, same coreachability
+    filter, same pass structure — but never materializes the reduced
+    :class:`PushdownSystem`: the saturation kernels consume the index
+    array directly.
+    """
+    initial_sid = pds.state_table.intern(initial_state)
+    initial_yid = pds.symbol_table.intern(initial_symbol)
+    target_sid = (
+        pds.state_table.intern(target_state) if target_state is not None else None
+    )
+    arrays = _rule_arrays(pds)
+    n_states = int(
+        max(
+            arrays.from_ids.max(initial=0),
+            arrays.to_ids.max(initial=0),
+            initial_sid,
+            target_sid if target_sid is not None else 0,
+        )
+    ) + 1
+    n_symbols = int(
+        max(
+            arrays.pop_ids.max(initial=0),
+            arrays.p0.max(initial=0),
+            arrays.p1.max(initial=0),
+            initial_yid,
+        )
+    ) + 1
+    n_words = max(1, (n_symbols + 63) >> 6)
+
+    kept = np.arange(arrays.count, dtype=np.int64)
+    for _ in range(max(1, passes)):
+        from_k = arrays.from_ids[kept]
+        pop_k = arrays.pop_ids[kept]
+        tops, _ = _tops_fixpoint(
+            from_k,
+            pop_k,
+            arrays.to_ids[kept],
+            arrays.kinds[kept],
+            arrays.p0[kept],
+            arrays.p1[kept],
+            n_states,
+            n_words,
+            initial_sid,
+            initial_yid,
+        )
+        may_fire = (
+            tops[from_k, pop_k >> 6]
+            & (np.uint64(1) << (pop_k & 63).astype(np.uint64))
+        ) != 0
+        new_kept = kept[may_fire]
+        if target_sid is not None:
+            reached = _coreachable_array(
+                arrays.from_ids[new_kept],
+                arrays.to_ids[new_kept],
+                target_sid,
+                n_states,
+            )
+            to_new = arrays.to_ids[new_kept]
+            new_kept = new_kept[reached[to_new] | (to_new == target_sid)]
+        if len(new_kept) == len(kept):
+            break
+        kept = new_kept
+
+    states_after = len(
+        np.unique(
+            np.concatenate([arrays.from_ids[kept], arrays.to_ids[kept]])
+        )
+    ) if kept.size else 0
+    report = ReductionReport(
+        rules_before=arrays.count,
+        rules_after=int(len(kept)),
+        states_before=pds.state_count(),
+        states_after=states_after,
+    )
+    return kept, report
+
+
+# ----------------------------------------------------------------------
+# the transition table (sorted packed keys + weight rows)
+# ----------------------------------------------------------------------
+
+
+def _lex_less(a: Any, b: Any) -> Any:
+    """Row-wise lexicographic ``a < b`` over int64 matrices."""
+    arity = a.shape[1]
+    less = np.zeros(len(a), dtype=bool)
+    decided = np.zeros(len(a), dtype=bool)
+    for j in range(arity):
+        column_a = a[:, j]
+        column_b = b[:, j]
+        lt = column_a < column_b
+        gt = column_a > column_b
+        less |= ~decided & lt
+        decided |= lt | gt
+    return less
+
+
+def _dedupe(keys: Any, rows: Optional[Any]) -> Tuple[Any, Optional[Any]]:
+    """Unique keys, keeping the lexicographically minimal row per key."""
+    if rows is None:
+        return np.unique(keys), None
+    columns = tuple(
+        rows[:, j] for j in range(rows.shape[1] - 1, -1, -1)
+    ) + (keys,)
+    order = np.lexsort(columns)
+    sorted_keys = keys[order]
+    sorted_rows = rows[order]
+    first = np.empty(len(sorted_keys), dtype=bool)
+    first[0] = True
+    np.not_equal(sorted_keys[1:], sorted_keys[:-1], out=first[1:])
+    return sorted_keys[first], sorted_rows[first]
+
+
+class _Table:
+    """Sorted packed-key transition store with min-relaxation merge."""
+
+    __slots__ = ("arity", "keys", "rows")
+
+    def __init__(self, arity: int) -> None:
+        self.arity = arity
+        self.keys = np.empty(0, dtype=np.int64)
+        self.rows = (
+            np.empty((0, arity), dtype=np.int64) if arity else None
+        )
+
+    def merge(
+        self, candidate_keys: Any, candidate_rows: Optional[Any]
+    ) -> Tuple[Any, Optional[Any], Any]:
+        """Apply candidates; returns ``(changed_keys, changed_rows,
+        new_keys)`` — the reopen set (new + strictly improved) and the
+        subset that was newly inserted (for index maintenance)."""
+        candidate_keys, candidate_rows = _dedupe(candidate_keys, candidate_rows)
+        keys = self.keys
+        n = len(keys)
+        pos = np.searchsorted(keys, candidate_keys)
+        if n:
+            pos_c = np.minimum(pos, n - 1)
+            found = keys[pos_c] == candidate_keys
+        else:
+            found = np.zeros(len(candidate_keys), dtype=bool)
+
+        if self.arity:
+            found_idx = np.nonzero(found)[0]
+            if found_idx.size:
+                found_pos = pos[found_idx]
+                better = _lex_less(
+                    candidate_rows[found_idx], self.rows[found_pos]
+                )
+                improved_idx = found_idx[better]
+                if improved_idx.size:
+                    self.rows[found_pos[better]] = candidate_rows[improved_idx]
+                improved_keys = candidate_keys[improved_idx]
+                improved_rows = candidate_rows[improved_idx]
+            else:
+                improved_keys = np.empty(0, dtype=np.int64)
+                improved_rows = np.empty((0, self.arity), dtype=np.int64)
+        else:
+            improved_keys = np.empty(0, dtype=np.int64)
+            improved_rows = None
+
+        fresh = ~found
+        new_keys = candidate_keys[fresh]
+        if new_keys.size:
+            insert_at = pos[fresh]
+            self.keys = np.insert(keys, insert_at, new_keys)
+            if self.arity:
+                self.rows = np.insert(
+                    self.rows, insert_at, candidate_rows[fresh], axis=0
+                )
+        if self.arity:
+            changed_keys = np.concatenate([improved_keys, new_keys])
+            changed_rows = np.concatenate(
+                [improved_rows, candidate_rows[fresh]]
+            )
+            return changed_keys, changed_rows, new_keys
+        return new_keys, None, new_keys
+
+    def lookup_rows(self, keys: Any) -> Optional[Any]:
+        """Weight rows of keys that are guaranteed present."""
+        if self.arity == 0:
+            return None
+        return self.rows[np.searchsorted(self.keys, keys)]
+
+    def contains(self, key: int) -> bool:
+        pos = int(np.searchsorted(self.keys, key))
+        return pos < len(self.keys) and int(self.keys[pos]) == key
+
+
+def _expand_ranges(starts: Any, ends: Any) -> Tuple[Any, Any]:
+    """CSR pair expansion: per-query element indices plus query ids.
+
+    Returns ``(query_rep, element_index)`` where query ``i`` contributes
+    ``ends[i] - starts[i]`` consecutive elements.
+    """
+    counts = ends - starts
+    total = int(counts.sum())
+    if not total:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    query_rep = np.repeat(np.arange(len(counts), dtype=np.int64), counts)
+    base = np.repeat(starts, counts)
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(
+        np.cumsum(counts) - counts, counts
+    )
+    return query_rep, base + offsets
+
+
+class _HeadIndex:
+    """Sorted-unique join index: packed head value → element indices."""
+
+    __slots__ = ("values", "starts", "ends", "order")
+
+    def __init__(self, values: Any) -> None:
+        self.order = np.argsort(values, kind="stable")
+        sorted_values = values[self.order]
+        self.values, self.starts = np.unique(sorted_values, return_index=True)
+        self.ends = np.append(self.starts[1:], len(sorted_values))
+
+    def join(self, probes: Any) -> Tuple[Any, Any]:
+        """``(probe_rep, element_index)`` pairs for matching probes."""
+        n = len(self.values)
+        if not n or not len(probes):
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        pos = np.searchsorted(self.values, probes)
+        pos_c = np.minimum(pos, n - 1)
+        match = (pos < n) & (self.values[pos_c] == probes)
+        probe_idx = np.nonzero(match)[0]
+        if not probe_idx.size:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        query_rep, element = _expand_ranges(
+            self.starts[pos_c[probe_idx]], self.ends[pos_c[probe_idx]]
+        )
+        return probe_idx[query_rep], self.order[element]
+
+
+# ----------------------------------------------------------------------
+# saturation results
+# ----------------------------------------------------------------------
+
+
+class VectorSaturationResult:
+    """Array-form saturation outcome; materializes the automaton lazily.
+
+    The solve path only ever needs single-symbol acceptance
+    (:meth:`head_weight`), which reads the arrays directly; tests and
+    digest oracles that want the full :class:`IntPAutomaton` pay the
+    materialization cost on first access.
+    """
+
+    __slots__ = (
+        "semiring",
+        "state_table",
+        "symbol_table",
+        "final_ids",
+        "keys",
+        "rows",
+        "iterations",
+        "generations",
+        "early_terminated",
+        "_codec",
+        "_automaton",
+    )
+
+    def __init__(
+        self,
+        semiring: Semiring,
+        codec: _Codec,
+        state_table: Any,
+        symbol_table: Any,
+        final_ids: Sequence[int],
+        table: _Table,
+        iterations: int,
+        generations: int,
+        early_terminated: bool,
+    ) -> None:
+        self.semiring = semiring
+        self._codec = codec
+        self.state_table = state_table
+        self.symbol_table = symbol_table
+        self.final_ids = list(final_ids)
+        self.keys = table.keys
+        self.rows = table.rows
+        self.iterations = iterations
+        self.generations = generations
+        self.early_terminated = early_terminated
+        self._automaton: Optional[IntPAutomaton] = None
+
+    @property
+    def transition_count(self) -> int:
+        return int(len(self.keys))
+
+    def head_weight(self, state: State, symbol: Any) -> Any:
+        """Acceptance weight of the one-symbol stack ``⟨state, symbol⟩``.
+
+        Equals ``automaton.accept_weight(state, (symbol,))[0]`` — the min
+        over final states of the direct transition's weight — without
+        materializing anything.
+        """
+        semiring = self.semiring
+        state_id = self.state_table.id_of(state)
+        symbol_id = self.symbol_table.id_of(symbol)
+        if state_id is None or symbol_id is None:
+            return semiring.zero
+        best = semiring.zero
+        head = ((state_id << SHIFT) | symbol_id) << SHIFT
+        for final_id in self.final_ids:
+            key = head | final_id
+            pos = int(np.searchsorted(self.keys, key))
+            if pos < len(self.keys) and int(self.keys[pos]) == key:
+                weight = (
+                    True if self.rows is None else self._codec.decode(self.rows[pos])
+                )
+                best = semiring.combine(best, weight)
+        return best
+
+    @property
+    def automaton(self) -> IntPAutomaton:
+        """The equivalent :class:`IntPAutomaton` (built once, cached)."""
+        if self._automaton is not None:
+            return self._automaton
+        automaton = IntPAutomaton(
+            self.semiring, self.state_table, self.symbol_table, self.final_ids
+        )
+        decode = self._codec.decode
+        rows = self.rows
+        weights = automaton.weights
+        out_edges = automaton.out_edges
+        eps_by_target = automaton.eps_by_target
+        key_list = self.keys.tolist()
+        for index, key in enumerate(key_list):
+            weights[key] = True if rows is None else decode(rows[index])
+            target = key & MASK
+            head = key >> SHIFT
+            symbol = head & MASK
+            source = head >> SHIFT
+            if symbol == EPSILON_ID:
+                eps_by_target.setdefault(target, {})[source] = None
+            else:
+                out_edges.setdefault(source, {}).setdefault(symbol, {})[
+                    target
+                ] = None
+        automaton._finalized.update(key_list)
+        automaton.relaxations = len(key_list)
+        self._automaton = automaton
+        return automaton
+
+
+def _observe(method: str, result: VectorSaturationResult) -> VectorSaturationResult:
+    if obs.enabled():
+        obs.add(f"pda.{method}.runs")
+        obs.add("pda.saturation_iterations", result.iterations)
+        obs.add("pda.transitions_added", result.transition_count)
+        obs.add("pda.vectorized.runs")
+        obs.add("pda.vectorized.generations", result.generations)
+        if result.early_terminated:
+            obs.add("pda.early_terminations")
+    return result
+
+
+class _Frontier:
+    """Pending changed-key buffer with optional chunked draining.
+
+    Chunking exists for the property tests: digest equality must hold no
+    matter how the frontier is sliced into generations, which is exactly
+    the fixpoint-uniqueness argument made executable.
+    """
+
+    __slots__ = ("chunk", "pending")
+
+    def __init__(self, chunk: Optional[int]) -> None:
+        self.chunk = chunk
+        self.pending: List[Any] = []
+
+    def push(self, keys: Any) -> None:
+        if len(keys):
+            self.pending.append(keys)
+
+    def take(self) -> Any:
+        buffer = (
+            self.pending[0]
+            if len(self.pending) == 1
+            else np.concatenate(self.pending)
+        )
+        buffer = np.unique(buffer)
+        if self.chunk is not None and len(buffer) > self.chunk:
+            self.pending = [buffer[self.chunk :]]
+            return buffer[: self.chunk]
+        self.pending = []
+        return buffer
+
+    def __bool__(self) -> bool:
+        return bool(self.pending)
+
+
+def _budget_checks(
+    method: str,
+    iterations: int,
+    max_steps: Optional[int],
+    deadline: Optional[float],
+) -> None:
+    if deadline is not None and time.perf_counter() > deadline:
+        raise VerificationTimeout("saturation exceeded its wall-clock deadline")
+    if max_steps is not None and iterations > max_steps:
+        raise PdaError(
+            f"{method} exceeded the step budget of {max_steps}"
+        )
+
+
+# ----------------------------------------------------------------------
+# post* kernel
+# ----------------------------------------------------------------------
+
+
+def vectorized_poststar_single(
+    pds: PushdownSystem,
+    semiring: Semiring,
+    initial_state: State,
+    initial_symbol: Any,
+    target: Optional[Tuple[State, Any]] = None,
+    max_steps: Optional[int] = None,
+    deadline: Optional[float] = None,
+    rule_indices: Optional[Any] = None,
+    chunk_size: Optional[int] = None,
+) -> VectorSaturationResult:
+    """Generation-batched post* from ``⟨initial_state, initial_symbol⟩``.
+
+    ``rule_indices`` restricts the system to a reduced rule subset (the
+    output of :func:`reduce_rule_indices`); ``chunk_size`` caps how many
+    frontier facts one generation processes (digest-invariant; exists
+    for the batching property tests). Early termination toward
+    ``target`` applies only in set mode — weighted runs must reach the
+    full fixpoint for minimality.
+    """
+    codec = _codec_for(semiring)
+    if np is None or codec is None:
+        raise PdaError("vectorized core unavailable; check unsupported_reason()")
+    state_table = pds.state_table
+    symbol_table = pds.symbol_table
+    final = ("__final__", initial_state)
+    final_id = state_table.intern(final)
+    if final_id in pds.control_state_ids:
+        raise PdaError(
+            "initial automaton must not have transitions into control states"
+        )
+    initial_sid = state_table.intern(initial_state)
+    initial_yid = symbol_table.intern(initial_symbol)
+    if initial_yid == EPSILON_ID:
+        raise PdaError("initial automaton must be ε-free")
+
+    arrays = _rule_arrays(pds)
+    encoded = arrays.encoded(codec)
+    if encoded is None:
+        raise PdaError("rule weights are not vectorizable")
+    rule_rows, keep_mask = encoded
+    indices = (
+        np.arange(arrays.count, dtype=np.int64)
+        if rule_indices is None
+        else np.asarray(rule_indices, dtype=np.int64)
+    )
+    if keep_mask is not None:
+        indices = indices[keep_mask[indices]]
+    from_ids = arrays.from_ids[indices]
+    pop_ids = arrays.pop_ids[indices]
+    to_ids = arrays.to_ids[indices]
+    kinds = arrays.kinds[indices]
+    p0 = arrays.p0[indices]
+    p1 = arrays.p1[indices]
+    weights = rule_rows[indices] if rule_rows is not None else None
+
+    # Pre-intern the synthetic mid-state of every (reachable) push head.
+    push_sel = kinds == _PUSH
+    push_heads = (to_ids[push_sel] << SHIFT) | p0[push_sel]
+    unique_heads = np.unique(push_heads)
+    resolve_state = state_table.resolve
+    resolve_symbol = symbol_table.resolve
+    mid_of_unique = np.fromiter(
+        (
+            state_table.intern(
+                (_MID, resolve_state(h >> SHIFT), resolve_symbol(h & MASK))
+            )
+            for h in unique_heads.tolist()
+        ),
+        np.int64,
+        len(unique_heads),
+    )
+    mids = np.zeros(len(indices), dtype=np.int64)
+    if push_heads.size:
+        mids[push_sel] = mid_of_unique[
+            np.searchsorted(unique_heads, push_heads)
+        ]
+
+    # Join constants: result (source, symbol) prefix per non-push rule,
+    # and the two output shapes of push rules.
+    res_sp = (to_ids << SHIFT) | np.where(kinds == _SWAP, p0, 0)
+    push_key1 = (((to_ids << SHIFT) | p0) << SHIFT) | mids
+    tail_sp = (mids << SHIFT) | p1
+
+    head_index = _HeadIndex((from_ids << SHIFT) | pop_ids)
+
+    arity = codec.arity
+    table = _Table(arity)
+    eps_alt = np.empty(0, dtype=np.int64)
+
+    target_key = -1
+    if target is not None and arity == 0:
+        target_sid = state_table.id_of(target[0])
+        target_yid = symbol_table.id_of(target[1])
+        if target_sid is not None and target_yid is not None:
+            target_key = (((target_sid << SHIFT) | target_yid) << SHIFT) | final_id
+
+    init_key = np.array(
+        [(((initial_sid << SHIFT) | initial_yid) << SHIFT) | final_id],
+        dtype=np.int64,
+    )
+    init_rows = np.zeros((1, arity), dtype=np.int64) if arity else None
+    changed, _, _ = table.merge(init_key, init_rows)
+    frontier = _Frontier(chunk_size)
+    frontier.push(changed)
+
+    iterations = 0
+    generations = 0
+    early = target_key >= 0 and table.contains(target_key)
+    while frontier and not early:
+        batch = frontier.take()
+        generations += 1
+        iterations += int(len(batch))
+        _budget_checks("post*", iterations, max_steps, deadline)
+        batch_rows = table.lookup_rows(batch)
+        symbols = (batch >> SHIFT) & MASK
+        is_eps = symbols == EPSILON_ID
+        plain = batch[~is_eps]
+        plain_rows = batch_rows[~is_eps] if arity else None
+        eps = batch[is_eps]
+        eps_rows = batch_rows[is_eps] if arity else None
+
+        out_keys: List[Any] = []
+        out_rows: List[Any] = []
+
+        # (A) rules × non-ε frontier facts, joined on the packed head.
+        fact_rep, rule_idx = head_index.join(plain >> SHIFT)
+        if fact_rep.size:
+            fact_targets = plain[fact_rep] & MASK
+            pair_kinds = kinds[rule_idx]
+            nonpush = pair_kinds != _PUSH
+            if nonpush.any():
+                out_keys.append(
+                    (res_sp[rule_idx[nonpush]] << SHIFT) | fact_targets[nonpush]
+                )
+                if arity:
+                    out_rows.append(
+                        plain_rows[fact_rep[nonpush]] + weights[rule_idx[nonpush]]
+                    )
+            pushes = ~nonpush
+            if pushes.any():
+                push_rules = rule_idx[pushes]
+                out_keys.append(push_key1[push_rules])
+                if arity:
+                    out_rows.append(
+                        np.zeros((len(push_rules), arity), dtype=np.int64)
+                    )
+                out_keys.append(
+                    (tail_sp[push_rules] << SHIFT) | fact_targets[pushes]
+                )
+                if arity:
+                    out_rows.append(
+                        plain_rows[fact_rep[pushes]] + weights[push_rules]
+                    )
+
+        # (B) non-ε frontier facts × known ε-transitions into their source.
+        if plain.size and eps_alt.size:
+            sources = plain >> (2 * SHIFT)
+            lo = np.searchsorted(eps_alt, sources << SHIFT)
+            hi = np.searchsorted(
+                eps_alt, (sources << SHIFT) | MASK, side="right"
+            )
+            fact_rep_b, alt_idx = _expand_ranges(lo, hi)
+            if fact_rep_b.size:
+                alt = eps_alt[alt_idx]
+                eps_sources = alt & MASK
+                out_keys.append(
+                    (eps_sources << (2 * SHIFT)) | (plain[fact_rep_b] & _LOW42)
+                )
+                if arity:
+                    eps_keys = ((alt & MASK) << (2 * SHIFT)) | (alt >> SHIFT)
+                    out_rows.append(
+                        table.lookup_rows(eps_keys) + plain_rows[fact_rep_b]
+                    )
+
+        # (C) ε frontier facts × the current out-edges of their target.
+        if eps.size and table.keys.size:
+            eps_targets = eps & MASK
+            eps_sources = eps >> (2 * SHIFT)
+            lo = np.searchsorted(
+                table.keys,
+                (eps_targets << (2 * SHIFT)) | (np.int64(1) << SHIFT),
+            )
+            hi = np.searchsorted(
+                table.keys, (eps_targets << (2 * SHIFT)) | _LOW42, side="right"
+            )
+            fact_rep_c, partner_idx = _expand_ranges(lo, hi)
+            if fact_rep_c.size:
+                partners = table.keys[partner_idx]
+                out_keys.append(
+                    (eps_sources[fact_rep_c] << (2 * SHIFT))
+                    | (partners & _LOW42)
+                )
+                if arity:
+                    out_rows.append(
+                        eps_rows[fact_rep_c] + table.rows[partner_idx]
+                    )
+
+        if not out_keys:
+            continue
+        candidate_keys = (
+            out_keys[0] if len(out_keys) == 1 else np.concatenate(out_keys)
+        )
+        candidate_rows = (
+            (out_rows[0] if len(out_rows) == 1 else np.concatenate(out_rows))
+            if arity
+            else None
+        )
+        changed, _, new_keys = table.merge(candidate_keys, candidate_rows)
+        frontier.push(changed)
+        if new_keys.size:
+            new_eps = new_keys[((new_keys >> SHIFT) & MASK) == EPSILON_ID]
+            if new_eps.size:
+                # Repacking as (target, source) destroys the key order, so
+                # re-sort before insertion or eps_alt loses sortedness (and
+                # every later range query on it silently corrupts).
+                alts = np.sort(
+                    ((new_eps & MASK) << SHIFT) | (new_eps >> (2 * SHIFT))
+                )
+                eps_alt = np.insert(
+                    eps_alt, np.searchsorted(eps_alt, alts), alts
+                )
+        if target_key >= 0 and table.contains(target_key):
+            early = True
+
+    return _observe(
+        "poststar",
+        VectorSaturationResult(
+            semiring,
+            codec,
+            state_table,
+            symbol_table,
+            [final_id],
+            table,
+            iterations,
+            generations,
+            early,
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# pre* kernel
+# ----------------------------------------------------------------------
+
+
+def vectorized_prestar_single(
+    pds: PushdownSystem,
+    semiring: Semiring,
+    target_state: State,
+    target_symbol: Any,
+    source: Optional[Tuple[State, Any]] = None,
+    max_steps: Optional[int] = None,
+    deadline: Optional[float] = None,
+    rule_indices: Optional[Any] = None,
+    chunk_size: Optional[int] = None,
+) -> VectorSaturationResult:
+    """Generation-batched pre* of ``⟨target_state, target_symbol⟩``."""
+    codec = _codec_for(semiring)
+    if np is None or codec is None:
+        raise PdaError("vectorized core unavailable; check unsupported_reason()")
+    state_table = pds.state_table
+    symbol_table = pds.symbol_table
+    final = ("__final__", target_state)
+    final_id = state_table.intern(final)
+    if final_id in pds.control_state_ids:
+        raise PdaError(
+            "target automaton must not have transitions into control states"
+        )
+    target_sid = state_table.intern(target_state)
+    target_yid = symbol_table.intern(target_symbol)
+    if target_yid == EPSILON_ID:
+        raise PdaError("target automaton must be ε-free")
+
+    arrays = _rule_arrays(pds)
+    encoded = arrays.encoded(codec)
+    if encoded is None:
+        raise PdaError("rule weights are not vectorizable")
+    rule_rows, keep_mask = encoded
+    indices = (
+        np.arange(arrays.count, dtype=np.int64)
+        if rule_indices is None
+        else np.asarray(rule_indices, dtype=np.int64)
+    )
+    if keep_mask is not None:
+        indices = indices[keep_mask[indices]]
+    from_ids = arrays.from_ids[indices]
+    pop_ids = arrays.pop_ids[indices]
+    to_ids = arrays.to_ids[indices]
+    kinds = arrays.kinds[indices]
+    p0 = arrays.p0[indices]
+    p1 = arrays.p1[indices]
+    weights = rule_rows[indices] if rule_rows is not None else None
+
+    #: Result-key prefix ``((from << S) | pop) << S`` of every rule.
+    rule_head = ((from_ids << SHIFT) | pop_ids) << SHIFT
+
+    swap_sel = np.nonzero(kinds == _SWAP)[0]
+    push_sel = np.nonzero(kinds == _PUSH)[0]
+    pop_sel = np.nonzero(kinds == _POP)[0]
+    swap_index = _HeadIndex((to_ids[swap_sel] << SHIFT) | p0[swap_sel])
+    push_head_index = _HeadIndex((to_ids[push_sel] << SHIFT) | p0[push_sel])
+    push_below_index = _HeadIndex(p1[push_sel])
+    #: Partner-key prefix ``((to << S) | p0) << S`` of every push rule.
+    push_partner_head = ((to_ids[push_sel] << SHIFT) | p0[push_sel]) << SHIFT
+
+    arity = codec.arity
+    table = _Table(arity)
+
+    source_key = -1
+    if source is not None and arity == 0:
+        source_sid = state_table.id_of(source[0])
+        source_yid = symbol_table.id_of(source[1])
+        if source_sid is not None and source_yid is not None:
+            source_key = (
+                ((source_sid << SHIFT) | source_yid) << SHIFT
+            ) | final_id
+
+    # Seed: the target transition plus every pop rule (unconditional).
+    seed_keys = [
+        np.array(
+            [(((target_sid << SHIFT) | target_yid) << SHIFT) | final_id],
+            dtype=np.int64,
+        )
+    ]
+    seed_rows = [np.zeros((1, arity), dtype=np.int64)] if arity else None
+    if pop_sel.size:
+        seed_keys.append(rule_head[pop_sel] | to_ids[pop_sel])
+        if arity:
+            seed_rows.append(weights[pop_sel])
+    changed, _, _ = table.merge(
+        np.concatenate(seed_keys),
+        np.concatenate(seed_rows) if arity else None,
+    )
+    frontier = _Frontier(chunk_size)
+    frontier.push(changed)
+
+    iterations = 0
+    generations = 0
+    early = source_key >= 0 and table.contains(source_key)
+    while frontier and not early:
+        batch = frontier.take()
+        generations += 1
+        iterations += int(len(batch))
+        _budget_checks("pre*", iterations, max_steps, deadline)
+        batch_rows = table.lookup_rows(batch)
+        batch_heads = batch >> SHIFT
+        batch_targets = batch & MASK
+        batch_sources = batch >> (2 * SHIFT)
+        batch_symbols = batch_heads & MASK
+
+        out_keys: List[Any] = []
+        out_rows: List[Any] = []
+
+        # Swap rules joined on (to, push[0]) == the fact's head.
+        fact_rep, swap_idx = swap_index.join(batch_heads)
+        if fact_rep.size:
+            rules_idx = swap_sel[swap_idx]
+            out_keys.append(rule_head[rules_idx] | batch_targets[fact_rep])
+            if arity:
+                out_rows.append(weights[rules_idx] + batch_rows[fact_rep])
+
+        # Push rules reading the fact as their *first* pushed symbol:
+        # need a partner (fact_target, push[1], q2) in the table.
+        fact_rep, push_idx = push_head_index.join(batch_heads)
+        if fact_rep.size and table.keys.size:
+            partner_prefix = (batch_targets[fact_rep] << (2 * SHIFT)) | (
+                p1[push_sel[push_idx]] << SHIFT
+            )
+            lo = np.searchsorted(table.keys, partner_prefix)
+            hi = np.searchsorted(
+                table.keys, partner_prefix | MASK, side="right"
+            )
+            pair_rep, partner_idx = _expand_ranges(lo, hi)
+            if pair_rep.size:
+                rules_idx = push_sel[push_idx[pair_rep]]
+                out_keys.append(
+                    rule_head[rules_idx] | (table.keys[partner_idx] & MASK)
+                )
+                if arity:
+                    out_rows.append(
+                        weights[rules_idx]
+                        + batch_rows[fact_rep[pair_rep]]
+                        + table.rows[partner_idx]
+                    )
+
+        # Push rules reading the fact as their *second* pushed symbol:
+        # need the existing head transition (to, push[0], fact_source).
+        fact_rep, below_idx = push_below_index.join(batch_symbols)
+        if fact_rep.size and table.keys.size:
+            partner_keys = (
+                push_partner_head[below_idx] | batch_sources[fact_rep]
+            )
+            pos = np.searchsorted(table.keys, partner_keys)
+            pos_c = np.minimum(pos, len(table.keys) - 1)
+            present = table.keys[pos_c] == partner_keys
+            if present.any():
+                rules_idx = push_sel[below_idx[present]]
+                out_keys.append(
+                    rule_head[rules_idx] | batch_targets[fact_rep[present]]
+                )
+                if arity:
+                    out_rows.append(
+                        weights[rules_idx]
+                        + table.rows[pos[present]]
+                        + batch_rows[fact_rep[present]]
+                    )
+
+        if not out_keys:
+            continue
+        candidate_keys = (
+            out_keys[0] if len(out_keys) == 1 else np.concatenate(out_keys)
+        )
+        candidate_rows = (
+            (out_rows[0] if len(out_rows) == 1 else np.concatenate(out_rows))
+            if arity
+            else None
+        )
+        changed, _, _ = table.merge(candidate_keys, candidate_rows)
+        frontier.push(changed)
+        if source_key >= 0 and table.contains(source_key):
+            early = True
+
+    return _observe(
+        "prestar",
+        VectorSaturationResult(
+            semiring,
+            codec,
+            state_table,
+            symbol_table,
+            [final_id],
+            table,
+            iterations,
+            generations,
+            early,
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# digest oracle
+# ----------------------------------------------------------------------
+
+
+def automaton_digest(automaton: Any) -> str:
+    """Canonical SHA-256 of an automaton's symbolic weight map.
+
+    Works for both cores' automata (packed-int keys are resolved through
+    the symbol tables; tuple keys are used as-is) and matches the line
+    format of :meth:`repro.pda.incremental.IncrementalSolver.digest`, so
+    all the equality oracles in the tree compare the same canonical
+    form. Fixpoint uniqueness (see DESIGN.md) is what makes equality of
+    these digests a complete conformance check for full saturations.
+    """
+    lines = []
+    if hasattr(automaton, "resolve_key"):
+        for key, weight in automaton.weights.items():
+            source, symbol, target = automaton.resolve_key(key)
+            lines.append(f"{source!r}|{symbol!r}|{target!r}|{weight!r}")
+    else:
+        for (source, symbol, target), weight in automaton.weights.items():
+            lines.append(f"{source!r}|{symbol!r}|{target!r}|{weight!r}")
+    lines.sort()
+    return hashlib.sha256("\n".join(lines).encode("utf-8")).hexdigest()

@@ -156,6 +156,17 @@ def _resolve_backend(payload: Dict[str, Any]) -> str:
     return "poststar" if engine_name == "dual" else engine_name
 
 
+def _resolve_core(payload: Dict[str, Any]) -> str:
+    """Validated ``"core"`` field (default interned, matching the CLI)."""
+    core = payload.get("core", "interned")
+    if core not in ("interned", "tuple", "vectorized", "incremental"):
+        raise ReproError(
+            f"unknown core {core!r} "
+            "(use: interned, tuple, vectorized, incremental)"
+        )
+    return core
+
+
 def _resolve_triage(payload: Dict[str, Any]) -> str:
     """Validated ``"triage"`` field (default off, matching the CLI)."""
     mode = payload.get("triage", "off")
@@ -247,7 +258,9 @@ def _prob_verify(
         threshold=threshold,
         default=default,
         max_scenarios=limit,
-        config=EngineConfig(backend=backend, weight=weight),
+        config=EngineConfig(
+            backend=backend, weight=weight, core=_resolve_core(payload)
+        ),
         timeout=payload.get("timeout"),
     )
     response: Dict[str, Any] = {
@@ -289,6 +302,7 @@ def _verify_payload(payload: Dict[str, Any], cache: _NetworkCache) -> Dict[str, 
         network,
         backend=_resolve_backend(payload),
         weight=payload.get("weight"),
+        core=_resolve_core(payload),
         triage=_resolve_triage(payload),
     )
     result = engine.verify(
@@ -411,7 +425,10 @@ def _submit_job(
     if backend == "moped" and weight:
         raise ReproError("the Moped backend does not support weighted verification")
     config = EngineConfig(
-        backend=backend, weight=weight, triage=_resolve_triage(payload)
+        backend=backend,
+        weight=weight,
+        core=_resolve_core(payload),
+        triage=_resolve_triage(payload),
     )
 
     preflight = bool(payload.get("preflight"))

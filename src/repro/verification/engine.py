@@ -72,7 +72,10 @@ class VerificationEngine:
       the quantitative engine; None keeps the boolean engine;
     * ``core`` — saturation representation: the dense-id ``"interned"``
       core (default), the symbolic ``"tuple"`` reference core (used by
-      the differential tests and as the benchmark baseline), or
+      the differential tests and as the benchmark baseline), the
+      generation-batched numpy ``"vectorized"`` core (falls back to the
+      interned core — with a :class:`~repro.errors.NumpyFallbackWarning`
+      — when numpy or a weight codec is unavailable), or
       ``"incremental"`` — solve against a persistent baseline-saturated
       automaton repaired per variant (see
       :mod:`repro.verification.incremental`); ``baseline`` optionally
@@ -103,10 +106,10 @@ class VerificationEngine:
         self.backend = backend
         self.use_reductions = use_reductions
         self.early_termination = early_termination
-        if core not in ("interned", "tuple", "incremental"):
+        if core not in ("interned", "tuple", "vectorized", "incremental"):
             raise VerificationError(
                 f"unknown solver core {core!r} "
-                "(expected interned, tuple or incremental)"
+                "(expected interned, tuple, vectorized or incremental)"
             )
         self.core = core
         self._family = None

@@ -111,6 +111,21 @@ def test_scratch_core_matches_sweep_fixture():
     ), "interned and incremental sweeps diverged"
 
 
+def test_vectorized_core_matches_sweep_fixture():
+    """The vectorized core replays the recorded sweep byte-for-byte:
+    same per-variant status, same answer digest — the batched kernel
+    cannot drift from what the incremental/interned cores pinned."""
+    name = "abilene"
+    path = _fixture_path(name)
+    if not path.exists():
+        pytest.skip("fixture not generated yet")
+    expected = json.loads(path.read_text())
+    actual = _sweep_payload(name, core="vectorized")
+    assert json.dumps(actual, indent=2, sort_keys=True) == json.dumps(
+        expected, indent=2, sort_keys=True
+    ), "vectorized and incremental sweeps diverged"
+
+
 def test_sweep_fixtures_cover_every_builtin():
     missing = [
         name for name in BUILTIN_NETWORKS if not _fixture_path(name).exists()

@@ -58,9 +58,17 @@ def _network_payload(name):
     for query in table1_queries(network):
         entry = {"query": query.text}
         entry["dual"] = _case_payload(dual_engine(network).verify(query.text))
+        entry["vectorized"] = _case_payload(
+            dual_engine(network, core="vectorized").verify(query.text)
+        )
         if name in WEIGHTED_NETWORKS:
             entry["weighted"] = _case_payload(
                 weighted_engine(network, weight="hops, failures").verify(query.text)
+            )
+            entry["weighted_vectorized"] = _case_payload(
+                weighted_engine(
+                    network, weight="hops, failures", core="vectorized"
+                ).verify(query.text)
             )
         payload[query.name] = entry
     return payload
@@ -89,6 +97,25 @@ def test_golden_traces(name):
     assert json.dumps(actual, indent=2, sort_keys=True) == json.dumps(
         expected, indent=2, sort_keys=True
     ), f"golden trace drift on {name}"
+
+
+@pytest.mark.parametrize("name", BUILTIN_NETWORKS)
+def test_vectorized_entries_equal_interned_entries(name):
+    """Core-equivalence inside the fixtures themselves: the recorded
+    vectorized answers must be byte-identical to the interned (dual /
+    weighted) answers, so a regen can never silently pin a divergence
+    between the cores."""
+    path = _fixture_path(name)
+    if not path.exists():
+        pytest.skip("fixture not generated yet")
+    payload = json.loads(path.read_text())
+    for query_name, entry in payload.items():
+        assert entry["vectorized"] == entry["dual"], (name, query_name)
+        if "weighted" in entry:
+            assert entry["weighted_vectorized"] == entry["weighted"], (
+                name,
+                query_name,
+            )
 
 
 def test_fixtures_cover_every_builtin():

@@ -41,6 +41,11 @@ from repro.pda.incremental import RuleSpec, rule_spec
 #: without touching the code.
 DEFAULT_FUZZ_SEEDS = (11, 23, 47)
 
+#: Every saturation core the engine can select. The differential
+#: harnesses quantify over this tuple so a new core cannot land without
+#: joining the equivalence matrix.
+CORE_MATRIX = ("tuple", "interned", "vectorized", "incremental")
+
 
 def fuzz_seeds():
     import os
@@ -172,7 +177,27 @@ def random_rule_delta(rng: random.Random, current, max_removed=3, max_added=3):
     return removed, added
 
 
+@pytest.fixture(params=["numpy", "no-numpy"])
+def numpy_mode(request, monkeypatch):
+    """Run the test twice: with numpy available and with it "absent".
+
+    The no-numpy leg nulls the module handles the vectorized and
+    incremental cores import, so their pure-Python fallbacks (interned
+    core / symbolic rule diffs) are what actually executes — both paths
+    must produce identical answers, and the degradation must be loud
+    (:class:`repro.errors.NumpyFallbackWarning`).
+    """
+    if request.param == "no-numpy":
+        import repro.pda.incremental as incremental
+        import repro.pda.vectorized as vectorized
+
+        monkeypatch.setattr(vectorized, "np", None)
+        monkeypatch.setattr(incremental, "_np", None)
+    return request.param
+
+
 __all__ = [
+    "CORE_MATRIX",
     "DEFAULT_FUZZ_SEEDS",
     "fuzz_seeds",
     "small_fuzz_graph",

@@ -1,0 +1,282 @@
+"""Unit tests for the vectorized saturation core and its fallbacks.
+
+The differential matrix (tests/verification/test_differential_fuzz.py)
+and the property suite (test_vectorized_properties.py) pin answer
+equivalence; this file covers the machinery itself: weight codecs and
+their rejection paths, the bit-packed reduction fixpoint, early
+termination, budget enforcement, observability counters, and — via the
+shared ``numpy_mode`` fixture — the requirement that degrading to the
+pure-Python paths is loud (a :class:`NumpyFallbackWarning`), never
+silent, for both the vectorized and the incremental core.
+"""
+
+import random
+import warnings
+
+import pytest
+
+from repro import obs
+from repro.errors import NumpyFallbackWarning, PdaError
+from repro.pda import incremental as incremental_module
+from repro.pda import vectorized
+from repro.pda.incremental import IncrementalSolver
+from repro.pda.intern import SymbolTable
+from repro.pda.poststar import poststar_single
+from repro.pda.reductions import reduce_pushdown
+from repro.pda.semiring import BOOLEAN, MIN_PLUS, vector_semiring
+from repro.pda.solver import solve_reachability
+from repro.pda.system import PushdownSystem
+from repro.pda.vectorized import (
+    automaton_digest,
+    reduce_rule_indices,
+    unsupported_reason,
+    vectorized_poststar_single,
+    vectorized_prestar_single,
+)
+from tests.pda.conftest import numpy_mode  # noqa: F401 (fixture re-export)
+
+VEC2 = vector_semiring(2)
+
+
+def _random_pds(seed, weight_of, rules=25, states=5, symbols=4):
+    rng = random.Random(seed)
+    state_names = [f"s{i}" for i in range(states)]
+    symbol_names = [f"g{i}" for i in range(symbols)]
+    pds = PushdownSystem()
+    for _ in range(rules):
+        kind = rng.choice(["pop", "swap", "push"])
+        push = {
+            "pop": (),
+            "swap": (rng.choice(symbol_names),),
+            "push": (rng.choice(symbol_names), rng.choice(symbol_names)),
+        }[kind]
+        pds.add_rule(
+            rng.choice(state_names),
+            rng.choice(symbol_names),
+            rng.choice(state_names),
+            push,
+            weight_of(rng),
+        )
+    return pds
+
+
+# ----------------------------------------------------------------------
+# codecs / unsupported_reason
+# ----------------------------------------------------------------------
+
+
+def test_unsupported_reason_accepts_the_three_builtin_semirings():
+    pds = _random_pds(1, lambda r: r.randint(0, 5))
+    assert unsupported_reason(pds, MIN_PLUS) is None
+    bool_pds = _random_pds(1, lambda r: True)
+    assert unsupported_reason(bool_pds, BOOLEAN) is None
+    vec_pds = _random_pds(1, lambda r: (r.randint(0, 3), r.randint(0, 3)))
+    assert unsupported_reason(vec_pds, VEC2) is None
+
+
+def test_unsupported_reason_rejects_uncodable_weights():
+    pds = PushdownSystem()
+    pds.add_rule("a", "x", "b", ("y",), 1.5)
+    reason = unsupported_reason(pds, MIN_PLUS)
+    assert reason is not None and "not representable" in reason
+
+    huge = PushdownSystem()
+    huge.add_rule("a", "x", "b", ("y",), 1 << 50)  # beyond the overflow cap
+    assert unsupported_reason(huge, MIN_PLUS) is not None
+
+    wrong_arity = PushdownSystem()
+    wrong_arity.add_rule("a", "x", "b", ("y",), (1, 2, 3))
+    assert unsupported_reason(wrong_arity, VEC2) is not None
+
+
+def test_unsupported_reason_rejects_unknown_semirings():
+    class Exotic(MIN_PLUS.__class__.__mro__[1]):  # a bare Semiring subclass
+        zero, one = None, None
+
+    pds = _random_pds(1, lambda r: 1)
+    reason = unsupported_reason(pds, Exotic())
+    assert reason is not None and "no vectorized codec" in reason
+
+
+def test_boolean_codec_drops_zero_weight_rules():
+    """weight=False rules can never relax anything and are pruned."""
+    pds = PushdownSystem()
+    pds.add_rule("a", "x", "b", ("y",), True)
+    pds.add_rule("b", "y", "c", ("z",), False)  # dead rule
+    result = vectorized_poststar_single(pds, BOOLEAN, "a", "x")
+    reference = poststar_single(pds, BOOLEAN, "a", "x")
+    assert automaton_digest(result.automaton) == automaton_digest(
+        reference.automaton
+    )
+
+
+# ----------------------------------------------------------------------
+# reductions
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", range(8))
+@pytest.mark.parametrize("target", [None, "s3"])
+def test_reduce_rule_indices_matches_reduce_pushdown(seed, target):
+    pds = _random_pds(seed, lambda r: r.randint(0, 5), rules=30)
+    rules = pds.rule_sequence()
+    kept, report = reduce_rule_indices(pds, "s0", "g0", target_state=target)
+    reduced, reference = reduce_pushdown(pds, "s0", "g0", target_state=target)
+
+    def key(rule):
+        return (rule.from_state, rule.pop, rule.to_state, rule.push, rule.weight)
+
+    assert [key(rules[i]) for i in kept.tolist()] == [
+        key(rule) for rule in reduced.rule_sequence()
+    ]
+    assert report.rules_after == reference.rules_after
+    assert report.states_after == reference.states_after
+    assert report.rules_before == reference.rules_before
+
+
+# ----------------------------------------------------------------------
+# kernel behaviour
+# ----------------------------------------------------------------------
+
+
+def test_head_weight_matches_automaton_accept_weight():
+    pds = _random_pds(7, lambda r: r.randint(0, 5))
+    result = vectorized_poststar_single(pds, MIN_PLUS, "s0", "g0")
+    for state in [f"s{i}" for i in range(5)] + [("nowhere", 9)]:
+        for symbol in [f"g{i}" for i in range(4)]:
+            expected, _ = result.automaton.accept_weight(state, (symbol,))
+            assert result.head_weight(state, symbol) == expected
+
+
+def test_early_termination_is_set_mode_only():
+    pds = _random_pds(3, lambda r: True, rules=40)
+    full = vectorized_poststar_single(pds, BOOLEAN, "s0", "g0")
+    # Pick a target the saturation genuinely reaches.
+    reached = None
+    automaton = full.automaton
+    for key in automaton.weights:
+        source, symbol, target = automaton.resolve_key(key)
+        if target == ("__final__", "s0") and symbol is not None:
+            reached = (source, symbol)
+    assert reached is not None
+    early = vectorized_poststar_single(
+        pds, BOOLEAN, "s0", "g0", target=reached, chunk_size=1
+    )
+    assert early.early_terminated
+    assert early.transition_count <= full.transition_count
+
+    weighted_pds = _random_pds(3, lambda r: r.randint(0, 5), rules=40)
+    weighted = vectorized_poststar_single(
+        weighted_pds, MIN_PLUS, "s0", "g0", target=reached, chunk_size=1
+    )
+    assert not weighted.early_terminated  # weighted runs go to fixpoint
+
+
+def test_step_budget_is_enforced():
+    # Seed 1 saturates through hundreds of facts in both directions, so
+    # a 3-step budget must trip no matter how generations are batched.
+    pds = _random_pds(1, lambda r: True, rules=40)
+    with pytest.raises(PdaError, match="step budget"):
+        vectorized_poststar_single(pds, BOOLEAN, "s0", "g0", max_steps=3)
+    with pytest.raises(PdaError, match="step budget"):
+        vectorized_prestar_single(pds, BOOLEAN, "s0", "g0", max_steps=3)
+
+
+def test_obs_counters_record_runs_and_generations():
+    pds = _random_pds(2, lambda r: True)
+    with obs.recording():
+        vectorized_poststar_single(pds, BOOLEAN, "s0", "g0")
+        counters = obs.counters()
+    assert counters.get("pda.vectorized.runs") == 1
+    assert counters.get("pda.poststar.runs") == 1
+    assert counters.get("pda.vectorized.generations", 0) > 0
+    assert counters.get("pda.saturation_iterations", 0) > 0
+
+
+# ----------------------------------------------------------------------
+# fallbacks — both numpy modes, always loud
+# ----------------------------------------------------------------------
+
+
+def test_solver_answers_are_identical_in_both_numpy_modes(numpy_mode):  # noqa: F811
+    """core="vectorized" gives the same outcome with and without numpy.
+
+    In the no-numpy leg the solve degrades to the interned core and
+    must say so with a NumpyFallbackWarning; either way the answers are
+    byte-identical to a plain interned solve.
+    """
+    pds = _random_pds(11, lambda r: r.randint(0, 5), rules=30)
+    reference = solve_reachability(
+        pds, MIN_PLUS, ("s0", "g0"), ("s3", "g1"), core="interned"
+    )
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        outcome = solve_reachability(
+            pds, MIN_PLUS, ("s0", "g0"), ("s3", "g1"), core="vectorized"
+        )
+    fallbacks = [w for w in caught if issubclass(w.category, NumpyFallbackWarning)]
+    if numpy_mode == "no-numpy":
+        assert vectorized.np is None  # the fixture really disabled it
+        assert len(fallbacks) == 1
+        assert "numpy is not importable" in str(fallbacks[0].message)
+    else:
+        assert fallbacks == []
+    assert outcome.reachable == reference.reachable
+    assert outcome.weight == reference.weight
+    assert repr(outcome.rules) == repr(reference.rules)
+
+
+def test_codec_fallback_warns_and_counts_even_with_numpy():
+    pds = PushdownSystem()
+    pds.add_rule("a", "x", "b", ("y",), 1.5)
+    pds.add_rule("b", "y", "c", (), 0.5)
+    with obs.recording():
+        with pytest.warns(NumpyFallbackWarning, match="not representable"):
+            outcome = solve_reachability(
+                pds, MIN_PLUS, ("a", "x"), ("b", "y"), core="vectorized"
+            )
+        counters = obs.counters()
+    assert outcome.reachable
+    assert outcome.weight == 1.5
+    assert counters.get("pda.vectorized.fallbacks") == 1
+
+
+def test_incremental_fast_diff_fallback_is_loud(numpy_mode):  # noqa: F811
+    """The incremental core's numpy-absent degradation warns + counts.
+
+    Before the fix this path silently dropped to symbolic diffs; now a
+    baseline that *wants* the integer diff (spec table present) but
+    cannot have it says so once, at construction.
+    """
+    pds = PushdownSystem(spec_table=SymbolTable())
+    pds.add_rule("a", "x", "b", ("y",), True)
+    pds.add_rule("b", "y", "c", ("y",), True)
+    with obs.recording():
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            solver = IncrementalSolver(pds, BOOLEAN, ("a", "x"), ("c", "y"))
+        counters = obs.counters()
+    fallbacks = [w for w in caught if issubclass(w.category, NumpyFallbackWarning)]
+    if numpy_mode == "no-numpy":
+        assert incremental_module._np is None
+        assert len(fallbacks) == 1
+        assert "symbolic rule diffs" in str(fallbacks[0].message)
+        assert counters.get("pda.incremental.fast_diff_unavailable") == 1
+    else:
+        assert fallbacks == []
+        assert counters.get("pda.incremental.fast_diff_unavailable", 0) == 0
+    reachable, _weight = solver.reachable()
+    assert reachable  # correct either way
+
+
+def test_kernel_raises_without_numpy(numpy_mode):  # noqa: F811
+    """Calling the kernel directly (not via the solver) cannot silently
+    do something else: without numpy it refuses."""
+    pds = _random_pds(1, lambda r: True)
+    if numpy_mode == "no-numpy":
+        assert not vectorized.available()
+        with pytest.raises(PdaError, match="unavailable"):
+            vectorized_poststar_single(pds, BOOLEAN, "s0", "g0")
+    else:
+        assert vectorized.available()
+        vectorized_poststar_single(pds, BOOLEAN, "s0", "g0")

@@ -1,0 +1,163 @@
+"""Property tests for the vectorized (generation-batched) saturation core.
+
+The soundness argument for batching (DESIGN.md) is that saturation
+computes the least fixpoint of a monotone operator, and least fixpoints
+are unique — independent of relaxation order, batching, or frontier
+chunking. These properties make that argument executable:
+
+* the vectorized digest equals the scratch interned digest no matter in
+  which order the rules were inserted and no matter how the frontier is
+  sliced into generations (chunk size 1 = one fact per generation, i.e.
+  the classic worklist; huge chunks = full generations);
+* §4.2 reductions change the work, never the answer: reductions-on and
+  reductions-off vectorized solves agree on verdict and weight.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pda.poststar import poststar_single
+from repro.pda.prestar import prestar_single
+from repro.pda.semiring import BOOLEAN, MIN_PLUS, vector_semiring
+from repro.pda.solver import solve_reachability
+from repro.pda.system import PushdownSystem
+from repro.pda.vectorized import (
+    automaton_digest,
+    vectorized_poststar_single,
+    vectorized_prestar_single,
+)
+
+STATES = tuple(f"s{i}" for i in range(5))
+SYMBOLS = tuple(f"g{i}" for i in range(4))
+
+SEMIRINGS = {
+    "bool": BOOLEAN,
+    "minplus": MIN_PLUS,
+    "vec2": vector_semiring(2),
+}
+
+
+def _rule_pool(seed: int, count: int, weight_kind: str):
+    """A deterministic pool of ``count`` random normal-form rules."""
+    rng = random.Random(seed)
+    rules = []
+    for _ in range(count):
+        kind = rng.choice(["pop", "swap", "push"])
+        push = {
+            "pop": (),
+            "swap": (rng.choice(SYMBOLS),),
+            "push": (rng.choice(SYMBOLS), rng.choice(SYMBOLS)),
+        }[kind]
+        weight = {
+            "bool": True,
+            "minplus": rng.randint(0, 5),
+            "vec2": (rng.randint(0, 3), rng.randint(0, 3)),
+        }[weight_kind]
+        rules.append(
+            (rng.choice(STATES), rng.choice(SYMBOLS), rng.choice(STATES), push, weight)
+        )
+    return rules
+
+
+def _build(rules):
+    pds = PushdownSystem()
+    for from_state, pop, to_state, push, weight in rules:
+        pds.add_rule(from_state, pop, to_state, push, weight)
+    return pds
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    order_seed=st.integers(min_value=0, max_value=10_000),
+    chunk=st.one_of(st.none(), st.integers(min_value=1, max_value=64)),
+    weight_kind=st.sampled_from(sorted(SEMIRINGS)),
+    method=st.sampled_from(["poststar", "prestar"]),
+)
+def test_batched_digest_equals_scratch_interned_digest(
+    seed, order_seed, chunk, weight_kind, method
+):
+    """Digest identity under random insertion orders and chunk sizes.
+
+    The interned reference runs on a system built in the *original*
+    order; the vectorized kernel runs on a fresh system whose rules were
+    inserted in a random permutation (different dense ids, different CSR
+    layout) and drains its frontier in random-size generations. The
+    symbolic digests must still collide — that is fixpoint uniqueness.
+    """
+    semiring = SEMIRINGS[weight_kind]
+    rules = _rule_pool(seed, 24, weight_kind)
+    shuffled = list(rules)
+    random.Random(order_seed).shuffle(shuffled)
+
+    if method == "poststar":
+        reference = poststar_single(_build(rules), semiring, "s0", "g0")
+        vectorized = vectorized_poststar_single(
+            _build(shuffled), semiring, "s0", "g0", chunk_size=chunk
+        )
+    else:
+        reference = prestar_single(_build(rules), semiring, "s3", "g1")
+        vectorized = vectorized_prestar_single(
+            _build(shuffled), semiring, "s3", "g1", chunk_size=chunk
+        )
+    assert automaton_digest(vectorized.automaton) == automaton_digest(
+        reference.automaton
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    chunk_a=st.integers(min_value=1, max_value=7),
+    chunk_b=st.integers(min_value=8, max_value=256),
+    weight_kind=st.sampled_from(sorted(SEMIRINGS)),
+)
+def test_chunk_size_never_changes_the_fixpoint(
+    seed, chunk_a, chunk_b, weight_kind
+):
+    """Two arbitrary chunkings of the same saturation collide exactly."""
+    semiring = SEMIRINGS[weight_kind]
+    pds = _build(_rule_pool(seed, 24, weight_kind))
+    digests = {
+        automaton_digest(
+            vectorized_poststar_single(
+                pds, semiring, "s0", "g0", chunk_size=chunk
+            ).automaton
+        )
+        for chunk in (chunk_a, chunk_b, None)
+    }
+    assert len(digests) == 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    weight_kind=st.sampled_from(sorted(SEMIRINGS)),
+    method=st.sampled_from(["poststar", "prestar"]),
+)
+def test_reductions_on_off_verdict_agreement(seed, weight_kind, method):
+    """§4.2 reductions prune work, never answers, on the vectorized core."""
+    semiring = SEMIRINGS[weight_kind]
+    pds = _build(_rule_pool(seed, 24, weight_kind))
+    on = solve_reachability(
+        pds,
+        semiring,
+        ("s0", "g0"),
+        ("s3", "g1"),
+        method=method,
+        core="vectorized",
+        use_reductions=True,
+    )
+    off = solve_reachability(
+        pds,
+        semiring,
+        ("s0", "g0"),
+        ("s3", "g1"),
+        method=method,
+        core="vectorized",
+        use_reductions=False,
+    )
+    assert on.reachable == off.reachable
+    assert on.weight == off.weight

@@ -1,16 +1,18 @@
 """Differential fuzzing over *synthesized* networks: dual vs Moped vs
-the explicit oracle, and the interned core vs its tuple reference twin.
+the explicit oracle, and the four solver cores against each other.
 
 The conformance suite (:mod:`tests.verification
 .test_differential_conformance`) pins the builtin networks; this one
-fuzzes the same three-way agreement over seeded
-:mod:`repro.datasets.synthesis` dataplanes — fresh topology, LSP mesh,
-failover priorities and service tunnels per seed — crossed with a
-generated query corpus. Every case asserts:
+fuzzes the same agreement over seeded :mod:`repro.datasets.synthesis`
+dataplanes — fresh topology, LSP mesh, failover priorities and service
+tunnels per seed — crossed with a generated query corpus. Every case
+asserts:
 
 * the dual engine and the Moped baseline return the same verdict;
-* the interned solver core and the tuple reference core return
-  *byte-identical* results (status, weight, and every trace hop);
+* all four solver cores (tuple / interned / vectorized / incremental)
+  return *byte-identical* results — same status, same weight, and the
+  same trace digest — for unweighted, weighted, and probabilistic
+  (``NEG_LOG_PROB``-backed likelihood) queries;
 * the weighted engine's guaranteed-minimal weights match exhaustive
   enumeration within the oracle's bounds;
 * the observability counters prove each backend actually saturated its
@@ -18,15 +20,57 @@ generated query corpus. Every case asserts:
   skipping the analysis).
 """
 
+import hashlib
+
 import pytest
 
 from repro import obs
-from repro.verification.engine import dual_engine, moped_engine, weighted_engine
+from repro.verification.engine import (
+    dual_engine,
+    likelihood_engine,
+    moped_engine,
+    weighted_engine,
+)
 from repro.verification.explicit import ExplicitEngine
 from repro.verification.results import Status
-from tests.pda.conftest import fuzz_seeds, query_corpus, synthesized_network
+from tests.pda.conftest import (
+    CORE_MATRIX,
+    fuzz_seeds,
+    query_corpus,
+    synthesized_network,
+)
 
 SEEDS = fuzz_seeds()
+
+
+def _result_digest(result):
+    """Canonical digest of everything a caller can observe in a result.
+
+    Two cores are interchangeable exactly when these digests agree: the
+    digest covers the verdict, the weight, the witness probability, the
+    failure set, and every hop of the rendered trace.
+    """
+    trace = result.trace
+    hops = (
+        None
+        if trace is None
+        else tuple(step.link.name for step in trace.steps)
+    )
+    blob = "|".join(
+        [
+            repr(result.status),
+            repr(result.weight),
+            repr(result.witness_probability),
+            repr(
+                None
+                if result.failure_set is None
+                else sorted(link.name for link in result.failure_set)
+            ),
+            repr(str(trace)),
+            repr(hops),
+        ]
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 #: Oracle bounds — on these small networks the enumeration is exact up
 #: to this trace length / header depth.
@@ -74,8 +118,6 @@ def test_dual_moped_and_cores_agree(networks, seed, query):
         dual_result = dual_engine(network).verify(query.text)
         dual_counters = obs.counters()
     with obs.recording():
-        tuple_result = dual_engine(network, core="tuple").verify(query.text)
-    with obs.recording():
         moped_result = moped_engine(network).verify(query.text)
         moped_counters = obs.counters()
 
@@ -84,15 +126,16 @@ def test_dual_moped_and_cores_agree(networks, seed, query):
         f"moped={moped_result.status}"
     )
 
-    # The two solver cores must be indistinguishable from the outside:
-    # same verdict, same weight, and the same trace hop for hop.
-    assert dual_result.status == tuple_result.status
-    assert dual_result.weight == tuple_result.weight
-    assert str(dual_result.trace) == str(tuple_result.trace)
-    if dual_result.trace is not None:
-        hops = [step.link.name for step in dual_result.trace.steps]
-        tuple_hops = [step.link.name for step in tuple_result.trace.steps]
-        assert hops == tuple_hops
+    # The solver cores must be indistinguishable from the outside: same
+    # verdict, same weight, and the same trace digest, hop for hop.
+    reference = _result_digest(dual_result)
+    for core in CORE_MATRIX:
+        if core == "interned":
+            continue  # dual_result is the interned run
+        core_result = dual_engine(network, core=core).verify(query.text)
+        assert dual_result.status == core_result.status, (seed, query.name, core)
+        assert dual_result.weight == core_result.weight, (seed, query.name, core)
+        assert reference == _result_digest(core_result), (seed, query.name, core)
 
     # Non-vacuity: unless the one-step fast path answered, each backend
     # must have actually saturated its pushdown.
@@ -159,6 +202,68 @@ def test_minimal_weights_match_enumeration(networks, seed):
             assert result.weight == expected.best_weight, (seed, query.text)
         checked += 1
     assert checked > 0, f"seed {seed}: no weighted query was conclusively minimal"
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_weighted_four_way_core_matrix(networks, seed):
+    """Weighted (min-plus vector) answers are core-invariant.
+
+    Every query in the corpus runs through all four cores under the
+    ``hops, failures`` vector; status, weight, and trace digest must be
+    byte-identical. Non-vacuity: at least one query per seed must be
+    satisfied with a real weighted witness, or the matrix proves
+    nothing.
+    """
+    network = networks[seed]
+    witnessed = 0
+    for query in _corpus(network, seed):
+        results = {
+            core: weighted_engine(
+                network, weight="hops, failures", core=core
+            ).verify(query.text)
+            for core in CORE_MATRIX
+        }
+        reference = results["interned"]
+        digest = _result_digest(reference)
+        for core, result in results.items():
+            assert result.status == reference.status, (seed, query.name, core)
+            assert result.weight == reference.weight, (seed, query.name, core)
+            assert _result_digest(result) == digest, (seed, query.name, core)
+        if reference.satisfied and reference.trace is not None:
+            witnessed += 1
+    assert witnessed > 0, f"seed {seed}: weighted matrix never saw a witness"
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_probabilistic_four_way_core_matrix(networks, seed):
+    """NEG_LOG_PROB-backed likelihood answers are core-invariant.
+
+    The likelihood engine ranks witnesses by failure probability via
+    the scaled neg-log-prob quantity (see :mod:`repro.prob.semiring`);
+    all four cores must agree on status, weight (the scaled cost),
+    witness probability, and trace digest.
+    """
+    network = networks[seed]
+    witnessed = 0
+    for query in _corpus(network, seed):
+        results = {
+            core: likelihood_engine(network, core=core).verify(query.text)
+            for core in CORE_MATRIX
+        }
+        reference = results["interned"]
+        digest = _result_digest(reference)
+        for core, result in results.items():
+            assert result.status == reference.status, (seed, query.name, core)
+            assert result.weight == reference.weight, (seed, query.name, core)
+            assert result.witness_probability == reference.witness_probability, (
+                seed,
+                query.name,
+                core,
+            )
+            assert _result_digest(result) == digest, (seed, query.name, core)
+        if reference.witness_probability is not None:
+            witnessed += 1
+    assert witnessed > 0, f"seed {seed}: likelihood matrix never saw a witness"
 
 
 def test_fuzz_corpus_is_not_degenerate(networks):
