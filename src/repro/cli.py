@@ -558,11 +558,130 @@ def _run_prob_sweep(network: MplsNetwork, args: argparse.Namespace) -> int:
     return 2
 
 
+def build_serve_parser() -> argparse.ArgumentParser:
+    """The ``aalwines serve`` argument parser (exposed for doc generation)."""
+    parser = argparse.ArgumentParser(
+        prog="aalwines serve",
+        description="Run the HTTP verification service — multi-worker "
+        "pre-fork serving with a shared on-disk artifact store "
+        "(see repro.service).",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8080)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes sharing the listening socket (default 1; "
+        "N>1 uses the pre-fork model, POSIX only)",
+    )
+    parser.add_argument(
+        "--store",
+        metavar="DIR",
+        help="shared artifact store directory: compiled networks and "
+        "queries are built once and reused across workers, and workers "
+        "see each other's job runs (strongly recommended with --workers)",
+    )
+    limits = parser.add_argument_group("per-client limits")
+    limits.add_argument(
+        "--rate-limit",
+        action="store_true",
+        help="enable the production rate-limit defaults (50 interactive "
+        "requests/s with burst 100, 0.5 sweep submissions/s with burst "
+        "4, 4 active job runs per client)",
+    )
+    limits.add_argument(
+        "--interactive-rate",
+        type=float,
+        metavar="R",
+        help="sustained interactive requests/second per client "
+        "(implies rate limiting)",
+    )
+    limits.add_argument(
+        "--sweep-rate",
+        type=float,
+        metavar="R",
+        help="sustained POST /jobs submissions/second per client "
+        "(implies rate limiting)",
+    )
+    limits.add_argument(
+        "--max-active-jobs",
+        type=int,
+        metavar="N",
+        help="max concurrently active job runs per client "
+        "(implies rate limiting)",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="log every request"
+    )
+    parser.add_argument(
+        "--no-observe",
+        action="store_true",
+        help="leave the observability registry off (disables /metrics "
+        "content; endpoints still respond)",
+    )
+    return parser
+
+
+def serve_main(argv: Optional[list] = None) -> int:
+    """Entry point of the ``aalwines serve`` subcommand."""
+    from repro.service.prefork import serve_forever
+    from repro.service.ratelimit import RateLimitConfig
+
+    parser = build_serve_parser()
+    args = parser.parse_args(argv)
+    if args.workers < 1:
+        parser.error("--workers must be at least 1")
+    rate_limit = None
+    if (
+        args.rate_limit
+        or args.interactive_rate is not None
+        or args.sweep_rate is not None
+        or args.max_active_jobs is not None
+    ):
+        defaults = RateLimitConfig.production_defaults()
+        rate_limit = RateLimitConfig(
+            interactive_rate=(
+                args.interactive_rate
+                if args.interactive_rate is not None
+                else defaults.interactive_rate
+            ),
+            interactive_burst=defaults.interactive_burst,
+            sweep_rate=(
+                args.sweep_rate
+                if args.sweep_rate is not None
+                else defaults.sweep_rate
+            ),
+            sweep_burst=defaults.sweep_burst,
+            active_jobs_per_client=(
+                args.max_active_jobs
+                if args.max_active_jobs is not None
+                else defaults.active_jobs_per_client
+            ),
+        )
+    try:
+        serve_forever(
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            store=args.store,
+            rate_limit=rate_limit,
+            verbose=args.verbose,
+            observe=not args.no_observe,
+        )
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def main(argv: Optional[list] = None) -> int:
     """CLI entry point; returns the process exit code."""
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "lint":
         return lint_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
     if argv and argv[0] == "verify":
         # Explicit subcommand form; verification is also the default.
         argv = argv[1:]

@@ -54,6 +54,17 @@ class RuleValidationError(RoutingError):
         self.label = label
 
 
+class NotFoundError(ReproError):
+    """A named resource (built-in network, job run, …) does not exist.
+
+    Distinguished from the other :class:`ReproError` subclasses so the
+    HTTP service can answer 404 for genuinely missing resources while
+    invalid *input* (loader/validation failures, malformed parameters)
+    stays a 400 — previously every ReproError on a GET masqueraded as
+    "not found".
+    """
+
+
 class AnalysisError(ReproError):
     """The dataplane linter was misconfigured (unknown rule code, bad
     failure set) — not a lint finding, a usage failure."""

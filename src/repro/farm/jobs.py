@@ -17,6 +17,7 @@ poll mid-run sees partial §4.2-style statistics, not just a counter.
 from __future__ import annotations
 
 import itertools
+import os
 import threading
 import time
 from typing import TYPE_CHECKING, Any, Dict, List, Optional
@@ -57,16 +58,21 @@ class FarmRun:
         preflight: Optional[Dict[int, tuple]] = None,
         probabilities: Optional[List[float]] = None,
         prob_threshold: Optional[float] = None,
+        client: Optional[str] = None,
     ) -> None:
         self.id = run_id
         self.description = description
         self.jobs = jobs
         self.preflight = preflight
+        self.client = client
         self.total = len(jobs)
         self.state = PENDING
         self.error: Optional[str] = None
         self.created = time.time()
         self.finished_at: Optional[float] = None
+        #: When the owning manager last published this run to the shared
+        #: store (monotonic-ish wall clock; publication throttling).
+        self._last_publish = 0.0
         self.items: List[Optional[BatchItem]] = [None] * self.total
         self.summary = BatchSummary()
         self.completed = 0
@@ -104,11 +110,21 @@ class FarmRun:
                         obs.add("prob.early_exits")
                     self._cancel.set()
 
-    def _finish(self, state: str, error: Optional[str] = None) -> None:
+    def _finish(
+        self,
+        state: str,
+        error: Optional[str] = None,
+        publish: Optional[Any] = None,
+    ) -> None:
         with self._lock:
             self.state = state
             self.error = error
             self.finished_at = time.time()
+        # Publish the final snapshot *before* releasing waiters: anyone
+        # woken by wait() (or an SSE "done" event) may immediately ask a
+        # sibling worker, which must not still see the run as running.
+        if publish is not None:
+            publish()
         self._done.set()
 
     # -- consumer side --------------------------------------------------
@@ -133,6 +149,7 @@ class FarmRun:
                 "state": self.state,
                 "total": self.total,
                 "completed": self.completed,
+                **({"client": self.client} if self.client else {}),
                 "summary": {
                     "total": self.summary.total,
                     "satisfied": self.summary.satisfied,
@@ -187,10 +204,27 @@ class FarmRun:
 
 
 class JobManager:
-    """Registry and executor of asynchronous farm runs."""
+    """Registry and executor of asynchronous farm runs.
 
-    def __init__(self, max_kept: int = 100) -> None:
+    With a :class:`~repro.farm.store.SharedArtifactStore` attached
+    (``store=``), the manager additionally gives *sibling server
+    workers* a view of its runs: run ids embed the owning pid (so N
+    forked workers never collide), snapshots are published to
+    ``<store>/jobs/<id>.json`` (throttled while running, always on
+    finish), network payloads are published so any worker's farm pool
+    can rebuild them, and a cancellation requested by a sibling (via a
+    marker file) is honoured between jobs. :meth:`snapshot_of`,
+    :meth:`all_snapshots`, :meth:`request_cancel` and
+    :meth:`active_count` transparently cover both local and sibling
+    runs — they are what the HTTP layer calls.
+    """
+
+    #: Minimum seconds between mid-run snapshot publications.
+    publish_interval = 0.2
+
+    def __init__(self, max_kept: int = 100, store: Optional[Any] = None) -> None:
         self.max_kept = max_kept
+        self.store = store
         self._runs: "Dict[str, FarmRun]" = {}
         self._threads: Dict[str, threading.Thread] = {}
         self._lock = threading.Lock()
@@ -206,6 +240,7 @@ class JobManager:
         preflight: Optional[Dict[int, tuple]] = None,
         probabilities: Optional[List[float]] = None,
         prob_threshold: Optional[float] = None,
+        client: Optional[str] = None,
     ) -> FarmRun:
         """Register a sweep and start executing it in the background.
 
@@ -213,11 +248,17 @@ class JobManager:
         :func:`repro.farm.scenarios.probabilistic_scenarios`) turns the
         run into a probabilistic sweep: the snapshot carries running
         bounds on P(query holds), and with ``prob_threshold`` the run
-        self-cancels once the verdict is decided.
+        self-cancels once the verdict is decided. ``client`` attributes
+        the run for per-client quotas.
         """
         if not jobs:
             raise FarmError("cannot submit an empty job list")
-        run_id = f"job-{next(self._counter):04d}"
+        if self.store is not None:
+            # Pid-qualified ids: every forked server worker counts from
+            # 1, so the bare counter would collide in the shared store.
+            run_id = f"job-{os.getpid():x}-{next(self._counter):04d}"
+        else:
+            run_id = f"job-{next(self._counter):04d}"
         run = FarmRun(
             run_id,
             jobs,
@@ -225,6 +266,7 @@ class JobManager:
             preflight=preflight,
             probabilities=probabilities,
             prob_threshold=prob_threshold,
+            client=client,
         )
         thread = threading.Thread(
             target=self._execute,
@@ -237,11 +279,42 @@ class JobManager:
             self._threads[run_id] = thread
             self._evict_finished()
         run.state = RUNNING
+        if self.store is not None:
+            # Sibling workers' farm pools resolve network payloads from
+            # the store (see pool._network_for), and the snapshot makes
+            # the run visible on their /jobs endpoints immediately.
+            for key, payload in networks.items():
+                if self.store.get_text("network", key) is None:
+                    self.store.put_text("network", key, payload)
+            self._publish(run, force=True)
         if obs.enabled():
             obs.add("farm.runs_submitted")
             obs.add("farm.jobs_submitted", len(jobs))
         thread.start()
         return run
+
+    def _publish(self, run: FarmRun, force: bool = False) -> None:
+        """Publish a run's snapshot to the shared store (throttled)."""
+        if self.store is None:
+            return
+        now = time.time()
+        if not force and now - run._last_publish < self.publish_interval:
+            return
+        run._last_publish = now
+        try:
+            self.store.publish_job(run.id, run.snapshot(include_items=True))
+        except OSError:  # store directory vanished; progress goes on
+            pass
+
+    def _cancelled(self, run: FarmRun) -> bool:
+        """The pool's cancellation probe: local cancel OR a sibling
+        worker's marker file in the shared store."""
+        if run._cancel.is_set():
+            return True
+        if self.store is not None and self.store.job_cancel_requested(run.id):
+            run.cancel()
+            return True
+        return False
 
     def _execute(
         self,
@@ -250,23 +323,31 @@ class JobManager:
         max_workers: int,
         prebuilt: Optional[Dict[str, MplsNetwork]],
     ) -> None:
+        def progress(index: int, _total: int, item: BatchItem) -> None:
+            run._record(index, item)
+            self._publish(run)
+
         try:
             run_jobs(
                 run.jobs,
                 networks,
                 max_workers=max_workers,
-                progress=lambda index, _total, item: run._record(index, item),
-                cancelled=run._cancel.is_set,
+                progress=progress,
+                cancelled=lambda: self._cancelled(run),
                 prebuilt=prebuilt,
             )
         except Exception as error:  # defensive: run_jobs shouldn't raise
-            run._finish(FAILED, error=str(error))
+            run._finish(
+                FAILED,
+                error=str(error),
+                publish=lambda: self._publish(run, force=True),
+            )
             return
         # A probabilistic early exit is a *successful* completion — the
         # verdict is decided — not a user cancellation.
         cancelled = run._cancel.is_set() and not run.prob_early_exit
         state = CANCELLED if cancelled else DONE
-        run._finish(state)
+        run._finish(state, publish=lambda: self._publish(run, force=True))
         if obs.enabled():
             obs.add(f"farm.runs_{state}")
 
@@ -281,6 +362,8 @@ class JobManager:
             if run.finished:
                 del self._runs[run_id]
                 self._threads.pop(run_id, None)
+                if self.store is not None:
+                    self.store.delete_job(run_id)
                 if len(self._runs) <= self.max_kept:
                     break
 
@@ -301,6 +384,77 @@ class JobManager:
         if run is not None:
             run.cancel()
         return run
+
+    # -- store-aware views (local runs + sibling workers' runs) ----------
+    def snapshot_of(
+        self, run_id: str, include_items: bool = True
+    ) -> Optional[Dict[str, Any]]:
+        """A run's snapshot — live for local runs, last published for a
+        sibling worker's run, None when neither knows the id."""
+        run = self.get(run_id)
+        if run is not None:
+            return run.snapshot(include_items=include_items)
+        if self.store is None:
+            return None
+        snapshot = self.store.load_job(run_id)
+        if snapshot is None:
+            return None
+        if not include_items:
+            snapshot.pop("items", None)
+        return snapshot
+
+    def all_snapshots(self) -> List[Dict[str, Any]]:
+        """Item-free snapshots of every visible run: this process's
+        (live), plus sibling workers' published ones, oldest-id first."""
+        documents: Dict[str, Dict[str, Any]] = {}
+        if self.store is not None:
+            for run_id, snapshot in self.store.list_jobs().items():
+                snapshot.pop("items", None)
+                documents[run_id] = snapshot
+        for run in self.list():  # local live state wins over published
+            documents[run.id] = run.snapshot(include_items=False)
+        return [documents[run_id] for run_id in sorted(documents)]
+
+    def request_cancel(self, run_id: str) -> Optional[Dict[str, Any]]:
+        """Cancel a visible run, wherever it lives.
+
+        Local runs cancel immediately; a sibling worker's run gets a
+        marker file in the store which its owner honours between jobs.
+        Returns ``{"id", "state"}`` (the state *before* the owner
+        reacts), or None when the id is unknown everywhere.
+        """
+        run = self.get(run_id)
+        if run is not None:
+            run.cancel()
+            return {"id": run.id, "state": run.state}
+        if self.store is None:
+            return None
+        snapshot = self.store.load_job(run_id)
+        if snapshot is None:
+            return None
+        if snapshot.get("state") not in _FINISHED:
+            self.store.request_job_cancel(run_id)
+        return {"id": run_id, "state": snapshot.get("state", RUNNING)}
+
+    def active_count(self, client: str) -> int:
+        """How many unfinished runs ``client`` owns across all workers
+        (the per-client quota's denominator)."""
+        local_ids = set()
+        count = 0
+        for run in self.list():
+            local_ids.add(run.id)
+            if run.client == client and not run.finished:
+                count += 1
+        if self.store is not None:
+            for run_id, snapshot in self.store.list_jobs().items():
+                if run_id in local_ids:
+                    continue  # counted live above
+                if (
+                    snapshot.get("client") == client
+                    and snapshot.get("state") not in _FINISHED
+                ):
+                    count += 1
+        return count
 
     def shutdown(self, timeout: float = 5.0) -> None:
         """Cancel everything and wait briefly for the threads to drain."""

@@ -146,6 +146,15 @@ def _network_for(key: str) -> MplsNetwork:
             return prebuilt
         payload = _NETWORK_PAYLOADS.get(key)
         if payload is None:
+            # Shared-store fallback: in a multi-worker deployment the
+            # sweep may have been submitted by a *sibling* server
+            # process, whose JobManager published the payloads there.
+            from repro.farm.store import active_store
+
+            store = active_store()
+            if store is not None:
+                payload = store.get_text("network", key)
+        if payload is None:
             raise FarmError(f"no network registered under key {key[:12]}…")
         from repro.io.json_format import network_from_json
 
@@ -175,6 +184,9 @@ def execute_job(job: FarmJob) -> BatchItem:
         # older pickled configs) override build(network) without it.
         build = lambda: job.config.build(network)  # noqa: E731
     engine = worker_cache().engine(job.network_key, job.config, build)
+    # With a shared store attached, compiled queries of this network
+    # variant are reusable across worker processes; the key names them.
+    engine.attach_artifact_key(job.network_key)
     return run_single(engine, job.name, job.query, job.timeout)
 
 

@@ -1,0 +1,413 @@
+"""Disk-backed shared artifact store: build once, reuse across processes.
+
+The in-memory :class:`~repro.farm.cache.ArtifactCache` amortizes builds
+*within* one process; a production deployment runs N server workers (see
+``aalwines serve --workers``), and without sharing, every worker pays
+the same compilations again. This module provides the missing tier: a
+content-hash-keyed store on disk, safe under concurrent access from any
+number of processes.
+
+Layout (everything lives under one root directory)::
+
+    <root>/
+        network/<aa>/<key>            # network JSON payloads (text)
+        compiled/<aa>/<key>           # pickled CompiledQuery artifacts
+        jobs/<id>.json                # cross-process job-run snapshots
+        jobs/<id>.cancel              # cancellation markers
+
+where ``<aa>`` is the first two hex digits of the SHA-256 ``<key>``
+(a fan-out shard so no directory grows unbounded).
+
+Concurrency protocol — the classic build-once dance:
+
+1. **Readers never lock.** Artifacts are written to a temp file and
+   ``os.replace``-d into place, so a visible artifact file is always
+   complete.
+2. **Builders lock per key.** A process that misses takes an exclusive
+   ``fcntl`` lock on ``<key>.lock``, re-checks the artifact (another
+   process may have built it while we waited — the double-checked
+   pattern), builds, publishes, releases. Two processes racing to build
+   the same key therefore produce exactly one build; the loser reads
+   the winner's artifact. This is pinned by
+   ``tests/farm/test_store.py``.
+
+Artifacts are pure deterministic functions of their content-hash key,
+so the store needs no invalidation; ``clear()`` exists for tests and
+operators. Pickle failures (an artifact that cannot cross process
+boundaries) are counted, never raised — the caller just rebuilds
+locally, exactly as if the store were cold.
+
+The process-global store is configured either programmatically
+(:func:`configure_store`) or via the ``AALWINES_STORE`` environment
+variable, which is how forked/spawned farm pool workers inherit the
+parent server's store.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import tempfile
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro import obs
+
+try:  # POSIX file locking; the store degrades to lock-free on exotic OSes
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platform
+    fcntl = None  # type: ignore[assignment]
+
+#: Environment variable naming the store directory; read by
+#: :func:`active_store` so farm pool workers find the parent's store.
+STORE_ENV = "AALWINES_STORE"
+
+
+@dataclass
+class StoreStats:
+    """Hit/miss/build counters of one :class:`SharedArtifactStore`."""
+
+    hits: int = 0
+    misses: int = 0
+    builds: int = 0
+    lock_waits: int = 0
+    put_failures: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """The counters as a JSON-ready mapping."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "builds": self.builds,
+            "lock_waits": self.lock_waits,
+            "put_failures": self.put_failures,
+        }
+
+
+class SharedArtifactStore:
+    """A content-hash artifact store shared by cooperating processes.
+
+    ``kind`` namespaces artifacts ("network", "compiled", …); ``key`` is
+    a content hash (see :func:`repro.farm.cache.hash_text`). Text and
+    pickled-object artifacts share one locking protocol.
+    """
+
+    def __init__(self, root: str) -> None:
+        self.root = os.path.abspath(root)
+        os.makedirs(self.root, exist_ok=True)
+        self.stats = StoreStats()
+        self._lock = threading.Lock()  # guards stats only
+
+    # ------------------------------------------------------------------
+    # paths
+    # ------------------------------------------------------------------
+    def path_for(self, kind: str, key: str) -> str:
+        """The artifact file path of ``(kind, key)`` (shard directories
+        are created on demand)."""
+        shard = key[:2] if len(key) > 2 else "xx"
+        directory = os.path.join(self.root, kind, shard)
+        os.makedirs(directory, exist_ok=True)
+        return os.path.join(directory, key)
+
+    def _count(self, field: str, value: int = 1) -> None:
+        with self._lock:
+            setattr(self.stats, field, getattr(self.stats, field) + value)
+        obs.add(f"farm.store.{field}", value)
+
+    # ------------------------------------------------------------------
+    # raw bytes under the build-once protocol
+    # ------------------------------------------------------------------
+    def _read(self, path: str) -> Optional[bytes]:
+        try:
+            with open(path, "rb") as handle:
+                return handle.read()
+        except FileNotFoundError:
+            return None
+
+    def _publish(self, path: str, data: bytes) -> None:
+        # Atomic publication: a reader either sees the whole artifact or
+        # no artifact, never a partial write.
+        fd, temp = tempfile.mkstemp(
+            dir=os.path.dirname(path), prefix=".tmp-", suffix=".part"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+            os.replace(temp, path)
+        except BaseException:
+            try:
+                os.unlink(temp)
+            except OSError:
+                pass
+            raise
+
+    def _locked(self, path: str):
+        """An exclusive advisory lock scoped to ``path`` (context manager)."""
+        return _KeyLock(self, path + ".lock")
+
+    def get_bytes(self, kind: str, key: str) -> Optional[bytes]:
+        """The stored artifact bytes, or None (counts a hit/miss)."""
+        data = self._read(self.path_for(kind, key))
+        self._count("hits" if data is not None else "misses")
+        return data
+
+    def put_bytes(self, kind: str, key: str, data: bytes) -> None:
+        """Publish artifact bytes (last writer wins; artifacts are
+        deterministic so every writer writes equivalent content)."""
+        self._publish(self.path_for(kind, key), data)
+
+    def get_or_build_bytes(
+        self, kind: str, key: str, build: Callable[[], bytes]
+    ) -> Tuple[bytes, bool]:
+        """The artifact bytes, building (once across processes) on miss.
+
+        Returns ``(data, built)`` where ``built`` says *this* call ran
+        the builder.
+        """
+        path = self.path_for(kind, key)
+        data = self._read(path)
+        if data is not None:
+            self._count("hits")
+            return data, False
+        self._count("misses")
+        with self._locked(path):
+            data = self._read(path)  # double-check under the lock
+            if data is not None:
+                self._count("hits")
+                return data, False
+            data = build()
+            self._publish(path, data)
+            self._count("builds")
+            return data, True
+
+    # ------------------------------------------------------------------
+    # text artifacts (network JSON payloads)
+    # ------------------------------------------------------------------
+    def get_text(self, kind: str, key: str) -> Optional[str]:
+        """A stored text artifact, or None."""
+        data = self.get_bytes(kind, key)
+        return None if data is None else data.decode("utf-8")
+
+    def put_text(self, kind: str, key: str, text: str) -> None:
+        """Publish a text artifact."""
+        self.put_bytes(kind, key, text.encode("utf-8"))
+
+    def get_or_build_text(
+        self, kind: str, key: str, build: Callable[[], str]
+    ) -> Tuple[str, bool]:
+        """Text variant of :meth:`get_or_build_bytes`."""
+        data, built = self.get_or_build_bytes(
+            kind, key, lambda: build().encode("utf-8")
+        )
+        return data.decode("utf-8"), built
+
+    # ------------------------------------------------------------------
+    # pickled-object artifacts (compiled queries, saturated baselines)
+    # ------------------------------------------------------------------
+    def get_object(self, kind: str, key: str) -> Optional[Any]:
+        """A stored pickled artifact, or None (also on a corrupt file)."""
+        data = self.get_bytes(kind, key)
+        if data is None:
+            return None
+        try:
+            return pickle.loads(data)
+        except Exception:
+            # A torn or version-skewed artifact is a miss, not an error:
+            # the caller rebuilds and republishes.
+            self._count("put_failures")
+            return None
+
+    def put_object(self, kind: str, key: str, value: Any) -> bool:
+        """Publish a pickled artifact; False (counted) when ``value``
+        cannot cross process boundaries."""
+        try:
+            data = pickle.dumps(value)
+        except Exception:
+            self._count("put_failures")
+            return False
+        self.put_bytes(kind, key, data)
+        return True
+
+    def get_or_build_object(
+        self, kind: str, key: str, build: Callable[[], Any]
+    ) -> Tuple[Any, bool]:
+        """Object variant of :meth:`get_or_build_bytes`; unpicklable
+        build results are returned unstored."""
+        path = self.path_for(kind, key)
+        value = self.get_object(kind, key)
+        if value is not None:
+            return value, False
+        with self._locked(path):
+            value = self.get_object(kind, key)
+            if value is not None:
+                return value, False
+            value = build()
+            self._count("builds")
+            self.put_object(kind, key, value)
+            return value, True
+
+    # ------------------------------------------------------------------
+    # job-run snapshots (cross-process /jobs visibility)
+    # ------------------------------------------------------------------
+    def _jobs_dir(self) -> str:
+        directory = os.path.join(self.root, "jobs")
+        os.makedirs(directory, exist_ok=True)
+        return directory
+
+    def publish_job(self, run_id: str, snapshot: Dict[str, Any]) -> None:
+        """Publish a job run's snapshot for sibling server workers."""
+        path = os.path.join(self._jobs_dir(), f"{run_id}.json")
+        self._publish(path, json.dumps(snapshot).encode("utf-8"))
+
+    def load_job(self, run_id: str) -> Optional[Dict[str, Any]]:
+        """A sibling worker's published snapshot of ``run_id``, or None."""
+        if os.sep in run_id or run_id.startswith("."):
+            return None  # defensive: ids come from URLs
+        data = self._read(os.path.join(self._jobs_dir(), f"{run_id}.json"))
+        if data is None:
+            return None
+        try:
+            return json.loads(data.decode("utf-8"))
+        except ValueError:
+            return None
+
+    def list_jobs(self) -> Dict[str, Dict[str, Any]]:
+        """Every published job snapshot, keyed by run id."""
+        jobs: Dict[str, Dict[str, Any]] = {}
+        try:
+            names = os.listdir(self._jobs_dir())
+        except OSError:
+            return jobs
+        for name in sorted(names):
+            if not name.endswith(".json"):
+                continue
+            snapshot = self.load_job(name[: -len(".json")])
+            if snapshot is not None and "id" in snapshot:
+                jobs[snapshot["id"]] = snapshot
+        return jobs
+
+    def request_job_cancel(self, run_id: str) -> None:
+        """Leave a cancellation marker for whichever worker owns the run."""
+        if os.sep in run_id or run_id.startswith("."):
+            return
+        path = os.path.join(self._jobs_dir(), f"{run_id}.cancel")
+        self._publish(path, b"cancel\n")
+
+    def job_cancel_requested(self, run_id: str) -> bool:
+        """Has a sibling worker requested cancellation of ``run_id``?"""
+        return os.path.exists(
+            os.path.join(self._jobs_dir(), f"{run_id}.cancel")
+        )
+
+    def delete_job(self, run_id: str) -> None:
+        """Drop a run's published snapshot and cancel marker (eviction —
+        each :class:`~repro.farm.jobs.JobManager` prunes its own runs)."""
+        if os.sep in run_id or run_id.startswith("."):
+            return
+        for suffix in (".json", ".cancel"):
+            try:
+                os.unlink(os.path.join(self._jobs_dir(), f"{run_id}{suffix}"))
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def clear(self) -> None:
+        """Delete every artifact (tests / operator reset)."""
+        import shutil
+
+        for entry in os.listdir(self.root):
+            path = os.path.join(self.root, entry)
+            if os.path.isdir(path):
+                shutil.rmtree(path, ignore_errors=True)
+            else:
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+        with self._lock:
+            self.stats = StoreStats()
+
+    def __repr__(self) -> str:
+        return f"SharedArtifactStore({self.root!r})"
+
+
+class _KeyLock:
+    """Context manager: an exclusive advisory lock on one lock file."""
+
+    def __init__(self, store: SharedArtifactStore, path: str) -> None:
+        self._store = store
+        self._path = path
+        self._fd: Optional[int] = None
+
+    def __enter__(self) -> "_KeyLock":
+        if fcntl is None:  # pragma: no cover - non-POSIX platform
+            return self
+        self._fd = os.open(self._path, os.O_CREAT | os.O_RDWR, 0o644)
+        try:
+            # Try without blocking first so contention is observable.
+            fcntl.flock(self._fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            self._store._count("lock_waits")
+            fcntl.flock(self._fd, fcntl.LOCK_EX)
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        if self._fd is not None:
+            if fcntl is not None:  # pragma: no branch
+                fcntl.flock(self._fd, fcntl.LOCK_UN)
+            os.close(self._fd)
+            self._fd = None
+
+
+# ----------------------------------------------------------------------
+# the process-global store
+# ----------------------------------------------------------------------
+
+_ACTIVE: Optional[SharedArtifactStore] = None
+_ACTIVE_CONFIGURED = False
+_ACTIVE_LOCK = threading.Lock()
+
+
+def configure_store(root: Optional[str]) -> Optional[SharedArtifactStore]:
+    """Set (or clear, with None) this process's shared artifact store.
+
+    Also mirrors the choice into ``AALWINES_STORE`` so farm pool workers
+    spawned later inherit it. Returns the active store.
+    """
+    global _ACTIVE, _ACTIVE_CONFIGURED
+    with _ACTIVE_LOCK:
+        if root is None:
+            _ACTIVE = None
+            _ACTIVE_CONFIGURED = True
+            os.environ.pop(STORE_ENV, None)
+        else:
+            _ACTIVE = SharedArtifactStore(root)
+            _ACTIVE_CONFIGURED = True
+            os.environ[STORE_ENV] = _ACTIVE.root
+        return _ACTIVE
+
+
+def active_store() -> Optional[SharedArtifactStore]:
+    """This process's shared store: the configured one, else the one
+    named by ``AALWINES_STORE``, else None."""
+    global _ACTIVE, _ACTIVE_CONFIGURED
+    with _ACTIVE_LOCK:
+        if _ACTIVE is not None or _ACTIVE_CONFIGURED:
+            return _ACTIVE
+        root = os.environ.get(STORE_ENV)
+        if root:
+            _ACTIVE = SharedArtifactStore(root)
+            _ACTIVE_CONFIGURED = True
+        return _ACTIVE
+
+
+def reset_store_for_tests() -> None:
+    """Forget the process-global store (test isolation hook)."""
+    global _ACTIVE, _ACTIVE_CONFIGURED
+    with _ACTIVE_LOCK:
+        _ACTIVE = None
+        _ACTIVE_CONFIGURED = False

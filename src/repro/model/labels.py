@@ -16,7 +16,7 @@ label identity checks are cheap inside the verification engine.
 from __future__ import annotations
 
 import enum
-from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Tuple
+from typing import Any, Dict, FrozenSet, Iterable, Iterator, Optional, Tuple
 
 from repro.errors import ModelError
 
@@ -56,12 +56,16 @@ class Label:
     def __setattr__(self, attribute: str, value: object) -> None:
         raise AttributeError("Label is immutable")
 
-    def __reduce__(self) -> Tuple[type, Tuple["LabelKind", str]]:
+    def __reduce__(self) -> Tuple[Any, Tuple["LabelKind", str]]:
         # The immutability guard above blocks pickle's slot-restoring
-        # default path; reconstruct through the constructor instead, so
-        # labels (and everything holding them: headers, traces, results)
-        # can cross process boundaries in the verification farm.
-        return (Label, (self.kind, self.name))
+        # default path; reconstruct through _restore_label instead, so
+        # labels (and everything holding them: headers, traces, results,
+        # compiled queries in the shared artifact store) can cross
+        # process boundaries. _restore_label maps the stack-bottom kind
+        # back to the BOTTOM singleton — replay code compares it by
+        # identity (``stack[-1] is BOTTOM``), so a mere equal copy would
+        # corrupt witness reconstruction after unpickling.
+        return (_restore_label, (self.kind, self.name))
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Label):
@@ -104,6 +108,14 @@ class Label:
 
 #: The unique stack-bottom marker shared by all pushdown encodings.
 BOTTOM = Label(LabelKind.BOTTOM, "")
+
+
+def _restore_label(kind: LabelKind, name: str) -> Label:
+    """Unpickle target of :meth:`Label.__reduce__`: preserves the
+    BOTTOM singleton's identity, builds everything else afresh."""
+    if kind is LabelKind.BOTTOM:
+        return BOTTOM
+    return Label(kind, name)
 
 
 def mpls(name: object) -> Label:

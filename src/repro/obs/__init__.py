@@ -34,6 +34,7 @@ from contextlib import contextmanager
 from typing import Any, Dict, Iterator, Mapping, Optional
 
 from repro.obs.core import (
+    HISTOGRAM_BUCKETS,
     NULL_SPAN,
     MetricRegistry,
     NullSpan,
@@ -67,9 +68,12 @@ __all__ = [
     "enabled",
     "gauge",
     "gauges",
+    "HISTOGRAM_BUCKETS",
+    "histograms",
     "json_trace_document",
     "merge",
     "metrics_text",
+    "observe",
     "prometheus_text",
     "recording",
     "registry",
@@ -119,6 +123,16 @@ def add(name: str, value: int = 1) -> None:
 def gauge(name: str, value: float) -> None:
     """Record a global gauge level (no-op while off)."""
     _REGISTRY.gauge(name, value)
+
+
+def observe(name: str, value: float) -> None:
+    """Record one latency sample into a global histogram (no-op while off)."""
+    _REGISTRY.observe(name, value)
+
+
+def histograms() -> Dict[str, Any]:
+    """Per-name views of every global latency histogram."""
+    return _REGISTRY.histograms()
 
 
 def counter(name: str) -> int:

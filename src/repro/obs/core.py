@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping
 
 __all__ = [
+    "HISTOGRAM_BUCKETS",
     "MetricRegistry",
     "NullSpan",
     "NULL_SPAN",
@@ -43,6 +44,14 @@ __all__ = [
     "SpanRecord",
     "diff_counters",
 ]
+
+#: Upper bounds (seconds) of the fixed latency-histogram buckets; one
+#: implicit +Inf bucket follows. Log-spaced to cover sub-millisecond
+#: cache hits through multi-second sweeps, Prometheus-classic style.
+HISTOGRAM_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
 
 
 @dataclass
@@ -155,6 +164,10 @@ class MetricRegistry:
         self._span_counts: Dict[str, int] = {}
         self._span_records: List[SpanRecord] = []
         self._dropped_spans = 0
+        #: name → per-bucket counts (len(HISTOGRAM_BUCKETS) + 1, the
+        #: last slot being +Inf) plus a running sum of observed values.
+        self._hist_counts: Dict[str, List[int]] = {}
+        self._hist_sums: Dict[str, float] = {}
 
     # ------------------------------------------------------------------
     # instruments
@@ -178,6 +191,28 @@ class MetricRegistry:
             return
         with self._lock:
             self._gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one sample into histogram ``name`` (no-op while off).
+
+        Values are latencies in seconds; buckets are the fixed
+        :data:`HISTOGRAM_BUCKETS` (log-spaced, Prometheus-classic), so
+        histograms from different processes merge by plain addition.
+        """
+        if not self.enabled:
+            return
+        index = len(HISTOGRAM_BUCKETS)
+        for i, bound in enumerate(HISTOGRAM_BUCKETS):
+            if value <= bound:
+                index = i
+                break
+        with self._lock:
+            counts = self._hist_counts.get(name)
+            if counts is None:
+                counts = [0] * (len(HISTOGRAM_BUCKETS) + 1)
+                self._hist_counts[name] = counts
+            counts[index] += 1
+            self._hist_sums[name] = self._hist_sums.get(name, 0.0) + value
 
     # ------------------------------------------------------------------
     # span bookkeeping
@@ -225,6 +260,38 @@ class MetricRegistry:
         with self._lock:
             return dict(self._gauges)
 
+    def histograms(self) -> Dict[str, Dict[str, Any]]:
+        """Per-name ``{"buckets": [...], "sum": s, "count": n,
+        "quantiles": {"p50": ..., "p99": ...}}`` histogram views.
+
+        ``buckets`` lists *cumulative* counts aligned with
+        :data:`HISTOGRAM_BUCKETS` plus +Inf; quantiles are estimated as
+        the upper bound of the bucket the quantile falls in (the usual
+        Prometheus-side estimate, conservative by construction).
+        """
+        with self._lock:
+            counts = {name: list(c) for name, c in self._hist_counts.items()}
+            sums = dict(self._hist_sums)
+        views: Dict[str, Dict[str, Any]] = {}
+        for name in sorted(counts):
+            raw = counts[name]
+            total = sum(raw)
+            cumulative: List[int] = []
+            running = 0
+            for value in raw:
+                running += value
+                cumulative.append(running)
+            views[name] = {
+                "buckets": cumulative,
+                "sum": sums.get(name, 0.0),
+                "count": total,
+                "quantiles": {
+                    "p50": _bucket_quantile(raw, 0.50),
+                    "p99": _bucket_quantile(raw, 0.99),
+                },
+            }
+        return views
+
     def span_aggregates(self) -> Dict[str, Dict[str, float]]:
         """Per-path ``{"count": n, "seconds": s}`` aggregates."""
         with self._lock:
@@ -255,12 +322,21 @@ class MetricRegistry:
     def snapshot(self) -> Dict[str, Any]:
         """Everything mergeable, as one JSON-ready document."""
         with self._lock:
-            return {
+            document: Dict[str, Any] = {
                 "counters": dict(self._counters),
                 "gauges": dict(self._gauges),
                 "span_seconds": dict(self._span_seconds),
                 "span_counts": dict(self._span_counts),
             }
+            # Histogram blocks only when present: keeps the snapshot
+            # shape (and worker deltas) exactly as before for the many
+            # processes that never observe a latency sample.
+            if self._hist_counts:
+                document["hist_counts"] = {
+                    name: list(c) for name, c in self._hist_counts.items()
+                }
+                document["hist_sums"] = dict(self._hist_sums)
+            return document
 
     # ------------------------------------------------------------------
     # lifecycle and cross-process merge
@@ -274,6 +350,8 @@ class MetricRegistry:
             self._span_counts.clear()
             self._span_records.clear()
             self._dropped_spans = 0
+            self._hist_counts.clear()
+            self._hist_sums.clear()
             self._epoch = time.perf_counter()
 
     def merge(self, delta: Mapping[str, Any]) -> None:
@@ -299,6 +377,36 @@ class MetricRegistry:
                 )
             for path, value in delta.get("span_counts", {}).items():
                 self._span_counts[path] = self._span_counts.get(path, 0) + int(value)
+            for name, buckets in delta.get("hist_counts", {}).items():
+                counts = self._hist_counts.get(name)
+                if counts is None:
+                    counts = [0] * (len(HISTOGRAM_BUCKETS) + 1)
+                    self._hist_counts[name] = counts
+                for index, value in enumerate(buckets[: len(counts)]):
+                    counts[index] += int(value)
+            for name, value in delta.get("hist_sums", {}).items():
+                self._hist_sums[name] = self._hist_sums.get(name, 0.0) + float(value)
+
+
+def _bucket_quantile(raw_counts: List[int], quantile: float) -> float:
+    """Estimate a quantile from per-bucket counts (upper-bound rule).
+
+    Returns the upper bound of the bucket the quantile lands in; samples
+    in the +Inf bucket report the largest finite bound (there is no
+    tighter claim to make). 0.0 for an empty histogram.
+    """
+    total = sum(raw_counts)
+    if total == 0:
+        return 0.0
+    rank = quantile * total
+    running = 0
+    for index, count in enumerate(raw_counts):
+        running += count
+        if running >= rank:
+            if index < len(HISTOGRAM_BUCKETS):
+                return HISTOGRAM_BUCKETS[index]
+            return HISTOGRAM_BUCKETS[-1]
+    return HISTOGRAM_BUCKETS[-1]
 
 
 def _is_flat(delta: Mapping[str, Any]) -> bool:
@@ -338,4 +446,22 @@ def diff_snapshots(
         change = value - before_seconds.get(path, 0.0)
         if change > 0.0:
             delta["span_seconds"][path] = change
+    hist_counts: Dict[str, List[int]] = {}
+    before_hists = before.get("hist_counts", {})
+    for name, buckets in after.get("hist_counts", {}).items():
+        previous = before_hists.get(name, [0] * len(buckets))
+        changed = [
+            int(value) - int(previous[i]) if i < len(previous) else int(value)
+            for i, value in enumerate(buckets)
+        ]
+        if any(changed):
+            hist_counts[name] = changed
+    if hist_counts:
+        delta["hist_counts"] = hist_counts
+        before_sums = before.get("hist_sums", {})
+        delta["hist_sums"] = {
+            name: after.get("hist_sums", {}).get(name, 0.0)
+            - before_sums.get(name, 0.0)
+            for name in hist_counts
+        }
     return delta

@@ -81,6 +81,18 @@ def text_summary(registry: "MetricRegistry", title: str = "phase profile") -> st
             value = gauges[name]
             rendered = f"{value:g}"
             lines.append(f"  {name:<{width}}  {rendered}")
+    histograms = registry.histograms()
+    if histograms:
+        lines.append("")
+        lines.append("latency histograms:")
+        width = max(len(name) for name in histograms)
+        for name in sorted(histograms):
+            view = histograms[name]
+            quantiles = view["quantiles"]
+            lines.append(
+                f"  {name:<{width}}  n={view['count']}"
+                f"  p50≤{quantiles['p50']:g}s  p99≤{quantiles['p99']:g}s"
+            )
     return "\n".join(lines)
 
 
@@ -103,6 +115,18 @@ def prometheus_text(registry: "MetricRegistry", prefix: str = "aalwines") -> str
         metric = f"{prefix}_{_sanitize(name)}"
         lines.append(f"# TYPE {metric} gauge")
         lines.append(f"{metric} {value:g}")
+    histograms = registry.histograms()
+    for name in sorted(histograms):
+        view = histograms[name]
+        metric = f"{prefix}_{_sanitize(name)}_seconds"
+        lines.append(f"# TYPE {metric} histogram")
+        from repro.obs.core import HISTOGRAM_BUCKETS
+
+        for bound, cumulative in zip(HISTOGRAM_BUCKETS, view["buckets"]):
+            lines.append(f'{metric}_bucket{{le="{bound:g}"}} {cumulative}')
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {view["count"]}')
+        lines.append(f"{metric}_sum {view['sum']:.9f}")
+        lines.append(f"{metric}_count {view['count']}")
     aggregates = registry.span_aggregates()
     if aggregates:
         seconds_metric = f"{prefix}_span_seconds_total"

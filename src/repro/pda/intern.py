@@ -118,6 +118,18 @@ class SymbolTable:
     def __contains__(self, value: Hashable) -> bool:
         return value in self._ids
 
+    def __getstate__(self) -> List[Hashable]:
+        """Pickle as the value list alone — the id map is derived and the
+        lock is process-local. Lets compiled artifacts cross process
+        boundaries (the shared artifact store pickles whole compiled
+        queries); ids are preserved exactly because they are positions."""
+        return list(self._values)
+
+    def __setstate__(self, values: List[Hashable]) -> None:
+        self._ids = {value: ident for ident, value in enumerate(values)}
+        self._values = list(values)
+        self._lock = threading.Lock()
+
     def __repr__(self) -> str:
         return f"SymbolTable(size={len(self._values)})"
 

@@ -275,6 +275,104 @@ class PushdownSystem:
                 )
         return reduced
 
+    def __getstate__(self) -> Dict[str, Any]:
+        """Pickle the interned form, not the rule objects.
+
+        Each :class:`Rule` stores its symbolic head/body *and* the dense
+        ids — pickling the objects writes every nested state tuple and
+        Label twice over (once in the tables, once per rule), which made
+        compiled artifacts ~4x larger and correspondingly slow to load
+        from the shared store. Instead we write the two arenas plus flat
+        integer arrays (packed ``from/pop/to`` triples and the push ids)
+        alongside the weight and tag lists, and rebuild the rules from
+        the tables on load. ``_head_index`` is derived and dropped.
+        """
+        rules = self._rules
+        push_flat = array("i")
+        for rule in rules:
+            push_flat.extend(rule.push_ids)
+        return {
+            "state_table": self.state_table,
+            "symbol_table": self.symbol_table,
+            "spec_table": self.spec_table,
+            "spec_ids": self.spec_ids,
+            "packed_heads": array(
+                "q",
+                (
+                    (((r.from_id << SHIFT) | r.pop_id) << SHIFT) | r.to_id
+                    for r in rules
+                ),
+            ),
+            "push_arity": array("b", (len(r.push_ids) for r in rules)),
+            "push_flat": push_flat,
+            "weights": [r.weight for r in rules],
+            "tags": [r.tag for r in rules],
+        }
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.state_table = state["state_table"]
+        self.symbol_table = state["symbol_table"]
+        self.spec_table = state["spec_table"]
+        self.spec_ids = state["spec_ids"]
+        self._rules = rules = []
+        self._by_head = by_head = {}
+        self._head_index = None
+        # Positional access into the arenas: ids *are* list positions,
+        # and resolve()'s per-call guard would dominate this loop.
+        states = self.state_table._values
+        symbols = self.symbol_table._values
+        packed_heads = state["packed_heads"]
+        push_flat = state["push_flat"]
+        position = 0
+        new = Rule.__new__
+        append = rules.append
+        for packed, arity, weight, tag in zip(
+            packed_heads,
+            state["push_arity"],
+            state["weights"],
+            state["tags"],
+        ):
+            from_id = packed >> (2 * SHIFT)
+            pop_id = (packed >> SHIFT) & MASK
+            rule = new(Rule)
+            rule.from_state = states[from_id]
+            rule.pop = symbols[pop_id]
+            rule.to_id = to_id = packed & MASK
+            rule.to_state = states[to_id]
+            if arity == 0:
+                rule.push_ids = ()
+                rule.push = ()
+            elif arity == 1:
+                first = push_flat[position]
+                position += 1
+                rule.push_ids = (first,)
+                rule.push = (symbols[first],)
+            else:
+                first = push_flat[position]
+                second = push_flat[position + 1]
+                position += 2
+                rule.push_ids = (first, second)
+                rule.push = (symbols[first], symbols[second])
+            rule.weight = weight
+            rule.tag = tag
+            rule.from_id = from_id
+            rule.pop_id = pop_id
+            append(rule)
+            head = (from_id << SHIFT) | pop_id
+            row = by_head.get(head)
+            if row is None:
+                by_head[head] = [rule]
+            else:
+                row.append(rule)
+        # The id sets fall out of the flat arrays in bulk, which beats
+        # four .add() calls per rule through the loop above.
+        self._state_ids = {p >> (2 * SHIFT) for p in packed_heads} | {
+            p & MASK for p in packed_heads
+        }
+        self._symbol_ids = {
+            (p >> SHIFT) & MASK for p in packed_heads
+        } | set(push_flat)
+
     def __len__(self) -> int:
         return len(self._rules)
 

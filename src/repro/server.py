@@ -71,11 +71,18 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro import obs
 from repro.datasets.builtins import BUILTIN_NETWORKS, load_builtin
 from repro.datasets.example import EXAMPLE_QUERIES
-from repro.errors import ReproError, VerificationTimeout
+from repro.errors import NotFoundError, ReproError, VerificationTimeout
 from repro.farm.jobs import JobManager
 from repro.io.json_format import network_from_json, network_to_json
 from repro.model.network import MplsNetwork
 from repro.model.quantities import DEFAULT_FAILURE_PROBABILITY
+from repro.service.core import (
+    ServiceCore,
+    ServiceRequest,
+    ServiceResponse,
+    _BadRequest,
+)
+from repro.service.ratelimit import RateLimitConfig, RateLimiter
 from repro.verification.engine import VerificationEngine
 from repro.viz import result_to_dot
 
@@ -87,24 +94,32 @@ MAX_BODY_BYTES = 64 * 1024 * 1024
 MAX_SWEEP_WORKERS = 16
 
 
-class _BadRequest(Exception):
-    """A request body problem that must surface as a 400 JSON error."""
-
-
 class _NetworkCache:
-    """Lazily built, shared built-in networks."""
+    """Lazily built, shared built-in networks (with their content keys)."""
 
     def __init__(self) -> None:
         self._cache: Dict[str, MplsNetwork] = {}
+        self._keys: Dict[str, str] = {}
         self._lock = threading.Lock()
 
     def get(self, name: str) -> MplsNetwork:
         if name not in BUILTIN_NETWORKS:
-            raise ReproError(f"unknown built-in network {name!r}")
+            raise NotFoundError(f"unknown built-in network {name!r}")
         with self._lock:
             if name not in self._cache:
                 self._cache[name] = load_builtin(name)
             return self._cache[name]
+
+    def key_of(self, name: str) -> str:
+        """The content hash of a built-in network (memoized — serializing
+        a network per request would dominate small verifications)."""
+        from repro.farm.cache import hash_text
+
+        network = self.get(name)
+        with self._lock:
+            if name not in self._keys:
+                self._keys[name] = hash_text(network_to_json(network))
+            return self._keys[name]
 
 
 def _resolve_network(field: Any, cache: _NetworkCache) -> MplsNetwork:
@@ -113,6 +128,26 @@ def _resolve_network(field: Any, cache: _NetworkCache) -> MplsNetwork:
         return cache.get(field)
     if isinstance(field, dict):
         return network_from_json(json.dumps(field))
+    raise ReproError("'network' must be a built-in name or a network object")
+
+
+def _resolve_network_keyed(
+    field: Any, cache: _NetworkCache
+) -> Tuple[MplsNetwork, str]:
+    """Like :func:`_resolve_network` but also the network's content key.
+
+    The key feeds the per-process engine cache and the shared artifact
+    store. Built-ins hash their canonical JSON (memoized); inline
+    networks hash the request's own JSON — cheaper than re-serializing
+    the built network and just as content-stable for identical requests.
+    """
+    from repro.farm.cache import hash_text
+
+    if isinstance(field, str):
+        return cache.get(field), cache.key_of(field)
+    if isinstance(field, dict):
+        text = json.dumps(field, sort_keys=True)
+        return network_from_json(json.dumps(field)), hash_text(text)
     raise ReproError("'network' must be a built-in name or a network object")
 
 
@@ -140,6 +175,30 @@ def _cache_metrics_text(exposition: str) -> str:
     )
     lines: List[str] = []
     for metric, value in pairs:
+        if f"\n{metric} " in f"\n{exposition}":
+            continue
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {value}")
+    if not lines:
+        return ""
+    return "\n".join(lines) + "\n"
+
+
+def _store_metrics_text(exposition: str) -> str:
+    """The shared artifact store's counters as Prometheus lines.
+
+    Empty when no store is attached. Like :func:`_cache_metrics_text`,
+    metric names already present in ``exposition`` are skipped so the
+    combined ``GET /metrics`` body never declares a series twice.
+    """
+    from repro.farm.store import active_store
+
+    store = active_store()
+    if store is None:
+        return ""
+    lines: List[str] = []
+    for name, value in sorted(store.stats.as_dict().items()):
+        metric = f"aalwines_farm_store_{name}_total"
         if f"\n{metric} " in f"\n{exposition}":
             continue
         lines.append(f"# TYPE {metric} counter")
@@ -292,19 +351,35 @@ def _prob_verify(
 
 
 def _verify_payload(payload: Dict[str, Any], cache: _NetworkCache) -> Dict[str, Any]:
-    """Handle one /verify request body; returns the response document."""
+    """Handle one /verify request body; returns the response document.
+
+    Engines are cached per (network content key, engine configuration)
+    in the process-wide :func:`~repro.farm.cache.worker_cache`, so
+    repeated interactive verifications reuse the compiled network and
+    the compile memo instead of rebuilding an engine per request. The
+    content key also feeds the shared artifact store (when one is
+    attached) so sibling worker processes reuse compiled queries.
+    """
+    from repro.farm.cache import worker_cache
+    from repro.farm.pool import EngineConfig
+
     if "query" not in payload:
         raise ReproError("request needs a 'query' field")
-    network = _resolve_network(payload.get("network", "example"), cache)
+    network, network_key = _resolve_network_keyed(
+        payload.get("network", "example"), cache
+    )
     if _prob_requested(payload):
         return _prob_verify(payload, network)
-    engine = VerificationEngine(
-        network,
+    config = EngineConfig(
         backend=_resolve_backend(payload),
         weight=payload.get("weight"),
         core=_resolve_core(payload),
         triage=_resolve_triage(payload),
     )
+    engine = worker_cache().engine(
+        network_key, config, lambda: config.build(network)
+    )
+    engine.attach_artifact_key(network_key)
     result = engine.verify(
         payload["query"], timeout_seconds=payload.get("timeout")
     )
@@ -385,7 +460,10 @@ def _lint_payload(payload: Dict[str, Any], cache: _NetworkCache) -> Dict[str, An
 
 
 def _submit_job(
-    payload: Dict[str, Any], cache: _NetworkCache, manager: JobManager
+    payload: Dict[str, Any],
+    cache: _NetworkCache,
+    manager: JobManager,
+    client: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Handle one POST /jobs body: build the sweep, start it, return the id."""
     from repro.farm.pool import EngineConfig
@@ -496,42 +574,36 @@ def _submit_job(
         preflight=preflight_index(scenarios) if preflight else None,
         probabilities=probabilities,
         prob_threshold=prob_threshold,
+        client=client,
     )
     return {"id": run.id, "state": run.state, "total": run.total}
 
 
 class _Handler(BaseHTTPRequestHandler):
-    """Request handler; the server instance carries the shared cache."""
+    """Thin ``http.server`` transport over the shared
+    :class:`~repro.service.core.ServiceCore` (carried by the server
+    instance). All routing, error mapping, rate limiting and streaming
+    live in the core — this class only moves bytes."""
 
     server_version = "aalwines-repro/1.0"
-
-    # -- helpers ---------------------------------------------------------
-    def _send_json(self, document: Any, status: int = 200) -> None:
-        body = json.dumps(document, indent=2).encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json; charset=utf-8")
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
-
-    def _send_error_json(self, message: str, status: int) -> None:
-        self._send_json({"error": message}, status=status)
 
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
         if getattr(self.server, "verbose", False):
             super().log_message(format, *args)
 
-    def _read_json_body(self) -> Dict[str, Any]:
-        """Read and validate a JSON-object request body.
+    def _read_body(self) -> Optional[bytes]:
+        """Read the request body (``None`` when no Content-Length).
 
         Raises :class:`_BadRequest` (→ 400 JSON error, never a 500
-        traceback) for a missing or invalid ``Content-Length``, an
-        oversized, undecodable or non-JSON body, and non-object
-        payloads.
+        traceback) for an invalid ``Content-Length``, an oversized body,
+        or a body the client truncated. ``rfile.read(n)`` on a socket
+        may legally return *fewer* than ``n`` bytes, so the read loops
+        until the announced length arrived or the stream ended early —
+        a single short read used to hand the JSON parser half a body.
         """
         length_header = self.headers.get("Content-Length")
         if length_header is None:
-            raise _BadRequest("request needs a Content-Length header")
+            return None
         try:
             length = int(length_header)
         except ValueError:
@@ -542,96 +614,68 @@ class _Handler(BaseHTTPRequestHandler):
             raise _BadRequest(
                 f"request body exceeds the {MAX_BODY_BYTES}-byte limit"
             )
-        raw = self.rfile.read(length)
-        try:
-            payload = json.loads(raw.decode("utf-8"))
-        except (ValueError, UnicodeDecodeError):
-            raise _BadRequest("request body is not valid JSON")
-        if not isinstance(payload, dict):
-            raise _BadRequest("request body must be a JSON object")
-        return payload
+        chunks: List[bytes] = []
+        remaining = length
+        while remaining > 0:
+            chunk = self.rfile.read(remaining)
+            if not chunk:
+                received = length - remaining
+                raise _BadRequest(
+                    f"request body was truncated "
+                    f"({received} of {length} bytes received)"
+                )
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
 
-    # -- routes ----------------------------------------------------------
-    def do_GET(self) -> None:  # noqa: N802 (http.server naming)
-        cache: _NetworkCache = self.server.cache  # type: ignore[attr-defined]
-        jobs: JobManager = self.server.jobs  # type: ignore[attr-defined]
+    def _write_response(self, response: ServiceResponse) -> None:
+        self.send_response(response.status)
+        self.send_header("Content-Type", response.content_type)
+        for name, value in response.headers:
+            self.send_header(name, value)
+        if response.stream is None:
+            self.send_header("Content-Length", str(len(response.body)))
+            self.end_headers()
+            self.wfile.write(response.body)
+            return
+        # Streaming (SSE): no Content-Length — the connection closes
+        # when the stream ends, so tell the client not to reuse it.
+        self.send_header("Connection", "close")
+        self.close_connection = True
+        self.end_headers()
         try:
-            if self.path == "/metrics":
-                exposition = obs.metrics_text()
-                exposition += _cache_metrics_text(exposition)
-                exposition += _triage_metrics_text(exposition)
-                body = exposition.encode("utf-8")
-                self.send_response(200)
-                self.send_header("Content-Type", obs.PROMETHEUS_CONTENT_TYPE)
-                self.send_header("Content-Length", str(len(body)))
-                self.end_headers()
-                self.wfile.write(body)
-            elif self.path == "/networks":
-                self._send_json({"networks": list(BUILTIN_NETWORKS)})
-            elif self.path.startswith("/networks/"):
-                name = self.path[len("/networks/") :]
-                network = cache.get(name)
-                self._send_json(json.loads(network_to_json(network)))
-            elif self.path == "/queries/example":
-                self._send_json(
-                    {"queries": [{"name": n, "text": t} for n, t in EXAMPLE_QUERIES]}
-                )
-            elif self.path == "/jobs":
-                self._send_json(
-                    {
-                        "jobs": [
-                            run.snapshot(include_items=False)
-                            for run in jobs.list()
-                        ]
-                    }
-                )
-            elif self.path.startswith("/jobs/"):
-                run = jobs.get(self.path[len("/jobs/") :])
-                if run is None:
-                    self._send_error_json("no such job", 404)
-                else:
-                    self._send_json(run.snapshot())
-            else:
-                self._send_error_json(f"no such endpoint {self.path!r}", 404)
-        except ReproError as error:
-            self._send_error_json(str(error), 404)
-        except Exception as error:  # pragma: no cover - defensive guard
-            self._send_error_json(f"internal error: {error}", 500)
+            for chunk in response.stream:
+                self.wfile.write(chunk)
+                self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away mid-stream; nothing to clean up
+
+    def _dispatch(self) -> None:
+        core: ServiceCore = self.server.core  # type: ignore[attr-defined]
+        try:
+            body = self._read_body()
+        except _BadRequest as error:
+            from repro.service.core import error_response
+
+            self._write_response(error_response(str(error), 400))
+            return
+        request = ServiceRequest(
+            method=self.command,
+            target=self.path,
+            headers=self.headers,
+            body=body,
+            peer=self.client_address[0],
+        )
+        self._write_response(core.handle(request))
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server naming)
+        self._dispatch()
 
     def do_POST(self) -> None:  # noqa: N802
-        cache: _NetworkCache = self.server.cache  # type: ignore[attr-defined]
-        jobs: JobManager = self.server.jobs  # type: ignore[attr-defined]
-        try:
-            if self.path == "/verify":
-                payload = self._read_json_body()
-                self._send_json(_verify_payload(payload, cache))
-            elif self.path == "/lint":
-                payload = self._read_json_body()
-                self._send_json(_lint_payload(payload, cache))
-            elif self.path == "/jobs":
-                payload = self._read_json_body()
-                self._send_json(_submit_job(payload, cache, jobs), status=202)
-            else:
-                self._send_error_json(f"no such endpoint {self.path!r}", 404)
-        except _BadRequest as error:
-            self._send_error_json(str(error), 400)
-        except VerificationTimeout:
-            self._send_error_json("verification timed out", 408)
-        except ReproError as error:
-            self._send_error_json(str(error), 400)
-        except Exception as error:  # pragma: no cover - defensive guard
-            self._send_error_json(f"internal error: {error}", 500)
+        self._dispatch()
 
     def do_DELETE(self) -> None:  # noqa: N802
-        jobs: JobManager = self.server.jobs  # type: ignore[attr-defined]
-        if not self.path.startswith("/jobs/"):
-            self._send_error_json(f"no such endpoint {self.path!r}", 404)
-            return
-        run = jobs.cancel(self.path[len("/jobs/") :])
-        if run is None:
-            self._send_error_json("no such job", 404)
-        else:
-            self._send_json({"id": run.id, "state": run.state})
+        self._dispatch()
 
 
 class VerificationServer:
@@ -640,13 +684,60 @@ class VerificationServer:
     ``port=0`` binds an ephemeral port (see :attr:`port` after
     :meth:`start`). The server runs on a daemon thread; use as a context
     manager in tests.
+
+    Production knobs (all default off so embedded/test use is
+    unchanged):
+
+    * ``store`` — path of a shared on-disk artifact store
+      (:class:`~repro.farm.store.SharedArtifactStore`); attaches it to
+      this process (and, via the environment, to farm pool workers) so
+      compiled artifacts and job snapshots are shared across worker
+      processes;
+    * ``rate_limit`` — a :class:`~repro.service.ratelimit.RateLimitConfig`
+      enabling per-client budgets;
+    * ``listen_socket`` — an already-bound, already-listening socket to
+      serve on instead of binding ``(host, port)``; this is how the
+      pre-fork workers of ``aalwines serve --workers N`` share one port
+      (:mod:`repro.service.prefork`).
     """
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 8080,
-                 verbose: bool = False, observe: bool = True) -> None:
-        self._httpd = ThreadingHTTPServer((host, port), _Handler)
-        self._httpd.cache = _NetworkCache()  # type: ignore[attr-defined]
-        self._httpd.jobs = JobManager()  # type: ignore[attr-defined]
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        verbose: bool = False,
+        observe: bool = True,
+        store: Optional[str] = None,
+        rate_limit: Optional[RateLimitConfig] = None,
+        listen_socket: Optional[Any] = None,
+    ) -> None:
+        if store is not None:
+            from repro.farm.store import configure_store
+
+            store_obj = configure_store(store)
+        else:
+            from repro.farm.store import active_store
+
+            store_obj = active_store()
+        if listen_socket is None:
+            self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        else:
+            self._httpd = ThreadingHTTPServer(
+                (host, port), _Handler, bind_and_activate=False
+            )
+            self._httpd.socket = listen_socket
+            address = listen_socket.getsockname()
+            self._httpd.server_address = address[:2]
+            self._httpd.server_name = str(address[0])
+            self._httpd.server_port = int(address[1])
+        cache = _NetworkCache()
+        jobs = JobManager(store=store_obj)
+        limiter = RateLimiter(rate_limit) if rate_limit is not None else None
+        self._httpd.cache = cache  # type: ignore[attr-defined]
+        self._httpd.jobs = jobs  # type: ignore[attr-defined]
+        self._httpd.core = ServiceCore(  # type: ignore[attr-defined]
+            cache=cache, jobs=jobs, limiter=limiter
+        )
         self._httpd.verbose = verbose  # type: ignore[attr-defined]
         self._thread: Optional[threading.Thread] = None
         if observe:
@@ -656,6 +747,11 @@ class VerificationServer:
     def jobs(self) -> JobManager:
         """The farm job manager behind the /jobs endpoints."""
         return self._httpd.jobs  # type: ignore[attr-defined]
+
+    @property
+    def core(self) -> ServiceCore:
+        """The transport-agnostic service core handling every request."""
+        return self._httpd.core  # type: ignore[attr-defined]
 
     @property
     def port(self) -> int:
@@ -672,6 +768,11 @@ class VerificationServer:
         )
         self._thread.start()
         return self
+
+    def serve_forever(self) -> None:
+        """Serve on the *calling* thread until :meth:`stop` — the worker
+        loop of the pre-fork server."""
+        self._httpd.serve_forever()
 
     def stop(self) -> None:
         """Shut the server down and release the socket."""

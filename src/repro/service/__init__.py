@@ -1,0 +1,29 @@
+"""The production service tier of the verification server.
+
+:mod:`repro.server` grew up as a single-process development loop; this
+package is the deployment-grade layer around the same endpoints:
+
+* :mod:`repro.service.core` — the transport-agnostic service core: one
+  router (method + parsed path → handler) shared by the stdlib
+  ``http.server`` transport (:mod:`repro.server`) and the WSGI entry
+  point (:mod:`repro.app`), with a uniform JSON error ladder, per-client
+  rate limiting, SSE job-progress streaming, and per-endpoint latency
+  histograms;
+* :mod:`repro.service.ratelimit` — token buckets and request quotas so
+  one tenant's k=3 sweep cannot starve interactive ``/verify`` traffic;
+* :mod:`repro.service.prefork` — the multi-worker pre-fork server
+  behind ``aalwines serve --workers N``, all workers sharing one
+  listening socket and one on-disk artifact store
+  (:mod:`repro.farm.store`).
+"""
+
+from repro.service.core import ServiceCore, ServiceRequest, ServiceResponse
+from repro.service.ratelimit import RateLimitConfig, RateLimiter
+
+__all__ = [
+    "RateLimitConfig",
+    "RateLimiter",
+    "ServiceCore",
+    "ServiceRequest",
+    "ServiceResponse",
+]

@@ -1,0 +1,150 @@
+"""Per-client rate limiting and request quotas for the service tier.
+
+The service distinguishes two request classes with *separate* budgets,
+so they cannot starve each other:
+
+* **interactive** — ``/verify``, ``/lint`` and every GET: the latency-
+  sensitive traffic an operator fires from the GUI;
+* **sweep** — ``POST /jobs``: each submission fans out into up to
+  thousands of farm jobs, so submissions are budgeted far more tightly
+  and additionally capped by a *quota* on concurrently active (not yet
+  finished) runs per client.
+
+Budgets are classic token buckets: ``rate`` tokens/second refill up to
+a ``burst`` capacity; a request consumes one token or is refused with
+the seconds until the next token (the HTTP layer surfaces that as a 429
+with ``Retry-After``). The clock is injectable so tests are exact.
+
+Identity: the ``X-Client-Id`` header if present (tenant self-
+identification behind a trusted proxy), else the first hop of
+``X-Forwarded-For``, else the socket peer address.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Optional, Tuple
+
+#: Request classes with independent budgets.
+INTERACTIVE = "interactive"
+SWEEP = "sweep"
+
+
+@dataclass(frozen=True)
+class RateLimitConfig:
+    """Knobs of the per-client limiter (see ``aalwines serve --help``).
+
+    ``None``/zero rates disable the corresponding check, so
+    ``RateLimitConfig()`` is a no-op limiter — the default for embedded
+    :class:`~repro.server.VerificationServer` instances, keeping tests
+    and library users unthrottled unless they opt in.
+    """
+
+    #: Sustained interactive requests/second per client (None = off).
+    interactive_rate: Optional[float] = None
+    #: Interactive burst capacity (tokens).
+    interactive_burst: int = 20
+    #: Sustained sweep submissions/second per client (None = off).
+    sweep_rate: Optional[float] = None
+    #: Sweep-submission burst capacity (tokens).
+    sweep_burst: int = 2
+    #: Max concurrently active (unfinished) job runs per client
+    #: (None = unlimited).
+    active_jobs_per_client: Optional[int] = None
+
+    @classmethod
+    def production_defaults(cls) -> "RateLimitConfig":
+        """The defaults ``aalwines serve`` enables: generous interactive
+        headroom, tight sweep budgets."""
+        return cls(
+            interactive_rate=50.0,
+            interactive_burst=100,
+            sweep_rate=0.5,
+            sweep_burst=4,
+            active_jobs_per_client=4,
+        )
+
+    @property
+    def enabled(self) -> bool:
+        """Does any knob actually limit anything?"""
+        return (
+            self.interactive_rate is not None
+            or self.sweep_rate is not None
+            or self.active_jobs_per_client is not None
+        )
+
+
+class _Bucket:
+    """One client's token bucket for one request class."""
+
+    __slots__ = ("tokens", "updated")
+
+    def __init__(self, tokens: float, updated: float) -> None:
+        self.tokens = tokens
+        self.updated = updated
+
+
+class RateLimiter:
+    """Thread-safe token buckets keyed by (client, request class)."""
+
+    def __init__(
+        self,
+        config: Optional[RateLimitConfig] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.config = config if config is not None else RateLimitConfig()
+        self._clock = clock
+        self._buckets: Dict[Tuple[str, str], _Bucket] = {}
+        self._lock = threading.Lock()
+
+    def check(self, client: str, request_class: str) -> Optional[float]:
+        """Consume one token; None when admitted, else seconds to wait.
+
+        Unknown request classes are admitted (forward compatibility: a
+        new endpoint class defaults to unthrottled, never to broken).
+        """
+        if request_class == SWEEP:
+            rate, burst = self.config.sweep_rate, self.config.sweep_burst
+        elif request_class == INTERACTIVE:
+            rate, burst = (
+                self.config.interactive_rate,
+                self.config.interactive_burst,
+            )
+        else:
+            return None
+        if rate is None or rate <= 0:
+            return None
+        now = self._clock()
+        with self._lock:
+            bucket = self._buckets.get((client, request_class))
+            if bucket is None:
+                bucket = _Bucket(float(burst), now)
+                self._buckets[(client, request_class)] = bucket
+            else:
+                elapsed = max(0.0, now - bucket.updated)
+                bucket.tokens = min(float(burst), bucket.tokens + elapsed * rate)
+                bucket.updated = now
+            if bucket.tokens >= 1.0:
+                bucket.tokens -= 1.0
+                return None
+            return max(0.001, (1.0 - bucket.tokens) / rate)
+
+    def reset(self) -> None:
+        """Drop every bucket (tests)."""
+        with self._lock:
+            self._buckets.clear()
+
+
+def client_identity(headers: Mapping[str, str], peer: str) -> str:
+    """The rate-limiting identity of a request (see module docstring)."""
+    explicit = headers.get("X-Client-Id") or headers.get("x-client-id")
+    if explicit:
+        return explicit.strip()
+    forwarded = headers.get("X-Forwarded-For") or headers.get("x-forwarded-for")
+    if forwarded:
+        first = forwarded.split(",")[0].strip()
+        if first:
+            return first
+    return peer or "unknown"

@@ -40,7 +40,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict, deque
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro import obs
@@ -179,9 +179,14 @@ class QueryCompiler:
         spec_table: Optional[SymbolTable] = None,
     ) -> None:
         self.network = network
+        self._custom_distance = distance_of is not None
         self.distance_of = (
             distance_of if distance_of is not None else network.topology.link_distance
         )
+        #: Content-hash key of the network in the shared artifact store;
+        #: None keeps the store out of the loop (see
+        #: :meth:`attach_artifact_key`).
+        self.artifact_key: Optional[str] = None
         # Optional shared interning arenas: an incremental sweep compiles
         # the baseline and every variant into ONE id space (plus a rule
         # spec table) so rule sets diff as flat integer multisets. All
@@ -202,6 +207,52 @@ class QueryCompiler:
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
+    def attach_artifact_key(self, key: str) -> None:
+        """Name this compiler's network in the shared artifact store.
+
+        Once attached (and when a store is active — see
+        :func:`repro.farm.store.active_store`), compile-memo misses
+        consult the store for a pickled :class:`CompiledQuery` built by
+        a sibling process, and publish fresh compilations back. The key
+        is ignored when compilation is not a pure function of the
+        network's content: a custom ``distance_of`` callable or shared
+        interning tables (the incremental family's compilers) make the
+        artifact process-specific.
+        """
+        if self._custom_distance or self.state_table is not None:
+            return
+        self.artifact_key = key
+
+    def _store_fetch(
+        self,
+        query: Query,
+        mode: str,
+        weight_vector: Optional[WeightVector],
+    ) -> Tuple[Optional[CompiledQuery], Optional[Any], Optional[str]]:
+        """(stored artifact, store, key) for a memo miss; Nones when the
+        store is out of the loop."""
+        if self.artifact_key is None:
+            return None, None, None
+        from repro.farm.store import active_store
+
+        store = active_store()
+        if store is None:
+            return None, None, None
+        from repro.farm.cache import hash_text
+
+        key = hash_text(
+            f"{self.artifact_key}|{mode}|{query!r}|{weight_vector!r}"
+        )
+        compiled = store.get_object("compiled", key)
+        if compiled is not None:
+            # The pickled artifact carries a *copy* of the network;
+            # rebind ours so witness traces reference this process's
+            # link objects (identity matters to failure-set reporting).
+            compiled.network = self.network
+            if obs.enabled():
+                obs.add("compiler.store_hits")
+        return compiled, store, key
+
     def compile(
         self,
         query: Query,
@@ -230,7 +281,20 @@ class QueryCompiler:
                 if obs.enabled():
                     obs.add("compiler.memo_hits")
                 return cached
-            compiled = self._compile(query, mode, weight_vector)
+            compiled, store, store_key = self._store_fetch(
+                query, mode, weight_vector
+            )
+            if compiled is None:
+                compiled = self._compile(query, mode, weight_vector)
+                if store is not None:
+                    # Strip the network before publishing: the fetch path
+                    # rebinds the reader's own network anyway (states and
+                    # tags reference links by *name*), and the copy is
+                    # pure dead weight — for small queries it dominates
+                    # the artifact.
+                    store.put_object(
+                        "compiled", store_key, replace(compiled, network=None)
+                    )
             self.memo_misses += 1
             if obs.enabled():
                 obs.add("compiler.memo_misses")

@@ -156,6 +156,16 @@ class VerificationEngine:
             self.compiler = QueryCompiler(network, distance_of)
         self.name = name if name is not None else self._default_name()
 
+    def attach_artifact_key(self, key: str) -> None:
+        """Name this engine's network in the shared artifact store.
+
+        Delegates to the compiler (see
+        :meth:`~repro.verification.compiler.QueryCompiler.attach_artifact_key`);
+        a no-op for incremental-family compilers, whose shared interning
+        tables make compiled systems process-specific.
+        """
+        self.compiler.attach_artifact_key(key)
+
     def _default_name(self) -> str:
         if self.weight_vector is not None:
             return f"weighted({self.weight_vector})"

@@ -1,13 +1,15 @@
 """Tests for the asynchronous job manager."""
 
+import os
 import time
 
 import pytest
 
 from repro.datasets.example import EXAMPLE_QUERIES, build_example_network
 from repro.errors import FarmError
-from repro.farm.jobs import CANCELLED, DONE, JobManager
+from repro.farm.jobs import CANCELLED, DONE, RUNNING, JobManager
 from repro.farm.pool import EngineConfig
+from repro.farm.store import SharedArtifactStore
 from repro.farm.scenarios import (
     failure_scenarios,
     scenarios_to_jobs,
@@ -101,6 +103,73 @@ class TestCancellation:
         assert manager.cancel(run.id) is run
         assert manager.cancel("missing") is None
         run.wait(timeout=120)
+
+
+class TestStoreBackedManager:
+    """Cross-worker job visibility through a shared artifact store.
+
+    Two managers sharing one store model two forked server workers;
+    everything the HTTP layer calls (snapshot_of / all_snapshots /
+    request_cancel / active_count) must see both sides.
+    """
+
+    @pytest.fixture()
+    def store(self, tmp_path):
+        return SharedArtifactStore(str(tmp_path / "store"))
+
+    @pytest.fixture()
+    def owner(self, store):
+        instance = JobManager(store=store)
+        yield instance
+        instance.shutdown(timeout=10)
+
+    @pytest.fixture()
+    def sibling(self, store):
+        instance = JobManager(store=store)
+        yield instance
+        instance.shutdown(timeout=10)
+
+    def test_run_ids_embed_the_owning_pid(self, owner, network):
+        run = _submit_suite(owner, network, list(EXAMPLE_QUERIES[:1]))
+        assert run.id.startswith(f"job-{os.getpid():x}-")
+        run.wait(timeout=120)
+
+    def test_sibling_sees_published_run(self, owner, sibling, network):
+        run = _submit_suite(owner, network, list(EXAMPLE_QUERIES[:2]))
+        assert run.wait(timeout=120)
+        snapshot = sibling.snapshot_of(run.id)
+        assert snapshot is not None
+        assert snapshot["state"] == DONE
+        assert [item["name"] for item in snapshot["items"]] == ["phi0", "phi1"]
+        slim = sibling.snapshot_of(run.id, include_items=False)
+        assert "items" not in slim
+        assert run.id in [doc["id"] for doc in sibling.all_snapshots()]
+        assert sibling.snapshot_of("job-ffff-0099") is None
+
+    def test_sibling_cancel_is_honoured_between_jobs(
+        self, owner, sibling, network
+    ):
+        scenarios = suite_scenarios(network, list(EXAMPLE_QUERIES))
+        jobs, payloads, prebuilt = scenarios_to_jobs(scenarios, _SlowConfig())
+        run = owner.submit(jobs, payloads, prebuilt=prebuilt, max_workers=1)
+        document = sibling.request_cancel(run.id)  # lands mid-stall
+        assert document == {"id": run.id, "state": RUNNING}
+        assert run.wait(timeout=120)
+        assert run.state == CANCELLED
+        assert run.completed < run.total
+        assert sibling.request_cancel("job-ffff-0099") is None
+
+    def test_active_count_merges_sibling_runs(self, store, owner):
+        store.publish_job(
+            "job-ffff-0001",
+            {"id": "job-ffff-0001", "state": RUNNING, "client": "alice"},
+        )
+        store.publish_job(
+            "job-ffff-0002",
+            {"id": "job-ffff-0002", "state": DONE, "client": "alice"},
+        )
+        assert owner.active_count("alice") == 1
+        assert owner.active_count("bob") == 0
 
 
 def test_finished_runs_are_evicted(network):

@@ -1,0 +1,161 @@
+"""Tests for the WSGI entry point (:mod:`repro.app`)."""
+
+import io
+import json
+
+import pytest
+
+from repro.app import create_app
+from repro.service.core import ServiceCore
+
+
+@pytest.fixture(scope="module")
+def app():
+    return create_app(core=ServiceCore(), observe=False)
+
+
+class StartResponse:
+    def __init__(self):
+        self.status = None
+        self.headers = None
+
+    def __call__(self, status, headers):
+        self.status = status
+        self.headers = dict(headers)
+
+
+def call(app, method, path, body=None, query="", environ_extra=None):
+    raw = json.dumps(body).encode("utf-8") if body is not None else b""
+    environ = {
+        "REQUEST_METHOD": method,
+        "PATH_INFO": path,
+        "QUERY_STRING": query,
+        "REMOTE_ADDR": "127.0.0.1",
+        "wsgi.input": io.BytesIO(raw),
+    }
+    if body is not None:
+        environ["CONTENT_LENGTH"] = str(len(raw))
+        environ["CONTENT_TYPE"] = "application/json"
+    environ.update(environ_extra or {})
+    start = StartResponse()
+    chunks = list(app(environ, start))
+    status = int(start.status.split()[0])
+    return status, start, b"".join(chunks)
+
+
+def call_json(app, method, path, body=None, query=""):
+    status, start, raw = call(app, method, path, body=body, query=query)
+    return status, start, json.loads(raw.decode("utf-8"))
+
+
+class TestRequests:
+    def test_get_networks(self, app):
+        status, start, document = call_json(app, "GET", "/networks")
+        assert status == 200
+        assert "example" in document["networks"]
+        assert start.headers["Content-Type"].startswith("application/json")
+        assert int(start.headers["Content-Length"]) > 0
+
+    def test_verify_roundtrip(self, app):
+        status, _start, document = call_json(
+            app,
+            "POST",
+            "/verify",
+            {"network": "example", "query": "<ip> [.#v0] .* [v3#.] <ip> 0"},
+        )
+        assert status == 200
+        assert document["status"] == "satisfied"
+
+    def test_decoded_path_is_requoted_before_routing(self, app):
+        # WSGI hands PATH_INFO already percent-decoded; the app must
+        # re-quote so the core's single unquote round-trips odd names.
+        status, _start, document = call_json(app, "GET", "/networks/example")
+        assert status == 200
+        assert document["name"] == "running-example"
+
+    def test_query_string_reaches_routing(self, app):
+        status, _start, document = call_json(
+            app, "GET", "/jobs/job-miss", query="include_items=0"
+        )
+        assert status == 404
+        assert "error" in document
+
+    def test_unknown_endpoint(self, app):
+        status, _start, _document = call_json(app, "GET", "/nope")
+        assert status == 404
+
+
+class TestBodyHandling:
+    def test_truncated_body_is_400(self, app):
+        raw = b'{"network": "example"}'
+        environ = {
+            "REQUEST_METHOD": "POST",
+            "PATH_INFO": "/verify",
+            "QUERY_STRING": "",
+            "CONTENT_LENGTH": str(len(raw) + 50),  # promises more bytes
+            "wsgi.input": io.BytesIO(raw),
+        }
+        start = StartResponse()
+        chunks = list(app(environ, start))
+        assert start.status.startswith("400")
+        document = json.loads(b"".join(chunks).decode("utf-8"))
+        assert "truncated" in document["error"]
+        assert f"({len(raw)} of {len(raw) + 50} bytes" in document["error"]
+
+    def test_invalid_content_length_is_400(self, app):
+        environ = {
+            "REQUEST_METHOD": "POST",
+            "PATH_INFO": "/verify",
+            "QUERY_STRING": "",
+            "CONTENT_LENGTH": "many",
+            "wsgi.input": io.BytesIO(b""),
+        }
+        start = StartResponse()
+        chunks = list(app(environ, start))
+        assert start.status.startswith("400")
+        assert "invalid Content-Length" in b"".join(chunks).decode("utf-8")
+
+    def test_missing_body_is_400(self, app):
+        status, _start, document = call_json(app, "POST", "/verify")
+        # No CONTENT_LENGTH at all → body None → the core's ladder.
+        assert status == 400
+        assert "Content-Length" in document["error"]
+
+
+class TestStreaming:
+    def test_stream_yields_sse_frames(self):
+        class StubJobs:
+            def __init__(self):
+                self.polls = 0
+
+            def snapshot_of(self, run_id, include_items=True):
+                self.polls += 1
+                state = "running" if self.polls < 3 else "done"
+                return {"id": run_id, "state": state}
+
+            def all_snapshots(self):
+                return []
+
+            def request_cancel(self, run_id):
+                return None
+
+            def active_count(self, client):
+                return 0
+
+        app = create_app(
+            core=ServiceCore(jobs=StubJobs(), stream_interval=0.02),
+            observe=False,
+        )
+        environ = {
+            "REQUEST_METHOD": "GET",
+            "PATH_INFO": "/jobs/job-0001/stream",
+            "QUERY_STRING": "interval=0.02",
+            "wsgi.input": io.BytesIO(b""),
+        }
+        start = StartResponse()
+        frames = list(app(environ, start))
+        assert start.status.startswith("200")
+        assert start.headers["Content-Type"].startswith("text/event-stream")
+        assert "Content-Length" not in start.headers
+        assert frames[0].startswith(b"event: snapshot\n")
+        assert frames[-1].startswith(b"event: done\n")

@@ -1,0 +1,157 @@
+"""End-to-end tests of ``aalwines serve``: pre-fork workers sharing a
+listening socket and an artifact store.
+
+One real service (2 workers) is booted as a subprocess per module; the
+tests drive it over plain HTTP, the way parallel clients would: burst
+of concurrent verifies, a job submitted to one worker and observed /
+cancelled through whichever worker answers the poll.
+"""
+
+import concurrent.futures
+import http.client
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(os, "fork"), reason="pre-fork serving needs os.fork"
+)
+
+READY = re.compile(r"ready on http://([\d.]+):(\d+)/ workers=(\d+)")
+
+
+@pytest.fixture(scope="module")
+def service(tmp_path_factory):
+    store = str(tmp_path_factory.mktemp("store"))
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    env.pop("AALWINES_STORE", None)
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "serve",
+            "--workers",
+            "2",
+            "--store",
+            store,
+            "--port",
+            "0",
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+    )
+    try:
+        line = process.stdout.readline()
+        match = READY.search(line)
+        assert match, f"no ready line, got {line!r}"
+        host, port, workers = match.group(1), int(match.group(2)), match.group(3)
+        assert workers == "2"
+        yield host, port
+    finally:
+        process.send_signal(signal.SIGTERM)
+        try:
+            process.wait(timeout=20)
+        except subprocess.TimeoutExpired:
+            process.kill()
+            process.wait(timeout=20)
+
+
+def request(service, method, path, body=None):
+    host, port = service
+    connection = http.client.HTTPConnection(host, port, timeout=60)
+    try:
+        payload = json.dumps(body) if body is not None else None
+        connection.request(method, path, body=payload)
+        response = connection.getresponse()
+        return response.status, json.loads(response.read().decode("utf-8"))
+    finally:
+        connection.close()
+
+
+VERIFY = {"network": "example", "query": "<ip> [.#v0] .* [v3#.] <ip> 0"}
+
+
+class TestMultiWorker:
+    def test_concurrent_verifies_across_workers(self, service):
+        with concurrent.futures.ThreadPoolExecutor(max_workers=6) as pool:
+            results = list(
+                pool.map(
+                    lambda _: request(service, "POST", "/verify", VERIFY),
+                    range(12),
+                )
+            )
+        assert all(status == 200 for status, _ in results)
+        assert all(doc["status"] == "satisfied" for _, doc in results)
+
+    def test_job_visible_from_every_worker(self, service):
+        status, document = request(
+            service,
+            "POST",
+            "/jobs",
+            {"network": "example", "query": VERIFY["query"], "sweep_failures": 1},
+        )
+        assert status == 202
+        run_id = document["id"]
+        # Poll repeatedly: the kernel load-balances the connections, so
+        # the polls land on both workers — each must resolve the id.
+        deadline = time.time() + 120
+        state = None
+        while time.time() < deadline:
+            status, snapshot = request(service, "GET", f"/jobs/{run_id}")
+            assert status == 200, snapshot
+            state = snapshot["state"]
+            if state in ("done", "failed", "cancelled"):
+                break
+            time.sleep(0.2)
+        assert state == "done"
+        # The listing merges runs from all workers.
+        status, listing = request(service, "GET", "/jobs")
+        assert status == 200
+        assert run_id in [entry["id"] for entry in listing["jobs"]]
+
+    def test_cancel_through_any_worker(self, service):
+        status, document = request(
+            service,
+            "POST",
+            "/jobs",
+            {"network": "example", "query": VERIFY["query"], "sweep_failures": 2},
+        )
+        assert status == 202
+        run_id = document["id"]
+        # DELETE may reach either worker; a non-owner leaves a marker
+        # in the store which the owner honours between jobs.
+        status, document = request(service, "DELETE", f"/jobs/{run_id}")
+        assert status == 200
+        assert document["id"] == run_id
+        deadline = time.time() + 120
+        while time.time() < deadline:
+            _status, snapshot = request(service, "GET", f"/jobs/{run_id}")
+            if snapshot["state"] in ("done", "cancelled", "failed"):
+                break
+            time.sleep(0.2)
+        assert snapshot["state"] in ("done", "cancelled")
+
+    def test_metrics_exposed_by_workers(self, service):
+        host, port = service
+        connection = http.client.HTTPConnection(host, port, timeout=60)
+        try:
+            connection.request("GET", "/metrics")
+            response = connection.getresponse()
+            text = response.read().decode("utf-8")
+        finally:
+            connection.close()
+        assert response.status == 200
+        assert "aalwines_http_requests_total" in text

@@ -1,0 +1,114 @@
+"""Tests for the per-client token-bucket rate limiter."""
+
+from repro.service.ratelimit import (
+    INTERACTIVE,
+    SWEEP,
+    RateLimitConfig,
+    RateLimiter,
+    client_identity,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 1000.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def limiter(**knobs):
+    clock = FakeClock()
+    return RateLimiter(RateLimitConfig(**knobs), clock=clock), clock
+
+
+class TestTokenBuckets:
+    def test_burst_then_refusal(self):
+        instance, _clock = limiter(interactive_rate=1.0, interactive_burst=3)
+        for _ in range(3):
+            assert instance.check("alice", INTERACTIVE) is None
+        wait = instance.check("alice", INTERACTIVE)
+        assert wait is not None and wait > 0
+
+    def test_refill_at_the_configured_rate(self):
+        instance, clock = limiter(interactive_rate=2.0, interactive_burst=1)
+        assert instance.check("alice", INTERACTIVE) is None
+        wait = instance.check("alice", INTERACTIVE)
+        assert abs(wait - 0.5) < 1e-9  # 1 token / 2 per second
+        clock.advance(0.5)
+        assert instance.check("alice", INTERACTIVE) is None
+
+    def test_tokens_cap_at_burst(self):
+        instance, clock = limiter(interactive_rate=10.0, interactive_burst=2)
+        assert instance.check("alice", INTERACTIVE) is None
+        clock.advance(3600)  # a long idle period refills to burst, not more
+        assert instance.check("alice", INTERACTIVE) is None
+        assert instance.check("alice", INTERACTIVE) is None
+        assert instance.check("alice", INTERACTIVE) is not None
+
+    def test_clients_are_independent(self):
+        instance, _clock = limiter(interactive_rate=1.0, interactive_burst=1)
+        assert instance.check("alice", INTERACTIVE) is None
+        assert instance.check("alice", INTERACTIVE) is not None
+        assert instance.check("bob", INTERACTIVE) is None
+
+    def test_request_classes_have_separate_budgets(self):
+        instance, _clock = limiter(
+            interactive_rate=10.0,
+            interactive_burst=10,
+            sweep_rate=1.0,
+            sweep_burst=1,
+        )
+        assert instance.check("alice", SWEEP) is None
+        assert instance.check("alice", SWEEP) is not None
+        # Exhausting the sweep budget leaves interactive untouched.
+        assert instance.check("alice", INTERACTIVE) is None
+
+    def test_unknown_class_is_admitted(self):
+        instance, _clock = limiter(interactive_rate=0.001, interactive_burst=1)
+        assert instance.check("alice", "experimental") is None
+
+    def test_disabled_knobs_are_noops(self):
+        instance, _clock = limiter()  # all-off default
+        for _ in range(1000):
+            assert instance.check("alice", INTERACTIVE) is None
+            assert instance.check("alice", SWEEP) is None
+
+    def test_reset_refills_everyone(self):
+        instance, _clock = limiter(sweep_rate=1.0, sweep_burst=1)
+        assert instance.check("alice", SWEEP) is None
+        assert instance.check("alice", SWEEP) is not None
+        instance.reset()
+        assert instance.check("alice", SWEEP) is None
+
+
+class TestConfig:
+    def test_default_config_is_disabled(self):
+        assert RateLimitConfig().enabled is False
+
+    def test_production_defaults_enable_everything(self):
+        config = RateLimitConfig.production_defaults()
+        assert config.enabled is True
+        assert config.active_jobs_per_client == 4
+
+    def test_any_single_knob_enables(self):
+        assert RateLimitConfig(interactive_rate=1.0).enabled
+        assert RateLimitConfig(sweep_rate=1.0).enabled
+        assert RateLimitConfig(active_jobs_per_client=1).enabled
+
+
+class TestClientIdentity:
+    def test_explicit_header_wins(self):
+        headers = {"X-Client-Id": " tenant-a ", "X-Forwarded-For": "1.2.3.4"}
+        assert client_identity(headers, "9.9.9.9") == "tenant-a"
+
+    def test_forwarded_for_first_hop(self):
+        headers = {"X-Forwarded-For": "1.2.3.4, 10.0.0.1"}
+        assert client_identity(headers, "9.9.9.9") == "1.2.3.4"
+
+    def test_peer_fallback(self):
+        assert client_identity({}, "9.9.9.9") == "9.9.9.9"
+        assert client_identity({}, "") == "unknown"

@@ -830,3 +830,114 @@ class TestTriage:
             if line and not line.startswith("#") and "{" not in line
         ]
         assert len(names) == len(set(names)), "duplicate metric series"
+
+
+class TestHttpRegressions:
+    """Pinned fixes for the HTTP-layer bug sweep (routing on the raw
+    target, body reads, the DELETE error ladder, SSE streaming)."""
+
+    def _submit_and_finish(self, server):
+        _status, document = request(
+            server,
+            "POST",
+            "/jobs",
+            {"network": "example", "query": "<ip> [.#v0] .* [v3#.] <ip> 0"},
+        )
+        job_id = document["id"]
+        import time
+
+        deadline = time.time() + 120
+        while time.time() < deadline:
+            _status, snapshot = request(server, "GET", f"/jobs/{job_id}")
+            if snapshot["state"] in ("done", "failed", "cancelled"):
+                return job_id
+            time.sleep(0.05)
+        raise AssertionError(f"job {job_id} did not finish")
+
+    def test_percent_encoded_network_name_routes(self, server):
+        # Regression: routing matched the raw self.path, so any
+        # percent-encoded request target 404'd.
+        status, document = request(server, "GET", "/networks/%65xample")
+        assert status == 200
+        assert document["name"] == "running-example"
+
+    def test_job_get_with_query_string_routes(self, server):
+        # Regression: 'GET /jobs/<id>?include_items=0' used to 404.
+        job_id = self._submit_and_finish(server)
+        status, document = request(
+            server, "GET", f"/jobs/{job_id}?include_items=0"
+        )
+        assert status == 200
+        assert document["id"] == job_id
+        assert "items" not in document
+        status, document = request(
+            server, "GET", f"/jobs/{job_id}?include_items=1"
+        )
+        assert status == 200
+        assert "items" in document
+
+    def test_delete_errors_become_json_500(self, server, monkeypatch):
+        # Regression: do_DELETE had no try/except — a bug in
+        # cancellation leaked a raw traceback over the socket.
+        def boom(run_id):
+            raise RuntimeError("injected cancellation bug")
+
+        monkeypatch.setattr(server.core.jobs, "request_cancel", boom)
+        status, document = request(server, "DELETE", "/jobs/job-0001")
+        assert status == 500
+        assert "internal error" in document["error"]
+
+    def test_truncated_body_is_a_clean_400(self, server):
+        # Regression: _read_json_body did a single rfile.read(length);
+        # a short read handed truncated JSON to the parser. Now the
+        # read loops, and hitting EOF early is a clean 400.
+        import socket
+
+        with socket.create_connection(
+            (server.host, server.port), timeout=30
+        ) as sock:
+            head = (
+                "POST /verify HTTP/1.1\r\n"
+                f"Host: {server.host}\r\n"
+                "Content-Type: application/json\r\n"
+                "Content-Length: 1000\r\n"
+                "\r\n"
+            ).encode("ascii")
+            sock.sendall(head + b'{"network": "example"')
+            sock.shutdown(socket.SHUT_WR)  # EOF long before 1000 bytes
+            response = b""
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                response += chunk
+        status_line = response.split(b"\r\n", 1)[0]
+        assert b"400" in status_line
+        assert b"truncated" in response
+        assert b"21 of 1000 bytes" in response
+
+    def test_job_stream_over_http(self, server):
+        job_id = self._submit_and_finish(server)
+        connection = http.client.HTTPConnection(
+            server.host, server.port, timeout=60
+        )
+        try:
+            connection.request("GET", f"/jobs/{job_id}/stream?interval=0.02")
+            response = connection.getresponse()
+            assert response.status == 200
+            assert response.getheader("Content-Type").startswith(
+                "text/event-stream"
+            )
+            body = response.read().decode("utf-8")  # server closes stream
+        finally:
+            connection.close()
+        frames = [frame for frame in body.split("\n\n") if frame]
+        assert frames[0].startswith("event: snapshot\n")
+        assert frames[-1].startswith("event: done\n")
+        done = json.loads(frames[-1].split("\ndata: ")[1])
+        assert done == {"id": job_id, "state": "done"}
+
+    def test_stream_of_unknown_job_is_404(self, server):
+        status, document = request(server, "GET", "/jobs/nope/stream")
+        assert status == 404
+        assert "error" in document
